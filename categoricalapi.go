@@ -1,0 +1,51 @@
+package pptd
+
+import "pptd/internal/categorical"
+
+// CategoricalDataset is a sparse user-by-object matrix of categorical
+// claims over K categories — the claim type handled by the paper's
+// companion mechanism (Li et al., KDD'18), provided here as an extension.
+type CategoricalDataset = categorical.Dataset
+
+// CategoricalClaim is one categorical answer.
+type CategoricalClaim = categorical.Claim
+
+// CategoricalBuilder accumulates categorical claims.
+type CategoricalBuilder = categorical.Builder
+
+// NewCategoricalBuilder returns a builder for a numUsers x numObjects
+// dataset over numCategories categories.
+func NewCategoricalBuilder(numUsers, numObjects, numCategories int) *CategoricalBuilder {
+	return categorical.NewBuilder(numUsers, numObjects, numCategories)
+}
+
+// CategoricalResult is the output of categorical truth discovery.
+type CategoricalResult = categorical.Result
+
+// VotingOption configures NewWeightedVoting.
+type VotingOption = categorical.VotingOption
+
+// NewWeightedVoting returns iterative weighted-voting truth discovery for
+// categorical claims (the categorical counterpart of CRH).
+func NewWeightedVoting(opts ...VotingOption) (*categorical.Voting, error) {
+	return categorical.NewVoting(opts...)
+}
+
+// WithUnweightedVoting reduces the method to plain majority voting.
+func WithUnweightedVoting() VotingOption { return categorical.WithUnweightedVoting() }
+
+// RandomizedResponse is the k-ary randomized response mechanism giving
+// pure epsilon-LDP for categorical claims.
+type RandomizedResponse = categorical.RandomizedResponse
+
+// NewRandomizedResponse returns the mechanism for K categories at the
+// given epsilon.
+func NewRandomizedResponse(eps float64, numCategories int) (*RandomizedResponse, error) {
+	return categorical.NewRandomizedResponse(eps, numCategories)
+}
+
+// CategoricalAccuracy returns the fraction of objects whose discovered
+// truth matches the reference.
+func CategoricalAccuracy(truths, reference []int) (float64, error) {
+	return categorical.Accuracy(truths, reference)
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pptd/internal/dataio"
+	"pptd/internal/randx"
+	"pptd/internal/synthetic"
+)
+
+func writeTempDataset(t *testing.T) string {
+	t.Helper()
+	cfg := synthetic.Default()
+	cfg.NumUsers = 20
+	cfg.NumObjects = 8
+	inst, err := synthetic.Generate(cfg, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := dataio.Write(f, inst.Dataset, inst.GroundTruth); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPlainTruthDiscovery(t *testing.T) {
+	path := writeTempDataset(t)
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-in", path, "-method", "crh"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stdout.String(), "object,truth\n") {
+		t.Fatalf("stdout = %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "MAE vs ground truth") {
+		t.Fatalf("stderr missing MAE line: %q", stderr.String())
+	}
+}
+
+func TestRunWithPerturbationAndWeights(t *testing.T) {
+	path := writeTempDataset(t)
+	var stdout, stderr strings.Builder
+	err := run([]string{"-in", path, "-method", "gtm", "-lambda2", "2", "-weights"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "perturbed with lambda2=2") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "user,weight") {
+		t.Fatalf("stdout missing weights: %q", stdout.String())
+	}
+}
+
+func TestRunEveryMethod(t *testing.T) {
+	path := writeTempDataset(t)
+	for _, method := range []string{"crh", "gtm", "catd", "mean", "median"} {
+		var stdout, stderr strings.Builder
+		if err := run([]string{"-in", path, "-method", method}, &stdout, &stderr); err != nil {
+			t.Errorf("method %s: %v", method, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTempDataset(t)
+	var sink strings.Builder
+	if err := run([]string{"-in", path, "-method", "nope"}, &sink, &sink); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "missing.csv")}, &sink, &sink); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-badflag"}, &sink, &sink); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestMethodByName(t *testing.T) {
+	for _, name := range []string{"crh", "gtm", "catd", "mean", "median"} {
+		m, err := methodByName(name)
+		if err != nil || m == nil {
+			t.Errorf("methodByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := methodByName("x"); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestRunSecureMode(t *testing.T) {
+	path := writeTempDataset(t)
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-in", path, "-secure"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "secure-crh") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "object,truth\n") {
+		t.Fatalf("stdout = %q", stdout.String())
+	}
+	var sink strings.Builder
+	if err := run([]string{"-in", path, "-secure", "-method", "gtm"}, &sink, &sink); err == nil {
+		t.Error("secure mode with non-crh method accepted")
+	}
+}

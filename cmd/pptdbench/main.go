@@ -1,0 +1,110 @@
+// Command pptdbench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	pptdbench -list
+//	pptdbench -exp fig2
+//	pptdbench -exp all -trials 5 -seed 42 -csv out/
+//
+// Each experiment prints the same series the corresponding paper figure
+// plots, as aligned text tables; -csv additionally writes one CSV per
+// figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pptd"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pptdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pptdbench", flag.ContinueOnError)
+	var (
+		expName = fs.String("exp", "all", "experiment to run (see -list), or 'all'")
+		seed    = fs.Uint64("seed", 42, "random seed")
+		trials  = fs.Int("trials", 0, "trials per point (0 = per-experiment default)")
+		quick   = fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		csvDir  = fs.String("csv", "", "directory to write per-figure CSVs (optional)")
+		list    = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range pptd.Experiments() {
+			fmt.Printf("%-18s %s\n", e.Name, e.Description)
+		}
+		return nil
+	}
+
+	var names []string
+	if *expName == "all" {
+		for _, e := range pptd.Experiments() {
+			names = append(names, e.Name)
+		}
+	} else {
+		names = []string{*expName}
+	}
+
+	opts := pptd.ExperimentOptions{Seed: *seed, Trials: *trials, Quick: *quick}
+	for _, name := range names {
+		report, err := pptd.RunExperiment(name, opts)
+		if err != nil {
+			return fmt.Errorf("run %s: %w", name, err)
+		}
+		if err := emit(report, *csvDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func emit(report *pptd.ExperimentReport, csvDir string) error {
+	fmt.Printf("=== %s: %s ===\n\n", report.Name, report.Description)
+	for _, fig := range report.Figures {
+		table := fig.Table()
+		fmt.Println(table.Render())
+		if csvDir != "" {
+			if err := writeCSV(csvDir, fig.ID, table); err != nil {
+				return err
+			}
+		}
+	}
+	for _, table := range report.Tables {
+		fmt.Println(table.Render())
+	}
+	for _, note := range report.Notes {
+		fmt.Println("note:", note)
+	}
+	fmt.Println()
+	return nil
+}
+
+func writeCSV(dir, id string, table *pptd.ExperimentTable) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create csv dir: %w", err)
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() {
+		_ = f.Close()
+	}()
+	if err := table.WriteCSV(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}

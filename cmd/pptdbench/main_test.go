@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQuickExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "fig4", "-quick", "-seed", "3", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig4a", "fig4b"} {
+		data, err := os.ReadFile(filepath.Join(dir, id+".csv"))
+		if err != nil {
+			t.Fatalf("missing CSV for %s: %v", id, err)
+		}
+		if !strings.HasPrefix(string(data), "S,") {
+			t.Fatalf("%s.csv header = %q", id, strings.SplitN(string(data), "\n", 2)[0])
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,105 @@
+// Command pptdserver runs a crowd sensing campaign server: it publishes a
+// campaign (number of micro-tasks plus the perturbation rate lambda2),
+// collects perturbed submissions from pptduser clients, aggregates with
+// truth discovery once the expected number of users reported, and serves
+// the result.
+//
+// Usage:
+//
+//	pptdserver -addr :8080 -objects 30 -lambda2 2 -users 50 -method crh
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"pptd"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pptdserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pptdserver", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		name    = fs.String("name", "campaign", "campaign name")
+		objects = fs.Int("objects", 30, "number of micro-tasks (objects)")
+		lambda2 = fs.Float64("lambda2", 2, "noise-variance rate released to users")
+		users   = fs.Int("users", 0, "auto-aggregate after this many users (0 = manual)")
+		method  = fs.String("method", "crh", "truth discovery method: crh, gtm, catd, mean, median")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	td, err := methodByName(*method)
+	if err != nil {
+		return err
+	}
+	srv, err := pptd.NewCampaignServer(pptd.CampaignServerConfig{
+		Name:          *name,
+		NumObjects:    *objects,
+		Lambda2:       *lambda2,
+		ExpectedUsers: *users,
+		Method:        td,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("campaign %q: %d objects, lambda2=%v, method=%s, listening on %s",
+			*name, *objects, *lambda2, td.Name(), *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+func methodByName(name string) (pptd.Method, error) {
+	switch name {
+	case "crh":
+		return pptd.NewCRH()
+	case "gtm":
+		return pptd.NewGTM()
+	case "catd":
+		return pptd.NewCATD()
+	case "mean":
+		return pptd.MeanBaseline(), nil
+	case "median":
+		return pptd.MedianBaseline(), nil
+	default:
+		return nil, errors.New("unknown method " + name)
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestMethodByName(t *testing.T) {
+	for _, name := range []string{"crh", "gtm", "catd", "mean", "median"} {
+		m, err := methodByName(name)
+		if err != nil || m == nil {
+			t.Errorf("methodByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := methodByName("unknown"); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-method", "nope"}); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run([]string{"-objects", "0"}); err == nil {
+		t.Error("zero objects accepted")
+	}
+}

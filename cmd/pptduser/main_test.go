@@ -1,0 +1,56 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pptd/internal/crowd"
+	"pptd/internal/truth"
+)
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-users", "0"}); err == nil {
+		t.Error("zero users accepted")
+	}
+}
+
+func TestRunAgainstLocalServer(t *testing.T) {
+	method, err := truth.NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := crowd.NewServer(crowd.ServerConfig{
+		Name:          "test",
+		NumObjects:    5,
+		Lambda2:       2,
+		ExpectedUsers: 8,
+		Method:        method,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if err := run([]string{"-server", ts.URL, "-users", "8", "-seed", "4", "-timeout", "30s"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Result(); err != nil {
+		t.Fatalf("server did not aggregate: %v", err)
+	}
+}
+
+func TestRunUnreachableServer(t *testing.T) {
+	err := run([]string{"-server", "http://127.0.0.1:1", "-users", "2", "-timeout", "2s"})
+	if err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+	// The failure should come from the campaign fetch, not a panic.
+	if !strings.Contains(err.Error(), "fetch campaign") {
+		t.Logf("error (acceptable): %v", err)
+	}
+}

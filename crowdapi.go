@@ -1,0 +1,49 @@
+package pptd
+
+import "pptd/internal/crowd"
+
+// CampaignServer is the untrusted aggregation server of the crowd sensing
+// system: it publishes micro-tasks plus lambda2, collects perturbed
+// submissions over HTTP/JSON, and aggregates with truth discovery.
+type CampaignServer = crowd.Server
+
+// CampaignServerConfig parameterizes NewCampaignServer.
+type CampaignServerConfig = crowd.ServerConfig
+
+// NewCampaignServer returns a campaign server.
+func NewCampaignServer(cfg CampaignServerConfig) (*CampaignServer, error) {
+	return crowd.NewServer(cfg)
+}
+
+// CampaignClient talks to a campaign server.
+type CampaignClient = crowd.Client
+
+// CampaignClientOption configures NewCampaignClient.
+type CampaignClientOption = crowd.ClientOption
+
+// NewCampaignClient returns a client for the server at baseURL.
+func NewCampaignClient(baseURL string, opts ...CampaignClientOption) (*CampaignClient, error) {
+	return crowd.NewClient(baseURL, opts...)
+}
+
+// CampaignInfo describes a sensing campaign.
+type CampaignInfo = crowd.CampaignInfo
+
+// CampaignClaim is one (object, value) report inside a submission.
+type CampaignClaim = crowd.Claim
+
+// CampaignSubmission is one user's batch of perturbed claims.
+type CampaignSubmission = crowd.Submission
+
+// CampaignResult is the aggregated output of a campaign.
+type CampaignResult = crowd.ResultInfo
+
+// CampaignUser models a participant device holding original readings
+// that never leave the device unperturbed.
+type CampaignUser = crowd.User
+
+// NewCampaignUser returns a user with the given original readings and
+// device-local randomness.
+func NewCampaignUser(id string, readings []CampaignClaim, rng *RNG) (*CampaignUser, error) {
+	return crowd.NewUser(id, readings, rng)
+}

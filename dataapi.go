@@ -1,0 +1,37 @@
+package pptd
+
+import (
+	"pptd/internal/floorplan"
+	"pptd/internal/synthetic"
+)
+
+// SyntheticConfig parameterizes the Section 5.1 synthetic-crowd generator.
+type SyntheticConfig = synthetic.Config
+
+// SyntheticInstance is one generated synthetic crowd-sensing task.
+type SyntheticInstance = synthetic.Instance
+
+// DefaultSyntheticConfig returns the paper's synthetic setup: 150 users,
+// 30 objects, lambda1 = 1, dense observations.
+func DefaultSyntheticConfig() SyntheticConfig { return synthetic.Default() }
+
+// GenerateSynthetic draws a synthetic instance.
+func GenerateSynthetic(cfg SyntheticConfig, rng *RNG) (*SyntheticInstance, error) {
+	return synthetic.Generate(cfg, rng)
+}
+
+// FloorplanConfig parameterizes the Section 5.2 indoor-floorplan
+// simulator (the paper's real crowd sensing application).
+type FloorplanConfig = floorplan.Config
+
+// FloorplanInstance is one simulated floorplan deployment.
+type FloorplanInstance = floorplan.Instance
+
+// DefaultFloorplanConfig returns a deployment shaped like the paper's:
+// 247 users, 129 hallway segments.
+func DefaultFloorplanConfig() FloorplanConfig { return floorplan.Default() }
+
+// GenerateFloorplan draws a floorplan deployment.
+func GenerateFloorplan(cfg FloorplanConfig, rng *RNG) (*FloorplanInstance, error) {
+	return floorplan.Generate(cfg, rng)
+}

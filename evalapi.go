@@ -1,0 +1,32 @@
+package pptd
+
+import "pptd/internal/eval"
+
+// Experiment is a registered reproduction target (one per paper figure,
+// plus ablations).
+type Experiment = eval.Experiment
+
+// ExperimentOptions control an experiment run.
+type ExperimentOptions = eval.Options
+
+// ExperimentReport is the output of one experiment.
+type ExperimentReport = eval.Report
+
+// ExperimentFigure is one regenerated plot.
+type ExperimentFigure = eval.Figure
+
+// ExperimentTable is an aligned text table.
+type ExperimentTable = eval.Table
+
+// Experiments lists every registered experiment: fig2..fig8 matching the
+// paper's evaluation section, plus ablations beyond the paper.
+func Experiments() []Experiment { return eval.Registry() }
+
+// RunExperiment looks up an experiment by name (e.g. "fig2") and runs it.
+func RunExperiment(name string, opts ExperimentOptions) (*ExperimentReport, error) {
+	exp, err := eval.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return exp.Run(opts)
+}

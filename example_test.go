@@ -1,0 +1,96 @@
+package pptd_test
+
+import (
+	"fmt"
+
+	"pptd"
+)
+
+// ExampleAccountant shows the privacy accounting round trip: pick a
+// privacy target, derive the mechanism, and read the guarantee back.
+func ExampleAccountant() {
+	acct, err := pptd.NewAccountant(1, pptd.WithSensitivityTail(0.5, 0.2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	mech, err := acct.MechanismForEpsilon(0.5, 0.3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	eps, err := acct.Epsilon(mech, 0.3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("epsilon round trip: %.2f\n", eps)
+	fmt.Printf("expected |noise| per reading: %.3f\n", mech.ExpectedAbsNoise())
+	// Output:
+	// epsilon round trip: 0.50
+	// expected |noise| per reading: 0.395
+}
+
+// ExampleNewCRH runs plain truth discovery on a tiny dataset: the two
+// agreeing users out-vote the outlier.
+func ExampleNewCRH() {
+	ds, err := pptd.DatasetFromDense([][]float64{
+		{10.0, 20.0},
+		{10.2, 19.8},
+		{15.0, 30.0}, // outlier
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	crh, err := pptd.NewCRH()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := crh.Run(ds)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("truth for object 0 is near 10: %v\n", res.Truths[0] < 11)
+	fmt.Printf("outlier has the lowest weight: %v\n",
+		res.Weights[2] < res.Weights[0] && res.Weights[2] < res.Weights[1])
+	// Output:
+	// truth for object 0 is near 10: true
+	// outlier has the lowest weight: true
+}
+
+// ExampleAnalyzeTradeoff evaluates Theorem 4.9: does any noise level
+// satisfy both the utility and the privacy targets?
+func ExampleAnalyzeTradeoff() {
+	gamma, err := pptd.SensitivityGamma(0.5, 0.2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tr, err := pptd.AnalyzeTradeoff(1 /* lambda1 */, 0.5 /* alpha */, 0.1, /* beta */
+		200 /* users */, 0.5 /* eps */, 0.3 /* delta */, gamma)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("feasible: %v\n", tr.Feasible)
+	fmt.Printf("privacy floor below utility cap: %v\n", tr.CMin < tr.CMax)
+	// Output:
+	// feasible: true
+	// privacy floor below utility cap: true
+}
+
+// ExampleNewRandomizedResponse shows the categorical extension's keep
+// probability at a given epsilon.
+func ExampleNewRandomizedResponse() {
+	rr, err := pptd.NewRandomizedResponse(1.0986122886681098 /* ln 3 */, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("keep probability: %.2f\n", rr.KeepProbability())
+	// Output:
+	// keep probability: 0.60
+}

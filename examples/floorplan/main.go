@@ -1,0 +1,84 @@
+// Floorplan: the paper's Section 5.2 application — estimating hallway
+// segment lengths from smartphone walkers — run privately end to end.
+// Shows the Fig. 7 phenomenon: estimated weights track true weights, and
+// a user who drew a large noise variance drops in the perturbed ranking.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"pptd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := pptd.NewRNG(7)
+
+	// Simulate the deployment: 247 walkers, 129 hallway segments.
+	inst, err := pptd.GenerateFloorplan(pptd.DefaultFloorplanConfig(), rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployment: %d users x %d segments, %d distance reports\n",
+		inst.Dataset.NumUsers(), inst.Dataset.NumObjects(), inst.Dataset.NumObservations())
+
+	// Perturb with lambda2 = 2 (expected |noise| = 0.5 m per report).
+	mech, err := pptd.NewMechanism(2)
+	if err != nil {
+		return err
+	}
+	method, err := pptd.NewCRH()
+	if err != nil {
+		return err
+	}
+	pipe, err := pptd.NewPipeline(mech, method)
+	if err != nil {
+		return err
+	}
+	outcome, err := pipe.Run(inst.Dataset, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("injected noise: %.3f m | aggregate shift (MAE): %.3f m\n",
+		outcome.Noise.MeanAbsNoise, outcome.UtilityMAE)
+
+	// Fig. 7: compare estimated weights against "true" weights computed
+	// from the ground-truth segment lengths (simulation-only knowledge).
+	trueW, err := pptd.WeightsAgainst(inst.Dataset, inst.SegmentLengths, pptd.NormalizedSquaredDistance)
+	if err != nil {
+		return err
+	}
+	estW := append([]float64(nil), outcome.Original.Weights...)
+	privW := append([]float64(nil), outcome.Private.Weights...)
+	pptd.NormalizeWeights(trueW)
+	pptd.NormalizeWeights(estW)
+	pptd.NormalizeWeights(privW)
+
+	// Show the 7 users with the largest sampled noise variances: their
+	// estimated weight should drop after perturbation.
+	type userRow struct {
+		id       int
+		noiseVar float64
+	}
+	rows := make([]userRow, len(outcome.Noise.UserVariances))
+	for s, v := range outcome.Noise.UserVariances {
+		rows[s] = userRow{id: s, noiseVar: v}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].noiseVar > rows[j].noiseVar })
+
+	fmt.Println("\nuser  noiseVar  trueWeight  estWeight(orig)  estWeight(perturbed)")
+	for _, r := range rows[:7] {
+		fmt.Printf("%4d  %8.3f  %10.3f  %15.3f  %20.3f\n",
+			r.id, r.noiseVar, trueW[r.id], estW[r.id], privW[r.id])
+	}
+	fmt.Println("\nheavily-noised users keep their privacy and lose their influence;")
+	fmt.Println("the aggregate stays within centimeters of the noise-free one.")
+	return nil
+}

@@ -1,0 +1,97 @@
+// Labeling: the categorical extension end to end — a crowd labels road
+// conditions (categorical claims), every answer passes through k-ary
+// randomized response on-device (pure epsilon-LDP), and the server runs
+// weighted voting to recover the true labels despite both worker error
+// and privacy noise.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pptd"
+)
+
+const (
+	numWorkers = 25
+	numRoads   = 200
+	epsilon    = 1.2
+)
+
+// Road conditions the crowd labels.
+var categories = []string{"clear", "congested", "blocked"}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := pptd.NewRNG(31)
+
+	// Ground truth and a crowd with a wide skill spread: workers answer
+	// correctly with probability 0.35..0.95.
+	truths := make([]int, numRoads)
+	for n := range truths {
+		truths[n] = rng.Intn(len(categories))
+	}
+	b := pptd.NewCategoricalBuilder(numWorkers, numRoads, len(categories))
+	for w := 0; w < numWorkers; w++ {
+		skill := 0.35 + 0.6*rng.Float64()
+		for n, tv := range truths {
+			answer := tv
+			if rng.Float64() >= skill {
+				answer = rng.Intn(len(categories) - 1)
+				if answer >= tv {
+					answer++
+				}
+			}
+			b.Add(w, n, answer)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crowd: %d workers x %d roads, %d labels\n", numWorkers, numRoads, ds.NumClaims())
+
+	// Randomized response on every label, on-device.
+	rr, err := pptd.NewRandomizedResponse(epsilon, len(categories))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("randomized response at eps=%.1f: keep probability %.3f (pure LDP, ratio e^eps)\n",
+		epsilon, rr.KeepProbability())
+	noisy, err := rr.PerturbDataset(ds, rng.Split())
+	if err != nil {
+		return err
+	}
+
+	// Weighted voting vs plain majority on the randomized labels.
+	weighted, err := pptd.NewWeightedVoting()
+	if err != nil {
+		return err
+	}
+	majority, err := pptd.NewWeightedVoting(pptd.WithUnweightedVoting())
+	if err != nil {
+		return err
+	}
+	for _, method := range []interface {
+		Name() string
+		Run(*pptd.CategoricalDataset) (*pptd.CategoricalResult, error)
+	}{weighted, majority} {
+		res, err := method.Run(noisy)
+		if err != nil {
+			return err
+		}
+		acc, err := pptd.CategoricalAccuracy(res.Truths, truths)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s accuracy on randomized labels: %.3f\n", method.Name(), acc)
+	}
+	fmt.Println("\nevery label the server saw was individually randomized; the crowd's")
+	fmt.Println("redundancy plus weighting recovers the truth.")
+	return nil
+}

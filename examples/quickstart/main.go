@@ -1,0 +1,70 @@
+// Quickstart: perturb a synthetic crowd's readings for a target
+// (epsilon, delta)-LDP guarantee, aggregate with CRH, and see that the
+// private aggregate barely moves — the paper's headline result in ~60
+// lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pptd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := pptd.NewRNG(42)
+
+	// 1. Simulate the paper's synthetic crowd: 150 users, 30 objects,
+	//    user error variances ~ Exp(lambda1 = 1).
+	inst, err := pptd.GenerateSynthetic(pptd.DefaultSyntheticConfig(), rng)
+	if err != nil {
+		return err
+	}
+
+	// 2. Pick a privacy target and let the accountant derive the
+	//    mechanism (the lambda2 users will sample noise variances from).
+	acct, err := pptd.NewAccountant(1, pptd.WithSensitivityTail(0.5, 0.2))
+	if err != nil {
+		return err
+	}
+	const (
+		eps   = 0.5
+		delta = 0.3
+	)
+	mech, err := acct.MechanismForEpsilon(eps, delta)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("privacy target (eps=%.2f, delta=%.2f) -> lambda2=%.3f, expected |noise| per reading=%.3f\n",
+		eps, delta, mech.Lambda2(), mech.ExpectedAbsNoise())
+
+	// 3. Run Algorithm 2: every user perturbs independently, the server
+	//    aggregates with CRH on the perturbed data.
+	method, err := pptd.NewCRH()
+	if err != nil {
+		return err
+	}
+	pipe, err := pptd.NewPipeline(mech, method)
+	if err != nil {
+		return err
+	}
+	outcome, err := pipe.Run(inst.Dataset, rng)
+	if err != nil {
+		return err
+	}
+
+	// 4. The utility claim: aggregate-vs-aggregate MAE is far below the
+	//    injected per-reading noise, because weighted aggregation damps
+	//    the heavily perturbed users.
+	fmt.Printf("injected noise (mean |xi|):           %.4f\n", outcome.Noise.MeanAbsNoise)
+	fmt.Printf("utility loss (MAE of aggregates):     %.4f\n", outcome.UtilityMAE)
+	fmt.Printf("truth discovery converged in %d iterations (original) / %d (perturbed)\n",
+		outcome.Original.Iterations, outcome.Private.Iterations)
+	return nil
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRun keeps the example compiling and executing end to end; the
+// example's output is its documentation, so the test only asserts
+// success.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

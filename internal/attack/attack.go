@@ -1,0 +1,200 @@
+// Package attack provides failure-injection adversary models for stress
+// testing truth discovery: users who spam random values, push a constant
+// bias, or collude on a fabricated value. The paper motivates weighted
+// aggregation by exactly these behaviours ("noisy or fake information due
+// to ... the intent to deceive"); this package lets the test suite and
+// benchmarks verify that the methods down-weight such users.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pptd/internal/randx"
+	"pptd/internal/truth"
+)
+
+// ErrBadParam reports an invalid adversary configuration.
+var ErrBadParam = errors.New("attack: invalid parameter")
+
+// Adversary rewrites the claims of a subset of users.
+type Adversary interface {
+	// Name identifies the adversary in reports.
+	Name() string
+	// Corrupt returns a copy of ds in which the adversarial users'
+	// claims are replaced, along with the indices of those users.
+	Corrupt(ds *truth.Dataset, rng *randx.RNG) (*truth.Dataset, []int, error)
+}
+
+// pickUsers selects ceil(fraction*S) distinct users uniformly at random.
+func pickUsers(numUsers int, fraction float64, rng *randx.RNG) []int {
+	k := int(math.Ceil(fraction * float64(numUsers)))
+	if k > numUsers {
+		k = numUsers
+	}
+	perm := rng.Perm(numUsers)
+	chosen := perm[:k]
+	out := make([]int, k)
+	copy(out, chosen)
+	return out
+}
+
+func validateFraction(fraction float64) error {
+	if fraction <= 0 || fraction > 1 || math.IsNaN(fraction) {
+		return fmt.Errorf("%w: fraction = %v", ErrBadParam, fraction)
+	}
+	return nil
+}
+
+// valueRange returns the [min, max] range of all claims in ds.
+func valueRange(ds *truth.Dataset) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, o := range ds.Observations() {
+		if o.Value < lo {
+			lo = o.Value
+		}
+		if o.Value > hi {
+			hi = o.Value
+		}
+	}
+	if lo > hi { // no observations; degenerate but safe
+		lo, hi = 0, 1
+	}
+	return lo, hi
+}
+
+// Spammer replaces each claim of the chosen users with a uniform random
+// value drawn from the dataset's observed value range.
+type Spammer struct {
+	// Fraction of users to corrupt, in (0, 1].
+	Fraction float64
+}
+
+var _ Adversary = Spammer{}
+
+// Name implements Adversary.
+func (Spammer) Name() string { return "spammer" }
+
+// Corrupt implements Adversary.
+func (a Spammer) Corrupt(ds *truth.Dataset, rng *randx.RNG) (*truth.Dataset, []int, error) {
+	if err := checkArgs(ds, rng); err != nil {
+		return nil, nil, err
+	}
+	if err := validateFraction(a.Fraction); err != nil {
+		return nil, nil, err
+	}
+	users := pickUsers(ds.NumUsers(), a.Fraction, rng)
+	bad := toSet(users)
+	lo, hi := valueRange(ds)
+	out, err := ds.Map(func(user, _ int, value float64) float64 {
+		if _, ok := bad[user]; !ok {
+			return value
+		}
+		return lo + (hi-lo)*rng.Float64()
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("attack: spammer: %w", err)
+	}
+	return out, users, nil
+}
+
+// Biased shifts every claim of the chosen users by a fixed offset —
+// a sensor with a systematic calibration error, or a user gaming a
+// reward metric in one direction.
+type Biased struct {
+	// Fraction of users to corrupt, in (0, 1].
+	Fraction float64
+	// Offset is added to every corrupted claim.
+	Offset float64
+}
+
+var _ Adversary = Biased{}
+
+// Name implements Adversary.
+func (Biased) Name() string { return "biased" }
+
+// Corrupt implements Adversary.
+func (a Biased) Corrupt(ds *truth.Dataset, rng *randx.RNG) (*truth.Dataset, []int, error) {
+	if err := checkArgs(ds, rng); err != nil {
+		return nil, nil, err
+	}
+	if err := validateFraction(a.Fraction); err != nil {
+		return nil, nil, err
+	}
+	if math.IsNaN(a.Offset) || math.IsInf(a.Offset, 0) {
+		return nil, nil, fmt.Errorf("%w: offset = %v", ErrBadParam, a.Offset)
+	}
+	users := pickUsers(ds.NumUsers(), a.Fraction, rng)
+	bad := toSet(users)
+	out, err := ds.Map(func(user, _ int, value float64) float64 {
+		if _, ok := bad[user]; !ok {
+			return value
+		}
+		return value + a.Offset
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("attack: biased: %w", err)
+	}
+	return out, users, nil
+}
+
+// Colluders make the chosen users all report the same fabricated value
+// per object (a coordinated poisoning attempt). The fabricated value is
+// the object's claim mean shifted by Shift, so the colluders agree with
+// each other but not with the honest crowd.
+type Colluders struct {
+	// Fraction of users to corrupt, in (0, 1].
+	Fraction float64
+	// Shift displaces the fabricated value from the per-object mean.
+	Shift float64
+}
+
+var _ Adversary = Colluders{}
+
+// Name implements Adversary.
+func (Colluders) Name() string { return "colluders" }
+
+// Corrupt implements Adversary.
+func (a Colluders) Corrupt(ds *truth.Dataset, rng *randx.RNG) (*truth.Dataset, []int, error) {
+	if err := checkArgs(ds, rng); err != nil {
+		return nil, nil, err
+	}
+	if err := validateFraction(a.Fraction); err != nil {
+		return nil, nil, err
+	}
+	if math.IsNaN(a.Shift) || math.IsInf(a.Shift, 0) {
+		return nil, nil, fmt.Errorf("%w: shift = %v", ErrBadParam, a.Shift)
+	}
+	users := pickUsers(ds.NumUsers(), a.Fraction, rng)
+	bad := toSet(users)
+	means := ds.ObjectMeans()
+	out, err := ds.Map(func(user, object int, value float64) float64 {
+		if _, ok := bad[user]; !ok {
+			return value
+		}
+		return means[object] + a.Shift
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("attack: colluders: %w", err)
+	}
+	return out, users, nil
+}
+
+func checkArgs(ds *truth.Dataset, rng *randx.RNG) error {
+	if ds == nil {
+		return fmt.Errorf("%w: nil dataset", ErrBadParam)
+	}
+	if rng == nil {
+		return fmt.Errorf("%w: nil rng", ErrBadParam)
+	}
+	return nil
+}
+
+func toSet(xs []int) map[int]struct{} {
+	out := make(map[int]struct{}, len(xs))
+	for _, x := range xs {
+		out[x] = struct{}{}
+	}
+	return out
+}

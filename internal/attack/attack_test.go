@@ -1,0 +1,196 @@
+package attack
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pptd/internal/randx"
+	"pptd/internal/stats"
+	"pptd/internal/synthetic"
+	"pptd/internal/truth"
+)
+
+func cleanInstance(t *testing.T, seed uint64) *synthetic.Instance {
+	t.Helper()
+	cfg := synthetic.Default()
+	cfg.NumUsers = 60
+	cfg.NumObjects = 40
+	cfg.Lambda1 = 5 // high-quality honest crowd
+	inst, err := synthetic.Generate(cfg, randx.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func adversaries() []Adversary {
+	return []Adversary{
+		Spammer{Fraction: 0.2},
+		Biased{Fraction: 0.2, Offset: 5},
+		Colluders{Fraction: 0.2, Shift: 4},
+	}
+}
+
+func TestAdversaryNames(t *testing.T) {
+	want := map[string]bool{"spammer": true, "biased": true, "colluders": true}
+	for _, a := range adversaries() {
+		if !want[a.Name()] {
+			t.Errorf("unexpected adversary name %q", a.Name())
+		}
+	}
+}
+
+func TestCorruptPreservesShape(t *testing.T) {
+	inst := cleanInstance(t, 1)
+	for _, a := range adversaries() {
+		corrupted, users, err := a.Corrupt(inst.Dataset, randx.New(2))
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if corrupted.NumUsers() != inst.Dataset.NumUsers() ||
+			corrupted.NumObjects() != inst.Dataset.NumObjects() ||
+			corrupted.NumObservations() != inst.Dataset.NumObservations() {
+			t.Errorf("%s changed dataset shape", a.Name())
+		}
+		if len(users) != 12 { // ceil(0.2*60)
+			t.Errorf("%s corrupted %d users, want 12", a.Name(), len(users))
+		}
+		seen := make(map[int]bool)
+		for _, u := range users {
+			if u < 0 || u >= 60 || seen[u] {
+				t.Errorf("%s returned bad user list %v", a.Name(), users)
+				break
+			}
+			seen[u] = true
+		}
+	}
+}
+
+func TestHonestUsersUntouched(t *testing.T) {
+	inst := cleanInstance(t, 3)
+	for _, a := range adversaries() {
+		corrupted, users, err := a.Corrupt(inst.Dataset, randx.New(4))
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		bad := make(map[int]bool, len(users))
+		for _, u := range users {
+			bad[u] = true
+		}
+		orig := inst.Dataset.Dense()
+		got := corrupted.Dense()
+		for s := range orig {
+			if bad[s] {
+				continue
+			}
+			for n := range orig[s] {
+				if orig[s][n] != got[s][n] && !(math.IsNaN(orig[s][n]) && math.IsNaN(got[s][n])) {
+					t.Errorf("%s modified honest user %d", a.Name(), s)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestTruthDiscoveryDownweightsAdversaries(t *testing.T) {
+	inst := cleanInstance(t, 5)
+	crh, err := truth.NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range adversaries() {
+		corrupted, users, err := a.Corrupt(inst.Dataset, randx.New(6))
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		res, err := crh.Run(corrupted)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		bad := make(map[int]bool, len(users))
+		for _, u := range users {
+			bad[u] = true
+		}
+		var badW, goodW stats.Welford
+		for s, w := range res.Weights {
+			if bad[s] {
+				badW.Add(w)
+			} else {
+				goodW.Add(w)
+			}
+		}
+		if badW.Mean() >= goodW.Mean() {
+			t.Errorf("%s: adversaries mean weight %v >= honest %v", a.Name(), badW.Mean(), goodW.Mean())
+		}
+	}
+}
+
+func TestWeightedBeatsMeanUnderAttack(t *testing.T) {
+	inst := cleanInstance(t, 7)
+	crh, err := truth.NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range adversaries() {
+		corrupted, _, err := a.Corrupt(inst.Dataset, randx.New(8))
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		crhRes, err := crh.Run(corrupted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meanRes, err := (truth.Mean{}).Run(corrupted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crhMAE, err := stats.MAE(crhRes.Truths, inst.GroundTruth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meanMAE, err := stats.MAE(meanRes.Truths, inst.GroundTruth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crhMAE >= meanMAE {
+			t.Errorf("%s: CRH MAE %v not below mean MAE %v", a.Name(), crhMAE, meanMAE)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	inst := cleanInstance(t, 9)
+	rng := randx.New(10)
+
+	if _, _, err := (Spammer{Fraction: 0}).Corrupt(inst.Dataset, rng); !errors.Is(err, ErrBadParam) {
+		t.Error("zero fraction accepted")
+	}
+	if _, _, err := (Spammer{Fraction: 1.5}).Corrupt(inst.Dataset, rng); !errors.Is(err, ErrBadParam) {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, _, err := (Biased{Fraction: 0.5, Offset: math.NaN()}).Corrupt(inst.Dataset, rng); !errors.Is(err, ErrBadParam) {
+		t.Error("NaN offset accepted")
+	}
+	if _, _, err := (Colluders{Fraction: 0.5, Shift: math.Inf(1)}).Corrupt(inst.Dataset, rng); !errors.Is(err, ErrBadParam) {
+		t.Error("Inf shift accepted")
+	}
+	if _, _, err := (Spammer{Fraction: 0.5}).Corrupt(nil, rng); !errors.Is(err, ErrBadParam) {
+		t.Error("nil dataset accepted")
+	}
+	if _, _, err := (Spammer{Fraction: 0.5}).Corrupt(inst.Dataset, nil); !errors.Is(err, ErrBadParam) {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestFullFractionCorruptsEveryone(t *testing.T) {
+	inst := cleanInstance(t, 11)
+	_, users, err := (Biased{Fraction: 1, Offset: 1}).Corrupt(inst.Dataset, randx.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != inst.Dataset.NumUsers() {
+		t.Fatalf("fraction 1 corrupted %d of %d users", len(users), inst.Dataset.NumUsers())
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"pptd/internal/theory"
+)
+
+// Default sensitivity-tail constants for the accountant (Lemma 4.7): with
+// b = 3 and eta = 0.95 the sensitivity bound Delta_s <= gamma/lambda1
+// holds with probability >= 0.94.
+const (
+	DefaultB   = 3.0
+	DefaultEta = 0.95
+)
+
+// Accountant converts between the mechanism parameter lambda2 and the
+// (epsilon, delta)-local-differential-privacy guarantee of Theorem 4.8,
+// for a population whose error variances follow Exp(lambda1).
+type Accountant struct {
+	lambda1 float64
+	gamma   float64
+	b       float64
+	eta     float64
+}
+
+// AccountantOption configures NewAccountant.
+type AccountantOption interface {
+	applyAccountant(*Accountant)
+}
+
+type accountantOptionFunc func(*Accountant)
+
+func (f accountantOptionFunc) applyAccountant(a *Accountant) { f(a) }
+
+// WithSensitivityTail overrides the Lemma 4.7 tail constants b and eta
+// (defaults DefaultB, DefaultEta).
+func WithSensitivityTail(b, eta float64) AccountantOption {
+	return accountantOptionFunc(func(a *Accountant) { a.b, a.eta = b, eta })
+}
+
+// NewAccountant returns an accountant for data quality lambda1.
+func NewAccountant(lambda1 float64, opts ...AccountantOption) (*Accountant, error) {
+	if lambda1 <= 0 || math.IsNaN(lambda1) || math.IsInf(lambda1, 0) {
+		return nil, fmt.Errorf("%w: lambda1 = %v", ErrBadParam, lambda1)
+	}
+	a := &Accountant{
+		lambda1: lambda1,
+		b:       DefaultB,
+		eta:     DefaultEta,
+	}
+	for _, o := range opts {
+		o.applyAccountant(a)
+	}
+	gamma, err := theory.Gamma(a.b, a.eta)
+	if err != nil {
+		return nil, fmt.Errorf("core: accountant: %w", err)
+	}
+	a.gamma = gamma
+	return a, nil
+}
+
+// Lambda1 returns the error-variance rate the accountant assumes.
+func (a *Accountant) Lambda1() float64 { return a.lambda1 }
+
+// GammaValue returns the Lemma 4.7 constant gamma = b*sqrt(2 ln(1/(1-eta))).
+func (a *Accountant) GammaValue() float64 { return a.gamma }
+
+// Sensitivity returns the Lemma 4.7 per-user sensitivity bound
+// gamma/lambda1.
+func (a *Accountant) Sensitivity() (float64, error) {
+	return theory.SensitivityBound(a.lambda1, a.gamma)
+}
+
+// SensitivityConfidence returns the probability with which the
+// sensitivity bound holds.
+func (a *Accountant) SensitivityConfidence() float64 {
+	return theory.SensitivityConfidence(a.b, a.eta)
+}
+
+// MechanismForEpsilon returns the weakest mechanism (largest lambda2,
+// least noise) satisfying (eps, delta)-LDP per Theorem 4.8.
+func (a *Accountant) MechanismForEpsilon(eps, delta float64) (*Mechanism, error) {
+	c, err := theory.NoiseLevelForEpsilon(eps, delta, a.lambda1, a.gamma)
+	if err != nil {
+		return nil, fmt.Errorf("core: accountant: %w", err)
+	}
+	lambda2, err := theory.Lambda2ForNoiseLevel(c, a.lambda1)
+	if err != nil {
+		return nil, fmt.Errorf("core: accountant: %w", err)
+	}
+	return NewMechanism(lambda2)
+}
+
+// Epsilon returns the epsilon granted by the given mechanism at privacy
+// parameter delta.
+func (a *Accountant) Epsilon(m *Mechanism, delta float64) (float64, error) {
+	if m == nil {
+		return 0, fmt.Errorf("%w: nil mechanism", ErrBadParam)
+	}
+	c := theory.NoiseLevel(a.lambda1, m.Lambda2())
+	eps, err := theory.EpsilonForNoiseLevel(c, delta, a.lambda1, a.gamma)
+	if err != nil {
+		return 0, fmt.Errorf("core: accountant: %w", err)
+	}
+	return eps, nil
+}
+
+// NoiseLevel returns c = lambda1/lambda2 for the given mechanism.
+func (a *Accountant) NoiseLevel(m *Mechanism) (float64, error) {
+	if m == nil {
+		return 0, fmt.Errorf("%w: nil mechanism", ErrBadParam)
+	}
+	return theory.NoiseLevel(a.lambda1, m.Lambda2()), nil
+}
+
+// UtilityCheck evaluates Theorem 4.9 for the given mechanism and targets:
+// it reports whether the mechanism's noise level both satisfies
+// (eps, delta)-LDP and stays under the (alpha, beta)-utility noise cap for
+// S users.
+func (a *Accountant) UtilityCheck(m *Mechanism, alpha, beta float64, numUsers int, eps, delta float64) (theory.Tradeoff, bool, error) {
+	if m == nil {
+		return theory.Tradeoff{}, false, fmt.Errorf("%w: nil mechanism", ErrBadParam)
+	}
+	tr, err := theory.Analyze(a.lambda1, alpha, beta, numUsers, eps, delta, a.gamma)
+	if err != nil {
+		return theory.Tradeoff{}, false, fmt.Errorf("core: accountant: %w", err)
+	}
+	c := theory.NoiseLevel(a.lambda1, m.Lambda2())
+	ok := tr.Feasible && c >= tr.CMin && c <= tr.CMax
+	return tr, ok, nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func mustAccountant(t *testing.T, lambda1 float64) *Accountant {
+	t.Helper()
+	a, err := NewAccountant(lambda1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAccountantValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewAccountant(bad); !errors.Is(err, ErrBadParam) {
+			t.Errorf("lambda1 = %v accepted", bad)
+		}
+	}
+	if _, err := NewAccountant(1, WithSensitivityTail(0, 0.95)); err == nil {
+		t.Error("bad tail b accepted")
+	}
+	if _, err := NewAccountant(1, WithSensitivityTail(3, 1.5)); err == nil {
+		t.Error("bad tail eta accepted")
+	}
+}
+
+func TestAccountantAccessors(t *testing.T) {
+	a := mustAccountant(t, 2)
+	if a.Lambda1() != 2 {
+		t.Errorf("Lambda1 = %v", a.Lambda1())
+	}
+	wantGamma := DefaultB * math.Sqrt(2*math.Log(1/(1-DefaultEta)))
+	if math.Abs(a.GammaValue()-wantGamma) > 1e-12 {
+		t.Errorf("GammaValue = %v, want %v", a.GammaValue(), wantGamma)
+	}
+	sens, err := a.Sensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sens-wantGamma/2) > 1e-12 {
+		t.Errorf("Sensitivity = %v, want %v", sens, wantGamma/2)
+	}
+	if conf := a.SensitivityConfidence(); conf < 0.9 || conf > 1 {
+		t.Errorf("SensitivityConfidence = %v", conf)
+	}
+}
+
+func TestMechanismForEpsilonRoundTrip(t *testing.T) {
+	a := mustAccountant(t, 1.5)
+	const delta = 0.3
+	for _, eps := range []float64{0.2, 0.5, 1, 2.5} {
+		m, err := a.MechanismForEpsilon(eps, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := a.Epsilon(m, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(back-eps) > 1e-9 {
+			t.Errorf("eps %v -> mechanism -> eps %v", eps, back)
+		}
+	}
+}
+
+func TestStrongerPrivacyMeansMoreNoise(t *testing.T) {
+	a := mustAccountant(t, 1)
+	weak, err := a.MechanismForEpsilon(2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := a.MechanismForEpsilon(0.2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong.ExpectedAbsNoise() <= weak.ExpectedAbsNoise() {
+		t.Fatalf("eps=0.2 noise %v not above eps=2 noise %v",
+			strong.ExpectedAbsNoise(), weak.ExpectedAbsNoise())
+	}
+}
+
+func TestAccountantNilMechanism(t *testing.T) {
+	a := mustAccountant(t, 1)
+	if _, err := a.Epsilon(nil, 0.3); !errors.Is(err, ErrBadParam) {
+		t.Error("nil mechanism accepted by Epsilon")
+	}
+	if _, err := a.NoiseLevel(nil); !errors.Is(err, ErrBadParam) {
+		t.Error("nil mechanism accepted by NoiseLevel")
+	}
+	if _, _, err := a.UtilityCheck(nil, 1, 0.1, 10, 1, 0.3); !errors.Is(err, ErrBadParam) {
+		t.Error("nil mechanism accepted by UtilityCheck")
+	}
+}
+
+func TestNoiseLevelMatchesDefinition(t *testing.T) {
+	a := mustAccountant(t, 3)
+	m := mustMechanism(t, 1.5)
+	c, err := a.NoiseLevel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-2) > 1e-12 {
+		t.Fatalf("c = %v, want 2", c)
+	}
+}
+
+func TestUtilityCheck(t *testing.T) {
+	a := mustAccountant(t, 1)
+	// Generous targets over many users: the epsilon-matched mechanism
+	// must pass its own check.
+	const (
+		eps   = 1.0
+		delta = 0.3
+	)
+	m, err := a.MechanismForEpsilon(eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok, err := a.UtilityCheck(m, 1.0, 0.2, 500, eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Feasible || !ok {
+		t.Fatalf("expected feasible+ok, got tradeoff %+v ok=%v", tr, ok)
+	}
+
+	// A far noisier mechanism than the utility cap allows must fail.
+	noisy := mustMechanism(t, 1e-9) // c = lambda1/lambda2 huge
+	_, ok, err = a.UtilityCheck(noisy, 0.5, 0.05, 10, eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("absurdly noisy mechanism passed the utility check")
+	}
+}

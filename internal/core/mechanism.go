@@ -1,0 +1,143 @@
+// Package core implements the paper's primary contribution: the
+// privacy-preserving truth-discovery mechanism of Section 3.2 /
+// Algorithm 2. Each user independently samples a private noise variance
+// delta_s^2 from an exponential distribution with server-released rate
+// lambda2, perturbs every reading with Gaussian noise of that variance,
+// and the server aggregates the perturbed readings with any weighted
+// truth-discovery method. The package also provides the privacy
+// accountant that maps the mechanism's parameters to the
+// (epsilon, delta)-local-differential-privacy guarantee of Theorem 4.8.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pptd/internal/randx"
+	"pptd/internal/theory"
+	"pptd/internal/truth"
+)
+
+// ErrBadParam reports an invalid mechanism parameter.
+var ErrBadParam = errors.New("core: invalid parameter")
+
+// Mechanism is the perturbation mechanism M of the paper, parameterized by
+// the server-released hyper-parameter lambda2 (the rate of the exponential
+// distribution users draw their noise variances from).
+type Mechanism struct {
+	lambda2 float64
+}
+
+// NewMechanism returns a Mechanism with the given lambda2 rate.
+func NewMechanism(lambda2 float64) (*Mechanism, error) {
+	if lambda2 <= 0 || math.IsNaN(lambda2) || math.IsInf(lambda2, 0) {
+		return nil, fmt.Errorf("%w: lambda2 = %v", ErrBadParam, lambda2)
+	}
+	return &Mechanism{lambda2: lambda2}, nil
+}
+
+// Lambda2 returns the mechanism's noise-variance rate.
+func (m *Mechanism) Lambda2() float64 { return m.lambda2 }
+
+// ExpectedAbsNoise returns the closed-form expected |noise| per reading,
+// 1/sqrt(2*lambda2).
+func (m *Mechanism) ExpectedAbsNoise() float64 {
+	return theory.ExpectedAbsNoise(m.lambda2)
+}
+
+// NewUserPerturber draws a private noise variance delta_s^2 ~ Exp(lambda2)
+// and returns the per-user perturber holding it — step 3 of Algorithm 2.
+// Each user calls this once per campaign with their own RNG.
+func (m *Mechanism) NewUserPerturber(rng *randx.RNG) *UserPerturber {
+	variance := rng.Exp() / m.lambda2
+	return &UserPerturber{
+		variance: variance,
+		sigma:    math.Sqrt(variance),
+		rng:      rng,
+	}
+}
+
+// UserPerturber perturbs one user's readings with i.i.d. Gaussian noise of
+// a privately known variance — step 4 of Algorithm 2. It is not safe for
+// concurrent use (a user perturbs their own data sequentially).
+type UserPerturber struct {
+	variance float64
+	sigma    float64
+	rng      *randx.RNG
+}
+
+// Variance returns the user's private noise variance delta_s^2. In the
+// real system this value never leaves the user's device; it is exposed
+// for simulation and testing.
+func (p *UserPerturber) Variance() float64 { return p.variance }
+
+// Perturb returns value + N(0, delta_s^2).
+func (p *UserPerturber) Perturb(value float64) float64 {
+	return value + p.sigma*p.rng.Norm()
+}
+
+// PerturbAll perturbs a batch of readings, returning a new slice.
+func (p *UserPerturber) PerturbAll(values []float64) []float64 {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = p.Perturb(v)
+	}
+	return out
+}
+
+// Report summarizes one dataset-level perturbation: what noise was
+// actually injected. Only simulations can observe it; the server never
+// sees these quantities.
+type Report struct {
+	// UserVariances holds each user's sampled delta_s^2.
+	UserVariances []float64
+	// MeanAbsNoise is the empirical mean |noise| over all readings — the
+	// "Average of Added Noise" axis of the paper's figures.
+	MeanAbsNoise float64
+	// MaxAbsNoise is the largest |noise| over all readings.
+	MaxAbsNoise float64
+	// NumReadings is the number of perturbed readings.
+	NumReadings int
+}
+
+// PerturbDataset applies the mechanism to every user in the dataset,
+// simulating all S users of Algorithm 2 in one call: user s draws
+// delta_s^2 ~ Exp(lambda2) from a stream split off rng, then perturbs each
+// of their readings independently. It returns the perturbed dataset and a
+// report of the injected noise.
+func (m *Mechanism) PerturbDataset(ds *truth.Dataset, rng *randx.RNG) (*truth.Dataset, *Report, error) {
+	if ds == nil {
+		return nil, nil, fmt.Errorf("%w: nil dataset", ErrBadParam)
+	}
+	if rng == nil {
+		return nil, nil, fmt.Errorf("%w: nil rng", ErrBadParam)
+	}
+	numUsers := ds.NumUsers()
+	perturbers := make([]*UserPerturber, numUsers)
+	variances := make([]float64, numUsers)
+	for s := 0; s < numUsers; s++ {
+		perturbers[s] = m.NewUserPerturber(rng.Split())
+		variances[s] = perturbers[s].Variance()
+	}
+
+	report := &Report{UserVariances: variances}
+	var absSum float64
+	perturbed, err := ds.Map(func(user, _ int, value float64) float64 {
+		noisy := perturbers[user].Perturb(value)
+		noise := math.Abs(noisy - value)
+		absSum += noise
+		if noise > report.MaxAbsNoise {
+			report.MaxAbsNoise = noise
+		}
+		report.NumReadings++
+		return noisy
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: perturb dataset: %w", err)
+	}
+	if report.NumReadings > 0 {
+		report.MeanAbsNoise = absSum / float64(report.NumReadings)
+	}
+	return perturbed, report, nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pptd/internal/randx"
+	"pptd/internal/truth"
+)
+
+func mustMechanism(t *testing.T, lambda2 float64) *Mechanism {
+	t.Helper()
+	m, err := NewMechanism(lambda2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// fullDataset builds an S x N dataset with truths 0..N-1 and tiny user
+// error, so perturbation effects dominate.
+func fullDataset(t *testing.T, rng *randx.RNG, numUsers, numObjects int) *truth.Dataset {
+	t.Helper()
+	b := truth.NewBuilder(numUsers, numObjects)
+	for s := 0; s < numUsers; s++ {
+		for n := 0; n < numObjects; n++ {
+			b.Add(s, n, float64(n)+0.01*rng.Norm())
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewMechanismValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewMechanism(bad); !errors.Is(err, ErrBadParam) {
+			t.Errorf("lambda2 = %v accepted", bad)
+		}
+	}
+	m := mustMechanism(t, 2.5)
+	if m.Lambda2() != 2.5 {
+		t.Errorf("Lambda2 = %v", m.Lambda2())
+	}
+}
+
+func TestUserPerturberVarianceDistribution(t *testing.T) {
+	// delta_s^2 ~ Exp(lambda2): check the sample mean over many users.
+	rng := randx.New(50)
+	m := mustMechanism(t, 4)
+	const users = 200000
+	var sum float64
+	for i := 0; i < users; i++ {
+		sum += m.NewUserPerturber(rng.Split()).Variance()
+	}
+	mean := sum / users
+	if math.Abs(mean-0.25) > 0.005 {
+		t.Fatalf("mean sampled variance = %v, want ~0.25", mean)
+	}
+}
+
+func TestUserPerturberNoiseIsUnbiasedWithSampledVariance(t *testing.T) {
+	rng := randx.New(51)
+	m := mustMechanism(t, 1)
+	p := m.NewUserPerturber(rng.Split())
+	const draws = 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		noise := p.Perturb(10) - 10
+		sum += noise
+		sumSq += noise * noise
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.02*math.Sqrt(p.Variance())+1e-3 {
+		t.Errorf("noise mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-p.Variance()) > 0.05*p.Variance() {
+		t.Errorf("noise variance = %v, want ~%v", variance, p.Variance())
+	}
+}
+
+func TestPerturbAllLengthAndIndependence(t *testing.T) {
+	rng := randx.New(52)
+	m := mustMechanism(t, 1)
+	p := m.NewUserPerturber(rng.Split())
+	in := []float64{1, 2, 3, 4}
+	out := p.PerturbAll(in)
+	if len(out) != len(in) {
+		t.Fatalf("length %d, want %d", len(out), len(in))
+	}
+	// Input must be untouched.
+	for i, v := range []float64{1, 2, 3, 4} {
+		if in[i] != v {
+			t.Fatal("PerturbAll mutated its input")
+		}
+	}
+}
+
+func TestPerturbDatasetShapeAndReport(t *testing.T) {
+	rng := randx.New(53)
+	ds := fullDataset(t, rng, 20, 10)
+	m := mustMechanism(t, 2)
+	perturbed, report, err := m.PerturbDataset(ds, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perturbed.NumUsers() != ds.NumUsers() || perturbed.NumObjects() != ds.NumObjects() {
+		t.Fatal("perturbed dataset changed shape")
+	}
+	if perturbed.NumObservations() != ds.NumObservations() {
+		t.Fatal("perturbed dataset changed sparsity")
+	}
+	if len(report.UserVariances) != ds.NumUsers() {
+		t.Fatalf("report has %d variances", len(report.UserVariances))
+	}
+	if report.NumReadings != ds.NumObservations() {
+		t.Fatalf("report counted %d readings, want %d", report.NumReadings, ds.NumObservations())
+	}
+	if report.MeanAbsNoise <= 0 || report.MaxAbsNoise < report.MeanAbsNoise {
+		t.Fatalf("implausible noise report %+v", report)
+	}
+}
+
+func TestPerturbDatasetMeanNoiseTracksClosedForm(t *testing.T) {
+	rng := randx.New(54)
+	ds := fullDataset(t, rng, 300, 40)
+	for _, lambda2 := range []float64{0.5, 2, 8} {
+		m := mustMechanism(t, lambda2)
+		_, report, err := m.PerturbDataset(ds, rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.ExpectedAbsNoise()
+		if math.Abs(report.MeanAbsNoise-want) > 0.15*want {
+			t.Errorf("lambda2 = %v: mean |noise| = %v, closed form %v", lambda2, report.MeanAbsNoise, want)
+		}
+	}
+}
+
+func TestPerturbDatasetNilArgs(t *testing.T) {
+	rng := randx.New(55)
+	ds := fullDataset(t, rng, 2, 2)
+	m := mustMechanism(t, 1)
+	if _, _, err := m.PerturbDataset(nil, rng); !errors.Is(err, ErrBadParam) {
+		t.Error("nil dataset accepted")
+	}
+	if _, _, err := m.PerturbDataset(ds, nil); !errors.Is(err, ErrBadParam) {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestPerturbDatasetDeterministicPerSeed(t *testing.T) {
+	rng1 := randx.New(56)
+	rng2 := randx.New(56)
+	dsA := fullDataset(t, rng1, 5, 5)
+	dsB := fullDataset(t, rng2, 5, 5)
+	m := mustMechanism(t, 1)
+	pa, _, err := m.PerturbDataset(dsA, randx.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _, err := m.PerturbDataset(dsB, randx.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := pa.Dense(), pb.Dense()
+	for s := range da {
+		for n := range da[s] {
+			if da[s][n] != db[s][n] {
+				t.Fatalf("non-deterministic perturbation at (%d,%d)", s, n)
+			}
+		}
+	}
+}
+
+func TestExpectedAbsNoiseDecreasesInLambda2(t *testing.T) {
+	f := func(raw float64) bool {
+		l := 0.1 + math.Mod(math.Abs(raw), 100)
+		if math.IsNaN(l) {
+			return true
+		}
+		m1, err1 := NewMechanism(l)
+		m2, err2 := NewMechanism(2 * l)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return m2.ExpectedAbsNoise() < m1.ExpectedAbsNoise()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

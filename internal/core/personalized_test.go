@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pptd/internal/randx"
+	"pptd/internal/stats"
+	"pptd/internal/theory"
+	"pptd/internal/truth"
+)
+
+func uniformRates(n int, rate float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rate
+	}
+	return out
+}
+
+func TestNewPersonalizedMechanismValidation(t *testing.T) {
+	if _, err := NewPersonalizedMechanism(nil); !errors.Is(err, ErrBadParam) {
+		t.Error("empty rates accepted")
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewPersonalizedMechanism([]float64{1, bad}); !errors.Is(err, ErrBadParam) {
+			t.Errorf("rate %v accepted", bad)
+		}
+	}
+}
+
+func TestPersonalizedMechanismCopiesRates(t *testing.T) {
+	rates := []float64{1, 2}
+	m, err := NewPersonalizedMechanism(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates[0] = 99
+	got, err := m.Rate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("mechanism shares caller slice: rate = %v", got)
+	}
+}
+
+func TestPersonalizedRateAccessors(t *testing.T) {
+	m, err := NewPersonalizedMechanism([]float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumUsers() != 2 {
+		t.Fatalf("NumUsers = %d", m.NumUsers())
+	}
+	if _, err := m.Rate(5); !errors.Is(err, ErrBadParam) {
+		t.Error("bad index accepted")
+	}
+	n0, err := m.ExpectedAbsNoise(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := m.ExpectedAbsNoise(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n0 <= n1 {
+		t.Fatalf("smaller rate should mean more noise: %v vs %v", n0, n1)
+	}
+	if math.Abs(n0-theory.ExpectedAbsNoise(2)) > 1e-12 {
+		t.Fatalf("noise closed form mismatch: %v", n0)
+	}
+}
+
+func TestPersonalizedEpsilonPerUser(t *testing.T) {
+	m, err := NewPersonalizedMechanism([]float64{0.5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, err := theory.Gamma(0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epsStrong, err := m.EpsilonFor(0, 0.3, 1, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epsWeak, err := m.EpsilonFor(1, 0.3, 1, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 0 adds more noise (rate 0.5) and must enjoy a smaller epsilon.
+	if epsStrong >= epsWeak {
+		t.Fatalf("eps(noisier user) = %v not below eps(weaker privacy) = %v", epsStrong, epsWeak)
+	}
+	if _, err := m.EpsilonFor(9, 0.3, 1, gamma); !errors.Is(err, ErrBadParam) {
+		t.Error("bad user index accepted")
+	}
+}
+
+func TestPersonalizedPerturbDataset(t *testing.T) {
+	rng := randx.New(70)
+	ds := fullDataset(t, rng, 40, 200)
+	// Half strict privacy (rate 0.5 -> E|noise| = 1), half lax (rate 50).
+	rates := make([]float64, 40)
+	for s := range rates {
+		if s < 20 {
+			rates[s] = 0.5
+		} else {
+			rates[s] = 50
+		}
+	}
+	m, err := NewPersonalizedMechanism(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, report, err := m.PerturbDataset(ds, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perturbed.NumObservations() != ds.NumObservations() {
+		t.Fatal("sparsity changed")
+	}
+	// Strict-privacy users must carry visibly larger sampled variances on
+	// average.
+	var strict, lax stats.Welford
+	for s, v := range report.UserVariances {
+		if s < 20 {
+			strict.Add(v)
+		} else {
+			lax.Add(v)
+		}
+	}
+	if strict.Mean() <= lax.Mean() {
+		t.Fatalf("strict users mean variance %v not above lax %v", strict.Mean(), lax.Mean())
+	}
+}
+
+func TestPersonalizedMatchesUniformMechanism(t *testing.T) {
+	// With identical rates, the personalized mechanism must behave like
+	// the paper's mechanism statistically.
+	rng := randx.New(71)
+	ds := fullDataset(t, rng, 200, 50)
+	m, err := NewPersonalizedMechanism(uniformRates(200, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, report, err := m.PerturbDataset(ds, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := theory.ExpectedAbsNoise(2)
+	if math.Abs(report.MeanAbsNoise-want) > 0.15*want {
+		t.Fatalf("mean |noise| = %v, want ~%v", report.MeanAbsNoise, want)
+	}
+}
+
+func TestPersonalizedPerturbValidation(t *testing.T) {
+	rng := randx.New(72)
+	ds := fullDataset(t, rng, 3, 3)
+	m, err := NewPersonalizedMechanism(uniformRates(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.PerturbDataset(nil, rng); !errors.Is(err, ErrBadParam) {
+		t.Error("nil dataset accepted")
+	}
+	if _, _, err := m.PerturbDataset(ds, nil); !errors.Is(err, ErrBadParam) {
+		t.Error("nil rng accepted")
+	}
+	wrong, err := NewPersonalizedMechanism(uniformRates(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wrong.PerturbDataset(ds, rng); !errors.Is(err, ErrBadParam) {
+		t.Error("user-count mismatch accepted")
+	}
+	if _, err := m.NewUserPerturber(0, nil); !errors.Is(err, ErrBadParam) {
+		t.Error("nil rng accepted by NewUserPerturber")
+	}
+	if _, err := m.NewUserPerturber(-1, rng); !errors.Is(err, ErrBadParam) {
+		t.Error("negative user accepted by NewUserPerturber")
+	}
+}
+
+func TestPersonalizedUtilityDegradesGracefully(t *testing.T) {
+	// The extension's promise: a minority of strict-privacy users barely
+	// hurts the aggregate because truth discovery down-weights them.
+	rng := randx.New(73)
+	ds := fullDataset(t, rng, 100, 30)
+	crh, err := truth.NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := crh.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rates := uniformRates(100, 20) // lax majority: E|noise| ~ 0.16
+	for s := 0; s < 10; s++ {
+		rates[s] = 0.125 // strict 10%: E|noise| = 2
+	}
+	m, err := NewPersonalizedMechanism(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, _, err := m.PerturbDataset(ds, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	private, err := crh.Run(perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae, err := stats.MAE(base.Truths, private.Truths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae > 0.2 {
+		t.Fatalf("10%% strict users moved the aggregate by %v", mae)
+	}
+	// And those strict users must hold lower weights than the lax crowd.
+	var strictW, laxW stats.Welford
+	for s, w := range private.Weights {
+		if s < 10 {
+			strictW.Add(w)
+		} else {
+			laxW.Add(w)
+		}
+	}
+	if strictW.Mean() >= laxW.Mean() {
+		t.Fatalf("strict users mean weight %v not below lax %v", strictW.Mean(), laxW.Mean())
+	}
+}

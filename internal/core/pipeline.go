@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pptd/internal/randx"
+	"pptd/internal/stats"
+	"pptd/internal/truth"
+)
+
+// Pipeline bundles the full Algorithm 2 flow for simulation: perturb a
+// dataset with a Mechanism, aggregate with a truth-discovery method, and
+// (optionally) compare against the aggregation on the original data.
+type Pipeline struct {
+	mechanism *Mechanism
+	method    truth.Method
+}
+
+// NewPipeline returns a pipeline running method over data perturbed by
+// mechanism.
+func NewPipeline(mechanism *Mechanism, method truth.Method) (*Pipeline, error) {
+	if mechanism == nil {
+		return nil, fmt.Errorf("%w: nil mechanism", ErrBadParam)
+	}
+	if method == nil {
+		return nil, fmt.Errorf("%w: nil method", ErrBadParam)
+	}
+	return &Pipeline{mechanism: mechanism, method: method}, nil
+}
+
+// Outcome is the result of one pipeline run.
+type Outcome struct {
+	// Original is the truth-discovery result on the unperturbed data
+	// (A(D) in the paper's notation).
+	Original *truth.Result
+	// Private is the result on the perturbed data (A(M(D))).
+	Private *truth.Result
+	// Noise describes the injected perturbation.
+	Noise *Report
+	// UtilityMAE is (1/N) sum_n |x*_n - xhat*_n|, the paper's utility
+	// loss metric comparing the two aggregations.
+	UtilityMAE float64
+	// OriginalDuration and PrivateDuration time the two truth-discovery
+	// runs (used by the Fig. 8 efficiency experiment).
+	OriginalDuration time.Duration
+	PrivateDuration  time.Duration
+}
+
+// Run executes Algorithm 2 on the dataset: perturb every user's readings,
+// aggregate both the original and perturbed datasets, and measure the
+// utility loss between the two aggregates.
+func (p *Pipeline) Run(ds *truth.Dataset, rng *randx.RNG) (*Outcome, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrBadParam)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrBadParam)
+	}
+
+	start := time.Now()
+	original, err := p.method.Run(ds)
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregate original data: %w", err)
+	}
+	originalDur := time.Since(start)
+
+	perturbed, report, err := p.mechanism.PerturbDataset(ds, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	private, err := p.method.Run(perturbed)
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregate perturbed data: %w", err)
+	}
+	privateDur := time.Since(start)
+
+	mae, err := stats.MAE(original.Truths, private.Truths)
+	if err != nil {
+		return nil, fmt.Errorf("core: utility MAE: %w", err)
+	}
+	return &Outcome{
+		Original:         original,
+		Private:          private,
+		Noise:            report,
+		UtilityMAE:       mae,
+		OriginalDuration: originalDur,
+		PrivateDuration:  privateDur,
+	}, nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pptd/internal/randx"
+	"pptd/internal/truth"
+)
+
+func mustCRH(t *testing.T) truth.Method {
+	t.Helper()
+	m, err := truth.NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewPipelineValidation(t *testing.T) {
+	m := mustMechanism(t, 1)
+	if _, err := NewPipeline(nil, mustCRH(t)); !errors.Is(err, ErrBadParam) {
+		t.Error("nil mechanism accepted")
+	}
+	if _, err := NewPipeline(m, nil); !errors.Is(err, ErrBadParam) {
+		t.Error("nil method accepted")
+	}
+}
+
+func TestPipelineRunProducesBothResults(t *testing.T) {
+	rng := randx.New(60)
+	ds := fullDataset(t, rng, 50, 20)
+	p, err := NewPipeline(mustMechanism(t, 2), mustCRH(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Run(ds, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Original == nil || out.Private == nil || out.Noise == nil {
+		t.Fatal("incomplete outcome")
+	}
+	if len(out.Original.Truths) != 20 || len(out.Private.Truths) != 20 {
+		t.Fatal("wrong truth vector lengths")
+	}
+	if out.UtilityMAE < 0 || math.IsNaN(out.UtilityMAE) {
+		t.Fatalf("UtilityMAE = %v", out.UtilityMAE)
+	}
+	if out.OriginalDuration <= 0 || out.PrivateDuration <= 0 {
+		t.Fatal("durations not recorded")
+	}
+}
+
+func TestPipelineNilArgs(t *testing.T) {
+	rng := randx.New(61)
+	ds := fullDataset(t, rng, 5, 5)
+	p, err := NewPipeline(mustMechanism(t, 1), mustCRH(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(nil, rng); !errors.Is(err, ErrBadParam) {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := p.Run(ds, nil); !errors.Is(err, ErrBadParam) {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestPipelineUtilityLossWellBelowNoise(t *testing.T) {
+	// The paper's headline claim: the aggregate on perturbed data stays
+	// close to the aggregate on original data even when per-reading noise
+	// is large, because weighted aggregation damps noisy users. With
+	// lambda2 = 0.5 the expected |noise| is 1.0; the utility MAE should
+	// be far below that.
+	rng := randx.New(62)
+	ds := fullDataset(t, rng, 150, 30)
+	mech := mustMechanism(t, 0.5)
+	p, err := NewPipeline(mech, mustCRH(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maeSum, noiseSum float64
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		out, err := p.Run(ds, rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		maeSum += out.UtilityMAE
+		noiseSum += out.Noise.MeanAbsNoise
+	}
+	mae := maeSum / trials
+	noise := noiseSum / trials
+	if mae > noise/3 {
+		t.Fatalf("utility MAE %v not well below injected noise %v", mae, noise)
+	}
+}
+
+func TestPipelineWeightedBeatsMeanUnderPerturbation(t *testing.T) {
+	// Under the same perturbed data, CRH should deviate from its
+	// unperturbed aggregate less than plain averaging does — the reason
+	// the mechanism pairs perturbation with truth discovery.
+	rng := randx.New(63)
+	ds := fullDataset(t, rng, 150, 30)
+	mech := mustMechanism(t, 0.5)
+
+	crhPipe, err := NewPipeline(mech, mustCRH(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanPipe, err := NewPipeline(mech, truth.Mean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var crhMAE, meanMAE float64
+	const trials = 8
+	for i := 0; i < trials; i++ {
+		seed := randx.New(uint64(1000 + i))
+		outCRH, err := crhPipe.Run(ds, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outMean, err := meanPipe.Run(ds, randx.New(uint64(1000+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		crhMAE += outCRH.UtilityMAE
+		meanMAE += outMean.UtilityMAE
+	}
+	if crhMAE >= meanMAE {
+		t.Fatalf("CRH total MAE %v not below mean-aggregation MAE %v", crhMAE, meanMAE)
+	}
+}
+
+func TestPipelineHeavilyPerturbedUserLosesWeight(t *testing.T) {
+	// The paper's Fig. 7 phenomenon: a user who draws a large noise
+	// variance should see their estimated weight drop on perturbed data.
+	rng := randx.New(64)
+	ds := fullDataset(t, rng, 30, 40)
+	mech := mustMechanism(t, 1)
+
+	perturbed, report, err := mech.PerturbDataset(ds, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the user with the largest sampled noise variance.
+	worst := 0
+	for s, v := range report.UserVariances {
+		if v > report.UserVariances[worst] {
+			worst = s
+		}
+	}
+	method := mustCRH(t)
+	origRes, err := method.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	privRes, err := method.Run(perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth.NormalizeWeights(origRes.Weights)
+	truth.NormalizeWeights(privRes.Weights)
+	if privRes.Weights[worst] >= origRes.Weights[worst] {
+		t.Fatalf("heaviest-noise user %d: normalized weight %v did not drop from %v",
+			worst, privRes.Weights[worst], origRes.Weights[worst])
+	}
+}

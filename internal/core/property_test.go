@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pptd/internal/randx"
+	"pptd/internal/theory"
+	"pptd/internal/truth"
+)
+
+func TestPropertyAccountantRoundTrip(t *testing.T) {
+	a := mustAccountant(t, 1.3)
+	f := func(rawEps, rawDelta float64) bool {
+		eps := 0.01 + math.Mod(math.Abs(rawEps), 10)
+		delta := 0.01 + 0.97*math.Mod(math.Abs(rawDelta), 1)
+		if math.IsNaN(eps) || math.IsNaN(delta) {
+			return true
+		}
+		m, err := a.MechanismForEpsilon(eps, delta)
+		if err != nil {
+			return false
+		}
+		back, err := a.Epsilon(m, delta)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-eps) < 1e-6*(1+eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPerturbationPreservesShape(t *testing.T) {
+	f := func(seed uint64, rawLambda2 float64) bool {
+		lambda2 := 0.1 + math.Mod(math.Abs(rawLambda2), 50)
+		if math.IsNaN(lambda2) {
+			return true
+		}
+		rng := randx.New(seed)
+		users := 2 + rng.Intn(8)
+		objects := 1 + rng.Intn(8)
+		ds := fullDatasetQuick(rng, users, objects)
+		if ds == nil {
+			return false
+		}
+		m, err := NewMechanism(lambda2)
+		if err != nil {
+			return false
+		}
+		perturbed, report, err := m.PerturbDataset(ds, rng.Split())
+		if err != nil {
+			return false
+		}
+		return perturbed.NumUsers() == users &&
+			perturbed.NumObjects() == objects &&
+			perturbed.NumObservations() == ds.NumObservations() &&
+			len(report.UserVariances) == users &&
+			report.NumReadings == ds.NumObservations() &&
+			report.MaxAbsNoise >= report.MeanAbsNoise
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNoiseLevelMonotoneInEpsilon(t *testing.T) {
+	// Smaller epsilon must never demand less noise.
+	f := func(rawEps float64) bool {
+		eps := 0.01 + math.Mod(math.Abs(rawEps), 5)
+		if math.IsNaN(eps) {
+			return true
+		}
+		c1, err1 := theory.NoiseLevelForEpsilon(eps, 0.3, 1, 2)
+		c2, err2 := theory.NoiseLevelForEpsilon(eps/2, 0.3, 1, 2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return c2 >= c1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fullDatasetQuick builds a dense dataset without a *testing.T.
+func fullDatasetQuick(rng *randx.RNG, users, objects int) *truth.Dataset {
+	b := truth.NewBuilder(users, objects)
+	for s := 0; s < users; s++ {
+		for n := 0; n < objects; n++ {
+			b.Add(s, n, float64(n)+0.1*rng.Norm())
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return nil
+	}
+	return ds
+}

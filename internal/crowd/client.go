@@ -1,0 +1,182 @@
+package crowd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"pptd/internal/core"
+	"pptd/internal/randx"
+)
+
+// ErrBadClient reports an invalid client configuration or argument.
+var ErrBadClient = errors.New("crowd: invalid client argument")
+
+// Client talks to a campaign server. Safe for concurrent use.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+}
+
+// ClientOption configures NewClient.
+type ClientOption interface {
+	applyClient(*Client)
+}
+
+type clientOptionFunc func(*Client)
+
+func (f clientOptionFunc) applyClient(c *Client) { f(c) }
+
+// WithHTTPClient substitutes the underlying *http.Client (default:
+// 10-second timeout).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.httpc = hc })
+}
+
+// NewClient returns a client for the campaign server at baseURL
+// (e.g. "http://localhost:8080").
+func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
+	if baseURL == "" {
+		return nil, fmt.Errorf("%w: empty base URL", ErrBadClient)
+	}
+	c := &Client{
+		baseURL: baseURL,
+		httpc:   &http.Client{Timeout: 10 * time.Second},
+	}
+	for _, o := range opts {
+		o.applyClient(c)
+	}
+	if c.httpc == nil {
+		return nil, fmt.Errorf("%w: nil http client", ErrBadClient)
+	}
+	return c, nil
+}
+
+// Campaign fetches the campaign metadata.
+func (c *Client) Campaign(ctx context.Context) (CampaignInfo, error) {
+	var info CampaignInfo
+	err := c.do(ctx, http.MethodGet, PathCampaign, nil, &info)
+	return info, err
+}
+
+// Submit posts one perturbed submission.
+func (c *Client) Submit(ctx context.Context, sub Submission) (SubmissionReceipt, error) {
+	var receipt SubmissionReceipt
+	err := c.do(ctx, http.MethodPost, PathSubmissions, sub, &receipt)
+	return receipt, err
+}
+
+// Result fetches the aggregated result; the returned error wraps an
+// *HTTPError with StatusCode 409 while aggregation is pending.
+func (c *Client) Result(ctx context.Context) (ResultInfo, error) {
+	var res ResultInfo
+	err := c.do(ctx, http.MethodGet, PathResult, nil, &res)
+	return res, err
+}
+
+// Aggregate asks the server to aggregate whatever has been submitted.
+func (c *Client) Aggregate(ctx context.Context) (ResultInfo, error) {
+	var res ResultInfo
+	err := c.do(ctx, http.MethodPost, PathAggregate, nil, &res)
+	return res, err
+}
+
+// do issues one JSON request/response exchange.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("crowd: encode request: %w", err)
+		}
+		reader = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, reader)
+	if err != nil {
+		return fmt.Errorf("crowd: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return fmt.Errorf("crowd: %s %s: %w", method, path, err)
+	}
+	defer func() {
+		_ = resp.Body.Close()
+	}()
+
+	if resp.StatusCode/100 != 2 {
+		var eb ErrorBody
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		return &HTTPError{StatusCode: resp.StatusCode, Message: eb.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("crowd: decode response: %w", err)
+	}
+	return nil
+}
+
+// User models one participant's device: it holds the original readings,
+// which never leave the device unperturbed.
+type User struct {
+	id       string
+	readings []Claim
+	rng      *randx.RNG
+}
+
+// NewUser returns a user with the given original readings. The RNG is the
+// device-local randomness used for variance sampling and noise.
+func NewUser(id string, readings []Claim, rng *randx.RNG) (*User, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: empty user id", ErrBadClient)
+	}
+	if len(readings) == 0 {
+		return nil, fmt.Errorf("%w: user %q has no readings", ErrBadClient, id)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrBadClient)
+	}
+	own := make([]Claim, len(readings))
+	copy(own, readings)
+	return &User{id: id, readings: own, rng: rng}, nil
+}
+
+// ID returns the user's client ID.
+func (u *User) ID() string { return u.id }
+
+// Participate runs the full client side of Algorithm 2: fetch the
+// campaign (obtaining lambda2), sample a private noise variance, perturb
+// every reading locally, and submit only the perturbed claims. It returns
+// the submission receipt.
+func (u *User) Participate(ctx context.Context, c *Client) (SubmissionReceipt, error) {
+	if c == nil {
+		return SubmissionReceipt{}, fmt.Errorf("%w: nil client", ErrBadClient)
+	}
+	info, err := c.Campaign(ctx)
+	if err != nil {
+		return SubmissionReceipt{}, fmt.Errorf("crowd: user %q fetch campaign: %w", u.id, err)
+	}
+	mech, err := core.NewMechanism(info.Lambda2)
+	if err != nil {
+		return SubmissionReceipt{}, fmt.Errorf("crowd: user %q: %w", u.id, err)
+	}
+	perturber := mech.NewUserPerturber(u.rng)
+	perturbed := make([]Claim, len(u.readings))
+	for i, r := range u.readings {
+		perturbed[i] = Claim{Object: r.Object, Value: perturber.Perturb(r.Value)}
+	}
+	receipt, err := c.Submit(ctx, Submission{ClientID: u.id, Claims: perturbed})
+	if err != nil {
+		return SubmissionReceipt{}, fmt.Errorf("crowd: user %q submit: %w", u.id, err)
+	}
+	return receipt, nil
+}

@@ -1,0 +1,105 @@
+// Package crowd implements the crowd sensing system of the paper's
+// Section 2 as a real client/server application: an untrusted aggregation
+// server that publishes micro-tasks and the perturbation hyper-parameter
+// lambda2, and user clients that perturb their readings locally (the only
+// place original data ever exists) before submitting them over HTTP/JSON.
+// This realizes Algorithm 2 end to end:
+//
+//  1. the server publishes the campaign (micro-tasks + lambda2),
+//  2. each user samples delta_s^2 ~ Exp(lambda2) on-device,
+//  3. each user perturbs readings with N(0, delta_s^2) noise,
+//  4. users submit only perturbed claims,
+//  5. the server runs weighted truth discovery once enough users reported.
+package crowd
+
+import "fmt"
+
+// Wire paths served by the campaign server.
+const (
+	// PathCampaign serves campaign metadata (GET).
+	PathCampaign = "/v1/campaign"
+	// PathSubmissions accepts perturbed claim batches (POST).
+	PathSubmissions = "/v1/submissions"
+	// PathResult serves the aggregated result (GET), 409 until ready.
+	PathResult = "/v1/result"
+	// PathAggregate forces aggregation of whatever was submitted (POST).
+	PathAggregate = "/v1/aggregate"
+)
+
+// CampaignInfo is the public description of a sensing campaign.
+type CampaignInfo struct {
+	// Name labels the campaign.
+	Name string `json:"name"`
+	// NumObjects is the number of micro-tasks (objects) to report on.
+	NumObjects int `json:"numObjects"`
+	// Lambda2 is the server-released rate for the noise-variance
+	// distribution each user samples from.
+	Lambda2 float64 `json:"lambda2"`
+	// ExpectedUsers is the submission count that triggers aggregation.
+	ExpectedUsers int `json:"expectedUsers"`
+	// SubmittedUsers is how many users have submitted so far.
+	SubmittedUsers int `json:"submittedUsers"`
+	// Aggregated reports whether the result is available.
+	Aggregated bool `json:"aggregated"`
+}
+
+// Claim is a single (object, value) report inside a submission. Values
+// must already be perturbed by the client.
+type Claim struct {
+	Object int     `json:"object"`
+	Value  float64 `json:"value"`
+}
+
+// Submission is the body of POST /v1/submissions.
+type Submission struct {
+	// ClientID identifies the submitting device; one submission per ID.
+	ClientID string `json:"clientId"`
+	// Claims holds the perturbed readings.
+	Claims []Claim `json:"claims"`
+}
+
+// SubmissionReceipt is the response to a successful submission.
+type SubmissionReceipt struct {
+	// Accepted echoes the number of stored claims.
+	Accepted int `json:"accepted"`
+	// SubmittedUsers is the submission count after this one.
+	SubmittedUsers int `json:"submittedUsers"`
+	// Aggregated reports whether this submission triggered aggregation.
+	Aggregated bool `json:"aggregated"`
+}
+
+// ResultInfo is the response of GET /v1/result once aggregation ran.
+type ResultInfo struct {
+	// Truths holds the aggregated value per object.
+	Truths []float64 `json:"truths"`
+	// Weights holds the estimated weight per submitting user, keyed by
+	// client ID. Weights reveal only aggregate reliability on perturbed
+	// data, never original readings.
+	Weights map[string]float64 `json:"weights"`
+	// Method names the truth-discovery algorithm used.
+	Method string `json:"method"`
+	// Iterations and Converged mirror the truth.Result metadata.
+	Iterations int  `json:"iterations"`
+	Converged  bool `json:"converged"`
+}
+
+// ErrorBody is the JSON error envelope for non-2xx responses.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// HTTPError reports a non-2xx response from the campaign server.
+type HTTPError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server-provided error string, if any.
+	Message string
+}
+
+// Error implements error.
+func (e *HTTPError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("crowd: server returned status %d", e.StatusCode)
+	}
+	return fmt.Sprintf("crowd: server returned status %d: %s", e.StatusCode, e.Message)
+}

@@ -1,0 +1,288 @@
+package crowd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+
+	"pptd/internal/truth"
+)
+
+var (
+	// ErrBadConfig reports an invalid server configuration.
+	ErrBadConfig = errors.New("crowd: invalid server config")
+	// ErrDuplicateClient reports a second submission from the same ID.
+	ErrDuplicateClient = errors.New("crowd: duplicate client submission")
+	// ErrCampaignClosed reports a submission after aggregation.
+	ErrCampaignClosed = errors.New("crowd: campaign already aggregated")
+	// ErrNotReady reports a result request before aggregation.
+	ErrNotReady = errors.New("crowd: result not ready")
+	// ErrBadSubmission reports a malformed submission.
+	ErrBadSubmission = errors.New("crowd: bad submission")
+)
+
+// ServerConfig parameterizes a campaign server.
+type ServerConfig struct {
+	// Name labels the campaign.
+	Name string
+	// NumObjects is the number of micro-tasks.
+	NumObjects int
+	// Lambda2 is the noise-variance rate released to users.
+	Lambda2 float64
+	// ExpectedUsers triggers aggregation when reached. Zero means
+	// aggregation only happens on explicit POST /v1/aggregate.
+	ExpectedUsers int
+	// Method is the truth-discovery algorithm run at aggregation time.
+	Method truth.Method
+}
+
+func (c ServerConfig) validate() error {
+	switch {
+	case c.NumObjects <= 0:
+		return fmt.Errorf("%w: NumObjects = %d", ErrBadConfig, c.NumObjects)
+	case c.Lambda2 <= 0 || math.IsNaN(c.Lambda2) || math.IsInf(c.Lambda2, 0):
+		return fmt.Errorf("%w: Lambda2 = %v", ErrBadConfig, c.Lambda2)
+	case c.ExpectedUsers < 0:
+		return fmt.Errorf("%w: ExpectedUsers = %d", ErrBadConfig, c.ExpectedUsers)
+	case c.Method == nil:
+		return fmt.Errorf("%w: nil method", ErrBadConfig)
+	}
+	return nil
+}
+
+// Server is the untrusted aggregation server. It only ever stores
+// perturbed claims; the privacy of each user rests on the client-side
+// perturbation, not on trusting this process. Safe for concurrent use.
+type Server struct {
+	cfg ServerConfig
+
+	mu     sync.Mutex
+	order  []string           // client IDs in submission order
+	claims map[string][]Claim // by client ID
+	result *ResultInfo        // nil until aggregated
+}
+
+// NewServer returns a campaign server for the given config.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:    cfg,
+		claims: make(map[string][]Claim),
+	}, nil
+}
+
+// Handler returns the HTTP handler serving the campaign API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathCampaign, s.handleCampaign)
+	mux.HandleFunc(PathSubmissions, s.handleSubmissions)
+	mux.HandleFunc(PathResult, s.handleResult)
+	mux.HandleFunc(PathAggregate, s.handleAggregate)
+	return mux
+}
+
+// Campaign returns a snapshot of the campaign state.
+func (s *Server) Campaign() CampaignInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CampaignInfo{
+		Name:           s.cfg.Name,
+		NumObjects:     s.cfg.NumObjects,
+		Lambda2:        s.cfg.Lambda2,
+		ExpectedUsers:  s.cfg.ExpectedUsers,
+		SubmittedUsers: len(s.order),
+		Aggregated:     s.result != nil,
+	}
+}
+
+// Submit stores one client's perturbed claims and aggregates if the
+// expected user count is reached. It validates object indices, duplicate
+// objects within the submission, and one-submission-per-client.
+func (s *Server) Submit(sub Submission) (SubmissionReceipt, error) {
+	if sub.ClientID == "" {
+		return SubmissionReceipt{}, fmt.Errorf("%w: empty client id", ErrBadSubmission)
+	}
+	if len(sub.Claims) == 0 {
+		return SubmissionReceipt{}, fmt.Errorf("%w: no claims", ErrBadSubmission)
+	}
+	seen := make(map[int]struct{}, len(sub.Claims))
+	for _, c := range sub.Claims {
+		if c.Object < 0 || c.Object >= s.cfg.NumObjects {
+			return SubmissionReceipt{}, fmt.Errorf("%w: object %d of %d", ErrBadSubmission, c.Object, s.cfg.NumObjects)
+		}
+		if math.IsNaN(c.Value) || math.IsInf(c.Value, 0) {
+			return SubmissionReceipt{}, fmt.Errorf("%w: non-finite value for object %d", ErrBadSubmission, c.Object)
+		}
+		if _, dup := seen[c.Object]; dup {
+			return SubmissionReceipt{}, fmt.Errorf("%w: duplicate object %d", ErrBadSubmission, c.Object)
+		}
+		seen[c.Object] = struct{}{}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.result != nil {
+		return SubmissionReceipt{}, ErrCampaignClosed
+	}
+	if _, dup := s.claims[sub.ClientID]; dup {
+		return SubmissionReceipt{}, fmt.Errorf("%w: %q", ErrDuplicateClient, sub.ClientID)
+	}
+	stored := make([]Claim, len(sub.Claims))
+	copy(stored, sub.Claims)
+	s.claims[sub.ClientID] = stored
+	s.order = append(s.order, sub.ClientID)
+
+	receipt := SubmissionReceipt{
+		Accepted:       len(stored),
+		SubmittedUsers: len(s.order),
+	}
+	if s.cfg.ExpectedUsers > 0 && len(s.order) >= s.cfg.ExpectedUsers {
+		if err := s.aggregateLocked(); err != nil {
+			return SubmissionReceipt{}, err
+		}
+		receipt.Aggregated = true
+	}
+	return receipt, nil
+}
+
+// Aggregate runs truth discovery over everything submitted so far. It is
+// idempotent: once aggregated, later calls return the cached result.
+func (s *Server) Aggregate() (*ResultInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.result != nil {
+		return s.result, nil
+	}
+	if err := s.aggregateLocked(); err != nil {
+		return nil, err
+	}
+	return s.result, nil
+}
+
+// Result returns the aggregated result, or ErrNotReady.
+func (s *Server) Result() (*ResultInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.result == nil {
+		return nil, ErrNotReady
+	}
+	return s.result, nil
+}
+
+// aggregateLocked builds the dataset and runs the configured method.
+// Callers must hold s.mu.
+func (s *Server) aggregateLocked() error {
+	if len(s.order) == 0 {
+		return fmt.Errorf("%w: no submissions", ErrNotReady)
+	}
+	b := truth.NewBuilder(len(s.order), s.cfg.NumObjects)
+	for idx, id := range s.order {
+		for _, c := range s.claims[id] {
+			b.Add(idx, c.Object, c.Value)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("crowd: build dataset: %w", err)
+	}
+	res, err := s.cfg.Method.Run(ds)
+	if err != nil {
+		return fmt.Errorf("crowd: aggregate: %w", err)
+	}
+	weights := make(map[string]float64, len(s.order))
+	for idx, id := range s.order {
+		weights[id] = res.Weights[idx]
+	}
+	s.result = &ResultInfo{
+		Truths:     res.Truths,
+		Weights:    weights,
+		Method:     s.cfg.Method.Name(),
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+	}
+	return nil
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Campaign())
+}
+
+func (s *Server) handleSubmissions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var sub Submission
+	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode submission: %v", err))
+		return
+	}
+	receipt, err := s.Submit(sub)
+	switch {
+	case errors.Is(err, ErrDuplicateClient):
+		writeError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, ErrCampaignClosed):
+		writeError(w, http.StatusGone, err.Error())
+	case errors.Is(err, ErrBadSubmission):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, receipt)
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	res, err := s.Result()
+	if errors.Is(err, ErrNotReady) {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	res, err := s.Aggregate()
+	if errors.Is(err, ErrNotReady) {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding of our own wire structs cannot fail; ignore the writer
+	// error as the response is already committed.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorBody{Error: msg})
+}

@@ -1,0 +1,165 @@
+// Package dataio reads and writes pptd's on-disk dataset format, so the
+// tools can exchange crowd sensing data with external pipelines.
+//
+// The format is CSV with an optional ground-truth preamble:
+//
+//	# truth,<object>,<value>        (zero or more, simulation-only)
+//	user,object,value               (header, required)
+//	0,0,1.25
+//	0,1,3.50
+//	...
+//
+// User and object indices are non-negative integers; dimensions are
+// inferred from the maximum indices seen.
+package dataio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pptd/internal/truth"
+)
+
+// ErrBadFormat reports a malformed dataset file.
+var ErrBadFormat = errors.New("dataio: bad format")
+
+// header is the required CSV header line.
+const header = "user,object,value"
+
+// truthPrefix starts a ground-truth preamble line.
+const truthPrefix = "# truth,"
+
+// Write emits the dataset (and optional ground truth) in the CSV format.
+func Write(w io.Writer, ds *truth.Dataset, groundTruth []float64) error {
+	if ds == nil {
+		return fmt.Errorf("%w: nil dataset", ErrBadFormat)
+	}
+	if groundTruth != nil && len(groundTruth) != ds.NumObjects() {
+		return fmt.Errorf("%w: %d truths for %d objects", ErrBadFormat, len(groundTruth), ds.NumObjects())
+	}
+	bw := bufio.NewWriter(w)
+	for n, tv := range groundTruth {
+		fmt.Fprintf(bw, "%s%d,%s\n", truthPrefix, n, strconv.FormatFloat(tv, 'g', -1, 64))
+	}
+	fmt.Fprintln(bw, header)
+	for _, o := range ds.Observations() {
+		fmt.Fprintf(bw, "%d,%d,%s\n", o.User, o.Object, strconv.FormatFloat(o.Value, 'g', -1, 64))
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("dataio: write: %w", err)
+	}
+	return nil
+}
+
+// Read parses the CSV format. The returned ground truth is nil when the
+// file has no truth preamble; when present it covers every object index
+// up to the dataset's object count (missing entries are NaN-free zeros
+// only if explicitly written, otherwise an error is reported).
+func Read(r io.Reader) (*truth.Dataset, []float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	truths := make(map[int]float64)
+	var (
+		sawHeader bool
+		obs       []truth.Observation
+		maxUser   = -1
+		maxObject = -1
+		lineNo    int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, truthPrefix):
+			if sawHeader {
+				return nil, nil, fmt.Errorf("%w: line %d: truth preamble after header", ErrBadFormat, lineNo)
+			}
+			rest := strings.TrimPrefix(line, truthPrefix)
+			parts := strings.Split(rest, ",")
+			if len(parts) != 2 {
+				return nil, nil, fmt.Errorf("%w: line %d: want '# truth,<object>,<value>'", ErrBadFormat, lineNo)
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+			if err != nil || n < 0 {
+				return nil, nil, fmt.Errorf("%w: line %d: bad truth object %q", ErrBadFormat, lineNo, parts[0])
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: line %d: bad truth value %q", ErrBadFormat, lineNo, parts[1])
+			}
+			if _, dup := truths[n]; dup {
+				return nil, nil, fmt.Errorf("%w: line %d: duplicate truth for object %d", ErrBadFormat, lineNo, n)
+			}
+			truths[n] = v
+		case strings.HasPrefix(line, "#"):
+			continue // other comments ignored
+		case !sawHeader:
+			if line != header {
+				return nil, nil, fmt.Errorf("%w: line %d: want header %q, got %q", ErrBadFormat, lineNo, header, line)
+			}
+			sawHeader = true
+		default:
+			parts := strings.Split(line, ",")
+			if len(parts) != 3 {
+				return nil, nil, fmt.Errorf("%w: line %d: want 'user,object,value'", ErrBadFormat, lineNo)
+			}
+			user, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+			if err != nil || user < 0 {
+				return nil, nil, fmt.Errorf("%w: line %d: bad user %q", ErrBadFormat, lineNo, parts[0])
+			}
+			object, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+			if err != nil || object < 0 {
+				return nil, nil, fmt.Errorf("%w: line %d: bad object %q", ErrBadFormat, lineNo, parts[1])
+			}
+			value, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: line %d: bad value %q", ErrBadFormat, lineNo, parts[2])
+			}
+			obs = append(obs, truth.Observation{User: user, Object: object, Value: value})
+			if user > maxUser {
+				maxUser = user
+			}
+			if object > maxObject {
+				maxObject = object
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("dataio: read: %w", err)
+	}
+	if !sawHeader {
+		return nil, nil, fmt.Errorf("%w: missing header %q", ErrBadFormat, header)
+	}
+	if len(obs) == 0 {
+		return nil, nil, fmt.Errorf("%w: no observations", ErrBadFormat)
+	}
+
+	b := truth.NewBuilder(maxUser+1, maxObject+1)
+	for _, o := range obs {
+		b.Add(o.User, o.Object, o.Value)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataio: build dataset: %w", err)
+	}
+
+	if len(truths) == 0 {
+		return ds, nil, nil
+	}
+	gt := make([]float64, ds.NumObjects())
+	for n := range gt {
+		v, ok := truths[n]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: truth preamble missing object %d", ErrBadFormat, n)
+		}
+		gt[n] = v
+	}
+	return ds, gt, nil
+}

@@ -1,0 +1,144 @@
+package dataio
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"pptd/internal/randx"
+	"pptd/internal/synthetic"
+	"pptd/internal/truth"
+)
+
+func TestRoundTripWithTruth(t *testing.T) {
+	cfg := synthetic.Default()
+	cfg.NumUsers = 12
+	cfg.NumObjects = 7
+	cfg.ObserveProb = 0.7
+	inst, err := synthetic.Generate(cfg, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := Write(&sb, inst.Dataset, inst.GroundTruth); err != nil {
+		t.Fatal(err)
+	}
+	ds, gt, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumObservations() != inst.Dataset.NumObservations() {
+		t.Fatalf("observations %d != %d", ds.NumObservations(), inst.Dataset.NumObservations())
+	}
+	if len(gt) != len(inst.GroundTruth) {
+		t.Fatalf("truths %d != %d", len(gt), len(inst.GroundTruth))
+	}
+	for n := range gt {
+		if gt[n] != inst.GroundTruth[n] {
+			t.Fatalf("truth %d: %v != %v", n, gt[n], inst.GroundTruth[n])
+		}
+	}
+	a, b := inst.Dataset.Dense(), ds.Dense()
+	for s := range a {
+		for n := range a[s] {
+			if math.IsNaN(a[s][n]) != math.IsNaN(b[s][n]) ||
+				(!math.IsNaN(a[s][n]) && a[s][n] != b[s][n]) {
+				t.Fatalf("cell (%d,%d): %v != %v", s, n, b[s][n], a[s][n])
+			}
+		}
+	}
+}
+
+func TestRoundTripWithoutTruth(t *testing.T) {
+	ds, err := truth.FromDense([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, gt, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt != nil {
+		t.Fatalf("expected nil ground truth, got %v", gt)
+	}
+	if got.NumObservations() != 4 {
+		t.Fatalf("observations = %d", got.NumObservations())
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	if err := Write(&strings.Builder{}, nil, nil); !errors.Is(err, ErrBadFormat) {
+		t.Error("nil dataset accepted")
+	}
+	ds, err := truth.FromDense([][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&strings.Builder{}, ds, []float64{1}); !errors.Is(err, ErrBadFormat) {
+		t.Error("truth length mismatch accepted")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "empty", give: ""},
+		{name: "missing header", give: "0,0,1\n"},
+		{name: "wrong header", give: "a,b,c\n0,0,1\n"},
+		{name: "short row", give: "user,object,value\n0,0\n"},
+		{name: "bad user", give: "user,object,value\nx,0,1\n"},
+		{name: "negative user", give: "user,object,value\n-1,0,1\n"},
+		{name: "bad object", give: "user,object,value\n0,y,1\n"},
+		{name: "bad value", give: "user,object,value\n0,0,z\n"},
+		{name: "no rows", give: "user,object,value\n"},
+		{name: "bad truth line", give: "# truth,0\nuser,object,value\n0,0,1\n"},
+		{name: "bad truth object", give: "# truth,x,1\nuser,object,value\n0,0,1\n"},
+		{name: "bad truth value", give: "# truth,0,x\nuser,object,value\n0,0,1\n"},
+		{name: "duplicate truth", give: "# truth,0,1\n# truth,0,2\nuser,object,value\n0,0,1\n"},
+		{name: "truth after header", give: "user,object,value\n# truth,0,1\n0,0,1\n"},
+		{name: "truth gap", give: "# truth,1,5\nuser,object,value\n0,0,1\n0,1,5\n"},
+		{name: "duplicate observation", give: "user,object,value\n0,0,1\n0,0,2\n"},
+		{name: "uncovered object", give: "user,object,value\n0,1,2\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := Read(strings.NewReader(tt.give)); err == nil {
+				t.Error("malformed input accepted")
+			}
+		})
+	}
+}
+
+func TestReadIgnoresCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nuser,object,value\n# another\n0,0,1.5\n\n1,0,2.5\n"
+	ds, gt, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt != nil || ds.NumObservations() != 2 || ds.NumUsers() != 2 {
+		t.Fatalf("parsed %d obs, %d users, gt=%v", ds.NumObservations(), ds.NumUsers(), gt)
+	}
+}
+
+func TestReadWhitespaceTolerant(t *testing.T) {
+	in := "user,object,value\n 0 , 0 , 1.5 \n"
+	ds, _, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := ds.UserObservations(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs[0].Value != 1.5 {
+		t.Fatalf("value = %v", obs[0].Value)
+	}
+}

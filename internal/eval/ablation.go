@@ -1,0 +1,204 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"pptd/internal/attack"
+	"pptd/internal/core"
+	"pptd/internal/randx"
+	"pptd/internal/stats"
+	"pptd/internal/truth"
+)
+
+// MethodsConfig parameterizes the method-comparison ablation: the same
+// perturbed data aggregated by every truth-discovery method, across noise
+// levels. This isolates the design choice the paper's mechanism leans on
+// (weighted aggregation) against the unweighted baselines.
+type MethodsConfig struct {
+	// Source generates the original data per trial.
+	Source Source
+	// Methods are the algorithms to compare.
+	Methods []truth.Method
+	// NoiseTargets sweeps the average |noise| (x axis).
+	NoiseTargets []float64
+	// Trials averages each point.
+	Trials int
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (c MethodsConfig) validate() error {
+	switch {
+	case c.Source.Generate == nil:
+		return fmt.Errorf("%w: nil source", ErrBadConfig)
+	case len(c.Methods) == 0:
+		return fmt.Errorf("%w: no methods", ErrBadConfig)
+	case len(c.NoiseTargets) == 0:
+		return fmt.Errorf("%w: empty noise sweep", ErrBadConfig)
+	case c.Trials <= 0:
+		return fmt.Errorf("%w: trials = %d", ErrBadConfig, c.Trials)
+	}
+	return nil
+}
+
+// MethodComparison measures, for each method and noise level, the MAE
+// between the aggregate on perturbed data and the ground truth. One series
+// per method.
+func MethodComparison(cfg MethodsConfig) (*Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "ablation-methods",
+		Title:  fmt.Sprintf("ground-truth MAE by method on %s under increasing noise", cfg.Source.Name),
+		XLabel: "average added noise",
+		YLabel: "MAE vs ground truth",
+	}
+	root := randx.New(cfg.Seed)
+	for _, method := range cfg.Methods {
+		if method == nil {
+			return nil, fmt.Errorf("%w: nil method", ErrBadConfig)
+		}
+		series := Series{Label: method.Name()}
+		for _, target := range cfg.NoiseTargets {
+			if target <= 0 || math.IsNaN(target) {
+				return nil, fmt.Errorf("%w: noise target %v", ErrBadConfig, target)
+			}
+			lambda2 := 1 / (2 * target * target)
+			mech, err := core.NewMechanism(lambda2)
+			if err != nil {
+				return nil, fmt.Errorf("eval: method comparison: %w", err)
+			}
+			var maeAcc stats.Welford
+			for trial := 0; trial < cfg.Trials; trial++ {
+				rng := root.Split()
+				ds, groundTruth, err := cfg.Source.Generate(rng)
+				if err != nil {
+					return nil, err
+				}
+				perturbed, _, err := mech.PerturbDataset(ds, rng)
+				if err != nil {
+					return nil, fmt.Errorf("eval: method comparison: %w", err)
+				}
+				res, err := method.Run(perturbed)
+				if err != nil {
+					return nil, fmt.Errorf("eval: method comparison (%s): %w", method.Name(), err)
+				}
+				mae, err := stats.MAE(res.Truths, groundTruth)
+				if err != nil {
+					return nil, fmt.Errorf("eval: method comparison: %w", err)
+				}
+				maeAcc.Add(mae)
+			}
+			series.Points = append(series.Points, Point{X: target, Y: maeAcc.Mean()})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// AttackConfig parameterizes the robustness ablation: adversarial users
+// injected on top of the privacy perturbation.
+type AttackConfig struct {
+	// Source generates the original data per trial.
+	Source Source
+	// Methods are the algorithms to compare under attack.
+	Methods []truth.Method
+	// Adversaries are applied one at a time (one series per pair).
+	Adversaries []attack.Adversary
+	// Lambda2 fixes the privacy mechanism.
+	Lambda2 float64
+	// Trials averages each measurement.
+	Trials int
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (c AttackConfig) validate() error {
+	switch {
+	case c.Source.Generate == nil:
+		return fmt.Errorf("%w: nil source", ErrBadConfig)
+	case len(c.Methods) == 0:
+		return fmt.Errorf("%w: no methods", ErrBadConfig)
+	case len(c.Adversaries) == 0:
+		return fmt.Errorf("%w: no adversaries", ErrBadConfig)
+	case c.Lambda2 <= 0 || math.IsNaN(c.Lambda2):
+		return fmt.Errorf("%w: lambda2 = %v", ErrBadConfig, c.Lambda2)
+	case c.Trials <= 0:
+		return fmt.Errorf("%w: trials = %d", ErrBadConfig, c.Trials)
+	}
+	return nil
+}
+
+// AttackComparison measures ground-truth MAE for each (method, adversary)
+// pair with the privacy mechanism active: adversaries corrupt the
+// original data, then honest perturbation is applied, then aggregation.
+// The table's rows are adversaries (x = adversary index).
+func AttackComparison(cfg AttackConfig) (*Figure, *Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	mech, err := core.NewMechanism(cfg.Lambda2)
+	if err != nil {
+		return nil, nil, fmt.Errorf("eval: attack comparison: %w", err)
+	}
+	fig := &Figure{
+		ID:     "ablation-attack",
+		Title:  fmt.Sprintf("ground-truth MAE under adversaries on %s (with perturbation)", cfg.Source.Name),
+		XLabel: "adversary",
+		YLabel: "MAE vs ground truth",
+	}
+	header := []string{"adversary"}
+	for _, m := range cfg.Methods {
+		header = append(header, m.Name())
+	}
+	table := &Table{Title: "MAE vs ground truth under attack", Header: header}
+
+	root := randx.New(cfg.Seed)
+	cells := make([][]float64, len(cfg.Adversaries))
+	for ai := range cells {
+		cells[ai] = make([]float64, len(cfg.Methods))
+	}
+	for mi, method := range cfg.Methods {
+		series := Series{Label: method.Name()}
+		for ai, adv := range cfg.Adversaries {
+			var maeAcc stats.Welford
+			for trial := 0; trial < cfg.Trials; trial++ {
+				rng := root.Split()
+				ds, groundTruth, err := cfg.Source.Generate(rng)
+				if err != nil {
+					return nil, nil, err
+				}
+				corrupted, _, err := adv.Corrupt(ds, rng)
+				if err != nil {
+					return nil, nil, fmt.Errorf("eval: attack %s: %w", adv.Name(), err)
+				}
+				perturbed, _, err := mech.PerturbDataset(corrupted, rng)
+				if err != nil {
+					return nil, nil, fmt.Errorf("eval: attack comparison: %w", err)
+				}
+				res, err := method.Run(perturbed)
+				if err != nil {
+					return nil, nil, fmt.Errorf("eval: attack comparison (%s): %w", method.Name(), err)
+				}
+				mae, err := stats.MAE(res.Truths, groundTruth)
+				if err != nil {
+					return nil, nil, fmt.Errorf("eval: attack comparison: %w", err)
+				}
+				maeAcc.Add(mae)
+			}
+			cells[ai][mi] = maeAcc.Mean()
+			series.Points = append(series.Points, Point{X: float64(ai + 1), Y: maeAcc.Mean()})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	for ai, adv := range cfg.Adversaries {
+		row := []string{adv.Name()}
+		for mi := range cfg.Methods {
+			row = append(row, formatFloat(cells[ai][mi]))
+		}
+		table.Rows = append(table.Rows, row)
+	}
+	return fig, table, nil
+}

@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pptd/internal/core"
+	"pptd/internal/randx"
+	"pptd/internal/stats"
+	"pptd/internal/synthetic"
+	"pptd/internal/truth"
+)
+
+// ConvergenceConfig parameterizes the convergence-criterion ablation:
+// Section 5.3 notes that truth discovery's running time is controlled by
+// the iteration count, which the convergence threshold sets. This
+// experiment sweeps the threshold and reports iterations, wall time and
+// accuracy, on both original and perturbed data.
+type ConvergenceConfig struct {
+	// Tolerances sweeps the convergence threshold (x axis, log scale).
+	Tolerances []float64
+	// NumUsers and NumObjects shape the synthetic crowd.
+	NumUsers, NumObjects int
+	// Lambda1 fixes data quality; Lambda2 the mechanism.
+	Lambda1, Lambda2 float64
+	// Trials averages each point.
+	Trials int
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (c ConvergenceConfig) validate() error {
+	switch {
+	case len(c.Tolerances) == 0:
+		return fmt.Errorf("%w: empty tolerance sweep", ErrBadConfig)
+	case c.NumUsers <= 0 || c.NumObjects <= 0:
+		return fmt.Errorf("%w: crowd %dx%d", ErrBadConfig, c.NumUsers, c.NumObjects)
+	case c.Lambda1 <= 0 || math.IsNaN(c.Lambda1):
+		return fmt.Errorf("%w: lambda1 = %v", ErrBadConfig, c.Lambda1)
+	case c.Lambda2 <= 0 || math.IsNaN(c.Lambda2):
+		return fmt.Errorf("%w: lambda2 = %v", ErrBadConfig, c.Lambda2)
+	case c.Trials <= 0:
+		return fmt.Errorf("%w: trials = %d", ErrBadConfig, c.Trials)
+	}
+	return nil
+}
+
+// ConvergenceResult holds the ablation outputs.
+type ConvergenceResult struct {
+	// Iterations plots iterations-to-convergence vs -log10(tolerance),
+	// for original and perturbed data.
+	Iterations *Figure
+	// MAE plots ground-truth MAE vs -log10(tolerance) on perturbed data.
+	MAE *Figure
+	// Wall plots wall time (ms) vs -log10(tolerance) on perturbed data.
+	Wall *Figure
+}
+
+// Convergence sweeps the CRH convergence tolerance and measures the cost
+// and accuracy on original versus perturbed data, validating the paper's
+// claim that perturbation does not change convergence behaviour at any
+// threshold.
+func Convergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	mech, err := core.NewMechanism(cfg.Lambda2)
+	if err != nil {
+		return nil, fmt.Errorf("eval: convergence: %w", err)
+	}
+	gen := synthetic.Config{
+		NumUsers:    cfg.NumUsers,
+		NumObjects:  cfg.NumObjects,
+		Lambda1:     cfg.Lambda1,
+		TruthLow:    0,
+		TruthHigh:   10,
+		ObserveProb: 1,
+	}
+
+	iterFig := &Figure{
+		ID:     "ablation-convergence-iters",
+		Title:  "iterations to convergence vs tolerance",
+		XLabel: "-log10(tolerance)",
+		YLabel: "iterations",
+	}
+	maeFig := &Figure{
+		ID:     "ablation-convergence-mae",
+		Title:  "ground-truth MAE vs tolerance (perturbed data)",
+		XLabel: "-log10(tolerance)",
+		YLabel: "MAE",
+	}
+	wallFig := &Figure{
+		ID:     "ablation-convergence-wall",
+		Title:  "truth-discovery wall time vs tolerance (perturbed data)",
+		XLabel: "-log10(tolerance)",
+		YLabel: "ms",
+	}
+	origIters := Series{Label: "original"}
+	pertIters := Series{Label: "perturbed"}
+	maeSeries := Series{Label: "MAE"}
+	wallSeries := Series{Label: "perturbed"}
+
+	root := randx.New(cfg.Seed)
+	for _, tol := range cfg.Tolerances {
+		if tol <= 0 || math.IsNaN(tol) {
+			return nil, fmt.Errorf("%w: tolerance %v", ErrBadConfig, tol)
+		}
+		method, err := truth.NewCRH(truth.WithCRHTolerance(tol))
+		if err != nil {
+			return nil, fmt.Errorf("eval: convergence: %w", err)
+		}
+		var oIters, pIters, mae, wall stats.Welford
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := root.Split()
+			inst, err := synthetic.Generate(gen, rng)
+			if err != nil {
+				return nil, fmt.Errorf("eval: convergence: %w", err)
+			}
+			origRes, err := method.Run(inst.Dataset)
+			if err != nil {
+				return nil, fmt.Errorf("eval: convergence: %w", err)
+			}
+			perturbed, _, err := mech.PerturbDataset(inst.Dataset, rng)
+			if err != nil {
+				return nil, fmt.Errorf("eval: convergence: %w", err)
+			}
+			start := time.Now()
+			pertRes, err := method.Run(perturbed)
+			if err != nil {
+				return nil, fmt.Errorf("eval: convergence: %w", err)
+			}
+			wall.Add(float64(time.Since(start).Microseconds()) / 1000)
+			oIters.Add(float64(origRes.Iterations))
+			pIters.Add(float64(pertRes.Iterations))
+			m, err := stats.MAE(pertRes.Truths, inst.GroundTruth)
+			if err != nil {
+				return nil, fmt.Errorf("eval: convergence: %w", err)
+			}
+			mae.Add(m)
+		}
+		x := -math.Log10(tol)
+		origIters.Points = append(origIters.Points, Point{X: x, Y: oIters.Mean()})
+		pertIters.Points = append(pertIters.Points, Point{X: x, Y: pIters.Mean()})
+		maeSeries.Points = append(maeSeries.Points, Point{X: x, Y: mae.Mean()})
+		wallSeries.Points = append(wallSeries.Points, Point{X: x, Y: wall.Mean()})
+	}
+	iterFig.Series = []Series{origIters, pertIters}
+	maeFig.Series = []Series{maeSeries}
+	wallFig.Series = []Series{wallSeries}
+	return &ConvergenceResult{Iterations: iterFig, MAE: maeFig, Wall: wallFig}, nil
+}

@@ -1,0 +1,145 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"pptd/internal/core"
+	"pptd/internal/randx"
+	"pptd/internal/stats"
+	"pptd/internal/synthetic"
+	"pptd/internal/truth"
+)
+
+// EfficiencyConfig parameterizes the Fig. 8 experiment: truth-discovery
+// running time as a function of the injected noise level.
+type EfficiencyConfig struct {
+	// NoiseTargets is the sweep over average |noise| values (x axis);
+	// lambda2 is derived as 1/(2*target^2) from the closed form.
+	NoiseTargets []float64
+	// NumUsers and NumObjects shape the workload; the paper notes TD
+	// scales linearly in objects, so pick sizes large enough to time.
+	NumUsers, NumObjects int
+	// Lambda1 fixes the data quality.
+	Lambda1 float64
+	// Method aggregates the data.
+	Method truth.Method
+	// Trials averages each point.
+	Trials int
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (c EfficiencyConfig) validate() error {
+	switch {
+	case len(c.NoiseTargets) == 0:
+		return fmt.Errorf("%w: empty noise sweep", ErrBadConfig)
+	case c.NumUsers <= 0 || c.NumObjects <= 0:
+		return fmt.Errorf("%w: crowd %dx%d", ErrBadConfig, c.NumUsers, c.NumObjects)
+	case c.Lambda1 <= 0 || math.IsNaN(c.Lambda1):
+		return fmt.Errorf("%w: lambda1 = %v", ErrBadConfig, c.Lambda1)
+	case c.Method == nil:
+		return fmt.Errorf("%w: nil method", ErrBadConfig)
+	case c.Trials <= 0:
+		return fmt.Errorf("%w: trials = %d", ErrBadConfig, c.Trials)
+	}
+	return nil
+}
+
+// DefaultNoiseTargets is the Fig. 8 sweep over average |noise|.
+func DefaultNoiseTargets() []float64 {
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+}
+
+// EfficiencyResult holds the Fig. 8 outputs.
+type EfficiencyResult struct {
+	// Time plots truth-discovery wall time (milliseconds) on perturbed
+	// data versus noise, with the no-noise baseline as a second series.
+	Time *Figure
+	// Iterations plots iterations-to-convergence versus noise (hardware-
+	// independent complement to wall time).
+	Iterations *Figure
+	// BaselineMillis is the average time on original data.
+	BaselineMillis float64
+}
+
+// Efficiency runs the Fig. 8 experiment: hold the workload fixed, sweep
+// the noise level, and time truth discovery on original versus perturbed
+// data. The paper's claim is that running time is insensitive to the
+// noise level (perturbation does not change convergence behaviour).
+func Efficiency(cfg EfficiencyConfig) (*EfficiencyResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	gen := synthetic.Config{
+		NumUsers:    cfg.NumUsers,
+		NumObjects:  cfg.NumObjects,
+		Lambda1:     cfg.Lambda1,
+		TruthLow:    0,
+		TruthHigh:   10,
+		ObserveProb: 1,
+	}
+
+	timeFig := &Figure{
+		ID:     "fig8",
+		Title:  fmt.Sprintf("efficiency: %s running time vs noise (%dx%d)", cfg.Method.Name(), cfg.NumUsers, cfg.NumObjects),
+		XLabel: "average added noise",
+		YLabel: "time (ms)",
+	}
+	iterFig := &Figure{
+		ID:     "fig8-iters",
+		Title:  "efficiency: iterations to convergence vs noise",
+		XLabel: "average added noise",
+		YLabel: "iterations",
+	}
+	perturbedTime := Series{Label: "perturbed"}
+	baselineTime := Series{Label: "original"}
+	iterSeries := Series{Label: "iterations"}
+
+	root := randx.New(cfg.Seed)
+	var baselineAcc stats.Welford
+	for _, target := range cfg.NoiseTargets {
+		if target <= 0 || math.IsNaN(target) {
+			return nil, fmt.Errorf("%w: noise target %v", ErrBadConfig, target)
+		}
+		// Invert E|noise| = 1/sqrt(2 lambda2).
+		lambda2 := 1 / (2 * target * target)
+		mech, err := core.NewMechanism(lambda2)
+		if err != nil {
+			return nil, fmt.Errorf("eval: efficiency: %w", err)
+		}
+		pipe, err := core.NewPipeline(mech, cfg.Method)
+		if err != nil {
+			return nil, fmt.Errorf("eval: efficiency: %w", err)
+		}
+
+		var timeAcc, iterAcc, noiseAcc, origAcc stats.Welford
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := root.Split()
+			inst, err := synthetic.Generate(gen, rng)
+			if err != nil {
+				return nil, fmt.Errorf("eval: efficiency: %w", err)
+			}
+			out, err := pipe.Run(inst.Dataset, rng)
+			if err != nil {
+				return nil, fmt.Errorf("eval: efficiency: %w", err)
+			}
+			timeAcc.Add(float64(out.PrivateDuration.Microseconds()) / 1000)
+			origAcc.Add(float64(out.OriginalDuration.Microseconds()) / 1000)
+			iterAcc.Add(float64(out.Private.Iterations))
+			noiseAcc.Add(out.Noise.MeanAbsNoise)
+		}
+		baselineAcc.Merge(origAcc)
+		x := noiseAcc.Mean()
+		perturbedTime.Points = append(perturbedTime.Points, Point{X: x, Y: timeAcc.Mean()})
+		baselineTime.Points = append(baselineTime.Points, Point{X: x, Y: origAcc.Mean()})
+		iterSeries.Points = append(iterSeries.Points, Point{X: x, Y: iterAcc.Mean()})
+	}
+	timeFig.Series = []Series{perturbedTime, baselineTime}
+	iterFig.Series = []Series{iterSeries}
+	return &EfficiencyResult{
+		Time:           timeFig,
+		Iterations:     iterFig,
+		BaselineMillis: baselineAcc.Mean(),
+	}, nil
+}

@@ -1,0 +1,393 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pptd/internal/floorplan"
+	"pptd/internal/synthetic"
+	"pptd/internal/truth"
+)
+
+// smallSynthetic keeps shape-test runtimes low while preserving the
+// qualitative behaviour.
+func smallSynthetic() Source {
+	cfg := synthetic.Default()
+	cfg.NumUsers = 80
+	cfg.NumObjects = 20
+	return SyntheticSource(cfg)
+}
+
+func mustCRH(t *testing.T) truth.Method {
+	t.Helper()
+	m, err := truth.NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func meanY(s Series) float64 {
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.Y
+	}
+	return sum / float64(len(s.Points))
+}
+
+func TestTradeoffShapes(t *testing.T) {
+	// Reproduces the qualitative content of Fig. 2: (1) noise decreases
+	// with epsilon, (2) smaller delta means more noise, (3) MAE stays
+	// well below the injected noise at low epsilon.
+	crh := mustCRH(t)
+	res, err := Tradeoff(TradeoffConfig{
+		Source:   smallSynthetic(),
+		Method:   crh,
+		Lambda1:  1,
+		Epsilons: []float64{0.25, 1, 3},
+		Deltas:   []float64{0.2, 0.5},
+		Trials:   3,
+		Seed:     1,
+	}, "fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MAE.Series) != 2 || len(res.Noise.Series) != 2 {
+		t.Fatalf("series counts: mae %d noise %d", len(res.MAE.Series), len(res.Noise.Series))
+	}
+	for _, s := range res.Noise.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("series %q has %d points", s.Label, len(s.Points))
+		}
+		if s.Points[0].Y <= s.Points[2].Y {
+			t.Errorf("series %q: noise at eps=0.25 (%v) not above eps=3 (%v)",
+				s.Label, s.Points[0].Y, s.Points[2].Y)
+		}
+	}
+	// delta=0.2 (stronger privacy) must inject more noise than delta=0.5.
+	if meanY(res.Noise.Series[0]) <= meanY(res.Noise.Series[1]) {
+		t.Errorf("delta=0.2 noise %v not above delta=0.5 noise %v",
+			meanY(res.Noise.Series[0]), meanY(res.Noise.Series[1]))
+	}
+	// Headline claim: at the strongest privacy point, utility loss is a
+	// small fraction of the injected noise.
+	lowEpsMAE := res.MAE.Series[0].Points[0].Y
+	lowEpsNoise := res.Noise.Series[0].Points[0].Y
+	if lowEpsMAE > lowEpsNoise/3 {
+		t.Errorf("MAE %v not well below noise %v at eps=0.25", lowEpsMAE, lowEpsNoise)
+	}
+}
+
+func TestTradeoffValidation(t *testing.T) {
+	crh := mustCRH(t)
+	valid := TradeoffConfig{
+		Source:   smallSynthetic(),
+		Method:   crh,
+		Lambda1:  1,
+		Epsilons: []float64{1},
+		Deltas:   []float64{0.3},
+		Trials:   1,
+	}
+	tests := []struct {
+		name   string
+		mutate func(*TradeoffConfig)
+	}{
+		{name: "nil source", mutate: func(c *TradeoffConfig) { c.Source = Source{} }},
+		{name: "nil method", mutate: func(c *TradeoffConfig) { c.Method = nil }},
+		{name: "bad lambda1", mutate: func(c *TradeoffConfig) { c.Lambda1 = 0 }},
+		{name: "no epsilons", mutate: func(c *TradeoffConfig) { c.Epsilons = nil }},
+		{name: "no deltas", mutate: func(c *TradeoffConfig) { c.Deltas = nil }},
+		{name: "no trials", mutate: func(c *TradeoffConfig) { c.Trials = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := valid
+			tt.mutate(&cfg)
+			if _, err := Tradeoff(cfg, "figX"); !errors.Is(err, ErrBadConfig) {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestLambda1EffectShape(t *testing.T) {
+	// Fig. 3: both MAE and noise decrease as lambda1 grows.
+	crh := mustCRH(t)
+	res, err := Lambda1Effect(Lambda1Config{
+		Lambda1s:   []float64{0.5, 2, 8},
+		Epsilon:    0.25,
+		Delta:      0.2,
+		NumUsers:   80,
+		NumObjects: 20,
+		Method:     crh,
+		Trials:     3,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := res.Noise.Series[0].Points
+	if noise[0].Y <= noise[2].Y {
+		t.Errorf("noise at lambda1=0.5 (%v) not above lambda1=8 (%v)", noise[0].Y, noise[2].Y)
+	}
+	mae := res.MAE.Series[0].Points
+	if mae[0].Y <= mae[2].Y {
+		t.Errorf("MAE at lambda1=0.5 (%v) not above lambda1=8 (%v)", mae[0].Y, mae[2].Y)
+	}
+}
+
+func TestLambda1EffectValidation(t *testing.T) {
+	crh := mustCRH(t)
+	if _, err := Lambda1Effect(Lambda1Config{
+		Lambda1s: nil, Epsilon: 1, Delta: 0.3, NumUsers: 10, NumObjects: 5,
+		Method: crh, Trials: 1,
+	}); !errors.Is(err, ErrBadConfig) {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := Lambda1Effect(Lambda1Config{
+		Lambda1s: []float64{1}, Epsilon: 0, Delta: 0.3, NumUsers: 10, NumObjects: 5,
+		Method: crh, Trials: 1,
+	}); !errors.Is(err, ErrBadConfig) {
+		t.Error("zero epsilon accepted")
+	}
+}
+
+func TestUsersEffectShape(t *testing.T) {
+	// Fig. 4: noise flat in S, MAE decreasing in S.
+	crh := mustCRH(t)
+	res, err := UsersEffect(UsersConfig{
+		UserCounts: []int{50, 200, 500},
+		Lambda1:    1,
+		Lambda2:    4,
+		NumObjects: 20,
+		Method:     crh,
+		Trials:     4,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := res.Noise.Series[0].Points
+	for i := 1; i < len(noise); i++ {
+		ratio := noise[i].Y / noise[0].Y
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("noise not flat in S: %v vs %v", noise[i].Y, noise[0].Y)
+		}
+	}
+	mae := res.MAE.Series[0].Points
+	if mae[0].Y <= mae[2].Y {
+		t.Errorf("MAE at S=50 (%v) not above S=500 (%v)", mae[0].Y, mae[2].Y)
+	}
+}
+
+func TestUsersEffectValidation(t *testing.T) {
+	crh := mustCRH(t)
+	base := UsersConfig{
+		UserCounts: []int{10}, Lambda1: 1, Lambda2: 1, NumObjects: 5,
+		Method: crh, Trials: 1,
+	}
+	bad := base
+	bad.UserCounts = nil
+	if _, err := UsersEffect(bad); !errors.Is(err, ErrBadConfig) {
+		t.Error("empty user sweep accepted")
+	}
+	bad = base
+	bad.Lambda2 = 0
+	if _, err := UsersEffect(bad); !errors.Is(err, ErrBadConfig) {
+		t.Error("bad lambda2 accepted")
+	}
+	bad = base
+	bad.UserCounts = []int{0}
+	if _, err := UsersEffect(bad); !errors.Is(err, ErrBadConfig) {
+		t.Error("zero user count accepted")
+	}
+}
+
+func TestWeightsExperiment(t *testing.T) {
+	fp := floorplan.Default()
+	fp.NumUsers = 60
+	fp.NumSegments = 40
+	res, err := Weights(WeightsConfig{
+		Floorplan:     fp,
+		Lambda2:       2,
+		NumShownUsers: 7,
+		Seed:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []*Figure{res.Original, res.Perturbed} {
+		if len(fig.Series) != 2 {
+			t.Fatalf("%s has %d series", fig.ID, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) != 7 {
+				t.Fatalf("%s series %q has %d points", fig.ID, s.Label, len(s.Points))
+			}
+		}
+	}
+	// The paper's observation: estimated weights track true weights.
+	if res.CorrOriginal < 0.5 {
+		t.Errorf("weight correlation on original data = %v, want strong positive", res.CorrOriginal)
+	}
+	if res.CorrPerturbed < 0.3 {
+		t.Errorf("weight correlation on perturbed data = %v, want positive", res.CorrPerturbed)
+	}
+}
+
+func TestWeightsValidation(t *testing.T) {
+	if _, err := Weights(WeightsConfig{Lambda2: 0, NumShownUsers: 7}); !errors.Is(err, ErrBadConfig) {
+		t.Error("bad lambda2 accepted")
+	}
+	if _, err := Weights(WeightsConfig{Lambda2: 1, NumShownUsers: 0}); !errors.Is(err, ErrBadConfig) {
+		t.Error("zero shown users accepted")
+	}
+}
+
+func TestPickSpread(t *testing.T) {
+	quality := []float64{5, 1, 3, 2, 4}
+	got := pickSpread(quality, 3)
+	if len(got) != 3 {
+		t.Fatalf("got %d indices", len(got))
+	}
+	// First must be the best (quality 1 at index 1), last the worst
+	// (quality 5 at index 0).
+	if got[0] != 1 || got[2] != 0 {
+		t.Fatalf("spread = %v", got)
+	}
+	if one := pickSpread(quality, 1); len(one) != 1 || one[0] != 1 {
+		t.Fatalf("k=1 spread = %v", one)
+	}
+	if all := pickSpread(quality, 10); len(all) != 5 {
+		t.Fatalf("k>n spread length = %d", len(all))
+	}
+}
+
+func TestEfficiencyExperiment(t *testing.T) {
+	crh := mustCRH(t)
+	res, err := Efficiency(EfficiencyConfig{
+		NoiseTargets: []float64{0.2, 0.6, 1.0},
+		NumUsers:     60,
+		NumObjects:   20,
+		Lambda1:      1,
+		Method:       crh,
+		Trials:       2,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Time.Series) != 2 {
+		t.Fatalf("time figure has %d series", len(res.Time.Series))
+	}
+	for _, s := range res.Time.Series {
+		for _, p := range s.Points {
+			if p.Y < 0 || math.IsNaN(p.Y) {
+				t.Fatalf("bad timing point %+v in %q", p, s.Label)
+			}
+		}
+	}
+	iters := res.Iterations.Series[0].Points
+	for _, p := range iters {
+		if p.Y < 1 || p.Y > float64(truth.DefaultMaxIterations) {
+			t.Fatalf("implausible iteration count %v", p.Y)
+		}
+	}
+	if res.BaselineMillis < 0 {
+		t.Fatalf("baseline time %v", res.BaselineMillis)
+	}
+}
+
+func TestEfficiencyValidation(t *testing.T) {
+	crh := mustCRH(t)
+	if _, err := Efficiency(EfficiencyConfig{
+		NoiseTargets: []float64{-1}, NumUsers: 10, NumObjects: 5,
+		Lambda1: 1, Method: crh, Trials: 1,
+	}); !errors.Is(err, ErrBadConfig) {
+		t.Error("negative noise target accepted")
+	}
+	if _, err := Efficiency(EfficiencyConfig{
+		NoiseTargets: nil, NumUsers: 10, NumObjects: 5,
+		Lambda1: 1, Method: crh, Trials: 1,
+	}); !errors.Is(err, ErrBadConfig) {
+		t.Error("empty noise sweep accepted")
+	}
+}
+
+func TestMethodComparisonWeightedWins(t *testing.T) {
+	crh := mustCRH(t)
+	fig, err := MethodComparison(MethodsConfig{
+		Source:       smallSynthetic(),
+		Methods:      []truth.Method{crh, truth.Mean{}},
+		NoiseTargets: []float64{0.8},
+		Trials:       4,
+		Seed:         6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	crhMAE := fig.Series[0].Points[0].Y
+	meanMAE := fig.Series[1].Points[0].Y
+	if crhMAE >= meanMAE {
+		t.Errorf("CRH MAE %v not below mean MAE %v under noise", crhMAE, meanMAE)
+	}
+}
+
+func TestRegistryContainsAllFigures(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation-methods", "ablation-attack"}
+	reg := Registry()
+	found := make(map[string]bool, len(reg))
+	for _, e := range reg {
+		found[e.Name] = true
+		if e.Description == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.Name)
+		}
+	}
+	for _, name := range want {
+		if !found[name] {
+			t.Errorf("experiment %q missing from registry", name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("fig2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRegistryQuickRunsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick registry sweep still costs a few seconds")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			rep, err := e.Run(Options{Seed: 7, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Name != e.Name {
+				t.Errorf("report name %q != experiment %q", rep.Name, e.Name)
+			}
+			if len(rep.Figures) == 0 {
+				t.Error("no figures produced")
+			}
+			for _, fig := range rep.Figures {
+				if len(fig.Series) == 0 {
+					t.Errorf("figure %s empty", fig.ID)
+				}
+				if out := fig.Table().Render(); out == "" {
+					t.Errorf("figure %s renders empty", fig.ID)
+				}
+			}
+		})
+	}
+}

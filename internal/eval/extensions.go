@@ -1,0 +1,247 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"pptd/internal/categorical"
+	"pptd/internal/core"
+	"pptd/internal/randx"
+	"pptd/internal/stats"
+	"pptd/internal/synthetic"
+	"pptd/internal/theory"
+	"pptd/internal/truth"
+)
+
+// TheoremA1Config parameterizes the empirical validation of Theorem A.1:
+// at noise level c = 1 (lambda2 = lambda1), the probability that the
+// aggregate shift exceeds alpha vanishes as 1/S^2.
+type TheoremA1Config struct {
+	// UserCounts sweeps S (x axis).
+	UserCounts []int
+	// Lambda1 fixes the data quality; the mechanism uses lambda2 =
+	// lambda1 so that c = 1.
+	Lambda1 float64
+	// Alpha is the aggregate-shift threshold. It must exceed
+	// 2*sqrt(2/pi)*E(Y) for the theorem's bound to be non-vacuous.
+	Alpha float64
+	// NumObjects shapes the synthetic crowd.
+	NumObjects int
+	// Trials estimates the tail probability per point.
+	Trials int
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (c TheoremA1Config) validate() error {
+	switch {
+	case len(c.UserCounts) == 0:
+		return fmt.Errorf("%w: empty user sweep", ErrBadConfig)
+	case c.Lambda1 <= 0 || math.IsNaN(c.Lambda1):
+		return fmt.Errorf("%w: lambda1 = %v", ErrBadConfig, c.Lambda1)
+	case c.Alpha <= 0 || math.IsNaN(c.Alpha):
+		return fmt.Errorf("%w: alpha = %v", ErrBadConfig, c.Alpha)
+	case c.NumObjects <= 0:
+		return fmt.Errorf("%w: NumObjects = %d", ErrBadConfig, c.NumObjects)
+	case c.Trials <= 0:
+		return fmt.Errorf("%w: trials = %d", ErrBadConfig, c.Trials)
+	}
+	return nil
+}
+
+// TheoremA1 measures Pr{ MAE(A(D), A(M(D))) >= alpha } empirically at
+// c = 1 for each S and overlays the analytic Chebyshev bound of
+// Theorem A.1. The validated claim is domination: empirical <= bound,
+// with both vanishing as S grows.
+func TheoremA1(cfg TheoremA1Config) (*Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	method, err := truth.NewCRH()
+	if err != nil {
+		return nil, fmt.Errorf("eval: thmA1: %w", err)
+	}
+	mech, err := core.NewMechanism(cfg.Lambda1) // lambda2 = lambda1 <=> c = 1
+	if err != nil {
+		return nil, fmt.Errorf("eval: thmA1: %w", err)
+	}
+	pipe, err := core.NewPipeline(mech, method)
+	if err != nil {
+		return nil, fmt.Errorf("eval: thmA1: %w", err)
+	}
+
+	fig := &Figure{
+		ID:     "thmA1",
+		Title:  fmt.Sprintf("Theorem A.1 at c=1: Pr{aggregate shift >= %.3g} vs S", cfg.Alpha),
+		XLabel: "S",
+		YLabel: "probability",
+	}
+	empirical := Series{Label: "empirical"}
+	analytic := Series{Label: "bound"}
+
+	root := randx.New(cfg.Seed)
+	for _, s := range cfg.UserCounts {
+		if s <= 0 {
+			return nil, fmt.Errorf("%w: user count %d", ErrBadConfig, s)
+		}
+		gen := synthetic.Config{
+			NumUsers:    s,
+			NumObjects:  cfg.NumObjects,
+			Lambda1:     cfg.Lambda1,
+			TruthLow:    0,
+			TruthHigh:   10,
+			ObserveProb: 1,
+		}
+		exceed := 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := root.Split()
+			inst, err := synthetic.Generate(gen, rng)
+			if err != nil {
+				return nil, fmt.Errorf("eval: thmA1: %w", err)
+			}
+			out, err := pipe.Run(inst.Dataset, rng)
+			if err != nil {
+				return nil, fmt.Errorf("eval: thmA1: %w", err)
+			}
+			if out.UtilityMAE >= cfg.Alpha {
+				exceed++
+			}
+		}
+		bound, err := theory.UtilityProbBoundEqualOne(cfg.Lambda1, cfg.Alpha, s)
+		if err != nil {
+			return nil, fmt.Errorf("eval: thmA1: %w", err)
+		}
+		empirical.Points = append(empirical.Points, Point{X: float64(s), Y: float64(exceed) / float64(cfg.Trials)})
+		analytic.Points = append(analytic.Points, Point{X: float64(s), Y: bound})
+	}
+	fig.Series = []Series{empirical, analytic}
+	return fig, nil
+}
+
+// CategoricalConfig parameterizes the categorical extension experiment:
+// discovery accuracy under k-ary randomized response, weighted voting
+// versus plain majority.
+type CategoricalConfig struct {
+	// Epsilons sweeps the randomized-response privacy level (x axis).
+	Epsilons []float64
+	// NumUsers, NumObjects, NumCategories shape the crowd.
+	NumUsers, NumObjects, NumCategories int
+	// MinCorrect and MaxCorrect bound the per-user probability of
+	// answering correctly (quality spread).
+	MinCorrect, MaxCorrect float64
+	// Trials averages each point.
+	Trials int
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (c CategoricalConfig) validate() error {
+	switch {
+	case len(c.Epsilons) == 0:
+		return fmt.Errorf("%w: empty epsilon sweep", ErrBadConfig)
+	case c.NumUsers <= 0 || c.NumObjects <= 0:
+		return fmt.Errorf("%w: crowd %dx%d", ErrBadConfig, c.NumUsers, c.NumObjects)
+	case c.NumCategories < 2:
+		return fmt.Errorf("%w: %d categories", ErrBadConfig, c.NumCategories)
+	case c.MinCorrect <= 0 || c.MaxCorrect > 1 || c.MinCorrect > c.MaxCorrect:
+		return fmt.Errorf("%w: correctness range [%v, %v]", ErrBadConfig, c.MinCorrect, c.MaxCorrect)
+	case c.Trials <= 0:
+		return fmt.Errorf("%w: trials = %d", ErrBadConfig, c.Trials)
+	}
+	return nil
+}
+
+// Categorical runs the categorical-extension experiment: generate a
+// crowd with a quality spread, randomize every claim with k-RR at each
+// epsilon, and measure discovery accuracy for weighted voting and
+// majority voting.
+func Categorical(cfg CategoricalConfig) (*Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	weighted, err := categorical.NewVoting()
+	if err != nil {
+		return nil, fmt.Errorf("eval: categorical: %w", err)
+	}
+	majority, err := categorical.NewVoting(categorical.WithUnweightedVoting())
+	if err != nil {
+		return nil, fmt.Errorf("eval: categorical: %w", err)
+	}
+
+	fig := &Figure{
+		ID:     "ext-categorical",
+		Title:  fmt.Sprintf("categorical extension: accuracy under %d-ary randomized response", cfg.NumCategories),
+		XLabel: "epsilon",
+		YLabel: "accuracy",
+	}
+	methods := []*categorical.Voting{weighted, majority}
+	series := make([]Series, len(methods))
+	for i, m := range methods {
+		series[i] = Series{Label: m.Name()}
+	}
+
+	root := randx.New(cfg.Seed)
+	for _, eps := range cfg.Epsilons {
+		rr, err := categorical.NewRandomizedResponse(eps, cfg.NumCategories)
+		if err != nil {
+			return nil, fmt.Errorf("eval: categorical at eps=%v: %w", eps, err)
+		}
+		accs := make([]stats.Welford, len(methods))
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := root.Split()
+			ds, truths, err := genCategoricalCrowd(cfg, rng)
+			if err != nil {
+				return nil, err
+			}
+			noisy, err := rr.PerturbDataset(ds, rng)
+			if err != nil {
+				return nil, fmt.Errorf("eval: categorical: %w", err)
+			}
+			for i, m := range methods {
+				res, err := m.Run(noisy)
+				if err != nil {
+					return nil, fmt.Errorf("eval: categorical (%s): %w", m.Name(), err)
+				}
+				acc, err := categorical.Accuracy(res.Truths, truths)
+				if err != nil {
+					return nil, fmt.Errorf("eval: categorical: %w", err)
+				}
+				accs[i].Add(acc)
+			}
+		}
+		for i := range methods {
+			series[i].Points = append(series[i].Points, Point{X: eps, Y: accs[i].Mean()})
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// genCategoricalCrowd draws one categorical crowd: truths uniform over
+// categories, each user correct with a per-user probability drawn from
+// [MinCorrect, MaxCorrect], wrong answers uniform over the rest.
+func genCategoricalCrowd(cfg CategoricalConfig, rng *randx.RNG) (*categorical.Dataset, []int, error) {
+	truths := make([]int, cfg.NumObjects)
+	for n := range truths {
+		truths[n] = rng.Intn(cfg.NumCategories)
+	}
+	b := categorical.NewBuilder(cfg.NumUsers, cfg.NumObjects, cfg.NumCategories)
+	for s := 0; s < cfg.NumUsers; s++ {
+		correct := cfg.MinCorrect + (cfg.MaxCorrect-cfg.MinCorrect)*rng.Float64()
+		for n, tv := range truths {
+			cat := tv
+			if rng.Float64() >= correct {
+				cat = rng.Intn(cfg.NumCategories - 1)
+				if cat >= tv {
+					cat++
+				}
+			}
+			b.Add(s, n, cat)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("eval: categorical crowd: %w", err)
+	}
+	return ds, truths, nil
+}

@@ -1,0 +1,227 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTheoremA1BoundDominatesEmpirical(t *testing.T) {
+	fig, err := TheoremA1(TheoremA1Config{
+		UserCounts: []int{5, 20, 80},
+		Lambda1:    1,
+		Alpha:      1,
+		NumObjects: 20,
+		Trials:     40,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	empirical, bound := fig.Series[0], fig.Series[1]
+	for i := range empirical.Points {
+		if empirical.Points[i].Y > bound.Points[i].Y+1e-9 {
+			t.Errorf("S=%v: empirical %v exceeds bound %v",
+				empirical.Points[i].X, empirical.Points[i].Y, bound.Points[i].Y)
+		}
+	}
+	// The bound must shrink with S.
+	if bound.Points[0].Y <= bound.Points[2].Y {
+		t.Errorf("bound did not shrink with S: %v -> %v", bound.Points[0].Y, bound.Points[2].Y)
+	}
+}
+
+func TestTheoremA1Validation(t *testing.T) {
+	base := TheoremA1Config{
+		UserCounts: []int{5}, Lambda1: 1, Alpha: 1, NumObjects: 5, Trials: 1,
+	}
+	mutations := []struct {
+		name   string
+		mutate func(*TheoremA1Config)
+	}{
+		{name: "no counts", mutate: func(c *TheoremA1Config) { c.UserCounts = nil }},
+		{name: "bad lambda1", mutate: func(c *TheoremA1Config) { c.Lambda1 = 0 }},
+		{name: "bad alpha", mutate: func(c *TheoremA1Config) { c.Alpha = 0 }},
+		{name: "bad objects", mutate: func(c *TheoremA1Config) { c.NumObjects = 0 }},
+		{name: "bad trials", mutate: func(c *TheoremA1Config) { c.Trials = 0 }},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := TheoremA1(cfg); !errors.Is(err, ErrBadConfig) {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+	bad := base
+	bad.UserCounts = []int{0}
+	if _, err := TheoremA1(bad); !errors.Is(err, ErrBadConfig) {
+		t.Error("zero user count accepted")
+	}
+}
+
+func TestCategoricalShape(t *testing.T) {
+	fig, err := Categorical(CategoricalConfig{
+		Epsilons:      []float64{0.5, 4},
+		NumUsers:      60,
+		NumObjects:    60,
+		NumCategories: 3,
+		MinCorrect:    0.45,
+		MaxCorrect:    0.95,
+		Trials:        3,
+		Seed:          12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		// More privacy budget => no worse accuracy.
+		if s.Points[1].Y < s.Points[0].Y-0.05 {
+			t.Errorf("%s: accuracy decreased with epsilon: %v -> %v",
+				s.Label, s.Points[0].Y, s.Points[1].Y)
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 1 {
+				t.Errorf("%s: accuracy %v out of [0,1]", s.Label, p.Y)
+			}
+		}
+	}
+	// Weighted voting should beat majority at every epsilon (quality
+	// spread is wide by construction).
+	weighted, majority := fig.Series[0], fig.Series[1]
+	for i := range weighted.Points {
+		if weighted.Points[i].Y < majority.Points[i].Y-0.02 {
+			t.Errorf("eps=%v: weighted %v below majority %v",
+				weighted.Points[i].X, weighted.Points[i].Y, majority.Points[i].Y)
+		}
+	}
+}
+
+func TestCategoricalValidation(t *testing.T) {
+	base := CategoricalConfig{
+		Epsilons: []float64{1}, NumUsers: 10, NumObjects: 10, NumCategories: 3,
+		MinCorrect: 0.5, MaxCorrect: 0.9, Trials: 1,
+	}
+	mutations := []struct {
+		name   string
+		mutate func(*CategoricalConfig)
+	}{
+		{name: "no epsilons", mutate: func(c *CategoricalConfig) { c.Epsilons = nil }},
+		{name: "bad crowd", mutate: func(c *CategoricalConfig) { c.NumUsers = 0 }},
+		{name: "one category", mutate: func(c *CategoricalConfig) { c.NumCategories = 1 }},
+		{name: "bad correctness", mutate: func(c *CategoricalConfig) { c.MinCorrect = 0 }},
+		{name: "inverted correctness", mutate: func(c *CategoricalConfig) { c.MinCorrect = 0.9; c.MaxCorrect = 0.5 }},
+		{name: "bad trials", mutate: func(c *CategoricalConfig) { c.Trials = 0 }},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := Categorical(cfg); !errors.Is(err, ErrBadConfig) {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestConvergenceShape(t *testing.T) {
+	res, err := Convergence(ConvergenceConfig{
+		Tolerances: []float64{1e-2, 1e-8},
+		NumUsers:   60,
+		NumObjects: 15,
+		Lambda1:    1,
+		Lambda2:    2,
+		Trials:     2,
+		Seed:       13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tighter tolerance must not need fewer iterations, on both datasets.
+	for _, s := range res.Iterations.Series {
+		if s.Points[1].Y < s.Points[0].Y {
+			t.Errorf("%s: iterations decreased with tighter tolerance: %v -> %v",
+				s.Label, s.Points[0].Y, s.Points[1].Y)
+		}
+	}
+	// Original and perturbed iteration counts should track each other
+	// (the paper's efficiency claim).
+	orig, pert := res.Iterations.Series[0], res.Iterations.Series[1]
+	for i := range orig.Points {
+		if diff := pert.Points[i].Y - orig.Points[i].Y; diff > 3 || diff < -3 {
+			t.Errorf("perturbed iterations diverge from original: %v vs %v",
+				pert.Points[i].Y, orig.Points[i].Y)
+		}
+	}
+}
+
+func TestConvergenceValidation(t *testing.T) {
+	base := ConvergenceConfig{
+		Tolerances: []float64{1e-4}, NumUsers: 10, NumObjects: 5,
+		Lambda1: 1, Lambda2: 1, Trials: 1,
+	}
+	bad := base
+	bad.Tolerances = nil
+	if _, err := Convergence(bad); !errors.Is(err, ErrBadConfig) {
+		t.Error("empty tolerance sweep accepted")
+	}
+	bad = base
+	bad.Tolerances = []float64{-1}
+	if _, err := Convergence(bad); !errors.Is(err, ErrBadConfig) {
+		t.Error("negative tolerance accepted")
+	}
+	bad = base
+	bad.Lambda2 = 0
+	if _, err := Convergence(bad); !errors.Is(err, ErrBadConfig) {
+		t.Error("bad lambda2 accepted")
+	}
+}
+
+func TestCostComparisonValidation(t *testing.T) {
+	base := CostConfig{
+		UserCounts: []int{10}, NumObjects: 5, Lambda1: 1, Lambda2: 1, Trials: 1,
+	}
+	bad := base
+	bad.UserCounts = nil
+	if _, err := CostComparison(bad); !errors.Is(err, ErrBadConfig) {
+		t.Error("empty user sweep accepted")
+	}
+	bad = base
+	bad.UserCounts = []int{1}
+	if _, err := CostComparison(bad); !errors.Is(err, ErrBadConfig) {
+		t.Error("single-user cohort accepted")
+	}
+	bad = base
+	bad.NumObjects = 0
+	if _, err := CostComparison(bad); !errors.Is(err, ErrBadConfig) {
+		t.Error("zero objects accepted")
+	}
+}
+
+func TestCostComparisonGap(t *testing.T) {
+	res, err := CostComparison(CostConfig{
+		UserCounts: []int{20},
+		NumObjects: 10,
+		Lambda1:    1,
+		Lambda2:    2,
+		Trials:     1,
+		Seed:       14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturb := res.Bytes.Series[0].Points[0].Y
+	secure := res.Bytes.Series[1].Points[0].Y
+	if secure <= 3*perturb {
+		t.Fatalf("secure-agg bytes %v not well above perturbation %v", secure, perturb)
+	}
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("table rows = %d", len(res.Table.Rows))
+	}
+}

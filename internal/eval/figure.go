@@ -1,0 +1,178 @@
+// Package eval is the experiment harness that regenerates every figure of
+// the paper's evaluation (Section 5): the utility-privacy trade-off on
+// synthetic data with CRH (Fig. 2) and GTM (Fig. 5), the effect of the
+// data-quality parameter lambda1 (Fig. 3) and of the number of users S
+// (Fig. 4), the trade-off on the indoor-floorplan system (Fig. 6), the
+// true-versus-estimated weight comparison (Fig. 7), and the efficiency
+// study (Fig. 8), plus ablations beyond the paper. Each experiment
+// produces Figure values renderable as aligned text tables or CSV.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrBadConfig reports an invalid experiment configuration.
+var ErrBadConfig = errors.New("eval: invalid config")
+
+// Point is one (x, y) measurement.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	// Label names the curve (e.g. "delta=0.2").
+	Label string
+	// Points are the measurements in x order.
+	Points []Point
+}
+
+// Figure is one reproduced plot: an identifier tying it to the paper,
+// axis labels, and one or more series.
+type Figure struct {
+	// ID names the paper artifact, e.g. "fig2a".
+	ID string
+	// Title describes the plot.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel string
+	YLabel string
+	// Series holds the curves.
+	Series []Series
+}
+
+// Table renders the figure as rows of x followed by one column per series.
+// Series are aligned on their x values; a series missing an x gets an
+// empty cell.
+func (f *Figure) Table() *Table {
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		label := s.Label
+		if label == "" {
+			label = f.YLabel
+		}
+		header = append(header, label)
+	}
+
+	// Collect the sorted union of x values, preserving first-seen order
+	// (series are generated in x order).
+	var xs []float64
+	seen := make(map[float64]int)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if _, ok := seen[p.X]; !ok {
+				seen[p.X] = len(xs)
+				xs = append(xs, p.X)
+			}
+		}
+	}
+
+	rows := make([][]string, len(xs))
+	for i, x := range xs {
+		row := make([]string, len(f.Series)+1)
+		row[0] = formatFloat(x)
+		rows[i] = row
+	}
+	for si, s := range f.Series {
+		for _, p := range s.Points {
+			rows[seen[p.X]][si+1] = formatFloat(p.Y)
+		}
+	}
+	return &Table{
+		Title:  fmt.Sprintf("%s — %s", f.ID, f.Title),
+		Header: header,
+		Rows:   rows,
+	}
+}
+
+// Table is an aligned text table with a title.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV (header first, no title row).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		for i, cell := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, cell); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeLine(t.Header); err != nil {
+		return fmt.Errorf("eval: write csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := writeLine(row); err != nil {
+			return fmt.Errorf("eval: write csv row: %w", err)
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	return &Figure{
+		ID:     "figX",
+		Title:  "sample",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Label: "a", Points: []Point{{1, 10}, {2, 20}}},
+			{Label: "b", Points: []Point{{1, 11}, {2, 21}, {3, 31}}},
+		},
+	}
+}
+
+func TestFigureTableAlignsSeries(t *testing.T) {
+	table := sampleFigure().Table()
+	if len(table.Header) != 3 || table.Header[0] != "x" || table.Header[1] != "a" || table.Header[2] != "b" {
+		t.Fatalf("header = %v", table.Header)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (union of x values)", len(table.Rows))
+	}
+	// x=3 exists only in series b; series a's cell must be empty.
+	last := table.Rows[2]
+	if last[0] != "3" || last[1] != "" || last[2] != "31" {
+		t.Fatalf("row for x=3 = %v", last)
+	}
+}
+
+func TestFigureTableEmptySeriesLabelUsesYLabel(t *testing.T) {
+	fig := &Figure{
+		ID: "f", XLabel: "x", YLabel: "metric",
+		Series: []Series{{Points: []Point{{1, 2}}}},
+	}
+	table := fig.Table()
+	if table.Header[1] != "metric" {
+		t.Fatalf("header = %v", table.Header)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	out := sampleFigure().Table().Render()
+	if !strings.Contains(out, "figX") {
+		t.Error("render missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 3 rows.
+	if len(lines) != 6 {
+		t.Fatalf("render produced %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "-") {
+		t.Error("missing separator line")
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleFigure().Table().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d, want 4", len(lines))
+	}
+	if lines[0] != "x,a,b" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if lines[1] != "1,10,11" {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+}
+
+func TestTableWriteCSVQuoting(t *testing.T) {
+	table := &Table{
+		Header: []string{"name", "value"},
+		Rows:   [][]string{{`has,comma`, `has"quote`}},
+	}
+	var sb strings.Builder
+	if err := table.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, `"has,comma"`) || !strings.Contains(got, `"has""quote"`) {
+		t.Fatalf("csv quoting wrong: %q", got)
+	}
+}

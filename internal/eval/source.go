@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"fmt"
+
+	"pptd/internal/floorplan"
+	"pptd/internal/randx"
+	"pptd/internal/synthetic"
+	"pptd/internal/truth"
+)
+
+// Source generates fresh original datasets for an experiment trial.
+type Source struct {
+	// Name labels the data source in reports.
+	Name string
+	// Generate draws a dataset and its ground truth using rng.
+	Generate func(rng *randx.RNG) (*truth.Dataset, []float64, error)
+}
+
+// SyntheticSource wraps the Section 5.1 generator as a Source.
+func SyntheticSource(cfg synthetic.Config) Source {
+	return Source{
+		Name: "synthetic",
+		Generate: func(rng *randx.RNG) (*truth.Dataset, []float64, error) {
+			inst, err := synthetic.Generate(cfg, rng)
+			if err != nil {
+				return nil, nil, fmt.Errorf("eval: synthetic source: %w", err)
+			}
+			return inst.Dataset, inst.GroundTruth, nil
+		},
+	}
+}
+
+// FloorplanSource wraps the Section 5.2 indoor-floorplan simulator as a
+// Source.
+func FloorplanSource(cfg floorplan.Config) Source {
+	return Source{
+		Name: "floorplan",
+		Generate: func(rng *randx.RNG) (*truth.Dataset, []float64, error) {
+			inst, err := floorplan.Generate(cfg, rng)
+			if err != nil {
+				return nil, nil, fmt.Errorf("eval: floorplan source: %w", err)
+			}
+			return inst.Dataset, inst.SegmentLengths, nil
+		},
+	}
+}

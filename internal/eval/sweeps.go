@@ -1,0 +1,245 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"pptd/internal/core"
+	"pptd/internal/randx"
+	"pptd/internal/stats"
+	"pptd/internal/synthetic"
+	"pptd/internal/theory"
+	"pptd/internal/truth"
+)
+
+// Lambda1Config parameterizes the Fig. 3 experiment: the effect of the
+// error-distribution parameter lambda1 on both utility and required noise
+// at a fixed privacy target.
+type Lambda1Config struct {
+	// Lambda1s is the sweep over data quality (x axis).
+	Lambda1s []float64
+	// Epsilon and Delta fix the privacy target.
+	Epsilon, Delta float64
+	// NumUsers and NumObjects shape the synthetic crowd.
+	NumUsers, NumObjects int
+	// Method aggregates the data.
+	Method truth.Method
+	// Trials averages each point.
+	Trials int
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (c Lambda1Config) validate() error {
+	switch {
+	case len(c.Lambda1s) == 0:
+		return fmt.Errorf("%w: empty lambda1 sweep", ErrBadConfig)
+	case c.Epsilon <= 0 || math.IsNaN(c.Epsilon):
+		return fmt.Errorf("%w: epsilon = %v", ErrBadConfig, c.Epsilon)
+	case c.Delta <= 0 || c.Delta >= 1 || math.IsNaN(c.Delta):
+		return fmt.Errorf("%w: delta = %v", ErrBadConfig, c.Delta)
+	case c.NumUsers <= 0 || c.NumObjects <= 0:
+		return fmt.Errorf("%w: crowd %dx%d", ErrBadConfig, c.NumUsers, c.NumObjects)
+	case c.Method == nil:
+		return fmt.Errorf("%w: nil method", ErrBadConfig)
+	case c.Trials <= 0:
+		return fmt.Errorf("%w: trials = %d", ErrBadConfig, c.Trials)
+	}
+	return nil
+}
+
+// DefaultLambda1s is the Fig. 3 sweep over (0, 10].
+func DefaultLambda1s() []float64 {
+	return []float64{0.5, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+}
+
+// SweepResult holds the two panels of a parameter-sweep figure.
+type SweepResult struct {
+	// MAE is panel (a).
+	MAE *Figure
+	// Noise is panel (b).
+	Noise *Figure
+}
+
+// Lambda1Effect runs the Fig. 3 experiment: for each lambda1 it generates
+// a crowd of that quality, derives the noise level meeting the fixed
+// (epsilon, delta) target — which shrinks as lambda1 grows, per
+// Theorem 4.8 — and measures utility loss and injected noise.
+func Lambda1Effect(cfg Lambda1Config) (*SweepResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	gamma, err := theory.Gamma(ExperimentB, ExperimentEta)
+	if err != nil {
+		return nil, fmt.Errorf("eval: lambda1 effect: %w", err)
+	}
+
+	maeFig := &Figure{
+		ID:     "fig3a",
+		Title:  "effect of lambda1 (error distribution in original data): MAE",
+		XLabel: "lambda1",
+		YLabel: "MAE",
+	}
+	noiseFig := &Figure{
+		ID:     "fig3b",
+		Title:  "effect of lambda1: average added noise",
+		XLabel: "lambda1",
+		YLabel: "average added noise",
+	}
+	maeSeries := Series{Label: "MAE"}
+	noiseSeries := Series{Label: "noise"}
+
+	root := randx.New(cfg.Seed)
+	for _, lambda1 := range cfg.Lambda1s {
+		c, err := theory.NoiseLevelForEpsilon(cfg.Epsilon, cfg.Delta, lambda1, gamma)
+		if err != nil {
+			return nil, fmt.Errorf("eval: lambda1 = %v: %w", lambda1, err)
+		}
+		lambda2, err := theory.Lambda2ForNoiseLevel(c, lambda1)
+		if err != nil {
+			return nil, fmt.Errorf("eval: lambda1 = %v: %w", lambda1, err)
+		}
+		mech, err := core.NewMechanism(lambda2)
+		if err != nil {
+			return nil, fmt.Errorf("eval: lambda1 = %v: %w", lambda1, err)
+		}
+		pipe, err := core.NewPipeline(mech, cfg.Method)
+		if err != nil {
+			return nil, fmt.Errorf("eval: lambda1 effect: %w", err)
+		}
+		gen := synthetic.Config{
+			NumUsers:    cfg.NumUsers,
+			NumObjects:  cfg.NumObjects,
+			Lambda1:     lambda1,
+			TruthLow:    0,
+			TruthHigh:   10,
+			ObserveProb: 1,
+		}
+
+		var maeAcc, noiseAcc stats.Welford
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := root.Split()
+			inst, err := synthetic.Generate(gen, rng)
+			if err != nil {
+				return nil, fmt.Errorf("eval: lambda1 effect: %w", err)
+			}
+			out, err := pipe.Run(inst.Dataset, rng)
+			if err != nil {
+				return nil, fmt.Errorf("eval: lambda1 effect: %w", err)
+			}
+			maeAcc.Add(out.UtilityMAE)
+			noiseAcc.Add(out.Noise.MeanAbsNoise)
+		}
+		maeSeries.Points = append(maeSeries.Points, Point{X: lambda1, Y: maeAcc.Mean()})
+		noiseSeries.Points = append(noiseSeries.Points, Point{X: lambda1, Y: noiseAcc.Mean()})
+	}
+	maeFig.Series = []Series{maeSeries}
+	noiseFig.Series = []Series{noiseSeries}
+	return &SweepResult{MAE: maeFig, Noise: noiseFig}, nil
+}
+
+// UsersConfig parameterizes the Fig. 4 experiment: the effect of the
+// number of users S under a fixed mechanism.
+type UsersConfig struct {
+	// UserCounts is the sweep over S (x axis).
+	UserCounts []int
+	// Lambda1 fixes the data quality and Lambda2 the mechanism; the
+	// paper keeps the mechanism fixed while S varies, so the average
+	// noise stays flat.
+	Lambda1, Lambda2 float64
+	// NumObjects shapes the synthetic crowd.
+	NumObjects int
+	// Method aggregates the data.
+	Method truth.Method
+	// Trials averages each point.
+	Trials int
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (c UsersConfig) validate() error {
+	switch {
+	case len(c.UserCounts) == 0:
+		return fmt.Errorf("%w: empty user sweep", ErrBadConfig)
+	case c.Lambda1 <= 0 || math.IsNaN(c.Lambda1):
+		return fmt.Errorf("%w: lambda1 = %v", ErrBadConfig, c.Lambda1)
+	case c.Lambda2 <= 0 || math.IsNaN(c.Lambda2):
+		return fmt.Errorf("%w: lambda2 = %v", ErrBadConfig, c.Lambda2)
+	case c.NumObjects <= 0:
+		return fmt.Errorf("%w: NumObjects = %d", ErrBadConfig, c.NumObjects)
+	case c.Method == nil:
+		return fmt.Errorf("%w: nil method", ErrBadConfig)
+	case c.Trials <= 0:
+		return fmt.Errorf("%w: trials = %d", ErrBadConfig, c.Trials)
+	}
+	return nil
+}
+
+// DefaultUserCounts is the Fig. 4 sweep.
+func DefaultUserCounts() []int { return []int{100, 200, 300, 400, 500, 600} }
+
+// UsersEffect runs the Fig. 4 experiment: sweep S with the mechanism held
+// fixed. The injected noise is S-independent (users act independently);
+// utility improves with S because weight estimation sharpens.
+func UsersEffect(cfg UsersConfig) (*SweepResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	mech, err := core.NewMechanism(cfg.Lambda2)
+	if err != nil {
+		return nil, fmt.Errorf("eval: users effect: %w", err)
+	}
+	pipe, err := core.NewPipeline(mech, cfg.Method)
+	if err != nil {
+		return nil, fmt.Errorf("eval: users effect: %w", err)
+	}
+
+	maeFig := &Figure{
+		ID:     "fig4a",
+		Title:  "effect of S (number of users): MAE",
+		XLabel: "S",
+		YLabel: "MAE",
+	}
+	noiseFig := &Figure{
+		ID:     "fig4b",
+		Title:  "effect of S: average added noise",
+		XLabel: "S",
+		YLabel: "average added noise",
+	}
+	maeSeries := Series{Label: "MAE"}
+	noiseSeries := Series{Label: "noise"}
+
+	root := randx.New(cfg.Seed)
+	for _, s := range cfg.UserCounts {
+		if s <= 0 {
+			return nil, fmt.Errorf("%w: user count %d", ErrBadConfig, s)
+		}
+		gen := synthetic.Config{
+			NumUsers:    s,
+			NumObjects:  cfg.NumObjects,
+			Lambda1:     cfg.Lambda1,
+			TruthLow:    0,
+			TruthHigh:   10,
+			ObserveProb: 1,
+		}
+		var maeAcc, noiseAcc stats.Welford
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := root.Split()
+			inst, err := synthetic.Generate(gen, rng)
+			if err != nil {
+				return nil, fmt.Errorf("eval: users effect: %w", err)
+			}
+			out, err := pipe.Run(inst.Dataset, rng)
+			if err != nil {
+				return nil, fmt.Errorf("eval: users effect: %w", err)
+			}
+			maeAcc.Add(out.UtilityMAE)
+			noiseAcc.Add(out.Noise.MeanAbsNoise)
+		}
+		maeSeries.Points = append(maeSeries.Points, Point{X: float64(s), Y: maeAcc.Mean()})
+		noiseSeries.Points = append(noiseSeries.Points, Point{X: float64(s), Y: noiseAcc.Mean()})
+	}
+	maeFig.Series = []Series{maeSeries}
+	noiseFig.Series = []Series{noiseSeries}
+	return &SweepResult{MAE: maeFig, Noise: noiseFig}, nil
+}

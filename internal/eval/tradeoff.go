@@ -1,0 +1,158 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"pptd/internal/core"
+	"pptd/internal/randx"
+	"pptd/internal/stats"
+	"pptd/internal/theory"
+	"pptd/internal/truth"
+)
+
+// Calibrated sensitivity-tail constants used by the experiment harness.
+//
+// The accountant's conservative default (b = 3, eta = 0.95) covers the
+// 3-sigma tail of the worst plausible user; the paper's plotted noise
+// magnitudes (average |noise| approaching 1 as epsilon tends to 0 at
+// lambda1 = 1) imply an effective sensitivity near the typical claim
+// spread instead. These constants reproduce the paper's magnitudes; the
+// curve *shapes* are independent of this choice because gamma only scales
+// the noise axis. EXPERIMENTS.md discusses the calibration.
+const (
+	ExperimentB   = 0.5
+	ExperimentEta = 0.2
+)
+
+// TradeoffConfig parameterizes the utility-privacy trade-off experiments
+// (Figs. 2, 5 and 6).
+type TradeoffConfig struct {
+	// Source generates the original data per trial.
+	Source Source
+	// Method is the truth-discovery algorithm (CRH for Figs. 2/6, GTM
+	// for Fig. 5).
+	Method truth.Method
+	// Lambda1 is the data-quality rate used by the privacy accountant.
+	Lambda1 float64
+	// Epsilons is the privacy sweep (x axis).
+	Epsilons []float64
+	// Deltas selects the curves (one series per delta).
+	Deltas []float64
+	// Trials averages each point over this many seeded repetitions.
+	Trials int
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (c TradeoffConfig) validate() error {
+	switch {
+	case c.Source.Generate == nil:
+		return fmt.Errorf("%w: nil source", ErrBadConfig)
+	case c.Method == nil:
+		return fmt.Errorf("%w: nil method", ErrBadConfig)
+	case c.Lambda1 <= 0 || math.IsNaN(c.Lambda1):
+		return fmt.Errorf("%w: lambda1 = %v", ErrBadConfig, c.Lambda1)
+	case len(c.Epsilons) == 0:
+		return fmt.Errorf("%w: empty epsilon sweep", ErrBadConfig)
+	case len(c.Deltas) == 0:
+		return fmt.Errorf("%w: empty delta list", ErrBadConfig)
+	case c.Trials <= 0:
+		return fmt.Errorf("%w: trials = %d", ErrBadConfig, c.Trials)
+	}
+	return nil
+}
+
+// DefaultEpsilons is the paper's epsilon sweep (0, 3], with an extra
+// point near zero where the injected noise approaches 1.
+func DefaultEpsilons() []float64 {
+	eps := make([]float64, 0, 13)
+	eps = append(eps, 0.1)
+	for e := 0.25; e <= 3.001; e += 0.25 {
+		eps = append(eps, e)
+	}
+	return eps
+}
+
+// DefaultDeltas is the paper's delta set.
+func DefaultDeltas() []float64 { return []float64{0.2, 0.3, 0.4, 0.5} }
+
+// TradeoffResult holds the two panels of a trade-off figure.
+type TradeoffResult struct {
+	// MAE is panel (a): utility loss versus epsilon, one series per delta.
+	MAE *Figure
+	// Noise is panel (b): average added noise versus epsilon.
+	Noise *Figure
+}
+
+// Tradeoff runs the utility-privacy trade-off experiment: for every
+// (delta, epsilon) it derives the required noise level c from Theorem 4.8,
+// instantiates the mechanism with lambda2 = lambda1/c, perturbs the data,
+// aggregates with the configured method, and measures the MAE between the
+// aggregates on original and perturbed data alongside the injected noise.
+func Tradeoff(cfg TradeoffConfig, idPrefix string) (*TradeoffResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	gamma, err := theory.Gamma(ExperimentB, ExperimentEta)
+	if err != nil {
+		return nil, fmt.Errorf("eval: tradeoff: %w", err)
+	}
+
+	maeFig := &Figure{
+		ID:     idPrefix + "a",
+		Title:  fmt.Sprintf("utility-privacy trade-off on %s (%s): MAE", cfg.Source.Name, cfg.Method.Name()),
+		XLabel: "epsilon",
+		YLabel: "MAE",
+	}
+	noiseFig := &Figure{
+		ID:     idPrefix + "b",
+		Title:  fmt.Sprintf("utility-privacy trade-off on %s (%s): noise", cfg.Source.Name, cfg.Method.Name()),
+		XLabel: "epsilon",
+		YLabel: "average added noise",
+	}
+
+	root := randx.New(cfg.Seed)
+	for _, delta := range cfg.Deltas {
+		maeSeries := Series{Label: fmt.Sprintf("delta=%.3g", delta)}
+		noiseSeries := Series{Label: fmt.Sprintf("delta=%.3g", delta)}
+		for _, eps := range cfg.Epsilons {
+			c, err := theory.NoiseLevelForEpsilon(eps, delta, cfg.Lambda1, gamma)
+			if err != nil {
+				return nil, fmt.Errorf("eval: tradeoff at eps=%v delta=%v: %w", eps, delta, err)
+			}
+			lambda2, err := theory.Lambda2ForNoiseLevel(c, cfg.Lambda1)
+			if err != nil {
+				return nil, fmt.Errorf("eval: tradeoff at eps=%v delta=%v: %w", eps, delta, err)
+			}
+			mech, err := core.NewMechanism(lambda2)
+			if err != nil {
+				return nil, fmt.Errorf("eval: tradeoff at eps=%v delta=%v: %w", eps, delta, err)
+			}
+			pipe, err := core.NewPipeline(mech, cfg.Method)
+			if err != nil {
+				return nil, fmt.Errorf("eval: tradeoff: %w", err)
+			}
+
+			var maeAcc, noiseAcc stats.Welford
+			for trial := 0; trial < cfg.Trials; trial++ {
+				rng := root.Split()
+				ds, _, err := cfg.Source.Generate(rng)
+				if err != nil {
+					return nil, err
+				}
+				out, err := pipe.Run(ds, rng)
+				if err != nil {
+					return nil, fmt.Errorf("eval: tradeoff trial: %w", err)
+				}
+				maeAcc.Add(out.UtilityMAE)
+				noiseAcc.Add(out.Noise.MeanAbsNoise)
+			}
+			maeSeries.Points = append(maeSeries.Points, Point{X: eps, Y: maeAcc.Mean()})
+			noiseSeries.Points = append(noiseSeries.Points, Point{X: eps, Y: noiseAcc.Mean()})
+		}
+		maeFig.Series = append(maeFig.Series, maeSeries)
+		noiseFig.Series = append(noiseFig.Series, noiseSeries)
+	}
+	return &TradeoffResult{MAE: maeFig, Noise: noiseFig}, nil
+}

@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pptd/internal/core"
+	"pptd/internal/floorplan"
+	"pptd/internal/randx"
+	"pptd/internal/stats"
+	"pptd/internal/truth"
+)
+
+// WeightsConfig parameterizes the Fig. 7 experiment: true versus estimated
+// user weights on the indoor-floorplan data, before and after
+// perturbation.
+type WeightsConfig struct {
+	// Floorplan shapes the simulated deployment.
+	Floorplan floorplan.Config
+	// Lambda2 fixes the mechanism.
+	Lambda2 float64
+	// NumShownUsers is how many users the figure displays (paper: 7).
+	NumShownUsers int
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (c WeightsConfig) validate() error {
+	switch {
+	case c.Lambda2 <= 0 || math.IsNaN(c.Lambda2):
+		return fmt.Errorf("%w: lambda2 = %v", ErrBadConfig, c.Lambda2)
+	case c.NumShownUsers <= 0:
+		return fmt.Errorf("%w: NumShownUsers = %d", ErrBadConfig, c.NumShownUsers)
+	}
+	return nil
+}
+
+// WeightsResult holds the Fig. 7 panels plus the summary correlations.
+type WeightsResult struct {
+	// Original is panel (a): true and estimated weights on original data.
+	Original *Figure
+	// Perturbed is panel (b): the same on perturbed data.
+	Perturbed *Figure
+	// CorrOriginal and CorrPerturbed are the Pearson correlations between
+	// true and estimated weights over all users (not just the shown ones).
+	CorrOriginal  float64
+	CorrPerturbed float64
+	// NoisiestUser is the user who sampled the largest noise variance;
+	// the paper's Fig. 7 narrative is that such a user's weight drops on
+	// perturbed data.
+	NoisiestUser int
+	// NoisiestVariance is that user's sampled delta_s^2.
+	NoisiestVariance float64
+	// NoisiestWeightBefore and NoisiestWeightAfter are that user's
+	// normalized estimated weights on original and perturbed data.
+	NoisiestWeightBefore float64
+	NoisiestWeightAfter  float64
+}
+
+// Weights runs the Fig. 7 experiment. "True" weights apply the CRH weight
+// equation against the ground-truth segment lengths; "estimated" weights
+// are what CRH infers without ground truth. Weights are normalized to
+// mean 1 for comparability. The displayed users are an even quality
+// spread (the paper picks 7 random users; a spread is more informative
+// and deterministic).
+func Weights(cfg WeightsConfig) (*WeightsResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := randx.New(cfg.Seed)
+	inst, err := floorplan.Generate(cfg.Floorplan, rng)
+	if err != nil {
+		return nil, fmt.Errorf("eval: weights: %w", err)
+	}
+	mech, err := core.NewMechanism(cfg.Lambda2)
+	if err != nil {
+		return nil, fmt.Errorf("eval: weights: %w", err)
+	}
+	perturbed, report, err := mech.PerturbDataset(inst.Dataset, rng.Split())
+	if err != nil {
+		return nil, fmt.Errorf("eval: weights: %w", err)
+	}
+	noisiest := 0
+	for s, v := range report.UserVariances {
+		if v > report.UserVariances[noisiest] {
+			noisiest = s
+		}
+	}
+
+	crh, err := truth.NewCRH()
+	if err != nil {
+		return nil, fmt.Errorf("eval: weights: %w", err)
+	}
+	estOrig, err := crh.Run(inst.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("eval: weights on original: %w", err)
+	}
+	estPert, err := crh.Run(perturbed)
+	if err != nil {
+		return nil, fmt.Errorf("eval: weights on perturbed: %w", err)
+	}
+	trueOrig, err := truth.WeightsAgainst(inst.Dataset, inst.SegmentLengths, truth.NormalizedSquaredDistance)
+	if err != nil {
+		return nil, fmt.Errorf("eval: true weights on original: %w", err)
+	}
+	truePert, err := truth.WeightsAgainst(perturbed, inst.SegmentLengths, truth.NormalizedSquaredDistance)
+	if err != nil {
+		return nil, fmt.Errorf("eval: true weights on perturbed: %w", err)
+	}
+	for _, ws := range [][]float64{estOrig.Weights, estPert.Weights, trueOrig, truePert} {
+		truth.NormalizeWeights(ws)
+	}
+
+	corrOrig, err := stats.Pearson(trueOrig, estOrig.Weights)
+	if err != nil {
+		return nil, fmt.Errorf("eval: weight correlation (original): %w", err)
+	}
+	corrPert, err := stats.Pearson(truePert, estPert.Weights)
+	if err != nil {
+		return nil, fmt.Errorf("eval: weight correlation (perturbed): %w", err)
+	}
+
+	shown := pickSpread(inst.UserBiasStds, cfg.NumShownUsers)
+	mkFigure := func(id, title string, trueW, estW []float64) *Figure {
+		fig := &Figure{
+			ID:     id,
+			Title:  title,
+			XLabel: "user",
+			YLabel: "weight",
+		}
+		tw := Series{Label: "true weight"}
+		ew := Series{Label: "estimated weight"}
+		for rank, s := range shown {
+			x := float64(rank + 1)
+			tw.Points = append(tw.Points, Point{X: x, Y: trueW[s]})
+			ew.Points = append(ew.Points, Point{X: x, Y: estW[s]})
+		}
+		fig.Series = []Series{tw, ew}
+		return fig
+	}
+	return &WeightsResult{
+		Original:             mkFigure("fig7a", "weight comparison on original data", trueOrig, estOrig.Weights),
+		Perturbed:            mkFigure("fig7b", "weight comparison on perturbed data", truePert, estPert.Weights),
+		CorrOriginal:         corrOrig,
+		CorrPerturbed:        corrPert,
+		NoisiestUser:         noisiest,
+		NoisiestVariance:     report.UserVariances[noisiest],
+		NoisiestWeightBefore: estOrig.Weights[noisiest],
+		NoisiestWeightAfter:  estPert.Weights[noisiest],
+	}, nil
+}
+
+// pickSpread returns k user indices evenly spread across the quality
+// ordering (best to worst by the latent quality value, ascending = better).
+func pickSpread(quality []float64, k int) []int {
+	idx := make([]int, len(quality))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return quality[idx[a]] < quality[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]int, 0, k)
+	if k == 1 {
+		return []int{idx[0]}
+	}
+	step := float64(len(idx)-1) / float64(k-1)
+	for i := 0; i < k; i++ {
+		out = append(out, idx[int(math.Round(float64(i)*step))])
+	}
+	return out
+}

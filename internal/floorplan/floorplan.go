@@ -1,0 +1,166 @@
+// Package floorplan simulates the paper's Section 5.2 crowd sensing
+// application: indoor-floorplan construction, where smartphone users
+// estimate hallway-segment lengths as step-size x step-count. The paper
+// used a real Android deployment (247 users, 129 segments); this package
+// substitutes a walker model whose per-user quality spread matches the
+// paper's assumptions, so the utility/privacy curves keep their shape
+// (see DESIGN.md, Substitutions).
+//
+// Walker model. Each hallway segment has a true length drawn uniformly
+// from [MinLength, MaxLength]. Each user has a latent multiplicative
+// step-size bias (their calibrated step length is off by a per-user
+// factor) and per-walk counting noise. The reported distance for segment
+// n by user s is
+//
+//	d_sn = L_n * (1 + b_s) * (1 + e_sn),
+//
+// with b_s ~ N(0, BiasStd^2) fixed per user and e_sn ~ N(0, CountNoise^2)
+// fresh per walk. Users walk a random subset of segments.
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pptd/internal/randx"
+	"pptd/internal/truth"
+)
+
+// ErrBadConfig reports an invalid generator configuration.
+var ErrBadConfig = errors.New("floorplan: invalid config")
+
+// Config parameterizes the simulated deployment.
+type Config struct {
+	// NumUsers is the number of smartphone users (paper: 247).
+	NumUsers int
+	// NumSegments is the number of hallway segments (paper: 129).
+	NumSegments int
+	// MinLength and MaxLength bound segment lengths in meters.
+	MinLength, MaxLength float64
+	// BiasStdLow and BiasStdHigh bound the per-user step-size bias
+	// standard deviation: each user's bias std is drawn uniformly from
+	// this range, giving the quality spread truth discovery exploits.
+	BiasStdLow, BiasStdHigh float64
+	// CountNoise is the per-walk counting noise standard deviation
+	// (fraction of segment length).
+	CountNoise float64
+	// WalkProb is the probability a user walks a given segment.
+	// Coverage of every segment is enforced regardless.
+	WalkProb float64
+}
+
+// Default returns a configuration shaped like the paper's deployment:
+// 247 users, 129 segments of 5-50 m, a wide per-user quality spread, and
+// ~40% segment coverage per user.
+func Default() Config {
+	return Config{
+		NumUsers:    247,
+		NumSegments: 129,
+		MinLength:   5,
+		MaxLength:   50,
+		BiasStdLow:  0.01,
+		BiasStdHigh: 0.12,
+		CountNoise:  0.02,
+		WalkProb:    0.4,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.NumUsers <= 0:
+		return fmt.Errorf("%w: NumUsers = %d", ErrBadConfig, c.NumUsers)
+	case c.NumSegments <= 0:
+		return fmt.Errorf("%w: NumSegments = %d", ErrBadConfig, c.NumSegments)
+	case c.MinLength <= 0 || c.MaxLength <= c.MinLength:
+		return fmt.Errorf("%w: length range [%v, %v]", ErrBadConfig, c.MinLength, c.MaxLength)
+	case c.BiasStdLow < 0 || c.BiasStdHigh < c.BiasStdLow:
+		return fmt.Errorf("%w: bias std range [%v, %v]", ErrBadConfig, c.BiasStdLow, c.BiasStdHigh)
+	case c.CountNoise < 0 || math.IsNaN(c.CountNoise):
+		return fmt.Errorf("%w: CountNoise = %v", ErrBadConfig, c.CountNoise)
+	case c.WalkProb <= 0 || c.WalkProb > 1 || math.IsNaN(c.WalkProb):
+		return fmt.Errorf("%w: WalkProb = %v", ErrBadConfig, c.WalkProb)
+	}
+	return nil
+}
+
+// Instance is one simulated deployment.
+type Instance struct {
+	// Dataset holds the users' original distance reports.
+	Dataset *truth.Dataset
+	// SegmentLengths holds the true hallway lengths (the ground truth).
+	SegmentLengths []float64
+	// UserBiases holds each user's latent step-size bias b_s.
+	UserBiases []float64
+	// UserBiasStds holds the bias std each user was drawn with — the
+	// latent quality knob (smaller is better).
+	UserBiasStds []float64
+}
+
+// Generate draws one deployment from the config using rng.
+func Generate(cfg Config, rng *randx.RNG) (*Instance, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrBadConfig)
+	}
+
+	lengths := make([]float64, cfg.NumSegments)
+	span := cfg.MaxLength - cfg.MinLength
+	for n := range lengths {
+		lengths[n] = cfg.MinLength + span*rng.Float64()
+	}
+
+	biases := make([]float64, cfg.NumUsers)
+	biasStds := make([]float64, cfg.NumUsers)
+	for s := range biases {
+		biasStds[s] = cfg.BiasStdLow + (cfg.BiasStdHigh-cfg.BiasStdLow)*rng.Float64()
+		biases[s] = biasStds[s] * rng.Norm()
+	}
+
+	b := truth.NewBuilder(cfg.NumUsers, cfg.NumSegments)
+	covered := make([]bool, cfg.NumSegments)
+	walked := make([]bool, cfg.NumSegments)
+	for s := 0; s < cfg.NumUsers; s++ {
+		for n := range walked {
+			walked[n] = false
+		}
+		for n, length := range lengths {
+			if cfg.WalkProb < 1 && rng.Float64() >= cfg.WalkProb {
+				continue
+			}
+			b.Add(s, n, report(length, biases[s], cfg.CountNoise, rng))
+			walked[n] = true
+			covered[n] = true
+		}
+		if s == cfg.NumUsers-1 {
+			for n, ok := range covered {
+				if !ok && !walked[n] {
+					b.Add(s, n, report(lengths[n], biases[s], cfg.CountNoise, rng))
+					covered[n] = true
+				}
+			}
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("floorplan: build dataset: %w", err)
+	}
+	return &Instance{
+		Dataset:        ds,
+		SegmentLengths: lengths,
+		UserBiases:     biases,
+		UserBiasStds:   biasStds,
+	}, nil
+}
+
+// report computes one walked-distance estimate.
+func report(length, bias, countNoise float64, rng *randx.RNG) float64 {
+	walkErr := countNoise * rng.Norm()
+	d := length * (1 + bias) * (1 + walkErr)
+	if d < 0 {
+		d = 0 // a walk cannot report negative distance
+	}
+	return d
+}

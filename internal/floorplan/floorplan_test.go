@@ -1,0 +1,170 @@
+package floorplan
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pptd/internal/randx"
+	"pptd/internal/stats"
+	"pptd/internal/truth"
+)
+
+func TestGenerateDefaultShape(t *testing.T) {
+	inst, err := Generate(Default(), randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Dataset.NumUsers() != 247 || inst.Dataset.NumObjects() != 129 {
+		t.Fatalf("dims = (%d, %d)", inst.Dataset.NumUsers(), inst.Dataset.NumObjects())
+	}
+	if len(inst.SegmentLengths) != 129 || len(inst.UserBiases) != 247 || len(inst.UserBiasStds) != 247 {
+		t.Fatal("latent vectors have wrong lengths")
+	}
+	for _, l := range inst.SegmentLengths {
+		if l < 5 || l > 50 {
+			t.Fatalf("segment length %v outside [5, 50]", l)
+		}
+	}
+	// ~40% coverage.
+	total := 247 * 129
+	obs := inst.Dataset.NumObservations()
+	if obs < total/4 || obs > total*6/10 {
+		t.Fatalf("coverage %d/%d far from the configured 40%%", obs, total)
+	}
+}
+
+func TestGenerateEverySegmentCovered(t *testing.T) {
+	cfg := Default()
+	cfg.WalkProb = 0.02 // aggressive sparsity to stress the coverage fix-up
+	cfg.NumUsers = 20
+	inst, err := Generate(cfg, randx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < cfg.NumSegments; n++ {
+		claims, err := inst.Dataset.ObjectObservations(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(claims) == 0 {
+			t.Fatalf("segment %d uncovered", n)
+		}
+	}
+}
+
+func TestGenerateReportsNonNegative(t *testing.T) {
+	cfg := Default()
+	cfg.BiasStdHigh = 0.8 // extreme biases could push reports negative
+	cfg.CountNoise = 0.5
+	inst, err := Generate(cfg, randx.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range inst.Dataset.Observations() {
+		if o.Value < 0 {
+			t.Fatalf("negative distance report %v", o.Value)
+		}
+	}
+}
+
+func TestGenerateQualitySpreadDrivesWeights(t *testing.T) {
+	// Users with small bias std should earn higher CRH weights than
+	// users with large bias std, on average.
+	inst, err := Generate(Default(), randx.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crh, err := truth.NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crh.Run(inst.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goodW, badW stats.Welford
+	for s, bs := range inst.UserBiasStds {
+		switch {
+		case bs < 0.04:
+			goodW.Add(res.Weights[s])
+		case bs > 0.09:
+			badW.Add(res.Weights[s])
+		}
+	}
+	if goodW.N() == 0 || badW.N() == 0 {
+		t.Fatal("quality buckets empty; adjust thresholds")
+	}
+	if goodW.Mean() <= badW.Mean() {
+		t.Fatalf("good users mean weight %v <= bad users %v", goodW.Mean(), badW.Mean())
+	}
+}
+
+func TestTruthDiscoveryRecoverLengths(t *testing.T) {
+	inst, err := Generate(Default(), randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crh, err := truth.NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crh.Run(inst.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae, err := stats.MAE(res.Truths, inst.SegmentLengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multiplicative bias floors accuracy around CountNoise*L; anything
+	// under half a meter on 5-50 m segments is a faithful recovery.
+	if mae > 0.5 {
+		t.Fatalf("CRH MAE on floorplan = %v m", mae)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	base := Default()
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "zero users", mutate: func(c *Config) { c.NumUsers = 0 }},
+		{name: "zero segments", mutate: func(c *Config) { c.NumSegments = 0 }},
+		{name: "bad lengths", mutate: func(c *Config) { c.MaxLength = c.MinLength }},
+		{name: "negative bias", mutate: func(c *Config) { c.BiasStdLow = -0.1 }},
+		{name: "inverted bias range", mutate: func(c *Config) { c.BiasStdHigh = c.BiasStdLow - 0.01 }},
+		{name: "negative count noise", mutate: func(c *Config) { c.CountNoise = -1 }},
+		{name: "bad walk prob", mutate: func(c *Config) { c.WalkProb = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := Generate(cfg, randx.New(1)); !errors.Is(err, ErrBadConfig) {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+	if _, err := Generate(base, nil); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Default(), randx.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Default(), randx.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.SegmentLengths[0]-b.SegmentLengths[0]) != 0 {
+		t.Fatal("segment lengths differ across identical seeds")
+	}
+	if a.Dataset.NumObservations() != b.Dataset.NumObservations() {
+		t.Fatal("observation counts differ across identical seeds")
+	}
+}

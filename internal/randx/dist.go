@@ -1,0 +1,286 @@
+package randx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dist is a univariate continuous distribution that can be sampled and
+// evaluated. All pptd noise and error models implement it so tests can
+// verify samplers against their analytic forms.
+type Dist interface {
+	// Sample draws one variate using rng.
+	Sample(rng *RNG) float64
+	// PDF evaluates the probability density at x.
+	PDF(x float64) float64
+	// CDF evaluates the cumulative distribution at x.
+	CDF(x float64) float64
+	// Mean returns the distribution mean.
+	Mean() float64
+	// Variance returns the distribution variance.
+	Variance() float64
+}
+
+var (
+	// ErrBadParam reports an invalid distribution parameter.
+	ErrBadParam = errors.New("randx: invalid distribution parameter")
+)
+
+// Normal is the Gaussian distribution N(mu, sigma^2).
+type Normal struct {
+	Mu    float64 // mean
+	Sigma float64 // standard deviation, > 0
+}
+
+var _ Dist = Normal{}
+
+// NewNormal validates the parameters and returns N(mu, sigma^2).
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		return Normal{}, fmt.Errorf("%w: normal sigma %v", ErrBadParam, sigma)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Sample draws from N(mu, sigma^2).
+func (n Normal) Sample(rng *RNG) float64 { return n.Mu + n.Sigma*rng.Norm() }
+
+// PDF is the Gaussian density.
+func (n Normal) PDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-0.5*z*z) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF is the Gaussian distribution function, computed via math.Erf.
+func (n Normal) CDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf((x-n.Mu)/(n.Sigma*math.Sqrt2)))
+}
+
+// Quantile returns the p-quantile, p in (0,1), via the Acklam/Wichura
+// rational approximation refined with one Halley step (|error| < 1e-12).
+func (n Normal) Quantile(p float64) float64 {
+	return n.Mu + n.Sigma*stdNormQuantile(p)
+}
+
+// Mean returns mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Variance returns sigma^2.
+func (n Normal) Variance() float64 { return n.Sigma * n.Sigma }
+
+// TailBound returns the Gaussian tail inequality bound used in Lemma 4.7:
+// Pr{|X - mu| > b*sigma} <= 2 e^{-b^2/2} / b for b > 0.
+func (n Normal) TailBound(b float64) float64 {
+	if b <= 0 {
+		return 1
+	}
+	return math.Min(1, 2*math.Exp(-b*b/2)/b)
+}
+
+// Exponential is the exponential distribution with rate lambda
+// (density lambda*e^{-lambda x}, mean 1/lambda). The paper parameterizes
+// both the error-variance prior (lambda1) and the noise-variance prior
+// (lambda2) this way.
+type Exponential struct {
+	Rate float64 // lambda, > 0
+}
+
+var _ Dist = Exponential{}
+
+// NewExponential validates the rate and returns Exp(rate).
+func NewExponential(rate float64) (Exponential, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return Exponential{}, fmt.Errorf("%w: exponential rate %v", ErrBadParam, rate)
+	}
+	return Exponential{Rate: rate}, nil
+}
+
+// Sample draws from Exp(rate).
+func (e Exponential) Sample(rng *RNG) float64 { return rng.Exp() / e.Rate }
+
+// PDF is the exponential density (0 for x < 0).
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return e.Rate * math.Exp(-e.Rate*x)
+}
+
+// CDF is the exponential distribution function.
+func (e Exponential) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Rate*x)
+}
+
+// Quantile returns the p-quantile, p in [0,1).
+func (e Exponential) Quantile(p float64) float64 {
+	return -math.Log(1-p) / e.Rate
+}
+
+// Mean returns 1/rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Variance returns 1/rate^2.
+func (e Exponential) Variance() float64 { return 1 / (e.Rate * e.Rate) }
+
+// Gamma is the gamma distribution with the given shape k and scale theta
+// (mean k*theta). Theorem A.1 uses Gamma(3, 1/lambda1) for the c = 1
+// special case.
+type Gamma struct {
+	Shape float64 // k, > 0
+	Scale float64 // theta, > 0
+}
+
+var _ Dist = Gamma{}
+
+// NewGamma validates the parameters and returns Gamma(shape, scale).
+func NewGamma(shape, scale float64) (Gamma, error) {
+	if shape <= 0 || math.IsNaN(shape) || math.IsInf(shape, 0) {
+		return Gamma{}, fmt.Errorf("%w: gamma shape %v", ErrBadParam, shape)
+	}
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return Gamma{}, fmt.Errorf("%w: gamma scale %v", ErrBadParam, scale)
+	}
+	return Gamma{Shape: shape, Scale: scale}, nil
+}
+
+// Sample draws from Gamma(shape, scale).
+func (g Gamma) Sample(rng *RNG) float64 { return g.Scale * rng.Gamma(g.Shape) }
+
+// PDF is the gamma density (0 for x < 0).
+func (g Gamma) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		if g.Shape < 1 {
+			return math.Inf(1)
+		}
+		if g.Shape == 1 {
+			return 1 / g.Scale
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(g.Shape)
+	logp := (g.Shape-1)*math.Log(x) - x/g.Scale - g.Shape*math.Log(g.Scale) - lg
+	return math.Exp(logp)
+}
+
+// CDF is the regularized lower incomplete gamma function P(shape, x/scale).
+func (g Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncGammaLower(g.Shape, x/g.Scale)
+}
+
+// Mean returns shape*scale.
+func (g Gamma) Mean() float64 { return g.Shape * g.Scale }
+
+// Variance returns shape*scale^2.
+func (g Gamma) Variance() float64 { return g.Shape * g.Scale * g.Scale }
+
+// stdNormQuantile computes the standard normal inverse CDF.
+func stdNormQuantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p <= 0 || p >= 1:
+		if p == 0 {
+			return math.Inf(-1)
+		}
+		if p == 1 {
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	// Beasley-Springer-Moro style rational approximation (Acklam's
+	// coefficients), then one Halley refinement against math.Erf.
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((-7.784894002430293e-03*q-3.223964580411365e-01)*q-2.400758277161838e+00)*q-2.549732539343734e+00)*q+4.374664141464968e+00)*q + 2.938163982698783e+00) /
+			((((7.784695709041462e-03*q+3.224671290700398e-01)*q+2.445134137142996e+00)*q+3.754408661907416e+00)*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((-3.969683028665376e+01*r+2.209460984245205e+02)*r-2.759285104469687e+02)*r+1.383577518672690e+02)*r-3.066479806614716e+01)*r + 2.506628277459239e+00) * q /
+			(((((-5.447609879822406e+01*r+1.615858368580409e+02)*r-1.556989798598866e+02)*r+6.680131188771972e+01)*r-1.328068155288572e+01)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((-7.784894002430293e-03*q-3.223964580411365e-01)*q-2.400758277161838e+00)*q-2.549732539343734e+00)*q+4.374664141464968e+00)*q + 2.938163982698783e+00) /
+			((((7.784695709041462e-03*q+3.224671290700398e-01)*q+2.445134137142996e+00)*q+3.754408661907416e+00)*q + 1)
+	}
+	// Halley refinement.
+	e := 0.5*(1+math.Erf(x/math.Sqrt2)) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// regIncGammaLower computes the regularized lower incomplete gamma
+// function P(a, x) using the series expansion for x < a+1 and the
+// continued fraction for the complement otherwise (Numerical Recipes
+// style, stdlib only).
+func regIncGammaLower(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return incGammaSeries(a, x)
+	}
+	return 1 - incGammaContinuedFraction(a, x)
+}
+
+func incGammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for range make([]struct{}, 500) {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func incGammaContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

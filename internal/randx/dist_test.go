@@ -1,0 +1,268 @@
+package randx
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewNormalValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		mu      float64
+		sigma   float64
+		wantErr bool
+	}{
+		{name: "valid", mu: 0, sigma: 1, wantErr: false},
+		{name: "zero sigma", mu: 0, sigma: 0, wantErr: true},
+		{name: "negative sigma", mu: 0, sigma: -1, wantErr: true},
+		{name: "nan sigma", mu: 0, sigma: math.NaN(), wantErr: true},
+		{name: "inf sigma", mu: 0, sigma: math.Inf(1), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewNormal(tt.mu, tt.sigma)
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Fatalf("NewNormal(%v, %v) error = %v, wantErr %v", tt.mu, tt.sigma, err, tt.wantErr)
+			}
+			if err != nil && !errors.Is(err, ErrBadParam) {
+				t.Fatalf("error %v does not wrap ErrBadParam", err)
+			}
+		})
+	}
+}
+
+func TestNormalPDFCDF(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	if !almostEqual(n.PDF(0), 1/math.Sqrt(2*math.Pi), 1e-12) {
+		t.Errorf("standard normal PDF(0) = %v", n.PDF(0))
+	}
+	if !almostEqual(n.CDF(0), 0.5, 1e-12) {
+		t.Errorf("standard normal CDF(0) = %v", n.CDF(0))
+	}
+	if !almostEqual(n.CDF(1.959963984540054), 0.975, 1e-9) {
+		t.Errorf("CDF(1.96) = %v, want 0.975", n.CDF(1.959963984540054))
+	}
+
+	shifted := Normal{Mu: 3, Sigma: 2}
+	if !almostEqual(shifted.CDF(3), 0.5, 1e-12) {
+		t.Errorf("N(3,4) CDF(3) = %v, want 0.5", shifted.CDF(3))
+	}
+	if !almostEqual(shifted.Mean(), 3, 0) || !almostEqual(shifted.Variance(), 4, 1e-12) {
+		t.Errorf("N(3,4) moments wrong: mean %v var %v", shifted.Mean(), shifted.Variance())
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	n := Normal{Mu: -1.5, Sigma: 0.7}
+	for _, p := range []float64{1e-6, 0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999, 1 - 1e-6} {
+		x := n.Quantile(p)
+		if got := n.CDF(x); !almostEqual(got, p, 1e-9) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	if !math.IsInf(n.Quantile(0), -1) {
+		t.Errorf("Quantile(0) = %v, want -Inf", n.Quantile(0))
+	}
+	if !math.IsInf(n.Quantile(1), 1) {
+		t.Errorf("Quantile(1) = %v, want +Inf", n.Quantile(1))
+	}
+	if !math.IsNaN(n.Quantile(-0.1)) || !math.IsNaN(n.Quantile(1.1)) {
+		t.Error("Quantile outside [0,1] should be NaN")
+	}
+}
+
+func TestNormalSampleMatchesCDF(t *testing.T) {
+	rng := New(100)
+	n := Normal{Mu: 2, Sigma: 3}
+	const draws = 200000
+	below := 0
+	for i := 0; i < draws; i++ {
+		if n.Sample(rng) <= 2 {
+			below++
+		}
+	}
+	frac := float64(below) / draws
+	if !almostEqual(frac, 0.5, 0.005) {
+		t.Errorf("Pr{X <= mu} = %v, want ~0.5", frac)
+	}
+}
+
+func TestNormalTailBound(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	// The bound must dominate the true two-sided tail probability.
+	for _, b := range []float64{0.5, 1, 2, 3} {
+		trueTail := 2 * (1 - n.CDF(b))
+		if bound := n.TailBound(b); bound < trueTail {
+			t.Errorf("TailBound(%v) = %v below true tail %v", b, bound, trueTail)
+		}
+	}
+	if n.TailBound(-1) != 1 || n.TailBound(0) != 1 {
+		t.Error("TailBound for non-positive b should be the trivial bound 1")
+	}
+}
+
+func TestNewExponentialValidation(t *testing.T) {
+	if _, err := NewExponential(2); err != nil {
+		t.Fatalf("NewExponential(2) unexpected error: %v", err)
+	}
+	for _, rate := range []float64{0, -3, math.NaN(), math.Inf(1)} {
+		if _, err := NewExponential(rate); !errors.Is(err, ErrBadParam) {
+			t.Errorf("NewExponential(%v) error = %v, want ErrBadParam", rate, err)
+		}
+	}
+}
+
+func TestExponentialAnalytic(t *testing.T) {
+	e := Exponential{Rate: 2}
+	if !almostEqual(e.Mean(), 0.5, 1e-15) || !almostEqual(e.Variance(), 0.25, 1e-15) {
+		t.Errorf("Exp(2) moments: mean %v var %v", e.Mean(), e.Variance())
+	}
+	if !almostEqual(e.PDF(0), 2, 1e-15) {
+		t.Errorf("Exp(2) PDF(0) = %v, want 2", e.PDF(0))
+	}
+	if e.PDF(-1) != 0 || e.CDF(-1) != 0 {
+		t.Error("Exp density/CDF should be 0 for x < 0")
+	}
+	if !almostEqual(e.CDF(e.Quantile(0.7)), 0.7, 1e-12) {
+		t.Error("Exp quantile/CDF round trip failed")
+	}
+}
+
+func TestExponentialSampleMean(t *testing.T) {
+	rng := New(101)
+	e := Exponential{Rate: 4}
+	const draws = 200000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		sum += e.Sample(rng)
+	}
+	if mean := sum / draws; !almostEqual(mean, 0.25, 0.005) {
+		t.Errorf("Exp(4) sample mean = %v, want ~0.25", mean)
+	}
+}
+
+func TestNewGammaValidation(t *testing.T) {
+	if _, err := NewGamma(3, 0.5); err != nil {
+		t.Fatalf("NewGamma(3, 0.5) unexpected error: %v", err)
+	}
+	bad := [][2]float64{{0, 1}, {-1, 1}, {1, 0}, {1, -2}, {math.NaN(), 1}, {1, math.Inf(1)}}
+	for _, p := range bad {
+		if _, err := NewGamma(p[0], p[1]); !errors.Is(err, ErrBadParam) {
+			t.Errorf("NewGamma(%v, %v) error = %v, want ErrBadParam", p[0], p[1], err)
+		}
+	}
+}
+
+func TestGammaAnalytic(t *testing.T) {
+	g := Gamma{Shape: 3, Scale: 0.5}
+	if !almostEqual(g.Mean(), 1.5, 1e-15) || !almostEqual(g.Variance(), 0.75, 1e-15) {
+		t.Errorf("Gamma(3, 0.5) moments: mean %v var %v", g.Mean(), g.Variance())
+	}
+	// Gamma(1, theta) is Exp(1/theta).
+	g1 := Gamma{Shape: 1, Scale: 2}
+	e := Exponential{Rate: 0.5}
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		if !almostEqual(g1.PDF(x), e.PDF(x), 1e-12) {
+			t.Errorf("Gamma(1,2).PDF(%v) = %v, want Exp(0.5).PDF = %v", x, g1.PDF(x), e.PDF(x))
+		}
+		if !almostEqual(g1.CDF(x), e.CDF(x), 1e-10) {
+			t.Errorf("Gamma(1,2).CDF(%v) = %v, want Exp(0.5).CDF = %v", x, g1.CDF(x), e.CDF(x))
+		}
+	}
+	// Known value: P(3, 3) where P is the regularized lower incomplete
+	// gamma: 1 - e^{-3}(1 + 3 + 4.5) = 0.5768099...
+	g3 := Gamma{Shape: 3, Scale: 1}
+	want := 1 - math.Exp(-3)*(1+3+4.5)
+	if !almostEqual(g3.CDF(3), want, 1e-10) {
+		t.Errorf("Gamma(3,1).CDF(3) = %v, want %v", g3.CDF(3), want)
+	}
+}
+
+func TestGammaPDFEdgeCases(t *testing.T) {
+	if got := (Gamma{Shape: 0.5, Scale: 1}).PDF(0); !math.IsInf(got, 1) {
+		t.Errorf("Gamma(0.5).PDF(0) = %v, want +Inf", got)
+	}
+	if got := (Gamma{Shape: 1, Scale: 2}).PDF(0); !almostEqual(got, 0.5, 1e-15) {
+		t.Errorf("Gamma(1,2).PDF(0) = %v, want 0.5", got)
+	}
+	if got := (Gamma{Shape: 2, Scale: 1}).PDF(0); got != 0 {
+		t.Errorf("Gamma(2).PDF(0) = %v, want 0", got)
+	}
+	if got := (Gamma{Shape: 2, Scale: 1}).PDF(-1); got != 0 {
+		t.Errorf("Gamma(2).PDF(-1) = %v, want 0", got)
+	}
+}
+
+func TestGammaSampleMatchesCDF(t *testing.T) {
+	rng := New(102)
+	g := Gamma{Shape: 3, Scale: 1.0 / 2}
+	const draws = 200000
+	median := 0.0
+	// Empirical check: fraction below an arbitrary threshold matches CDF.
+	threshold := 1.2
+	below := 0
+	for i := 0; i < draws; i++ {
+		x := g.Sample(rng)
+		if x <= threshold {
+			below++
+		}
+		median += x
+	}
+	frac := float64(below) / draws
+	if want := g.CDF(threshold); !almostEqual(frac, want, 0.01) {
+		t.Errorf("empirical CDF(%v) = %v, want %v", threshold, frac, want)
+	}
+}
+
+func TestCDFMonotoneQuick(t *testing.T) {
+	dists := []Dist{
+		Normal{Mu: 0.3, Sigma: 1.7},
+		Exponential{Rate: 0.9},
+		Gamma{Shape: 2.5, Scale: 0.8},
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for _, d := range dists {
+			cl, ch := d.CDF(lo), d.CDF(hi)
+			if cl > ch+1e-12 || cl < 0 || ch > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncGammaLowerEdges(t *testing.T) {
+	if got := regIncGammaLower(2, 0); got != 0 {
+		t.Errorf("P(2, 0) = %v, want 0", got)
+	}
+	if got := regIncGammaLower(-1, 1); !math.IsNaN(got) {
+		t.Errorf("P(-1, 1) = %v, want NaN", got)
+	}
+	if got := regIncGammaLower(2, -1); !math.IsNaN(got) {
+		t.Errorf("P(2, -1) = %v, want NaN", got)
+	}
+	// Large x: P(a, x) -> 1.
+	if got := regIncGammaLower(2, 100); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("P(2, 100) = %v, want ~1", got)
+	}
+}

@@ -1,0 +1,82 @@
+package randx
+
+import (
+	"math"
+	"testing"
+
+	"pptd/internal/stats"
+)
+
+// ksCheck draws n samples and verifies the KS statistic against the
+// distribution's analytic CDF at significance 1e-4 (loose enough to keep
+// the seeded test deterministic and non-flaky, tight enough to catch a
+// broken sampler immediately).
+func ksCheck(t *testing.T, name string, d Dist, rng *RNG, n int) {
+	t.Helper()
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+	}
+	stat, err := stats.KolmogorovSmirnov(xs, d.CDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := stats.KSCriticalValue(n, 1e-4); stat > crit {
+		t.Errorf("%s: KS statistic %v exceeds critical value %v", name, stat, crit)
+	}
+}
+
+func TestSamplersPassKS(t *testing.T) {
+	const n = 50000
+	rng := New(2024)
+	tests := []struct {
+		name string
+		dist Dist
+	}{
+		{name: "std normal", dist: Normal{Mu: 0, Sigma: 1}},
+		{name: "shifted normal", dist: Normal{Mu: -3, Sigma: 0.5}},
+		{name: "exp rate 1", dist: Exponential{Rate: 1}},
+		{name: "exp rate 5", dist: Exponential{Rate: 5}},
+		{name: "gamma shape 0.7", dist: Gamma{Shape: 0.7, Scale: 2}},
+		{name: "gamma shape 3", dist: Gamma{Shape: 3, Scale: 0.5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ksCheck(t, tt.name, tt.dist, rng.Split(), n)
+		})
+	}
+}
+
+func TestCompoundNoiseDistribution(t *testing.T) {
+	// The mechanism's compound noise xi ~ N(0, Z), Z ~ Exp(lambda2) has
+	// CDF expressible via the variance mixture; rather than derive it,
+	// verify the weaker but load-bearing property used by the theory:
+	// the uniform half of draws below 0 and the closed-form E|xi|.
+	rng := New(2025)
+	const (
+		n       = 200000
+		lambda2 = 2.0
+	)
+	below := 0
+	var absSum float64
+	for i := 0; i < n; i++ {
+		variance := rng.Exp() / lambda2
+		x := Normal{Mu: 0, Sigma: math.Sqrt(variance)}.Sample(rng)
+		if x < 0 {
+			below++
+		}
+		if x < 0 {
+			absSum -= x
+		} else {
+			absSum += x
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.49 || frac > 0.51 {
+		t.Errorf("compound noise not symmetric: Pr{x<0} = %v", frac)
+	}
+	want := 1 / math.Sqrt(2*lambda2)
+	if got := absSum / n; got < 0.97*want || got > 1.03*want {
+		t.Errorf("E|xi| = %v, closed form %v", got, want)
+	}
+}

@@ -1,0 +1,204 @@
+// Package randx provides the deterministic random-number substrate used by
+// every stochastic component in pptd.
+//
+// The paper's mechanism stacks randomness three deep — per-user error
+// variances sigma_s^2 ~ Exp(lambda1), per-user noise variances
+// delta_s^2 ~ Exp(lambda2), and per-reading Gaussian noise N(0, delta_s^2) —
+// so reproducible experiments need an RNG whose output is stable across
+// machines and Go releases. randx implements xoshiro256++ seeded through
+// splitmix64, together with the samplers the mechanism needs (uniform,
+// normal, exponential, gamma). Only the standard library is used.
+package randx
+
+import "math"
+
+// RNG is a deterministic pseudo-random generator. It is NOT safe for
+// concurrent use; derive independent streams with Split instead of sharing.
+type RNG struct {
+	s [4]uint64
+
+	// Spare variate cached by the polar normal sampler.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns an RNG seeded from seed via splitmix64, following the
+// xoshiro authors' recommended initialization. Distinct seeds give
+// independent-looking streams; the same seed always gives the same stream.
+func New(seed uint64) *RNG {
+	var r RNG
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitmix64(sm)
+	}
+	// xoshiro256++ must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Split derives a new RNG whose stream is independent of the receiver's
+// future output. It consumes one value from the receiver, so repeated
+// Split calls yield distinct children deterministically.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64())
+}
+
+// Uint64 returns the next 64 uniformly distributed bits (xoshiro256++).
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]
+
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, unbiased.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul128(v, un)
+	if lo < un {
+		threshold := (-un) % un
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = mul128(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// Norm returns a standard normal N(0,1) variate using the Marsaglia polar
+// method. The polar method is exact (no tail truncation) and needs only
+// Float64 draws, keeping the stream portable.
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// Exp returns an Exp(1) variate (mean 1) via inversion. Callers scale by
+// the desired mean: mean * Exp().
+func (r *RNG) Exp() float64 {
+	// 1 - Float64() is in (0, 1], so the log argument is never zero.
+	return -math.Log(1 - r.Float64())
+}
+
+// Gamma returns a Gamma(shape, 1) variate using the Marsaglia–Tsang
+// squeeze method, with the Johnk boost for shape < 1. It panics if
+// shape <= 0.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("randx: Gamma called with non-positive shape")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n indices in place using swap (Fisher–Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+func rotl(x uint64, k uint) uint64 {
+	return (x << k) | (x >> (64 - k))
+}
+
+// splitmix64 advances the splitmix64 state and returns (next state, output).
+func splitmix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+
+	t := a0 * b0
+	lo = t & mask32
+	carry := t >> 32
+
+	t = a1*b0 + carry
+	mid1 := t & mask32
+	carry = t >> 32
+
+	t = a0*b1 + mid1
+	lo |= (t & mask32) << 32
+	carry2 := t >> 32
+
+	hi = a1*b1 + carry + carry2
+	return hi, lo
+}

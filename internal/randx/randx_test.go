@@ -1,0 +1,272 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestNewDistinctSeeds(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 1000", same)
+	}
+}
+
+func TestNewZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero-seeded RNG produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children produced %d identical draws out of 1000", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(6)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d deviates from expected %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(8)
+	const n = 500000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormTail(t *testing.T) {
+	r := New(9)
+	const n = 500000
+	beyond2 := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(r.Norm()) > 2 {
+			beyond2++
+		}
+	}
+	// Pr{|Z|>2} ~ 0.0455.
+	frac := float64(beyond2) / n
+	if math.Abs(frac-0.0455) > 0.004 {
+		t.Errorf("Pr{|Z|>2} = %v, want ~0.0455", frac)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(10)
+	const n = 500000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Exp()
+		if x < 0 {
+			t.Fatalf("Exp produced negative value %v", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("exponential mean = %v, want ~1", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("exponential variance = %v, want ~1", variance)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(11)
+	for _, shape := range []float64{0.5, 1, 2, 3, 7.5} {
+		const n = 300000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := r.Gamma(shape)
+			if x < 0 {
+				t.Fatalf("Gamma(%v) produced negative value %v", shape, x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-shape) > 0.05*math.Max(1, shape) {
+			t.Errorf("Gamma(%v) mean = %v, want ~%v", shape, mean, shape)
+		}
+		if math.Abs(variance-shape) > 0.1*math.Max(1, shape) {
+			t.Errorf("Gamma(%v) variance = %v, want ~%v", shape, variance, shape)
+		}
+	}
+}
+
+func TestGammaPanicsOnNonPositiveShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0) did not panic")
+		}
+	}()
+	New(1).Gamma(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(12)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(13)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestMul128AgainstBig(t *testing.T) {
+	// Property: mul128 must match (a*b) mod 2^64 in its low word for all
+	// inputs, and simple known cases in the high word.
+	f := func(a, b uint64) bool {
+		_, lo := mul128(a, b)
+		return lo == a*b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	hi, lo := mul128(1<<63, 2)
+	if hi != 1 || lo != 0 {
+		t.Fatalf("mul128(2^63, 2) = (%d, %d), want (1, 0)", hi, lo)
+	}
+}
+
+func TestFloat64QuickProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

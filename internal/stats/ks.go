@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrBadCDF reports a nil reference CDF.
+var ErrBadCDF = errors.New("stats: nil reference CDF")
+
+// KolmogorovSmirnov returns the one-sample Kolmogorov-Smirnov statistic
+// D_n = sup_x |F_n(x) - F(x)| between the empirical distribution of xs
+// and the reference CDF. Used by the test suite to validate the randx
+// samplers against their analytic distributions.
+func KolmogorovSmirnov(xs []float64, cdf func(float64) float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if cdf == nil {
+		return 0, ErrBadCDF
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var d float64
+	for i, x := range sorted {
+		f := cdf(x)
+		if lo := f - float64(i)/n; lo > d {
+			d = lo
+		}
+		if hi := float64(i+1)/n - f; hi > d {
+			d = hi
+		}
+	}
+	return d, nil
+}
+
+// KSCriticalValue returns the asymptotic critical value of the one-sample
+// KS statistic at the given significance level alpha (two-sided):
+// c(alpha)/sqrt(n) with c(alpha) = sqrt(-ln(alpha/2)/2). Valid for large
+// n; the test suite uses n in the tens of thousands.
+func KSCriticalValue(n int, alpha float64) float64 {
+	if n <= 0 || alpha <= 0 || alpha >= 1 {
+		return math.NaN()
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c / math.Sqrt(float64(n))
+}

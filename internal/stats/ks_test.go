@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestKolmogorovSmirnovExactUniform(t *testing.T) {
+	// Empirical CDF of {0.25, 0.75} against U(0,1):
+	// at 0.25: F=0.25, F_n jumps 0->0.5 => D >= 0.25;
+	// at 0.75: F=0.75, F_n jumps 0.5->1 => D >= 0.25. D = 0.25.
+	d, err := KolmogorovSmirnov([]float64{0.75, 0.25}, func(x float64) float64 {
+		switch {
+		case x < 0:
+			return 0
+		case x > 1:
+			return 1
+		default:
+			return x
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.25) > 1e-12 {
+		t.Fatalf("D = %v, want 0.25", d)
+	}
+}
+
+func TestKolmogorovSmirnovErrors(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, func(float64) float64 { return 0 }); !errors.Is(err, ErrEmpty) {
+		t.Error("empty sample accepted")
+	}
+	if _, err := KolmogorovSmirnov([]float64{1}, nil); !errors.Is(err, ErrBadCDF) {
+		t.Error("nil CDF accepted")
+	}
+}
+
+func TestKSCriticalValue(t *testing.T) {
+	// c(0.05) = 1.3581; at n = 10000 the critical value is ~0.01358.
+	got := KSCriticalValue(10000, 0.05)
+	if math.Abs(got-0.013581) > 1e-4 {
+		t.Fatalf("critical value = %v, want ~0.01358", got)
+	}
+	if !math.IsNaN(KSCriticalValue(0, 0.05)) || !math.IsNaN(KSCriticalValue(10, 1.5)) {
+		t.Error("invalid inputs should be NaN")
+	}
+	// Larger n shrinks the critical value.
+	if KSCriticalValue(100, 0.05) <= KSCriticalValue(10000, 0.05) {
+		t.Error("critical value not decreasing in n")
+	}
+}

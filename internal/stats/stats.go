@@ -1,0 +1,274 @@
+// Package stats provides the descriptive statistics and error metrics used
+// throughout pptd: means, variances, quantiles, the MAE/RMSE utility
+// metrics from the paper's evaluation, histograms, and streaming moments.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty reports a statistic requested over an empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ErrLengthMismatch reports paired statistics over slices of unequal length.
+var ErrLengthMismatch = errors.New("stats: length mismatch")
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// WeightedMean returns sum(w_i x_i) / sum(w_i). It returns an error if the
+// slices differ in length, are empty, or the weights sum to zero.
+func WeightedMean(xs, ws []float64) (float64, error) {
+	if len(xs) != len(ws) {
+		return 0, fmt.Errorf("%w: %d values, %d weights", ErrLengthMismatch, len(xs), len(ws))
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var num, den float64
+	for i, x := range xs {
+		num += ws[i] * x
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0, errors.New("stats: weights sum to zero")
+	}
+	return num / den, nil
+}
+
+// Variance returns the population variance of xs (denominator n), or NaN
+// for an empty slice.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased sample variance (denominator n-1),
+// or NaN for fewer than two values.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Median returns the median of xs (average of the middle two for even
+// lengths), or NaN for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the p-quantile of xs with linear interpolation
+// (type-7 / the common spreadsheet convention), for p in [0, 1].
+// It returns NaN for an empty slice or p outside [0, 1]. xs is not
+// modified.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	h := p * float64(len(sorted)-1)
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MAE returns the mean absolute error between paired slices a and b —
+// the paper's utility metric (L1 distance averaged over objects).
+func MAE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(len(a)), nil
+}
+
+// RMSE returns the root mean squared error between paired slices a and b.
+func RMSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(a))), nil
+}
+
+// MaxAbsError returns the maximum absolute difference between paired
+// slices a and b.
+func MaxAbsError(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	var maxd float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > maxd {
+			maxd = d
+		}
+	}
+	return maxd, nil
+}
+
+// MeanAbs returns the mean of |x_i| — used for the "average of added
+// noise" axis in the paper's figures.
+func MeanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Abs(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// Pearson returns the Pearson correlation coefficient between paired
+// slices a and b. It returns an error for mismatched lengths, fewer than
+// two points, or zero variance in either slice.
+func Pearson(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(a), len(b))
+	}
+	if len(a) < 2 {
+		return 0, ErrEmpty
+	}
+	ma, mb := Mean(a), Mean(b)
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return cov / math.Sqrt(va*vb), nil
+}
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Q25    float64
+	Median float64
+	Q75    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrEmpty for an empty
+// slice.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    xs[0],
+		Max:    xs[0],
+		Q25:    Quantile(xs, 0.25),
+		Median: Median(xs),
+		Q75:    Quantile(xs, 0.75),
+	}
+	for _, x := range xs[1:] {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s, nil
+}
+
+// String formats the summary on a single line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g q25=%.4g med=%.4g q75=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Q25, s.Median, s.Q75, s.Max)
+}
+
+// Histogram counts xs into nbins equal-width bins spanning [min, max].
+// Values exactly at max land in the last bin. It returns an error for an
+// empty sample, non-positive bin count, or max <= min.
+func Histogram(xs []float64, nbins int, min, max float64) ([]int, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if nbins <= 0 {
+		return nil, fmt.Errorf("stats: non-positive bin count %d", nbins)
+	}
+	if max <= min {
+		return nil, fmt.Errorf("stats: bad histogram range [%v, %v]", min, max)
+	}
+	counts := make([]int, nbins)
+	width := (max - min) / float64(nbins)
+	for _, x := range xs {
+		if x < min || x > max {
+			continue
+		}
+		idx := int((x - min) / width)
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		counts[idx]++
+	}
+	return counts, nil
+}

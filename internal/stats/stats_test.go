@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "simple", give: []float64{1, 2, 3}, want: 2},
+		{name: "single", give: []float64{5}, want: 5},
+		{name: "negative", give: []float64{-1, 1}, want: 0},
+		{name: "fractional", give: []float64{0.5, 1.5, 2.5, 3.5}, want: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.give); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]float64{1, 3}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("WeightedMean = %v, want 2.5", got)
+	}
+
+	if _, err := WeightedMean([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("mismatch error = %v, want ErrLengthMismatch", err)
+	}
+	if _, err := WeightedMean(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty error = %v, want ErrEmpty", err)
+	}
+	if _, err := WeightedMean([]float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Error("zero-weight-sum should error")
+	}
+}
+
+func TestWeightedMeanEqualWeightsIsMean(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				return true
+			}
+		}
+		ws := make([]float64, len(xs))
+		for i := range ws {
+			ws[i] = 1
+		}
+		wm, err := WeightedMean(xs, ws)
+		if err != nil {
+			return false
+		}
+		return almostEqual(wm, Mean(xs), 1e-6*(1+math.Abs(Mean(xs))))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := SampleVariance(xs); !almostEqual(got, 32.0/7, 1e-12) {
+		t.Errorf("SampleVariance = %v, want %v", got, 32.0/7)
+	}
+	if !math.IsNaN(Variance(nil)) || !math.IsNaN(SampleVariance([]float64{1})) {
+		t.Error("degenerate variance should be NaN")
+	}
+}
+
+func TestMedianAndQuantile(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		p    float64
+		want float64
+	}{
+		{name: "odd median", give: []float64{3, 1, 2}, p: 0.5, want: 2},
+		{name: "even median", give: []float64{4, 1, 3, 2}, p: 0.5, want: 2.5},
+		{name: "min", give: []float64{5, 1, 9}, p: 0, want: 1},
+		{name: "max", give: []float64{5, 1, 9}, p: 1, want: 9},
+		{name: "interpolated q25", give: []float64{1, 2, 3, 4}, p: 0.25, want: 1.75},
+		{name: "single", give: []float64{7}, p: 0.9, want: 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Quantile(tt.give, tt.p); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Quantile(%v, %v) = %v, want %v", tt.give, tt.p, got, tt.want)
+			}
+		})
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Quantile([]float64{1}, -0.1)) || !math.IsNaN(Quantile([]float64{1}, 1.1)) {
+		t.Error("invalid quantile inputs should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_ = Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	got, err := MAE([]float64{1, 2, 3}, []float64{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 1, 1e-12) {
+		t.Errorf("MAE = %v, want 1", got)
+	}
+	if _, err := MAE([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Error("MAE length mismatch not reported")
+	}
+	if _, err := MAE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Error("MAE empty not reported")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, math.Sqrt(12.5), 1e-12) {
+		t.Errorf("RMSE = %v, want sqrt(12.5)", got)
+	}
+}
+
+func TestRMSEDominatesMAE(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		a, b = a[:n], b[:n]
+		for i := 0; i < n; i++ {
+			if math.IsNaN(a[i]) || math.IsNaN(b[i]) || math.Abs(a[i]) > 1e6 || math.Abs(b[i]) > 1e6 {
+				return true
+			}
+		}
+		mae, err1 := MAE(a, b)
+		rmse, err2 := RMSE(a, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rmse >= mae-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAbsError(t *testing.T) {
+	got, err := MaxAbsError([]float64{1, 5, 2}, []float64{1, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("MaxAbsError = %v, want 4", got)
+	}
+}
+
+func TestMeanAbs(t *testing.T) {
+	if got := MeanAbs([]float64{-1, 1, -3, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("MeanAbs = %v, want 2", got)
+	}
+	if !math.IsNaN(MeanAbs(nil)) {
+		t.Error("MeanAbs(nil) should be NaN")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	got, err := Pearson(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Pearson = %v, want 1", got)
+	}
+	c := []float64{10, 8, 6, 4, 2}
+	got, err = Pearson(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, -1, 1e-12) {
+		t.Errorf("Pearson anti = %v, want -1", got)
+	}
+	if _, err := Pearson(a, []float64{1, 1, 1, 1, 1}); err == nil {
+		t.Error("zero variance should error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); !errors.Is(err, ErrEmpty) {
+		t.Error("too-short input should report ErrEmpty")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{4, 1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || !almostEqual(s.Median, 2.5, 1e-12) {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String empty")
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Summarize(nil) should report ErrEmpty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, err := Histogram([]float64{0, 0.1, 0.5, 0.9, 1.0, -5, 7}, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 2 || counts[1] != 3 {
+		t.Errorf("Histogram = %v, want [2 3]", counts)
+	}
+	if _, err := Histogram(nil, 2, 0, 1); !errors.Is(err, ErrEmpty) {
+		t.Error("empty histogram not reported")
+	}
+	if _, err := Histogram([]float64{1}, 0, 0, 1); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := Histogram([]float64{1}, 2, 1, 1); err == nil {
+		t.Error("degenerate range should error")
+	}
+}

@@ -1,0 +1,76 @@
+package stats
+
+import "math"
+
+// Welford accumulates streaming mean and variance using Welford's
+// numerically stable online algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// AddAll folds every value of xs into the accumulator.
+func (w *Welford) AddAll(xs []float64) {
+	for _, x := range xs {
+		w.Add(x)
+	}
+}
+
+// N returns the number of accumulated values.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean, or NaN if no values were added.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the running population variance (denominator n), or
+// NaN if no values were added.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the running unbiased variance (denominator n-1),
+// or NaN for fewer than two values.
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Merge folds another accumulator into w (Chan et al. parallel variant),
+// so partial streams can be combined.
+func (w *Welford) Merge(other Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = other
+		return
+	}
+	n1, n2 := float64(w.n), float64(other.n)
+	delta := other.mean - w.mean
+	total := n1 + n2
+	w.mean += delta * n2 / total
+	w.m2 += other.m2 + delta*delta*n1*n2/total
+	w.n += other.n
+}

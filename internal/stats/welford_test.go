@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	xs := []float64{1.5, -2, 0, 4.25, 3, 3, -7}
+	var w Welford
+	w.AddAll(xs)
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", w.N(), len(xs))
+	}
+	if !almostEqual(w.Mean(), Mean(xs), 1e-12) {
+		t.Errorf("Mean = %v, want %v", w.Mean(), Mean(xs))
+	}
+	if !almostEqual(w.Variance(), Variance(xs), 1e-12) {
+		t.Errorf("Variance = %v, want %v", w.Variance(), Variance(xs))
+	}
+	if !almostEqual(w.SampleVariance(), SampleVariance(xs), 1e-12) {
+		t.Errorf("SampleVariance = %v, want %v", w.SampleVariance(), SampleVariance(xs))
+	}
+	if !almostEqual(w.StdDev(), StdDev(xs), 1e-12) {
+		t.Errorf("StdDev = %v, want %v", w.StdDev(), StdDev(xs))
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Variance()) {
+		t.Error("empty Welford should report NaN moments")
+	}
+	w.Add(1)
+	if !math.IsNaN(w.SampleVariance()) {
+		t.Error("single-value sample variance should be NaN")
+	}
+}
+
+func TestWelfordMergeMatchesCombined(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var wa, wb, wAll Welford
+		wa.AddAll(a)
+		wb.AddAll(b)
+		wAll.AddAll(a)
+		wAll.AddAll(b)
+		wa.Merge(wb)
+		if wa.N() != wAll.N() {
+			return false
+		}
+		if wa.N() == 0 {
+			return true
+		}
+		scale := 1 + math.Abs(wAll.Mean())
+		return almostEqual(wa.Mean(), wAll.Mean(), 1e-8*scale) &&
+			almostEqual(wa.Variance(), wAll.Variance(), 1e-6*(1+wAll.Variance()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeIntoEmpty(t *testing.T) {
+	var a, b Welford
+	b.AddAll([]float64{1, 2, 3})
+	a.Merge(b)
+	if a.N() != 3 || !almostEqual(a.Mean(), 2, 1e-12) {
+		t.Errorf("merge into empty: n=%d mean=%v", a.N(), a.Mean())
+	}
+	// Merging an empty accumulator is a no-op.
+	var empty Welford
+	a.Merge(empty)
+	if a.N() != 3 {
+		t.Errorf("merge of empty changed n to %d", a.N())
+	}
+}

@@ -1,0 +1,133 @@
+// Package synthetic generates the Section 5.1 evaluation data: S users
+// whose error variances follow Exp(lambda1) observing N objects with known
+// ground truths. The paper's setup is 150 users and 30 objects; the
+// generator parameterizes all of it so the harness can sweep S and
+// lambda1 (Figs. 3 and 4).
+package synthetic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pptd/internal/randx"
+	"pptd/internal/truth"
+)
+
+// ErrBadConfig reports an invalid generator configuration.
+var ErrBadConfig = errors.New("synthetic: invalid config")
+
+// Config parameterizes the synthetic crowd.
+type Config struct {
+	// NumUsers is S, the number of users (paper default 150).
+	NumUsers int
+	// NumObjects is N, the number of objects (paper default 30).
+	NumObjects int
+	// Lambda1 is the rate of the exponential prior on user error
+	// variances sigma_s^2 ~ Exp(Lambda1). Larger means better users.
+	Lambda1 float64
+	// TruthLow and TruthHigh bound the uniform ground-truth range.
+	TruthLow, TruthHigh float64
+	// ObserveProb is the probability a user observes each object
+	// (1 = dense, the paper's setting). Coverage of every object by at
+	// least one user is enforced regardless.
+	ObserveProb float64
+}
+
+// Default returns the paper's Section 5.1 configuration: 150 users,
+// 30 objects, lambda1 = 1, truths uniform in [0, 10), dense observations.
+func Default() Config {
+	return Config{
+		NumUsers:    150,
+		NumObjects:  30,
+		Lambda1:     1,
+		TruthLow:    0,
+		TruthHigh:   10,
+		ObserveProb: 1,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.NumUsers <= 0:
+		return fmt.Errorf("%w: NumUsers = %d", ErrBadConfig, c.NumUsers)
+	case c.NumObjects <= 0:
+		return fmt.Errorf("%w: NumObjects = %d", ErrBadConfig, c.NumObjects)
+	case c.Lambda1 <= 0 || math.IsNaN(c.Lambda1) || math.IsInf(c.Lambda1, 0):
+		return fmt.Errorf("%w: Lambda1 = %v", ErrBadConfig, c.Lambda1)
+	case c.TruthHigh <= c.TruthLow || math.IsNaN(c.TruthLow) || math.IsNaN(c.TruthHigh):
+		return fmt.Errorf("%w: truth range [%v, %v]", ErrBadConfig, c.TruthLow, c.TruthHigh)
+	case c.ObserveProb <= 0 || c.ObserveProb > 1 || math.IsNaN(c.ObserveProb):
+		return fmt.Errorf("%w: ObserveProb = %v", ErrBadConfig, c.ObserveProb)
+	}
+	return nil
+}
+
+// Instance is one generated crowd-sensing task: the original (unperturbed)
+// dataset plus the latent quantities only a simulator can know.
+type Instance struct {
+	// Dataset holds the users' original claims.
+	Dataset *truth.Dataset
+	// GroundTruth holds the true value of each object.
+	GroundTruth []float64
+	// UserVariances holds each user's latent error variance sigma_s^2.
+	UserVariances []float64
+}
+
+// Generate draws one instance from the config using rng.
+func Generate(cfg Config, rng *randx.RNG) (*Instance, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrBadConfig)
+	}
+
+	truths := make([]float64, cfg.NumObjects)
+	span := cfg.TruthHigh - cfg.TruthLow
+	for n := range truths {
+		truths[n] = cfg.TruthLow + span*rng.Float64()
+	}
+
+	variances := make([]float64, cfg.NumUsers)
+	for s := range variances {
+		variances[s] = rng.Exp() / cfg.Lambda1
+	}
+
+	b := truth.NewBuilder(cfg.NumUsers, cfg.NumObjects)
+	covered := make([]bool, cfg.NumObjects)
+	observed := make([]bool, cfg.NumObjects) // per-user scratch
+	for s := 0; s < cfg.NumUsers; s++ {
+		sigma := math.Sqrt(variances[s])
+		for n := range observed {
+			observed[n] = false
+		}
+		for n, tv := range truths {
+			if cfg.ObserveProb < 1 && rng.Float64() >= cfg.ObserveProb {
+				continue
+			}
+			b.Add(s, n, tv+sigma*rng.Norm())
+			observed[n] = true
+			covered[n] = true
+		}
+		// The last user picks up any objects nobody observed, keeping the
+		// dataset valid under sparse configs.
+		if s == cfg.NumUsers-1 {
+			for n, ok := range covered {
+				if !ok && !observed[n] {
+					b.Add(s, n, truths[n]+sigma*rng.Norm())
+					covered[n] = true
+				}
+			}
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("synthetic: build dataset: %w", err)
+	}
+	return &Instance{
+		Dataset:       ds,
+		GroundTruth:   truths,
+		UserVariances: variances,
+	}, nil
+}

@@ -1,0 +1,176 @@
+package synthetic
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pptd/internal/randx"
+	"pptd/internal/stats"
+	"pptd/internal/truth"
+)
+
+func TestGenerateDefaultShape(t *testing.T) {
+	inst, err := Generate(Default(), randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Dataset.NumUsers() != 150 || inst.Dataset.NumObjects() != 30 {
+		t.Fatalf("dims = (%d, %d)", inst.Dataset.NumUsers(), inst.Dataset.NumObjects())
+	}
+	if inst.Dataset.NumObservations() != 150*30 {
+		t.Fatalf("dense config produced %d observations", inst.Dataset.NumObservations())
+	}
+	if len(inst.GroundTruth) != 30 || len(inst.UserVariances) != 150 {
+		t.Fatal("latent vectors have wrong lengths")
+	}
+	for _, tv := range inst.GroundTruth {
+		if tv < 0 || tv >= 10 {
+			t.Fatalf("truth %v outside [0, 10)", tv)
+		}
+	}
+	for _, v := range inst.UserVariances {
+		if v <= 0 {
+			t.Fatalf("non-positive variance %v", v)
+		}
+	}
+}
+
+func TestGenerateVarianceDistribution(t *testing.T) {
+	cfg := Default()
+	cfg.NumUsers = 20000
+	cfg.NumObjects = 1
+	cfg.Lambda1 = 2
+	inst, err := Generate(cfg, randx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := stats.Mean(inst.UserVariances)
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("mean variance = %v, want ~1/lambda1 = 0.5", mean)
+	}
+}
+
+func TestGenerateErrorsMatchVariances(t *testing.T) {
+	// A user's claims should scatter around the truths with their
+	// latent sigma_s.
+	cfg := Default()
+	cfg.NumUsers = 3
+	cfg.NumObjects = 5000
+	inst, err := Generate(cfg, randx.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < cfg.NumUsers; s++ {
+		obs, err := inst.Dataset.UserObservations(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w stats.Welford
+		for _, o := range obs {
+			w.Add(o.Value - inst.GroundTruth[o.Object])
+		}
+		got := w.Variance()
+		want := inst.UserVariances[s]
+		if math.Abs(got-want) > 0.1*want+0.01 {
+			t.Errorf("user %d empirical error variance %v, latent %v", s, got, want)
+		}
+	}
+}
+
+func TestGenerateSparse(t *testing.T) {
+	cfg := Default()
+	cfg.ObserveProb = 0.3
+	inst, err := Generate(cfg, randx.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := cfg.NumUsers * cfg.NumObjects
+	obs := inst.Dataset.NumObservations()
+	if obs >= total/2 {
+		t.Fatalf("sparse config produced %d/%d observations", obs, total)
+	}
+	// Every object covered by construction.
+	for n := 0; n < cfg.NumObjects; n++ {
+		claims, err := inst.Dataset.ObjectObservations(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(claims) == 0 {
+			t.Fatalf("object %d uncovered", n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Default(), randx.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Default(), randx.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range a.GroundTruth {
+		if a.GroundTruth[n] != b.GroundTruth[n] {
+			t.Fatal("ground truths differ across identical seeds")
+		}
+	}
+	da, db := a.Dataset.Dense(), b.Dataset.Dense()
+	for s := range da {
+		for n := range da[s] {
+			if da[s][n] != db[s][n] {
+				t.Fatal("observations differ across identical seeds")
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	base := Default()
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "zero users", mutate: func(c *Config) { c.NumUsers = 0 }},
+		{name: "zero objects", mutate: func(c *Config) { c.NumObjects = 0 }},
+		{name: "bad lambda1", mutate: func(c *Config) { c.Lambda1 = 0 }},
+		{name: "bad truth range", mutate: func(c *Config) { c.TruthHigh = c.TruthLow }},
+		{name: "bad observe prob", mutate: func(c *Config) { c.ObserveProb = 0 }},
+		{name: "observe prob above one", mutate: func(c *Config) { c.ObserveProb = 1.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := Generate(cfg, randx.New(1)); !errors.Is(err, ErrBadConfig) {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+	if _, err := Generate(base, nil); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestGeneratedDataSupportsTruthDiscovery(t *testing.T) {
+	inst, err := Generate(Default(), randx.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crh, err := truth.NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crh.Run(inst.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae, err := stats.MAE(res.Truths, inst.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae > 0.25 {
+		t.Fatalf("CRH on clean synthetic data has MAE %v", mae)
+	}
+}

@@ -1,0 +1,282 @@
+// Package theory implements the closed-form utility and privacy analysis
+// of the paper (Section 4): the (alpha, beta)-utility noise bound of
+// Theorem 4.3, the (epsilon, delta)-local-differential-privacy bound of
+// Theorem 4.8, their combination in Theorem 4.9, the c = 1 special case of
+// Theorem A.1, and the sensitivity machinery of Definition 4.6 / Lemma 4.7.
+//
+// Throughout, lambda1 is the rate of the exponential prior on user error
+// variances (sigma_s^2 ~ Exp(lambda1)), lambda2 the rate of the prior on
+// noise variances (delta_s^2 ~ Exp(lambda2)), and
+//
+//	c = (1/lambda2) / (1/lambda1) = lambda1 / lambda2
+//
+// is the noise level: the ratio between expected noise variance and
+// expected error variance.
+package theory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadParam reports a parameter outside its valid domain.
+var ErrBadParam = errors.New("theory: invalid parameter")
+
+// NoiseLevel returns c = lambda1 / lambda2.
+func NoiseLevel(lambda1, lambda2 float64) float64 { return lambda1 / lambda2 }
+
+// Lambda2ForNoiseLevel returns the noise rate lambda2 that realizes noise
+// level c given the error rate lambda1.
+func Lambda2ForNoiseLevel(c, lambda1 float64) (float64, error) {
+	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		return 0, fmt.Errorf("%w: noise level c = %v", ErrBadParam, c)
+	}
+	if lambda1 <= 0 || math.IsNaN(lambda1) {
+		return 0, fmt.Errorf("%w: lambda1 = %v", ErrBadParam, lambda1)
+	}
+	return lambda1 / c, nil
+}
+
+// ExpectedNoiseVariance returns E[delta_s^2] = 1/lambda2.
+func ExpectedNoiseVariance(lambda2 float64) float64 { return 1 / lambda2 }
+
+// ExpectedAbsNoise returns E|xi| for the mechanism's compound noise
+// xi ~ N(0, Z), Z ~ Exp(lambda2):
+//
+//	E|xi| = E[ sqrt(2/pi) * sqrt(Z) ] = sqrt(2/pi) * sqrt(pi)/(2 sqrt(lambda2))
+//	      = 1 / sqrt(2 * lambda2).
+//
+// This is the "Average of Added Noise" axis in the paper's figures.
+func ExpectedAbsNoise(lambda2 float64) float64 {
+	return 1 / math.Sqrt(2*lambda2)
+}
+
+// Gamma returns gamma = b * sqrt(2 * ln(1/(1-eta))), the constant of
+// Lemma 4.7 tying the sensitivity bound to the error-variance tail: with
+// probability at least eta*(1 - 2e^{-b^2/2}/b) a user's sensitivity
+// satisfies Delta_s <= gamma / lambda1.
+func Gamma(b, eta float64) (float64, error) {
+	if b <= 0 || math.IsNaN(b) {
+		return 0, fmt.Errorf("%w: b = %v", ErrBadParam, b)
+	}
+	if eta <= 0 || eta >= 1 || math.IsNaN(eta) {
+		return 0, fmt.Errorf("%w: eta = %v outside (0,1)", ErrBadParam, eta)
+	}
+	return b * math.Sqrt(2*math.Log(1/(1-eta))), nil
+}
+
+// SensitivityBound returns the Lemma 4.7 bound Delta_s <= gamma/lambda1.
+func SensitivityBound(lambda1, gamma float64) (float64, error) {
+	if lambda1 <= 0 || math.IsNaN(lambda1) {
+		return 0, fmt.Errorf("%w: lambda1 = %v", ErrBadParam, lambda1)
+	}
+	if gamma <= 0 || math.IsNaN(gamma) {
+		return 0, fmt.Errorf("%w: gamma = %v", ErrBadParam, gamma)
+	}
+	return gamma / lambda1, nil
+}
+
+// SensitivityConfidence returns the probability eta*(1 - 2e^{-b^2/2}/b)
+// with which the Lemma 4.7 sensitivity bound holds.
+func SensitivityConfidence(b, eta float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	tail := 2 * math.Exp(-b*b/2) / b
+	if tail > 1 {
+		tail = 1
+	}
+	return eta * (1 - tail)
+}
+
+// EpsilonGivenVariance returns the pointwise epsilon achieved by Gaussian
+// noise of the given variance against records at distance sensitivity:
+// eps = Delta^2 / (2y), the inequality at the heart of Theorem 4.8's proof.
+func EpsilonGivenVariance(sensitivity, variance float64) (float64, error) {
+	if sensitivity < 0 || math.IsNaN(sensitivity) {
+		return 0, fmt.Errorf("%w: sensitivity = %v", ErrBadParam, sensitivity)
+	}
+	if variance <= 0 || math.IsNaN(variance) {
+		return 0, fmt.Errorf("%w: variance = %v", ErrBadParam, variance)
+	}
+	return sensitivity * sensitivity / (2 * variance), nil
+}
+
+// NoiseLevelForEpsilon returns the Theorem 4.8 lower bound on the noise
+// level c required for (eps, delta)-local differential privacy:
+//
+//	c >= gamma^2 / (2 * eps * lambda1 * ln(1/(1-delta))).
+//
+// Note: the theorem statement in the paper omits the eps factor, but its
+// own proof derives Pr{y >= Delta^2/(2 eps)} >= 1-delta, which yields the
+// bound implemented here; with eps = 1 the two coincide.
+func NoiseLevelForEpsilon(eps, delta, lambda1, gamma float64) (float64, error) {
+	if err := checkPrivacyParams(eps, delta, lambda1, gamma); err != nil {
+		return 0, err
+	}
+	return gamma * gamma / (2 * eps * lambda1 * math.Log(1/(1-delta))), nil
+}
+
+// EpsilonForNoiseLevel inverts NoiseLevelForEpsilon: the epsilon granted
+// by noise level c at the given delta.
+func EpsilonForNoiseLevel(c, delta, lambda1, gamma float64) (float64, error) {
+	if c <= 0 || math.IsNaN(c) {
+		return 0, fmt.Errorf("%w: noise level c = %v", ErrBadParam, c)
+	}
+	if err := checkPrivacyParams(1, delta, lambda1, gamma); err != nil {
+		return 0, err
+	}
+	return gamma * gamma / (2 * c * lambda1 * math.Log(1/(1-delta))), nil
+}
+
+func checkPrivacyParams(eps, delta, lambda1, gamma float64) error {
+	switch {
+	case eps <= 0 || math.IsNaN(eps):
+		return fmt.Errorf("%w: epsilon = %v", ErrBadParam, eps)
+	case delta <= 0 || delta >= 1 || math.IsNaN(delta):
+		return fmt.Errorf("%w: delta = %v outside (0,1)", ErrBadParam, delta)
+	case lambda1 <= 0 || math.IsNaN(lambda1):
+		return fmt.Errorf("%w: lambda1 = %v", ErrBadParam, lambda1)
+	case gamma <= 0 || math.IsNaN(gamma):
+		return fmt.Errorf("%w: gamma = %v", ErrBadParam, gamma)
+	}
+	return nil
+}
+
+// UtilityNoiseUpperBound returns C(lambda1, alpha, beta, S) of Theorem 4.3
+// (Eq. 15): (alpha, beta)-utility holds for any noise level
+//
+//	c <= lambda1 * sqrt(pi) * (alpha^2 beta S^2 / (4 sqrt 2)
+//	      + alpha^2 sqrt(pi)/8 + alpha + 2/sqrt(pi)) - 2.
+func UtilityNoiseUpperBound(lambda1, alpha, beta float64, numUsers int) (float64, error) {
+	switch {
+	case lambda1 <= 0 || math.IsNaN(lambda1):
+		return 0, fmt.Errorf("%w: lambda1 = %v", ErrBadParam, lambda1)
+	case alpha <= 0 || math.IsNaN(alpha):
+		return 0, fmt.Errorf("%w: alpha = %v", ErrBadParam, alpha)
+	case beta < 0 || beta > 1 || math.IsNaN(beta):
+		return 0, fmt.Errorf("%w: beta = %v outside [0,1]", ErrBadParam, beta)
+	case numUsers <= 0:
+		return 0, fmt.Errorf("%w: S = %d", ErrBadParam, numUsers)
+	}
+	s := float64(numUsers)
+	inner := alpha*alpha*beta*s*s/(4*math.Sqrt2) +
+		alpha*alpha*math.Sqrt(math.Pi)/8 +
+		alpha +
+		2/math.Sqrt(math.Pi)
+	return lambda1*math.Sqrt(math.Pi)*inner - 2, nil
+}
+
+// AlphaMin returns the Theorem 4.3 lower bound on alpha for c in (0, 1):
+//
+//	alpha_min = 2 sqrt 2 / sqrt(lambda1 (1-c))
+//	            * (3/4 - c (c + sqrt c + 1) / (sqrt 2 (1 + sqrt c))).
+//
+// The paper states the bound only for c != 1; for c >= 1 the prefactor is
+// undefined and an error is returned (use AlphaMinEqualOne at c = 1).
+func AlphaMin(lambda1, c float64) (float64, error) {
+	if lambda1 <= 0 || math.IsNaN(lambda1) {
+		return 0, fmt.Errorf("%w: lambda1 = %v", ErrBadParam, lambda1)
+	}
+	if c <= 0 || c >= 1 || math.IsNaN(c) {
+		return 0, fmt.Errorf("%w: AlphaMin requires c in (0,1), got %v", ErrBadParam, c)
+	}
+	pre := 2 * math.Sqrt2 / math.Sqrt(lambda1*(1-c))
+	term := 0.75 - c*(c+math.Sqrt(c)+1)/(math.Sqrt2*(1+math.Sqrt(c)))
+	a := pre * term
+	if a < 0 {
+		// The paper's expression can dip below zero for c near 1; a
+		// negative lower bound is vacuous, so clamp at 0.
+		a = 0
+	}
+	return a, nil
+}
+
+// AlphaMinEqualOne returns the alpha threshold of Theorem A.1 (the c = 1
+// special case) as stated in the paper: 15 sqrt(2 lambda1) / 8.
+func AlphaMinEqualOne(lambda1 float64) (float64, error) {
+	if lambda1 <= 0 || math.IsNaN(lambda1) {
+		return 0, fmt.Errorf("%w: lambda1 = %v", ErrBadParam, lambda1)
+	}
+	return 15 * math.Sqrt(2*lambda1) / 8, nil
+}
+
+// UtilityProbBoundEqualOne returns the Theorem A.1 tail bound on
+// Pr{ MAE >= alpha } at c = 1:
+//
+//	4 sqrt(2/pi) Var(Y) / (S^2 (alpha/2)^2),
+//	Var(Y) = 3/lambda1 - (15 / (16 sqrt(lambda1 pi)))^2,
+//
+// with Y^2 ~ Gamma(3, 1/lambda1). The bound vanishes as S grows, which is
+// the theorem's content.
+func UtilityProbBoundEqualOne(lambda1, alpha float64, numUsers int) (float64, error) {
+	switch {
+	case lambda1 <= 0 || math.IsNaN(lambda1):
+		return 0, fmt.Errorf("%w: lambda1 = %v", ErrBadParam, lambda1)
+	case alpha <= 0 || math.IsNaN(alpha):
+		return 0, fmt.Errorf("%w: alpha = %v", ErrBadParam, alpha)
+	case numUsers <= 0:
+		return 0, fmt.Errorf("%w: S = %d", ErrBadParam, numUsers)
+	}
+	ey := 15 / (16 * math.Sqrt(lambda1*math.Pi))
+	varY := 3/lambda1 - ey*ey
+	s := float64(numUsers)
+	bound := 4 * math.Sqrt(2/math.Pi) * varY / (s * s * (alpha / 2) * (alpha / 2))
+	if bound > 1 {
+		bound = 1
+	}
+	return bound, nil
+}
+
+// Tradeoff captures the Theorem 4.9 feasibility analysis: the interval of
+// noise levels that simultaneously meet the utility and privacy targets.
+type Tradeoff struct {
+	// CMin is the privacy lower bound on c (Theorem 4.8).
+	CMin float64
+	// CMax is the utility upper bound on c (Theorem 4.3).
+	CMax float64
+	// Feasible reports CMin <= CMax, i.e. some noise level satisfies both.
+	Feasible bool
+}
+
+// Analyze evaluates Theorem 4.9 for the given targets. gamma comes from
+// Gamma(b, eta).
+func Analyze(lambda1, alpha, beta float64, numUsers int, eps, delta, gamma float64) (Tradeoff, error) {
+	cMax, err := UtilityNoiseUpperBound(lambda1, alpha, beta, numUsers)
+	if err != nil {
+		return Tradeoff{}, err
+	}
+	cMin, err := NoiseLevelForEpsilon(eps, delta, lambda1, gamma)
+	if err != nil {
+		return Tradeoff{}, err
+	}
+	return Tradeoff{
+		CMin:     cMin,
+		CMax:     cMax,
+		Feasible: cMin <= cMax && cMax > 0,
+	}, nil
+}
+
+// MinEpsilon solves Eq. (19) for the strongest privacy compatible with an
+// (alpha, beta)-utility target: the epsilon at which the Theorem 4.8
+// privacy floor meets the Theorem 4.3 utility cap,
+//
+//	eps* = gamma^2 / (2 * C(lambda1, alpha, beta, S) * lambda1 * ln(1/(1-delta))).
+//
+// Any eps >= eps* is feasible (its required noise level fits under the
+// utility cap); eps < eps* is not.
+func MinEpsilon(lambda1, alpha, beta float64, numUsers int, delta, gamma float64) (float64, error) {
+	cMax, err := UtilityNoiseUpperBound(lambda1, alpha, beta, numUsers)
+	if err != nil {
+		return 0, err
+	}
+	if cMax <= 0 {
+		return 0, fmt.Errorf("%w: utility cap %v is non-positive; no noise level is tolerable", ErrBadParam, cMax)
+	}
+	eps, err := EpsilonForNoiseLevel(cMax, delta, lambda1, gamma)
+	if err != nil {
+		return 0, err
+	}
+	return eps, nil
+}

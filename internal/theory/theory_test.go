@@ -1,0 +1,454 @@
+package theory
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pptd/internal/randx"
+)
+
+func TestNoiseLevelRoundTrip(t *testing.T) {
+	lambda1 := 2.5
+	c := 0.8
+	lambda2, err := Lambda2ForNoiseLevel(c, lambda1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := NoiseLevel(lambda1, lambda2); math.Abs(got-c) > 1e-12 {
+		t.Fatalf("round trip c = %v, want %v", got, c)
+	}
+}
+
+func TestLambda2ForNoiseLevelValidation(t *testing.T) {
+	for _, c := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := Lambda2ForNoiseLevel(c, 1); !errors.Is(err, ErrBadParam) {
+			t.Errorf("c = %v accepted", c)
+		}
+	}
+	if _, err := Lambda2ForNoiseLevel(1, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("lambda1 = 0 accepted")
+	}
+}
+
+func TestExpectedAbsNoiseClosedFormMatchesSimulation(t *testing.T) {
+	rng := randx.New(40)
+	for _, lambda2 := range []float64{0.5, 1, 2, 5} {
+		const draws = 300000
+		var sum float64
+		for i := 0; i < draws; i++ {
+			variance := rng.Exp() / lambda2
+			sum += math.Abs(math.Sqrt(variance) * rng.Norm())
+		}
+		emp := sum / draws
+		want := ExpectedAbsNoise(lambda2)
+		if math.Abs(emp-want) > 0.01*want+0.002 {
+			t.Errorf("lambda2 = %v: empirical E|xi| = %v, closed form %v", lambda2, emp, want)
+		}
+	}
+}
+
+func TestExpectedNoiseVariance(t *testing.T) {
+	if got := ExpectedNoiseVariance(4); got != 0.25 {
+		t.Fatalf("E[var] = %v, want 0.25", got)
+	}
+}
+
+func TestGamma(t *testing.T) {
+	got, err := Gamma(3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * math.Sqrt(2*math.Log(20.0))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Gamma = %v, want %v", got, want)
+	}
+	for _, bad := range [][2]float64{{0, 0.5}, {-1, 0.5}, {1, 0}, {1, 1}, {1, 1.5}} {
+		if _, err := Gamma(bad[0], bad[1]); !errors.Is(err, ErrBadParam) {
+			t.Errorf("Gamma(%v, %v) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestSensitivityBound(t *testing.T) {
+	got, err := SensitivityBound(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("SensitivityBound = %v, want 2", got)
+	}
+	if _, err := SensitivityBound(0, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("lambda1 = 0 accepted")
+	}
+	if _, err := SensitivityBound(1, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("gamma = 0 accepted")
+	}
+}
+
+func TestSensitivityBoundHoldsEmpirically(t *testing.T) {
+	// Lemma 4.7: Delta_s = |x1 - x2| <= gamma/lambda1 with probability at
+	// least eta*(1 - 2e^{-b^2/2}/b), where x1, x2 are two claims by the
+	// same user and sigma_s^2 ~ Exp(lambda1).
+	rng := randx.New(41)
+	const (
+		b       = 3.0
+		eta     = 0.95
+		lambda1 = 2.0
+		trials  = 200000
+	)
+	gamma, err := Gamma(b, eta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := SensitivityBound(lambda1, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := 0
+	for i := 0; i < trials; i++ {
+		sigma := math.Sqrt(rng.Exp() / lambda1)
+		x1 := sigma * rng.Norm()
+		x2 := sigma * rng.Norm()
+		if math.Abs(x1-x2) <= bound {
+			held++
+		}
+	}
+	frac := float64(held) / trials
+	if want := SensitivityConfidence(b, eta); frac < want {
+		t.Fatalf("bound held with probability %v < guaranteed %v", frac, want)
+	}
+}
+
+func TestSensitivityConfidence(t *testing.T) {
+	if got := SensitivityConfidence(0, 0.9); got != 0 {
+		t.Errorf("confidence at b=0 should be 0, got %v", got)
+	}
+	// Tiny positive b has tail bound > 1, clamped to probability 0.
+	if got := SensitivityConfidence(0.01, 0.9); got != 0 {
+		t.Errorf("confidence at b=0.01 should clamp to 0, got %v", got)
+	}
+	got := SensitivityConfidence(3, 0.95)
+	want := 0.95 * (1 - 2*math.Exp(-4.5)/3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("confidence = %v, want %v", got, want)
+	}
+}
+
+func TestEpsilonGivenVariance(t *testing.T) {
+	got, err := EpsilonGivenVariance(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Fatalf("eps = %v, want 0.5", got)
+	}
+	if _, err := EpsilonGivenVariance(-1, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("negative sensitivity accepted")
+	}
+	if _, err := EpsilonGivenVariance(1, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("zero variance accepted")
+	}
+}
+
+func TestEpsilonNoiseLevelRoundTrip(t *testing.T) {
+	const (
+		lambda1 = 1.5
+		delta   = 0.3
+		gamma   = 2.2
+	)
+	for _, eps := range []float64{0.1, 0.5, 1, 2, 3} {
+		c, err := NoiseLevelForEpsilon(eps, delta, lambda1, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := EpsilonForNoiseLevel(c, delta, lambda1, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(back-eps) > 1e-9 {
+			t.Errorf("eps %v -> c %v -> eps %v", eps, c, back)
+		}
+	}
+}
+
+func TestPrivacyMonotonicity(t *testing.T) {
+	// Smaller epsilon (stronger privacy) must demand a larger noise level,
+	// and smaller delta likewise.
+	c1, err := NoiseLevelForEpsilon(0.5, 0.3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NoiseLevelForEpsilon(1.0, 0.3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 <= c2 {
+		t.Errorf("c(eps=0.5) = %v not greater than c(eps=1) = %v", c1, c2)
+	}
+	c3, err := NoiseLevelForEpsilon(0.5, 0.1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 <= c1 {
+		t.Errorf("c(delta=0.1) = %v not greater than c(delta=0.3) = %v", c3, c1)
+	}
+}
+
+func TestPrivacyParamValidation(t *testing.T) {
+	bad := []struct {
+		name                       string
+		eps, delta, lambda1, gamma float64
+	}{
+		{name: "zero eps", eps: 0, delta: 0.3, lambda1: 1, gamma: 1},
+		{name: "bad delta low", eps: 1, delta: 0, lambda1: 1, gamma: 1},
+		{name: "bad delta high", eps: 1, delta: 1, lambda1: 1, gamma: 1},
+		{name: "bad lambda1", eps: 1, delta: 0.5, lambda1: 0, gamma: 1},
+		{name: "bad gamma", eps: 1, delta: 0.5, lambda1: 1, gamma: 0},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NoiseLevelForEpsilon(tt.eps, tt.delta, tt.lambda1, tt.gamma); !errors.Is(err, ErrBadParam) {
+				t.Error("invalid parameters accepted")
+			}
+		})
+	}
+	if _, err := EpsilonForNoiseLevel(0, 0.5, 1, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("c = 0 accepted")
+	}
+}
+
+func TestUtilityNoiseUpperBound(t *testing.T) {
+	// Spot-check against a hand-computed value.
+	got, err := UtilityNoiseUpperBound(1, 1, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := 0.1*100/(4*math.Sqrt2) + math.Sqrt(math.Pi)/8 + 1 + 2/math.Sqrt(math.Pi)
+	want := math.Sqrt(math.Pi)*inner - 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("bound = %v, want %v", got, want)
+	}
+}
+
+func TestUtilityBoundMonotoneInUsersAndAlpha(t *testing.T) {
+	f := func(rawAlpha, rawBeta float64, rawS int) bool {
+		alpha := 0.1 + math.Mod(math.Abs(rawAlpha), 5)
+		beta := math.Mod(math.Abs(rawBeta), 1)
+		s := 2 + rawS%1000
+		if s < 2 {
+			s = 2
+		}
+		small, err1 := UtilityNoiseUpperBound(1, alpha, beta, s)
+		big, err2 := UtilityNoiseUpperBound(1, alpha, beta, 2*s)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if big < small {
+			return false // more users must tolerate no less noise
+		}
+		tighter, err := UtilityNoiseUpperBound(1, alpha/2, beta, s)
+		if err != nil {
+			return false
+		}
+		return tighter <= small // better utility (smaller alpha) tolerates less noise
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilityBoundScalesWithLambda1(t *testing.T) {
+	lo, err := UtilityNoiseUpperBound(0.5, 1, 0.1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := UtilityNoiseUpperBound(5, 1, 0.1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Fatalf("higher-quality data (larger lambda1) should tolerate more noise: %v <= %v", hi, lo)
+	}
+}
+
+func TestUtilityBoundValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		lambda1 float64
+		alpha   float64
+		beta    float64
+		s       int
+	}{
+		{name: "bad lambda1", lambda1: 0, alpha: 1, beta: 0.1, s: 10},
+		{name: "bad alpha", lambda1: 1, alpha: 0, beta: 0.1, s: 10},
+		{name: "bad beta", lambda1: 1, alpha: 1, beta: 1.5, s: 10},
+		{name: "bad users", lambda1: 1, alpha: 1, beta: 0.1, s: 0},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UtilityNoiseUpperBound(tt.lambda1, tt.alpha, tt.beta, tt.s); !errors.Is(err, ErrBadParam) {
+				t.Error("invalid parameters accepted")
+			}
+		})
+	}
+}
+
+func TestAlphaMin(t *testing.T) {
+	// At small c the bound is positive and shrinks as lambda1 grows.
+	a1, err := AlphaMin(1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AlphaMin(4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 <= 0 || a2 <= 0 || a2 >= a1 {
+		t.Fatalf("AlphaMin(1, .1) = %v, AlphaMin(4, .1) = %v", a1, a2)
+	}
+	for _, c := range []float64{0, 1, 1.5, -0.2, math.NaN()} {
+		if _, err := AlphaMin(1, c); !errors.Is(err, ErrBadParam) {
+			t.Errorf("c = %v accepted", c)
+		}
+	}
+	if _, err := AlphaMin(0, 0.5); !errors.Is(err, ErrBadParam) {
+		t.Error("lambda1 = 0 accepted")
+	}
+}
+
+func TestAlphaMinEqualOne(t *testing.T) {
+	got, err := AlphaMinEqualOne(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 15 * math.Sqrt(4.0) / 8; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AlphaMinEqualOne(2) = %v, want %v", got, want)
+	}
+	if _, err := AlphaMinEqualOne(-1); !errors.Is(err, ErrBadParam) {
+		t.Error("negative lambda1 accepted")
+	}
+}
+
+func TestUtilityProbBoundEqualOneVanishesWithS(t *testing.T) {
+	prev := math.Inf(1)
+	for _, s := range []int{10, 100, 1000} {
+		b, err := UtilityProbBoundEqualOne(1, 3, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b >= prev {
+			t.Fatalf("bound did not shrink with S: %v then %v", prev, b)
+		}
+		prev = b
+	}
+	if prev > 1e-4 {
+		t.Fatalf("bound at S=1000 = %v, want tiny", prev)
+	}
+	if b, err := UtilityProbBoundEqualOne(1, 1e-9, 1); err != nil || b != 1 {
+		t.Fatalf("bound should clamp at 1, got %v, %v", b, err)
+	}
+	if _, err := UtilityProbBoundEqualOne(0, 1, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("lambda1 = 0 accepted")
+	}
+}
+
+func TestAnalyzeTradeoff(t *testing.T) {
+	gamma, err := Gamma(3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plenty of users, generous alpha: feasible.
+	tr, err := Analyze(1, 0.5, 0.1, 500, 1, 0.3, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Feasible {
+		t.Fatalf("expected feasible trade-off, got %+v", tr)
+	}
+	if tr.CMin >= tr.CMax {
+		t.Fatalf("feasible but CMin %v >= CMax %v", tr.CMin, tr.CMax)
+	}
+	// Absurd demands: tiny alpha/beta with tiny epsilon on few users.
+	tr2, err := Analyze(1, 0.001, 0.001, 2, 0.0001, 0.01, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Feasible {
+		t.Fatalf("expected infeasible trade-off, got %+v", tr2)
+	}
+}
+
+func TestAnalyzePropagatesErrors(t *testing.T) {
+	if _, err := Analyze(0, 1, 0.1, 10, 1, 0.3, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("bad lambda1 accepted")
+	}
+	if _, err := Analyze(1, 1, 0.1, 10, 0, 0.3, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("bad epsilon accepted")
+	}
+}
+
+func TestMinEpsilonMeetsBothBounds(t *testing.T) {
+	gamma, err := Gamma(0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		lambda1 = 1.0
+		alpha   = 0.5
+		beta    = 0.1
+		users   = 200
+		delta   = 0.3
+	)
+	eps, err := MinEpsilon(lambda1, alpha, beta, users, delta, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At eps* the trade-off is exactly feasible (floor == cap).
+	tr, err := Analyze(lambda1, alpha, beta, users, eps, delta, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Feasible {
+		t.Fatalf("eps* = %v should be feasible: %+v", eps, tr)
+	}
+	if math.Abs(tr.CMin-tr.CMax) > 1e-9*tr.CMax {
+		t.Fatalf("at eps* floor %v != cap %v", tr.CMin, tr.CMax)
+	}
+	// Slightly stronger privacy must be infeasible.
+	tr2, err := Analyze(lambda1, alpha, beta, users, eps*0.99, delta, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Feasible {
+		t.Fatalf("eps below eps* should be infeasible: %+v", tr2)
+	}
+}
+
+func TestMinEpsilonTighterUtilityDemandsWeakerPrivacy(t *testing.T) {
+	gamma, err := Gamma(0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := MinEpsilon(1, 1.0, 0.1, 100, 0.3, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := MinEpsilon(1, 0.1, 0.1, 100, 0.3, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight <= loose {
+		t.Fatalf("tighter utility should force larger eps*: %v <= %v", tight, loose)
+	}
+}
+
+func TestMinEpsilonValidation(t *testing.T) {
+	if _, err := MinEpsilon(0, 1, 0.1, 10, 0.3, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("bad lambda1 accepted")
+	}
+	if _, err := MinEpsilon(1, 1, 0.1, 10, 0, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("bad delta accepted")
+	}
+}

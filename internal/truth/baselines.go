@@ -1,0 +1,77 @@
+package truth
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mean is the uniform-weight averaging baseline the paper compares against:
+// every user gets weight 1 and truths are plain per-object means.
+type Mean struct{}
+
+var _ Method = Mean{}
+
+// Name implements Method.
+func (Mean) Name() string { return "mean" }
+
+// Run implements Method.
+func (Mean) Run(ds *Dataset) (*Result, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrBadIndex)
+	}
+	weights := make([]float64, ds.NumUsers())
+	for s, claims := range ds.byUser {
+		if len(claims) > 0 {
+			weights[s] = 1
+		}
+	}
+	return &Result{
+		Truths:     ds.ObjectMeans(),
+		Weights:    weights,
+		Iterations: 1,
+		Converged:  true,
+	}, nil
+}
+
+// Median is the per-object median baseline — robust to outliers but still
+// weight-free, so it cannot exploit differing user quality.
+type Median struct{}
+
+var _ Method = Median{}
+
+// Name implements Method.
+func (Median) Name() string { return "median" }
+
+// Run implements Method.
+func (Median) Run(ds *Dataset) (*Result, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrBadIndex)
+	}
+	truths := make([]float64, ds.NumObjects())
+	buf := make([]float64, 0, ds.NumUsers())
+	for n, claims := range ds.byObject {
+		buf = buf[:0]
+		for _, uv := range claims {
+			buf = append(buf, uv.value)
+		}
+		sort.Float64s(buf)
+		mid := len(buf) / 2
+		if len(buf)%2 == 1 {
+			truths[n] = buf[mid]
+		} else {
+			truths[n] = (buf[mid-1] + buf[mid]) / 2
+		}
+	}
+	weights := make([]float64, ds.NumUsers())
+	for s, claims := range ds.byUser {
+		if len(claims) > 0 {
+			weights[s] = 1
+		}
+	}
+	return &Result{
+		Truths:     truths,
+		Weights:    weights,
+		Iterations: 1,
+		Converged:  true,
+	}, nil
+}

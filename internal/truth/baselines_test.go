@@ -1,0 +1,109 @@
+package truth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanBaseline(t *testing.T) {
+	ds := mustDataset(t, [][]float64{
+		{1, 10},
+		{3, 20},
+	})
+	res, err := (Mean{}).Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truths[0] != 2 || res.Truths[1] != 15 {
+		t.Errorf("mean truths = %v", res.Truths)
+	}
+	if res.Weights[0] != 1 || res.Weights[1] != 1 {
+		t.Errorf("mean weights = %v", res.Weights)
+	}
+	if !res.Converged || res.Iterations != 1 {
+		t.Errorf("mean metadata = %+v", res)
+	}
+	if (Mean{}).Name() != "mean" {
+		t.Error("wrong name")
+	}
+}
+
+func TestMedianBaselineOdd(t *testing.T) {
+	ds := mustDataset(t, [][]float64{
+		{1},
+		{100},
+		{3},
+	})
+	res, err := (Median{}).Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truths[0] != 3 {
+		t.Errorf("median = %v, want 3", res.Truths[0])
+	}
+	if (Median{}).Name() != "median" {
+		t.Error("wrong name")
+	}
+}
+
+func TestMedianBaselineEven(t *testing.T) {
+	ds := mustDataset(t, [][]float64{
+		{1},
+		{2},
+		{4},
+		{8},
+	})
+	res, err := (Median{}).Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truths[0] != 3 {
+		t.Errorf("median = %v, want 3", res.Truths[0])
+	}
+}
+
+func TestMedianRobustToOutlier(t *testing.T) {
+	ds := mustDataset(t, [][]float64{
+		{5, 5},
+		{5.1, 5.1},
+		{4.9, 4.9},
+		{1000, -1000},
+	})
+	meanRes, err := (Mean{}).Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	medRes, err := (Median{}).Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range medRes.Truths {
+		medErr := math.Abs(medRes.Truths[n] - 5)
+		meanErr := math.Abs(meanRes.Truths[n] - 5)
+		if medErr >= meanErr {
+			t.Errorf("object %d: median err %v not better than mean err %v", n, medErr, meanErr)
+		}
+	}
+}
+
+func TestBaselinesSparse(t *testing.T) {
+	nan := math.NaN()
+	ds := mustDataset(t, [][]float64{
+		{1, nan},
+		{3, 7},
+	})
+	meanRes, err := (Mean{}).Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanRes.Truths[1] != 7 {
+		t.Errorf("mean on single-claim object = %v, want 7", meanRes.Truths[1])
+	}
+	medRes, err := (Median{}).Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if medRes.Truths[0] != 2 || medRes.Truths[1] != 7 {
+		t.Errorf("median truths = %v", medRes.Truths)
+	}
+}

@@ -1,0 +1,258 @@
+// Package truth implements the truth-discovery substrate of pptd: a sparse
+// user-by-object observation matrix and the iterative weighted-aggregation
+// algorithms the paper builds on (CRH, GTM), plus baselines (mean, median)
+// and a CATD-style confidence-weighted extension.
+//
+// All methods follow the two-principle template of the paper's Section 3.1:
+// truths are weight-averaged user claims (Eq. 1), and user weights decrease
+// with the distance between a user's claims and the current truths (Eq. 2).
+package truth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+var (
+	// ErrNoObservations reports an object with no claims, which no
+	// truth-discovery method can aggregate.
+	ErrNoObservations = errors.New("truth: object has no observations")
+	// ErrBadIndex reports an out-of-range user or object index.
+	ErrBadIndex = errors.New("truth: index out of range")
+	// ErrDuplicate reports two claims by the same user on the same object.
+	ErrDuplicate = errors.New("truth: duplicate observation")
+	// ErrBadValue reports a NaN or infinite observation value.
+	ErrBadValue = errors.New("truth: non-finite observation value")
+)
+
+// Observation is a single claim: the identified user asserts Value for the
+// identified object.
+type Observation struct {
+	User   int
+	Object int
+	Value  float64
+}
+
+// Dataset is an immutable sparse user-by-object matrix of continuous
+// claims. Construct one with a Builder or FromDense. Users may observe any
+// subset of objects; every object must carry at least one claim.
+type Dataset struct {
+	numUsers   int
+	numObjects int
+
+	// byUser[s] lists (object, value) claims of user s, in insertion order.
+	byUser [][]objVal
+	// byObject[n] lists (user, value) claims on object n, in insertion order.
+	byObject [][]userVal
+	count    int
+}
+
+type objVal struct {
+	object int
+	value  float64
+}
+
+type userVal struct {
+	user  int
+	value float64
+}
+
+// Builder accumulates observations for a Dataset.
+type Builder struct {
+	numUsers   int
+	numObjects int
+	obs        []Observation
+	seen       map[[2]int]struct{}
+	err        error
+}
+
+// NewBuilder returns a Builder for a dataset with the given dimensions.
+func NewBuilder(numUsers, numObjects int) *Builder {
+	return &Builder{
+		numUsers:   numUsers,
+		numObjects: numObjects,
+		seen:       make(map[[2]int]struct{}),
+	}
+}
+
+// Add records one claim. Errors (bad index, duplicate, non-finite value)
+// are sticky and reported by Build.
+func (b *Builder) Add(user, object int, value float64) {
+	if b.err != nil {
+		return
+	}
+	switch {
+	case user < 0 || user >= b.numUsers:
+		b.err = fmt.Errorf("%w: user %d of %d", ErrBadIndex, user, b.numUsers)
+	case object < 0 || object >= b.numObjects:
+		b.err = fmt.Errorf("%w: object %d of %d", ErrBadIndex, object, b.numObjects)
+	case math.IsNaN(value) || math.IsInf(value, 0):
+		b.err = fmt.Errorf("%w: user %d object %d value %v", ErrBadValue, user, object, value)
+	default:
+		key := [2]int{user, object}
+		if _, dup := b.seen[key]; dup {
+			b.err = fmt.Errorf("%w: user %d object %d", ErrDuplicate, user, object)
+			return
+		}
+		b.seen[key] = struct{}{}
+		b.obs = append(b.obs, Observation{User: user, Object: object, Value: value})
+	}
+}
+
+// Build validates the accumulated observations and returns the Dataset.
+func (b *Builder) Build() (*Dataset, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.numUsers <= 0 || b.numObjects <= 0 {
+		return nil, fmt.Errorf("%w: %d users, %d objects", ErrBadIndex, b.numUsers, b.numObjects)
+	}
+	ds := &Dataset{
+		numUsers:   b.numUsers,
+		numObjects: b.numObjects,
+		byUser:     make([][]objVal, b.numUsers),
+		byObject:   make([][]userVal, b.numObjects),
+		count:      len(b.obs),
+	}
+	for _, o := range b.obs {
+		ds.byUser[o.User] = append(ds.byUser[o.User], objVal{object: o.Object, value: o.Value})
+		ds.byObject[o.Object] = append(ds.byObject[o.Object], userVal{user: o.User, value: o.Value})
+	}
+	for n, claims := range ds.byObject {
+		if len(claims) == 0 {
+			return nil, fmt.Errorf("%w: object %d", ErrNoObservations, n)
+		}
+	}
+	return ds, nil
+}
+
+// FromDense builds a Dataset from a dense users-by-objects matrix, treating
+// NaN entries as missing observations. All rows must have equal length.
+func FromDense(matrix [][]float64) (*Dataset, error) {
+	if len(matrix) == 0 || len(matrix[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty matrix", ErrBadIndex)
+	}
+	numObjects := len(matrix[0])
+	b := NewBuilder(len(matrix), numObjects)
+	for s, row := range matrix {
+		if len(row) != numObjects {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrBadIndex, s, len(row), numObjects)
+		}
+		for n, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			b.Add(s, n, v)
+		}
+	}
+	return b.Build()
+}
+
+// NumUsers returns the number of users S.
+func (d *Dataset) NumUsers() int { return d.numUsers }
+
+// NumObjects returns the number of objects N.
+func (d *Dataset) NumObjects() int { return d.numObjects }
+
+// NumObservations returns the total claim count.
+func (d *Dataset) NumObservations() int { return d.count }
+
+// UserObservations returns a copy of user s's claims.
+func (d *Dataset) UserObservations(s int) ([]Observation, error) {
+	if s < 0 || s >= d.numUsers {
+		return nil, fmt.Errorf("%w: user %d of %d", ErrBadIndex, s, d.numUsers)
+	}
+	out := make([]Observation, len(d.byUser[s]))
+	for i, ov := range d.byUser[s] {
+		out[i] = Observation{User: s, Object: ov.object, Value: ov.value}
+	}
+	return out, nil
+}
+
+// ObjectObservations returns a copy of the claims on object n.
+func (d *Dataset) ObjectObservations(n int) ([]Observation, error) {
+	if n < 0 || n >= d.numObjects {
+		return nil, fmt.Errorf("%w: object %d of %d", ErrBadIndex, n, d.numObjects)
+	}
+	out := make([]Observation, len(d.byObject[n]))
+	for i, uv := range d.byObject[n] {
+		out[i] = Observation{User: uv.user, Object: n, Value: uv.value}
+	}
+	return out, nil
+}
+
+// Observations returns a copy of every claim in user-major order.
+func (d *Dataset) Observations() []Observation {
+	out := make([]Observation, 0, d.count)
+	for s, claims := range d.byUser {
+		for _, ov := range claims {
+			out = append(out, Observation{User: s, Object: ov.object, Value: ov.value})
+		}
+	}
+	return out
+}
+
+// Dense returns the dataset as a users-by-objects matrix with NaN marking
+// missing observations.
+func (d *Dataset) Dense() [][]float64 {
+	m := make([][]float64, d.numUsers)
+	for s := range m {
+		row := make([]float64, d.numObjects)
+		for n := range row {
+			row[n] = math.NaN()
+		}
+		for _, ov := range d.byUser[s] {
+			row[ov.object] = ov.value
+		}
+		m[s] = row
+	}
+	return m
+}
+
+// Map returns a new Dataset whose every value is f(user, object, value).
+// The sparsity pattern is preserved. It is the hook the perturbation
+// mechanism uses to inject per-claim noise.
+func (d *Dataset) Map(f func(user, object int, value float64) float64) (*Dataset, error) {
+	b := NewBuilder(d.numUsers, d.numObjects)
+	for s, claims := range d.byUser {
+		for _, ov := range claims {
+			b.Add(s, ov.object, f(s, ov.object, ov.value))
+		}
+	}
+	return b.Build()
+}
+
+// ObjectMeans returns the plain per-object mean of claims (the uniform-
+// weight baseline aggregate).
+func (d *Dataset) ObjectMeans() []float64 {
+	out := make([]float64, d.numObjects)
+	for n, claims := range d.byObject {
+		var sum float64
+		for _, uv := range claims {
+			sum += uv.value
+		}
+		out[n] = sum / float64(len(claims))
+	}
+	return out
+}
+
+// ObjectStdDevs returns the per-object population standard deviation of
+// claims. Objects with a single claim get 0.
+func (d *Dataset) ObjectStdDevs() []float64 {
+	out := make([]float64, d.numObjects)
+	for n, claims := range d.byObject {
+		var sum float64
+		for _, uv := range claims {
+			sum += uv.value
+		}
+		mean := sum / float64(len(claims))
+		var ss float64
+		for _, uv := range claims {
+			dlt := uv.value - mean
+			ss += dlt * dlt
+		}
+		out[n] = math.Sqrt(ss / float64(len(claims)))
+	}
+	return out
+}

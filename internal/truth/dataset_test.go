@@ -1,0 +1,230 @@
+package truth
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func mustDataset(t *testing.T, matrix [][]float64) *Dataset {
+	t.Helper()
+	ds, err := FromDense(matrix)
+	if err != nil {
+		t.Fatalf("FromDense: %v", err)
+	}
+	return ds
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.Add(0, 0, 1.0)
+	b.Add(0, 1, 2.0)
+	b.Add(1, 0, 3.0)
+	b.Add(1, 1, 4.0)
+	b.Add(1, 2, 5.0)
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 2 || ds.NumObjects() != 3 || ds.NumObservations() != 5 {
+		t.Fatalf("dims = (%d, %d, %d)", ds.NumUsers(), ds.NumObjects(), ds.NumObservations())
+	}
+	obs, err := ds.UserObservations(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 2 || obs[0].Value != 1 || obs[1].Object != 1 {
+		t.Fatalf("user 0 observations = %+v", obs)
+	}
+	byObj, err := ds.ObjectObservations(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byObj) != 1 || byObj[0].User != 1 || byObj[0].Value != 5 {
+		t.Fatalf("object 2 observations = %+v", byObj)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func(*Builder)
+		wantErr error
+	}{
+		{
+			name:    "bad user",
+			build:   func(b *Builder) { b.Add(5, 0, 1) },
+			wantErr: ErrBadIndex,
+		},
+		{
+			name:    "negative object",
+			build:   func(b *Builder) { b.Add(0, -1, 1) },
+			wantErr: ErrBadIndex,
+		},
+		{
+			name:    "nan value",
+			build:   func(b *Builder) { b.Add(0, 0, math.NaN()) },
+			wantErr: ErrBadValue,
+		},
+		{
+			name:    "inf value",
+			build:   func(b *Builder) { b.Add(0, 0, math.Inf(1)) },
+			wantErr: ErrBadValue,
+		},
+		{
+			name: "duplicate",
+			build: func(b *Builder) {
+				b.Add(0, 0, 1)
+				b.Add(0, 0, 2)
+			},
+			wantErr: ErrDuplicate,
+		},
+		{
+			name: "uncovered object",
+			build: func(b *Builder) {
+				b.Add(0, 0, 1)
+			},
+			wantErr: ErrNoObservations,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := NewBuilder(2, 2)
+			tt.build(b)
+			if _, err := b.Build(); !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Build error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBuilderStickyError(t *testing.T) {
+	b := NewBuilder(1, 1)
+	b.Add(7, 0, 1) // bad
+	b.Add(0, 0, 1) // would be fine, but ignored after the sticky error
+	if _, err := b.Build(); !errors.Is(err, ErrBadIndex) {
+		t.Fatalf("sticky error lost: %v", err)
+	}
+}
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	nan := math.NaN()
+	matrix := [][]float64{
+		{1, 2, nan},
+		{nan, 3, 4},
+	}
+	ds := mustDataset(t, matrix)
+	if ds.NumObservations() != 4 {
+		t.Fatalf("observations = %d, want 4", ds.NumObservations())
+	}
+	dense := ds.Dense()
+	for s := range matrix {
+		for n := range matrix[s] {
+			a, b := matrix[s][n], dense[s][n]
+			if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+				t.Fatalf("dense[%d][%d] = %v, want %v", s, n, b, a)
+			}
+		}
+	}
+}
+
+func TestFromDenseErrors(t *testing.T) {
+	if _, err := FromDense(nil); err == nil {
+		t.Error("empty matrix should error")
+	}
+	if _, err := FromDense([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix should error")
+	}
+	nan := math.NaN()
+	if _, err := FromDense([][]float64{{1, nan}, {2, nan}}); !errors.Is(err, ErrNoObservations) {
+		t.Error("all-missing column should report ErrNoObservations")
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	ds := mustDataset(t, [][]float64{{1, 2}})
+	if _, err := ds.UserObservations(-1); !errors.Is(err, ErrBadIndex) {
+		t.Error("negative user index accepted")
+	}
+	if _, err := ds.UserObservations(1); !errors.Is(err, ErrBadIndex) {
+		t.Error("overflow user index accepted")
+	}
+	if _, err := ds.ObjectObservations(2); !errors.Is(err, ErrBadIndex) {
+		t.Error("overflow object index accepted")
+	}
+}
+
+func TestObservationsOrder(t *testing.T) {
+	ds := mustDataset(t, [][]float64{{1, 2}, {3, 4}})
+	all := ds.Observations()
+	if len(all) != 4 {
+		t.Fatalf("got %d observations", len(all))
+	}
+	want := []Observation{{0, 0, 1}, {0, 1, 2}, {1, 0, 3}, {1, 1, 4}}
+	for i, o := range all {
+		if o != want[i] {
+			t.Fatalf("observation %d = %+v, want %+v", i, o, want[i])
+		}
+	}
+}
+
+func TestMapPreservesSparsity(t *testing.T) {
+	nan := math.NaN()
+	ds := mustDataset(t, [][]float64{
+		{1, nan, 3},
+		{4, 5, nan},
+		{nan, 6, 7},
+	})
+	shifted, err := ds.Map(func(_, _ int, v float64) float64 { return v + 10 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.NumObservations() != ds.NumObservations() {
+		t.Fatalf("observation count changed: %d -> %d", ds.NumObservations(), shifted.NumObservations())
+	}
+	orig := ds.Dense()
+	got := shifted.Dense()
+	for s := range orig {
+		for n := range orig[s] {
+			switch {
+			case math.IsNaN(orig[s][n]):
+				if !math.IsNaN(got[s][n]) {
+					t.Fatalf("missing entry (%d,%d) became %v", s, n, got[s][n])
+				}
+			case got[s][n] != orig[s][n]+10:
+				t.Fatalf("entry (%d,%d) = %v, want %v", s, n, got[s][n], orig[s][n]+10)
+			}
+		}
+	}
+}
+
+func TestMapRejectsNonFinite(t *testing.T) {
+	ds := mustDataset(t, [][]float64{{1, 2}})
+	if _, err := ds.Map(func(_, _ int, _ float64) float64 { return math.NaN() }); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("Map to NaN error = %v, want ErrBadValue", err)
+	}
+}
+
+func TestObjectMeansAndStdDevs(t *testing.T) {
+	ds := mustDataset(t, [][]float64{
+		{1, 10},
+		{3, 10},
+	})
+	means := ds.ObjectMeans()
+	if means[0] != 2 || means[1] != 10 {
+		t.Fatalf("means = %v", means)
+	}
+	stds := ds.ObjectStdDevs()
+	if stds[0] != 1 || stds[1] != 0 {
+		t.Fatalf("stds = %v", stds)
+	}
+}
+
+func TestBuildRejectsDegenerateDims(t *testing.T) {
+	if _, err := NewBuilder(0, 1).Build(); !errors.Is(err, ErrBadIndex) {
+		t.Error("zero users accepted")
+	}
+	if _, err := NewBuilder(1, 0).Build(); !errors.Is(err, ErrBadIndex) {
+		t.Error("zero objects accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package truth
+
+import (
+	"fmt"
+	"math"
+)
+
+// GTM implements the Gaussian Truth Model of Zhao & Han (QDB'12), the
+// second truth-discovery method the paper evaluates (Fig. 5). Claims are
+// modeled as x_sn ~ N(mu_n, sigma_s^2) with a Gaussian prior on each truth
+// mu_n and an inverse-Gamma(alpha, beta) prior on each user variance
+// sigma_s^2; inference alternates the posterior-mean truth update with the
+// MAP variance update (an EM-style coordinate ascent).
+//
+// Reported weights are the estimated precisions 1/sigma_s^2, the natural
+// "weight" of a user under this model.
+type GTM struct {
+	cfg iterConfig
+
+	// priorMeanWeight is the pseudo-claim weight of the per-object prior
+	// mean (1/sigma0^2 in model terms); 0 disables the truth prior.
+	priorMeanWeight float64
+	// alpha, beta parameterize the inverse-Gamma prior on user variances.
+	alpha float64
+	beta  float64
+	// initVariance seeds the user variances before the first iteration.
+	initVariance float64
+}
+
+var _ Method = (*GTM)(nil)
+
+// GTMOption configures NewGTM.
+type GTMOption interface {
+	applyGTM(*GTM)
+}
+
+type gtmOptionFunc func(*GTM)
+
+func (f gtmOptionFunc) applyGTM(g *GTM) { f(g) }
+
+// WithGTMTolerance sets the convergence tolerance on the maximum truth
+// change (default DefaultTolerance).
+func WithGTMTolerance(tol float64) GTMOption {
+	return gtmOptionFunc(func(g *GTM) { g.cfg.tolerance = tol })
+}
+
+// WithGTMMaxIterations caps the iteration count (default
+// DefaultMaxIterations).
+func WithGTMMaxIterations(n int) GTMOption {
+	return gtmOptionFunc(func(g *GTM) { g.cfg.maxIterations = n })
+}
+
+// WithGTMFailOnNonConvergence makes Run return an error wrapping
+// ErrNotConverged when the cap is hit.
+func WithGTMFailOnNonConvergence() GTMOption {
+	return gtmOptionFunc(func(g *GTM) { g.cfg.failOnNoConv = true })
+}
+
+// WithGTMVariancePrior sets the inverse-Gamma(alpha, beta) prior on user
+// variances (default alpha=2, beta=1, a weak prior with mean 1).
+func WithGTMVariancePrior(alpha, beta float64) GTMOption {
+	return gtmOptionFunc(func(g *GTM) { g.alpha, g.beta = alpha, beta })
+}
+
+// WithGTMTruthPriorWeight sets the pseudo-claim weight given to the
+// per-object claim mean acting as the truth prior (default 0.01; 0
+// disables the prior).
+func WithGTMTruthPriorWeight(w float64) GTMOption {
+	return gtmOptionFunc(func(g *GTM) { g.priorMeanWeight = w })
+}
+
+// WithGTMInitialVariance sets the initial per-user variance (default 1).
+func WithGTMInitialVariance(v float64) GTMOption {
+	return gtmOptionFunc(func(g *GTM) { g.initVariance = v })
+}
+
+// NewGTM returns a configured GTM method.
+func NewGTM(opts ...GTMOption) (*GTM, error) {
+	g := &GTM{
+		cfg:             defaultIterConfig(),
+		priorMeanWeight: 0.01,
+		alpha:           2,
+		beta:            1,
+		initVariance:    1,
+	}
+	for _, o := range opts {
+		o.applyGTM(g)
+	}
+	if err := g.cfg.validate(); err != nil {
+		return nil, err
+	}
+	if g.alpha <= 0 || g.beta <= 0 {
+		return nil, fmt.Errorf("truth: non-positive inverse-gamma prior (%v, %v)", g.alpha, g.beta)
+	}
+	if g.priorMeanWeight < 0 || math.IsNaN(g.priorMeanWeight) {
+		return nil, fmt.Errorf("truth: negative truth-prior weight %v", g.priorMeanWeight)
+	}
+	if g.initVariance <= 0 || math.IsNaN(g.initVariance) {
+		return nil, fmt.Errorf("truth: non-positive initial variance %v", g.initVariance)
+	}
+	return g, nil
+}
+
+// Name implements Method.
+func (g *GTM) Name() string { return "gtm" }
+
+// Run implements Method.
+func (g *GTM) Run(ds *Dataset) (*Result, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrBadIndex)
+	}
+	const varianceFloor = 1e-9
+
+	var (
+		numUsers   = ds.NumUsers()
+		numObjs    = ds.NumObjects()
+		variances  = make([]float64, numUsers)
+		truths     = make([]float64, numObjs)
+		prev       = make([]float64, numObjs)
+		priorMeans = ds.ObjectMeans()
+	)
+	for s := range variances {
+		variances[s] = g.initVariance
+	}
+	copy(truths, priorMeans)
+
+	res := &Result{Truths: truths}
+	for iter := 1; iter <= g.cfg.maxIterations; iter++ {
+		res.Iterations = iter
+
+		// E-step: posterior-mean truths given variances.
+		for n, claims := range ds.byObject {
+			num := g.priorMeanWeight * priorMeans[n]
+			den := g.priorMeanWeight
+			for _, uv := range claims {
+				prec := 1 / variances[uv.user]
+				num += prec * uv.value
+				den += prec
+			}
+			prev[n] = truths[n]
+			truths[n] = num / den
+		}
+
+		// M-step: MAP user variances given truths, under the
+		// inverse-Gamma(alpha, beta) prior.
+		for s, claims := range ds.byUser {
+			if len(claims) == 0 {
+				continue
+			}
+			var ss float64
+			for _, ov := range claims {
+				d := ov.value - truths[ov.object]
+				ss += d * d
+			}
+			v := (2*g.beta + ss) / (2*(g.alpha+1) + float64(len(claims)))
+			if v < varianceFloor {
+				v = varianceFloor
+			}
+			variances[s] = v
+		}
+
+		if maxAbsDiff(prev, truths) < g.cfg.tolerance {
+			res.Converged = true
+			break
+		}
+	}
+	if !res.Converged && g.cfg.failOnNoConv {
+		return nil, fmt.Errorf("%w: gtm after %d iterations", ErrNotConverged, res.Iterations)
+	}
+
+	weights := make([]float64, numUsers)
+	for s, claims := range ds.byUser {
+		if len(claims) == 0 {
+			continue // weight 0 for silent users
+		}
+		weights[s] = 1 / variances[s]
+	}
+	res.Weights = weights
+	return res, nil
+}

@@ -1,0 +1,327 @@
+package truth
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pptd/internal/randx"
+)
+
+// genDataset builds a dataset of S users observing all N objects, with
+// ground truths and per-user Gaussian error of the given std devs.
+// It returns the dataset and the ground truths.
+func genDataset(t *testing.T, rng *randx.RNG, truthVals []float64, userStds []float64) *Dataset {
+	t.Helper()
+	b := NewBuilder(len(userStds), len(truthVals))
+	for s, sd := range userStds {
+		for n, tv := range truthVals {
+			b.Add(s, n, tv+sd*rng.Norm())
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// genTruths returns n ground truths uniform in [0, 10).
+func genTruths(rng *randx.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 10 * rng.Float64()
+	}
+	return out
+}
+
+func TestLemma44WeightedMeanBound(t *testing.T) {
+	// Lemma 4.4: for weights w_s = f(t_s) with f monotonically
+	// decreasing, sum(w t)/sum(w) <= mean(t). Exercised with the paper's
+	// own f (negative log share) over random positive distances.
+	f := func(raw []float64) bool {
+		ts := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			ts = append(ts, 0.001+math.Abs(x)) // positive, bounded distances
+		}
+		if len(ts) < 2 {
+			return true
+		}
+		var total float64
+		for _, v := range ts {
+			total += v
+		}
+		var wSum, wtSum, tSum float64
+		for _, v := range ts {
+			w := -math.Log(v / total)
+			if w < 0 {
+				w = 0
+			}
+			wSum += w
+			wtSum += w * v
+			tSum += v
+		}
+		if wSum == 0 {
+			return true
+		}
+		weighted := wtSum / wSum
+		unweighted := tSum / float64(len(ts))
+		return weighted <= unweighted*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceString(t *testing.T) {
+	tests := []struct {
+		give Distance
+		want string
+	}{
+		{SquaredDistance, "squared"},
+		{AbsoluteDistance, "absolute"},
+		{NormalizedSquaredDistance, "normalized-squared"},
+		{Distance(99), "Distance(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+}
+
+func TestNormalizeWeights(t *testing.T) {
+	ws := []float64{1, 2, 3}
+	if !NormalizeWeights(ws) {
+		t.Fatal("NormalizeWeights returned false for valid weights")
+	}
+	var sum float64
+	for _, w := range ws {
+		sum += w
+	}
+	if math.Abs(sum-3) > 1e-12 {
+		t.Fatalf("normalized sum = %v, want 3", sum)
+	}
+	if math.Abs(ws[1]/ws[0]-2) > 1e-12 {
+		t.Fatal("normalization destroyed ratios")
+	}
+
+	zero := []float64{0, 0}
+	if NormalizeWeights(zero) {
+		t.Error("zero weights should not normalize")
+	}
+	if NormalizeWeights(nil) {
+		t.Error("empty weights should not normalize")
+	}
+}
+
+func TestWeightedTruthsMatchesManual(t *testing.T) {
+	ds := mustDataset(t, [][]float64{
+		{0, 10},
+		{4, 20},
+	})
+	out := make([]float64, 2)
+	weightedTruths(ds, []float64{3, 1}, out)
+	if math.Abs(out[0]-1) > 1e-12 {
+		t.Errorf("truth 0 = %v, want 1", out[0])
+	}
+	if math.Abs(out[1]-12.5) > 1e-12 {
+		t.Errorf("truth 1 = %v, want 12.5", out[1])
+	}
+}
+
+func TestWeightedTruthsZeroWeightsFallBack(t *testing.T) {
+	ds := mustDataset(t, [][]float64{
+		{0, 10},
+		{4, 20},
+	})
+	out := make([]float64, 2)
+	weightedTruths(ds, []float64{0, 0}, out) // floor keeps it a plain mean
+	if math.Abs(out[0]-2) > 1e-9 || math.Abs(out[1]-15) > 1e-9 {
+		t.Errorf("zero-weight truths = %v, want [2 15]", out)
+	}
+}
+
+// runAll runs every method on the dataset and returns results keyed by name.
+func runAll(t *testing.T, ds *Dataset) map[string]*Result {
+	t.Helper()
+	crh, err := NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtm, err := NewGTM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	catd, err := NewCATD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := []Method{crh, gtm, catd, Mean{}, Median{}}
+	out := make(map[string]*Result, len(methods))
+	for _, m := range methods {
+		res, err := m.Run(ds)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		out[m.Name()] = res
+	}
+	return out
+}
+
+func TestAllMethodsRecoverCleanTruths(t *testing.T) {
+	// With tiny, equal noise every method must land near the truths.
+	rng := randx.New(1)
+	truths := genTruths(rng, 20)
+	stds := make([]float64, 30)
+	for i := range stds {
+		stds[i] = 0.01
+	}
+	ds := genDataset(t, rng, truths, stds)
+	for name, res := range runAll(t, ds) {
+		for n, tv := range truths {
+			if math.Abs(res.Truths[n]-tv) > 0.05 {
+				t.Errorf("%s: truth %d = %v, want ~%v", name, n, res.Truths[n], tv)
+			}
+		}
+	}
+}
+
+func TestWeightedMethodsDownweightNoisyUsers(t *testing.T) {
+	// Half the users are precise, half very noisy: CRH, GTM and CATD
+	// must assign the precise half higher weights.
+	rng := randx.New(2)
+	truths := genTruths(rng, 40)
+	stds := make([]float64, 40)
+	for i := range stds {
+		if i < 20 {
+			stds[i] = 0.05
+		} else {
+			stds[i] = 3.0
+		}
+	}
+	ds := genDataset(t, rng, truths, stds)
+	results := runAll(t, ds)
+	for _, name := range []string{"crh", "gtm", "catd"} {
+		res := results[name]
+		var precise, noisy float64
+		for s := 0; s < 20; s++ {
+			precise += res.Weights[s]
+		}
+		for s := 20; s < 40; s++ {
+			noisy += res.Weights[s]
+		}
+		if precise <= noisy {
+			t.Errorf("%s: precise users total weight %v <= noisy %v", name, precise, noisy)
+		}
+	}
+}
+
+func TestWeightedBeatsMeanUnderHeterogeneousNoise(t *testing.T) {
+	// The paper's core premise: weighted aggregation beats plain
+	// averaging when user quality varies. Compare MAE to ground truth.
+	rng := randx.New(3)
+	truths := genTruths(rng, 50)
+	stds := make([]float64, 60)
+	for i := range stds {
+		if i%3 == 0 {
+			stds[i] = 0.05
+		} else {
+			stds[i] = 2.0
+		}
+	}
+	ds := genDataset(t, rng, truths, stds)
+	results := runAll(t, ds)
+	mae := func(res *Result) float64 {
+		var sum float64
+		for n, tv := range truths {
+			sum += math.Abs(res.Truths[n] - tv)
+		}
+		return sum / float64(len(truths))
+	}
+	meanMAE := mae(results["mean"])
+	for _, name := range []string{"crh", "gtm", "catd"} {
+		if got := mae(results[name]); got >= meanMAE {
+			t.Errorf("%s MAE %v not better than mean MAE %v", name, got, meanMAE)
+		}
+	}
+}
+
+func TestMethodsHandleSparseData(t *testing.T) {
+	// Users observe random ~60% subsets of objects; everything must
+	// still run and produce finite truths for every object.
+	rng := randx.New(4)
+	truths := genTruths(rng, 30)
+	const numUsers = 25
+	b := NewBuilder(numUsers, len(truths))
+	for s := 0; s < numUsers; s++ {
+		sd := 0.1 + rng.Float64()
+		covered := false
+		for n, tv := range truths {
+			if rng.Float64() < 0.6 || (!covered && n == len(truths)-1) {
+				b.Add(s, n, tv+sd*rng.Norm())
+				covered = true
+			}
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		// Rare: some object may be uncovered under this seed; the seed
+		// above is chosen so that this does not happen.
+		t.Fatal(err)
+	}
+	for name, res := range runAll(t, ds) {
+		if len(res.Truths) != len(truths) {
+			t.Fatalf("%s: %d truths", name, len(res.Truths))
+		}
+		for n, v := range res.Truths {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: non-finite truth %d = %v", name, n, v)
+			}
+		}
+	}
+}
+
+func TestSilentUserGetsZeroWeight(t *testing.T) {
+	nan := math.NaN()
+	ds := mustDataset(t, [][]float64{
+		{1, 2},
+		{1.1, 2.1},
+		{nan, nan},
+	})
+	for name, res := range runAll(t, ds) {
+		if w := res.Weights[2]; w != 0 {
+			t.Errorf("%s: silent user weight = %v, want 0", name, w)
+		}
+	}
+}
+
+func TestMethodsRejectNilDataset(t *testing.T) {
+	crh, _ := NewCRH()
+	gtm, _ := NewGTM()
+	catd, _ := NewCATD()
+	for _, m := range []Method{crh, gtm, catd, Mean{}, Median{}} {
+		if _, err := m.Run(nil); err == nil {
+			t.Errorf("%s accepted nil dataset", m.Name())
+		}
+	}
+}
+
+func TestWeightsOrderingMatchesQuality(t *testing.T) {
+	// Users sorted by noise level should be sorted (roughly) by weight.
+	rng := randx.New(5)
+	truths := genTruths(rng, 60)
+	stds := []float64{0.05, 0.2, 0.5, 1.0, 2.0}
+	ds := genDataset(t, rng, truths, stds)
+	results := runAll(t, ds)
+	for _, name := range []string{"crh", "gtm", "catd"} {
+		ws := results[name].Weights
+		if !sort.SliceIsSorted(ws, func(i, j int) bool { return ws[i] > ws[j] }) {
+			t.Errorf("%s: weights %v not decreasing with noise", name, ws)
+		}
+	}
+}

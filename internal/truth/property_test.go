@@ -1,0 +1,215 @@
+package truth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pptd/internal/randx"
+)
+
+// quickDataset derives a small random dense dataset from a seed.
+func quickDataset(seed uint64) (*Dataset, error) {
+	rng := randx.New(seed)
+	users := 2 + rng.Intn(10)
+	objects := 1 + rng.Intn(10)
+	b := NewBuilder(users, objects)
+	for s := 0; s < users; s++ {
+		for n := 0; n < objects; n++ {
+			b.Add(s, n, 20*rng.Float64()-10)
+		}
+	}
+	return b.Build()
+}
+
+func TestPropertyTruthsWithinClaimRange(t *testing.T) {
+	// Every method's truths are convex combinations (or order statistics)
+	// of the claims, so they must lie inside each object's claim range.
+	crh, err := NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtm, err := NewGTM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	catd, err := NewCATD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := []Method{crh, gtm, catd, Mean{}, Median{}}
+
+	f := func(seed uint64) bool {
+		ds, err := quickDataset(seed)
+		if err != nil {
+			return false
+		}
+		for _, m := range methods {
+			res, err := m.Run(ds)
+			if err != nil {
+				return false
+			}
+			for n := 0; n < ds.NumObjects(); n++ {
+				claims, err := ds.ObjectObservations(n)
+				if err != nil {
+					return false
+				}
+				lo, hi := claims[0].Value, claims[0].Value
+				for _, c := range claims {
+					if c.Value < lo {
+						lo = c.Value
+					}
+					if c.Value > hi {
+						hi = c.Value
+					}
+				}
+				const slack = 1e-6
+				if res.Truths[n] < lo-slack || res.Truths[n] > hi+slack {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyWeightsFiniteNonNegative(t *testing.T) {
+	crh, err := NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtm, err := NewGTM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		ds, err := quickDataset(seed)
+		if err != nil {
+			return false
+		}
+		for _, m := range []Method{crh, gtm} {
+			res, err := m.Run(ds)
+			if err != nil {
+				return false
+			}
+			for _, w := range res.Weights {
+				if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTranslationEquivariance(t *testing.T) {
+	// Shifting every claim by a constant shifts every truth by the same
+	// constant (CRH with squared distance is translation-equivariant).
+	crh, err := NewCRH(WithCRHDistance(SquaredDistance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, rawShift float64) bool {
+		shift := math.Mod(rawShift, 1000)
+		if math.IsNaN(shift) {
+			return true
+		}
+		ds, err := quickDataset(seed)
+		if err != nil {
+			return false
+		}
+		shifted, err := ds.Map(func(_, _ int, v float64) float64 { return v + shift })
+		if err != nil {
+			return false
+		}
+		a, err := crh.Run(ds)
+		if err != nil {
+			return false
+		}
+		b, err := crh.Run(shifted)
+		if err != nil {
+			return false
+		}
+		for n := range a.Truths {
+			if math.Abs(b.Truths[n]-(a.Truths[n]+shift)) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyUserOrderInvariance(t *testing.T) {
+	// Relabeling users must permute weights identically and leave truths
+	// unchanged: the methods are symmetric in users.
+	crh, err := NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		ds, err := quickDataset(seed)
+		if err != nil {
+			return false
+		}
+		rng := randx.New(seed ^ 0xabcdef)
+		perm := rng.Perm(ds.NumUsers())
+		b := NewBuilder(ds.NumUsers(), ds.NumObjects())
+		for _, o := range ds.Observations() {
+			b.Add(perm[o.User], o.Object, o.Value)
+		}
+		permuted, err := b.Build()
+		if err != nil {
+			return false
+		}
+		r1, err := crh.Run(ds)
+		if err != nil {
+			return false
+		}
+		r2, err := crh.Run(permuted)
+		if err != nil {
+			return false
+		}
+		for n := range r1.Truths {
+			if math.Abs(r1.Truths[n]-r2.Truths[n]) > 1e-9 {
+				return false
+			}
+		}
+		for s := range r1.Weights {
+			if math.Abs(r1.Weights[s]-r2.Weights[perm[s]]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMapPreservesCounts(t *testing.T) {
+	f := func(seed uint64) bool {
+		ds, err := quickDataset(seed)
+		if err != nil {
+			return false
+		}
+		mapped, err := ds.Map(func(_, _ int, v float64) float64 { return v * 2 })
+		if err != nil {
+			return false
+		}
+		return mapped.NumObservations() == ds.NumObservations() &&
+			mapped.NumUsers() == ds.NumUsers() &&
+			mapped.NumObjects() == ds.NumObjects()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

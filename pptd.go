@@ -1,0 +1,98 @@
+// Package pptd is a Go implementation of privacy-preserving truth
+// discovery for crowd sensing systems, reproducing Li et al., "Towards
+// Differentially Private Truth Discovery for Crowd Sensing Systems"
+// (ICDCS 2020).
+//
+// The mechanism (Algorithm 2 of the paper) combines two pieces:
+//
+//   - Local perturbation: each user samples a private noise variance
+//     delta_s^2 from an exponential distribution with server-released
+//     rate lambda2 and adds N(0, delta_s^2) noise to every reading before
+//     it leaves the device. No coordination between users is needed, and
+//     the realized noise distribution is unknown to the server, yielding
+//     (epsilon, delta)-local differential privacy (Theorem 4.8).
+//
+//   - Weighted aggregation: the server runs iterative truth discovery
+//     (CRH, GTM, ...) on the perturbed data. Because truth discovery
+//     estimates per-user weights from agreement with the current truth
+//     estimate, users who drew large noise are automatically
+//     down-weighted, so the aggregate barely moves even under large
+//     noise ((alpha, beta)-utility, Theorem 4.3).
+//
+// Quick start:
+//
+//	rng := pptd.NewRNG(42)
+//	acct, _ := pptd.NewAccountant(1)                    // data quality lambda1
+//	mech, _ := acct.MechanismForEpsilon(0.5, 0.3)       // (eps, delta) target
+//	method, _ := pptd.NewCRH()
+//	pipe, _ := pptd.NewPipeline(mech, method)
+//	outcome, _ := pipe.Run(dataset, rng)
+//	fmt.Println(outcome.UtilityMAE)                     // utility loss
+//
+// The subpackage layout mirrors the paper: the mechanism and accountant
+// live in internal/core, truth discovery in internal/truth, the
+// closed-form analysis in internal/theory, data generators in
+// internal/synthetic and internal/floorplan, the networked crowd sensing
+// system in internal/crowd, and the figure-regeneration harness in
+// internal/eval. This package re-exports the full public surface.
+package pptd
+
+import (
+	"pptd/internal/core"
+	"pptd/internal/randx"
+)
+
+// RNG is the deterministic random-number generator used by every
+// stochastic component. See NewRNG.
+type RNG = randx.RNG
+
+// NewRNG returns a deterministic RNG seeded with seed (xoshiro256++
+// seeded via splitmix64). The same seed always reproduces the same
+// stream; derive independent streams with Split.
+func NewRNG(seed uint64) *RNG { return randx.New(seed) }
+
+// Mechanism is the paper's perturbation mechanism M, parameterized by
+// the server-released noise-variance rate lambda2.
+type Mechanism = core.Mechanism
+
+// NewMechanism returns the perturbation mechanism with the given lambda2.
+func NewMechanism(lambda2 float64) (*Mechanism, error) { return core.NewMechanism(lambda2) }
+
+// UserPerturber perturbs a single user's readings with that user's
+// private noise variance (client-side half of Algorithm 2).
+type UserPerturber = core.UserPerturber
+
+// PerturbationReport summarizes the noise injected by one dataset-level
+// perturbation (simulation-only knowledge).
+type PerturbationReport = core.Report
+
+// Accountant converts between mechanism parameters and the
+// (epsilon, delta)-local-differential-privacy guarantee (Theorem 4.8).
+type Accountant = core.Accountant
+
+// AccountantOption configures NewAccountant.
+type AccountantOption = core.AccountantOption
+
+// NewAccountant returns an accountant for a crowd whose error variances
+// follow Exp(lambda1).
+func NewAccountant(lambda1 float64, opts ...AccountantOption) (*Accountant, error) {
+	return core.NewAccountant(lambda1, opts...)
+}
+
+// WithSensitivityTail overrides the Lemma 4.7 sensitivity-tail constants
+// b and eta (defaults 3 and 0.95).
+func WithSensitivityTail(b, eta float64) AccountantOption {
+	return core.WithSensitivityTail(b, eta)
+}
+
+// Pipeline runs the full Algorithm 2 flow: perturb, aggregate, compare.
+type Pipeline = core.Pipeline
+
+// Outcome is the result of one Pipeline run.
+type Outcome = core.Outcome
+
+// NewPipeline returns a pipeline combining a mechanism with a
+// truth-discovery method.
+func NewPipeline(mechanism *Mechanism, method Method) (*Pipeline, error) {
+	return core.NewPipeline(mechanism, method)
+}

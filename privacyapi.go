@@ -1,0 +1,55 @@
+package pptd
+
+import "pptd/internal/theory"
+
+// TradeoffAnalysis captures the Theorem 4.9 feasibility interval of noise
+// levels meeting both the utility and the privacy targets.
+type TradeoffAnalysis = theory.Tradeoff
+
+// AnalyzeTradeoff evaluates Theorem 4.9: it returns the privacy lower
+// bound and utility upper bound on the noise level c for the given
+// targets, and whether a feasible c exists. gamma comes from
+// SensitivityGamma.
+func AnalyzeTradeoff(lambda1, alpha, beta float64, numUsers int, eps, delta, gamma float64) (TradeoffAnalysis, error) {
+	return theory.Analyze(lambda1, alpha, beta, numUsers, eps, delta, gamma)
+}
+
+// SensitivityGamma returns gamma = b*sqrt(2 ln(1/(1-eta))), the Lemma 4.7
+// constant tying user sensitivity to the data-quality rate lambda1
+// (Delta_s <= gamma/lambda1).
+func SensitivityGamma(b, eta float64) (float64, error) { return theory.Gamma(b, eta) }
+
+// NoiseLevelForEpsilon returns the Theorem 4.8 lower bound on the noise
+// level c = lambda1/lambda2 required for (eps, delta)-local differential
+// privacy.
+func NoiseLevelForEpsilon(eps, delta, lambda1, gamma float64) (float64, error) {
+	return theory.NoiseLevelForEpsilon(eps, delta, lambda1, gamma)
+}
+
+// EpsilonForNoiseLevel inverts NoiseLevelForEpsilon.
+func EpsilonForNoiseLevel(c, delta, lambda1, gamma float64) (float64, error) {
+	return theory.EpsilonForNoiseLevel(c, delta, lambda1, gamma)
+}
+
+// UtilityNoiseUpperBound returns the Theorem 4.3 cap on the noise level c
+// under which (alpha, beta)-utility is guaranteed for S users.
+func UtilityNoiseUpperBound(lambda1, alpha, beta float64, numUsers int) (float64, error) {
+	return theory.UtilityNoiseUpperBound(lambda1, alpha, beta, numUsers)
+}
+
+// ExpectedAbsNoise returns the closed-form expected |noise| per reading
+// injected by a mechanism with rate lambda2: 1/sqrt(2*lambda2).
+func ExpectedAbsNoise(lambda2 float64) float64 { return theory.ExpectedAbsNoise(lambda2) }
+
+// Lambda2ForNoiseLevel converts a noise level c into the mechanism rate
+// lambda2 = lambda1/c.
+func Lambda2ForNoiseLevel(c, lambda1 float64) (float64, error) {
+	return theory.Lambda2ForNoiseLevel(c, lambda1)
+}
+
+// MinEpsilonForUtility solves the paper's Eq. (19): the strongest privacy
+// (smallest epsilon) compatible with an (alpha, beta)-utility target for
+// S users at the given delta.
+func MinEpsilonForUtility(lambda1, alpha, beta float64, numUsers int, delta, gamma float64) (float64, error) {
+	return theory.MinEpsilon(lambda1, alpha, beta, numUsers, delta, gamma)
+}

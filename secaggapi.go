@@ -1,0 +1,44 @@
+package pptd
+
+import (
+	"pptd/internal/core"
+	"pptd/internal/randx"
+	"pptd/internal/secagg"
+)
+
+// SecureAggregator runs pairwise-masking secure-sum rounds — the
+// crypto-based alternative the paper argues is too expensive for crowd
+// sensing scale. It is provided as a measurable baseline.
+type SecureAggregator = secagg.Aggregator
+
+// SecureCost records the communication footprint of a protocol run.
+type SecureCost = secagg.Cost
+
+// NewSecureAggregator sets up pairwise masking for numUsers users.
+func NewSecureAggregator(numUsers int, rng *RNG) (*SecureAggregator, error) {
+	return secagg.NewAggregator(numUsers, rng)
+}
+
+// SecureCRH runs CRH truth discovery over secure-sum rounds, returning
+// the result and the exact protocol cost.
+func SecureCRH(ds *Dataset, maxIterations int, tolerance float64, rng *randx.RNG) (*Result, SecureCost, error) {
+	return secagg.SecureCRH(ds, maxIterations, tolerance, rng)
+}
+
+// PerturbationCost returns the communication footprint of the paper's
+// mechanism for the same task: one upload of numObjects readings per
+// user, no setup.
+func PerturbationCost(numUsers, numObjects int) SecureCost {
+	return secagg.PerturbationCost(numUsers, numObjects)
+}
+
+// PersonalizedMechanism extends the paper's mechanism to per-user
+// privacy preferences: each user draws their noise variance from their
+// own Exp(lambda2_s).
+type PersonalizedMechanism = core.PersonalizedMechanism
+
+// NewPersonalizedMechanism returns a mechanism where user s samples
+// noise variances from Exp(rates[s]).
+func NewPersonalizedMechanism(rates []float64) (*PersonalizedMechanism, error) {
+	return core.NewPersonalizedMechanism(rates)
+}
