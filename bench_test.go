@@ -9,7 +9,9 @@
 package pptd_test
 
 import (
+	"runtime"
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	"pptd"
@@ -208,6 +210,102 @@ func BenchmarkRNGNorm(b *testing.B) {
 
 func sizeLabel(n int) string {
 	return "objects-" + strconv.Itoa(n)
+}
+
+// --- Streaming benchmarks --------------------------------------------
+
+// streamShardCounts are the shard layouts the ingest benchmark sweeps:
+// serial, small, and one shard per available core.
+func streamShardCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkStreamIngest measures claim ingestion throughput of the
+// streaming engine at 1, 4 and GOMAXPROCS shards: concurrent submitters
+// hand batches of 30 claims to the sharded workers.
+func BenchmarkStreamIngest(b *testing.B) {
+	const claimsPerBatch = 30
+	for _, shards := range streamShardCounts() {
+		b.Run("shards-"+strconv.Itoa(shards), func(b *testing.B) {
+			eng, err := pptd.NewStreamEngine(pptd.StreamConfig{
+				NumObjects: claimsPerBatch,
+				NumShards:  shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				if err := eng.Close(); err != nil {
+					b.Error(err)
+				}
+			}()
+			var nextUser atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				seq := nextUser.Add(1)
+				id := "bench-user-" + strconv.FormatInt(seq, 10)
+				rng := pptd.NewRNG(uint64(seq))
+				claims := make([]pptd.StreamClaim, claimsPerBatch)
+				for pb.Next() {
+					for n := range claims {
+						claims[n] = pptd.StreamClaim{Object: n, Value: rng.Norm()}
+					}
+					if _, _, err := eng.Ingest(id, claims); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			elapsed := b.Elapsed().Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)*claimsPerBatch/elapsed, "claims/s")
+			}
+		})
+	}
+}
+
+// BenchmarkStreamCloseWindow measures per-window re-estimation latency
+// on paper-sized statistics (150 users x 30 objects), cold-started each
+// window so every iteration does the full estimation.
+func BenchmarkStreamCloseWindow(b *testing.B) {
+	for _, shards := range streamShardCounts() {
+		b.Run("shards-"+strconv.Itoa(shards), func(b *testing.B) {
+			eng, err := pptd.NewStreamEngine(pptd.StreamConfig{
+				NumObjects:       30,
+				NumShards:        shards,
+				DisableCarryover: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				if err := eng.Close(); err != nil {
+					b.Error(err)
+				}
+			}()
+			rng := pptd.NewRNG(8)
+			claims := make([]pptd.StreamClaim, 30)
+			for s := 0; s < 150; s++ {
+				for n := range claims {
+					claims[n] = pptd.StreamClaim{Object: n, Value: 5*float64(n%7) + rng.Norm()}
+				}
+				if _, _, err := eng.Ingest("user-"+strconv.Itoa(s), claims); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.CloseWindow(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationConvergence sweeps the convergence threshold on

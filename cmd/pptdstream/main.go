@@ -1,0 +1,252 @@
+// Command pptdstream is a load generator and driver for the streaming
+// truth-discovery engine: it runs a streaming campaign server (or
+// targets an external one), simulates a fleet of devices that take fresh
+// readings of a drifting ground truth every window, perturb them locally
+// (Algorithm 2's client side), and submit concurrently, then closes
+// windows and reports per-window accuracy, ingest throughput, estimation
+// latency, and each window's cumulative privacy spending.
+//
+// Usage:
+//
+//	pptdstream -objects 20 -users 50 -windows 5 -shards 4 \
+//	    -lambda1 1.5 -lambda2 2 -delta 0.3 -budget 0 -decay 1 -drift 0.2
+//
+// With -budget > 0 users are cut off once their cumulative epsilon would
+// exceed the cap; the driver reports how many submissions were refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pptd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pptdstream:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pptdstream", flag.ContinueOnError)
+	var (
+		objects = fs.Int("objects", 20, "number of micro-tasks (objects)")
+		users   = fs.Int("users", 50, "number of simulated devices")
+		windows = fs.Int("windows", 5, "number of windows to stream")
+		shards  = fs.Int("shards", 0, "engine shards (0 = auto)")
+		lambda1 = fs.Float64("lambda1", 1.5, "simulated sensor quality (error-variance rate)")
+		lambda2 = fs.Float64("lambda2", 2, "perturbation rate released to users")
+		delta   = fs.Float64("delta", 0.3, "LDP delta each window is accounted at")
+		budget  = fs.Float64("budget", 0, "cumulative epsilon cap per user (0 = track only)")
+		decay   = fs.Float64("decay", 1, "per-window retention factor in (0,1]")
+		drift   = fs.Float64("drift", 0.2, "per-window random-walk step of the ground truth")
+		seed    = fs.Uint64("seed", 1, "deterministic seed for the simulated fleet")
+		addr    = fs.String("addr", "", "external streaming server base URL (empty = run one in-process)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *windows <= 0 || *users <= 0 {
+		return errors.New("need positive -windows and -users")
+	}
+
+	baseURL := *addr
+	if baseURL == "" {
+		srv, err := pptd.NewStreamCampaignServer(pptd.StreamCampaignServerConfig{
+			Name: "pptdstream",
+			Engine: pptd.StreamConfig{
+				NumObjects:    *objects,
+				NumShards:     *shards,
+				Decay:         *decay,
+				Lambda1:       *lambda1,
+				Lambda2:       *lambda2,
+				Delta:         *delta,
+				EpsilonBudget: *budget,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(ctx)
+		}()
+		baseURL = "http://" + ln.Addr().String()
+	}
+
+	client, err := pptd.NewCampaignClient(baseURL)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	info, err := client.StreamCampaign(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "streaming campaign %q at %s: %d objects, %d shards, lambda2=%v\n",
+		info.Name, baseURL, info.NumObjects, info.Shards, info.Lambda2)
+	if info.EpsilonPerWindow > 0 {
+		fmt.Fprintf(out, "privacy: epsilon=%.4f per window at delta=%v, budget=%v\n",
+			info.EpsilonPerWindow, info.Delta, budgetLabel(info.EpsilonBudget))
+	}
+
+	// Simulated fleet: per-device quality sigma_s^2 ~ Exp(lambda1), fresh
+	// readings of a drifting ground truth every window.
+	rng := pptd.NewRNG(*seed)
+	groundTruth := make([]float64, info.NumObjects)
+	for n := range groundTruth {
+		groundTruth[n] = 10 * rng.Float64()
+	}
+	type device struct {
+		user  *pptd.CampaignUser
+		rng   *pptd.RNG
+		sigma float64
+	}
+	fleet := make([]*device, *users)
+	for i := range fleet {
+		userRng := rng.Split()
+		d := &device{rng: userRng, sigma: math.Sqrt(userRng.Exp() / *lambda1)}
+		readings := takeReadings(groundTruth, d.sigma, userRng)
+		u, err := pptd.NewCampaignUser(fmt.Sprintf("device-%03d", i), readings, userRng)
+		if err != nil {
+			return err
+		}
+		d.user = u
+		fleet[i] = d
+	}
+
+	fmt.Fprintf(out, "%-7s %9s %8s %10s %9s %5s %8s %9s %9s\n",
+		"window", "claims", "refused", "claims/s", "est-ms", "iters", "mae", "max-eps", "exhaust")
+	var totalRefused int64
+	for w := 1; w <= *windows; w++ {
+		// The world moves, the devices re-measure.
+		for n := range groundTruth {
+			groundTruth[n] += *drift * rng.Norm()
+		}
+		for _, d := range fleet {
+			if err := d.user.SetReadings(takeReadings(groundTruth, d.sigma, d.rng)); err != nil {
+				return err
+			}
+		}
+
+		var (
+			wg      sync.WaitGroup
+			refused atomic.Int64
+			fatal   atomic.Value
+		)
+		start := time.Now()
+		for _, d := range fleet {
+			wg.Add(1)
+			go func(d *device) {
+				defer wg.Done()
+				if _, err := d.user.ParticipateStream(ctx, client); err != nil {
+					var httpErr *pptd.CampaignHTTPError
+					if errors.As(err, &httpErr) && httpErr.StatusCode == http.StatusTooManyRequests {
+						refused.Add(1)
+						return
+					}
+					fatal.Store(err)
+				}
+			}(d)
+		}
+		wg.Wait()
+		ingestDur := time.Since(start)
+		if err, ok := fatal.Load().(error); ok {
+			return err
+		}
+		totalRefused += refused.Load()
+
+		estStart := time.Now()
+		res, err := client.StreamCloseWindow(ctx)
+		if err != nil {
+			// A fully-refused fleet can leave the window empty (409);
+			// that is the budget doing its job, not a driver failure.
+			var httpErr *pptd.CampaignHTTPError
+			if refused.Load() > 0 && errors.As(err, &httpErr) && httpErr.StatusCode == http.StatusConflict {
+				fmt.Fprintf(out, "%-7s %9d %8d %10s %9s %5s %8s %9s %9s\n",
+					"-", 0, refused.Load(), "-", "-", "-", "-", "-", "-")
+				continue
+			}
+			return err
+		}
+		estDur := time.Since(estStart)
+
+		var mae float64
+		var covered int
+		for n, tv := range groundTruth {
+			if n < len(res.Covered) && res.Covered[n] {
+				mae += math.Abs(res.Truths[n] - tv)
+				covered++
+			}
+		}
+		if covered > 0 {
+			mae /= float64(covered)
+		}
+		maxEps, exhausted := "-", "-"
+		if res.Privacy != nil {
+			maxEps = fmt.Sprintf("%.4f", res.Privacy.MaxCumulative)
+			exhausted = fmt.Sprintf("%d", res.Privacy.ExhaustedUsers)
+		}
+		fmt.Fprintf(out, "%-7d %9d %8d %10.0f %9.2f %5d %8.4f %9s %9s\n",
+			res.Window, res.WindowClaims, refused.Load(),
+			float64(res.WindowClaims)/ingestDur.Seconds(),
+			float64(estDur.Microseconds())/1000, res.Iterations, mae, maxEps, exhausted)
+	}
+
+	final, err := client.StreamTruths(ctx)
+	if err != nil {
+		var httpErr *pptd.CampaignHTTPError
+		if totalRefused > 0 && errors.As(err, &httpErr) && httpErr.StatusCode == http.StatusConflict {
+			fmt.Fprintf(out, "stream done: no window ever closed — all %d submissions refused by budget\n", totalRefused)
+			return nil
+		}
+		return err
+	}
+	fmt.Fprintf(out, "stream done: %d windows, %d claims total, %d submissions refused by budget\n",
+		final.Window, final.TotalClaims, totalRefused)
+	if final.Privacy != nil {
+		fmt.Fprintf(out, "cumulative privacy: max per-user epsilon %.4f (delta=%v) across %d tracked users\n",
+			final.Privacy.MaxCumulative, final.Privacy.Delta, len(final.Privacy.PerUser))
+	}
+	fmt.Fprintln(out, "the server only ever saw perturbed claims; no original reading left a device.")
+	return nil
+}
+
+// takeReadings simulates one round of sensing: the ground truth observed
+// through the device's Gaussian error.
+func takeReadings(groundTruth []float64, sigma float64, rng *pptd.RNG) []pptd.CampaignClaim {
+	readings := make([]pptd.CampaignClaim, len(groundTruth))
+	for n, tv := range groundTruth {
+		readings[n] = pptd.CampaignClaim{Object: n, Value: tv + sigma*rng.Norm()}
+	}
+	return readings
+}
+
+func budgetLabel(b float64) string {
+	if b <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%.4f", b)
+}

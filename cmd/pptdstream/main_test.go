@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"pptd"
+)
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-users", "0"}, &buf); err == nil {
+		t.Error("zero users accepted")
+	}
+	if err := run([]string{"-windows", "0"}, &buf); err == nil {
+		t.Error("zero windows accepted")
+	}
+	if err := run([]string{"-objects", "-1"}, &buf); err == nil {
+		t.Error("negative objects accepted")
+	}
+}
+
+// TestRunStreamsEndToEnd drives a small streaming campaign through the
+// in-process server and checks the per-window report came out.
+func TestRunStreamsEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-users", "12", "-objects", "6", "-windows", "3",
+		"-shards", "2", "-seed", "7",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"streaming campaign",
+		"privacy: epsilon=",
+		"stream done: 3 windows,",
+		"cumulative privacy: max per-user epsilon",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunEnforcesBudget streams more windows than the budget affords and
+// expects refusals instead of failures.
+func TestRunEnforcesBudget(t *testing.T) {
+	// Compute the per-window epsilon at the CLI's default parameters and
+	// grant a budget that affords exactly one window, so later windows
+	// must see refused submissions.
+	acct, err := pptd.NewAccountant(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := pptd.NewMechanism(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := acct.Epsilon(mech, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = run([]string{
+		"-users", "8", "-objects", "4", "-windows", "3",
+		"-budget", fmt.Sprintf("%f", 1.5*eps), "-seed", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, " 0 submissions refused by budget") {
+		t.Errorf("expected refusals under a one-window budget:\n%s", out)
+	}
+}
+
+// TestRunBudgetBelowOneWindow starves the whole fleet from the first
+// window: the driver must report the refusals, not fail on the empty
+// window close.
+func TestRunBudgetBelowOneWindow(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-users", "5", "-objects", "3", "-windows", "2",
+		"-budget", "0.0001", "-seed", "2",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no window ever closed") {
+		t.Errorf("missing all-refused summary:\n%s", buf.String())
+	}
+}

@@ -38,6 +38,10 @@ type CampaignSubmission = crowd.Submission
 // CampaignResult is the aggregated output of a campaign.
 type CampaignResult = crowd.ResultInfo
 
+// CampaignHTTPError reports a non-2xx response from a campaign server;
+// match it with errors.As to inspect the status code.
+type CampaignHTTPError = crowd.HTTPError
+
 // CampaignUser models a participant device holding original readings
 // that never leave the device unperturbed.
 type CampaignUser = crowd.User

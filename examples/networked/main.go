@@ -19,19 +19,19 @@ import (
 )
 
 const (
-	fleetSize  = 60
-	numObjects = 20
-	lambda1    = 1.5 // simulated sensor quality
-	lambda2    = 2.0 // server-released perturbation rate
+	defaultFleetSize  = 60
+	defaultNumObjects = 20
+	lambda1           = 1.5 // simulated sensor quality
+	lambda2           = 2.0 // server-released perturbation rate
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(defaultFleetSize, defaultNumObjects); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(fleetSize, numObjects int) error {
 	// Campaign server with auto-aggregation at fleetSize submissions.
 	method, err := pptd.NewCRH()
 	if err != nil {
@@ -115,7 +115,7 @@ func run() error {
 	for n, tv := range groundTruth {
 		mae += math.Abs(result.Truths[n] - tv)
 	}
-	mae /= numObjects
+	mae /= float64(numObjects)
 	fmt.Printf("server aggregated with %s (%d iterations, converged=%v)\n",
 		result.Method, result.Iterations, result.Converged)
 	fmt.Printf("MAE of the private aggregate vs ground truth: %.4f\n", mae)

@@ -4,9 +4,14 @@ import "testing"
 
 // TestRun keeps the example compiling and executing end to end; the
 // example's output is its documentation, so the test only asserts
-// success.
+// success. Under -short a scaled-down fleet exercises the same code
+// path in a fraction of the time.
 func TestRun(t *testing.T) {
-	if err := run(); err != nil {
+	fleet, objects := defaultFleetSize, defaultNumObjects
+	if testing.Short() {
+		fleet, objects = 12, 6
+	}
+	if err := run(fleet, objects); err != nil {
 		t.Fatal(err)
 	}
 }

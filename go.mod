@@ -1,0 +1,3 @@
+module pptd
+
+go 1.21

@@ -86,6 +86,36 @@ func (c *Client) Aggregate(ctx context.Context) (ResultInfo, error) {
 	return res, err
 }
 
+// StreamCampaign fetches the streaming campaign metadata.
+func (c *Client) StreamCampaign(ctx context.Context) (StreamCampaignInfo, error) {
+	var info StreamCampaignInfo
+	err := c.do(ctx, http.MethodGet, PathStreamCampaign, nil, &info)
+	return info, err
+}
+
+// StreamSubmit posts one perturbed claim batch into the open window.
+func (c *Client) StreamSubmit(ctx context.Context, sub Submission) (StreamReceipt, error) {
+	var receipt StreamReceipt
+	err := c.do(ctx, http.MethodPost, PathStreamClaims, sub, &receipt)
+	return receipt, err
+}
+
+// StreamTruths fetches the latest closed window's estimate; the returned
+// error wraps an *HTTPError with StatusCode 409 until a window closed.
+func (c *Client) StreamTruths(ctx context.Context) (StreamWindowInfo, error) {
+	var info StreamWindowInfo
+	err := c.do(ctx, http.MethodGet, PathStreamTruths, nil, &info)
+	return info, err
+}
+
+// StreamCloseWindow asks the server to close the open window and returns
+// its estimate.
+func (c *Client) StreamCloseWindow(ctx context.Context) (StreamWindowInfo, error) {
+	var info StreamWindowInfo
+	err := c.do(ctx, http.MethodPost, PathStreamWindow, nil, &info)
+	return info, err
+}
+
 // do issues one JSON request/response exchange.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var reader io.Reader
@@ -131,6 +161,10 @@ type User struct {
 	id       string
 	readings []Claim
 	rng      *randx.RNG
+
+	// perturber is the device's lazily-created streaming perturber; one
+	// noise variance per device per campaign, as Algorithm 2 prescribes.
+	perturber *core.UserPerturber
 }
 
 // NewUser returns a user with the given original readings. The RNG is the
@@ -177,6 +211,55 @@ func (u *User) Participate(ctx context.Context, c *Client) (SubmissionReceipt, e
 	receipt, err := c.Submit(ctx, Submission{ClientID: u.id, Claims: perturbed})
 	if err != nil {
 		return SubmissionReceipt{}, fmt.Errorf("crowd: user %q submit: %w", u.id, err)
+	}
+	return receipt, nil
+}
+
+// SetReadings replaces the device's readings in place — the streaming
+// analogue of taking fresh sensor measurements between submissions. Not
+// safe concurrently with ParticipateStream.
+func (u *User) SetReadings(readings []Claim) error {
+	if len(readings) == 0 {
+		return fmt.Errorf("%w: user %q has no readings", ErrBadClient, u.id)
+	}
+	u.readings = append(u.readings[:0], readings...)
+	return nil
+}
+
+// ParticipateStream runs one streaming round of the client side: on the
+// first call it fetches the streaming campaign to learn lambda2 and
+// samples the device's private noise variance (kept for the lifetime of
+// the campaign), then on every call it perturbs the current readings
+// and submits them to the open window. Not safe for concurrent use on
+// the same User.
+func (u *User) ParticipateStream(ctx context.Context, c *Client) (StreamReceipt, error) {
+	if c == nil {
+		return StreamReceipt{}, fmt.Errorf("%w: nil client", ErrBadClient)
+	}
+	if u.perturber == nil {
+		info, err := c.StreamCampaign(ctx)
+		if err != nil {
+			return StreamReceipt{}, fmt.Errorf("crowd: user %q fetch stream campaign: %w", u.id, err)
+		}
+		if info.Lambda2 <= 0 {
+			// The device never uploads unperturbed readings; a campaign
+			// that publishes no perturbation rate cannot be joined.
+			return StreamReceipt{}, fmt.Errorf("%w: user %q: streaming campaign %q publishes no lambda2",
+				ErrBadClient, u.id, info.Name)
+		}
+		mech, err := core.NewMechanism(info.Lambda2)
+		if err != nil {
+			return StreamReceipt{}, fmt.Errorf("crowd: user %q: %w", u.id, err)
+		}
+		u.perturber = mech.NewUserPerturber(u.rng)
+	}
+	perturbed := make([]Claim, len(u.readings))
+	for i, r := range u.readings {
+		perturbed[i] = Claim{Object: r.Object, Value: u.perturber.Perturb(r.Value)}
+	}
+	receipt, err := c.StreamSubmit(ctx, Submission{ClientID: u.id, Claims: perturbed})
+	if err != nil {
+		return StreamReceipt{}, fmt.Errorf("crowd: user %q stream submit: %w", u.id, err)
 	}
 	return receipt, nil
 }

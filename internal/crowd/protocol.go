@@ -10,9 +10,34 @@
 //  3. each user perturbs readings with N(0, delta_s^2) noise,
 //  4. users submit only perturbed claims,
 //  5. the server runs weighted truth discovery once enough users reported.
+//
+// # Streaming campaigns
+//
+// Beyond the one-shot campaign above, the package serves continuous
+// streams through internal/stream (see StreamServer):
+//
+//   - GET  /v1/stream/campaign publishes the stream metadata (objects,
+//     lambda2, shard count, per-window epsilon/delta and budget);
+//   - POST /v1/stream/claims ingests one client's batch of perturbed
+//     claims into the open window (400 on malformed claims, 429 once the
+//     client's cumulative privacy budget is exhausted);
+//   - POST /v1/stream/window closes the open window, re-estimates truths
+//     and weights incrementally from the decayed sufficient statistics,
+//     and returns the estimate (409 before any claim ever arrived);
+//   - GET  /v1/stream/truths serves the latest closed window's estimate
+//     as a live snapshot (409 until the first window closes).
+//
+// Clients keep perturbing locally exactly as in the one-shot flow; the
+// streaming server additionally meters each client's cumulative
+// (epsilon, delta) spending, charging one window's epsilon the first
+// time a client submits inside that window.
 package crowd
 
-import "fmt"
+import (
+	"fmt"
+
+	"pptd/internal/stream"
+)
 
 // Wire paths served by the campaign server.
 const (
@@ -24,6 +49,18 @@ const (
 	PathResult = "/v1/result"
 	// PathAggregate forces aggregation of whatever was submitted (POST).
 	PathAggregate = "/v1/aggregate"
+
+	// PathStreamCampaign serves streaming campaign metadata (GET).
+	PathStreamCampaign = "/v1/stream/campaign"
+	// PathStreamClaims accepts batched perturbed claims for the open
+	// window (POST).
+	PathStreamClaims = "/v1/stream/claims"
+	// PathStreamTruths serves the latest closed window's estimate (GET),
+	// 409 until the first window closes.
+	PathStreamTruths = "/v1/stream/truths"
+	// PathStreamWindow closes the open window and returns its estimate
+	// (POST).
+	PathStreamWindow = "/v1/stream/window"
 )
 
 // CampaignInfo is the public description of a sensing campaign.
@@ -81,6 +118,67 @@ type ResultInfo struct {
 	// Iterations and Converged mirror the truth.Result metadata.
 	Iterations int  `json:"iterations"`
 	Converged  bool `json:"converged"`
+}
+
+// StreamCampaignInfo is the public description of a streaming campaign
+// (GET /v1/stream/campaign).
+type StreamCampaignInfo struct {
+	// Name labels the campaign.
+	Name string `json:"name"`
+	// NumObjects is the number of micro-tasks (objects) in the stream.
+	NumObjects int `json:"numObjects"`
+	// Lambda2 is the server-released perturbation rate users sample
+	// their noise variances with (0 if the campaign does not publish one).
+	Lambda2 float64 `json:"lambda2"`
+	// Shards is the engine's ingestion shard count.
+	Shards int `json:"shards"`
+	// Window is the number of closed windows so far.
+	Window int `json:"window"`
+	// TotalClaims counts every claim accepted over the stream.
+	TotalClaims int64 `json:"totalClaims"`
+	// EpsilonPerWindow and Delta describe the per-window privacy charge;
+	// both are 0 when accounting is disabled. EpsilonBudget is the
+	// enforced cumulative cap (0 = tracking only).
+	EpsilonPerWindow float64 `json:"epsilonPerWindow"`
+	Delta            float64 `json:"delta"`
+	EpsilonBudget    float64 `json:"epsilonBudget"`
+}
+
+// StreamReceipt is the response to a successful POST /v1/stream/claims.
+type StreamReceipt struct {
+	// Accepted echoes the number of ingested claims.
+	Accepted int `json:"accepted"`
+	// Window is the 1-based index of the open window the batch joined.
+	Window int `json:"window"`
+	// TotalClaims counts every claim accepted over the stream so far.
+	TotalClaims int64 `json:"totalClaims"`
+}
+
+// StreamWindowInfo is one closed window's estimate, served by
+// GET /v1/stream/truths and POST /v1/stream/window.
+type StreamWindowInfo struct {
+	// Window is the 1-based index of the closed window.
+	Window int `json:"window"`
+	// Truths holds the estimated truth per object; entries whose Covered
+	// flag is false carry 0 and mean "no data", since JSON has no NaN.
+	Truths []float64 `json:"truths"`
+	// Covered marks objects with at least one live statistic.
+	Covered []bool `json:"covered"`
+	// Weights holds the estimated weight per active user, keyed by
+	// client ID. As in the batch campaign, weights reveal only aggregate
+	// reliability on perturbed data.
+	Weights map[string]float64 `json:"weights"`
+	// Iterations and Converged describe the window's estimation loop.
+	Iterations int  `json:"iterations"`
+	Converged  bool `json:"converged"`
+	// ActiveUsers is the number of users with live statistics;
+	// WindowClaims and TotalClaims count ingested claims.
+	ActiveUsers  int   `json:"activeUsers"`
+	WindowClaims int64 `json:"windowClaims"`
+	TotalClaims  int64 `json:"totalClaims"`
+	// Privacy summarizes cumulative per-user budget spending; omitted
+	// when accounting is disabled.
+	Privacy *stream.PrivacyReport `json:"privacy,omitempty"`
 }
 
 // ErrorBody is the JSON error envelope for non-2xx responses.

@@ -1,0 +1,199 @@
+package crowd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"pptd/internal/stream"
+)
+
+// StreamServerConfig parameterizes a streaming campaign server.
+type StreamServerConfig struct {
+	// Name labels the streaming campaign.
+	Name string
+	// Engine configures the underlying truth-discovery stream engine
+	// (objects, shards, decay, privacy accounting, ...).
+	Engine stream.Config
+}
+
+// StreamServer is the streaming counterpart of Server: instead of one
+// aggregation over a frozen campaign, it ingests perturbed claim batches
+// continuously into a sharded stream engine and serves the latest
+// per-window estimate as a live snapshot. Like Server it only ever sees
+// perturbed data. Safe for concurrent use.
+type StreamServer struct {
+	name   string
+	engine *stream.Engine
+}
+
+// NewStreamServer starts a streaming campaign server. Close it to stop
+// the engine's shard workers.
+func NewStreamServer(cfg StreamServerConfig) (*StreamServer, error) {
+	eng, err := stream.New(cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("crowd: stream server: %w", err)
+	}
+	return &StreamServer{name: cfg.Name, engine: eng}, nil
+}
+
+// Engine exposes the underlying stream engine (for embedding servers
+// that drive window closes themselves).
+func (s *StreamServer) Engine() *stream.Engine { return s.engine }
+
+// Close stops the engine's shard workers.
+func (s *StreamServer) Close() error { return s.engine.Close() }
+
+// Handler returns the HTTP handler serving the streaming campaign API.
+func (s *StreamServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathStreamCampaign, s.handleCampaign)
+	mux.HandleFunc(PathStreamClaims, s.handleClaims)
+	mux.HandleFunc(PathStreamTruths, s.handleTruths)
+	mux.HandleFunc(PathStreamWindow, s.handleWindow)
+	return mux
+}
+
+// Campaign returns the streaming campaign metadata.
+func (s *StreamServer) Campaign() StreamCampaignInfo {
+	return StreamCampaignInfo{
+		Name:             s.name,
+		NumObjects:       s.engine.NumObjects(),
+		Lambda2:          s.engine.Lambda2(),
+		Shards:           s.engine.NumShards(),
+		Window:           s.engine.Window(),
+		TotalClaims:      s.engine.TotalClaims(),
+		EpsilonPerWindow: s.engine.EpsilonPerWindow(),
+		Delta:            s.engine.Delta(),
+		EpsilonBudget:    s.engine.EpsilonBudget(),
+	}
+}
+
+// Submit ingests one perturbed claim batch into the current window.
+func (s *StreamServer) Submit(sub Submission) (StreamReceipt, error) {
+	claims := make([]stream.Claim, len(sub.Claims))
+	for i, c := range sub.Claims {
+		claims[i] = stream.Claim{Object: c.Object, Value: c.Value}
+	}
+	accepted, window, err := s.engine.Ingest(sub.ClientID, claims)
+	if err != nil {
+		return StreamReceipt{}, err
+	}
+	return StreamReceipt{
+		Accepted:    accepted,
+		Window:      window,
+		TotalClaims: s.engine.TotalClaims(),
+	}, nil
+}
+
+// CloseWindow closes the current window and returns its estimate.
+func (s *StreamServer) CloseWindow() (StreamWindowInfo, error) {
+	res, err := s.engine.CloseWindow()
+	if err != nil {
+		return StreamWindowInfo{}, err
+	}
+	return windowInfo(res), nil
+}
+
+// Truths returns the latest closed window's estimate, or ErrNotReady if
+// no window has closed yet.
+func (s *StreamServer) Truths() (StreamWindowInfo, error) {
+	res := s.engine.Snapshot()
+	if res == nil {
+		return StreamWindowInfo{}, ErrNotReady
+	}
+	return windowInfo(res), nil
+}
+
+// windowInfo converts an engine result to its wire form; uncovered
+// truths (NaN, which JSON cannot carry) are zeroed and flagged by the
+// Covered mask instead.
+func windowInfo(res *stream.WindowResult) StreamWindowInfo {
+	truths := make([]float64, len(res.Truths))
+	for i, v := range res.Truths {
+		if res.Covered[i] {
+			truths[i] = v
+		}
+	}
+	return StreamWindowInfo{
+		Window:       res.Window,
+		Truths:       truths,
+		Covered:      res.Covered,
+		Weights:      res.Weights,
+		Iterations:   res.Iterations,
+		Converged:    res.Converged,
+		ActiveUsers:  res.ActiveUsers,
+		WindowClaims: res.WindowClaims,
+		TotalClaims:  res.TotalClaims,
+		Privacy:      res.Privacy,
+	}
+}
+
+func (s *StreamServer) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Campaign())
+}
+
+func (s *StreamServer) handleClaims(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var sub Submission
+	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode submission: %v", err))
+		return
+	}
+	receipt, err := s.Submit(sub)
+	switch {
+	case errors.Is(err, stream.ErrBadClaim):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, stream.ErrBudgetExhausted):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, stream.ErrEngineClosed):
+		writeError(w, http.StatusGone, err.Error())
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, receipt)
+	}
+}
+
+func (s *StreamServer) handleTruths(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	info, err := s.Truths()
+	if errors.Is(err, ErrNotReady) {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *StreamServer) handleWindow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	info, err := s.CloseWindow()
+	switch {
+	case errors.Is(err, stream.ErrEmptyWindow):
+		writeError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, stream.ErrEngineClosed):
+		writeError(w, http.StatusGone, err.Error())
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, info)
+	}
+}

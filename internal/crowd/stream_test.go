@@ -1,0 +1,253 @@
+package crowd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"pptd/internal/randx"
+	"pptd/internal/stream"
+)
+
+func newStreamFixture(t *testing.T, cfg StreamServerConfig) (*StreamServer, *Client) {
+	t.Helper()
+	srv, err := NewStreamServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	client, err := NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, client
+}
+
+// TestStreamEndToEnd drives the full streaming flow over a real HTTP
+// boundary: concurrent devices perturb locally and submit over several
+// windows, the driver closes windows, and the live snapshot tracks the
+// ground truth.
+func TestStreamEndToEnd(t *testing.T) {
+	const (
+		numObjects = 8
+		numUsers   = 30
+		numWindows = 3
+		lambda1    = 1.5
+		lambda2    = 2.0
+	)
+	_, client := newStreamFixture(t, StreamServerConfig{
+		Name: "stream-e2e",
+		Engine: stream.Config{
+			NumObjects: numObjects,
+			NumShards:  3,
+			Lambda1:    lambda1,
+			Lambda2:    lambda2,
+			Delta:      0.3,
+		},
+	})
+	ctx := context.Background()
+
+	info, err := client.StreamCampaign(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumObjects != numObjects || info.Lambda2 != lambda2 || info.Shards != 3 {
+		t.Fatalf("campaign info = %+v", info)
+	}
+	if info.EpsilonPerWindow <= 0 {
+		t.Fatalf("EpsilonPerWindow = %v, want > 0", info.EpsilonPerWindow)
+	}
+
+	// Snapshot is 409 until the first window closes.
+	if _, err := client.StreamTruths(ctx); err == nil {
+		t.Fatal("StreamTruths before first window succeeded")
+	} else {
+		var httpErr *HTTPError
+		if !errors.As(err, &httpErr) || httpErr.StatusCode != http.StatusConflict {
+			t.Fatalf("StreamTruths before first window: %v", err)
+		}
+	}
+
+	rng := randx.New(5)
+	groundTruth := make([]float64, numObjects)
+	for n := range groundTruth {
+		groundTruth[n] = 10 * rng.Float64()
+	}
+	users := make([]*User, numUsers)
+	for i := range users {
+		userRng := rng.Split()
+		sigma := math.Sqrt(userRng.Exp() / lambda1)
+		readings := make([]Claim, numObjects)
+		for n, tv := range groundTruth {
+			readings[n] = Claim{Object: n, Value: tv + sigma*userRng.Norm()}
+		}
+		u, err := NewUser(fmt.Sprintf("device-%02d", i), readings, userRng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		users[i] = u
+	}
+
+	for w := 1; w <= numWindows; w++ {
+		var wg sync.WaitGroup
+		errs := make([]error, numUsers)
+		for i, u := range users {
+			wg.Add(1)
+			go func(i int, u *User) {
+				defer wg.Done()
+				_, errs[i] = u.ParticipateStream(ctx, client)
+			}(i, u)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("window %d device %d: %v", w, i, err)
+			}
+		}
+		res, err := client.StreamCloseWindow(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Window != w {
+			t.Fatalf("window = %d, want %d", res.Window, w)
+		}
+		if res.ActiveUsers != numUsers {
+			t.Errorf("window %d: ActiveUsers = %d, want %d", w, res.ActiveUsers, numUsers)
+		}
+		if res.Privacy == nil {
+			t.Fatalf("window %d: no privacy report", w)
+		}
+		wantCum := float64(w) * info.EpsilonPerWindow
+		if got := res.Privacy.MaxCumulative; math.Abs(got-wantCum) > 1e-9 {
+			t.Errorf("window %d: MaxCumulative = %v, want %v", w, got, wantCum)
+		}
+
+		snap, err := client.StreamTruths(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Window != w {
+			t.Errorf("snapshot window = %d, want %d", snap.Window, w)
+		}
+		var mae float64
+		for n, tv := range groundTruth {
+			if !snap.Covered[n] {
+				t.Fatalf("object %d uncovered", n)
+			}
+			mae += math.Abs(snap.Truths[n] - tv)
+		}
+		mae /= numObjects
+		if mae > 1.5 {
+			t.Errorf("window %d: MAE %v vs ground truth too large", w, mae)
+		}
+	}
+}
+
+// TestStreamBudgetOverHTTP checks that an exhausted client is refused
+// with 429 while fresh clients keep streaming.
+func TestStreamBudgetOverHTTP(t *testing.T) {
+	srv, client := newStreamFixture(t, StreamServerConfig{
+		Name: "stream-budget",
+		Engine: stream.Config{
+			NumObjects: 2,
+			NumShards:  1,
+			Lambda1:    1,
+			Lambda2:    2,
+			Delta:      0.3,
+		},
+	})
+	// Budget for exactly one window.
+	eps := srv.Engine().EpsilonPerWindow()
+	srv2, client2 := newStreamFixture(t, StreamServerConfig{
+		Name: "stream-budget-capped",
+		Engine: stream.Config{
+			NumObjects:    2,
+			NumShards:     1,
+			Lambda1:       1,
+			Lambda2:       2,
+			Delta:         0.3,
+			EpsilonBudget: eps,
+		},
+	})
+	_ = srv2
+	ctx := context.Background()
+	sub := Submission{ClientID: "c", Claims: []Claim{{Object: 0, Value: 1}, {Object: 1, Value: 2}}}
+
+	// Uncapped server: two windows fine.
+	for w := 0; w < 2; w++ {
+		if _, err := client.StreamSubmit(ctx, sub); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.StreamCloseWindow(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Capped server: first window fine, second refused with 429.
+	if _, err := client2.StreamSubmit(ctx, sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client2.StreamCloseWindow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client2.StreamSubmit(ctx, sub)
+	var httpErr *HTTPError
+	if !errors.As(err, &httpErr) || httpErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget submit = %v, want 429", err)
+	}
+}
+
+// TestParticipateStreamNeedsLambda2 checks the device helper refuses a
+// streaming campaign that publishes no perturbation rate instead of
+// ever uploading raw readings.
+func TestParticipateStreamNeedsLambda2(t *testing.T) {
+	_, client := newStreamFixture(t, StreamServerConfig{
+		Name:   "no-lambda2",
+		Engine: stream.Config{NumObjects: 2, NumShards: 1},
+	})
+	u, err := NewUser("dev", []Claim{{Object: 0, Value: 1}}, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = u.ParticipateStream(context.Background(), client)
+	if !errors.Is(err, ErrBadClient) {
+		t.Fatalf("ParticipateStream without lambda2 = %v, want ErrBadClient", err)
+	}
+}
+
+// TestStreamBadRequests checks the wire-level error mapping.
+func TestStreamBadRequests(t *testing.T) {
+	_, client := newStreamFixture(t, StreamServerConfig{
+		Name:   "stream-bad",
+		Engine: stream.Config{NumObjects: 2, NumShards: 1},
+	})
+	ctx := context.Background()
+	for _, sub := range []Submission{
+		{ClientID: "", Claims: []Claim{{Object: 0, Value: 1}}},
+		{ClientID: "c"},
+		{ClientID: "c", Claims: []Claim{{Object: 7, Value: 1}}},
+	} {
+		_, err := client.StreamSubmit(ctx, sub)
+		var httpErr *HTTPError
+		if !errors.As(err, &httpErr) || httpErr.StatusCode != http.StatusBadRequest {
+			t.Errorf("StreamSubmit(%+v) = %v, want 400", sub, err)
+		}
+	}
+	// Closing an empty window is a 409.
+	_, err := client.StreamCloseWindow(ctx)
+	var httpErr *HTTPError
+	if !errors.As(err, &httpErr) || httpErr.StatusCode != http.StatusConflict {
+		t.Errorf("empty CloseWindow = %v, want 409", err)
+	}
+}

@@ -114,6 +114,11 @@ func Registry() []Experiment {
 			Description: "convergence-threshold sweep: iterations/time/accuracy, original vs perturbed (beyond paper)",
 			Run:         runConvergence,
 		},
+		{
+			Name:        "ext-stream",
+			Description: "streaming scenario: windowed incremental estimation under drift with cumulative epsilon (beyond paper)",
+			Run:         runStreaming,
+		},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
 	return exps
@@ -482,6 +487,35 @@ func runCategorical(opts Options) (*Report, error) {
 		Name:        "ext-categorical",
 		Description: "categorical claims under k-RR: weighted voting vs majority across epsilon",
 		Figures:     []*Figure{fig},
+	}, nil
+}
+
+func runStreaming(opts Options) (*Report, error) {
+	cfg := StreamingConfig{
+		NumUsers:   120,
+		NumObjects: 25,
+		NumWindows: 8,
+		Drift:      0.5,
+		Decay:      0.5,
+		Lambda1:    1,
+		Lambda2:    2,
+		Delta:      0.3,
+		Trials:     trialCount(opts, 3),
+		Seed:       opts.Seed,
+	}
+	if opts.Quick {
+		cfg.NumUsers = 40
+		cfg.NumObjects = 10
+		cfg.NumWindows = 4
+	}
+	res, err := Streaming(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Name:        "ext-stream",
+		Description: "windowed streaming truth discovery tracking a drifting ground truth, with per-window privacy composition",
+		Figures:     []*Figure{res.MAE, res.Epsilon},
 	}, nil
 }
 

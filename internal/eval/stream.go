@@ -1,0 +1,221 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"pptd/internal/core"
+	"pptd/internal/randx"
+	"pptd/internal/stream"
+	"pptd/internal/truth"
+)
+
+// StreamingConfig parameterizes the streaming-scenario experiment: a
+// fleet re-measures a drifting ground truth every window, perturbs
+// locally, and the windowed estimates of the stream engine (with and
+// without decay) are compared against a per-window batch CRH run.
+type StreamingConfig struct {
+	// NumUsers and NumObjects size the fleet and task set.
+	NumUsers   int
+	NumObjects int
+	// NumWindows is the stream length.
+	NumWindows int
+	// Drift is the per-window random-walk step of the ground truth.
+	Drift float64
+	// Decay is the engine's per-window retention factor for the decayed
+	// variant.
+	Decay float64
+	// Lambda1 is the sensor-quality rate; Lambda2 the perturbation rate;
+	// Delta the LDP delta windows are accounted at.
+	Lambda1 float64
+	Lambda2 float64
+	Delta   float64
+	// Trials averages the MAE curves over independent repetitions.
+	Trials int
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (c StreamingConfig) validate() error {
+	switch {
+	case c.NumUsers <= 0 || c.NumObjects <= 0 || c.NumWindows <= 0:
+		return fmt.Errorf("%w: users=%d objects=%d windows=%d",
+			ErrBadConfig, c.NumUsers, c.NumObjects, c.NumWindows)
+	case c.Decay <= 0 || c.Decay > 1:
+		return fmt.Errorf("%w: decay=%v", ErrBadConfig, c.Decay)
+	case c.Lambda1 <= 0 || c.Lambda2 <= 0:
+		return fmt.Errorf("%w: lambda1=%v lambda2=%v", ErrBadConfig, c.Lambda1, c.Lambda2)
+	case c.Delta <= 0 || c.Delta >= 1:
+		return fmt.Errorf("%w: delta=%v", ErrBadConfig, c.Delta)
+	case c.Trials <= 0:
+		return fmt.Errorf("%w: trials=%d", ErrBadConfig, c.Trials)
+	case c.Drift < 0:
+		return fmt.Errorf("%w: drift=%v", ErrBadConfig, c.Drift)
+	}
+	return nil
+}
+
+// StreamingResult holds the streaming experiment's figures.
+type StreamingResult struct {
+	// MAE compares the per-window ground-truth MAE of the decayed
+	// stream, the undecayed stream, and a batch CRH run over only the
+	// window's claims.
+	MAE *Figure
+	// Epsilon tracks the maximum cumulative per-user epsilon after each
+	// window — the composition cost of streaming participation.
+	Epsilon *Figure
+}
+
+// Streaming runs the streaming scenario: truths drift, devices submit
+// perturbed readings every window, and the three estimators track the
+// moving target from the same perturbed claims.
+func Streaming(cfg StreamingConfig) (*StreamingResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	crh, err := truth.NewCRH()
+	if err != nil {
+		return nil, err
+	}
+	mech, err := core.NewMechanism(cfg.Lambda2)
+	if err != nil {
+		return nil, err
+	}
+
+	maeDecay := make([]float64, cfg.NumWindows)
+	maePlain := make([]float64, cfg.NumWindows)
+	maeBatch := make([]float64, cfg.NumWindows)
+	maxEps := make([]float64, cfg.NumWindows)
+
+	rootRNG := randx.New(cfg.Seed)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rng := rootRNG.Split()
+		engineCfg := stream.Config{
+			NumObjects: cfg.NumObjects,
+			Decay:      cfg.Decay,
+			Lambda1:    cfg.Lambda1,
+			Lambda2:    cfg.Lambda2,
+			Delta:      cfg.Delta,
+		}
+		decayed, err := stream.New(engineCfg)
+		if err != nil {
+			return nil, err
+		}
+		engineCfg.Decay = 1
+		plain, err := stream.New(engineCfg)
+		if err != nil {
+			return nil, err
+		}
+
+		groundTruth := make([]float64, cfg.NumObjects)
+		for n := range groundTruth {
+			groundTruth[n] = 10 * rng.Float64()
+		}
+		sigmas := make([]float64, cfg.NumUsers)
+		perturbers := make([]*core.UserPerturber, cfg.NumUsers)
+		for s := range sigmas {
+			userRNG := rng.Split()
+			sigmas[s] = math.Sqrt(userRNG.Exp() / cfg.Lambda1)
+			perturbers[s] = mech.NewUserPerturber(userRNG)
+		}
+
+		for w := 0; w < cfg.NumWindows; w++ {
+			for n := range groundTruth {
+				groundTruth[n] += cfg.Drift * rng.Norm()
+			}
+			b := truth.NewBuilder(cfg.NumUsers, cfg.NumObjects)
+			for s := 0; s < cfg.NumUsers; s++ {
+				claims := make([]stream.Claim, cfg.NumObjects)
+				for n, tv := range groundTruth {
+					noisy := perturbers[s].Perturb(tv + sigmas[s]*rng.Norm())
+					claims[n] = stream.Claim{Object: n, Value: noisy}
+					b.Add(s, n, noisy)
+				}
+				id := fmt.Sprintf("u%03d", s)
+				if _, _, err := decayed.Ingest(id, claims); err != nil {
+					return nil, err
+				}
+				if _, _, err := plain.Ingest(id, claims); err != nil {
+					return nil, err
+				}
+			}
+
+			resDecay, err := decayed.CloseWindow()
+			if err != nil {
+				return nil, err
+			}
+			resPlain, err := plain.CloseWindow()
+			if err != nil {
+				return nil, err
+			}
+			ds, err := b.Build()
+			if err != nil {
+				return nil, err
+			}
+			resBatch, err := crh.Run(ds)
+			if err != nil {
+				return nil, err
+			}
+
+			maeDecay[w] += maeAgainst(resDecay.Truths, groundTruth)
+			maePlain[w] += maeAgainst(resPlain.Truths, groundTruth)
+			maeBatch[w] += maeAgainst(resBatch.Truths, groundTruth)
+			if resDecay.Privacy != nil {
+				maxEps[w] += resDecay.Privacy.MaxCumulative
+			}
+		}
+		if err := decayed.Close(); err != nil {
+			return nil, err
+		}
+		if err := plain.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	trials := float64(cfg.Trials)
+	toSeries := func(label string, ys []float64) Series {
+		s := Series{Label: label, Points: make([]Point, len(ys))}
+		for w, y := range ys {
+			s.Points[w] = Point{X: float64(w + 1), Y: y / trials}
+		}
+		return s
+	}
+	return &StreamingResult{
+		MAE: &Figure{
+			ID:     "ext-stream-a",
+			Title:  "streaming truth discovery under drift: ground-truth MAE per window",
+			XLabel: "window",
+			YLabel: "MAE",
+			Series: []Series{
+				toSeries(fmt.Sprintf("stream decay=%.2g", cfg.Decay), maeDecay),
+				toSeries("stream no-decay", maePlain),
+				toSeries("batch per-window", maeBatch),
+			},
+		},
+		Epsilon: &Figure{
+			ID:     "ext-stream-b",
+			Title:  "cumulative privacy loss of streaming participation",
+			XLabel: "window",
+			YLabel: "max per-user epsilon",
+			Series: []Series{toSeries("cumulative epsilon", maxEps)},
+		},
+	}, nil
+}
+
+// maeAgainst is the mean absolute error of the estimate vs reference,
+// skipping uncovered (NaN) entries.
+func maeAgainst(estimate, reference []float64) float64 {
+	var sum float64
+	var n int
+	for i, v := range estimate {
+		if math.IsNaN(v) {
+			continue
+		}
+		sum += math.Abs(v - reference[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

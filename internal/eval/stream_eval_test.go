@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStreamingValidation(t *testing.T) {
+	base := StreamingConfig{
+		NumUsers: 10, NumObjects: 5, NumWindows: 2,
+		Drift: 0.1, Decay: 0.5,
+		Lambda1: 1, Lambda2: 2, Delta: 0.3,
+		Trials: 1, Seed: 1,
+	}
+	mutations := []func(*StreamingConfig){
+		func(c *StreamingConfig) { c.NumUsers = 0 },
+		func(c *StreamingConfig) { c.NumObjects = -1 },
+		func(c *StreamingConfig) { c.NumWindows = 0 },
+		func(c *StreamingConfig) { c.Decay = 0 },
+		func(c *StreamingConfig) { c.Decay = 1.1 },
+		func(c *StreamingConfig) { c.Lambda1 = 0 },
+		func(c *StreamingConfig) { c.Lambda2 = -2 },
+		func(c *StreamingConfig) { c.Delta = 1 },
+		func(c *StreamingConfig) { c.Trials = 0 },
+		func(c *StreamingConfig) { c.Drift = -1 },
+	}
+	for i, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Streaming(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("mutation %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestStreamingShapes checks the scenario's output structure and the
+// qualitative expectations: every window measured, epsilon composing
+// linearly across windows.
+func TestStreamingShapes(t *testing.T) {
+	const windows = 3
+	res, err := Streaming(StreamingConfig{
+		NumUsers:   30,
+		NumObjects: 8,
+		NumWindows: windows,
+		Drift:      0.5,
+		Decay:      0.5,
+		Lambda1:    1,
+		Lambda2:    2,
+		Delta:      0.3,
+		Trials:     2,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MAE.Series) != 3 {
+		t.Fatalf("MAE series = %d, want 3", len(res.MAE.Series))
+	}
+	for _, s := range res.MAE.Series {
+		if len(s.Points) != windows {
+			t.Fatalf("series %q has %d points, want %d", s.Label, len(s.Points), windows)
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y != p.Y {
+				t.Errorf("series %q: bad MAE %v at window %v", s.Label, p.Y, p.X)
+			}
+		}
+	}
+	eps := res.Epsilon.Series[0].Points
+	if len(eps) != windows {
+		t.Fatalf("epsilon points = %d, want %d", len(eps), windows)
+	}
+	perWindow := eps[0].Y
+	if perWindow <= 0 {
+		t.Fatalf("per-window epsilon = %v, want > 0", perWindow)
+	}
+	for w, p := range eps {
+		want := float64(w+1) * perWindow
+		if diff := p.Y - want; diff > 1e-6*want || diff < -1e-6*want {
+			t.Errorf("window %d: cumulative epsilon %v, want %v (linear composition)", w+1, p.Y, want)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+)
+
+// userState is the engine's per-user bookkeeping: the dense index claims
+// are stored under, the carried weight warm-starting the next window,
+// and the cumulative privacy spending.
+type userState struct {
+	idx        int
+	id         string
+	carry      float64
+	cumEps     float64
+	lastWindow int // last window index this user was charged for
+	windows    int // number of windows participated in
+}
+
+// registry maps client IDs to user state. It has its own lock so that
+// concurrent Ingest calls (which hold the window lock shared) can still
+// register users and charge budgets safely.
+//
+// Entries are never evicted: a user's cumulative epsilon must outlive
+// their sufficient statistics, otherwise a returning (or hostile,
+// ID-minting) client could reset their privacy budget by going idle.
+// Memory therefore grows with the number of distinct client IDs ever
+// seen; deployments exposed to untrusted ID churn should bound it
+// upstream (auth/quota), and a spill-to-disk ledger is a roadmap item.
+type registry struct {
+	mu     sync.Mutex
+	byID   map[string]*userState
+	states []*userState
+}
+
+func newRegistry() *registry {
+	return &registry{byID: make(map[string]*userState)}
+}
+
+func (r *registry) getOrCreate(id string) *userState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.byID[id]; ok {
+		return st
+	}
+	st := &userState{
+		idx:        len(r.states),
+		id:         id,
+		carry:      1, // the uniform batch initialization
+		lastWindow: -1,
+	}
+	r.byID[id] = st
+	r.states = append(r.states, st)
+	return st
+}
+
+// charge debits eps for participating in the given window, once per
+// window per user. With a positive budget the debit is refused (and the
+// submission rejected) when it would exhaust the user's cap.
+func (r *registry) charge(st *userState, window int, eps, budget float64) error {
+	if eps == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st.lastWindow == window {
+		return nil
+	}
+	if exhausted(st.cumEps, eps, budget) {
+		return fmt.Errorf("%w: user %q spent %.6g of %.6g, next window costs %.6g",
+			ErrBudgetExhausted, st.id, st.cumEps, budget, eps)
+	}
+	st.cumEps += eps
+	st.lastWindow = window
+	st.windows++
+	return nil
+}
+
+// exhausted reports whether spending eps for one more window would push
+// the cumulative total past the budget. A small relative slack keeps an
+// exact multiple of eps affordable despite accumulated rounding; the
+// single definition keeps charge rejections and the ExhaustedUsers
+// report in agreement.
+func exhausted(cumEps, eps, budget float64) bool {
+	return budget > 0 && cumEps+eps-budget > 1e-9*eps
+}
+
+func (r *registry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.states)
+}
+
+// carryWeights returns the warm-start weight vector indexed by user:
+// each user's previous estimate, or uniform 1 when carryover is
+// disabled (or the user is new).
+func (r *registry) carryWeights(disableCarryover bool) []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ws := make([]float64, len(r.states))
+	for i, st := range r.states {
+		if disableCarryover {
+			ws[i] = 1
+			continue
+		}
+		ws[i] = st.carry
+	}
+	return ws
+}
+
+// updateCarry stores the window's final weights for users that were
+// active (had live statistics); inactive users keep their carried value
+// for when their statistics come back.
+func (r *registry) updateCarry(weights []float64, claimCount []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, st := range r.states {
+		if claimCount[i] > 0 {
+			st.carry = weights[i]
+		}
+	}
+}
+
+func (r *registry) ids() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.states))
+	for i, st := range r.states {
+		out[i] = st.id
+	}
+	return out
+}
+
+// PrivacyReport summarizes the stream's cumulative privacy spending at a
+// window boundary.
+type PrivacyReport struct {
+	// EpsilonPerWindow is the epsilon charged for one window of
+	// participation; Delta is the LDP delta it is accounted at.
+	EpsilonPerWindow float64 `json:"epsilonPerWindow"`
+	Delta            float64 `json:"delta"`
+	// Budget is the enforced cumulative cap (0 = tracking only).
+	Budget float64 `json:"budget"`
+	// PerUser maps client IDs to cumulative epsilon spent so far.
+	PerUser map[string]float64 `json:"perUser"`
+	// MaxCumulative is the largest per-user cumulative epsilon.
+	MaxCumulative float64 `json:"maxCumulative"`
+	// ExhaustedUsers counts users who can no longer afford a window
+	// under the enforced budget.
+	ExhaustedUsers int `json:"exhaustedUsers"`
+}
+
+func (r *registry) report(eps, delta, budget float64) *PrivacyReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &PrivacyReport{
+		EpsilonPerWindow: eps,
+		Delta:            delta,
+		Budget:           budget,
+		PerUser:          make(map[string]float64, len(r.states)),
+	}
+	for _, st := range r.states {
+		rep.PerUser[st.id] = st.cumEps
+		if st.cumEps > rep.MaxCumulative {
+			rep.MaxCumulative = st.cumEps
+		}
+		if exhausted(st.cumEps, eps, budget) {
+			rep.ExhaustedUsers++
+		}
+	}
+	return rep
+}

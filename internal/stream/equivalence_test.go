@@ -1,0 +1,283 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pptd/internal/randx"
+	"pptd/internal/truth"
+)
+
+// equivTolerance bounds the disagreement allowed between the incremental
+// estimator and batch CRH: both run the same equations, differing only
+// in floating-point summation order.
+const equivTolerance = 1e-9
+
+// randomDataset builds a sparse random dataset in which every object is
+// observed by at least one user and every (user, object) pair appears at
+// most once — the regime in which the streaming statistics coincide with
+// the batch observation matrix.
+func randomDataset(t *testing.T, rng *randx.RNG, numUsers, numObjects int) *truth.Dataset {
+	t.Helper()
+	b := truth.NewBuilder(numUsers, numObjects)
+	for s := 0; s < numUsers; s++ {
+		sigma := 0.2 + rng.Float64()
+		for n := 0; n < numObjects; n++ {
+			// ~70% coverage, but always claim the object that shares the
+			// user's index modulo so every object keeps at least one claim.
+			if rng.Float64() > 0.7 && n != s%numObjects {
+				continue
+			}
+			b.Add(s, n, 5*float64(n%7)+sigma*rng.Norm())
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func userID(s int) string { return fmt.Sprintf("user-%03d", s) }
+
+// ingestDataset streams every claim of the dataset into the engine, one
+// batch per user, in user order (matching the registry's index order to
+// the dataset's user indices).
+func ingestDataset(t *testing.T, e *Engine, ds *truth.Dataset) {
+	t.Helper()
+	for s := 0; s < ds.NumUsers(); s++ {
+		obs, err := ds.UserObservations(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		claims := make([]Claim, len(obs))
+		for i, o := range obs {
+			claims[i] = Claim{Object: o.Object, Value: o.Value}
+		}
+		if _, _, err := e.Ingest(userID(s), claims); err != nil {
+			t.Fatalf("ingest user %d: %v", s, err)
+		}
+	}
+}
+
+// requireEquivalent asserts the window result matches the batch result
+// to within equivTolerance on every truth and every weight.
+func requireEquivalent(t *testing.T, ds *truth.Dataset, res *WindowResult, batch *truth.Result) {
+	t.Helper()
+	for n, want := range batch.Truths {
+		if !res.Covered[n] {
+			t.Fatalf("object %d not covered by stream estimate", n)
+		}
+		if d := math.Abs(res.Truths[n] - want); d > equivTolerance {
+			t.Errorf("truth[%d]: stream %v, batch %v (|diff| = %g)", n, res.Truths[n], want, d)
+		}
+	}
+	for s, want := range batch.Weights {
+		got, ok := res.Weights[userID(s)]
+		if !ok {
+			if want != 0 {
+				t.Errorf("user %d missing from stream weights (batch %v)", s, want)
+			}
+			continue
+		}
+		if d := math.Abs(got - want); d > equivTolerance {
+			t.Errorf("weight[%d]: stream %v, batch %v (|diff| = %g)", s, got, want, d)
+		}
+	}
+}
+
+// TestSingleWindowMatchesBatchCRH is the correctness anchor of the
+// engine: one closed window with decay disabled reproduces batch CRH.
+func TestSingleWindowMatchesBatchCRH(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rng := randx.New(seed)
+			ds := randomDataset(t, rng, 40+int(seed), 15)
+
+			crh, err := truth.NewCRH()
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := crh.Run(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			e, err := New(Config{NumObjects: ds.NumObjects(), NumShards: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := e.Close(); err != nil {
+					t.Error(err)
+				}
+			}()
+			ingestDataset(t, e, ds)
+			res, err := e.CloseWindow()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Iterations != batch.Iterations || res.Converged != batch.Converged {
+				t.Errorf("iterations/converged: stream %d/%v, batch %d/%v",
+					res.Iterations, res.Converged, batch.Iterations, batch.Converged)
+			}
+			requireEquivalent(t, ds, res, batch)
+		})
+	}
+}
+
+// TestMultiWindowIncrementalMatchesBatch splits the claims over two
+// windows: with decay disabled and carryover off, the second window's
+// estimate must equal batch CRH over the union of all claims, because
+// the sufficient statistics accumulate the full stream.
+func TestMultiWindowIncrementalMatchesBatch(t *testing.T) {
+	rng := randx.New(42)
+	ds := randomDataset(t, rng, 50, 12)
+
+	crh, err := truth.NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := crh.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := New(Config{NumObjects: ds.NumObjects(), NumShards: 3, DisableCarryover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := e.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	// First half: even objects only; second half: the rest.
+	for s := 0; s < ds.NumUsers(); s++ {
+		obs, err := ds.UserObservations(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first []Claim
+		for _, o := range obs {
+			if o.Object%2 == 0 {
+				first = append(first, Claim{Object: o.Object, Value: o.Value})
+			}
+		}
+		if len(first) == 0 {
+			continue
+		}
+		if _, _, err := e.Ingest(userID(s), first); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.CloseWindow(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < ds.NumUsers(); s++ {
+		obs, err := ds.UserObservations(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var second []Claim
+		for _, o := range obs {
+			if o.Object%2 == 1 {
+				second = append(second, Claim{Object: o.Object, Value: o.Value})
+			}
+		}
+		if len(second) == 0 {
+			continue
+		}
+		if _, _, err := e.Ingest(userID(s), second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.CloseWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Window != 2 {
+		t.Fatalf("window = %d, want 2", res.Window)
+	}
+	requireEquivalent(t, ds, res, batch)
+}
+
+// TestShardCountInvariance checks the estimate does not depend on the
+// shard layout beyond the equivalence tolerance.
+func TestShardCountInvariance(t *testing.T) {
+	rng := randx.New(7)
+	ds := randomDataset(t, rng, 45, 17)
+	var ref *WindowResult
+	for _, shards := range []int{1, 2, 5, 16} {
+		e, err := New(Config{NumObjects: ds.NumObjects(), NumShards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingestDataset(t, e, ds)
+		res, err := e.CloseWindow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for n := range ref.Truths {
+			if d := math.Abs(res.Truths[n] - ref.Truths[n]); d > equivTolerance {
+				t.Errorf("shards=%d truth[%d] differs by %g", shards, n, d)
+			}
+		}
+	}
+}
+
+// TestCarryoverWarmStart checks that carrying weights between windows
+// still lands on (essentially) the batch fixed point when the same
+// claims are re-estimated, and never takes more iterations.
+func TestCarryoverWarmStart(t *testing.T) {
+	rng := randx.New(11)
+	ds := randomDataset(t, rng, 40, 10)
+	crh, err := truth.NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := crh.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := New(Config{NumObjects: ds.NumObjects(), NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := e.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	ingestDataset(t, e, ds)
+	first, err := e.CloseWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close a second window over the unchanged statistics: the warm start
+	// begins at the previous fixed point, so it must converge at least as
+	// fast and stay close to the batch solution.
+	second, err := e.CloseWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Iterations > first.Iterations {
+		t.Errorf("warm start took %d iterations, cold start %d", second.Iterations, first.Iterations)
+	}
+	for n, want := range batch.Truths {
+		if d := math.Abs(second.Truths[n] - want); d > 1e-4 {
+			t.Errorf("warm-start truth[%d] drifted %g from batch", n, d)
+		}
+	}
+}

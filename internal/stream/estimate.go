@@ -1,0 +1,216 @@
+package stream
+
+import (
+	"math"
+	"sync"
+
+	"pptd/internal/truth"
+)
+
+// Floors shared with the batch estimator (truth.CRH); keeping them
+// identical is what makes the closed-window equivalence property hold.
+const (
+	distFloor   = 1e-12
+	stdFloor    = 1e-9
+	weightFloor = 1e-12
+)
+
+// estimateLocked runs the per-window estimation: the CRH update
+// equations (truths as weighted means, weights as negative log distance
+// ratios), evaluated over the live sufficient statistics with the
+// per-object work parallelized across shards. Weights warm-start from
+// the previous window unless carryover is disabled. Callers must hold
+// e.mu exclusively with the shards paused.
+func (e *Engine) estimateLocked() (*WindowResult, error) {
+	numUsers := e.users.count()
+	if numUsers == 0 {
+		return nil, ErrEmptyWindow
+	}
+
+	views := make([]*shardView, len(e.shards))
+	e.eachShardParallelIndexed(func(i int, s *shard) { views[i] = s.view() })
+
+	truths := make([]float64, e.cfg.NumObjects)
+	covered := make([]bool, e.cfg.NumObjects)
+	anyCovered := false
+	for n := range truths {
+		truths[n] = math.NaN()
+	}
+	for _, v := range views {
+		for _, obj := range v.objects {
+			covered[obj] = true
+			anyCovered = true
+		}
+	}
+	if !anyCovered {
+		return nil, ErrEmptyWindow
+	}
+
+	weights := e.users.carryWeights(e.cfg.DisableCarryover)
+
+	// Per-shard scratch for the distance reduction: each shard accumulates
+	// its objects' contribution to every user's distance, then the shards
+	// are reduced in index order so the result is deterministic.
+	partial := make([][]float64, len(e.shards))
+	counts := make([][]int, len(e.shards))
+	for i := range partial {
+		partial[i] = make([]float64, numUsers)
+		counts[i] = make([]int, numUsers)
+	}
+	dists := make([]float64, numUsers)
+	claimCount := make([]int, numUsers)
+	prev := make([]float64, e.cfg.NumObjects)
+
+	e.weightedTruths(views, weights, truths)
+	res := &WindowResult{Truths: truths, Covered: covered}
+	for iter := 1; iter <= e.cfg.MaxIterations; iter++ {
+		res.Iterations = iter
+		e.updateWeights(views, truths, weights, dists, claimCount, partial, counts)
+		copy(prev, truths)
+		e.weightedTruths(views, weights, truths)
+		if maxAbsDiffCovered(prev, truths, covered) < e.cfg.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.Weights = make(map[string]float64)
+	ids := e.users.ids()
+	for u, n := range claimCount {
+		if n == 0 {
+			continue
+		}
+		res.Weights[ids[u]] = weights[u]
+		res.ActiveUsers++
+	}
+	e.users.updateCarry(weights, claimCount)
+	return res, nil
+}
+
+// weightedTruths evaluates Eq. (1) per covered object: the weighted mean
+// of the effective claims, with non-positive user weights clamped to the
+// weight floor exactly as the batch estimator does. Shards work their
+// own (disjoint) objects in parallel.
+func (e *Engine) weightedTruths(views []*shardView, weights, truths []float64) {
+	var wg sync.WaitGroup
+	for _, v := range views {
+		wg.Add(1)
+		go func(v *shardView) {
+			defer wg.Done()
+			for i, obj := range v.objects {
+				var num, den float64
+				for _, c := range v.claims[i] {
+					w := weights[c.user]
+					if w < weightFloor {
+						w = weightFloor
+					}
+					num += w * c.value
+					den += w
+				}
+				truths[obj] = num / den
+			}
+		}(v)
+	}
+	wg.Wait()
+}
+
+// updateWeights evaluates Eq. (3): per-user mean distance between the
+// effective claims and the current truths, then w = -log(d/total),
+// clamped non-negative. Shards accumulate their objects' distance
+// contributions in parallel; the reduction and the weight update run on
+// the coordinator in user order, mirroring the batch loop.
+func (e *Engine) updateWeights(views []*shardView, truths, weights, dists []float64, claimCount []int, partial [][]float64, counts [][]int) {
+	var wg sync.WaitGroup
+	for si, v := range views {
+		wg.Add(1)
+		go func(v *shardView, dSum []float64, dCnt []int) {
+			defer wg.Done()
+			for u := range dSum {
+				dSum[u] = 0
+				dCnt[u] = 0
+			}
+			for i, obj := range v.objects {
+				t := truths[obj]
+				std := v.stds[i]
+				if std < stdFloor {
+					std = stdFloor
+				}
+				for _, c := range v.claims[i] {
+					diff := c.value - t
+					switch e.cfg.Distance {
+					case truth.AbsoluteDistance:
+						dSum[c.user] += math.Abs(diff)
+					case truth.NormalizedSquaredDistance:
+						dSum[c.user] += diff * diff / std
+					default: // squared
+						dSum[c.user] += diff * diff
+					}
+					dCnt[c.user]++
+				}
+			}
+		}(v, partial[si], counts[si])
+	}
+	wg.Wait()
+
+	var total float64
+	for u := range dists {
+		var d float64
+		var n int
+		for si := range partial {
+			d += partial[si][u]
+			n += counts[si][u]
+		}
+		claimCount[u] = n
+		if n == 0 {
+			dists[u] = math.NaN()
+			continue
+		}
+		d /= float64(n)
+		if d < distFloor {
+			d = distFloor
+		}
+		dists[u] = d
+		total += d
+	}
+	if total <= 0 {
+		total = distFloor
+	}
+	for u := range weights {
+		if math.IsNaN(dists[u]) {
+			weights[u] = 0
+			continue
+		}
+		w := -math.Log(dists[u] / total)
+		if w < 0 {
+			w = 0
+		}
+		weights[u] = w
+	}
+}
+
+// maxAbsDiffCovered is maxAbsDiff restricted to covered objects.
+func maxAbsDiffCovered(a, b []float64, covered []bool) float64 {
+	var maxd float64
+	for i := range a {
+		if !covered[i] {
+			continue
+		}
+		if d := math.Abs(a[i] - b[i]); d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// eachShardParallelIndexed is eachShardParallel with the shard index.
+func (e *Engine) eachShardParallelIndexed(fn func(int, *shard)) {
+	var wg sync.WaitGroup
+	for i, s := range e.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			fn(i, s)
+		}(i, s)
+	}
+	wg.Wait()
+}

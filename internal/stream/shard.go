@@ -1,0 +1,155 @@
+package stream
+
+import (
+	"math"
+	"sort"
+)
+
+// evictFloor is the decayed-mass threshold below which a sufficient
+// statistic is dropped; at decay d it bounds the lifetime of an idle
+// (object, user) pair to log(evictFloor)/log(d) windows.
+const evictFloor = 1e-9
+
+// stat is the exponentially-decayed sufficient statistic of one
+// (object, user) pair: the decayed sum of claimed values and the decayed
+// claim mass. The effective claim the estimator sees is sum/mass, the
+// decay-weighted mean of everything the user ever claimed on the object.
+type stat struct {
+	sum  float64
+	mass float64
+}
+
+// pauseReq asks a shard worker to quiesce: it closes acquired once all
+// earlier batches are applied, then blocks until release is closed,
+// leaving the coordinator exclusive access to the shard state.
+type pauseReq struct {
+	acquired chan struct{}
+	release  chan struct{}
+}
+
+// shardMsg is one hand-off on a shard's ingestion channel: either a batch
+// of claims by one user (ctl nil) or a pause request.
+type shardMsg struct {
+	user   int
+	claims []Claim
+	ctl    *pauseReq
+}
+
+// shard owns the sufficient statistics of the objects hashed to it. The
+// state is mutated only by the worker goroutine (run) or, while paused,
+// by the coordinator.
+type shard struct {
+	in    chan shardMsg
+	stats map[int]map[int]*stat // object -> user index -> stat
+}
+
+func newShard(queueDepth int) *shard {
+	return &shard{
+		in:    make(chan shardMsg, queueDepth),
+		stats: make(map[int]map[int]*stat),
+	}
+}
+
+// run is the shard worker loop; it exits when the channel closes.
+func (s *shard) run() {
+	for m := range s.in {
+		if m.ctl != nil {
+			close(m.ctl.acquired)
+			<-m.ctl.release
+			continue
+		}
+		s.apply(m.user, m.claims)
+	}
+}
+
+func (s *shard) apply(user int, claims []Claim) {
+	for _, c := range claims {
+		users := s.stats[c.Object]
+		if users == nil {
+			users = make(map[int]*stat)
+			s.stats[c.Object] = users
+		}
+		st := users[user]
+		if st == nil {
+			st = &stat{}
+			users[user] = st
+		}
+		st.sum += c.Value
+		st.mass++
+	}
+}
+
+// decay scales every statistic by the retention factor and evicts the
+// ones whose mass fell below the floor. Called only while paused.
+func (s *shard) decay(factor float64) {
+	for obj, users := range s.stats {
+		for user, st := range users {
+			st.sum *= factor
+			st.mass *= factor
+			if st.mass < evictFloor {
+				delete(users, user)
+			}
+		}
+		if len(users) == 0 {
+			delete(s.stats, obj)
+		}
+	}
+}
+
+// uv is one effective claim: the user index and the decay-weighted mean
+// value of that user's claims on the object.
+type uv struct {
+	user  int
+	value float64
+}
+
+// shardView is the estimator's frozen, sorted view of one shard: covered
+// objects in ascending order, each with its effective claims sorted by
+// user index, plus the per-object population standard deviation of the
+// effective claims (the scale reference of the normalized distance).
+type shardView struct {
+	objects []int
+	claims  [][]uv
+	stds    []float64
+}
+
+// view materializes the shard's statistics for estimation. Called only
+// while paused.
+func (s *shard) view() *shardView {
+	v := &shardView{
+		objects: make([]int, 0, len(s.stats)),
+		claims:  make([][]uv, 0, len(s.stats)),
+		stds:    make([]float64, 0, len(s.stats)),
+	}
+	for obj := range s.stats {
+		v.objects = append(v.objects, obj)
+	}
+	sort.Ints(v.objects)
+	for _, obj := range v.objects {
+		users := s.stats[obj]
+		cs := make([]uv, 0, len(users))
+		for user, st := range users {
+			cs = append(cs, uv{user: user, value: st.sum / st.mass})
+		}
+		sort.Slice(cs, func(i, j int) bool { return cs[i].user < cs[j].user })
+		v.claims = append(v.claims, cs)
+		v.stds = append(v.stds, popStd(cs))
+	}
+	return v
+}
+
+// popStd is the population standard deviation of the effective claims,
+// matching truth.Dataset.ObjectStdDevs (objects with one claim get 0).
+func popStd(cs []uv) float64 {
+	var sum float64
+	for _, c := range cs {
+		sum += c.value
+	}
+	mean := sum / float64(len(cs))
+	var ss float64
+	for _, c := range cs {
+		d := c.value - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(cs)))
+}

@@ -1,0 +1,419 @@
+// Package stream implements an online, windowed truth-discovery engine
+// for continuous submission streams — the streaming counterpart of the
+// batch pipeline in internal/core. Perturbed claims are ingested
+// concurrently into worker shards (objects hash-partitioned across
+// shards, batched channel hand-off), folded into exponentially-decayed
+// sufficient statistics per (object, user), and truths plus user weights
+// are re-estimated incrementally when a window closes. User weights
+// carry over between windows as the warm start of the next estimation,
+// and an optional privacy accountant charges every user's cumulative
+// (epsilon, delta) budget once per window they participate in, so the
+// privacy loss of a long-lived stream is tracked and enforceable.
+//
+// The estimator runs the same CRH update equations as the batch method
+// (truth.CRH): on a closed window with decay disabled and at most one
+// claim per (object, user) pair, its truths and weights agree with
+// truth.CRH.Run over the same claims to floating-point reordering error
+// (well within 1e-9; property-tested).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pptd/internal/core"
+	"pptd/internal/truth"
+)
+
+var (
+	// ErrBadConfig reports an invalid engine configuration.
+	ErrBadConfig = errors.New("stream: invalid config")
+	// ErrBadClaim reports a claim with an out-of-range object or a
+	// non-finite value.
+	ErrBadClaim = errors.New("stream: bad claim")
+	// ErrBudgetExhausted reports a submission from a user whose cumulative
+	// privacy budget would be exceeded by participating in this window.
+	ErrBudgetExhausted = errors.New("stream: privacy budget exhausted")
+	// ErrEngineClosed reports use of an engine after Close.
+	ErrEngineClosed = errors.New("stream: engine closed")
+	// ErrEmptyWindow reports a window close before any claim ever arrived.
+	ErrEmptyWindow = errors.New("stream: no claims ingested yet")
+)
+
+// Claim is one perturbed (object, value) report inside a streamed
+// submission. Values must already be perturbed on the client device; the
+// engine, like the batch server, only ever sees noisy data.
+type Claim struct {
+	Object int
+	Value  float64
+}
+
+// Config parameterizes a streaming engine.
+type Config struct {
+	// NumObjects is the number of micro-tasks (objects) in the stream.
+	NumObjects int
+	// NumShards is the number of ingestion/estimation worker shards.
+	// Objects are partitioned across shards by object index. Zero means
+	// min(GOMAXPROCS, 8).
+	NumShards int
+	// QueueDepth is the per-shard ingestion channel buffer (backpressure
+	// bound). Zero means 64 batches.
+	QueueDepth int
+	// Decay is the per-window retention factor in (0, 1] applied to every
+	// sufficient statistic when a window closes; 1 (the default via zero
+	// value 0 meaning 1) keeps all history, smaller values forget old
+	// claims exponentially. Statistics whose decayed mass drops below an
+	// internal floor are evicted to bound memory.
+	Decay float64
+	// Distance selects the claim-to-truth distance of the weight update
+	// (default truth.NormalizedSquaredDistance, matching truth.CRH).
+	Distance truth.Distance
+	// Tolerance and MaxIterations control the per-window estimation loop
+	// (defaults truth.DefaultTolerance, truth.DefaultMaxIterations).
+	Tolerance     float64
+	MaxIterations int
+	// DisableCarryover resets user weights to the uniform batch
+	// initialization at every window instead of warm-starting from the
+	// previous window's estimates.
+	DisableCarryover bool
+
+	// Lambda1 enables privacy accounting when positive: it is the
+	// data-quality rate the accountant assumes (as in core.NewAccountant).
+	Lambda1 float64
+	// Lambda2 is the perturbation rate published to users; required when
+	// accounting is enabled.
+	Lambda2 float64
+	// Delta is the LDP delta each window's epsilon is accounted at;
+	// required in (0, 1) when accounting is enabled.
+	Delta float64
+	// EpsilonBudget caps each user's cumulative epsilon across windows;
+	// zero tracks spending without enforcing. Submissions that would
+	// start a new window past the cap are rejected with
+	// ErrBudgetExhausted.
+	EpsilonBudget float64
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.NumObjects <= 0:
+		return fmt.Errorf("%w: NumObjects = %d", ErrBadConfig, c.NumObjects)
+	case c.NumShards < 0:
+		return fmt.Errorf("%w: NumShards = %d", ErrBadConfig, c.NumShards)
+	case c.QueueDepth < 0:
+		return fmt.Errorf("%w: QueueDepth = %d", ErrBadConfig, c.QueueDepth)
+	case c.Decay < 0 || c.Decay > 1 || math.IsNaN(c.Decay):
+		return fmt.Errorf("%w: Decay = %v", ErrBadConfig, c.Decay)
+	case c.Tolerance < 0 || math.IsNaN(c.Tolerance):
+		return fmt.Errorf("%w: Tolerance = %v", ErrBadConfig, c.Tolerance)
+	case c.MaxIterations < 0:
+		return fmt.Errorf("%w: MaxIterations = %d", ErrBadConfig, c.MaxIterations)
+	case c.EpsilonBudget < 0 || math.IsNaN(c.EpsilonBudget) || math.IsInf(c.EpsilonBudget, 0):
+		return fmt.Errorf("%w: EpsilonBudget = %v", ErrBadConfig, c.EpsilonBudget)
+	}
+	if c.NumShards == 0 {
+		c.NumShards = runtime.GOMAXPROCS(0)
+		if c.NumShards > 8 {
+			c.NumShards = 8
+		}
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Decay == 0 {
+		c.Decay = 1
+	}
+	switch c.Distance {
+	case 0:
+		c.Distance = truth.NormalizedSquaredDistance
+	case truth.SquaredDistance, truth.AbsoluteDistance, truth.NormalizedSquaredDistance:
+	default:
+		return fmt.Errorf("%w: unknown distance %v", ErrBadConfig, c.Distance)
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = truth.DefaultTolerance
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = truth.DefaultMaxIterations
+	}
+	if c.Lambda1 < 0 || math.IsNaN(c.Lambda1) || math.IsInf(c.Lambda1, 0) {
+		return fmt.Errorf("%w: Lambda1 = %v", ErrBadConfig, c.Lambda1)
+	}
+	if c.Lambda2 < 0 || math.IsNaN(c.Lambda2) || math.IsInf(c.Lambda2, 0) {
+		return fmt.Errorf("%w: Lambda2 = %v", ErrBadConfig, c.Lambda2)
+	}
+	if c.Lambda1 > 0 {
+		if c.Lambda2 == 0 {
+			return fmt.Errorf("%w: Lambda2 = 0 with accounting enabled", ErrBadConfig)
+		}
+		if c.Delta <= 0 || c.Delta >= 1 || math.IsNaN(c.Delta) {
+			return fmt.Errorf("%w: Delta = %v with accounting enabled", ErrBadConfig, c.Delta)
+		}
+	} else if c.EpsilonBudget > 0 {
+		return fmt.Errorf("%w: EpsilonBudget without Lambda1 accounting", ErrBadConfig)
+	}
+	return nil
+}
+
+// WindowResult is the estimate published when a window closes.
+type WindowResult struct {
+	// Window is the 1-based index of the closed window.
+	Window int
+	// Truths holds the estimated truth per object; objects with no live
+	// statistics are NaN (see Covered).
+	Truths []float64
+	// Covered marks objects that had at least one live statistic.
+	Covered []bool
+	// Weights holds the estimated weight per user active in this
+	// estimate, keyed by client ID.
+	Weights map[string]float64
+	// Iterations and Converged mirror truth.Result for the estimation
+	// loop of this window.
+	Iterations int
+	Converged  bool
+	// ActiveUsers is the number of users with live statistics.
+	ActiveUsers int
+	// WindowClaims is the number of claims ingested during this window;
+	// TotalClaims counts the whole stream so far.
+	WindowClaims int64
+	TotalClaims  int64
+	// Privacy summarizes cumulative budget spending; nil when accounting
+	// is disabled.
+	Privacy *PrivacyReport
+}
+
+// Engine is a sharded streaming truth-discovery engine. Ingest may be
+// called from any number of goroutines; CloseWindow serializes against
+// ingestion and publishes a fresh estimate.
+type Engine struct {
+	cfg       Config
+	epsWindow float64 // epsilon charged per active window; 0 = accounting off
+
+	users  *registry
+	shards []*shard
+	wg     sync.WaitGroup
+
+	// mu is the window lock: ingestion holds it shared, CloseWindow and
+	// Close hold it exclusively.
+	mu     sync.RWMutex
+	closed bool
+	window int // completed windows
+
+	windowClaims atomic.Int64
+	totalClaims  atomic.Int64
+
+	lastMu sync.Mutex
+	last   *WindowResult
+}
+
+// New starts an engine with the given configuration. Callers must
+// eventually Close it to stop the shard workers.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:   cfg,
+		users: newRegistry(),
+	}
+	if cfg.Lambda1 > 0 {
+		acct, err := core.NewAccountant(cfg.Lambda1)
+		if err != nil {
+			return nil, fmt.Errorf("stream: %w", err)
+		}
+		mech, err := core.NewMechanism(cfg.Lambda2)
+		if err != nil {
+			return nil, fmt.Errorf("stream: %w", err)
+		}
+		eps, err := acct.Epsilon(mech, cfg.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("stream: %w", err)
+		}
+		e.epsWindow = eps
+	}
+	e.shards = make([]*shard, cfg.NumShards)
+	for i := range e.shards {
+		e.shards[i] = newShard(cfg.QueueDepth)
+		e.wg.Add(1)
+		go func(s *shard) {
+			defer e.wg.Done()
+			s.run()
+		}(e.shards[i])
+	}
+	return e, nil
+}
+
+// EpsilonPerWindow returns the epsilon charged to a user for each window
+// they participate in (0 when accounting is disabled).
+func (e *Engine) EpsilonPerWindow() float64 { return e.epsWindow }
+
+// NumShards returns the shard count the engine runs with.
+func (e *Engine) NumShards() int { return e.cfg.NumShards }
+
+// NumObjects returns the number of objects in the stream.
+func (e *Engine) NumObjects() int { return e.cfg.NumObjects }
+
+// Lambda2 returns the perturbation rate published to users (0 when none
+// was configured).
+func (e *Engine) Lambda2() float64 { return e.cfg.Lambda2 }
+
+// Delta returns the LDP delta windows are accounted at (0 when
+// accounting is disabled).
+func (e *Engine) Delta() float64 { return e.cfg.Delta }
+
+// EpsilonBudget returns the enforced cumulative epsilon cap (0 when
+// tracking only).
+func (e *Engine) EpsilonBudget() float64 { return e.cfg.EpsilonBudget }
+
+// Ingest folds one user's batch of perturbed claims into the current
+// window and returns the accepted claim count plus the 1-based index of
+// the open window the batch joined. The whole batch is accepted or
+// rejected: bad claims fail with ErrBadClaim, and, when a budget is
+// enforced, a user who cannot afford the current window fails with
+// ErrBudgetExhausted. Safe for concurrent use; a batch racing a
+// CloseWindow lands in one window or the next, never split.
+func (e *Engine) Ingest(user string, claims []Claim) (int, int, error) {
+	if user == "" {
+		return 0, 0, fmt.Errorf("%w: empty user id", ErrBadClaim)
+	}
+	if len(claims) == 0 {
+		return 0, 0, fmt.Errorf("%w: empty batch", ErrBadClaim)
+	}
+	for _, c := range claims {
+		if c.Object < 0 || c.Object >= e.cfg.NumObjects {
+			return 0, 0, fmt.Errorf("%w: object %d of %d", ErrBadClaim, c.Object, e.cfg.NumObjects)
+		}
+		if math.IsNaN(c.Value) || math.IsInf(c.Value, 0) {
+			return 0, 0, fmt.Errorf("%w: non-finite value for object %d", ErrBadClaim, c.Object)
+		}
+	}
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return 0, 0, ErrEngineClosed
+	}
+	st := e.users.getOrCreate(user)
+	if err := e.users.charge(st, e.window, e.epsWindow, e.cfg.EpsilonBudget); err != nil {
+		return 0, 0, err
+	}
+
+	// Partition the batch by owning shard and hand each piece off on the
+	// shard's channel (FIFO, so a later window close drains it first).
+	perShard := make([][]Claim, len(e.shards))
+	for _, c := range claims {
+		idx := c.Object % len(e.shards)
+		perShard[idx] = append(perShard[idx], c)
+	}
+	for i, part := range perShard {
+		if len(part) == 0 {
+			continue
+		}
+		e.shards[i].in <- shardMsg{user: st.idx, claims: part}
+	}
+	e.windowClaims.Add(int64(len(claims)))
+	e.totalClaims.Add(int64(len(claims)))
+	return len(claims), e.window + 1, nil
+}
+
+// CloseWindow drains all pending ingestion, re-estimates truths and
+// weights from the live sufficient statistics, applies the per-window
+// decay, and advances the window counter. The returned result is also
+// retained for Snapshot.
+func (e *Engine) CloseWindow() (*WindowResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
+	release := e.pauseShards()
+	defer close(release)
+
+	res, err := e.estimateLocked()
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.Decay < 1 {
+		e.eachShardParallel(func(s *shard) { s.decay(e.cfg.Decay) })
+	}
+	e.window++
+	res.Window = e.window
+	res.WindowClaims = e.windowClaims.Swap(0)
+	res.TotalClaims = e.totalClaims.Load()
+	if e.epsWindow > 0 {
+		res.Privacy = e.users.report(e.epsWindow, e.cfg.Delta, e.cfg.EpsilonBudget)
+	}
+
+	e.lastMu.Lock()
+	e.last = res
+	e.lastMu.Unlock()
+	return res, nil
+}
+
+// Snapshot returns the most recently closed window's result, or nil if
+// no window has closed yet. The result is shared; treat it as read-only.
+func (e *Engine) Snapshot() *WindowResult {
+	e.lastMu.Lock()
+	defer e.lastMu.Unlock()
+	return e.last
+}
+
+// Window returns the number of closed windows so far.
+func (e *Engine) Window() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.window
+}
+
+// TotalClaims returns the number of claims accepted over the stream's
+// lifetime.
+func (e *Engine) TotalClaims() int64 { return e.totalClaims.Load() }
+
+// Close stops the shard workers. The engine rejects all calls afterwards.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	e.closed = true
+	for _, s := range e.shards {
+		close(s.in)
+	}
+	e.wg.Wait()
+	return nil
+}
+
+// pauseShards brings every shard to a quiescent point: all batches
+// enqueued before the exclusive lock was taken are applied, then the
+// workers block until the returned channel is closed. Callers must hold
+// e.mu exclusively.
+func (e *Engine) pauseShards() chan struct{} {
+	release := make(chan struct{})
+	acks := make([]chan struct{}, len(e.shards))
+	for i, s := range e.shards {
+		acks[i] = make(chan struct{})
+		s.in <- shardMsg{ctl: &pauseReq{acquired: acks[i], release: release}}
+	}
+	for _, ack := range acks {
+		<-ack
+	}
+	return release
+}
+
+// eachShardParallel runs fn once per shard on its own goroutine and
+// waits. Callers must have the shards paused.
+func (e *Engine) eachShardParallel(fn func(*shard)) {
+	var wg sync.WaitGroup
+	for _, s := range e.shards {
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			fn(s)
+		}(s)
+	}
+	wg.Wait()
+}

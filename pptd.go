@@ -29,11 +29,39 @@
 //	outcome, _ := pipe.Run(dataset, rng)
 //	fmt.Println(outcome.UtilityMAE)                     // utility loss
 //
+// # Streaming quick start
+//
+// Beyond the one-shot campaign, the streaming engine serves continuous
+// submission traffic: perturbed claims ingest concurrently into sharded
+// workers, fold into exponentially-decayed sufficient statistics, and
+// every window close re-estimates truths and weights incrementally
+// (warm-started from the previous window) while a privacy accountant
+// tracks each user's cumulative (epsilon, delta) spending:
+//
+//	eng, _ := pptd.NewStreamEngine(pptd.StreamConfig{
+//		NumObjects: 30,
+//		Decay:      0.8,              // forget stale windows
+//		Lambda1:    1,                // enables budget accounting
+//		Lambda2:    2, Delta: 0.3,
+//	})
+//	defer eng.Close()
+//	eng.Ingest("device-1", []pptd.StreamClaim{{Object: 0, Value: 3.2}})
+//	res, _ := eng.CloseWindow()       // incremental truths + weights
+//	fmt.Println(res.Truths[0], res.Privacy.MaxCumulative)
+//
+// On a closed window with decay disabled the incremental estimate
+// matches batch CRH to floating-point error. The same engine backs the
+// HTTP streaming campaign (NewStreamCampaignServer, POST
+// /v1/stream/claims, GET /v1/stream/truths); cmd/pptdstream drives a
+// simulated fleet against it and reports throughput, accuracy, and the
+// cumulative budget per window.
+//
 // The subpackage layout mirrors the paper: the mechanism and accountant
 // live in internal/core, truth discovery in internal/truth, the
 // closed-form analysis in internal/theory, data generators in
 // internal/synthetic and internal/floorplan, the networked crowd sensing
-// system in internal/crowd, and the figure-regeneration harness in
+// system in internal/crowd (one-shot and streaming), the streaming
+// engine in internal/stream, and the figure-regeneration harness in
 // internal/eval. This package re-exports the full public surface.
 package pptd
 

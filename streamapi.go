@@ -1,0 +1,63 @@
+package pptd
+
+import (
+	"pptd/internal/crowd"
+	"pptd/internal/stream"
+)
+
+// StreamEngine is the sharded streaming truth-discovery engine: claims
+// ingest concurrently into hash-partitioned worker shards, fold into
+// exponentially-decayed sufficient statistics per (object, user), and
+// each window close re-estimates truths and weights incrementally with
+// carryover of user weights and cumulative (epsilon, delta) accounting.
+type StreamEngine = stream.Engine
+
+// StreamConfig parameterizes NewStreamEngine.
+type StreamConfig = stream.Config
+
+// StreamClaim is one perturbed (object, value) report in a stream.
+type StreamClaim = stream.Claim
+
+// StreamWindowResult is the estimate published when a window closes.
+type StreamWindowResult = stream.WindowResult
+
+// StreamPrivacyReport summarizes cumulative per-user privacy spending at
+// a window boundary.
+type StreamPrivacyReport = stream.PrivacyReport
+
+// NewStreamEngine starts a streaming engine; Close it to stop the shard
+// workers.
+func NewStreamEngine(cfg StreamConfig) (*StreamEngine, error) { return stream.New(cfg) }
+
+// Streaming sentinel errors, matchable with errors.Is.
+var (
+	// ErrStreamBudgetExhausted reports a submission from a user whose
+	// cumulative privacy budget would be exceeded.
+	ErrStreamBudgetExhausted = stream.ErrBudgetExhausted
+	// ErrStreamEmptyWindow reports a window close before any claim
+	// arrived.
+	ErrStreamEmptyWindow = stream.ErrEmptyWindow
+)
+
+// StreamCampaignServer serves a streaming sensing campaign over HTTP:
+// batched perturbed claims in, live per-window truth snapshots out, with
+// per-user cumulative privacy budgets tracked and enforced.
+type StreamCampaignServer = crowd.StreamServer
+
+// StreamCampaignServerConfig parameterizes NewStreamCampaignServer.
+type StreamCampaignServerConfig = crowd.StreamServerConfig
+
+// NewStreamCampaignServer returns a streaming campaign server; Close it
+// to stop the engine's shard workers.
+func NewStreamCampaignServer(cfg StreamCampaignServerConfig) (*StreamCampaignServer, error) {
+	return crowd.NewStreamServer(cfg)
+}
+
+// StreamCampaignInfo describes a streaming campaign.
+type StreamCampaignInfo = crowd.StreamCampaignInfo
+
+// StreamReceipt acknowledges one ingested claim batch.
+type StreamReceipt = crowd.StreamReceipt
+
+// StreamWindowInfo is one closed window's estimate on the wire.
+type StreamWindowInfo = crowd.StreamWindowInfo
