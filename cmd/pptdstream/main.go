@@ -227,8 +227,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "stream done: %d windows, %d claims total, %d submissions refused by budget\n",
 		final.Window, final.TotalClaims, totalRefused)
 	if final.Privacy != nil {
-		fmt.Fprintf(out, "cumulative privacy: max per-user epsilon %.4f (delta=%v) across %d tracked users\n",
-			final.Privacy.MaxCumulative, final.Privacy.Delta, len(final.Privacy.PerUser))
+		fmt.Fprintf(out, "cumulative privacy: max per-user epsilon %.4f (delta %.4g) over %d windows across %d tracked users\n",
+			final.Privacy.MaxCumulative, final.Privacy.CumulativeDelta,
+			final.Privacy.MaxWindows, len(final.Privacy.PerUser))
 	}
 	fmt.Fprintln(out, "the server only ever saw perturbed claims; no original reading left a device.")
 	return nil

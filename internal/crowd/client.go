@@ -17,6 +17,13 @@ import (
 // ErrBadClient reports an invalid client configuration or argument.
 var ErrBadClient = errors.New("crowd: invalid client argument")
 
+// ErrSameWindow reports a ParticipateStream call while the server's open
+// window is still the one this user already submitted into. The helper
+// refuses before perturbing, so no second noisy release of the window
+// ever leaves the device; close the window (or wait for the driver to)
+// and call again.
+var ErrSameWindow = errors.New("crowd: already submitted in the open window")
+
 // Client talks to a campaign server. Safe for concurrent use.
 type Client struct {
 	baseURL string
@@ -165,6 +172,9 @@ type User struct {
 	// perturber is the device's lazily-created streaming perturber; one
 	// noise variance per device per campaign, as Algorithm 2 prescribes.
 	perturber *core.UserPerturber
+	// lastWindow is the 1-based window of the last accepted streaming
+	// submission; it backs the one-submission-per-window guard.
+	lastWindow int
 }
 
 // NewUser returns a user with the given original readings. The RNG is the
@@ -226,21 +236,30 @@ func (u *User) SetReadings(readings []Claim) error {
 	return nil
 }
 
-// ParticipateStream runs one streaming round of the client side: on the
-// first call it fetches the streaming campaign to learn lambda2 and
-// samples the device's private noise variance (kept for the lifetime of
-// the campaign), then on every call it perturbs the current readings
-// and submits them to the open window. Not safe for concurrent use on
-// the same User.
+// ParticipateStream runs one streaming round of the client side: it
+// fetches the streaming campaign (on the first call also learning
+// lambda2 and sampling the device's private noise variance, kept for
+// the lifetime of the campaign), perturbs the current readings, and
+// submits them to the open window.
+//
+// The stream's release contract is one submission per user per window,
+// and the helper enforces it on-device: when the server's open window is
+// still the one the previous call submitted into, it returns
+// ErrSameWindow before perturbing, so a second noisy view of the same
+// readings never leaves the device (a server-side rejection would come
+// too late for that). Not safe for concurrent use on the same User.
 func (u *User) ParticipateStream(ctx context.Context, c *Client) (StreamReceipt, error) {
 	if c == nil {
 		return StreamReceipt{}, fmt.Errorf("%w: nil client", ErrBadClient)
 	}
+	info, err := c.StreamCampaign(ctx)
+	if err != nil {
+		return StreamReceipt{}, fmt.Errorf("crowd: user %q fetch stream campaign: %w", u.id, err)
+	}
+	if u.lastWindow > 0 && info.Window+1 == u.lastWindow {
+		return StreamReceipt{}, fmt.Errorf("%w: user %q in window %d", ErrSameWindow, u.id, u.lastWindow)
+	}
 	if u.perturber == nil {
-		info, err := c.StreamCampaign(ctx)
-		if err != nil {
-			return StreamReceipt{}, fmt.Errorf("crowd: user %q fetch stream campaign: %w", u.id, err)
-		}
 		if info.Lambda2 <= 0 {
 			// The device never uploads unperturbed readings; a campaign
 			// that publishes no perturbation rate cannot be joined.
@@ -261,5 +280,6 @@ func (u *User) ParticipateStream(ctx context.Context, c *Client) (StreamReceipt,
 	if err != nil {
 		return StreamReceipt{}, fmt.Errorf("crowd: user %q stream submit: %w", u.id, err)
 	}
+	u.lastWindow = receipt.Window
 	return receipt, nil
 }

@@ -19,8 +19,10 @@
 //   - GET  /v1/stream/campaign publishes the stream metadata (objects,
 //     lambda2, shard count, per-window epsilon/delta and budget);
 //   - POST /v1/stream/claims ingests one client's batch of perturbed
-//     claims into the open window (400 on malformed claims, 429 once the
-//     client's cumulative privacy budget is exhausted);
+//     claims into the open window (400 on malformed claims, 409 on a
+//     second submission into the same open window when accounting is
+//     enabled, 429 once the client's cumulative privacy budget is
+//     exhausted);
 //   - POST /v1/stream/window closes the open window, re-estimates truths
 //     and weights incrementally from the decayed sufficient statistics,
 //     and returns the estimate (409 before any claim ever arrived);
@@ -29,8 +31,17 @@
 //
 // Clients keep perturbing locally exactly as in the one-shot flow; the
 // streaming server additionally meters each client's cumulative
-// (epsilon, delta) spending, charging one window's epsilon the first
-// time a client submits inside that window.
+// (epsilon, delta) spending. The accounting unit is the release unit:
+// each window's epsilon pays for exactly one submission per client, with
+// at most one claim per object, and a second submission into the same
+// open window is rejected (409) instead of being silently averaged in —
+// otherwise k same-window submissions would cut the effective noise by
+// about sqrt(k) while paying a single epsilon. Both epsilon and delta
+// compose linearly across the windows a client is charged for; the
+// per-window privacy report carries the basic-composition totals
+// (MaxCumulative, CumulativeDelta). User.ParticipateStream honors the
+// one-submission-per-window contract on-device, skipping (ErrSameWindow)
+// before a second noisy release of the same window is even generated.
 package crowd
 
 import (

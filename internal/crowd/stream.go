@@ -152,6 +152,8 @@ func (s *StreamServer) handleClaims(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, stream.ErrBadClaim):
 		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, stream.ErrDuplicateWindow):
+		writeError(w, http.StatusConflict, err.Error())
 	case errors.Is(err, stream.ErrBudgetExhausted):
 		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, stream.ErrEngineClosed):

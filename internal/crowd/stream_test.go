@@ -132,6 +132,10 @@ func TestStreamEndToEnd(t *testing.T) {
 		if got := res.Privacy.MaxCumulative; math.Abs(got-wantCum) > 1e-9 {
 			t.Errorf("window %d: MaxCumulative = %v, want %v", w, got, wantCum)
 		}
+		wantDelta := float64(w) * info.Delta
+		if got := res.Privacy.CumulativeDelta; math.Abs(got-wantDelta) > 1e-12 {
+			t.Errorf("window %d: CumulativeDelta = %v, want %v", w, got, wantDelta)
+		}
 
 		snap, err := client.StreamTruths(ctx)
 		if err != nil {
@@ -205,6 +209,84 @@ func TestStreamBudgetOverHTTP(t *testing.T) {
 	var httpErr *HTTPError
 	if !errors.As(err, &httpErr) || httpErr.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-budget submit = %v, want 429", err)
+	}
+}
+
+// TestStreamDuplicateWindowOverHTTP checks the release contract on the
+// wire: with accounting enabled a second submission into the same open
+// window is refused with 409, and the user is admitted again once the
+// window advances.
+func TestStreamDuplicateWindowOverHTTP(t *testing.T) {
+	_, client := newStreamFixture(t, StreamServerConfig{
+		Name: "stream-dup",
+		Engine: stream.Config{
+			NumObjects: 2,
+			NumShards:  1,
+			Lambda1:    1,
+			Lambda2:    2,
+			Delta:      0.3,
+		},
+	})
+	ctx := context.Background()
+	sub := Submission{ClientID: "c", Claims: []Claim{{Object: 0, Value: 1}, {Object: 1, Value: 2}}}
+
+	if _, err := client.StreamSubmit(ctx, sub); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.StreamSubmit(ctx, sub)
+	var httpErr *HTTPError
+	if !errors.As(err, &httpErr) || httpErr.StatusCode != http.StatusConflict {
+		t.Fatalf("same-window resubmit = %v, want 409", err)
+	}
+	if _, err := client.StreamCloseWindow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.StreamSubmit(ctx, sub); err != nil {
+		t.Fatalf("next-window resubmit: %v", err)
+	}
+
+	// A batch carrying the same object twice is likewise refused (400).
+	dup := Submission{ClientID: "d", Claims: []Claim{{Object: 0, Value: 1}, {Object: 0, Value: 2}}}
+	_, err = client.StreamSubmit(ctx, dup)
+	if !errors.As(err, &httpErr) || httpErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate-object submit = %v, want 400", err)
+	}
+}
+
+// TestParticipateStreamSameWindowGuard checks the device-side half of
+// the contract: the helper refuses to generate a second noisy release
+// while the open window is the one it already submitted into.
+func TestParticipateStreamSameWindowGuard(t *testing.T) {
+	_, client := newStreamFixture(t, StreamServerConfig{
+		Name: "stream-guard",
+		Engine: stream.Config{
+			NumObjects: 1,
+			NumShards:  1,
+			Lambda1:    1,
+			Lambda2:    2,
+			Delta:      0.3,
+		},
+	})
+	ctx := context.Background()
+	u, err := NewUser("dev", []Claim{{Object: 0, Value: 1}}, randx.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.ParticipateStream(ctx, client); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.ParticipateStream(ctx, client); !errors.Is(err, ErrSameWindow) {
+		t.Fatalf("same-window participate = %v, want ErrSameWindow", err)
+	}
+	if _, err := client.StreamCloseWindow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	receipt, err := u.ParticipateStream(ctx, client)
+	if err != nil {
+		t.Fatalf("next-window participate: %v", err)
+	}
+	if receipt.Window != 2 {
+		t.Errorf("receipt window = %d, want 2", receipt.Window)
 	}
 }
 

@@ -54,9 +54,13 @@ func (r *registry) getOrCreate(id string) *userState {
 	return st
 }
 
-// charge debits eps for participating in the given window, once per
-// window per user. With a positive budget the debit is refused (and the
-// submission rejected) when it would exhaust the user's cap.
+// charge debits eps for participating in the given window. The
+// accounting unit is the release unit: each submission is an
+// independently-perturbed release, so the per-window epsilon pays for
+// exactly one of them — a second submission into the same open window is
+// rejected with ErrDuplicateWindow instead of being folded into the
+// statistics for free. With a positive budget the debit is also refused
+// (and the submission rejected) when it would exhaust the user's cap.
 func (r *registry) charge(st *userState, window int, eps, budget float64) error {
 	if eps == 0 {
 		return nil
@@ -64,7 +68,8 @@ func (r *registry) charge(st *userState, window int, eps, budget float64) error 
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if st.lastWindow == window {
-		return nil
+		return fmt.Errorf("%w: user %q already submitted in window %d",
+			ErrDuplicateWindow, st.id, window+1)
 	}
 	if exhausted(st.cumEps, eps, budget) {
 		return fmt.Errorf("%w: user %q spent %.6g of %.6g, next window costs %.6g",
@@ -144,6 +149,15 @@ type PrivacyReport struct {
 	PerUser map[string]float64 `json:"perUser"`
 	// MaxCumulative is the largest per-user cumulative epsilon.
 	MaxCumulative float64 `json:"maxCumulative"`
+	// MaxWindows is the largest number of windows any single user has
+	// been charged for.
+	MaxWindows int `json:"maxWindows"`
+	// CumulativeDelta is the basic-composition delta of the most active
+	// user: MaxWindows * Delta. Delta, like epsilon, composes linearly
+	// across windows, so a user charged for k windows holds at most a
+	// (k*EpsilonPerWindow, k*Delta)-LDP guarantee; any user's own delta
+	// is (their cumulative epsilon / EpsilonPerWindow) * Delta.
+	CumulativeDelta float64 `json:"cumulativeDelta"`
 	// ExhaustedUsers counts users who can no longer afford a window
 	// under the enforced budget.
 	ExhaustedUsers int `json:"exhaustedUsers"`
@@ -163,9 +177,13 @@ func (r *registry) report(eps, delta, budget float64) *PrivacyReport {
 		if st.cumEps > rep.MaxCumulative {
 			rep.MaxCumulative = st.cumEps
 		}
+		if st.windows > rep.MaxWindows {
+			rep.MaxWindows = st.windows
+		}
 		if exhausted(st.cumEps, eps, budget) {
 			rep.ExhaustedUsers++
 		}
 	}
+	rep.CumulativeDelta = float64(rep.MaxWindows) * delta
 	return rep
 }

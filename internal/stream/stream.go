@@ -8,7 +8,11 @@
 // carry over between windows as the warm start of the next estimation,
 // and an optional privacy accountant charges every user's cumulative
 // (epsilon, delta) budget once per window they participate in, so the
-// privacy loss of a long-lived stream is tracked and enforceable.
+// privacy loss of a long-lived stream is tracked and enforceable. The
+// accounting unit matches the release unit: with accounting enabled a
+// user gets exactly one submission per window, with at most one claim
+// per object, and both epsilon and delta compose linearly across the
+// windows a user is charged for.
 //
 // The estimator runs the same CRH update equations as the batch method
 // (truth.CRH): on a closed window with decay disabled and at most one
@@ -38,6 +42,11 @@ var (
 	// ErrBudgetExhausted reports a submission from a user whose cumulative
 	// privacy budget would be exceeded by participating in this window.
 	ErrBudgetExhausted = errors.New("stream: privacy budget exhausted")
+	// ErrDuplicateWindow reports a second submission from the same user
+	// into the same open window while privacy accounting is enabled: each
+	// window's epsilon charge pays for exactly one perturbed release, so
+	// further releases are rejected rather than averaged in for free.
+	ErrDuplicateWindow = errors.New("stream: duplicate submission in window")
 	// ErrEngineClosed reports use of an engine after Close.
 	ErrEngineClosed = errors.New("stream: engine closed")
 	// ErrEmptyWindow reports a window close before any claim ever arrived.
@@ -88,7 +97,10 @@ type Config struct {
 	// accounting is enabled.
 	Lambda2 float64
 	// Delta is the LDP delta each window's epsilon is accounted at;
-	// required in (0, 1) when accounting is enabled.
+	// required in (0, 1) when accounting is enabled. Like epsilon, delta
+	// composes linearly across windows under basic composition: a user
+	// charged for k windows holds a (k*eps, k*Delta)-LDP guarantee (see
+	// PrivacyReport.CumulativeDelta).
 	Delta float64
 	// EpsilonBudget caps each user's cumulative epsilon across windows;
 	// zero tracks spending without enforcing. Submissions that would
@@ -152,8 +164,16 @@ func (c *Config) validate() error {
 		if c.Delta <= 0 || c.Delta >= 1 || math.IsNaN(c.Delta) {
 			return fmt.Errorf("%w: Delta = %v with accounting enabled", ErrBadConfig, c.Delta)
 		}
-	} else if c.EpsilonBudget > 0 {
-		return fmt.Errorf("%w: EpsilonBudget without Lambda1 accounting", ErrBadConfig)
+	} else {
+		// Half-configured accounting is a misconfiguration, not a silent
+		// no-op: a Delta or budget without Lambda1 would publish privacy
+		// parameters while no accounting actually runs.
+		if c.EpsilonBudget > 0 {
+			return fmt.Errorf("%w: EpsilonBudget without Lambda1 accounting", ErrBadConfig)
+		}
+		if c.Delta != 0 {
+			return fmt.Errorf("%w: Delta = %v without Lambda1 accounting", ErrBadConfig, c.Delta)
+		}
 	}
 	return nil
 }
@@ -273,8 +293,18 @@ func (e *Engine) EpsilonBudget() float64 { return e.cfg.EpsilonBudget }
 // the open window the batch joined. The whole batch is accepted or
 // rejected: bad claims fail with ErrBadClaim, and, when a budget is
 // enforced, a user who cannot afford the current window fails with
-// ErrBudgetExhausted. Safe for concurrent use; a batch racing a
-// CloseWindow lands in one window or the next, never split.
+// ErrBudgetExhausted.
+//
+// With privacy accounting enabled the engine enforces the release
+// contract the per-window epsilon is derived for — one perturbed release
+// per (user, object, window): a batch carrying the same object twice
+// fails with ErrBadClaim, and a second batch from the same user inside
+// one open window fails with ErrDuplicateWindow. Without accounting the
+// engine is a plain streaming aggregator and repeat submissions simply
+// fold into the decayed statistics.
+//
+// Safe for concurrent use; a batch racing a CloseWindow lands in one
+// window or the next, never split.
 func (e *Engine) Ingest(user string, claims []Claim) (int, int, error) {
 	if user == "" {
 		return 0, 0, fmt.Errorf("%w: empty user id", ErrBadClaim)
@@ -282,12 +312,22 @@ func (e *Engine) Ingest(user string, claims []Claim) (int, int, error) {
 	if len(claims) == 0 {
 		return 0, 0, fmt.Errorf("%w: empty batch", ErrBadClaim)
 	}
+	var seen map[int]struct{}
+	if e.epsWindow > 0 {
+		seen = make(map[int]struct{}, len(claims))
+	}
 	for _, c := range claims {
 		if c.Object < 0 || c.Object >= e.cfg.NumObjects {
 			return 0, 0, fmt.Errorf("%w: object %d of %d", ErrBadClaim, c.Object, e.cfg.NumObjects)
 		}
 		if math.IsNaN(c.Value) || math.IsInf(c.Value, 0) {
 			return 0, 0, fmt.Errorf("%w: non-finite value for object %d", ErrBadClaim, c.Object)
+		}
+		if seen != nil {
+			if _, dup := seen[c.Object]; dup {
+				return 0, 0, fmt.Errorf("%w: duplicate object %d in batch", ErrBadClaim, c.Object)
+			}
+			seen[c.Object] = struct{}{}
 		}
 	}
 
@@ -407,13 +447,5 @@ func (e *Engine) pauseShards() chan struct{} {
 // eachShardParallel runs fn once per shard on its own goroutine and
 // waits. Callers must have the shards paused.
 func (e *Engine) eachShardParallel(fn func(*shard)) {
-	var wg sync.WaitGroup
-	for _, s := range e.shards {
-		wg.Add(1)
-		go func(s *shard) {
-			defer wg.Done()
-			fn(s)
-		}(s)
-	}
-	wg.Wait()
+	e.eachShardParallelIndexed(func(_ int, s *shard) { fn(s) })
 }

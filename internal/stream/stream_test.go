@@ -33,6 +33,8 @@ func TestConfigValidation(t *testing.T) {
 		{NumObjects: 5, Lambda2: math.Inf(1)},        // bad lambda2 without accounting
 		{NumObjects: 5, Lambda2: -1},                 // bad lambda2 without accounting
 		{NumObjects: 5, Lambda1: 1, Delta: 0.3},      // accounting with lambda2 = 0
+		{NumObjects: 5, Delta: 0.3},                  // delta without accounting
+		{NumObjects: 5, Delta: math.NaN()},           // NaN delta without accounting
 	}
 	for i, cfg := range cases {
 		if _, err := New(cfg); err == nil {
@@ -267,9 +269,11 @@ func TestBudgetEnforcement(t *testing.T) {
 		if window != w+1 {
 			t.Fatalf("ingest reported window %d, want %d", window, w+1)
 		}
-		// A second batch in the same window costs nothing extra.
-		if _, _, err := e.Ingest("alice", claims); err != nil {
-			t.Fatalf("window %d second ingest: %v", w, err)
+		// A second batch in the same window is a second perturbed release;
+		// the accounting unit matches the release unit, so it is rejected
+		// instead of being averaged in for free.
+		if _, _, err := e.Ingest("alice", claims); !errors.Is(err, ErrDuplicateWindow) {
+			t.Fatalf("window %d second ingest = %v, want ErrDuplicateWindow", w, err)
 		}
 		res, err := e.CloseWindow()
 		if err != nil {
@@ -284,6 +288,13 @@ func TestBudgetEnforcement(t *testing.T) {
 		}
 		if res.Privacy.MaxCumulative != res.Privacy.PerUser["alice"] {
 			t.Errorf("MaxCumulative = %v, want %v", res.Privacy.MaxCumulative, res.Privacy.PerUser["alice"])
+		}
+		if res.Privacy.MaxWindows != w+1 {
+			t.Errorf("MaxWindows = %d, want %d", res.Privacy.MaxWindows, w+1)
+		}
+		wantDelta := float64(w+1) * delta
+		if math.Abs(res.Privacy.CumulativeDelta-wantDelta) > 1e-12 {
+			t.Errorf("CumulativeDelta = %v, want %v", res.Privacy.CumulativeDelta, wantDelta)
 		}
 	}
 
@@ -300,6 +311,78 @@ func TestBudgetEnforcement(t *testing.T) {
 	}
 	if res.Privacy.ExhaustedUsers != 1 {
 		t.Errorf("ExhaustedUsers = %d, want 1", res.Privacy.ExhaustedUsers)
+	}
+}
+
+// TestReleaseContract checks that with accounting enabled the engine
+// admits exactly one perturbed release per (user, object, window) — the
+// unit the per-window epsilon is derived for — while without accounting
+// repeat submissions remain a plain aggregation feature.
+func TestReleaseContract(t *testing.T) {
+	acct, err := New(Config{
+		NumObjects: 2,
+		NumShards:  1,
+		Lambda1:    1,
+		Lambda2:    2,
+		Delta:      0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := acct.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	// A batch carrying the same object twice is two releases of one
+	// reading; rejected up front.
+	dup := []Claim{{Object: 0, Value: 1}, {Object: 0, Value: 2}}
+	if _, _, err := acct.Ingest("u", dup); !errors.Is(err, ErrBadClaim) {
+		t.Errorf("duplicate-object batch = %v, want ErrBadClaim", err)
+	}
+
+	claims := []Claim{{Object: 0, Value: 1}, {Object: 1, Value: 2}}
+	if _, _, err := acct.Ingest("u", claims); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := acct.Ingest("u", claims); !errors.Is(err, ErrDuplicateWindow) {
+		t.Errorf("same-window resubmission = %v, want ErrDuplicateWindow", err)
+	}
+	// Another user in the same window is fine, and the same user is
+	// welcome back once the window advances.
+	if _, _, err := acct.Ingest("v", claims); err != nil {
+		t.Errorf("other user rejected: %v", err)
+	}
+	if _, err := acct.CloseWindow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := acct.Ingest("u", claims); err != nil {
+		t.Errorf("next-window resubmission rejected: %v", err)
+	}
+
+	// Without accounting there is no privacy contract to enforce:
+	// repeat submissions fold into the decayed mean.
+	plain, err := New(Config{NumObjects: 2, NumShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := plain.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if _, _, err := plain.Ingest("u", dup); err != nil {
+			t.Fatalf("unaccounted resubmission %d: %v", i, err)
+		}
+	}
+	res, err := plain.CloseWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.5; math.Abs(res.Truths[0]-want) > 1e-12 {
+		t.Errorf("unaccounted mean = %v, want %v", res.Truths[0], want)
 	}
 }
 

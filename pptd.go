@@ -36,7 +36,10 @@
 // workers, fold into exponentially-decayed sufficient statistics, and
 // every window close re-estimates truths and weights incrementally
 // (warm-started from the previous window) while a privacy accountant
-// tracks each user's cumulative (epsilon, delta) spending:
+// tracks each user's cumulative (epsilon, delta) spending — one
+// submission per user per window, so the per-window charge covers
+// exactly one perturbed release and both epsilon and delta compose
+// linearly over a user's windows:
 //
 //	eng, _ := pptd.NewStreamEngine(pptd.StreamConfig{
 //		NumObjects: 30,

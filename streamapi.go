@@ -34,9 +34,18 @@ var (
 	// ErrStreamBudgetExhausted reports a submission from a user whose
 	// cumulative privacy budget would be exceeded.
 	ErrStreamBudgetExhausted = stream.ErrBudgetExhausted
+	// ErrStreamDuplicateWindow reports a second submission from the same
+	// user into one open window while privacy accounting is enabled: the
+	// per-window epsilon pays for exactly one perturbed release.
+	ErrStreamDuplicateWindow = stream.ErrDuplicateWindow
 	// ErrStreamEmptyWindow reports a window close before any claim
 	// arrived.
 	ErrStreamEmptyWindow = stream.ErrEmptyWindow
+	// ErrStreamSameWindow reports a CampaignUser.ParticipateStream call
+	// before the server's window advanced past the user's last
+	// submission; the helper refuses before perturbing so no second
+	// noisy release of the window leaves the device.
+	ErrStreamSameWindow = crowd.ErrSameWindow
 )
 
 // StreamCampaignServer serves a streaming sensing campaign over HTTP:
