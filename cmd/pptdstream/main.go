@@ -9,10 +9,17 @@
 // Usage:
 //
 //	pptdstream -objects 20 -users 50 -windows 5 -shards 4 \
-//	    -lambda1 1.5 -lambda2 2 -delta 0.3 -budget 0 -decay 1 -drift 0.2
+//	    -lambda1 1.5 -lambda2 2 -delta 0.3 -budget 0 -decay 1 -drift 0.2 \
+//	    -state-dir /var/lib/pptd -window-interval 0
 //
 // With -budget > 0 users are cut off once their cumulative epsilon would
 // exceed the cap; the driver reports how many submissions were refused.
+// With -state-dir the in-process server journals every privacy charge
+// (fsync'd before the submission is acknowledged) and snapshots the
+// engine at each window close, so re-running against the same directory
+// resumes cumulative budgets and statistics instead of resetting them.
+// -window-interval additionally closes windows on a ticker, the way a
+// deployment without an external window driver would run.
 package main
 
 import (
@@ -42,18 +49,21 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pptdstream", flag.ContinueOnError)
 	var (
-		objects = fs.Int("objects", 20, "number of micro-tasks (objects)")
-		users   = fs.Int("users", 50, "number of simulated devices")
-		windows = fs.Int("windows", 5, "number of windows to stream")
-		shards  = fs.Int("shards", 0, "engine shards (0 = auto)")
-		lambda1 = fs.Float64("lambda1", 1.5, "simulated sensor quality (error-variance rate)")
-		lambda2 = fs.Float64("lambda2", 2, "perturbation rate released to users")
-		delta   = fs.Float64("delta", 0.3, "LDP delta each window is accounted at")
-		budget  = fs.Float64("budget", 0, "cumulative epsilon cap per user (0 = track only)")
-		decay   = fs.Float64("decay", 1, "per-window retention factor in (0,1]")
-		drift   = fs.Float64("drift", 0.2, "per-window random-walk step of the ground truth")
-		seed    = fs.Uint64("seed", 1, "deterministic seed for the simulated fleet")
-		addr    = fs.String("addr", "", "external streaming server base URL (empty = run one in-process)")
+		objects  = fs.Int("objects", 20, "number of micro-tasks (objects)")
+		users    = fs.Int("users", 50, "number of simulated devices")
+		windows  = fs.Int("windows", 5, "number of windows to stream")
+		shards   = fs.Int("shards", 0, "engine shards (0 = auto)")
+		lambda1  = fs.Float64("lambda1", 1.5, "simulated sensor quality (error-variance rate)")
+		lambda2  = fs.Float64("lambda2", 2, "perturbation rate released to users")
+		delta    = fs.Float64("delta", 0.3, "LDP delta each window is accounted at")
+		budget   = fs.Float64("budget", 0, "cumulative epsilon cap per user (0 = track only)")
+		decay    = fs.Float64("decay", 1, "per-window retention factor in (0,1]")
+		drift    = fs.Float64("drift", 0.2, "per-window random-walk step of the ground truth")
+		seed     = fs.Uint64("seed", 1, "deterministic seed for the simulated fleet")
+		addr     = fs.String("addr", "", "external streaming server base URL (empty = run one in-process)")
+		stateDir = fs.String("state-dir", "", "durable state directory for the in-process server: privacy-ledger journal + engine snapshots (empty = in-memory only)")
+		interval = fs.Duration("window-interval", 0, "auto window-close ticker for the in-process server (0 = driver-closed windows only)")
+		perUser  = fs.Bool("per-user-report", false, "opt the full per-user epsilon map into privacy reports (default: aggregates only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,9 +71,21 @@ func run(args []string, out io.Writer) error {
 	if *windows <= 0 || *users <= 0 {
 		return errors.New("need positive -windows and -users")
 	}
+	if *addr != "" && (*stateDir != "" || *interval != 0) {
+		return errors.New("-state-dir and -window-interval configure the in-process server; they cannot apply to an external -addr")
+	}
 
 	baseURL := *addr
 	if baseURL == "" {
+		var store *pptd.StreamStore
+		if *stateDir != "" {
+			var err error
+			store, err = pptd.OpenStreamStore(*stateDir)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = store.Close() }()
+		}
 		srv, err := pptd.NewStreamCampaignServer(pptd.StreamCampaignServerConfig{
 			Name: "pptdstream",
 			Engine: pptd.StreamConfig{
@@ -74,7 +96,10 @@ func run(args []string, out io.Writer) error {
 				Lambda2:       *lambda2,
 				Delta:         *delta,
 				EpsilonBudget: *budget,
+				PerUserReport: *perUser,
 			},
+			Persistence:    store,
+			WindowInterval: *interval,
 		})
 		if err != nil {
 			return err
@@ -217,8 +242,9 @@ func run(args []string, out io.Writer) error {
 
 	final, err := client.StreamTruths(ctx)
 	if err != nil {
-		var httpErr *pptd.CampaignHTTPError
-		if totalRefused > 0 && errors.As(err, &httpErr) && httpErr.StatusCode == http.StatusConflict {
+		// The server answers 404 (ErrStreamNotReady) while no window has
+		// ever closed; with a starved fleet that is the budget working.
+		if totalRefused > 0 && errors.Is(err, pptd.ErrStreamNotReady) {
 			fmt.Fprintf(out, "stream done: no window ever closed — all %d submissions refused by budget\n", totalRefused)
 			return nil
 		}
@@ -229,7 +255,7 @@ func run(args []string, out io.Writer) error {
 	if final.Privacy != nil {
 		fmt.Fprintf(out, "cumulative privacy: max per-user epsilon %.4f (delta %.4g) over %d windows across %d tracked users\n",
 			final.Privacy.MaxCumulative, final.Privacy.CumulativeDelta,
-			final.Privacy.MaxWindows, len(final.Privacy.PerUser))
+			final.Privacy.MaxWindows, final.Privacy.TrackedUsers)
 	}
 	fmt.Fprintln(out, "the server only ever saw perturbed claims; no original reading left a device.")
 	return nil

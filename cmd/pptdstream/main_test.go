@@ -97,3 +97,60 @@ func TestRunBudgetBelowOneWindow(t *testing.T) {
 		t.Errorf("missing all-refused summary:\n%s", buf.String())
 	}
 }
+
+// TestRunStateDirPersistsBudgets runs the driver twice against the same
+// state directory: the fleet's cumulative epsilon must carry over, so a
+// budget that afforded the first run's windows refuses the rerun's
+// submissions entirely.
+func TestRunStateDirPersistsBudgets(t *testing.T) {
+	acct, err := pptd.NewAccountant(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := pptd.NewMechanism(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := acct.Epsilon(mech, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	args := []string{
+		"-users", "8", "-objects", "4", "-windows", "2",
+		"-budget", fmt.Sprintf("%f", 2.5*eps), // affords exactly two windows
+		"-seed", "9", "-state-dir", dir,
+	}
+
+	var first bytes.Buffer
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "stream done: 2 windows") ||
+		!strings.Contains(first.String(), " 0 submissions refused by budget") {
+		t.Fatalf("first run:\n%s", first.String())
+	}
+
+	// Same fleet, same directory: every device is already at the cap, so
+	// all 8*2 submissions must be refused — the restart did not hand the
+	// budget back. Window numbering continues from the recovered state.
+	var second bytes.Buffer
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	out := second.String()
+	if !strings.Contains(out, "16 submissions refused by budget") {
+		t.Fatalf("second run did not refuse the exhausted fleet:\n%s", out)
+	}
+	if !strings.Contains(out, "stream done: 4 windows") {
+		t.Fatalf("second run did not resume the window counter:\n%s", out)
+	}
+}
+
+// TestRunRejectsStateDirWithExternalAddr checks the flag guard.
+func TestRunRejectsStateDirWithExternalAddr(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", "http://example.invalid", "-state-dir", t.TempDir()}, &buf); err == nil {
+		t.Error("external -addr with -state-dir accepted")
+	}
+}

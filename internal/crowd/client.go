@@ -78,12 +78,13 @@ func (c *Client) Submit(ctx context.Context, sub Submission) (SubmissionReceipt,
 	return receipt, err
 }
 
-// Result fetches the aggregated result; the returned error wraps an
-// *HTTPError with StatusCode 409 while aggregation is pending.
+// Result fetches the aggregated result. While aggregation is pending the
+// server answers 404 and the returned error matches both
+// errors.Is(err, ErrNotReady) and errors.As(err, **HTTPError).
 func (c *Client) Result(ctx context.Context) (ResultInfo, error) {
 	var res ResultInfo
 	err := c.do(ctx, http.MethodGet, PathResult, nil, &res)
-	return res, err
+	return res, notReadyErr(err)
 }
 
 // Aggregate asks the server to aggregate whatever has been submitted.
@@ -107,12 +108,13 @@ func (c *Client) StreamSubmit(ctx context.Context, sub Submission) (StreamReceip
 	return receipt, err
 }
 
-// StreamTruths fetches the latest closed window's estimate; the returned
-// error wraps an *HTTPError with StatusCode 409 until a window closed.
+// StreamTruths fetches the latest closed window's estimate. Until a
+// window closed the server answers 404 and the returned error matches
+// both errors.Is(err, ErrNotReady) and errors.As(err, **HTTPError).
 func (c *Client) StreamTruths(ctx context.Context) (StreamWindowInfo, error) {
 	var info StreamWindowInfo
 	err := c.do(ctx, http.MethodGet, PathStreamTruths, nil, &info)
-	return info, err
+	return info, notReadyErr(err)
 }
 
 // StreamCloseWindow asks the server to close the open window and returns
@@ -121,6 +123,17 @@ func (c *Client) StreamCloseWindow(ctx context.Context) (StreamWindowInfo, error
 	var info StreamWindowInfo
 	err := c.do(ctx, http.MethodPost, PathStreamWindow, nil, &info)
 	return info, err
+}
+
+// notReadyErr surfaces the servers' 404 "nothing to fetch yet" responses
+// as ErrNotReady so pollers can match errors.Is(err, ErrNotReady)
+// instead of inspecting status codes.
+func notReadyErr(err error) error {
+	var httpErr *HTTPError
+	if errors.As(err, &httpErr) && httpErr.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w: %w", ErrNotReady, err)
+	}
+	return err
 }
 
 // do issues one JSON request/response exchange.

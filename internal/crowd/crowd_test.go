@@ -123,8 +123,11 @@ func TestResultBeforeAggregation(t *testing.T) {
 	_, client := newTestServer(t, ServerConfig{NumObjects: 1, Lambda2: 1, Method: testMethod(t)})
 	_, err := client.Result(context.Background())
 	var httpErr *HTTPError
-	if !errors.As(err, &httpErr) || httpErr.StatusCode != 409 {
+	if !errors.As(err, &httpErr) || httpErr.StatusCode != 404 {
 		t.Fatalf("result before aggregation: %v", err)
+	}
+	if !errors.Is(err, ErrNotReady) {
+		t.Fatalf("result before aggregation: %v does not wrap ErrNotReady", err)
 	}
 }
 

@@ -27,7 +27,15 @@
 //     and weights incrementally from the decayed sufficient statistics,
 //     and returns the estimate (409 before any claim ever arrived);
 //   - GET  /v1/stream/truths serves the latest closed window's estimate
-//     as a live snapshot (409 until the first window closes).
+//     as a live snapshot (404 until the first window closes — "not ready"
+//     is a missing resource; 409 is reserved for real conflicts like a
+//     duplicate same-window submission or closing an empty window; the
+//     one-shot GET /v1/result answers pending aggregation with 404 the
+//     same way).
+//
+// Windows close on explicit POST /v1/stream/window, or automatically on
+// a ticker when StreamServerConfig.WindowInterval is set; both paths
+// serialize with each other and with persistence snapshots.
 //
 // Clients keep perturbing locally exactly as in the one-shot flow; the
 // streaming server additionally meters each client's cumulative
@@ -42,6 +50,30 @@
 // (MaxCumulative, CumulativeDelta). User.ParticipateStream honors the
 // one-submission-per-window contract on-device, skipping (ErrSameWindow)
 // before a second noisy release of the same window is even generated.
+//
+// # Privacy reports on the wire
+//
+// Privacy reports ship aggregates only by default (MaxCumulative,
+// MaxWindows, CumulativeDelta, TrackedUsers, ExhaustedUsers): the
+// per-user epsilon map is the complete historical client-ID roster —
+// O(users) to serialize on every window close and truths poll, and
+// participation metadata any poller could harvest. Deployments that want
+// it (trusted dashboards, small fleets) opt in with
+// stream.Config.PerUserReport on StreamServerConfig.Engine.
+//
+// # Durability
+//
+// With StreamServerConfig.Persistence set (an internal/streamstore
+// store), the accounting ledger outlives the process: every accepted
+// charge is appended to an fsync'd journal before the submission receipt
+// is returned, a checksummed engine snapshot is written atomically at
+// every window close (and on graceful Close), and NewStreamServer
+// recovers snapshot-plus-journal on startup. A crash can therefore lose
+// at most the open window's claims — never an acknowledged epsilon
+// charge — and a user who exhausted their budget stays exhausted across
+// restarts. The last published estimate is not persisted: after a
+// restart GET /v1/stream/truths answers 404 until the next window close
+// republishes from the recovered statistics.
 package crowd
 
 import (
@@ -187,8 +219,9 @@ type StreamWindowInfo struct {
 	ActiveUsers  int   `json:"activeUsers"`
 	WindowClaims int64 `json:"windowClaims"`
 	TotalClaims  int64 `json:"totalClaims"`
-	// Privacy summarizes cumulative per-user budget spending; omitted
-	// when accounting is disabled.
+	// Privacy summarizes cumulative budget spending; omitted when
+	// accounting is disabled. It carries aggregates only unless the
+	// engine opted into the per-user map (stream.Config.PerUserReport).
 	Privacy *stream.PrivacyReport `json:"privacy,omitempty"`
 }
 

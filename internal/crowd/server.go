@@ -248,7 +248,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.Result()
 	if errors.Is(err, ErrNotReady) {
-		writeError(w, http.StatusConflict, err.Error())
+		// 404, not 409: a pending result is a missing resource, not a
+		// conflict with the request (cf. the stream server's truths
+		// endpoint). POST /v1/aggregate keeps 409 for "nothing submitted
+		// yet" — there the request itself conflicts with campaign state.
+		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	if err != nil {

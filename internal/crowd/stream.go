@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
+	"time"
 
 	"pptd/internal/stream"
+	"pptd/internal/streamstore"
 )
 
 // StreamServerConfig parameterizes a streaming campaign server.
@@ -16,6 +19,20 @@ type StreamServerConfig struct {
 	// Engine configures the underlying truth-discovery stream engine
 	// (objects, shards, decay, privacy accounting, ...).
 	Engine stream.Config
+	// Persistence, when set, makes the server durable: the engine is
+	// recovered on startup from the store's latest snapshot plus ledger
+	// journal replay, every privacy charge is journaled through the
+	// store before the submission is acknowledged (unless Engine.Ledger
+	// was set explicitly), and a full engine snapshot is written at
+	// every window close and on graceful Close. The caller opens the
+	// store and keeps ownership: Close the server first, then the store.
+	Persistence *streamstore.Store
+	// WindowInterval, when positive, closes windows automatically on a
+	// ticker so a deployment does not depend on an external
+	// POST /v1/stream/window driver. Ticks on an empty window are
+	// skipped. Auto closes serialize with manual closes and with
+	// persistence snapshots.
+	WindowInterval time.Duration
 }
 
 // StreamServer is the streaming counterpart of Server: instead of one
@@ -26,24 +43,123 @@ type StreamServerConfig struct {
 type StreamServer struct {
 	name   string
 	engine *stream.Engine
+	store  *streamstore.Store
+
+	// windowMu serializes window closes — manual, ticker-driven, and the
+	// persistence snapshot that follows each — so a snapshot always
+	// captures the state its window close produced.
+	windowMu sync.Mutex
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	tickMu  sync.Mutex
+	tickErr error
 }
 
-// NewStreamServer starts a streaming campaign server. Close it to stop
-// the engine's shard workers.
+// NewStreamServer starts a streaming campaign server. With persistence
+// configured it first recovers the engine state (snapshot plus journal
+// replay), so returning users keep their cumulative privacy spending and
+// the estimator resumes from its persisted sufficient statistics. Close
+// it to stop the window ticker and the engine's shard workers.
 func NewStreamServer(cfg StreamServerConfig) (*StreamServer, error) {
+	if cfg.WindowInterval < 0 {
+		return nil, fmt.Errorf("%w: WindowInterval = %v", ErrBadConfig, cfg.WindowInterval)
+	}
+	var state *stream.EngineState
+	if cfg.Persistence != nil {
+		st, err := cfg.Persistence.LoadState()
+		if err != nil {
+			return nil, fmt.Errorf("crowd: stream server: recover state: %w", err)
+		}
+		state = st
+		if cfg.Engine.Ledger == nil && cfg.Engine.Lambda1 > 0 {
+			cfg.Engine.Ledger = cfg.Persistence
+		}
+	}
 	eng, err := stream.New(cfg.Engine)
 	if err != nil {
 		return nil, fmt.Errorf("crowd: stream server: %w", err)
 	}
-	return &StreamServer{name: cfg.Name, engine: eng}, nil
+	if state != nil {
+		if err := eng.Restore(state); err != nil {
+			_ = eng.Close()
+			return nil, fmt.Errorf("crowd: stream server: restore state: %w", err)
+		}
+	}
+	s := &StreamServer{name: cfg.Name, engine: eng, store: cfg.Persistence}
+	if cfg.WindowInterval > 0 {
+		s.stop = make(chan struct{})
+		s.wg.Add(1)
+		go s.autoCloseLoop(cfg.WindowInterval)
+	}
+	return s, nil
+}
+
+// autoCloseLoop closes windows on the configured interval until Close.
+func (s *StreamServer) autoCloseLoop(interval time.Duration) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			// An empty window just means no traffic this tick, and a
+			// closed engine means shutdown is racing the ticker; neither
+			// stops the loop. Anything else — above all a failed
+			// persistence snapshot — must not vanish silently: it is
+			// retained for TickError and returned from Close.
+			_, err := s.CloseWindow()
+			if errors.Is(err, stream.ErrEmptyWindow) || errors.Is(err, stream.ErrEngineClosed) {
+				continue
+			}
+			s.tickMu.Lock()
+			s.tickErr = err // nil on success: a good tick clears the fault
+			s.tickMu.Unlock()
+		}
+	}
+}
+
+// TickError returns the most recent unexpected error from a
+// ticker-driven window close (nil when the last effective tick
+// succeeded). With persistence configured this is how a deployment
+// notices that snapshots have started failing — e.g. a full disk —
+// before a crash makes the stale snapshot matter.
+func (s *StreamServer) TickError() error {
+	s.tickMu.Lock()
+	defer s.tickMu.Unlock()
+	return s.tickErr
 }
 
 // Engine exposes the underlying stream engine (for embedding servers
 // that drive window closes themselves).
 func (s *StreamServer) Engine() *stream.Engine { return s.engine }
 
-// Close stops the engine's shard workers.
-func (s *StreamServer) Close() error { return s.engine.Close() }
+// Close stops the window ticker, persists a final snapshot when a store
+// is configured (so a graceful shutdown loses not even the open window's
+// statistics), and stops the engine's shard workers. It does not close
+// the store itself — the caller that opened it does.
+func (s *StreamServer) Close() error {
+	if s.stop != nil {
+		s.stopOnce.Do(func() { close(s.stop) })
+		s.wg.Wait()
+	}
+	s.windowMu.Lock()
+	defer s.windowMu.Unlock()
+	var snapErr error
+	if s.store != nil {
+		if err := s.store.SnapshotEngine(s.engine); err != nil && !errors.Is(err, stream.ErrEngineClosed) {
+			snapErr = fmt.Errorf("crowd: final stream snapshot: %w", err)
+		}
+	}
+	if err := s.engine.Close(); err != nil {
+		return err
+	}
+	return errors.Join(snapErr, s.TickError())
+}
 
 // Handler returns the HTTP handler serving the streaming campaign API.
 func (s *StreamServer) Handler() http.Handler {
@@ -87,11 +203,26 @@ func (s *StreamServer) Submit(sub Submission) (StreamReceipt, error) {
 	}, nil
 }
 
-// CloseWindow closes the current window and returns its estimate.
+// CloseWindow closes the current window and returns its estimate. With
+// persistence configured, a fresh engine snapshot is written before the
+// result is returned; a snapshot failure is reported as an error even
+// though the window already closed (the estimate stays available via
+// Truths, and the ledger journal still covers every charge until the
+// next snapshot succeeds).
 func (s *StreamServer) CloseWindow() (StreamWindowInfo, error) {
+	s.windowMu.Lock()
+	defer s.windowMu.Unlock()
 	res, err := s.engine.CloseWindow()
 	if err != nil {
 		return StreamWindowInfo{}, err
+	}
+	if s.store != nil {
+		// SnapshotEngine captures the journal offset before exporting, so
+		// a submission acknowledged while the snapshot is being written
+		// keeps its journal record through the compaction.
+		if err := s.store.SnapshotEngine(s.engine); err != nil {
+			return StreamWindowInfo{}, fmt.Errorf("crowd: write stream snapshot: %w", err)
+		}
 	}
 	return windowInfo(res), nil
 }
@@ -172,7 +303,10 @@ func (s *StreamServer) handleTruths(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.Truths()
 	if errors.Is(err, ErrNotReady) {
-		writeError(w, http.StatusConflict, err.Error())
+		// 404, not 409: "no estimate exists yet" is a missing resource,
+		// while 409 is reserved for real conflicts (duplicate submission
+		// in a window, closing an empty window).
+		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	if err != nil {

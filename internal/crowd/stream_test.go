@@ -9,9 +9,11 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"pptd/internal/randx"
 	"pptd/internal/stream"
+	"pptd/internal/streamstore"
 )
 
 func newStreamFixture(t *testing.T, cfg StreamServerConfig) (*StreamServer, *Client) {
@@ -69,13 +71,17 @@ func TestStreamEndToEnd(t *testing.T) {
 		t.Fatalf("EpsilonPerWindow = %v, want > 0", info.EpsilonPerWindow)
 	}
 
-	// Snapshot is 409 until the first window closes.
+	// Snapshot is 404 (ErrNotReady) until the first window closes: "no
+	// estimate yet" is a missing resource, not a conflict.
 	if _, err := client.StreamTruths(ctx); err == nil {
 		t.Fatal("StreamTruths before first window succeeded")
 	} else {
 		var httpErr *HTTPError
-		if !errors.As(err, &httpErr) || httpErr.StatusCode != http.StatusConflict {
+		if !errors.As(err, &httpErr) || httpErr.StatusCode != http.StatusNotFound {
 			t.Fatalf("StreamTruths before first window: %v", err)
+		}
+		if !errors.Is(err, ErrNotReady) {
+			t.Fatalf("StreamTruths before first window: %v does not wrap ErrNotReady", err)
 		}
 	}
 
@@ -331,5 +337,266 @@ func TestStreamBadRequests(t *testing.T) {
 	var httpErr *HTTPError
 	if !errors.As(err, &httpErr) || httpErr.StatusCode != http.StatusConflict {
 		t.Errorf("empty CloseWindow = %v, want 409", err)
+	}
+}
+
+// TestStreamServerRecovery restarts a persistent streaming server and
+// checks the durable guarantees across the full HTTP path: the window
+// counter resumes, a budget-exhausted client stays 429, truths are 404
+// until the next close republishes from the recovered statistics, and
+// fresh clients keep streaming.
+func TestStreamServerRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := func(store *streamstore.Store) StreamServerConfig {
+		return StreamServerConfig{
+			Name: "stream-recover",
+			Engine: stream.Config{
+				NumObjects: 2,
+				NumShards:  2,
+				Lambda1:    1,
+				Lambda2:    2,
+				Delta:      0.3,
+			},
+			Persistence: store,
+		}
+	}
+	store, err := streamstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg(store)
+	probe, err := stream.New(c.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := probe.EpsilonPerWindow()
+	if err := probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine.EpsilonBudget = 1.5 * eps // affords exactly one window
+
+	srv1, err := NewStreamServer(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	client1, err := NewClient(ts1.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sub := Submission{ClientID: "cap", Claims: []Claim{{Object: 0, Value: 1}, {Object: 1, Value: 2}}}
+	if _, err := client1.StreamSubmit(ctx, sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client1.StreamCloseWindow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The first "process" dies (gracefully here; the crash path is
+	// exercised in internal/streamstore's recovery tests).
+	ts1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := streamstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = store2.Close() })
+	c2 := cfg(store2)
+	c2.Engine.EpsilonBudget = 1.5 * eps
+	srv2, err := NewStreamServer(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		if err := srv2.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	client2, err := NewClient(ts2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := client2.StreamCampaign(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Window != 1 || info.TotalClaims != 2 {
+		t.Errorf("recovered campaign = window %d / %d claims, want 1 / 2", info.Window, info.TotalClaims)
+	}
+	// The last published estimate is not persisted: 404 until a close.
+	if _, err := client2.StreamTruths(ctx); !errors.Is(err, ErrNotReady) {
+		t.Errorf("truths right after recovery = %v, want ErrNotReady", err)
+	}
+	// The exhausted client is still refused across the restart.
+	_, err = client2.StreamSubmit(ctx, sub)
+	var httpErr *HTTPError
+	if !errors.As(err, &httpErr) || httpErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("exhausted client after restart = %v, want 429", err)
+	}
+	// A fresh client keeps the stream going, and the close re-publishes
+	// truths from the recovered statistics (cap's window-1 claims are
+	// still in the estimate).
+	fresh := Submission{ClientID: "fresh", Claims: []Claim{{Object: 0, Value: 3}}}
+	if _, err := client2.StreamSubmit(ctx, fresh); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client2.StreamCloseWindow(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Window != 2 {
+		t.Errorf("window after recovery close = %d, want 2", res.Window)
+	}
+	if !res.Covered[1] {
+		t.Error("object 1 lost across restart: only cap ever claimed it")
+	}
+	if res.Privacy == nil || res.Privacy.TrackedUsers != 2 {
+		t.Errorf("privacy after recovery = %+v, want 2 tracked users", res.Privacy)
+	}
+}
+
+// TestStreamAutoWindowClose checks the ticker-driven window close: with
+// WindowInterval set, truths appear without any POST /v1/stream/window.
+func TestStreamAutoWindowClose(t *testing.T) {
+	_, client := newStreamFixture(t, StreamServerConfig{
+		Name: "stream-ticker",
+		Engine: stream.Config{
+			NumObjects: 1,
+			NumShards:  1,
+		},
+		WindowInterval: 10 * time.Millisecond,
+	})
+	ctx := context.Background()
+	if _, err := client.StreamSubmit(ctx, Submission{
+		ClientID: "c", Claims: []Claim{{Object: 0, Value: 4}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		info, err := client.StreamTruths(ctx)
+		if err == nil {
+			if info.Window < 1 || info.Truths[0] != 4 {
+				t.Fatalf("auto-closed snapshot = %+v", info)
+			}
+			return
+		}
+		if !errors.Is(err, ErrNotReady) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no window auto-closed within the deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStreamPerUserReportOptInOverHTTP checks the wire default: privacy
+// reports carry aggregates only, and the per-user map appears only when
+// the engine opted in.
+func TestStreamPerUserReportOptInOverHTTP(t *testing.T) {
+	base := stream.Config{
+		NumObjects: 1,
+		NumShards:  1,
+		Lambda1:    1,
+		Lambda2:    2,
+		Delta:      0.3,
+	}
+	_, summary := newStreamFixture(t, StreamServerConfig{Name: "summary", Engine: base})
+	optCfg := base
+	optCfg.PerUserReport = true
+	_, optIn := newStreamFixture(t, StreamServerConfig{Name: "opt-in", Engine: optCfg})
+
+	ctx := context.Background()
+	sub := Submission{ClientID: "c", Claims: []Claim{{Object: 0, Value: 1}}}
+	for _, client := range []*Client{summary, optIn} {
+		if _, err := client.StreamSubmit(ctx, sub); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.StreamCloseWindow(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := summary.StreamTruths(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Privacy == nil {
+		t.Fatal("summary report missing")
+	}
+	if res.Privacy.PerUser != nil {
+		t.Errorf("default wire report leaked the per-user roster: %v", res.Privacy.PerUser)
+	}
+	if res.Privacy.TrackedUsers != 1 || res.Privacy.MaxCumulative <= 0 {
+		t.Errorf("summary aggregates = %+v", res.Privacy)
+	}
+
+	res, err = optIn.StreamTruths(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Privacy == nil || len(res.Privacy.PerUser) != 1 || res.Privacy.PerUser["c"] <= 0 {
+		t.Errorf("opt-in wire report = %+v, want c's epsilon", res.Privacy)
+	}
+}
+
+// TestStreamServerConfigValidation checks server-level config errors.
+func TestStreamServerConfigValidation(t *testing.T) {
+	if _, err := NewStreamServer(StreamServerConfig{
+		Engine:         stream.Config{NumObjects: 1},
+		WindowInterval: -time.Second,
+	}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative WindowInterval = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestTickErrorSurfacesSnapshotFailure checks that a ticker-driven
+// window close whose persistence snapshot fails does not vanish: the
+// fault is retained for TickError and returned from Close.
+func TestTickErrorSurfacesSnapshotFailure(t *testing.T) {
+	dir := t.TempDir()
+	store, err := streamstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewStreamServer(StreamServerConfig{
+		Name:           "stream-tick-err",
+		Engine:         stream.Config{NumObjects: 1, NumShards: 1},
+		Persistence:    store,
+		WindowInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(Submission{ClientID: "c", Claims: []Claim{{Object: 0, Value: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	// The store dies under the server (stand-in for a full disk): every
+	// subsequent auto close must fail its snapshot.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.TickError() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot failure never surfaced via TickError")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !errors.Is(srv.TickError(), streamstore.ErrClosed) {
+		t.Errorf("TickError = %v, want wrapped streamstore.ErrClosed", srv.TickError())
+	}
+	if err := srv.Close(); !errors.Is(err, streamstore.ErrClosed) {
+		t.Errorf("Close = %v, want the retained snapshot failure", err)
 	}
 }

@@ -26,7 +26,9 @@ type userState struct {
 // ID-minting) client could reset their privacy budget by going idle.
 // Memory therefore grows with the number of distinct client IDs ever
 // seen; deployments exposed to untrusted ID churn should bound it
-// upstream (auth/quota), and a spill-to-disk ledger is a roadmap item.
+// upstream (auth/quota). The durable ledger (Config.Ledger plus
+// internal/streamstore snapshots) makes budgets survive restarts, but
+// evicting idle in-memory entries against it remains a roadmap item.
 type registry struct {
 	mu     sync.Mutex
 	byID   map[string]*userState
@@ -61,24 +63,41 @@ func (r *registry) getOrCreate(id string) *userState {
 // rejected with ErrDuplicateWindow instead of being folded into the
 // statistics for free. With a positive budget the debit is also refused
 // (and the submission rejected) when it would exhaust the user's cap.
-func (r *registry) charge(st *userState, window int, eps, budget float64) error {
+// On success it returns the user's previous lastWindow so a failed
+// durable-ledger append can roll the debit back with uncharge.
+func (r *registry) charge(st *userState, window int, eps, budget float64) (int, error) {
 	if eps == 0 {
-		return nil
+		return 0, nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if st.lastWindow == window {
-		return fmt.Errorf("%w: user %q already submitted in window %d",
+		return 0, fmt.Errorf("%w: user %q already submitted in window %d",
 			ErrDuplicateWindow, st.id, window+1)
 	}
 	if exhausted(st.cumEps, eps, budget) {
-		return fmt.Errorf("%w: user %q spent %.6g of %.6g, next window costs %.6g",
+		return 0, fmt.Errorf("%w: user %q spent %.6g of %.6g, next window costs %.6g",
 			ErrBudgetExhausted, st.id, st.cumEps, budget, eps)
 	}
+	prev := st.lastWindow
 	st.cumEps += eps
 	st.lastWindow = window
 	st.windows++
-	return nil
+	return prev, nil
+}
+
+// uncharge reverts a charge whose ledger record could not be made
+// durable: without the record on disk the release must not be admitted,
+// or a crash would hand the user the epsilon back.
+func (r *registry) uncharge(st *userState, eps float64, prevLastWindow int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st.cumEps -= eps
+	if st.cumEps < 0 {
+		st.cumEps = 0
+	}
+	st.lastWindow = prevLastWindow
+	st.windows--
 }
 
 // exhausted reports whether spending eps for one more window would push
@@ -136,8 +155,52 @@ func (r *registry) ids() []string {
 	return out
 }
 
+// export copies every user's persistent bookkeeping in registration
+// order (the dense index order stats are stored under).
+func (r *registry) export() []UserSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]UserSnapshot, len(r.states))
+	for i, st := range r.states {
+		out[i] = UserSnapshot{
+			ID:                st.id,
+			Carry:             st.carry,
+			CumulativeEpsilon: st.cumEps,
+			LastWindow:        st.lastWindow,
+			Windows:           st.windows,
+		}
+	}
+	return out
+}
+
+// restore populates an empty registry from exported snapshots, keeping
+// their order so restored stats can keep referencing users by index.
+func (r *registry) restore(users []UserSnapshot) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.states) != 0 {
+		return fmt.Errorf("%w: registry already holds %d users", ErrBadState, len(r.states))
+	}
+	for _, u := range users {
+		st := &userState{
+			idx:        len(r.states),
+			id:         u.ID,
+			carry:      u.Carry,
+			cumEps:     u.CumulativeEpsilon,
+			lastWindow: u.LastWindow,
+			windows:    u.Windows,
+		}
+		r.byID[u.ID] = st
+		r.states = append(r.states, st)
+	}
+	return nil
+}
+
 // PrivacyReport summarizes the stream's cumulative privacy spending at a
-// window boundary.
+// window boundary. By default it carries aggregates only: the per-user
+// map is the full historical client-ID roster — O(users) to build per
+// report and participation metadata any poller could harvest — so it is
+// opt-in via Config.PerUserReport.
 type PrivacyReport struct {
 	// EpsilonPerWindow is the epsilon charged for one window of
 	// participation; Delta is the LDP delta it is accounted at.
@@ -145,8 +208,13 @@ type PrivacyReport struct {
 	Delta            float64 `json:"delta"`
 	// Budget is the enforced cumulative cap (0 = tracking only).
 	Budget float64 `json:"budget"`
-	// PerUser maps client IDs to cumulative epsilon spent so far.
-	PerUser map[string]float64 `json:"perUser"`
+	// PerUser maps client IDs to cumulative epsilon spent so far. It is
+	// nil (and absent on the wire) unless Config.PerUserReport opted in:
+	// the roster of every client ID ever seen is participation metadata
+	// that summary aggregates deliberately do not expose.
+	PerUser map[string]float64 `json:"perUser,omitempty"`
+	// TrackedUsers counts the distinct client IDs ever charged.
+	TrackedUsers int `json:"trackedUsers"`
 	// MaxCumulative is the largest per-user cumulative epsilon.
 	MaxCumulative float64 `json:"maxCumulative"`
 	// MaxWindows is the largest number of windows any single user has
@@ -163,17 +231,22 @@ type PrivacyReport struct {
 	ExhaustedUsers int `json:"exhaustedUsers"`
 }
 
-func (r *registry) report(eps, delta, budget float64) *PrivacyReport {
+func (r *registry) report(eps, delta, budget float64, perUser bool) *PrivacyReport {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rep := &PrivacyReport{
 		EpsilonPerWindow: eps,
 		Delta:            delta,
 		Budget:           budget,
-		PerUser:          make(map[string]float64, len(r.states)),
+		TrackedUsers:     len(r.states),
+	}
+	if perUser {
+		rep.PerUser = make(map[string]float64, len(r.states))
 	}
 	for _, st := range r.states {
-		rep.PerUser[st.id] = st.cumEps
+		if perUser {
+			rep.PerUser[st.id] = st.cumEps
+		}
 		if st.cumEps > rep.MaxCumulative {
 			rep.MaxCumulative = st.cumEps
 		}

@@ -1,0 +1,273 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadState reports an EngineState that cannot be restored: it is
+// internally inconsistent, references unknown users or out-of-range
+// objects, or the target engine already holds state.
+var ErrBadState = errors.New("stream: invalid engine state")
+
+// ErrLedger reports a failed durable append to the configured privacy
+// ledger. The submission that triggered it was NOT accepted and the
+// in-memory charge was rolled back: the engine never acknowledges a
+// release whose ledger record is not on disk.
+var ErrLedger = errors.New("stream: privacy ledger append failed")
+
+// ChargeRecord is one privacy-ledger entry: user was charged Epsilon for
+// participating in the (0-based) open window Window. The journal of
+// these records is what makes cumulative budgets survive a crash between
+// snapshots.
+type ChargeRecord struct {
+	User    string  `json:"user"`
+	Window  int     `json:"window"`
+	Epsilon float64 `json:"epsilon"`
+}
+
+// Ledger is the durable privacy ledger the engine appends to when
+// configured (Config.Ledger). AppendCharge is called once per accepted
+// (user, window) charge and must not return until the record is durable:
+// Ingest only acknowledges a submission after the append succeeds, and
+// rolls the in-memory charge back if it fails. Implementations must be
+// safe for concurrent use; internal/streamstore provides the standard
+// fsync'd file journal.
+type Ledger interface {
+	AppendCharge(rec ChargeRecord) error
+}
+
+// UserSnapshot is one user's persisted bookkeeping: the carried weight
+// warm-starting the next window and the cumulative privacy spending.
+type UserSnapshot struct {
+	ID string `json:"id"`
+	// Carry is the weight carried into the next window's estimation.
+	Carry float64 `json:"carry"`
+	// CumulativeEpsilon is the total epsilon charged so far.
+	CumulativeEpsilon float64 `json:"cumulativeEpsilon"`
+	// LastWindow is the 0-based index of the last window the user was
+	// charged for (-1 if never charged).
+	LastWindow int `json:"lastWindow"`
+	// Windows is the number of windows the user was charged for.
+	Windows int `json:"windows"`
+}
+
+// StatSnapshot is one persisted (object, user) sufficient statistic:
+// the decayed sum of claimed values and the decayed claim mass.
+type StatSnapshot struct {
+	Object int     `json:"object"`
+	User   string  `json:"user"`
+	Sum    float64 `json:"sum"`
+	Mass   float64 `json:"mass"`
+}
+
+// EngineState is a point-in-time export of everything a streaming engine
+// needs to resume after a restart: the window counter, claim counters,
+// every user's carry weight and budget state, and the live sufficient
+// statistics. It is a plain serializable value with deterministic
+// ordering (users by registration order, stats by (object, user)).
+type EngineState struct {
+	// NumObjects records the object space the state was exported from;
+	// a restore only requires the target engine to cover every object
+	// actually present in Stats, so the space may grow across restarts.
+	NumObjects int `json:"numObjects"`
+	// Window is the number of closed windows (equivalently the 0-based
+	// index of the open window) at export time.
+	Window int `json:"window"`
+	// WindowClaims counts claims ingested into the open window so far;
+	// TotalClaims counts the whole stream.
+	WindowClaims int64 `json:"windowClaims"`
+	TotalClaims  int64 `json:"totalClaims"`
+	// Users holds per-user carry and budget state in registration order.
+	Users []UserSnapshot `json:"users"`
+	// Stats holds the live sufficient statistics.
+	Stats []StatSnapshot `json:"stats"`
+}
+
+// ReplayCharges folds journaled charge records into the state's per-user
+// budgets, creating users the snapshot has never seen. Replay is
+// idempotent against the snapshot and against duplicated records: a
+// record for a window the user was already charged for (its window is
+// <= the user's LastWindow) is skipped, so a journal that overlaps the
+// snapshot — or is strictly newer than it — recovers the same budgets.
+// It returns the number of records applied.
+func (st *EngineState) ReplayCharges(recs []ChargeRecord) int {
+	byID := make(map[string]int, len(st.Users))
+	for i, u := range st.Users {
+		byID[u.ID] = i
+	}
+	applied := 0
+	for _, rec := range recs {
+		if rec.User == "" || rec.Window < 0 ||
+			rec.Epsilon <= 0 || math.IsNaN(rec.Epsilon) || math.IsInf(rec.Epsilon, 0) {
+			continue
+		}
+		i, ok := byID[rec.User]
+		if !ok {
+			i = len(st.Users)
+			byID[rec.User] = i
+			st.Users = append(st.Users, UserSnapshot{
+				ID:         rec.User,
+				Carry:      1, // the uniform batch initialization
+				LastWindow: -1,
+			})
+		}
+		u := &st.Users[i]
+		if rec.Window <= u.LastWindow {
+			continue // already accounted by the snapshot or an earlier record
+		}
+		u.CumulativeEpsilon += rec.Epsilon
+		u.LastWindow = rec.Window
+		u.Windows++
+		applied++
+	}
+	return applied
+}
+
+// ExportState captures a consistent point-in-time state of the engine:
+// it quiesces ingestion (taking the window lock exclusively and pausing
+// the shards) and copies the window counter, claim counters, user
+// registry, and every live sufficient statistic. The returned state is
+// independent of the engine and safe to serialize.
+func (e *Engine) ExportState() (*EngineState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
+	release := e.pauseShards()
+	defer close(release)
+
+	st := &EngineState{
+		NumObjects:   e.cfg.NumObjects,
+		Window:       e.window,
+		WindowClaims: e.windowClaims.Load(),
+		TotalClaims:  e.totalClaims.Load(),
+		Users:        e.users.export(),
+	}
+	ids := e.users.ids()
+	for _, s := range e.shards {
+		for obj, users := range s.stats {
+			for user, stat := range users {
+				st.Stats = append(st.Stats, StatSnapshot{
+					Object: obj,
+					User:   ids[user],
+					Sum:    stat.sum,
+					Mass:   stat.mass,
+				})
+			}
+		}
+	}
+	sort.Slice(st.Stats, func(i, j int) bool {
+		if st.Stats[i].Object != st.Stats[j].Object {
+			return st.Stats[i].Object < st.Stats[j].Object
+		}
+		return st.Stats[i].User < st.Stats[j].User
+	})
+	return st, nil
+}
+
+// Restore loads an exported state into a freshly constructed engine
+// (before any ingestion): the user registry, budget spending, carry
+// weights, window counter, and sufficient statistics all resume exactly
+// where the export left off, so the next closed window matches what the
+// uninterrupted engine would have produced over the same claims. The
+// shard count may differ from the exporting engine's — statistics are
+// re-partitioned — and the open window resumes at the exported counter,
+// advanced past any journal-replayed charge so duplicate-submission
+// checks keep holding after recovery.
+//
+// The last closed window's published result is not part of the state:
+// Snapshot returns nil after a restore until the next window closes.
+func (e *Engine) Restore(st *EngineState) error {
+	if st == nil {
+		return fmt.Errorf("%w: nil state", ErrBadState)
+	}
+	if err := validateState(st, e.cfg.NumObjects); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	if e.window != 0 || e.totalClaims.Load() != 0 || e.users.count() != 0 {
+		return fmt.Errorf("%w: engine already holds state", ErrBadState)
+	}
+	if err := e.users.restore(st.Users); err != nil {
+		return err
+	}
+
+	release := e.pauseShards()
+	defer close(release)
+	byID := make(map[string]int, len(st.Users))
+	for i, u := range st.Users {
+		byID[u.ID] = i
+	}
+	for _, sn := range st.Stats {
+		idx := byID[sn.User] // validated above
+		s := e.shards[sn.Object%len(e.shards)]
+		users := s.stats[sn.Object]
+		if users == nil {
+			users = make(map[int]*stat)
+			s.stats[sn.Object] = users
+		}
+		users[idx] = &stat{sum: sn.Sum, mass: sn.Mass}
+	}
+
+	// Resume at the exported open window, or past it if journal replay
+	// recorded charges for later windows than the snapshot knew about
+	// (the charge proves the release happened; re-admitting its user
+	// into an earlier window would break the duplicate guard).
+	e.window = st.Window
+	for _, u := range st.Users {
+		if u.LastWindow > e.window {
+			e.window = u.LastWindow
+		}
+	}
+	e.windowClaims.Store(st.WindowClaims)
+	e.totalClaims.Store(st.TotalClaims)
+	return nil
+}
+
+// validateState checks an EngineState before restoring into an engine
+// with numObjects objects.
+func validateState(st *EngineState, numObjects int) error {
+	if st.Window < 0 || st.WindowClaims < 0 || st.TotalClaims < 0 {
+		return fmt.Errorf("%w: negative counters (window=%d windowClaims=%d totalClaims=%d)",
+			ErrBadState, st.Window, st.WindowClaims, st.TotalClaims)
+	}
+	seen := make(map[string]struct{}, len(st.Users))
+	for i, u := range st.Users {
+		switch {
+		case u.ID == "":
+			return fmt.Errorf("%w: user %d has empty id", ErrBadState, i)
+		case !finite(u.Carry) || u.Carry < 0:
+			return fmt.Errorf("%w: user %q carry = %v", ErrBadState, u.ID, u.Carry)
+		case !finite(u.CumulativeEpsilon) || u.CumulativeEpsilon < 0:
+			return fmt.Errorf("%w: user %q cumulative epsilon = %v", ErrBadState, u.ID, u.CumulativeEpsilon)
+		case u.LastWindow < -1 || u.Windows < 0:
+			return fmt.Errorf("%w: user %q lastWindow=%d windows=%d", ErrBadState, u.ID, u.LastWindow, u.Windows)
+		}
+		if _, dup := seen[u.ID]; dup {
+			return fmt.Errorf("%w: duplicate user %q", ErrBadState, u.ID)
+		}
+		seen[u.ID] = struct{}{}
+	}
+	for _, sn := range st.Stats {
+		switch {
+		case sn.Object < 0 || sn.Object >= numObjects:
+			return fmt.Errorf("%w: stat object %d of %d", ErrBadState, sn.Object, numObjects)
+		case !finite(sn.Sum) || !finite(sn.Mass) || sn.Mass <= 0:
+			return fmt.Errorf("%w: stat (%d, %q) sum=%v mass=%v", ErrBadState, sn.Object, sn.User, sn.Sum, sn.Mass)
+		}
+		if _, ok := seen[sn.User]; !ok {
+			return fmt.Errorf("%w: stat for unknown user %q", ErrBadState, sn.User)
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -107,6 +107,19 @@ type Config struct {
 	// start a new window past the cap are rejected with
 	// ErrBudgetExhausted.
 	EpsilonBudget float64
+	// PerUserReport opts the full per-user cumulative-epsilon map into
+	// every PrivacyReport. Off by default: the map is the complete
+	// historical client-ID roster — O(users) work per report and
+	// participation metadata for any poller — so reports normally carry
+	// aggregates only (MaxCumulative, MaxWindows, CumulativeDelta,
+	// TrackedUsers, ExhaustedUsers). Requires accounting (Lambda1 > 0).
+	PerUserReport bool
+	// Ledger, when set, is the durable privacy ledger: every accepted
+	// (user, window) charge is appended — and must be durable — before
+	// Ingest acknowledges the submission, so cumulative budgets survive
+	// a crash. An append failure rolls the in-memory charge back and the
+	// submission fails with ErrLedger. Requires accounting (Lambda1 > 0).
+	Ledger Ledger
 }
 
 func (c *Config) validate() error {
@@ -173,6 +186,12 @@ func (c *Config) validate() error {
 		}
 		if c.Delta != 0 {
 			return fmt.Errorf("%w: Delta = %v without Lambda1 accounting", ErrBadConfig, c.Delta)
+		}
+		if c.PerUserReport {
+			return fmt.Errorf("%w: PerUserReport without Lambda1 accounting", ErrBadConfig)
+		}
+		if c.Ledger != nil {
+			return fmt.Errorf("%w: Ledger without Lambda1 accounting", ErrBadConfig)
 		}
 	}
 	return nil
@@ -337,8 +356,20 @@ func (e *Engine) Ingest(user string, claims []Claim) (int, int, error) {
 		return 0, 0, ErrEngineClosed
 	}
 	st := e.users.getOrCreate(user)
-	if err := e.users.charge(st, e.window, e.epsWindow, e.cfg.EpsilonBudget); err != nil {
+	prevWindow, err := e.users.charge(st, e.window, e.epsWindow, e.cfg.EpsilonBudget)
+	if err != nil {
 		return 0, 0, err
+	}
+	if e.epsWindow > 0 && e.cfg.Ledger != nil {
+		// The ledger record must be durable before the submission is
+		// acknowledged: a crash after the ack but before the append would
+		// hand the user their epsilon back on recovery. A failed append
+		// therefore rejects the submission and reverts the charge.
+		rec := ChargeRecord{User: user, Window: e.window, Epsilon: e.epsWindow}
+		if err := e.cfg.Ledger.AppendCharge(rec); err != nil {
+			e.users.uncharge(st, e.epsWindow, prevWindow)
+			return 0, 0, fmt.Errorf("%w: user %q window %d: %v", ErrLedger, user, e.window+1, err)
+		}
 	}
 
 	// Partition the batch by owning shard and hand each piece off on the
@@ -384,7 +415,7 @@ func (e *Engine) CloseWindow() (*WindowResult, error) {
 	res.WindowClaims = e.windowClaims.Swap(0)
 	res.TotalClaims = e.totalClaims.Load()
 	if e.epsWindow > 0 {
-		res.Privacy = e.users.report(e.epsWindow, e.cfg.Delta, e.cfg.EpsilonBudget)
+		res.Privacy = e.users.report(e.epsWindow, e.cfg.Delta, e.cfg.EpsilonBudget, e.cfg.PerUserReport)
 	}
 
 	e.lastMu.Lock()

@@ -35,6 +35,8 @@ func TestConfigValidation(t *testing.T) {
 		{NumObjects: 5, Lambda1: 1, Delta: 0.3},      // accounting with lambda2 = 0
 		{NumObjects: 5, Delta: 0.3},                  // delta without accounting
 		{NumObjects: 5, Delta: math.NaN()},           // NaN delta without accounting
+		{NumObjects: 5, PerUserReport: true},         // per-user report without accounting
+		{NumObjects: 5, Ledger: nopLedger{}},         // ledger without accounting
 	}
 	for i, cfg := range cases {
 		if _, err := New(cfg); err == nil {
@@ -247,6 +249,7 @@ func TestBudgetEnforcement(t *testing.T) {
 		Lambda2:       lambda2,
 		Delta:         delta,
 		EpsilonBudget: 2.5 * epsWindow, // affords exactly two windows
+		PerUserReport: true,            // this test inspects the per-user map
 	})
 	if err != nil {
 		t.Fatal(err)

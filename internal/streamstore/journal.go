@@ -1,0 +1,206 @@
+package streamstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pptd/internal/stream"
+)
+
+// Journal line format: one charge record per line,
+//
+//	crc32hex SP json-payload LF
+//
+// where crc32hex is the IEEE CRC-32 of the payload in fixed-width lower
+// hex. The checksum plus the trailing newline make torn tails
+// unambiguous: a crashed append leaves either a complete valid line or a
+// detectable partial one, never a silently-wrong record.
+const journalCRCLen = 8
+
+// appendJournalLocked appends one fsync'd record at s.journalSize. On
+// any write or sync failure it truncates the file back to the last known
+// good size so a partial line cannot poison later appends. Callers must
+// hold s.mu.
+func (s *Store) appendJournalLocked(rec stream.ChargeRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("streamstore: encode charge: %w", err)
+	}
+	line := fmt.Sprintf("%0*x %s\n", journalCRCLen, crc32.ChecksumIEEE(payload), payload)
+	if _, err := s.journal.WriteAt([]byte(line), s.journalSize); err != nil {
+		s.rewindJournalLocked()
+		return fmt.Errorf("streamstore: append charge: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		s.rewindJournalLocked()
+		return fmt.Errorf("streamstore: sync journal: %w", err)
+	}
+	s.journalSize += int64(len(line))
+	return nil
+}
+
+// rewindJournalLocked best-effort truncates the journal back to the last
+// durable size after a failed append.
+func (s *Store) rewindJournalLocked() {
+	_ = s.journal.Truncate(s.journalSize)
+}
+
+// readJournalLocked reads and parses the whole journal from the open
+// handle. It returns every record of the longest valid prefix and that
+// prefix's byte length; a torn or corrupt tail simply ends the prefix.
+func (s *Store) readJournalLocked() ([]stream.ChargeRecord, int64, error) {
+	fi, err := s.journal.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("streamstore: stat journal: %w", err)
+	}
+	data := make([]byte, fi.Size())
+	if _, err := io.ReadFull(io.NewSectionReader(s.journal, 0, fi.Size()), data); err != nil {
+		return nil, 0, fmt.Errorf("streamstore: read journal: %w", err)
+	}
+	recs, valid := parseJournal(data)
+	return recs, valid, nil
+}
+
+// parseJournal decodes the longest valid prefix of journal bytes,
+// returning its records and byte length. Parsing stops at the first
+// incomplete line (no trailing newline — a torn write), malformed
+// checksum prefix, checksum mismatch, or undecodable payload.
+func parseJournal(data []byte) ([]stream.ChargeRecord, int64) {
+	var recs []stream.ChargeRecord
+	var valid int64
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn tail: the final append never completed
+		}
+		line := data[off : off+nl]
+		rec, ok := parseJournalLine(line)
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+		valid = int64(off)
+	}
+	return recs, valid
+}
+
+func parseJournalLine(line []byte) (stream.ChargeRecord, bool) {
+	var rec stream.ChargeRecord
+	if len(line) < journalCRCLen+2 || line[journalCRCLen] != ' ' {
+		return rec, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:journalCRCLen]), "%08x", &want); err != nil {
+		return rec, false
+	}
+	payload := line[journalCRCLen+1:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return rec, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, false
+	}
+	return rec, true
+}
+
+// repairJournalLocked scans the journal for its longest valid prefix and
+// truncates anything after it (a torn tail from a crashed append), so
+// subsequent appends land on a record boundary. Callers must hold s.mu.
+func (s *Store) repairJournalLocked() error {
+	_, valid, err := s.readJournalLocked()
+	if err != nil {
+		return err
+	}
+	fi, err := s.journal.Stat()
+	if err != nil {
+		return fmt.Errorf("streamstore: stat journal: %w", err)
+	}
+	if fi.Size() > valid {
+		if err := s.journal.Truncate(valid); err != nil {
+			return fmt.Errorf("streamstore: repair journal tail: %w", err)
+		}
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("streamstore: sync repaired journal: %w", err)
+		}
+	}
+	s.journalSize = valid
+	return nil
+}
+
+// compactJournalLocked drops the journal prefix [0, coveredUpTo) — the
+// records subsumed by a snapshot that was exported after they were
+// appended — while preserving every record at or past the offset, which
+// may postdate the exported state and is still the only durable trace of
+// its charge. A non-empty tail is rewritten into a fresh file that
+// atomically replaces the journal, so a crash at any point leaves either
+// the full old journal (recovery replay is idempotent) or the compacted
+// one — never a torn middle. Callers must hold s.mu.
+func (s *Store) compactJournalLocked(coveredUpTo int64) error {
+	if coveredUpTo < 0 {
+		coveredUpTo = 0
+	}
+	if coveredUpTo > s.journalSize {
+		coveredUpTo = s.journalSize
+	}
+	tailLen := s.journalSize - coveredUpTo
+	if tailLen == 0 {
+		// Every record is covered by the snapshot; an in-place truncate
+		// cannot lose anything.
+		if err := s.journal.Truncate(0); err != nil {
+			return fmt.Errorf("streamstore: reset journal: %w", err)
+		}
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("streamstore: sync reset journal: %w", err)
+		}
+		s.journalSize = 0
+		return nil
+	}
+
+	tail := make([]byte, tailLen)
+	if _, err := io.ReadFull(io.NewSectionReader(s.journal, coveredUpTo, tailLen), tail); err != nil {
+		return fmt.Errorf("streamstore: read journal tail: %w", err)
+	}
+	tmp := filepath.Join(s.dir, journalName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("streamstore: create compacted journal: %w", err)
+	}
+	if _, err := f.Write(tail); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("streamstore: write compacted journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("streamstore: sync compacted journal: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, journalName)); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("streamstore: publish compacted journal: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("streamstore: sync state dir: %w", err)
+	}
+	old := s.journal
+	s.journal = f // same inode as the renamed journal
+	s.journalSize = tailLen
+	_ = old.Close()
+	return nil
+}
+
+// syncDir flushes a directory's entries so a just-renamed or just-created
+// file name is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = d.Close() }()
+	return d.Sync()
+}

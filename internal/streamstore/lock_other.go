@@ -1,0 +1,12 @@
+//go:build !unix
+
+package streamstore
+
+import "os"
+
+// Advisory state-directory locking is only implemented on unix; on other
+// platforms keeping a directory to a single live store is the
+// operator's responsibility.
+func lockFile(*os.File) error { return nil }
+
+func unlockFile(*os.File) error { return nil }

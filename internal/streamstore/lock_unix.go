@@ -1,0 +1,28 @@
+//go:build unix
+
+package streamstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking flock on the LOCK file. The
+// kernel releases it automatically when the process dies, so a crashed
+// owner never leaves a stale lock behind.
+func lockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return fmt.Errorf("%w: %s held by another process", ErrLocked, f.Name())
+	}
+	if err != nil {
+		return fmt.Errorf("streamstore: lock %s: %w", f.Name(), err)
+	}
+	return nil
+}
+
+func unlockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,29 @@
+//go:build unix
+
+package streamstore
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestOpenLocksStateDir checks the single-owner guard: a second live
+// store on the same directory would silently clobber the first one's
+// journal, so Open must refuse it until the owner closes.
+func TestOpenLocksStateDir(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if _, err := Open(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open on a held directory = %v, want ErrLocked", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after owner closed: %v", err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,294 @@
+// Package streamstore persists the streaming truth-discovery engine's
+// state so that privacy guarantees and estimator statistics survive
+// process restarts. It keeps two artifacts in one state directory:
+//
+//   - an append-only privacy ledger journal (ledger.journal): one
+//     checksummed record per (user, window) epsilon charge, fsync'd
+//     before the engine acknowledges the submission. The journal is the
+//     ground truth for cumulative budgets between snapshots — a crash
+//     can lose claims, but never a charge that was acknowledged.
+//
+//   - a periodic engine snapshot (snapshot.json): the full
+//     stream.EngineState (window counter, per-user carry weights and
+//     budgets, decayed sufficient statistics) written with a
+//     write-temp / fsync / atomic-rename / fsync-dir sequence and an
+//     embedded CRC-32, typically at every window close. A successful
+//     snapshot subsumes the journal records that predate its export,
+//     which are compacted away; records appended concurrently with the
+//     export are preserved (see SnapshotEngine).
+//
+// Recovery (LoadState) returns the latest snapshot with every journaled
+// charge replayed on top. Replay is idempotent — records the snapshot
+// already covers are skipped — so budgets recover correctly from any
+// crash point: journal older than, overlapping, or strictly newer than
+// the snapshot, including a journal with no snapshot at all. A torn or
+// corrupt journal tail (a crash mid-append) is detected by the per-record
+// checksum and truncated away; a corrupt snapshot is an error, since the
+// atomic rename means it can only arise from disk damage, not a crash.
+package streamstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pptd/internal/stream"
+)
+
+const (
+	snapshotName    = "snapshot.json"
+	snapshotTmpName = "snapshot.json.tmp"
+	journalName     = "ledger.journal"
+	lockName        = "LOCK"
+	snapshotVersion = 1
+)
+
+var (
+	// ErrClosed reports use of a store after Close.
+	ErrClosed = errors.New("streamstore: store closed")
+	// ErrLocked reports a state directory already held by another live
+	// store (usually another process).
+	ErrLocked = errors.New("streamstore: state directory locked")
+	// ErrCorruptSnapshot reports a snapshot whose checksum or envelope
+	// does not verify. Snapshots are written atomically, so this means
+	// on-disk damage rather than an interrupted write; recovery should
+	// not silently continue from it.
+	ErrCorruptSnapshot = errors.New("streamstore: corrupt snapshot")
+)
+
+// Store is a durable state directory for one streaming engine. It
+// implements stream.Ledger, so it can be wired directly into
+// stream.Config.Ledger. Safe for concurrent use; appends from concurrent
+// submissions are serialized internally (each paying one fsync — batched
+// group commit is a possible future optimization).
+type Store struct {
+	dir string
+
+	mu          sync.Mutex
+	lock        *os.File
+	journal     *os.File
+	journalSize int64
+	closed      bool
+}
+
+// Open creates (or reopens) the state directory and prepares the ledger
+// journal for appending, truncating any torn tail left by a crash
+// mid-append. The directory is guarded by an advisory lock (LOCK file,
+// flock on unix, released automatically if the process dies): two
+// processes sharing one state directory would silently overwrite each
+// other's journal records, so a second concurrent Open fails with
+// ErrLocked instead. Callers own the returned store and must Close it.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("streamstore: empty state directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("streamstore: create state dir: %w", err)
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("streamstore: open lock file: %w", err)
+	}
+	if err := lockFile(lock); err != nil {
+		_ = lock.Close()
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		_ = unlockFile(lock)
+		_ = lock.Close()
+		return nil, fmt.Errorf("streamstore: open journal: %w", err)
+	}
+	s := &Store{dir: dir, lock: lock, journal: f}
+	if err := s.repairJournalLocked(); err != nil {
+		_ = f.Close()
+		_ = unlockFile(lock)
+		_ = lock.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the state directory the store persists into.
+func (s *Store) Dir() string { return s.dir }
+
+// AppendCharge durably appends one privacy-ledger record: it returns
+// only after the record is written and fsync'd, which is what lets the
+// engine acknowledge the submission. Implements stream.Ledger.
+func (s *Store) AppendCharge(rec stream.ChargeRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.appendJournalLocked(rec)
+}
+
+// snapshotEnvelope wraps the serialized EngineState with an integrity
+// check: CRC32 is the IEEE checksum of the raw State bytes.
+type snapshotEnvelope struct {
+	Version int             `json:"version"`
+	CRC32   string          `json:"crc32"`
+	State   json.RawMessage `json:"state"`
+}
+
+// JournalOffset returns the journal's current durable size. Captured
+// BEFORE an engine state export, it bounds the records that export is
+// guaranteed to cover (a charge journaled before the capture was debited
+// in-memory before the export quiesced the engine), which is what makes
+// WriteSnapshot's journal compaction safe under concurrent ingestion.
+func (s *Store) JournalOffset() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journalSize
+}
+
+// SnapshotEngine persists the engine's current state through this store
+// in the race-free order: journal offset first, then the quiesced state
+// export, then WriteSnapshot. Charges appended concurrently with the
+// export land at or past the captured offset and survive the journal
+// compaction, so an acknowledged submission is never erased by a
+// snapshot that predates it.
+func (s *Store) SnapshotEngine(e *stream.Engine) error {
+	coveredUpTo := s.JournalOffset()
+	st, err := e.ExportState()
+	if err != nil {
+		return err
+	}
+	return s.WriteSnapshot(st, coveredUpTo)
+}
+
+// WriteSnapshot atomically replaces the on-disk snapshot with the given
+// engine state: the envelope is written to a temporary file, fsync'd,
+// renamed over the snapshot name, and the directory is fsync'd, so a
+// crash at any point leaves either the old snapshot or the new one —
+// never a partial file. After the snapshot is durable the journal is
+// compacted: records before coveredUpTo — a journal offset captured
+// before st was exported (see JournalOffset; SnapshotEngine does the
+// whole dance) — are covered by the snapshot and dropped, while records
+// past it, which may postdate the export, are preserved. If compaction
+// is interrupted, replaying stale records is harmless because recovery
+// replay is idempotent.
+func (s *Store) WriteSnapshot(st *stream.EngineState, coveredUpTo int64) error {
+	if st == nil {
+		return errors.New("streamstore: nil engine state")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	body, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("streamstore: encode snapshot: %w", err)
+	}
+	env, err := json.Marshal(snapshotEnvelope{
+		Version: snapshotVersion,
+		CRC32:   fmt.Sprintf("%08x", crc32.ChecksumIEEE(body)),
+		State:   body,
+	})
+	if err != nil {
+		return fmt.Errorf("streamstore: encode snapshot envelope: %w", err)
+	}
+
+	tmp := filepath.Join(s.dir, snapshotTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("streamstore: create snapshot temp: %w", err)
+	}
+	if _, err := f.Write(env); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("streamstore: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("streamstore: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("streamstore: close snapshot temp: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("streamstore: publish snapshot: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("streamstore: sync state dir: %w", err)
+	}
+	return s.compactJournalLocked(coveredUpTo)
+}
+
+// LoadState recovers the engine state: the latest snapshot (if any) with
+// all journaled charges replayed on top. It returns (nil, nil) when the
+// directory holds no state at all — a fresh deployment.
+func (s *Store) LoadState() (*stream.EngineState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	st, err := s.loadSnapshotLocked()
+	if err != nil {
+		return nil, err
+	}
+	recs, _, err := s.readJournalLocked()
+	if err != nil {
+		return nil, err
+	}
+	if st == nil && len(recs) == 0 {
+		return nil, nil
+	}
+	if st == nil {
+		st = &stream.EngineState{}
+	}
+	st.ReplayCharges(recs)
+	return st, nil
+}
+
+// loadSnapshotLocked reads and verifies the snapshot file, returning nil
+// when none exists. Callers must hold s.mu.
+func (s *Store) loadSnapshotLocked() (*stream.EngineState, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("streamstore: read snapshot: %w", err)
+	}
+	var env snapshotEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	if env.Version != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptSnapshot, env.Version)
+	}
+	if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(env.State)); got != env.CRC32 {
+		return nil, fmt.Errorf("%w: checksum %s, want %s", ErrCorruptSnapshot, got, env.CRC32)
+	}
+	st := new(stream.EngineState)
+	if err := json.Unmarshal(env.State, st); err != nil {
+		return nil, fmt.Errorf("%w: decode state: %v", ErrCorruptSnapshot, err)
+	}
+	return st, nil
+}
+
+// Close releases the journal handle and the directory lock. Appends and
+// loads fail afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.closed = true
+	err := s.journal.Close()
+	if uerr := unlockFile(s.lock); err == nil {
+		err = uerr
+	}
+	if cerr := s.lock.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -57,7 +57,36 @@
 // HTTP streaming campaign (NewStreamCampaignServer, POST
 // /v1/stream/claims, GET /v1/stream/truths); cmd/pptdstream drives a
 // simulated fleet against it and reports throughput, accuracy, and the
-// cumulative budget per window.
+// cumulative budget per window. Privacy reports carry aggregates only by
+// default; the per-user epsilon map (the full historical client roster)
+// is opt-in via StreamConfig.PerUserReport.
+//
+// # Durable privacy ledger
+//
+// A streaming privacy guarantee is only as durable as its ledger: if a
+// restart erased cumulative epsilon, every returning client would
+// re-spend its budget from zero. OpenStreamStore gives the engine a
+// state directory with an append-only, fsync'd privacy-ledger journal
+// (one record per (user, window) charge, durable before the submission
+// is acknowledged) and atomic checksummed engine snapshots (sufficient
+// statistics, carry weights, window counter) written at each window
+// close:
+//
+//	store, _ := pptd.OpenStreamStore("/var/lib/pptd")
+//	defer store.Close()
+//	srv, _ := pptd.NewStreamCampaignServer(pptd.StreamCampaignServerConfig{
+//		Engine:         pptd.StreamConfig{NumObjects: 30, Lambda1: 1, Lambda2: 2, Delta: 0.3},
+//		Persistence:    store,
+//		WindowInterval: time.Minute, // optional ticker-driven window closes
+//	})
+//	defer srv.Close()
+//
+// On startup the server restores the latest snapshot and replays any
+// journal records newer than it, so a kill-and-recover engine produces
+// the same next-window truths and weights as an uninterrupted one, and a
+// budget-exhausted user stays rejected after the restart. Raw engines
+// get the same hooks via StreamEngine.ExportState / Restore and
+// StreamConfig.Ledger.
 //
 // The subpackage layout mirrors the paper: the mechanism and accountant
 // live in internal/core, truth discovery in internal/truth, the

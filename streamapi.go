@@ -3,6 +3,7 @@ package pptd
 import (
 	"pptd/internal/crowd"
 	"pptd/internal/stream"
+	"pptd/internal/streamstore"
 )
 
 // StreamEngine is the sharded streaming truth-discovery engine: claims
@@ -46,7 +47,44 @@ var (
 	// submission; the helper refuses before perturbing so no second
 	// noisy release of the window leaves the device.
 	ErrStreamSameWindow = crowd.ErrSameWindow
+	// ErrStreamNotReady reports a truths (or batch result) fetch before
+	// anything was published; the servers answer it with 404.
+	ErrStreamNotReady = crowd.ErrNotReady
+	// ErrStreamLedger reports a submission rejected because its privacy
+	// ledger record could not be made durable; the in-memory charge was
+	// rolled back.
+	ErrStreamLedger = stream.ErrLedger
+	// ErrStreamBadState reports an engine state that cannot be restored.
+	ErrStreamBadState = stream.ErrBadState
+	// ErrStreamCorruptSnapshot reports a persisted snapshot that fails
+	// its integrity check (on-disk damage, not a crash artifact).
+	ErrStreamCorruptSnapshot = streamstore.ErrCorruptSnapshot
 )
+
+// StreamEngineState is a point-in-time export of a streaming engine —
+// window counter, per-user carry weights and budgets, and the decayed
+// sufficient statistics — produced by StreamEngine.ExportState and
+// loaded back with StreamEngine.Restore.
+type StreamEngineState = stream.EngineState
+
+// StreamChargeRecord is one privacy-ledger entry: a (user, window,
+// epsilon) charge journaled before the submission is acknowledged.
+type StreamChargeRecord = stream.ChargeRecord
+
+// StreamLedger is the durable privacy-ledger interface the engine
+// appends to before acknowledging a charged submission.
+type StreamLedger = stream.Ledger
+
+// StreamStore is the durable state directory for a streaming engine: an
+// fsync'd append-only privacy ledger journal plus atomically-replaced,
+// checksummed engine snapshots. It implements StreamLedger and plugs
+// into StreamCampaignServerConfig.Persistence.
+type StreamStore = streamstore.Store
+
+// OpenStreamStore creates or reopens a streaming state directory,
+// repairing any torn journal tail left by a crash. Close it after the
+// server using it has been closed.
+func OpenStreamStore(dir string) (*StreamStore, error) { return streamstore.Open(dir) }
 
 // StreamCampaignServer serves a streaming sensing campaign over HTTP:
 // batched perturbed claims in, live per-window truth snapshots out, with
