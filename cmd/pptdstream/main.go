@@ -10,16 +10,22 @@
 //
 //	pptdstream -objects 20 -users 50 -windows 5 -shards 4 \
 //	    -lambda1 1.5 -lambda2 2 -delta 0.3 -budget 0 -decay 1 -drift 0.2 \
-//	    -state-dir /var/lib/pptd -window-interval 0
+//	    -state-dir /var/lib/pptd -window-interval 0 \
+//	    -claim-wal -snapshot-every 1 -commit-interval 0
 //
 // With -budget > 0 users are cut off once their cumulative epsilon would
 // exceed the cap; the driver reports how many submissions were refused.
 // With -state-dir the in-process server journals every privacy charge
-// (fsync'd before the submission is acknowledged) and snapshots the
-// engine at each window close, so re-running against the same directory
-// resumes cumulative budgets and statistics instead of resetting them.
-// -window-interval additionally closes windows on a ticker, the way a
-// deployment without an external window driver would run.
+// (fsync'd before the submission is acknowledged; concurrent submissions
+// share group-commit batches — tune with -commit-interval/-commit-batch)
+// and, via -claim-wal (on by default), the submission's claims in the
+// same record, persists each window's published result, and snapshots
+// the engine per -snapshot-every/-snapshot-bytes, so re-running against
+// the same directory resumes cumulative budgets, statistics, and the
+// last estimate instead of resetting them. -window-interval additionally
+// closes windows on a ticker, the way a deployment without an external
+// window driver would run. See README.md next to this file for the full
+// flag reference and a kill-and-recover transcript.
 package main
 
 import (
@@ -49,21 +55,27 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pptdstream", flag.ContinueOnError)
 	var (
-		objects  = fs.Int("objects", 20, "number of micro-tasks (objects)")
-		users    = fs.Int("users", 50, "number of simulated devices")
-		windows  = fs.Int("windows", 5, "number of windows to stream")
-		shards   = fs.Int("shards", 0, "engine shards (0 = auto)")
-		lambda1  = fs.Float64("lambda1", 1.5, "simulated sensor quality (error-variance rate)")
-		lambda2  = fs.Float64("lambda2", 2, "perturbation rate released to users")
-		delta    = fs.Float64("delta", 0.3, "LDP delta each window is accounted at")
-		budget   = fs.Float64("budget", 0, "cumulative epsilon cap per user (0 = track only)")
-		decay    = fs.Float64("decay", 1, "per-window retention factor in (0,1]")
-		drift    = fs.Float64("drift", 0.2, "per-window random-walk step of the ground truth")
-		seed     = fs.Uint64("seed", 1, "deterministic seed for the simulated fleet")
-		addr     = fs.String("addr", "", "external streaming server base URL (empty = run one in-process)")
-		stateDir = fs.String("state-dir", "", "durable state directory for the in-process server: privacy-ledger journal + engine snapshots (empty = in-memory only)")
-		interval = fs.Duration("window-interval", 0, "auto window-close ticker for the in-process server (0 = driver-closed windows only)")
-		perUser  = fs.Bool("per-user-report", false, "opt the full per-user epsilon map into privacy reports (default: aggregates only)")
+		objects     = fs.Int("objects", 20, "number of micro-tasks (objects)")
+		users       = fs.Int("users", 50, "number of simulated devices")
+		windows     = fs.Int("windows", 5, "number of windows to stream")
+		shards      = fs.Int("shards", 0, "engine shards (0 = auto)")
+		lambda1     = fs.Float64("lambda1", 1.5, "simulated sensor quality (error-variance rate)")
+		lambda2     = fs.Float64("lambda2", 2, "perturbation rate released to users")
+		delta       = fs.Float64("delta", 0.3, "LDP delta each window is accounted at")
+		budget      = fs.Float64("budget", 0, "cumulative epsilon cap per user (0 = track only)")
+		decay       = fs.Float64("decay", 1, "per-window retention factor in (0,1]")
+		drift       = fs.Float64("drift", 0.2, "per-window random-walk step of the ground truth")
+		seed        = fs.Uint64("seed", 1, "deterministic seed for the simulated fleet")
+		addr        = fs.String("addr", "", "external streaming server base URL (empty = run one in-process)")
+		stateDir    = fs.String("state-dir", "", "durable state directory for the in-process server: privacy-ledger journal + engine snapshots (empty = in-memory only)")
+		interval    = fs.Duration("window-interval", 0, "auto window-close ticker for the in-process server (0 = driver-closed windows only)")
+		perUser     = fs.Bool("per-user-report", false, "opt the full per-user epsilon map into privacy reports (default: aggregates only)")
+		claimWAL    = fs.Bool("claim-wal", true, "journal each submission's claims with its charge (with -state-dir), so statistics survive a crash as well as budgets do")
+		snapEvery   = fs.Int("snapshot-every", 1, "write an engine snapshot every Nth window close (with -state-dir)")
+		snapBytes   = fs.Int64("snapshot-bytes", 0, "force a snapshot once the journal exceeds this many bytes (0 = no size trigger)")
+		snapRetain  = fs.Int("retain-snapshots", 0, "previous snapshot generations to keep as manual-recovery artifacts")
+		commitWait  = fs.Duration("commit-interval", 0, "how long a group-commit leader lingers for more appends before fsyncing (0 = no added latency)")
+		commitBatch = fs.Int("commit-batch", 0, "max journal records per group-commit fsync (0 = default 256, 1 = fsync per append)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,7 +92,13 @@ func run(args []string, out io.Writer) error {
 		var store *pptd.StreamStore
 		if *stateDir != "" {
 			var err error
-			store, err = pptd.OpenStreamStore(*stateDir)
+			store, err = pptd.OpenStreamStoreWith(*stateDir, pptd.StreamStoreOptions{
+				FlushInterval:   *commitWait,
+				MaxBatch:        *commitBatch,
+				SnapshotEvery:   *snapEvery,
+				SnapshotBytes:   *snapBytes,
+				RetainSnapshots: *snapRetain,
+			})
 			if err != nil {
 				return err
 			}
@@ -97,6 +115,9 @@ func run(args []string, out io.Writer) error {
 				Delta:         *delta,
 				EpsilonBudget: *budget,
 				PerUserReport: *perUser,
+				// The claim WAL needs the durable ledger the state dir
+				// provides; without one the flag is inert.
+				ClaimWAL: *claimWAL && store != nil && *lambda1 > 0,
 			},
 			Persistence:    store,
 			WindowInterval: *interval,

@@ -147,6 +147,34 @@ func TestRunStateDirPersistsBudgets(t *testing.T) {
 	}
 }
 
+// TestRunDurabilityFlags drives the in-process server with the
+// group-commit and snapshot-cadence knobs set: the run must complete
+// and the rerun must resume from the recovered state (the claim WAL
+// plus every-other-window snapshots cover all windows between them).
+func TestRunDurabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-users", "6", "-objects", "4", "-windows", "3", "-seed", "5",
+		"-state-dir", dir,
+		"-snapshot-every", "2", "-retain-snapshots", "1",
+		"-commit-interval", "1ms", "-commit-batch", "8",
+	}
+	var first bytes.Buffer
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "stream done: 3 windows") {
+		t.Fatalf("first run:\n%s", first.String())
+	}
+	var second bytes.Buffer
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), "stream done: 6 windows") {
+		t.Fatalf("second run did not resume the recovered window counter:\n%s", second.String())
+	}
+}
+
 // TestRunRejectsStateDirWithExternalAddr checks the flag guard.
 func TestRunRejectsStateDirWithExternalAddr(t *testing.T) {
 	var buf bytes.Buffer

@@ -1,0 +1,143 @@
+package pptd_test
+
+import (
+	"fmt"
+	"os"
+
+	"pptd"
+)
+
+// ExampleNewStreamEngine runs the streaming engine in-memory: perturbed
+// claims ingest into the open window, and closing the window publishes
+// an incremental truth estimate with per-user weights.
+func ExampleNewStreamEngine() {
+	eng, err := pptd.NewStreamEngine(pptd.StreamConfig{
+		NumObjects: 2,
+		NumShards:  2, // fixed so the example is deterministic everywhere
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer func() { _ = eng.Close() }()
+
+	// Three devices report on both objects; the third is an outlier.
+	submissions := []struct {
+		id     string
+		claims []pptd.StreamClaim
+	}{
+		{"device-1", []pptd.StreamClaim{{Object: 0, Value: 10.0}, {Object: 1, Value: 20.0}}},
+		{"device-2", []pptd.StreamClaim{{Object: 0, Value: 10.2}, {Object: 1, Value: 19.8}}},
+		{"device-3", []pptd.StreamClaim{{Object: 0, Value: 15.0}, {Object: 1, Value: 30.0}}},
+	}
+	for _, sub := range submissions {
+		if _, _, err := eng.Ingest(sub.id, sub.claims); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	res, err := eng.CloseWindow()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("window %d converged: %v\n", res.Window, res.Converged)
+	fmt.Printf("truth for object 0 is near 10: %v\n", res.Truths[0] < 11)
+	fmt.Printf("outlier has the lowest weight: %v\n",
+		res.Weights["device-3"] < res.Weights["device-1"] &&
+			res.Weights["device-3"] < res.Weights["device-2"])
+	// Output:
+	// window 1 converged: true
+	// truth for object 0 is near 10: true
+	// outlier has the lowest weight: true
+}
+
+// ExampleOpenStreamStore is the durable streaming round trip: a store
+// journals every privacy charge — and, with the claim WAL, the claims
+// themselves — before the engine acknowledges a submission, so after a
+// crash with no snapshot ever written, Recover rebuilds budgets AND
+// statistics from the journal alone and the next window close matches
+// what the uninterrupted engine would have published.
+func ExampleOpenStreamStore() {
+	dir, err := os.MkdirTemp("", "pptd-stream-example")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	durable := pptd.StreamConfig{
+		NumObjects: 1,
+		NumShards:  1,
+		Lambda1:    1, // enables privacy accounting
+		Lambda2:    2,
+		Delta:      0.3,
+		ClaimWAL:   true, // claims ride the charge record
+	}
+
+	// First process: accept two submissions, then crash mid-window —
+	// no window close, no snapshot, nothing but the fsync'd journal.
+	store, err := pptd.OpenStreamStore(dir)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cfg := durable
+	cfg.Ledger = store // every charge is durable before the ack
+	eng, err := pptd.NewStreamEngine(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, _, err := eng.Ingest("alice", []pptd.StreamClaim{{Object: 0, Value: 1}}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, _, err := eng.Ingest("bob", []pptd.StreamClaim{{Object: 0, Value: 3}}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	_ = eng.Close() // the "crash"
+	_ = store.Close()
+
+	// Second process: recover everything from the state directory.
+	store2, err := pptd.OpenStreamStore(dir)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer func() { _ = store2.Close() }()
+	cfg = durable
+	cfg.Ledger = store2
+	eng2, err := pptd.NewStreamEngine(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer func() { _ = eng2.Close() }()
+	recovered, err := store2.Recover(eng2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("recovered state:", recovered)
+
+	// Alice's charge survived: the open window is still paid for, so a
+	// second release into it is refused.
+	_, _, err = eng2.Ingest("alice", []pptd.StreamClaim{{Object: 0, Value: 9}})
+	fmt.Println("alice resubmitting same window:", err != nil)
+
+	// The replayed claims produce the estimate the crash interrupted.
+	res, err := eng2.CloseWindow()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("window %d truth: %.1f\n", res.Window, res.Truths[0])
+	fmt.Printf("each user charged for %d window(s)\n", res.Privacy.MaxWindows)
+	// Output:
+	// recovered state: true
+	// alice resubmitting same window: true
+	// window 1 truth: 2.0
+	// each user charged for 1 window(s)
+}

@@ -27,11 +27,13 @@
 //     and weights incrementally from the decayed sufficient statistics,
 //     and returns the estimate (409 before any claim ever arrived);
 //   - GET  /v1/stream/truths serves the latest closed window's estimate
-//     as a live snapshot (404 until the first window closes — "not ready"
-//     is a missing resource; 409 is reserved for real conflicts like a
-//     duplicate same-window submission or closing an empty window; the
-//     one-shot GET /v1/result answers pending aggregation with 404 the
-//     same way).
+//     as a live snapshot (404 until the first window ever closes — "not
+//     ready" is a missing resource; 409 is reserved for real conflicts
+//     like a duplicate same-window submission or closing an empty
+//     window; the one-shot GET /v1/result answers pending aggregation
+//     with 404 the same way). With persistence configured the estimate
+//     survives restarts: a recovered server serves the last published
+//     result immediately rather than 404 until the next close.
 //
 // Windows close on explicit POST /v1/stream/window, or automatically on
 // a ticker when StreamServerConfig.WindowInterval is set; both paths
@@ -66,14 +68,25 @@
 // With StreamServerConfig.Persistence set (an internal/streamstore
 // store), the accounting ledger outlives the process: every accepted
 // charge is appended to an fsync'd journal before the submission receipt
-// is returned, a checksummed engine snapshot is written atomically at
-// every window close (and on graceful Close), and NewStreamServer
-// recovers snapshot-plus-journal on startup. A crash can therefore lose
-// at most the open window's claims — never an acknowledged epsilon
-// charge — and a user who exhausted their budget stays exhausted across
-// restarts. The last published estimate is not persisted: after a
-// restart GET /v1/stream/truths answers 404 until the next window close
-// republishes from the recovered statistics.
+// is returned — concurrent submissions share group-commit batches, so
+// the durable path scales with load instead of serializing on the disk —
+// and NewStreamServer recovers snapshot-plus-journal on startup. A crash
+// never loses an acknowledged epsilon charge, and a user who exhausted
+// their budget stays exhausted across restarts. With
+// stream.Config.ClaimWAL the journal record additionally carries the
+// submission's claims, so the sufficient statistics are exactly as
+// durable as the budget and a kill-and-recover server matches an
+// uninterrupted one; without it a crash still loses claims accepted
+// after the last snapshot (privacy-conservative: the charge stands, the
+// data is gone).
+//
+// Each window close persists its published result and snapshots the
+// engine per the store's cadence (streamstore.Options.SnapshotEvery,
+// SnapshotBytes); a graceful Close always writes a final snapshot. After
+// a restart GET /v1/stream/truths serves the persisted last result
+// immediately — 404 only before the first window ever closed. See
+// docs/DURABILITY.md at the repository root for the full crash-recovery
+// contract.
 package crowd
 
 import (
@@ -88,7 +101,7 @@ const (
 	PathCampaign = "/v1/campaign"
 	// PathSubmissions accepts perturbed claim batches (POST).
 	PathSubmissions = "/v1/submissions"
-	// PathResult serves the aggregated result (GET), 409 until ready.
+	// PathResult serves the aggregated result (GET), 404 until ready.
 	PathResult = "/v1/result"
 	// PathAggregate forces aggregation of whatever was submitted (POST).
 	PathAggregate = "/v1/aggregate"
@@ -99,7 +112,8 @@ const (
 	// window (POST).
 	PathStreamClaims = "/v1/stream/claims"
 	// PathStreamTruths serves the latest closed window's estimate (GET),
-	// 409 until the first window closes.
+	// 404 until the first window ever closes (a persistent server serves
+	// the recovered result across restarts).
 	PathStreamTruths = "/v1/stream/truths"
 	// PathStreamWindow closes the open window and returns its estimate
 	// (POST).

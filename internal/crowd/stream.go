@@ -20,12 +20,17 @@ type StreamServerConfig struct {
 	// (objects, shards, decay, privacy accounting, ...).
 	Engine stream.Config
 	// Persistence, when set, makes the server durable: the engine is
-	// recovered on startup from the store's latest snapshot plus ledger
-	// journal replay, every privacy charge is journaled through the
-	// store before the submission is acknowledged (unless Engine.Ledger
-	// was set explicitly), and a full engine snapshot is written at
-	// every window close and on graceful Close. The caller opens the
-	// store and keeps ownership: Close the server first, then the store.
+	// recovered on startup (latest snapshot, idempotent journal replay —
+	// including claims when Engine.ClaimWAL journaled them — and the
+	// last published window result, so /v1/stream/truths answers
+	// immediately), every privacy charge is journaled through the store
+	// before the submission is acknowledged (unless Engine.Ledger was
+	// set explicitly; concurrent submissions share group-commit fsyncs),
+	// each window close persists its result and snapshots the engine per
+	// the store's cadence (streamstore.Options.SnapshotEvery /
+	// SnapshotBytes), and a full snapshot is forced on graceful Close.
+	// The caller opens the store and keeps ownership: Close the server
+	// first, then the store.
 	Persistence *streamstore.Store
 	// WindowInterval, when positive, closes windows automatically on a
 	// ticker so a deployment does not depend on an external
@@ -59,33 +64,27 @@ type StreamServer struct {
 }
 
 // NewStreamServer starts a streaming campaign server. With persistence
-// configured it first recovers the engine state (snapshot plus journal
-// replay), so returning users keep their cumulative privacy spending and
-// the estimator resumes from its persisted sufficient statistics. Close
-// it to stop the window ticker and the engine's shard workers.
+// configured it first recovers the engine (snapshot, journal replay,
+// last published result), so returning users keep their cumulative
+// privacy spending, the estimator resumes from its persisted sufficient
+// statistics — including journal-replayed claims when the claim WAL is
+// enabled — and the previous estimate is served right away. Close it to
+// stop the window ticker and the engine's shard workers.
 func NewStreamServer(cfg StreamServerConfig) (*StreamServer, error) {
 	if cfg.WindowInterval < 0 {
 		return nil, fmt.Errorf("%w: WindowInterval = %v", ErrBadConfig, cfg.WindowInterval)
 	}
-	var state *stream.EngineState
-	if cfg.Persistence != nil {
-		st, err := cfg.Persistence.LoadState()
-		if err != nil {
-			return nil, fmt.Errorf("crowd: stream server: recover state: %w", err)
-		}
-		state = st
-		if cfg.Engine.Ledger == nil && cfg.Engine.Lambda1 > 0 {
-			cfg.Engine.Ledger = cfg.Persistence
-		}
+	if cfg.Persistence != nil && cfg.Engine.Ledger == nil && cfg.Engine.Lambda1 > 0 {
+		cfg.Engine.Ledger = cfg.Persistence
 	}
 	eng, err := stream.New(cfg.Engine)
 	if err != nil {
 		return nil, fmt.Errorf("crowd: stream server: %w", err)
 	}
-	if state != nil {
-		if err := eng.Restore(state); err != nil {
+	if cfg.Persistence != nil {
+		if _, err := cfg.Persistence.Recover(eng); err != nil {
 			_ = eng.Close()
-			return nil, fmt.Errorf("crowd: stream server: restore state: %w", err)
+			return nil, fmt.Errorf("crowd: stream server: recover state: %w", err)
 		}
 	}
 	s := &StreamServer{name: cfg.Name, engine: eng, store: cfg.Persistence}
@@ -204,11 +203,13 @@ func (s *StreamServer) Submit(sub Submission) (StreamReceipt, error) {
 }
 
 // CloseWindow closes the current window and returns its estimate. With
-// persistence configured, a fresh engine snapshot is written before the
-// result is returned; a snapshot failure is reported as an error even
-// though the window already closed (the estimate stays available via
-// Truths, and the ledger journal still covers every charge until the
-// next snapshot succeeds).
+// persistence configured, the published result is persisted (so a
+// restart can serve it immediately) and the engine is snapshotted per
+// the store's cadence before the result is returned; a persistence
+// failure is reported as an error even though the window already closed
+// (the estimate stays available via Truths, and the journal still
+// covers every charge — and claim, with the claim WAL — until the next
+// snapshot succeeds).
 func (s *StreamServer) CloseWindow() (StreamWindowInfo, error) {
 	s.windowMu.Lock()
 	defer s.windowMu.Unlock()
@@ -217,10 +218,13 @@ func (s *StreamServer) CloseWindow() (StreamWindowInfo, error) {
 		return StreamWindowInfo{}, err
 	}
 	if s.store != nil {
+		if err := s.store.SaveResult(res); err != nil {
+			return StreamWindowInfo{}, fmt.Errorf("crowd: persist stream result: %w", err)
+		}
 		// SnapshotEngine captures the journal offset before exporting, so
 		// a submission acknowledged while the snapshot is being written
 		// keeps its journal record through the compaction.
-		if err := s.store.SnapshotEngine(s.engine); err != nil {
+		if _, err := s.store.MaybeSnapshotEngine(s.engine); err != nil {
 			return StreamWindowInfo{}, fmt.Errorf("crowd: write stream snapshot: %w", err)
 		}
 	}

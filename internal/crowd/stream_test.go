@@ -342,9 +342,9 @@ func TestStreamBadRequests(t *testing.T) {
 
 // TestStreamServerRecovery restarts a persistent streaming server and
 // checks the durable guarantees across the full HTTP path: the window
-// counter resumes, a budget-exhausted client stays 429, truths are 404
-// until the next close republishes from the recovered statistics, and
-// fresh clients keep streaming.
+// counter resumes, a budget-exhausted client stays 429, the last
+// published truths are served immediately from the persisted result,
+// and fresh clients keep streaming.
 func TestStreamServerRecovery(t *testing.T) {
 	dir := t.TempDir()
 	cfg := func(store *streamstore.Store) StreamServerConfig {
@@ -356,6 +356,10 @@ func TestStreamServerRecovery(t *testing.T) {
 				Lambda1:    1,
 				Lambda2:    2,
 				Delta:      0.3,
+				// NewStreamServer wires the store in as the Ledger before
+				// the engine validates, so the claim WAL needs no explicit
+				// Ledger here.
+				ClaimWAL: true,
 			},
 			Persistence: store,
 		}
@@ -365,7 +369,9 @@ func TestStreamServerRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := cfg(store)
-	probe, err := stream.New(c.Engine)
+	probeCfg := c.Engine
+	probeCfg.ClaimWAL = false // the throwaway epsilon probe has no ledger
+	probe, err := stream.New(probeCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,9 +438,15 @@ func TestStreamServerRecovery(t *testing.T) {
 	if info.Window != 1 || info.TotalClaims != 2 {
 		t.Errorf("recovered campaign = window %d / %d claims, want 1 / 2", info.Window, info.TotalClaims)
 	}
-	// The last published estimate is not persisted: 404 until a close.
-	if _, err := client2.StreamTruths(ctx); !errors.Is(err, ErrNotReady) {
-		t.Errorf("truths right after recovery = %v, want ErrNotReady", err)
+	// The last published estimate is persisted at every close: the
+	// recovered server serves window 1's truths immediately instead of
+	// 404 until the next close.
+	prev, err := client2.StreamTruths(ctx)
+	if err != nil {
+		t.Fatalf("truths right after recovery = %v, want the persisted window-1 result", err)
+	}
+	if prev.Window != 1 || len(prev.Truths) != 2 || prev.Truths[0] != 1 || prev.Truths[1] != 2 {
+		t.Errorf("recovered truths = %+v, want window 1 with cap's claims", prev)
 	}
 	// The exhausted client is still refused across the restart.
 	_, err = client2.StreamSubmit(ctx, sub)

@@ -86,6 +86,25 @@ func (r *registry) charge(st *userState, window int, eps, budget float64) (int, 
 	return prev, nil
 }
 
+// replayCharge folds one already-durable journal record into the user's
+// budget during recovery replay. Unlike charge it never rejects: the
+// epsilon was spent and acknowledged before the crash, so the budget cap
+// does not apply retroactively and the duplicate-window guard doubles as
+// the idempotency check — a record whose window the user was already
+// charged for (by the snapshot or an earlier record) reports false and
+// must be skipped entirely by the caller.
+func (r *registry) replayCharge(st *userState, window int, eps float64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if window <= st.lastWindow {
+		return false
+	}
+	st.cumEps += eps
+	st.lastWindow = window
+	st.windows++
+	return true
+}
+
 // uncharge reverts a charge whose ledger record could not be made
 // durable: without the record on disk the release must not be admitted,
 // or a crash would hand the user the epsilon back.

@@ -21,11 +21,15 @@ var ErrLedger = errors.New("stream: privacy ledger append failed")
 // ChargeRecord is one privacy-ledger entry: user was charged Epsilon for
 // participating in the (0-based) open window Window. The journal of
 // these records is what makes cumulative budgets survive a crash between
-// snapshots.
+// snapshots. With Config.ClaimWAL enabled the record also carries the
+// submission's perturbed claims, so one durable append covers both the
+// charge and the statistics it paid for — recovery then replays the
+// whole submission (ReplayJournal) instead of just its debit.
 type ChargeRecord struct {
 	User    string  `json:"user"`
 	Window  int     `json:"window"`
 	Epsilon float64 `json:"epsilon"`
+	Claims  []Claim `json:"claims,omitempty"`
 }
 
 // Ledger is the durable privacy ledger the engine appends to when
@@ -93,6 +97,11 @@ type EngineState struct {
 // <= the user's LastWindow) is skipped, so a journal that overlaps the
 // snapshot — or is strictly newer than it — recovers the same budgets.
 // It returns the number of records applied.
+//
+// ReplayCharges is the budgets-only, state-level replay: any claims a
+// record carries (Config.ClaimWAL) are ignored, because a plain
+// EngineState cannot re-run the window closes their placement may
+// require. Engine.ReplayJournal is the full replay.
 func (st *EngineState) ReplayCharges(recs []ChargeRecord) int {
 	byID := make(map[string]int, len(st.Users))
 	for i, u := range st.Users {
@@ -180,7 +189,8 @@ func (e *Engine) ExportState() (*EngineState, error) {
 // checks keep holding after recovery.
 //
 // The last closed window's published result is not part of the state:
-// Snapshot returns nil after a restore until the next window closes.
+// Snapshot returns nil after a restore until the next window closes,
+// unless the caller seeds a persisted result with RestoreLastResult.
 func (e *Engine) Restore(st *EngineState) error {
 	if st == nil {
 		return fmt.Errorf("%w: nil state", ErrBadState)
@@ -230,6 +240,123 @@ func (e *Engine) Restore(st *EngineState) error {
 	e.windowClaims.Store(st.WindowClaims)
 	e.totalClaims.Store(st.TotalClaims)
 	return nil
+}
+
+// ReplayJournal folds journaled submissions into a restored (or fresh)
+// engine during recovery. Charges debit budgets idempotently — a record
+// for a window the user was already charged for (covered by the snapshot
+// or an earlier record) is skipped — and, for records carrying claims
+// (Config.ClaimWAL), the claims are folded back into the sufficient
+// statistics. When the journal names a window past the engine's open
+// one, every intermediate window close is re-run (estimation plus decay,
+// results discarded), so carry weights and decayed statistics advance
+// exactly as they did before the crash and the recovered engine matches
+// an uninterrupted one over the same claims.
+//
+// Records must be in journal (append) order; window indices never move
+// backwards across it because appends are acknowledged before a close
+// can begin. Replay never touches the configured Ledger — the records
+// being replayed are already durable. It returns the number of records
+// applied. A record whose claims no longer fit the engine (out-of-range
+// object, non-finite value) fails with ErrBadState.
+func (e *Engine) ReplayJournal(recs []ChargeRecord) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, ErrEngineClosed
+	}
+	release := e.pauseShards()
+	defer close(release)
+
+	applied := 0
+	perShard := make([][]Claim, len(e.shards))
+	for i, rec := range recs {
+		if rec.User == "" || rec.Window < 0 ||
+			rec.Epsilon <= 0 || math.IsNaN(rec.Epsilon) || math.IsInf(rec.Epsilon, 0) {
+			continue
+		}
+		for _, c := range rec.Claims {
+			if c.Object < 0 || c.Object >= e.cfg.NumObjects {
+				return applied, fmt.Errorf("%w: journal record %d: object %d of %d",
+					ErrBadState, i, c.Object, e.cfg.NumObjects)
+			}
+			if math.IsNaN(c.Value) || math.IsInf(c.Value, 0) {
+				return applied, fmt.Errorf("%w: journal record %d: non-finite value for object %d",
+					ErrBadState, i, c.Object)
+			}
+		}
+		st := e.users.getOrCreate(rec.User)
+		if !e.users.replayCharge(st, rec.Window, rec.Epsilon) {
+			continue // already accounted by the snapshot or an earlier record
+		}
+		for rec.Window > e.window {
+			e.replayCloseLocked()
+		}
+		if len(rec.Claims) > 0 {
+			// Partition by owning shard as Ingest does; the shards are
+			// paused, so applying directly is safe.
+			for i := range perShard {
+				perShard[i] = perShard[i][:0]
+			}
+			for _, c := range rec.Claims {
+				idx := c.Object % len(e.shards)
+				perShard[idx] = append(perShard[idx], c)
+			}
+			for i, part := range perShard {
+				if len(part) > 0 {
+					e.shards[i].apply(st.idx, part)
+				}
+			}
+			e.windowClaims.Add(int64(len(rec.Claims)))
+			e.totalClaims.Add(int64(len(rec.Claims)))
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// ReplayClosesTo re-runs window closes until the engine has target
+// closed windows, exactly as replay does between journal records. It is
+// the recovery step for closes that no journal record postdates: with a
+// snapshot cadence coarser than every close, the only durable trace of
+// the last pre-crash close can be the published result itself, and
+// without this fast-forward the recovered engine would re-open an
+// already-closed window — rejecting returning users as duplicates and
+// regressing the public window numbering. A target at or below the
+// current counter is a no-op.
+func (e *Engine) ReplayClosesTo(target int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	if target <= e.window {
+		return nil
+	}
+	release := e.pauseShards()
+	defer close(release)
+	for e.window < target {
+		e.replayCloseLocked()
+	}
+	return nil
+}
+
+// replayCloseLocked re-runs one window close during journal replay: the
+// estimation (whose result was already published before the crash) and
+// the decay are recomputed so carry weights and statistics advance
+// exactly as they did live; the result itself is discarded. A close the
+// journal implies but whose claims were never journaled (ClaimWAL off,
+// or an empty engine) still advances the window counter. Callers must
+// hold e.mu exclusively with the shards paused.
+func (e *Engine) replayCloseLocked() {
+	// The only estimation error is ErrEmptyWindow (no live statistics) —
+	// the journal still proves the window advanced, so the counter does.
+	_, _ = e.estimateLocked()
+	if e.cfg.Decay < 1 {
+		e.eachShardParallel(func(s *shard) { s.decay(e.cfg.Decay) })
+	}
+	e.window++
+	e.windowClaims.Store(0)
 }
 
 // validateState checks an EngineState before restoring into an engine

@@ -57,8 +57,8 @@ var (
 // submission. Values must already be perturbed on the client device; the
 // engine, like the batch server, only ever sees noisy data.
 type Claim struct {
-	Object int
-	Value  float64
+	Object int     `json:"object"`
+	Value  float64 `json:"value"`
 }
 
 // Config parameterizes a streaming engine.
@@ -120,6 +120,14 @@ type Config struct {
 	// a crash. An append failure rolls the in-memory charge back and the
 	// submission fails with ErrLedger. Requires accounting (Lambda1 > 0).
 	Ledger Ledger
+	// ClaimWAL additionally journals each accepted submission's claims
+	// inside its ledger record, making the sufficient statistics as
+	// durable as the budget: the user's epsilon never pays for a release
+	// that a crash erases before it reached an estimate. Recovery
+	// (ReplayJournal) folds the claims back and re-runs any window closes
+	// the journal implies, so a kill-and-recover engine matches an
+	// uninterrupted one. Requires Ledger.
+	ClaimWAL bool
 }
 
 func (c *Config) validate() error {
@@ -193,6 +201,9 @@ func (c *Config) validate() error {
 		if c.Ledger != nil {
 			return fmt.Errorf("%w: Ledger without Lambda1 accounting", ErrBadConfig)
 		}
+	}
+	if c.ClaimWAL && c.Ledger == nil {
+		return fmt.Errorf("%w: ClaimWAL without a Ledger", ErrBadConfig)
 	}
 	return nil
 }
@@ -366,6 +377,12 @@ func (e *Engine) Ingest(user string, claims []Claim) (int, int, error) {
 		// hand the user their epsilon back on recovery. A failed append
 		// therefore rejects the submission and reverts the charge.
 		rec := ChargeRecord{User: user, Window: e.window, Epsilon: e.epsWindow}
+		if e.cfg.ClaimWAL {
+			// With the claim WAL the statistics ride the same durable
+			// record as the charge: one fsync covers both, and recovery
+			// can replay the submission instead of just its debit.
+			rec.Claims = claims
+		}
 		if err := e.cfg.Ledger.AppendCharge(rec); err != nil {
 			e.users.uncharge(st, e.epsWindow, prevWindow)
 			return 0, 0, fmt.Errorf("%w: user %q window %d: %v", ErrLedger, user, e.window+1, err)
@@ -430,6 +447,21 @@ func (e *Engine) Snapshot() *WindowResult {
 	e.lastMu.Lock()
 	defer e.lastMu.Unlock()
 	return e.last
+}
+
+// RestoreLastResult seeds the published-result slot with a persisted
+// WindowResult after a Restore, so Snapshot serves the last pre-restart
+// estimate immediately instead of nothing until the next window close.
+// The result is not re-derived from the engine state — it is whatever
+// estimate was last published, stored verbatim (internal/streamstore
+// persists it at every window close).
+func (e *Engine) RestoreLastResult(res *WindowResult) {
+	if res == nil {
+		return
+	}
+	e.lastMu.Lock()
+	e.last = res
+	e.lastMu.Unlock()
 }
 
 // Window returns the number of closed windows so far.

@@ -1,25 +1,40 @@
 // Package streamstore persists the streaming truth-discovery engine's
 // state so that privacy guarantees and estimator statistics survive
-// process restarts. It keeps two artifacts in one state directory:
+// process restarts. It keeps three artifacts in one state directory:
 //
-//   - an append-only privacy ledger journal (ledger.journal): one
-//     checksummed record per (user, window) epsilon charge, fsync'd
-//     before the engine acknowledges the submission. The journal is the
-//     ground truth for cumulative budgets between snapshots — a crash
-//     can lose claims, but never a charge that was acknowledged.
+//   - an append-only journal (ledger.journal): one checksummed record
+//     per accepted submission, holding the (user, window) epsilon charge
+//     and — with stream.Config.ClaimWAL — the submission's claims,
+//     fsync'd before the engine acknowledges the submission. Concurrent
+//     appends group-commit: the first appender in becomes the batch
+//     leader and flushes everyone that joined with a single write+fsync
+//     (see Options), so durable ingest scales with concurrency instead
+//     of serializing on the disk. The journal is the ground truth
+//     between snapshots — a crash never loses an acknowledged charge,
+//     nor (with the claim WAL) the statistics it paid for.
 //
 //   - a periodic engine snapshot (snapshot.json): the full
 //     stream.EngineState (window counter, per-user carry weights and
 //     budgets, decayed sufficient statistics) written with a
 //     write-temp / fsync / atomic-rename / fsync-dir sequence and an
-//     embedded CRC-32, typically at every window close. A successful
-//     snapshot subsumes the journal records that predate its export,
-//     which are compacted away; records appended concurrently with the
-//     export are preserved (see SnapshotEngine).
+//     embedded CRC-32, per the Options cadence (every Nth window close
+//     and/or once the journal outgrows a size bound; see
+//     MaybeSnapshotEngine). A successful snapshot subsumes the journal
+//     records that predate its export, which are compacted away; records
+//     appended concurrently with the export are preserved (see
+//     SnapshotEngine). Previous generations can be retained as
+//     operator artifacts (Options.RetainSnapshots).
 //
-// Recovery (LoadState) returns the latest snapshot with every journaled
-// charge replayed on top. Replay is idempotent — records the snapshot
-// already covers are skipped — so budgets recover correctly from any
+//   - the last published window result (result.json): the estimate the
+//     last window close produced, written atomically like the snapshot,
+//     so a restarted server can serve the previous truths immediately
+//     instead of nothing until the next close.
+//
+// Recovery (Recover) restores the latest snapshot into a fresh engine,
+// replays every journaled record on top (budgets always, claims when
+// present — re-running any window closes the journal implies), and seeds
+// the last published result. Replay is idempotent — records the snapshot
+// already covers are skipped — so state recovers correctly from any
 // crash point: journal older than, overlapping, or strictly newer than
 // the snapshot, including a journal with no snapshot at all. A torn or
 // corrupt journal tail (a crash mid-append) is detected by the per-record
@@ -32,9 +47,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"pptd/internal/stream"
 )
@@ -42,9 +59,15 @@ import (
 const (
 	snapshotName    = "snapshot.json"
 	snapshotTmpName = "snapshot.json.tmp"
+	resultName      = "result.json"
+	resultTmpName   = "result.json.tmp"
 	journalName     = "ledger.journal"
 	lockName        = "LOCK"
 	snapshotVersion = 1
+
+	// defaultMaxBatch bounds a group-commit batch when Options.MaxBatch
+	// is zero: large enough that the disk, not the bound, paces ingest.
+	defaultMaxBatch = 256
 )
 
 var (
@@ -58,33 +81,117 @@ var (
 	// on-disk damage rather than an interrupted write; recovery should
 	// not silently continue from it.
 	ErrCorruptSnapshot = errors.New("streamstore: corrupt snapshot")
+	// ErrCorruptResult reports a persisted window result that fails its
+	// integrity check. Like the snapshot it is written atomically, so
+	// this means on-disk damage; deleting result.json clears it at the
+	// cost of serving no estimate until the next window close.
+	ErrCorruptResult = errors.New("streamstore: corrupt result")
 )
+
+// Options tunes a store's durability/throughput trade-offs. The zero
+// value is the sensible default: group commit with no added latency,
+// a snapshot at every window close, no retained generations.
+type Options struct {
+	// FlushInterval is the longest a group-commit leader lingers to let
+	// more concurrent appends join its batch before syncing. Zero adds
+	// no latency: batching then comes only from appends arriving while
+	// an earlier sync (or a snapshot) holds the disk, which is already
+	// enough to make durable ingest scale with concurrency. Positive
+	// values trade per-append latency for larger batches — fewer fsyncs
+	// — under load that arrives faster than it syncs.
+	FlushInterval time.Duration
+	// MaxBatch caps the records one group-commit batch may carry; a
+	// full batch stops waiting and syncs immediately. Zero means 256.
+	// MaxBatch 1 disables group commit entirely — every append pays its
+	// own fsync (kept for benchmarking the trade-off and for strict
+	// one-record-per-sync deployments).
+	MaxBatch int
+	// SnapshotEvery makes MaybeSnapshotEngine write a snapshot on every
+	// Nth call (the server calls it once per window close) instead of
+	// every one. Zero or one snapshots at every close. The journal —
+	// and the claim WAL, when enabled — covers the windows in between.
+	SnapshotEvery int
+	// SnapshotBytes forces a snapshot on the next MaybeSnapshotEngine
+	// call whenever the journal has grown past this many bytes,
+	// regardless of cadence, bounding both recovery replay time and
+	// disk growth. Zero disables the size trigger.
+	SnapshotBytes int64
+	// RetainSnapshots keeps the previous N snapshot generations
+	// (snapshot.json.1 is the most recent previous) as manual-recovery
+	// artifacts for operators. Recovery never reads them: an older
+	// snapshot combined with a journal compacted against a newer one is
+	// missing charges, and silently falling back would hand users their
+	// spent epsilon back. Zero retains none.
+	RetainSnapshots int
+}
+
+func (o Options) validate() error {
+	switch {
+	case o.FlushInterval < 0:
+		return fmt.Errorf("streamstore: FlushInterval = %v", o.FlushInterval)
+	case o.MaxBatch < 0:
+		return fmt.Errorf("streamstore: MaxBatch = %d", o.MaxBatch)
+	case o.SnapshotEvery < 0:
+		return fmt.Errorf("streamstore: SnapshotEvery = %d", o.SnapshotEvery)
+	case o.SnapshotBytes < 0:
+		return fmt.Errorf("streamstore: SnapshotBytes = %d", o.SnapshotBytes)
+	case o.RetainSnapshots < 0:
+		return fmt.Errorf("streamstore: RetainSnapshots = %d", o.RetainSnapshots)
+	}
+	return nil
+}
 
 // Store is a durable state directory for one streaming engine. It
 // implements stream.Ledger, so it can be wired directly into
-// stream.Config.Ledger. Safe for concurrent use; appends from concurrent
-// submissions are serialized internally (each paying one fsync — batched
-// group commit is a possible future optimization).
+// stream.Config.Ledger. Safe for concurrent use; concurrent appends
+// coalesce into group-commit batches that share one fsync each.
 type Store struct {
-	dir string
+	dir  string
+	opts Options
 
-	mu          sync.Mutex
-	lock        *os.File
-	journal     *os.File
-	journalSize int64
-	closed      bool
+	// commitMu guards the open group-commit batch; it is never held
+	// across I/O, so joining a batch stays cheap under contention.
+	commitMu sync.Mutex
+	pending  *commitBatch
+
+	mu                  sync.Mutex
+	lock                *os.File
+	journal             *os.File
+	journalSize         int64
+	journalSyncs        int64
+	closesSinceSnapshot int
+	closed              bool
 }
 
-// Open creates (or reopens) the state directory and prepares the ledger
-// journal for appending, truncating any torn tail left by a crash
+// JournalSyncs returns how many journal fsyncs the store has issued
+// since Open. With group commit one sync can cover many appends; the
+// ratio of appends to syncs is the batching win (reported by
+// BenchmarkDurableIngest and useful for ops dashboards).
+func (s *Store) JournalSyncs() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journalSyncs
+}
+
+// Open creates (or reopens) the state directory with default Options.
+// See OpenWith.
+func Open(dir string) (*Store, error) {
+	return OpenWith(dir, Options{})
+}
+
+// OpenWith creates (or reopens) the state directory and prepares the
+// ledger journal for appending, truncating any torn tail left by a crash
 // mid-append. The directory is guarded by an advisory lock (LOCK file,
 // flock on unix, released automatically if the process dies): two
 // processes sharing one state directory would silently overwrite each
 // other's journal records, so a second concurrent Open fails with
 // ErrLocked instead. Callers own the returned store and must Close it.
-func Open(dir string) (*Store, error) {
+func OpenWith(dir string, opts Options) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("streamstore: empty state directory")
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("streamstore: create state dir: %w", err)
@@ -103,7 +210,7 @@ func Open(dir string) (*Store, error) {
 		_ = lock.Close()
 		return nil, fmt.Errorf("streamstore: open journal: %w", err)
 	}
-	s := &Store{dir: dir, lock: lock, journal: f}
+	s := &Store{dir: dir, opts: opts, lock: lock, journal: f}
 	if err := s.repairJournalLocked(); err != nil {
 		_ = f.Close()
 		_ = unlockFile(lock)
@@ -118,19 +225,23 @@ func (s *Store) Dir() string { return s.dir }
 
 // AppendCharge durably appends one privacy-ledger record: it returns
 // only after the record is written and fsync'd, which is what lets the
-// engine acknowledge the submission. Implements stream.Ledger.
+// engine acknowledge the submission. Concurrent calls group-commit —
+// one of them leads the batch and runs a single write+fsync for all —
+// so the fsync cost amortizes across however many submissions are in
+// flight. Implements stream.Ledger.
 func (s *Store) AppendCharge(rec stream.ChargeRecord) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("streamstore: encode charge: %w", err)
 	}
-	return s.appendJournalLocked(rec)
+	line := fmt.Sprintf("%0*x %s\n", journalCRCLen, crc32.ChecksumIEEE(payload), payload)
+	return s.commit([]byte(line))
 }
 
-// snapshotEnvelope wraps the serialized EngineState with an integrity
-// check: CRC32 is the IEEE checksum of the raw State bytes.
-type snapshotEnvelope struct {
+// envelope wraps a serialized payload (engine state or window result)
+// with an integrity check: CRC32 is the IEEE checksum of the raw State
+// bytes.
+type envelope struct {
 	Version int             `json:"version"`
 	CRC32   string          `json:"crc32"`
 	State   json.RawMessage `json:"state"`
@@ -162,67 +273,256 @@ func (s *Store) SnapshotEngine(e *stream.Engine) error {
 	return s.WriteSnapshot(st, coveredUpTo)
 }
 
+// MaybeSnapshotEngine applies the store's snapshot cadence: it counts
+// one window close and snapshots the engine (SnapshotEngine) when the
+// count reaches Options.SnapshotEvery, or sooner once the journal has
+// outgrown Options.SnapshotBytes. It reports whether a snapshot was
+// attempted; a skipped close costs nothing beyond the counter. Skipping
+// is safe exactly when the journal can reconstruct the skipped windows:
+// budgets always can, statistics only with the claim WAL — without it a
+// crash between snapshots falls back to losing post-snapshot claims
+// (privacy-conservative, as before).
+func (s *Store) MaybeSnapshotEngine(e *stream.Engine) (bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrClosed
+	}
+	s.closesSinceSnapshot++
+	every := s.opts.SnapshotEvery
+	if every <= 0 {
+		every = 1
+	}
+	due := s.closesSinceSnapshot >= every ||
+		(s.opts.SnapshotBytes > 0 && s.journalSize >= s.opts.SnapshotBytes)
+	s.mu.Unlock()
+	if !due {
+		return false, nil
+	}
+	return true, s.SnapshotEngine(e)
+}
+
 // WriteSnapshot atomically replaces the on-disk snapshot with the given
 // engine state: the envelope is written to a temporary file, fsync'd,
 // renamed over the snapshot name, and the directory is fsync'd, so a
 // crash at any point leaves either the old snapshot or the new one —
-// never a partial file. After the snapshot is durable the journal is
-// compacted: records before coveredUpTo — a journal offset captured
-// before st was exported (see JournalOffset; SnapshotEngine does the
-// whole dance) — are covered by the snapshot and dropped, while records
-// past it, which may postdate the export, are preserved. If compaction
-// is interrupted, replaying stale records is harmless because recovery
-// replay is idempotent.
+// never a partial file. When Options.RetainSnapshots is set, the
+// previous snapshot is first filed as generation .1 (older generations
+// shift up) without ever touching the live file. After the snapshot is
+// durable the journal is compacted: records before coveredUpTo — a
+// journal offset captured before st was exported (see JournalOffset;
+// SnapshotEngine does the whole dance) — are covered by the snapshot
+// and dropped, while records past it, which may postdate the export,
+// are preserved. If compaction is interrupted, replaying stale records
+// is harmless because recovery replay is idempotent.
 func (s *Store) WriteSnapshot(st *stream.EngineState, coveredUpTo int64) error {
 	if st == nil {
 		return errors.New("streamstore: nil engine state")
+	}
+	body, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("streamstore: encode snapshot: %w", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	body, err := json.Marshal(st)
-	if err != nil {
-		return fmt.Errorf("streamstore: encode snapshot: %w", err)
+	if s.opts.RetainSnapshots > 0 {
+		s.rotateSnapshotsLocked()
 	}
-	env, err := json.Marshal(snapshotEnvelope{
+	if err := s.writeEnvelopeLocked("snapshot", snapshotName, snapshotTmpName, body); err != nil {
+		return err
+	}
+	s.closesSinceSnapshot = 0
+	return s.compactJournalLocked(coveredUpTo)
+}
+
+// SaveResult atomically persists one window close's published result
+// (same temp/fsync/rename/dir-fsync dance as the snapshot), so recovery
+// can serve the previous estimate immediately instead of answering
+// not-ready until the next close. Truths of uncovered objects are NaN
+// in the engine, which JSON cannot carry; they are stored as zeros and
+// restored from the Covered mask on load.
+func (s *Store) SaveResult(res *stream.WindowResult) error {
+	if res == nil {
+		return errors.New("streamstore: nil window result")
+	}
+	cp := *res
+	cp.Truths = make([]float64, len(res.Truths))
+	for i, v := range res.Truths {
+		if i < len(res.Covered) && res.Covered[i] {
+			cp.Truths[i] = v
+		}
+	}
+	body, err := json.Marshal(&cp)
+	if err != nil {
+		return fmt.Errorf("streamstore: encode result: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.writeEnvelopeLocked("result", resultName, resultTmpName, body)
+}
+
+// LoadResult returns the last persisted window result, or nil when none
+// was ever saved. Uncovered truths come back as NaN, matching what the
+// engine published.
+func (s *Store) LoadResult() (*stream.WindowResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	body, err := readEnvelope(filepath.Join(s.dir, resultName), ErrCorruptResult)
+	if body == nil || err != nil {
+		return nil, err
+	}
+	res := new(stream.WindowResult)
+	if err := json.Unmarshal(body, res); err != nil {
+		return nil, fmt.Errorf("%w: decode result: %v", ErrCorruptResult, err)
+	}
+	for i := range res.Truths {
+		if i >= len(res.Covered) || !res.Covered[i] {
+			res.Truths[i] = math.NaN()
+		}
+	}
+	return res, nil
+}
+
+// writeEnvelopeLocked writes payload under a checksummed envelope with
+// the atomic temp/fsync/rename/dir-fsync sequence. Callers must hold
+// s.mu.
+func (s *Store) writeEnvelopeLocked(what, name, tmpName string, payload []byte) error {
+	env, err := json.Marshal(envelope{
 		Version: snapshotVersion,
-		CRC32:   fmt.Sprintf("%08x", crc32.ChecksumIEEE(body)),
-		State:   body,
+		CRC32:   fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)),
+		State:   payload,
 	})
 	if err != nil {
-		return fmt.Errorf("streamstore: encode snapshot envelope: %w", err)
+		return fmt.Errorf("streamstore: encode %s envelope: %w", what, err)
 	}
-
-	tmp := filepath.Join(s.dir, snapshotTmpName)
+	tmp := filepath.Join(s.dir, tmpName)
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		return fmt.Errorf("streamstore: create snapshot temp: %w", err)
+		return fmt.Errorf("streamstore: create %s temp: %w", what, err)
 	}
 	if _, err := f.Write(env); err != nil {
 		_ = f.Close()
-		return fmt.Errorf("streamstore: write snapshot: %w", err)
+		return fmt.Errorf("streamstore: write %s: %w", what, err)
 	}
 	if err := f.Sync(); err != nil {
 		_ = f.Close()
-		return fmt.Errorf("streamstore: sync snapshot: %w", err)
+		return fmt.Errorf("streamstore: sync %s: %w", what, err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("streamstore: close snapshot temp: %w", err)
+		return fmt.Errorf("streamstore: close %s temp: %w", what, err)
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
-		return fmt.Errorf("streamstore: publish snapshot: %w", err)
+	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
+		return fmt.Errorf("streamstore: publish %s: %w", what, err)
 	}
 	if err := syncDir(s.dir); err != nil {
 		return fmt.Errorf("streamstore: sync state dir: %w", err)
 	}
-	return s.compactJournalLocked(coveredUpTo)
+	return nil
+}
+
+// rotateSnapshotsLocked files the current snapshot as generation .1,
+// shifting older generations up and dropping the one past
+// RetainSnapshots. Every step leaves snapshot.json itself untouched —
+// the current generation is hard-linked, not moved — so a crash
+// mid-rotation can cost at most a retained copy, never the live
+// snapshot. Failures are ignored for the same reason: generations are
+// operator artifacts, never read by recovery. Callers must hold s.mu.
+func (s *Store) rotateSnapshotsLocked() {
+	cur := filepath.Join(s.dir, snapshotName)
+	if _, err := os.Stat(cur); err != nil {
+		return // nothing to retain yet
+	}
+	gen := func(k int) string { return fmt.Sprintf("%s.%d", cur, k) }
+	for k := s.opts.RetainSnapshots - 1; k >= 1; k-- {
+		_ = os.Rename(gen(k), gen(k+1))
+	}
+	_ = os.Remove(gen(1))
+	if err := os.Link(cur, gen(1)); err != nil {
+		// Hard links can be unsupported (some network filesystems); fall
+		// back to a plain copy of the current bytes.
+		if data, rerr := os.ReadFile(cur); rerr == nil {
+			_ = os.WriteFile(gen(1), data, 0o644)
+		}
+	}
+}
+
+// Recover restores everything the store persists into a freshly
+// constructed engine: the latest snapshot (if any) via Engine.Restore,
+// then the journal replayed on top via Engine.ReplayJournal — budgets
+// always; claims too when the records carry them (stream.Config.ClaimWAL),
+// re-running any window closes the journal implies — then window closes
+// that only the published result proves (Engine.ReplayClosesTo; a
+// cadence-skipped snapshot leaves the last close with no journal trace),
+// and finally the last published window result via
+// Engine.RestoreLastResult, so the previous estimate is servable
+// immediately. It reports whether any persisted state was found; false
+// means a fresh deployment.
+func (s *Store) Recover(e *stream.Engine) (bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrClosed
+	}
+	st, err := s.loadSnapshotLocked()
+	if err != nil {
+		s.mu.Unlock()
+		return false, err
+	}
+	recs, _, err := s.readJournalLocked()
+	if err != nil {
+		s.mu.Unlock()
+		return false, err
+	}
+	s.mu.Unlock()
+
+	res, err := s.LoadResult()
+	if err != nil {
+		return true, err
+	}
+	if st == nil && len(recs) == 0 && res == nil {
+		return false, nil
+	}
+	if st != nil {
+		if err := e.Restore(st); err != nil {
+			return true, err
+		}
+	}
+	if len(recs) > 0 {
+		if _, err := e.ReplayJournal(recs); err != nil {
+			return true, err
+		}
+	}
+	if res != nil {
+		// A close that no journal record postdates — snapshot skipped by
+		// cadence, no traffic afterwards — is provable only through the
+		// published result: fast-forward the window counter to it, so
+		// the recovered engine does not re-open a window its users
+		// already saw close.
+		if err := e.ReplayClosesTo(res.Window); err != nil {
+			return true, err
+		}
+	}
+	e.RestoreLastResult(res)
+	return true, nil
 }
 
 // LoadState recovers the engine state: the latest snapshot (if any) with
 // all journaled charges replayed on top. It returns (nil, nil) when the
 // directory holds no state at all — a fresh deployment.
+//
+// LoadState is the budgets-only, state-level view: claims carried by
+// claim-WAL records are not folded (stream.EngineState.ReplayCharges
+// ignores them), and no persisted window result is loaded. Recover is
+// the full recovery path.
 func (s *Store) LoadState() (*stream.EngineState, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -250,28 +550,39 @@ func (s *Store) LoadState() (*stream.EngineState, error) {
 // loadSnapshotLocked reads and verifies the snapshot file, returning nil
 // when none exists. Callers must hold s.mu.
 func (s *Store) loadSnapshotLocked() (*stream.EngineState, error) {
-	data, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
+	body, err := readEnvelope(filepath.Join(s.dir, snapshotName), ErrCorruptSnapshot)
+	if body == nil || err != nil {
+		return nil, err
+	}
+	st := new(stream.EngineState)
+	if err := json.Unmarshal(body, st); err != nil {
+		return nil, fmt.Errorf("%w: decode state: %v", ErrCorruptSnapshot, err)
+	}
+	return st, nil
+}
+
+// readEnvelope reads and integrity-checks one enveloped file, returning
+// (nil, nil) when the file does not exist and wrapping verification
+// failures in corruptErr.
+func readEnvelope(path string, corruptErr error) ([]byte, error) {
+	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("streamstore: read snapshot: %w", err)
+		return nil, fmt.Errorf("streamstore: read %s: %w", filepath.Base(path), err)
 	}
-	var env snapshotEnvelope
+	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+		return nil, fmt.Errorf("%w: %v", corruptErr, err)
 	}
 	if env.Version != snapshotVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptSnapshot, env.Version)
+		return nil, fmt.Errorf("%w: unsupported version %d", corruptErr, env.Version)
 	}
 	if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(env.State)); got != env.CRC32 {
-		return nil, fmt.Errorf("%w: checksum %s, want %s", ErrCorruptSnapshot, got, env.CRC32)
+		return nil, fmt.Errorf("%w: checksum %s, want %s", corruptErr, got, env.CRC32)
 	}
-	st := new(stream.EngineState)
-	if err := json.Unmarshal(env.State, st); err != nil {
-		return nil, fmt.Errorf("%w: decode state: %v", ErrCorruptSnapshot, err)
-	}
-	return st, nil
+	return env.State, nil
 }
 
 // Close releases the journal handle and the directory lock. Appends and

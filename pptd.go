@@ -61,40 +61,55 @@
 // default; the per-user epsilon map (the full historical client roster)
 // is opt-in via StreamConfig.PerUserReport.
 //
-// # Durable privacy ledger
+// # Durable streaming state
 //
 // A streaming privacy guarantee is only as durable as its ledger: if a
 // restart erased cumulative epsilon, every returning client would
 // re-spend its budget from zero. OpenStreamStore gives the engine a
-// state directory with an append-only, fsync'd privacy-ledger journal
-// (one record per (user, window) charge, durable before the submission
-// is acknowledged) and atomic checksummed engine snapshots (sufficient
-// statistics, carry weights, window counter) written at each window
-// close:
+// state directory with an append-only, fsync'd journal (one record per
+// accepted submission — its (user, window) epsilon charge and, with
+// StreamConfig.ClaimWAL, its claims — durable before the submission is
+// acknowledged; concurrent submissions coalesce into group-commit
+// batches that share one fsync, so the durable path scales with load),
+// atomic checksummed engine snapshots written per a configurable
+// cadence (StreamStoreOptions.SnapshotEvery / SnapshotBytes, with
+// retained generations), and the last published window result:
 //
 //	store, _ := pptd.OpenStreamStore("/var/lib/pptd")
 //	defer store.Close()
 //	srv, _ := pptd.NewStreamCampaignServer(pptd.StreamCampaignServerConfig{
-//		Engine:         pptd.StreamConfig{NumObjects: 30, Lambda1: 1, Lambda2: 2, Delta: 0.3},
+//		Engine: pptd.StreamConfig{
+//			NumObjects: 30, Lambda1: 1, Lambda2: 2, Delta: 0.3,
+//			ClaimWAL: true, // statistics as durable as the budget
+//		},
 //		Persistence:    store,
 //		WindowInterval: time.Minute, // optional ticker-driven window closes
 //	})
 //	defer srv.Close()
 //
-// On startup the server restores the latest snapshot and replays any
-// journal records newer than it, so a kill-and-recover engine produces
-// the same next-window truths and weights as an uninterrupted one, and a
-// budget-exhausted user stays rejected after the restart. Raw engines
-// get the same hooks via StreamEngine.ExportState / Restore and
-// StreamConfig.Ledger.
+// On startup the server restores the latest snapshot, replays the
+// journal on top (re-running any window closes the journal implies),
+// and serves the persisted previous estimate immediately, so a
+// kill-and-recover deployment produces the same next-window truths and
+// weights as an uninterrupted one (within 1e-9 with the claim WAL), a
+// budget-exhausted user stays rejected after the restart, and GET
+// /v1/stream/truths never regresses to 404 across a restart. Raw
+// engines get the same hooks via StreamEngine.ExportState / Restore /
+// ReplayJournal / RestoreLastResult, StreamConfig.Ledger, and
+// StreamStore.Recover. The full crash-recovery contract — what
+// survives which failure, the fsync/ack ordering, and the group-commit
+// and snapshot-cadence trade-offs — is specified in docs/DURABILITY.md,
+// and docs/ARCHITECTURE.md maps the paper's sections onto the packages
+// and walks the ingest → journal → snapshot → recovery pipeline.
 //
 // The subpackage layout mirrors the paper: the mechanism and accountant
 // live in internal/core, truth discovery in internal/truth, the
 // closed-form analysis in internal/theory, data generators in
 // internal/synthetic and internal/floorplan, the networked crowd sensing
 // system in internal/crowd (one-shot and streaming), the streaming
-// engine in internal/stream, and the figure-regeneration harness in
-// internal/eval. This package re-exports the full public surface.
+// engine in internal/stream, its durable state in internal/streamstore,
+// and the figure-regeneration harness in internal/eval. This package
+// re-exports the full public surface.
 package pptd
 
 import (

@@ -59,6 +59,10 @@ var (
 	// ErrStreamCorruptSnapshot reports a persisted snapshot that fails
 	// its integrity check (on-disk damage, not a crash artifact).
 	ErrStreamCorruptSnapshot = streamstore.ErrCorruptSnapshot
+	// ErrStreamCorruptResult reports a persisted window result that
+	// fails its integrity check; deleting result.json clears it at the
+	// cost of serving no estimate until the next window close.
+	ErrStreamCorruptResult = streamstore.ErrCorruptResult
 )
 
 // StreamEngineState is a point-in-time export of a streaming engine —
@@ -76,15 +80,32 @@ type StreamChargeRecord = stream.ChargeRecord
 type StreamLedger = stream.Ledger
 
 // StreamStore is the durable state directory for a streaming engine: an
-// fsync'd append-only privacy ledger journal plus atomically-replaced,
-// checksummed engine snapshots. It implements StreamLedger and plugs
-// into StreamCampaignServerConfig.Persistence.
+// fsync'd append-only journal (privacy charges, and claims when the
+// claim WAL is on) with group-committed concurrent appends, plus
+// atomically-replaced, checksummed engine snapshots and the last
+// published window result. It implements StreamLedger and plugs into
+// StreamCampaignServerConfig.Persistence; StreamStore.Recover rebuilds
+// a fresh engine from everything persisted.
 type StreamStore = streamstore.Store
 
-// OpenStreamStore creates or reopens a streaming state directory,
-// repairing any torn journal tail left by a crash. Close it after the
-// server using it has been closed.
+// StreamStoreOptions tunes a stream store's durability/throughput
+// trade-offs: group-commit batching (FlushInterval, MaxBatch), snapshot
+// cadence (SnapshotEvery, SnapshotBytes), and retained snapshot
+// generations (RetainSnapshots). The zero value is the default: group
+// commit with no added latency, a snapshot at every window close, no
+// retained generations.
+type StreamStoreOptions = streamstore.Options
+
+// OpenStreamStore creates or reopens a streaming state directory with
+// default options, repairing any torn journal tail left by a crash.
+// Close it after the server using it has been closed.
 func OpenStreamStore(dir string) (*StreamStore, error) { return streamstore.Open(dir) }
+
+// OpenStreamStoreWith is OpenStreamStore with explicit
+// StreamStoreOptions.
+func OpenStreamStoreWith(dir string, opts StreamStoreOptions) (*StreamStore, error) {
+	return streamstore.OpenWith(dir, opts)
+}
 
 // StreamCampaignServer serves a streaming sensing campaign over HTTP:
 // batched perturbed claims in, live per-window truth snapshots out, with
