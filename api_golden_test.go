@@ -1,0 +1,166 @@
+package pptd_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api.golden from the current exported surface")
+
+// TestAPIGolden pins the package's exported surface to a golden file: a
+// sorted, source-derived rendering of every exported const, var, type,
+// and function declaration. An accidental breaking change — a removed
+// symbol, a changed signature, a narrowed type — shows up as a diff and
+// fails CI (the api-compat job). Intentional changes regenerate with
+//
+//	go test -run TestAPIGolden . -update
+func TestAPIGolden(t *testing.T) {
+	got := renderExportedSurface(t, ".")
+	goldenPath := filepath.Join("testdata", "api.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Pinpoint the first divergence line for a readable failure.
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("exported API surface drifted at line %d:\n  golden: %s\n  now:    %s\n"+
+				"If this change is intentional, regenerate with: go test -run TestAPIGolden . -update",
+				i+1, w, g)
+		}
+	}
+	t.Fatal("exported API surface drifted (length mismatch); regenerate with -update if intentional")
+}
+
+// renderExportedSurface parses the package's non-test sources and
+// renders every exported declaration, sorted, comments stripped — a
+// deterministic fingerprint of the public API.
+func renderExportedSurface(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["pptd"]
+	if !ok {
+		t.Fatalf("package pptd not found in %s (have %v)", dir, pkgs)
+	}
+
+	var entries []string
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 8}
+	render := func(node any) string {
+		var buf bytes.Buffer
+		if err := cfg.Fprint(&buf, fset, node); err != nil {
+			t.Fatalf("render decl: %v", err)
+		}
+		return buf.String()
+	}
+
+	names := make([]string, 0, len(pkg.Files))
+	for name := range pkg.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, decl := range pkg.Files[name].Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Recv != nil {
+					// Methods of re-exported (aliased) internal types are
+					// not declared here; top-level funcs are the surface.
+					continue
+				}
+				fn := *d
+				fn.Doc, fn.Body = nil, nil
+				entries = append(entries, render(&fn))
+			case *ast.GenDecl:
+				specs := exportedSpecs(d)
+				if len(specs) == 0 {
+					continue
+				}
+				gd := *d
+				gd.Doc = nil
+				gd.Specs = specs
+				// Force the one-spec form to not depend on grouping.
+				if len(specs) == 1 {
+					gd.Lparen, gd.Rparen = token.NoPos, token.NoPos
+				}
+				for _, s := range specs {
+					entries = append(entries, render(&ast.GenDecl{Tok: gd.Tok, Specs: []ast.Spec{s}}))
+				}
+			}
+		}
+	}
+	sort.Strings(entries)
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Exported surface of package pptd. Regenerate: go test -run TestAPIGolden . -update\n")
+	for _, e := range entries {
+		b.WriteString(e)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// exportedSpecs filters a const/var/type decl down to its exported
+// specs, stripping docs (deprecation notices live in docs, not in the
+// compatibility fingerprint).
+func exportedSpecs(d *ast.GenDecl) []ast.Spec {
+	var out []ast.Spec
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() {
+				ts := *s
+				ts.Doc, ts.Comment = nil, nil
+				out = append(out, &ts)
+			}
+		case *ast.ValueSpec:
+			exported := false
+			for _, n := range s.Names {
+				if n.IsExported() {
+					exported = true
+				}
+			}
+			if exported {
+				vs := *s
+				vs.Doc, vs.Comment = nil, nil
+				out = append(out, &vs)
+			}
+		}
+	}
+	return out
+}

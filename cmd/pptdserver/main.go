@@ -1,12 +1,15 @@
-// Command pptdserver runs a crowd sensing campaign server: it publishes a
-// campaign (number of micro-tasks plus the perturbation rate lambda2),
-// collects perturbed submissions from pptduser clients, aggregates with
-// truth discovery once the expected number of users reported, and serves
-// the result.
+// Command pptdserver runs a crowd sensing node: it publishes a campaign
+// (number of micro-tasks plus the perturbation rate lambda2), collects
+// perturbed submissions from pptduser clients, aggregates with truth
+// discovery once the expected number of users reported, and serves the
+// result. With -stream it additionally hosts the streaming campaign on
+// the same address — one front door for both APIs, built with
+// pptd.NewNode.
 //
 // Usage:
 //
 //	pptdserver -addr :8080 -objects 30 -lambda2 2 -users 50 -method crh
+//	pptdserver -addr :8080 -objects 30 -lambda2 2 -stream -window-interval 30s
 package main
 
 import (
@@ -33,41 +36,63 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("pptdserver", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		name    = fs.String("name", "campaign", "campaign name")
-		objects = fs.Int("objects", 30, "number of micro-tasks (objects)")
-		lambda2 = fs.Float64("lambda2", 2, "noise-variance rate released to users")
-		users   = fs.Int("users", 0, "auto-aggregate after this many users (0 = manual)")
-		method  = fs.String("method", "crh", "truth discovery method: crh, gtm, catd, mean, median")
+		addr     = fs.String("addr", ":8080", "listen address")
+		name     = fs.String("name", "campaign", "campaign name")
+		objects  = fs.Int("objects", 30, "number of micro-tasks (objects)")
+		lambda2  = fs.Float64("lambda2", 2, "noise-variance rate released to users")
+		users    = fs.Int("users", 0, "auto-aggregate after this many users (0 = manual)")
+		method   = fs.String("method", "crh", "truth discovery method: crh, gtm, catd, mean, median")
+		stream   = fs.Bool("stream", false, "also host the streaming campaign (same objects) on the same mux")
+		interval = fs.Duration("window-interval", 0, "with -stream: close stream windows on this ticker (0 = manual POST /v1/stream/window)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *interval != 0 && !*stream {
+		return errors.New("-window-interval needs -stream")
+	}
+	if *users < 0 {
+		return fmt.Errorf("-users = %d: want 0 (manual aggregation) or a positive trigger", *users)
 	}
 
 	td, err := methodByName(*method)
 	if err != nil {
 		return err
 	}
-	srv, err := pptd.NewCampaignServer(pptd.CampaignServerConfig{
-		Name:          *name,
-		NumObjects:    *objects,
-		Lambda2:       *lambda2,
-		ExpectedUsers: *users,
-		Method:        td,
-	})
+	opts := []pptd.Option{
+		pptd.WithName(*name),
+		pptd.WithBatchCampaign(*objects),
+		pptd.WithLambda2(*lambda2),
+		pptd.WithMethod(td),
+	}
+	if *users > 0 {
+		opts = append(opts, pptd.WithExpectedUsers(*users))
+	}
+	if *stream {
+		opts = append(opts, pptd.WithStreamEngine(*objects))
+		if *interval > 0 {
+			opts = append(opts, pptd.WithWindowInterval(*interval))
+		}
+	}
+	node, err := pptd.NewNode(opts...)
 	if err != nil {
 		return err
 	}
+	defer func() { _ = node.Close() }()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           node.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("campaign %q: %d objects, lambda2=%v, method=%s, listening on %s",
-			*name, *objects, *lambda2, td.Name(), *addr)
+		apis := "batch API"
+		if *stream {
+			apis = "batch + streaming APIs"
+		}
+		log.Printf("campaign %q: %d objects, lambda2=%v, method=%s, %s listening on %s",
+			*name, *objects, *lambda2, td.Name(), apis, *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

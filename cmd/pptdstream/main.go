@@ -86,27 +86,20 @@ func run(args []string, out io.Writer) error {
 	if *addr != "" && (*stateDir != "" || *interval != 0) {
 		return errors.New("-state-dir and -window-interval configure the in-process server; they cannot apply to an external -addr")
 	}
+	if *snapEvery < 0 || *snapBytes < 0 || *snapRetain < 0 {
+		return fmt.Errorf("negative snapshot flags (-snapshot-every %d, -snapshot-bytes %d, -retain-snapshots %d)",
+			*snapEvery, *snapBytes, *snapRetain)
+	}
 
 	baseURL := *addr
 	if baseURL == "" {
-		var store *pptd.StreamStore
-		if *stateDir != "" {
-			var err error
-			store, err = pptd.OpenStreamStoreWith(*stateDir, pptd.StreamStoreOptions{
-				FlushInterval:   *commitWait,
-				MaxBatch:        *commitBatch,
-				SnapshotEvery:   *snapEvery,
-				SnapshotBytes:   *snapBytes,
-				RetainSnapshots: *snapRetain,
-			})
-			if err != nil {
-				return err
-			}
-			defer func() { _ = store.Close() }()
-		}
-		srv, err := pptd.NewStreamCampaignServer(pptd.StreamCampaignServerConfig{
-			Name: "pptdstream",
-			Engine: pptd.StreamConfig{
+		// One front door: the in-process server is a pptd node built from
+		// functional options. The explicit (lambda1, lambda2, delta) flags
+		// map onto the WithStreamConfig escape hatch; everything else is a
+		// dedicated option.
+		nodeOpts := []pptd.Option{
+			pptd.WithName("pptdstream"),
+			pptd.WithStreamConfig(pptd.StreamConfig{
 				NumObjects:    *objects,
 				NumShards:     *shards,
 				Decay:         *decay,
@@ -115,22 +108,39 @@ func run(args []string, out io.Writer) error {
 				Delta:         *delta,
 				EpsilonBudget: *budget,
 				PerUserReport: *perUser,
-				// The claim WAL needs the durable ledger the state dir
-				// provides; without one the flag is inert.
-				ClaimWAL: *claimWAL && store != nil && *lambda1 > 0,
-			},
-			Persistence:    store,
-			WindowInterval: *interval,
-		})
+			}),
+		}
+		if *interval > 0 {
+			nodeOpts = append(nodeOpts, pptd.WithWindowInterval(*interval))
+		}
+		if *stateDir != "" {
+			popts := []pptd.PersistenceOption{
+				pptd.WithGroupCommit(*commitWait, *commitBatch),
+			}
+			if *snapEvery > 0 {
+				popts = append(popts, pptd.WithSnapshotEvery(*snapEvery))
+			}
+			if *snapBytes > 0 {
+				popts = append(popts, pptd.WithSnapshotBytes(*snapBytes))
+			}
+			if *snapRetain > 0 {
+				popts = append(popts, pptd.WithRetainSnapshots(*snapRetain))
+			}
+			if !*claimWAL {
+				popts = append(popts, pptd.WithoutClaimWAL())
+			}
+			nodeOpts = append(nodeOpts, pptd.WithPersistence(*stateDir, popts...))
+		}
+		node, err := pptd.NewNode(nodeOpts...)
 		if err != nil {
 			return err
 		}
-		defer func() { _ = srv.Close() }()
+		defer func() { _ = node.Close() }()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
 		}
-		httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		httpSrv := &http.Server{Handler: node.Handler(), ReadHeaderTimeout: 5 * time.Second}
 		go func() { _ = httpSrv.Serve(ln) }()
 		defer func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -140,7 +150,7 @@ func run(args []string, out io.Writer) error {
 		baseURL = "http://" + ln.Addr().String()
 	}
 
-	client, err := pptd.NewCampaignClient(baseURL)
+	client, err := pptd.NewClient(baseURL)
 	if err != nil {
 		return err
 	}
@@ -208,8 +218,9 @@ func run(args []string, out io.Writer) error {
 			go func(d *device) {
 				defer wg.Done()
 				if _, err := d.user.ParticipateStream(ctx, client); err != nil {
-					var httpErr *pptd.CampaignHTTPError
-					if errors.As(err, &httpErr) && httpErr.StatusCode == http.StatusTooManyRequests {
+					// The client decodes the envelope's budget_exhausted
+					// code into the typed sentinel.
+					if errors.Is(err, pptd.ErrBudgetExhausted) {
 						refused.Add(1)
 						return
 					}
@@ -227,10 +238,9 @@ func run(args []string, out io.Writer) error {
 		estStart := time.Now()
 		res, err := client.StreamCloseWindow(ctx)
 		if err != nil {
-			// A fully-refused fleet can leave the window empty (409);
-			// that is the budget doing its job, not a driver failure.
-			var httpErr *pptd.CampaignHTTPError
-			if refused.Load() > 0 && errors.As(err, &httpErr) && httpErr.StatusCode == http.StatusConflict {
+			// A fully-refused fleet can leave the window empty; that is
+			// the budget doing its job, not a driver failure.
+			if refused.Load() > 0 && errors.Is(err, pptd.ErrEmptyWindow) {
 				fmt.Fprintf(out, "%-7s %9d %8d %10s %9s %5s %8s %9s %9s\n",
 					"-", 0, refused.Load(), "-", "-", "-", "-", "-", "-")
 				continue
@@ -263,9 +273,9 @@ func run(args []string, out io.Writer) error {
 
 	final, err := client.StreamTruths(ctx)
 	if err != nil {
-		// The server answers 404 (ErrStreamNotReady) while no window has
-		// ever closed; with a starved fleet that is the budget working.
-		if totalRefused > 0 && errors.Is(err, pptd.ErrStreamNotReady) {
+		// The server answers 404 (ErrNotReady) while no window has ever
+		// closed; with a starved fleet that is the budget working.
+		if totalRefused > 0 && errors.Is(err, pptd.ErrNotReady) {
 			fmt.Fprintf(out, "stream done: no window ever closed — all %d submissions refused by budget\n", totalRefused)
 			return nil
 		}
@@ -277,6 +287,25 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "cumulative privacy: max per-user epsilon %.4f (delta %.4g) over %d windows across %d tracked users\n",
 			final.Privacy.MaxCumulative, final.Privacy.CumulativeDelta,
 			final.Privacy.MaxWindows, final.Privacy.TrackedUsers)
+	}
+	// Group-commit observability: on a durable server the stats endpoint
+	// reports how well concurrent submissions amortized their fsyncs and
+	// what each flush cost — the tuning data for -commit-interval and
+	// -commit-batch.
+	if stats, err := client.StreamStats(ctx); err == nil && stats.Durable && stats.Store != nil {
+		st := stats.Store
+		ratio := float64(st.JournalAppends)
+		if st.JournalSyncs > 0 {
+			ratio /= float64(st.JournalSyncs)
+		}
+		fmt.Fprintf(out, "durable ingest: %d journal appends over %d fsyncs (%.1f appends/sync), %d bytes live, %d snapshots, %d results\n",
+			st.JournalAppends, st.JournalSyncs, ratio, st.JournalBytes, st.Snapshots, st.ResultsSaved)
+		fmt.Fprintf(out, "group-commit batch sizes: %s\n", st.BatchSizes)
+		fmt.Fprintf(out, "flush latency: mean %.2fms, p99<=%.2fms, max %.2fms\n",
+			st.FlushLatencySeconds.Mean()*1e3, st.FlushLatencySeconds.Quantile(0.99)*1e3,
+			st.FlushLatencySeconds.Max*1e3)
+		fmt.Fprintf(out, "history: windows %d..%d answerable via GET %s?window=N\n",
+			stats.HistoryOldest, stats.Window, "/v1/stream/truths")
 	}
 	fmt.Fprintln(out, "the server only ever saw perturbed claims; no original reading left a device.")
 	return nil

@@ -1,6 +1,54 @@
 package pptd
 
-import "pptd/internal/crowd"
+import (
+	"net/http"
+
+	"pptd/internal/crowd"
+)
+
+// Client talks to a pptd node (or a standalone campaign server) over
+// HTTP: the batch campaign, the streaming campaign, history reads, and
+// stats all through one client. Non-2xx responses are decoded from the
+// versioned error envelope into typed errors — errors.Is against
+// ErrNotReady, ErrDuplicateWindow, ErrBudgetExhausted, ... and errors.As
+// against *CampaignHTTPError both work on the same returned error.
+type Client = crowd.Client
+
+// ClientOption configures NewClient.
+type ClientOption = crowd.ClientOption
+
+// NewClient returns a client for the node (or standalone server) at
+// baseURL, e.g. "http://localhost:8080".
+func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
+	return crowd.NewClient(baseURL, opts...)
+}
+
+// WithHTTPClient substitutes the client's underlying *http.Client
+// (default: 10-second timeout).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return crowd.WithHTTPClient(hc)
+}
+
+// Typed API errors, decoded from the wire envelope's code by Client.
+// Match with errors.Is.
+var (
+	// ErrNotReady reports a result or truths fetch before anything was
+	// published (envelope code "not_ready", HTTP 404).
+	ErrNotReady = crowd.ErrNotReady
+	// ErrUnknownWindow reports a ?window=N history read for a window that
+	// never closed or was evicted from the bounded result ring (envelope
+	// code "unknown_window", HTTP 404).
+	ErrUnknownWindow = crowd.ErrUnknownWindow
+	// ErrDuplicateClient reports a second batch submission from one
+	// client ID (envelope code "duplicate_client", HTTP 409).
+	ErrDuplicateClient = crowd.ErrDuplicateClient
+	// ErrCampaignClosed reports a batch submission after aggregation
+	// (envelope code "campaign_closed", HTTP 410).
+	ErrCampaignClosed = crowd.ErrCampaignClosed
+	// ErrBadSubmission reports a malformed submission (envelope code
+	// "bad_request", HTTP 400).
+	ErrBadSubmission = crowd.ErrBadSubmission
+)
 
 // CampaignServer is the untrusted aggregation server of the crowd sensing
 // system: it publishes micro-tasks plus lambda2, collects perturbed
@@ -11,17 +59,28 @@ type CampaignServer = crowd.Server
 type CampaignServerConfig = crowd.ServerConfig
 
 // NewCampaignServer returns a campaign server.
+//
+// Deprecated: build a node instead — NewNode(WithBatchCampaign(n),
+// WithLambda2(l2), ...) hosts the same server behind the unified front
+// door with validated options.
 func NewCampaignServer(cfg CampaignServerConfig) (*CampaignServer, error) {
 	return crowd.NewServer(cfg)
 }
 
 // CampaignClient talks to a campaign server.
+//
+// Deprecated: use Client, the same type under the unified name.
 type CampaignClient = crowd.Client
 
 // CampaignClientOption configures NewCampaignClient.
+//
+// Deprecated: use ClientOption, the same type under the unified name.
 type CampaignClientOption = crowd.ClientOption
 
 // NewCampaignClient returns a client for the server at baseURL.
+//
+// Deprecated: use NewClient, which is the same call under the unified
+// name.
 func NewCampaignClient(baseURL string, opts ...CampaignClientOption) (*CampaignClient, error) {
 	return crowd.NewClient(baseURL, opts...)
 }
@@ -38,9 +97,18 @@ type CampaignSubmission = crowd.Submission
 // CampaignResult is the aggregated output of a campaign.
 type CampaignResult = crowd.ResultInfo
 
-// CampaignHTTPError reports a non-2xx response from a campaign server;
-// match it with errors.As to inspect the status code.
+// CampaignHTTPError reports a non-2xx response from a campaign server:
+// the HTTP status plus the decoded error envelope (stable Code, Message,
+// RetryAfterWindows hint). Match it with errors.As to inspect the code;
+// the same error also matches the typed sentinel for its code with
+// errors.Is.
 type CampaignHTTPError = crowd.HTTPError
+
+// APIErrorBody is the versioned JSON error envelope every non-2xx
+// response carries: {v, code, message, retry_after_windows?}. Clients
+// normally never touch it — Client decodes it into typed errors — but
+// non-Go consumers and tests can rely on its shape.
+type APIErrorBody = crowd.ErrorBody
 
 // CampaignUser models a participant device holding original readings
 // that never leave the device unperturbed.

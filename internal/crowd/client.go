@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"pptd/internal/core"
@@ -117,6 +118,40 @@ func (c *Client) StreamTruths(ctx context.Context) (StreamWindowInfo, error) {
 	return info, notReadyErr(err)
 }
 
+// StreamTruthsAt fetches the retained estimate of one specific closed
+// window (1-based) from the server's bounded result history; window 0
+// means the latest, like StreamTruths. A window that never closed or
+// was already evicted returns an error matching ErrUnknownWindow
+// (ErrNotReady when no window ever closed).
+func (c *Client) StreamTruthsAt(ctx context.Context, window int) (StreamWindowInfo, error) {
+	if window < 0 {
+		return StreamWindowInfo{}, fmt.Errorf("%w: window %d", ErrBadClient, window)
+	}
+	path := PathStreamTruths
+	if window > 0 {
+		path += "?window=" + strconv.Itoa(window)
+	}
+	var info StreamWindowInfo
+	err := c.do(ctx, http.MethodGet, path, nil, &info)
+	if err == nil && window > 0 && info.Window != window {
+		// A history-unaware (pre-?window=) server ignores the query and
+		// answers with the latest window; surface that as a typed miss
+		// rather than silently handing back the wrong window's truths.
+		return StreamWindowInfo{}, fmt.Errorf("%w: server answered window %d for ?window=%d (history-unaware server?)",
+			ErrUnknownWindow, info.Window, window)
+	}
+	return info, notReadyErr(err)
+}
+
+// StreamStats fetches the streaming server's observability counters:
+// engine totals, result-history bounds, and — on a durable server — the
+// store's journal and group-commit histograms.
+func (c *Client) StreamStats(ctx context.Context) (StreamStatsInfo, error) {
+	var info StreamStatsInfo
+	err := c.do(ctx, http.MethodGet, PathStreamStats, nil, &info)
+	return info, err
+}
+
 // StreamCloseWindow asks the server to close the open window and returns
 // its estimate.
 func (c *Client) StreamCloseWindow(ctx context.Context) (StreamWindowInfo, error) {
@@ -125,12 +160,15 @@ func (c *Client) StreamCloseWindow(ctx context.Context) (StreamWindowInfo, error
 	return info, err
 }
 
-// notReadyErr surfaces the servers' 404 "nothing to fetch yet" responses
-// as ErrNotReady so pollers can match errors.Is(err, ErrNotReady)
-// instead of inspecting status codes.
+// notReadyErr surfaces a pre-envelope server's bare 404 "nothing to
+// fetch yet" responses as ErrNotReady so pollers can match
+// errors.Is(err, ErrNotReady) instead of inspecting status codes.
+// Against an envelope-speaking server the code mapping in do already
+// attached the right sentinel and this is a no-op.
 func notReadyErr(err error) error {
 	var httpErr *HTTPError
-	if errors.As(err, &httpErr) && httpErr.StatusCode == http.StatusNotFound {
+	if errors.As(err, &httpErr) && httpErr.StatusCode == http.StatusNotFound &&
+		httpErr.Code == "" && !errors.Is(err, ErrNotReady) {
 		return fmt.Errorf("%w: %w", ErrNotReady, err)
 	}
 	return err
@@ -164,7 +202,23 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if resp.StatusCode/100 != 2 {
 		var eb ErrorBody
 		_ = json.NewDecoder(resp.Body).Decode(&eb)
-		return &HTTPError{StatusCode: resp.StatusCode, Message: eb.Error}
+		msg := eb.Message
+		if msg == "" {
+			msg = eb.Error // pre-envelope server: {"error": ...} only
+		}
+		httpErr := &HTTPError{
+			StatusCode:        resp.StatusCode,
+			Code:              eb.Code,
+			Message:           msg,
+			RetryAfterWindows: eb.RetryAfterWindows,
+		}
+		// The envelope code is the stable contract: unwrap it into the
+		// matching typed sentinel so callers can errors.Is against
+		// package errors while errors.As still reaches the *HTTPError.
+		if sentinel, ok := sentinelByCode[eb.Code]; ok {
+			return fmt.Errorf("%w: %w", sentinel, httpErr)
+		}
+		return httpErr
 	}
 	if out == nil {
 		return nil

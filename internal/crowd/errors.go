@@ -1,0 +1,145 @@
+package crowd
+
+import (
+	"errors"
+	"net/http"
+
+	"pptd/internal/stream"
+	"pptd/internal/streamstore"
+)
+
+// ErrUnknownWindow reports a history read (GET /v1/stream/truths?window=N)
+// for a window that never closed or that the bounded result history has
+// already evicted. It is distinct from ErrNotReady — the stream may be
+// perfectly live; this particular window is just not retained.
+var ErrUnknownWindow = errors.New("crowd: window not in retained history")
+
+// Machine-readable error codes carried by every non-2xx response across
+// the batch and streaming endpoints (ErrorBody.Code). Codes are the
+// stable contract: HTTP status codes are derived from them and clients
+// should branch on the code (or on the typed errors the Client decodes
+// them into), never on the message text.
+const (
+	// CodeBadRequest: the request body or query is malformed — an
+	// undecodable JSON body, an out-of-range object index, a non-finite
+	// value, a duplicate object within one batch, or a bad ?window=
+	// parameter. HTTP 400.
+	CodeBadRequest = "bad_request"
+	// CodeMethodNotAllowed: the endpoint exists but not for this HTTP
+	// method. HTTP 405.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeNotFound: no route is mounted at this path (the unified Node
+	// front door serves the envelope even for unknown paths). HTTP 404.
+	CodeNotFound = "not_found"
+	// CodeNotReady: the requested artifact (batch result, latest stream
+	// estimate) does not exist yet. HTTP 404.
+	CodeNotReady = "not_ready"
+	// CodeUnknownWindow: an explicit ?window=N history read for a window
+	// that never closed or was evicted from the bounded ring. HTTP 404.
+	CodeUnknownWindow = "unknown_window"
+	// CodeDuplicateClient: a second batch-campaign submission from the
+	// same client ID. HTTP 409.
+	CodeDuplicateClient = "duplicate_client"
+	// CodeDuplicateWindow: a second streaming submission from the same
+	// user into one open window while privacy accounting is enabled; the
+	// envelope carries RetryAfterWindows = 1. HTTP 409.
+	CodeDuplicateWindow = "duplicate_window"
+	// CodeEmptyWindow: a window close before any claim ever arrived.
+	// HTTP 409.
+	CodeEmptyWindow = "empty_window"
+	// CodeEmptyCampaign: an explicit POST /v1/aggregate before anything
+	// was submitted — the request conflicts with campaign state (a
+	// pending GET /v1/result is CodeNotReady instead). HTTP 409.
+	CodeEmptyCampaign = "empty_campaign"
+	// CodeCampaignClosed: a batch submission after aggregation. HTTP 410.
+	CodeCampaignClosed = "campaign_closed"
+	// CodeEngineClosed: the streaming engine behind the endpoint has shut
+	// down. HTTP 410.
+	CodeEngineClosed = "engine_closed"
+	// CodeBudgetExhausted: the user's cumulative privacy budget cannot
+	// afford another window. HTTP 429.
+	CodeBudgetExhausted = "budget_exhausted"
+	// CodeInternal: an unexpected server-side failure (for a durable
+	// deployment, typically a persistence error). HTTP 500.
+	CodeInternal = "internal"
+)
+
+// errorStatus maps one server-side error to its wire form: the stable
+// envelope code, the HTTP status derived from it, and the retry hint in
+// windows (0 = no hint). It is the single place the error taxonomy lives,
+// so batch and streaming handlers cannot drift apart.
+func errorStatus(err error) (status int, code string, retryAfterWindows int) {
+	switch {
+	case errors.Is(err, ErrBadSubmission), errors.Is(err, stream.ErrBadClaim):
+		return http.StatusBadRequest, CodeBadRequest, 0
+	case errors.Is(err, ErrUnknownWindow):
+		return http.StatusNotFound, CodeUnknownWindow, 0
+	case errors.Is(err, ErrNotReady):
+		return http.StatusNotFound, CodeNotReady, 0
+	case errors.Is(err, ErrDuplicateClient):
+		return http.StatusConflict, CodeDuplicateClient, 0
+	case errors.Is(err, stream.ErrDuplicateWindow):
+		// The charge that blocks this user expires when the open window
+		// closes: retrying one window later succeeds.
+		return http.StatusConflict, CodeDuplicateWindow, 1
+	case errors.Is(err, stream.ErrEmptyWindow):
+		return http.StatusConflict, CodeEmptyWindow, 0
+	case errors.Is(err, ErrCampaignClosed):
+		return http.StatusGone, CodeCampaignClosed, 0
+	case errors.Is(err, stream.ErrEngineClosed), errors.Is(err, streamstore.ErrClosed):
+		return http.StatusGone, CodeEngineClosed, 0
+	case errors.Is(err, stream.ErrBudgetExhausted):
+		return http.StatusTooManyRequests, CodeBudgetExhausted, 0
+	default:
+		return http.StatusInternalServerError, CodeInternal, 0
+	}
+}
+
+// sentinelByCode is the client-side inverse of errorStatus: the typed
+// error a decoded envelope code unwraps to, so callers can match with
+// errors.Is against package sentinels instead of inspecting codes or
+// status numbers.
+var sentinelByCode = map[string]error{
+	CodeBadRequest:      ErrBadSubmission,
+	CodeNotReady:        ErrNotReady,
+	CodeUnknownWindow:   ErrUnknownWindow,
+	CodeDuplicateClient: ErrDuplicateClient,
+	CodeDuplicateWindow: stream.ErrDuplicateWindow,
+	CodeEmptyWindow:     stream.ErrEmptyWindow,
+	CodeEmptyCampaign:   ErrNotReady,
+	CodeCampaignClosed:  ErrCampaignClosed,
+	CodeEngineClosed:    stream.ErrEngineClosed,
+	CodeBudgetExhausted: stream.ErrBudgetExhausted,
+}
+
+// writeAPIError answers one failed request with the versioned envelope,
+// deriving status, code, and retry hint from the error taxonomy.
+func writeAPIError(w http.ResponseWriter, err error) {
+	status, code, retry := errorStatus(err)
+	writeEnvelope(w, status, code, err.Error(), retry)
+}
+
+// writeError emits the envelope for handler-level failures that carry no
+// taxonomy error (method mismatches, undecodable bodies).
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeEnvelope(w, status, code, msg, 0)
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, code, msg string, retry int) {
+	writeJSON(w, status, ErrorBody{
+		V:                 ErrorEnvelopeVersion,
+		Code:              code,
+		Message:           msg,
+		RetryAfterWindows: retry,
+		Error:             msg,
+	})
+}
+
+// NotFoundHandler serves the JSON error envelope for paths no route is
+// mounted at, so even a miss against the unified front door speaks the
+// same wire contract as every real endpoint.
+func NotFoundHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no route for "+r.URL.Path)
+	})
+}

@@ -31,13 +31,32 @@
 //     ready" is a missing resource; 409 is reserved for real conflicts
 //     like a duplicate same-window submission or closing an empty
 //     window; the one-shot GET /v1/result answers pending aggregation
-//     with 404 the same way). With persistence configured the estimate
-//     survives restarts: a recovered server serves the last published
-//     result immediately rather than 404 until the next close.
+//     with 404 the same way). With ?window=N it serves one specific
+//     recent window from the engine's bounded result history
+//     (stream.Config.HistoryWindows); a window never closed or already
+//     evicted answers 404 with code "unknown_window". With persistence
+//     configured both reads survive restarts: a recovered server serves
+//     the persisted results immediately rather than 404 until the next
+//     close;
+//   - GET  /v1/stream/stats serves observability counters: engine
+//     totals, the answerable history bounds, and — on a durable server —
+//     the store's journal counters and group-commit batch-size /
+//     flush-latency histograms.
 //
 // Windows close on explicit POST /v1/stream/window, or automatically on
 // a ticker when StreamServerConfig.WindowInterval is set; both paths
 // serialize with each other and with persistence snapshots.
+//
+// # Error envelope
+//
+// Every non-2xx response across batch and streaming endpoints carries
+// the same versioned JSON envelope (ErrorBody): {v, code, message,
+// retry_after_windows?}. The code (see the Code* constants in
+// errors.go) is the stable contract — HTTP statuses are derived from it
+// in one place (errorStatus) — and Client decodes it back into the
+// matching typed sentinel, so errors.Is(err, stream.ErrBudgetExhausted)
+// and errors.As(err, &httpErr) both work on one returned error.
+// docs/API.md at the repository root tabulates every code.
 //
 // Clients keep perturbing locally exactly as in the one-shot flow; the
 // streaming server additionally meters each client's cumulative
@@ -93,6 +112,7 @@ import (
 	"fmt"
 
 	"pptd/internal/stream"
+	"pptd/internal/streamstore"
 )
 
 // Wire paths served by the campaign server.
@@ -118,6 +138,10 @@ const (
 	// PathStreamWindow closes the open window and returns its estimate
 	// (POST).
 	PathStreamWindow = "/v1/stream/window"
+	// PathStreamStats serves ingest/persistence observability counters
+	// (GET): engine totals plus, on a durable server, the store's journal
+	// counters and group-commit batch-size / flush-latency histograms.
+	PathStreamStats = "/v1/stream/stats"
 )
 
 // CampaignInfo is the public description of a sensing campaign.
@@ -239,17 +263,71 @@ type StreamWindowInfo struct {
 	Privacy *stream.PrivacyReport `json:"privacy,omitempty"`
 }
 
-// ErrorBody is the JSON error envelope for non-2xx responses.
-type ErrorBody struct {
-	Error string `json:"error"`
+// StreamStatsInfo is the response of GET /v1/stream/stats: the engine's
+// headline counters plus, on a durable server, the store's journal and
+// group-commit observability (batch-size and flush-latency histograms —
+// the data for tuning streamstore.Options.FlushInterval / MaxBatch
+// against observed load).
+type StreamStatsInfo struct {
+	// Name labels the campaign.
+	Name string `json:"name"`
+	// Window is the number of closed windows; TotalClaims counts every
+	// claim accepted over the stream.
+	Window      int   `json:"window"`
+	TotalClaims int64 `json:"totalClaims"`
+	// HistoryWindows is the capacity of the retained result ring backing
+	// GET /v1/stream/truths?window=N; HistoryOldest is the oldest window
+	// currently answerable (0 when none is retained).
+	HistoryWindows int `json:"historyWindows"`
+	HistoryOldest  int `json:"historyOldest"`
+	// Durable reports whether the server persists through a stream store;
+	// Store carries the store's counters when it does.
+	Durable bool                    `json:"durable"`
+	Store   *streamstore.StoreStats `json:"store,omitempty"`
 }
 
-// HTTPError reports a non-2xx response from the campaign server.
+// ErrorEnvelopeVersion is the current version of the JSON error
+// envelope. It only moves when a field changes meaning; adding optional
+// fields does not bump it.
+const ErrorEnvelopeVersion = 1
+
+// ErrorBody is the versioned JSON error envelope every non-2xx response
+// carries, across batch and streaming endpoints alike. Clients branch on
+// Code (stable, machine-readable — see the Code* constants) rather than
+// on Message or on the HTTP status.
+type ErrorBody struct {
+	// V is the envelope version (ErrorEnvelopeVersion).
+	V int `json:"v"`
+	// Code is the stable machine-readable error code.
+	Code string `json:"code"`
+	// Message is the human-readable error description.
+	Message string `json:"message"`
+	// RetryAfterWindows, when positive, hints how many window closes the
+	// client should wait before retrying (1 on duplicate_window: the
+	// charge blocking the user expires when the open window closes).
+	RetryAfterWindows int `json:"retry_after_windows,omitempty"`
+	// Error duplicates Message for pre-envelope clients that decoded
+	// {"error": ...}.
+	//
+	// Deprecated: read Message (and branch on Code) instead.
+	Error string `json:"error,omitempty"`
+}
+
+// HTTPError reports a non-2xx response from the campaign server. The
+// Client additionally unwraps the envelope's code into the matching
+// typed sentinel (ErrNotReady, stream.ErrDuplicateWindow, ...), so
+// errors.Is against package sentinels and errors.As against *HTTPError
+// both work on the same returned error.
 type HTTPError struct {
 	// StatusCode is the HTTP status.
 	StatusCode int
+	// Code is the envelope's machine-readable error code ("" from a
+	// pre-envelope server).
+	Code string
 	// Message is the server-provided error string, if any.
 	Message string
+	// RetryAfterWindows is the envelope's retry hint (0 = none).
+	RetryAfterWindows int
 }
 
 // Error implements error.

@@ -79,11 +79,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // Handler returns the HTTP handler serving the campaign API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.Register(mux)
+	return mux
+}
+
+// Register mounts the campaign routes on a shared mux, so one front door
+// (a pptd Node) can serve the batch and streaming APIs together.
+func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc(PathCampaign, s.handleCampaign)
 	mux.HandleFunc(PathSubmissions, s.handleSubmissions)
 	mux.HandleFunc(PathResult, s.handleResult)
 	mux.HandleFunc(PathAggregate, s.handleAggregate)
-	return mux
 }
 
 // Campaign returns a snapshot of the campaign state.
@@ -210,7 +216,7 @@ func (s *Server) aggregateLocked() error {
 
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Campaign())
@@ -218,45 +224,33 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSubmissions(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	var sub Submission
 	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode submission: %v", err))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("decode submission: %v", err))
 		return
 	}
 	receipt, err := s.Submit(sub)
-	switch {
-	case errors.Is(err, ErrDuplicateClient):
-		writeError(w, http.StatusConflict, err.Error())
-	case errors.Is(err, ErrCampaignClosed):
-		writeError(w, http.StatusGone, err.Error())
-	case errors.Is(err, ErrBadSubmission):
-		writeError(w, http.StatusBadRequest, err.Error())
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err.Error())
-	default:
-		writeJSON(w, http.StatusOK, receipt)
+	if err != nil {
+		writeAPIError(w, err)
+		return
 	}
+	writeJSON(w, http.StatusOK, receipt)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	res, err := s.Result()
-	if errors.Is(err, ErrNotReady) {
-		// 404, not 409: a pending result is a missing resource, not a
-		// conflict with the request (cf. the stream server's truths
-		// endpoint). POST /v1/aggregate keeps 409 for "nothing submitted
-		// yet" — there the request itself conflicts with campaign state.
-		writeError(w, http.StatusNotFound, err.Error())
-		return
-	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		// ErrNotReady maps to 404 not_ready: a pending result is a missing
+		// resource, not a conflict with the request (cf. the stream
+		// server's truths endpoint).
+		writeAPIError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -264,16 +258,18 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	res, err := s.Aggregate()
 	if errors.Is(err, ErrNotReady) {
-		writeError(w, http.StatusConflict, err.Error())
+		// Aggregating an empty campaign stays 409: here the request itself
+		// conflicts with campaign state, unlike a pending GET /v1/result.
+		writeError(w, http.StatusConflict, CodeEmptyCampaign, err.Error())
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeAPIError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -285,8 +281,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	// Encoding of our own wire structs cannot fail; ignore the writer
 	// error as the response is already committed.
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, ErrorBody{Error: msg})
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -163,11 +164,18 @@ func (s *StreamServer) Close() error {
 // Handler returns the HTTP handler serving the streaming campaign API.
 func (s *StreamServer) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.Register(mux)
+	return mux
+}
+
+// Register mounts the streaming routes on a shared mux, so one front
+// door (a pptd Node) can serve the batch and streaming APIs together.
+func (s *StreamServer) Register(mux *http.ServeMux) {
 	mux.HandleFunc(PathStreamCampaign, s.handleCampaign)
 	mux.HandleFunc(PathStreamClaims, s.handleClaims)
 	mux.HandleFunc(PathStreamTruths, s.handleTruths)
 	mux.HandleFunc(PathStreamWindow, s.handleWindow)
-	return mux
+	mux.HandleFunc(PathStreamStats, s.handleStats)
 }
 
 // Campaign returns the streaming campaign metadata.
@@ -241,6 +249,48 @@ func (s *StreamServer) Truths() (StreamWindowInfo, error) {
 	return windowInfo(res), nil
 }
 
+// TruthsAt returns the retained estimate of one specific closed window
+// (1-based), serving late readers from the engine's bounded result
+// history. Window 0 means the latest. A window that never closed or was
+// evicted from the ring fails with ErrUnknownWindow (ErrNotReady when
+// nothing has ever closed, matching Truths).
+func (s *StreamServer) TruthsAt(window int) (StreamWindowInfo, error) {
+	if window == 0 {
+		return s.Truths()
+	}
+	res, ok := s.engine.ResultAt(window)
+	if !ok {
+		if s.engine.Snapshot() == nil {
+			return StreamWindowInfo{}, ErrNotReady
+		}
+		return StreamWindowInfo{}, fmt.Errorf("%w: window %d (retaining up to %d recent windows)",
+			ErrUnknownWindow, window, s.engine.HistoryWindows())
+	}
+	return windowInfo(res), nil
+}
+
+// Stats returns the server's observability counters: the engine's
+// headline numbers, the result-history bounds behind ?window= reads,
+// and — on a durable server — the store's journal and group-commit
+// histograms.
+func (s *StreamServer) Stats() StreamStatsInfo {
+	info := StreamStatsInfo{
+		Name:           s.name,
+		Window:         s.engine.Window(),
+		TotalClaims:    s.engine.TotalClaims(),
+		HistoryWindows: s.engine.HistoryWindows(),
+		Durable:        s.store != nil,
+	}
+	if hist := s.engine.History(); len(hist) > 0 {
+		info.HistoryOldest = hist[0].Window
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		info.Store = &st
+	}
+	return info
+}
+
 // windowInfo converts an engine result to its wire form; uncovered
 // truths (NaN, which JSON cannot carry) are zeroed and flagged by the
 // Covered mask instead.
@@ -267,7 +317,7 @@ func windowInfo(res *stream.WindowResult) StreamWindowInfo {
 
 func (s *StreamServer) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Campaign())
@@ -275,46 +325,43 @@ func (s *StreamServer) handleCampaign(w http.ResponseWriter, r *http.Request) {
 
 func (s *StreamServer) handleClaims(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	var sub Submission
 	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode submission: %v", err))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("decode submission: %v", err))
 		return
 	}
 	receipt, err := s.Submit(sub)
-	switch {
-	case errors.Is(err, stream.ErrBadClaim):
-		writeError(w, http.StatusBadRequest, err.Error())
-	case errors.Is(err, stream.ErrDuplicateWindow):
-		writeError(w, http.StatusConflict, err.Error())
-	case errors.Is(err, stream.ErrBudgetExhausted):
-		writeError(w, http.StatusTooManyRequests, err.Error())
-	case errors.Is(err, stream.ErrEngineClosed):
-		writeError(w, http.StatusGone, err.Error())
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err.Error())
-	default:
-		writeJSON(w, http.StatusOK, receipt)
+	if err != nil {
+		writeAPIError(w, err)
+		return
 	}
+	writeJSON(w, http.StatusOK, receipt)
 }
 
 func (s *StreamServer) handleTruths(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
-	info, err := s.Truths()
-	if errors.Is(err, ErrNotReady) {
-		// 404, not 409: "no estimate exists yet" is a missing resource,
-		// while 409 is reserved for real conflicts (duplicate submission
-		// in a window, closing an empty window).
-		writeError(w, http.StatusNotFound, err.Error())
-		return
+	window := 0
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("bad window parameter %q: want a non-negative integer", raw))
+			return
+		}
+		window = n
 	}
+	info, err := s.TruthsAt(window)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		// not_ready / unknown_window map to 404: a missing estimate is a
+		// missing resource, while 409 stays reserved for real conflicts
+		// (duplicate submission in a window, closing an empty window).
+		writeAPIError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -322,18 +369,21 @@ func (s *StreamServer) handleTruths(w http.ResponseWriter, r *http.Request) {
 
 func (s *StreamServer) handleWindow(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	info, err := s.CloseWindow()
-	switch {
-	case errors.Is(err, stream.ErrEmptyWindow):
-		writeError(w, http.StatusConflict, err.Error())
-	case errors.Is(err, stream.ErrEngineClosed):
-		writeError(w, http.StatusGone, err.Error())
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err.Error())
-	default:
-		writeJSON(w, http.StatusOK, info)
+	if err != nil {
+		writeAPIError(w, err)
+		return
 	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *StreamServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
 }

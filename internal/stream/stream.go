@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -52,6 +53,12 @@ var (
 	// ErrEmptyWindow reports a window close before any claim ever arrived.
 	ErrEmptyWindow = errors.New("stream: no claims ingested yet")
 )
+
+// DefaultHistoryWindows is the result-ring capacity used when
+// Config.HistoryWindows is zero: enough recent windows that a late
+// reader polling a live stream can catch up, small enough that the
+// retained estimates stay negligible next to the sufficient statistics.
+const DefaultHistoryWindows = 8
 
 // Claim is one perturbed (object, value) report inside a streamed
 // submission. Values must already be perturbed on the client device; the
@@ -89,6 +96,12 @@ type Config struct {
 	// initialization at every window instead of warm-starting from the
 	// previous window's estimates.
 	DisableCarryover bool
+	// HistoryWindows bounds the ring of recent WindowResults the engine
+	// retains for ResultAt (late readers asking for a specific closed
+	// window, e.g. GET /v1/stream/truths?window=N). Zero means
+	// DefaultHistoryWindows; 1 keeps only the latest result, matching the
+	// pre-history behavior.
+	HistoryWindows int
 
 	// Lambda1 enables privacy accounting when positive: it is the
 	// data-quality rate the accountant assumes (as in core.NewAccountant).
@@ -146,6 +159,11 @@ func (c *Config) validate() error {
 		return fmt.Errorf("%w: MaxIterations = %d", ErrBadConfig, c.MaxIterations)
 	case c.EpsilonBudget < 0 || math.IsNaN(c.EpsilonBudget) || math.IsInf(c.EpsilonBudget, 0):
 		return fmt.Errorf("%w: EpsilonBudget = %v", ErrBadConfig, c.EpsilonBudget)
+	case c.HistoryWindows < 0:
+		return fmt.Errorf("%w: HistoryWindows = %d", ErrBadConfig, c.HistoryWindows)
+	}
+	if c.HistoryWindows == 0 {
+		c.HistoryWindows = DefaultHistoryWindows
 	}
 	if c.NumShards == 0 {
 		c.NumShards = runtime.GOMAXPROCS(0)
@@ -255,8 +273,10 @@ type Engine struct {
 	windowClaims atomic.Int64
 	totalClaims  atomic.Int64
 
-	lastMu sync.Mutex
-	last   *WindowResult
+	// histMu guards history, the bounded ring of recent published
+	// results (ascending by Window, at most cfg.HistoryWindows entries).
+	histMu  sync.Mutex
+	history []*WindowResult
 }
 
 // New starts an engine with the given configuration. Callers must
@@ -435,33 +455,107 @@ func (e *Engine) CloseWindow() (*WindowResult, error) {
 		res.Privacy = e.users.report(e.epsWindow, e.cfg.Delta, e.cfg.EpsilonBudget, e.cfg.PerUserReport)
 	}
 
-	e.lastMu.Lock()
-	e.last = res
-	e.lastMu.Unlock()
+	e.pushResult(res)
 	return res, nil
+}
+
+// pushResult appends one published result to the bounded history ring,
+// evicting the oldest entry past capacity. Results arrive in ascending
+// window order (CloseWindow serializes on e.mu).
+func (e *Engine) pushResult(res *WindowResult) {
+	e.histMu.Lock()
+	defer e.histMu.Unlock()
+	e.history = append(e.history, res)
+	if n := len(e.history) - e.cfg.HistoryWindows; n > 0 {
+		e.history = append(e.history[:0], e.history[n:]...)
+	}
 }
 
 // Snapshot returns the most recently closed window's result, or nil if
 // no window has closed yet. The result is shared; treat it as read-only.
 func (e *Engine) Snapshot() *WindowResult {
-	e.lastMu.Lock()
-	defer e.lastMu.Unlock()
-	return e.last
+	e.histMu.Lock()
+	defer e.histMu.Unlock()
+	if len(e.history) == 0 {
+		return nil
+	}
+	return e.history[len(e.history)-1]
 }
 
-// RestoreLastResult seeds the published-result slot with a persisted
-// WindowResult after a Restore, so Snapshot serves the last pre-restart
-// estimate immediately instead of nothing until the next window close.
-// The result is not re-derived from the engine state — it is whatever
-// estimate was last published, stored verbatim (internal/streamstore
-// persists it at every window close).
+// ResultAt returns the retained published result of the given 1-based
+// closed window. It reports false when that window never closed or has
+// been evicted from the bounded ring (Config.HistoryWindows). The result
+// is shared; treat it as read-only.
+func (e *Engine) ResultAt(window int) (*WindowResult, bool) {
+	e.histMu.Lock()
+	defer e.histMu.Unlock()
+	for i := len(e.history) - 1; i >= 0; i-- {
+		switch {
+		case e.history[i].Window == window:
+			return e.history[i], true
+		case e.history[i].Window < window:
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// History returns the retained published results in ascending window
+// order (at most Config.HistoryWindows of them). The slice is a copy;
+// the results are shared and read-only.
+func (e *Engine) History() []*WindowResult {
+	e.histMu.Lock()
+	defer e.histMu.Unlock()
+	out := make([]*WindowResult, len(e.history))
+	copy(out, e.history)
+	return out
+}
+
+// HistoryWindows returns the capacity of the retained result ring.
+func (e *Engine) HistoryWindows() int { return e.cfg.HistoryWindows }
+
+// RestoreHistory seeds the published-result ring with persisted
+// WindowResults after a Restore, so Snapshot and ResultAt serve the
+// pre-restart estimates immediately instead of nothing until the next
+// window close. Results are not re-derived from engine state — they are
+// whatever was last published, stored verbatim (internal/streamstore
+// persists them at every window close). The input may be unsorted and
+// overlap what the ring already holds; it is deduplicated by window,
+// sorted, and trimmed to capacity.
+func (e *Engine) RestoreHistory(results []*WindowResult) {
+	e.histMu.Lock()
+	defer e.histMu.Unlock()
+	byWindow := make(map[int]*WindowResult, len(e.history)+len(results))
+	for _, r := range e.history {
+		byWindow[r.Window] = r
+	}
+	for _, r := range results {
+		if r != nil {
+			byWindow[r.Window] = r
+		}
+	}
+	merged := make([]*WindowResult, 0, len(byWindow))
+	for _, r := range byWindow {
+		merged = append(merged, r)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Window < merged[j].Window })
+	if n := len(merged) - e.cfg.HistoryWindows; n > 0 {
+		merged = merged[n:]
+	}
+	e.history = merged
+}
+
+// RestoreLastResult seeds the published-result ring with one persisted
+// WindowResult after a Restore.
+//
+// Deprecated: use RestoreHistory, which seeds the whole retained ring;
+// RestoreLastResult keeps working and is equivalent to a one-element
+// RestoreHistory.
 func (e *Engine) RestoreLastResult(res *WindowResult) {
 	if res == nil {
 		return
 	}
-	e.lastMu.Lock()
-	e.last = res
-	e.lastMu.Unlock()
+	e.RestoreHistory([]*WindowResult{res})
 }
 
 // Window returns the number of closed windows so far.

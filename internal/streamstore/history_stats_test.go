@@ -1,0 +1,183 @@
+package streamstore
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pptd/internal/stream"
+)
+
+func mkResult(window int, truth float64) *stream.WindowResult {
+	return &stream.WindowResult{
+		Window:  window,
+		Truths:  []float64{truth},
+		Covered: []bool{true},
+	}
+}
+
+func TestResultHistoryPersistAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, Options{ResultHistory: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+
+	for w := 1; w <= 5; w++ {
+		if err := s.SaveResult(mkResult(w, float64(10*w))); err != nil {
+			t.Fatalf("save %d: %v", w, err)
+		}
+	}
+
+	// Only the last three history files survive pruning.
+	for _, w := range []int{1, 2} {
+		if _, err := os.Stat(filepath.Join(dir, resultHistoryName(w))); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("window %d history file should be pruned (err %v)", w, err)
+		}
+	}
+	hist, err := s.LoadResultHistory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("history length = %d, want 3", len(hist))
+	}
+	for i, want := range []int{3, 4, 5} {
+		if hist[i].Window != want || hist[i].Truths[0] != float64(10*want) {
+			t.Errorf("history[%d] = %+v, want window %d", i, hist[i], want)
+		}
+	}
+	// The latest is still result.json and agrees with the history tail.
+	last, err := s.LoadResult()
+	if err != nil || last.Window != 5 {
+		t.Fatalf("LoadResult = %+v, %v", last, err)
+	}
+}
+
+func TestResultHistorySkipsCorruptGenerations(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, Options{ResultHistory: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 1; w <= 3; w++ {
+		if err := s.SaveResult(mkResult(w, float64(w))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Damage one old generation: recovery must skip it, not fail.
+	if err := os.WriteFile(filepath.Join(dir, resultHistoryName(2)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := s.LoadResultHistory()
+	if err != nil {
+		t.Fatalf("LoadResultHistory with corrupt generation: %v", err)
+	}
+	got := make([]int, len(hist))
+	for i, r := range hist {
+		got[i] = r.Window
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("history windows = %v, want [1 3]", got)
+	}
+	// A corrupt latest result is still a hard error, matching LoadResult.
+	if err := os.WriteFile(filepath.Join(dir, resultName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadResultHistory(); !errors.Is(err, ErrCorruptResult) {
+		t.Fatalf("corrupt latest: err = %v, want ErrCorruptResult", err)
+	}
+	_ = s.Close()
+}
+
+func TestResultHistoryWithoutOptionKeepsLatestOnly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+	for w := 1; w <= 3; w++ {
+		if err := s.SaveResult(mkResult(w, float64(w))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist, err := s.LoadResultHistory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 || hist[0].Window != 3 {
+		t.Fatalf("history without option = %+v, want just window 3", hist)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, Options{MaxBatch: 1, ResultHistory: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+
+	for i := 0; i < 4; i++ {
+		if err := s.AppendCharge(stream.ChargeRecord{User: "u", Window: i, Epsilon: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.JournalAppends != 4 {
+		t.Errorf("appends = %d, want 4", st.JournalAppends)
+	}
+	// MaxBatch 1: every append pays its own sync, batch size always 1.
+	if st.JournalSyncs != 4 || st.BatchSizes.Count != 4 {
+		t.Errorf("syncs = %d batches = %d, want 4/4", st.JournalSyncs, st.BatchSizes.Count)
+	}
+	if st.BatchSizes.Counts[0] != 4 || st.BatchSizes.Max != 1 {
+		t.Errorf("batch histogram = %+v", st.BatchSizes)
+	}
+	if st.FlushLatencySeconds.Count != 4 || st.FlushLatencySeconds.Sum <= 0 {
+		t.Errorf("latency histogram = %+v", st.FlushLatencySeconds)
+	}
+	if st.JournalBytes <= 0 {
+		t.Errorf("journal bytes = %d", st.JournalBytes)
+	}
+	if err := s.SaveResult(mkResult(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().ResultsSaved; got != 1 {
+		t.Errorf("results saved = %d, want 1", got)
+	}
+
+	// Stats snapshots are independent copies: mutating one must not
+	// alias the store's live counters.
+	before := s.Stats()
+	before.BatchSizes.Counts[0] = 999
+	if s.Stats().BatchSizes.Counts[0] == 999 {
+		t.Error("Stats shares bucket slice with the store")
+	}
+}
+
+func TestHistogramQuantileAndString(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{1, 1, 2, 3, 8} {
+		h.observe(v)
+	}
+	if h.Count != 5 || h.Sum != 15 || h.Max != 8 {
+		t.Fatalf("histogram aggregates = %+v", h)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2", got)
+	}
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("p100 = %v, want max 8", got)
+	}
+	if got := h.Mean(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("mean = %v, want 3", got)
+	}
+	if s := h.String(); s == "" || s == "empty" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -114,18 +114,20 @@ func (s *Store) commit(line []byte) error {
 		close(b.done)
 		return b.err
 	}
-	b.err = s.flushLocked(b.buf)
+	b.err = s.flushLocked(b.buf, b.n)
 	s.mu.Unlock()
 	close(b.done)
 	return b.err
 }
 
-// flushLocked appends one group-commit batch at the durable tail with a
-// single write and a single fsync. On any failure it truncates the file
-// back to the last known good size so a partial batch cannot poison
-// later appends — every submission in the batch then fails and rolls
-// its in-memory charge back. Callers must hold s.mu.
-func (s *Store) flushLocked(buf []byte) error {
+// flushLocked appends one group-commit batch of n records at the durable
+// tail with a single write and a single fsync, recording the batch size
+// and flush latency in the stats histograms. On any failure it truncates
+// the file back to the last known good size so a partial batch cannot
+// poison later appends — every submission in the batch then fails and
+// rolls its in-memory charge back. Callers must hold s.mu.
+func (s *Store) flushLocked(buf []byte, n int) error {
+	start := time.Now()
 	if _, err := s.journal.WriteAt(buf, s.journalSize); err != nil {
 		s.rewindJournalLocked()
 		return fmt.Errorf("streamstore: append charge batch: %w", err)
@@ -135,7 +137,10 @@ func (s *Store) flushLocked(buf []byte) error {
 		return fmt.Errorf("streamstore: sync journal: %w", err)
 	}
 	s.journalSyncs++
+	s.journalAppends += int64(n)
 	s.journalSize += int64(len(buf))
+	s.batchSizes.observe(float64(n))
+	s.flushLatency.observe(time.Since(start).Seconds())
 	return nil
 }
 

@@ -1,0 +1,159 @@
+package streamstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-bucket counting histogram, the wire-friendly
+// shape behind the store's group-commit observability. Bucket i counts
+// observations v with v <= UpperBounds[i] (and above the previous
+// bound); the final entry of Counts is the overflow bucket, so
+// len(Counts) == len(UpperBounds)+1.
+type Histogram struct {
+	// UpperBounds are the inclusive bucket upper bounds, ascending.
+	UpperBounds []float64 `json:"upperBounds"`
+	// Counts holds one count per bucket plus the trailing overflow
+	// bucket.
+	Counts []int64 `json:"counts"`
+	// Count and Sum aggregate every observation (Sum in the histogram's
+	// unit), so mean = Sum/Count without walking buckets; Max is the
+	// largest observation seen.
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Max   float64 `json:"max"`
+}
+
+func newHistogram(bounds []float64) Histogram {
+	return Histogram{
+		UpperBounds: bounds,
+		Counts:      make([]int64, len(bounds)+1),
+	}
+}
+
+func (h *Histogram) observe(v float64) {
+	i := 0
+	for i < len(h.UpperBounds) && v > h.UpperBounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the average observation (0 before any).
+func (h Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observations: the smallest bucket bound at which the cumulative count
+// reaches q, or Max for observations past the last bound. It is a
+// bucket-resolution estimate, good enough for dashboards and tuning.
+func (h Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	target := int64(q * float64(h.Count))
+	if float64(target) < q*float64(h.Count) || target == 0 {
+		target++
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.UpperBounds) {
+				return h.UpperBounds[i]
+			}
+			return h.Max
+		}
+	}
+	return h.Max
+}
+
+// String renders the non-empty buckets compactly, e.g.
+// "<=1:3 <=4:10 >256:1 (count 14)".
+func (h Histogram) String() string {
+	var b strings.Builder
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		if i < len(h.UpperBounds) {
+			fmt.Fprintf(&b, "<=%g:%d", h.UpperBounds[i], c)
+		} else {
+			fmt.Fprintf(&b, ">%g:%d", h.UpperBounds[len(h.UpperBounds)-1], c)
+		}
+	}
+	if b.Len() == 0 {
+		b.WriteString("empty")
+	}
+	fmt.Fprintf(&b, " (count %d)", h.Count)
+	return b.String()
+}
+
+// Bucket bounds for the two group-commit histograms: batch sizes in
+// records (powers of two up to the default batch cap) and flush
+// latencies in seconds (50µs up to 1s; an fsync on real hardware lands
+// in the middle of this range).
+var (
+	batchSizeBounds    = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	flushLatencyBounds = []float64{
+		50e-6, 100e-6, 250e-6, 500e-6,
+		1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1,
+	}
+)
+
+// StoreStats is a point-in-time snapshot of the store's observability
+// counters (GET /v1/stream/stats on a durable streaming server). The
+// append/sync ratio and the two histograms are the data for tuning
+// Options.FlushInterval and Options.MaxBatch against observed load:
+// batches pinned at 1 under concurrency mean group commit is not
+// engaging; flush latencies near FlushInterval mean the linger, not the
+// disk, paces ingest.
+type StoreStats struct {
+	// JournalAppends counts accepted AppendCharge calls; JournalSyncs
+	// counts the fsyncs that made them durable. Appends/Syncs is the
+	// group-commit amortization factor.
+	JournalAppends int64 `json:"journalAppends"`
+	JournalSyncs   int64 `json:"journalSyncs"`
+	// JournalBytes is the journal's current durable size.
+	JournalBytes int64 `json:"journalBytes"`
+	// Snapshots counts engine snapshots written; ResultsSaved counts
+	// persisted window results.
+	Snapshots    int64 `json:"snapshots"`
+	ResultsSaved int64 `json:"resultsSaved"`
+	// BatchSizes is the histogram of records per group-commit flush.
+	BatchSizes Histogram `json:"batchSizes"`
+	// FlushLatencySeconds is the histogram of write+fsync wall time per
+	// flush, in seconds.
+	FlushLatencySeconds Histogram `json:"flushLatencySeconds"`
+}
+
+// Stats returns a copy of the store's counters and histograms. Safe for
+// concurrent use with appends and snapshots.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		JournalAppends:      s.journalAppends,
+		JournalSyncs:        s.journalSyncs,
+		JournalBytes:        s.journalSize,
+		Snapshots:           s.snapshots,
+		ResultsSaved:        s.resultsSaved,
+		BatchSizes:          s.batchSizes,
+		FlushLatencySeconds: s.flushLatency,
+	}
+	st.BatchSizes.Counts = append([]int64(nil), s.batchSizes.Counts...)
+	st.FlushLatencySeconds.Counts = append([]int64(nil), s.flushLatency.Counts...)
+	return st
+}

@@ -50,6 +50,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -123,6 +124,15 @@ type Options struct {
 	// missing charges, and silently falling back would hand users their
 	// spent epsilon back. Zero retains none.
 	RetainSnapshots int
+	// ResultHistory persists the last N published window results (one
+	// result-<window>.json per close, atomically written like result.json
+	// and pruned past the bound), so GET /v1/stream/truths?window=N keeps
+	// answering for recent windows across a kill-and-recover. Zero or one
+	// persists only the latest result, the pre-history behavior. Match it
+	// to the engine's stream.Config.HistoryWindows — persisting more than
+	// the engine ring retains is wasted disk, fewer means late readers
+	// lose windows on restart.
+	ResultHistory int
 }
 
 func (o Options) validate() error {
@@ -137,6 +147,8 @@ func (o Options) validate() error {
 		return fmt.Errorf("streamstore: SnapshotBytes = %d", o.SnapshotBytes)
 	case o.RetainSnapshots < 0:
 		return fmt.Errorf("streamstore: RetainSnapshots = %d", o.RetainSnapshots)
+	case o.ResultHistory < 0:
+		return fmt.Errorf("streamstore: ResultHistory = %d", o.ResultHistory)
 	}
 	return nil
 }
@@ -159,6 +171,11 @@ type Store struct {
 	journal             *os.File
 	journalSize         int64
 	journalSyncs        int64
+	journalAppends      int64
+	snapshots           int64
+	resultsSaved        int64
+	batchSizes          Histogram
+	flushLatency        Histogram
 	closesSinceSnapshot int
 	closed              bool
 }
@@ -210,7 +227,11 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		_ = lock.Close()
 		return nil, fmt.Errorf("streamstore: open journal: %w", err)
 	}
-	s := &Store{dir: dir, opts: opts, lock: lock, journal: f}
+	s := &Store{
+		dir: dir, opts: opts, lock: lock, journal: f,
+		batchSizes:   newHistogram(batchSizeBounds),
+		flushLatency: newHistogram(flushLatencyBounds),
+	}
 	if err := s.repairJournalLocked(); err != nil {
 		_ = f.Close()
 		_ = unlockFile(lock)
@@ -334,6 +355,7 @@ func (s *Store) WriteSnapshot(st *stream.EngineState, coveredUpTo int64) error {
 	if err := s.writeEnvelopeLocked("snapshot", snapshotName, snapshotTmpName, body); err != nil {
 		return err
 	}
+	s.snapshots++
 	s.closesSinceSnapshot = 0
 	return s.compactJournalLocked(coveredUpTo)
 }
@@ -341,9 +363,12 @@ func (s *Store) WriteSnapshot(st *stream.EngineState, coveredUpTo int64) error {
 // SaveResult atomically persists one window close's published result
 // (same temp/fsync/rename/dir-fsync dance as the snapshot), so recovery
 // can serve the previous estimate immediately instead of answering
-// not-ready until the next close. Truths of uncovered objects are NaN
-// in the engine, which JSON cannot carry; they are stored as zeros and
-// restored from the Covered mask on load.
+// not-ready until the next close. With Options.ResultHistory > 1 the
+// result is additionally filed as result-<window>.json and results older
+// than the history bound are pruned, so recent windows stay answerable
+// by number across a restart. Truths of uncovered objects are NaN in the
+// engine, which JSON cannot carry; they are stored as zeros and restored
+// from the Covered mask on load.
 func (s *Store) SaveResult(res *stream.WindowResult) error {
 	if res == nil {
 		return errors.New("streamstore: nil window result")
@@ -364,7 +389,18 @@ func (s *Store) SaveResult(res *stream.WindowResult) error {
 	if s.closed {
 		return ErrClosed
 	}
-	return s.writeEnvelopeLocked("result", resultName, resultTmpName, body)
+	if s.opts.ResultHistory > 1 {
+		name := resultHistoryName(res.Window)
+		if err := s.writeEnvelopeLocked("result history", name, name+".tmp", body); err != nil {
+			return err
+		}
+		s.pruneResultHistoryLocked(res.Window)
+	}
+	if err := s.writeEnvelopeLocked("result", resultName, resultTmpName, body); err != nil {
+		return err
+	}
+	s.resultsSaved++
+	return nil
 }
 
 // LoadResult returns the last persisted window result, or nil when none
@@ -376,7 +412,13 @@ func (s *Store) LoadResult() (*stream.WindowResult, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
-	body, err := readEnvelope(filepath.Join(s.dir, resultName), ErrCorruptResult)
+	return s.loadResultFileLocked(filepath.Join(s.dir, resultName))
+}
+
+// loadResultFileLocked reads, verifies, and decodes one persisted result
+// file, restoring NaN for uncovered truths. Callers must hold s.mu.
+func (s *Store) loadResultFileLocked(path string) (*stream.WindowResult, error) {
+	body, err := readEnvelope(path, ErrCorruptResult)
 	if body == nil || err != nil {
 		return nil, err
 	}
@@ -390,6 +432,81 @@ func (s *Store) LoadResult() (*stream.WindowResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// resultHistoryName is the file name one retained window result is filed
+// under (zero-padded so lexical order is window order).
+func resultHistoryName(window int) string {
+	return fmt.Sprintf("result-%09d.json", window)
+}
+
+// resultHistoryWindow parses a history file name back to its window,
+// reporting false for files that are not history results.
+func resultHistoryWindow(name string) (int, bool) {
+	var w int
+	if n, err := fmt.Sscanf(name, "result-%d.json", &w); n != 1 || err != nil {
+		return 0, false
+	}
+	return w, true
+}
+
+// pruneResultHistoryLocked removes history results at or below
+// latest - ResultHistory. Pruning is best-effort: a leftover file costs
+// disk, never correctness. Callers must hold s.mu.
+func (s *Store) pruneResultHistoryLocked(latest int) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if w, ok := resultHistoryWindow(e.Name()); ok && w <= latest-s.opts.ResultHistory {
+			_ = os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
+}
+
+// LoadResultHistory returns every retained window result in ascending
+// window order (empty when none were ever saved, e.g. a store without
+// Options.ResultHistory). The latest result (result.json) is included
+// even when it predates the history option being enabled. Individual
+// history files that fail their integrity check are skipped — they are
+// auxiliary read-side artifacts, and losing one old window must not
+// block recovering the stream — while a corrupt latest result is still
+// reported (ErrCorruptResult), matching LoadResult.
+func (s *Store) LoadResultHistory() ([]*stream.WindowResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	byWindow := make(map[int]*stream.WindowResult)
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("streamstore: read state dir: %w", err)
+	}
+	for _, e := range entries {
+		if _, ok := resultHistoryWindow(e.Name()); !ok {
+			continue
+		}
+		res, err := s.loadResultFileLocked(filepath.Join(s.dir, e.Name()))
+		if err != nil || res == nil {
+			continue // auxiliary artifact: skip, recovery must not block
+		}
+		byWindow[res.Window] = res
+	}
+	latest, err := s.loadResultFileLocked(filepath.Join(s.dir, resultName))
+	if err != nil {
+		return nil, err
+	}
+	if latest != nil {
+		byWindow[latest.Window] = latest
+	}
+	out := make([]*stream.WindowResult, 0, len(byWindow))
+	for _, res := range byWindow {
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Window < out[j].Window })
+	return out, nil
 }
 
 // writeEnvelopeLocked writes payload under a checksummed envelope with
@@ -462,8 +579,9 @@ func (s *Store) rotateSnapshotsLocked() {
 // re-running any window closes the journal implies — then window closes
 // that only the published result proves (Engine.ReplayClosesTo; a
 // cadence-skipped snapshot leaves the last close with no journal trace),
-// and finally the last published window result via
-// Engine.RestoreLastResult, so the previous estimate is servable
+// and finally the retained published window results via
+// Engine.RestoreHistory, so the previous estimate — and, with
+// Options.ResultHistory, recent windows by number — is servable
 // immediately. It reports whether any persisted state was found; false
 // means a fresh deployment.
 func (s *Store) Recover(e *stream.Engine) (bool, error) {
@@ -484,11 +602,11 @@ func (s *Store) Recover(e *stream.Engine) (bool, error) {
 	}
 	s.mu.Unlock()
 
-	res, err := s.LoadResult()
+	history, err := s.LoadResultHistory()
 	if err != nil {
 		return true, err
 	}
-	if st == nil && len(recs) == 0 && res == nil {
+	if st == nil && len(recs) == 0 && len(history) == 0 {
 		return false, nil
 	}
 	if st != nil {
@@ -501,17 +619,17 @@ func (s *Store) Recover(e *stream.Engine) (bool, error) {
 			return true, err
 		}
 	}
-	if res != nil {
+	if len(history) > 0 {
 		// A close that no journal record postdates — snapshot skipped by
 		// cadence, no traffic afterwards — is provable only through the
 		// published result: fast-forward the window counter to it, so
 		// the recovered engine does not re-open a window its users
 		// already saw close.
-		if err := e.ReplayClosesTo(res.Window); err != nil {
+		if err := e.ReplayClosesTo(history[len(history)-1].Window); err != nil {
 			return true, err
 		}
 	}
-	e.RestoreLastResult(res)
+	e.RestoreHistory(history)
 	return true, nil
 }
 

@@ -1,0 +1,699 @@
+package pptd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"pptd/internal/crowd"
+	"pptd/internal/stream"
+	"pptd/internal/streamstore"
+)
+
+// ErrNodeConfig reports an invalid NewNode option set: a bad argument, a
+// half-configured feature, or two options that contradict each other.
+// Every configuration error wraps it, so errors.Is(err, ErrNodeConfig)
+// catches them all.
+var ErrNodeConfig = errors.New("pptd: invalid node configuration")
+
+// Option configures NewNode. Options carry their own validation; cross-
+// option consistency (conflicts, missing prerequisites) is checked once
+// after all options applied, so the outcome does not depend on option
+// order.
+type Option func(*nodeConfig) error
+
+// nodeConfig accumulates the option set before validation. The *Set
+// flags distinguish "explicitly configured" from zero values, which is
+// what lets validation reject half-configured feature combinations
+// instead of silently defaulting them.
+type nodeConfig struct {
+	name string
+
+	lambda2    float64
+	lambda2Set bool
+
+	targetEps   float64
+	targetDelta float64
+	targetSet   bool
+
+	lambda1    float64
+	lambda1Set bool
+
+	budget    float64
+	budgetSet bool
+	perUser   bool
+
+	batchObjects int
+	batchSet     bool
+	expected     int
+	expectedSet  bool
+	method       Method
+
+	streamObjects  int
+	streamSet      bool
+	streamBase     *StreamConfig
+	shards         int
+	shardsSet      bool
+	decay          float64
+	decaySet       bool
+	history        int
+	historySet     bool
+	windowInterval time.Duration
+	intervalSet    bool
+
+	stateDir    string
+	persistSet  bool
+	store       StreamStoreOptions
+	claimWALOff bool
+}
+
+func optErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrNodeConfig, fmt.Sprintf(format, args...))
+}
+
+// WithName labels the node's campaigns.
+func WithName(name string) Option {
+	return func(c *nodeConfig) error {
+		c.name = name
+		return nil
+	}
+}
+
+// WithBatchCampaign hosts the one-shot batch campaign (Algorithm 2's
+// collect-then-aggregate flow) over numObjects micro-tasks. The
+// truth-discovery method defaults to CRH (WithMethod overrides) and
+// aggregation is manual unless WithExpectedUsers sets a trigger.
+func WithBatchCampaign(numObjects int) Option {
+	return func(c *nodeConfig) error {
+		if numObjects <= 0 {
+			return optErr("WithBatchCampaign: numObjects = %d", numObjects)
+		}
+		if c.batchSet {
+			return optErr("WithBatchCampaign configured twice")
+		}
+		c.batchObjects = numObjects
+		c.batchSet = true
+		return nil
+	}
+}
+
+// WithExpectedUsers auto-aggregates the batch campaign once n users have
+// submitted. Requires WithBatchCampaign.
+func WithExpectedUsers(n int) Option {
+	return func(c *nodeConfig) error {
+		if n <= 0 {
+			return optErr("WithExpectedUsers: n = %d", n)
+		}
+		c.expected = n
+		c.expectedSet = true
+		return nil
+	}
+}
+
+// WithMethod selects the batch campaign's truth-discovery method
+// (default CRH). Requires WithBatchCampaign.
+func WithMethod(m Method) Option {
+	return func(c *nodeConfig) error {
+		if m == nil {
+			return optErr("WithMethod: nil method")
+		}
+		c.method = m
+		return nil
+	}
+}
+
+// WithStreamEngine hosts the streaming engine over numObjects objects:
+// perturbed claims ingest continuously into sharded workers and every
+// window close publishes an incremental estimate. Defaults: automatic
+// shard count, no decay, no privacy accounting (see WithPrivacyTarget),
+// DefaultStreamHistoryWindows retained results.
+func WithStreamEngine(numObjects int) Option {
+	return func(c *nodeConfig) error {
+		if numObjects <= 0 {
+			return optErr("WithStreamEngine: numObjects = %d", numObjects)
+		}
+		if c.streamSet {
+			return optErr("WithStreamEngine configured twice")
+		}
+		if c.streamBase != nil {
+			return optErr("WithStreamEngine conflicts with WithStreamConfig: the engine config already carries the object count")
+		}
+		c.streamObjects = numObjects
+		c.streamSet = true
+		return nil
+	}
+}
+
+// WithStreamConfig hosts the streaming engine from a full StreamConfig —
+// the advanced escape hatch for knobs without a dedicated option
+// (distance, tolerance, carryover, queue depth, explicit
+// lambda1/lambda2/delta accounting). Fine-grained stream options that
+// would contradict it (WithStreamEngine, and WithPrivacyTarget when the
+// config enables its own accounting) are rejected at validation.
+func WithStreamConfig(cfg StreamConfig) Option {
+	return func(c *nodeConfig) error {
+		if c.streamSet {
+			return optErr("WithStreamConfig conflicts with WithStreamEngine: the engine config already carries the object count")
+		}
+		if c.streamBase != nil {
+			return optErr("WithStreamConfig configured twice")
+		}
+		base := cfg
+		c.streamBase = &base
+		return nil
+	}
+}
+
+// WithShards overrides the streaming engine's ingestion shard count
+// (default: one per core, capped at 8). Requires a stream engine.
+func WithShards(n int) Option {
+	return func(c *nodeConfig) error {
+		if n <= 0 {
+			return optErr("WithShards: n = %d", n)
+		}
+		c.shards = n
+		c.shardsSet = true
+		return nil
+	}
+}
+
+// WithDecay sets the streaming engine's per-window retention factor in
+// (0, 1]: 1 keeps all history, smaller values forget old claims
+// exponentially. Requires a stream engine.
+func WithDecay(d float64) Option {
+	return func(c *nodeConfig) error {
+		if d <= 0 || d > 1 || math.IsNaN(d) {
+			return optErr("WithDecay: d = %v (want (0, 1])", d)
+		}
+		c.decay = d
+		c.decaySet = true
+		return nil
+	}
+}
+
+// WithWindowInterval closes streaming windows automatically on a ticker,
+// so the deployment does not depend on an external POST
+// /v1/stream/window driver. Requires a stream engine.
+func WithWindowInterval(d time.Duration) Option {
+	return func(c *nodeConfig) error {
+		if d <= 0 {
+			return optErr("WithWindowInterval: d = %v", d)
+		}
+		c.windowInterval = d
+		c.intervalSet = true
+		return nil
+	}
+}
+
+// WithWindowHistory retains the last k published window results for
+// GET /v1/stream/truths?window=N reads (default
+// DefaultStreamHistoryWindows). On a durable node the same k recent
+// results are persisted, so history reads survive a kill-and-recover.
+// Requires a stream engine.
+func WithWindowHistory(k int) Option {
+	return func(c *nodeConfig) error {
+		if k <= 0 {
+			return optErr("WithWindowHistory: k = %d", k)
+		}
+		c.history = k
+		c.historySet = true
+		return nil
+	}
+}
+
+// WithLambda2 publishes an explicit perturbation rate lambda2 to users
+// (the rate each device samples its private noise variance with). It
+// does not by itself enable privacy accounting — use WithPrivacyTarget
+// for that — and conflicts with it, since the target derives lambda2.
+func WithLambda2(lambda2 float64) Option {
+	return func(c *nodeConfig) error {
+		if lambda2 <= 0 || math.IsNaN(lambda2) || math.IsInf(lambda2, 0) {
+			return optErr("WithLambda2: lambda2 = %v", lambda2)
+		}
+		c.lambda2 = lambda2
+		c.lambda2Set = true
+		return nil
+	}
+}
+
+// WithPrivacyTarget asks each streaming window (and the batch campaign's
+// single release) to satisfy (eps, delta)-local differential privacy:
+// the node derives the lambda2 to publish from the target via the
+// paper's accountant (Theorem 4.8) and meters every streaming user's
+// cumulative spending, both eps and delta composing linearly across
+// their windows. Requires WithDataQuality (the accountant's assumed
+// error-variance rate); conflicts with WithLambda2.
+func WithPrivacyTarget(eps, delta float64) Option {
+	return func(c *nodeConfig) error {
+		if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+			return optErr("WithPrivacyTarget: eps = %v", eps)
+		}
+		if delta <= 0 || delta >= 1 || math.IsNaN(delta) {
+			return optErr("WithPrivacyTarget: delta = %v (want (0, 1))", delta)
+		}
+		c.targetEps = eps
+		c.targetDelta = delta
+		c.targetSet = true
+		return nil
+	}
+}
+
+// WithDataQuality sets lambda1, the error-variance rate the privacy
+// accountant assumes the crowd's sensors follow (the paper's data-
+// quality parameter). Required by WithPrivacyTarget.
+func WithDataQuality(lambda1 float64) Option {
+	return func(c *nodeConfig) error {
+		if lambda1 <= 0 || math.IsNaN(lambda1) || math.IsInf(lambda1, 0) {
+			return optErr("WithDataQuality: lambda1 = %v", lambda1)
+		}
+		c.lambda1 = lambda1
+		c.lambda1Set = true
+		return nil
+	}
+}
+
+// WithEpsilonBudget caps each streaming user's cumulative epsilon:
+// submissions that would start a window past the cap are rejected
+// (budget_exhausted on the wire). Requires privacy accounting
+// (WithPrivacyTarget, or WithStreamConfig with Lambda1 set).
+func WithEpsilonBudget(budget float64) Option {
+	return func(c *nodeConfig) error {
+		if budget <= 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+			return optErr("WithEpsilonBudget: budget = %v", budget)
+		}
+		c.budget = budget
+		c.budgetSet = true
+		return nil
+	}
+}
+
+// WithPerUserReport opts the full per-user cumulative-epsilon map into
+// privacy reports (default: aggregates only — the map is the complete
+// historical client-ID roster). Requires privacy accounting.
+func WithPerUserReport() Option {
+	return func(c *nodeConfig) error {
+		c.perUser = true
+		return nil
+	}
+}
+
+// PersistenceOption tunes WithPersistence.
+type PersistenceOption func(*nodeConfig) error
+
+// WithPersistence makes the streaming side durable in the given state
+// directory: every privacy charge (and, by default, the submission's
+// claims — see WithoutClaimWAL) is journaled with an fsync before the
+// submission is acknowledged, each window close persists its published
+// result (the retained history, so ?window= reads survive restarts),
+// and the engine is snapshotted per the configured cadence. The node
+// owns the store: NewNode opens it and Node.Close closes it. Requires a
+// stream engine.
+func WithPersistence(dir string, opts ...PersistenceOption) Option {
+	return func(c *nodeConfig) error {
+		if dir == "" {
+			return optErr("WithPersistence: empty state directory")
+		}
+		if c.persistSet {
+			return optErr("WithPersistence configured twice")
+		}
+		c.stateDir = dir
+		c.persistSet = true
+		for _, o := range opts {
+			if o == nil {
+				continue
+			}
+			if err := o(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// WithSnapshotEvery snapshots the engine on every nth window close
+// (default every close); the journal covers the windows in between.
+func WithSnapshotEvery(n int) PersistenceOption {
+	return func(c *nodeConfig) error {
+		if n <= 0 {
+			return optErr("WithSnapshotEvery: n = %d", n)
+		}
+		c.store.SnapshotEvery = n
+		return nil
+	}
+}
+
+// WithSnapshotBytes forces a snapshot once the journal outgrows the
+// given size, bounding recovery replay time regardless of cadence.
+func WithSnapshotBytes(n int64) PersistenceOption {
+	return func(c *nodeConfig) error {
+		if n <= 0 {
+			return optErr("WithSnapshotBytes: n = %d", n)
+		}
+		c.store.SnapshotBytes = n
+		return nil
+	}
+}
+
+// WithRetainSnapshots keeps the previous n snapshot generations as
+// manual-recovery artifacts (recovery never reads them).
+func WithRetainSnapshots(n int) PersistenceOption {
+	return func(c *nodeConfig) error {
+		if n <= 0 {
+			return optErr("WithRetainSnapshots: n = %d", n)
+		}
+		c.store.RetainSnapshots = n
+		return nil
+	}
+}
+
+// WithGroupCommit tunes journal group commit: how long a batch leader
+// lingers for more concurrent appends before fsyncing (0 = no added
+// latency) and the records one batch may carry (0 = default 256, 1 =
+// one fsync per append).
+func WithGroupCommit(flushInterval time.Duration, maxBatch int) PersistenceOption {
+	return func(c *nodeConfig) error {
+		if flushInterval < 0 {
+			return optErr("WithGroupCommit: flushInterval = %v", flushInterval)
+		}
+		if maxBatch < 0 {
+			return optErr("WithGroupCommit: maxBatch = %d", maxBatch)
+		}
+		c.store.FlushInterval = flushInterval
+		c.store.MaxBatch = maxBatch
+		return nil
+	}
+}
+
+// WithoutClaimWAL journals privacy charges only, not the submissions'
+// claims. The budget still survives any crash, but statistics accepted
+// after the last snapshot are lost with it (privacy-conservative: the
+// charge stands, the data is gone). The default — claims in the WAL —
+// makes a kill-and-recover node match an uninterrupted one.
+func WithoutClaimWAL() PersistenceOption {
+	return func(c *nodeConfig) error {
+		c.claimWALOff = true
+		return nil
+	}
+}
+
+// validate checks cross-option consistency after every option applied.
+// Half-configured or contradictory sets fail with a typed error (wrapped
+// ErrNodeConfig) naming the options involved — never a silent default.
+func (c *nodeConfig) validate() error {
+	streaming := c.streamSet || c.streamBase != nil
+	if !c.batchSet && !streaming {
+		return optErr("configure at least one of WithBatchCampaign and WithStreamEngine")
+	}
+	if c.expectedSet && !c.batchSet {
+		return optErr("WithExpectedUsers requires WithBatchCampaign")
+	}
+	if c.method != nil && !c.batchSet {
+		return optErr("WithMethod requires WithBatchCampaign")
+	}
+	for opt, set := range map[string]bool{
+		"WithShards":         c.shardsSet,
+		"WithDecay":          c.decaySet,
+		"WithWindowInterval": c.intervalSet,
+		"WithWindowHistory":  c.historySet,
+		"WithPersistence":    c.persistSet,
+		"WithEpsilonBudget":  c.budgetSet,
+		"WithPerUserReport":  c.perUser,
+	} {
+		if set && !streaming {
+			return optErr("%s requires a stream engine (WithStreamEngine or WithStreamConfig)", opt)
+		}
+	}
+	if c.lambda2Set && c.targetSet {
+		return optErr("WithLambda2 conflicts with WithPrivacyTarget: the target derives lambda2")
+	}
+	if c.targetSet && !c.lambda1Set {
+		return optErr("WithPrivacyTarget requires WithDataQuality (the accountant's error-variance rate)")
+	}
+	if c.lambda1Set && !c.targetSet {
+		return optErr("WithDataQuality requires WithPrivacyTarget (nothing to account without a target)")
+	}
+	if c.streamBase != nil {
+		if c.targetSet && c.streamBase.Lambda1 > 0 {
+			return optErr("WithPrivacyTarget conflicts with WithStreamConfig accounting (Lambda1 set)")
+		}
+		if c.lambda2Set && c.streamBase.Lambda2 > 0 {
+			return optErr("WithLambda2 conflicts with WithStreamConfig.Lambda2")
+		}
+		if c.historySet && c.streamBase.HistoryWindows != 0 {
+			return optErr("WithWindowHistory conflicts with WithStreamConfig.HistoryWindows")
+		}
+		if c.shardsSet && c.streamBase.NumShards != 0 {
+			return optErr("WithShards conflicts with WithStreamConfig.NumShards")
+		}
+		if c.decaySet && c.streamBase.Decay != 0 {
+			return optErr("WithDecay conflicts with WithStreamConfig.Decay")
+		}
+		if c.budgetSet && c.streamBase.EpsilonBudget != 0 {
+			return optErr("WithEpsilonBudget conflicts with WithStreamConfig.EpsilonBudget")
+		}
+		if c.perUser && c.streamBase.PerUserReport {
+			return optErr("WithPerUserReport conflicts with WithStreamConfig.PerUserReport")
+		}
+		// An explicit ClaimWAL in the escape hatch must stay loud, never
+		// silently defaulted away: it conflicts with WithoutClaimWAL, it
+		// is meaningless without accounting (claims ride the charge
+		// journal), and it needs a durable journal to ride.
+		if c.streamBase.ClaimWAL {
+			if c.claimWALOff {
+				return optErr("WithoutClaimWAL conflicts with WithStreamConfig.ClaimWAL")
+			}
+			if c.streamBase.Lambda1 <= 0 {
+				return optErr("WithStreamConfig.ClaimWAL requires accounting (Lambda1 > 0): claims ride the charge journal")
+			}
+			if !c.persistSet && c.streamBase.Ledger == nil {
+				return optErr("WithStreamConfig.ClaimWAL requires WithPersistence (or an explicit Ledger) to journal into")
+			}
+		}
+	}
+	accounting := c.targetSet || (c.streamBase != nil && c.streamBase.Lambda1 > 0)
+	if c.budgetSet && !accounting {
+		return optErr("WithEpsilonBudget requires privacy accounting (WithPrivacyTarget or WithStreamConfig.Lambda1)")
+	}
+	if c.perUser && !accounting {
+		return optErr("WithPerUserReport requires privacy accounting (WithPrivacyTarget or WithStreamConfig.Lambda1)")
+	}
+	if c.batchSet && !c.lambda2Set && !c.targetSet && (c.streamBase == nil || c.streamBase.Lambda2 <= 0) {
+		return optErr("WithBatchCampaign requires a perturbation rate (WithLambda2 or WithPrivacyTarget)")
+	}
+	return nil
+}
+
+// Node is the unified front door to a privacy-preserving truth-discovery
+// deployment: one process that can host the one-shot batch campaign, the
+// windowed streaming engine, and durable persistence — all mounted on a
+// single HTTP mux speaking one error-envelope contract. Build it with
+// NewNode and functional options; Close releases everything the node
+// owns (stream workers, window ticker, state store).
+type Node struct {
+	name   string
+	batch  *CampaignServer
+	stream *StreamCampaignServer
+	store  *StreamStore
+
+	handler http.Handler
+}
+
+// NewNode builds a node from functional options. At least one of
+// WithBatchCampaign and WithStreamEngine (or WithStreamConfig) must be
+// given; every option carries its defaults, and half-configured or
+// conflicting option sets fail with an error wrapping ErrNodeConfig
+// before anything is started. The returned node owns its resources —
+// including the WithPersistence store — and must be Closed.
+func NewNode(opts ...Option) (*Node, error) {
+	var cfg nodeConfig
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	// Resolve the perturbation rate: explicit, derived from the privacy
+	// target via the accountant, or carried by the escape-hatch config.
+	lambda2 := cfg.lambda2
+	if cfg.targetSet {
+		acct, err := NewAccountant(cfg.lambda1)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrNodeConfig, err)
+		}
+		mech, err := acct.MechanismForEpsilon(cfg.targetEps, cfg.targetDelta)
+		if err != nil {
+			return nil, fmt.Errorf("%w: WithPrivacyTarget(%v, %v): %w",
+				ErrNodeConfig, cfg.targetEps, cfg.targetDelta, err)
+		}
+		lambda2 = mech.Lambda2()
+	}
+	if lambda2 == 0 && cfg.streamBase != nil {
+		lambda2 = cfg.streamBase.Lambda2
+	}
+
+	n := &Node{name: cfg.name}
+	ok := false
+	defer func() {
+		if !ok {
+			_ = n.Close()
+		}
+	}()
+
+	if cfg.streamSet || cfg.streamBase != nil {
+		engineCfg := StreamConfig{}
+		if cfg.streamBase != nil {
+			engineCfg = *cfg.streamBase
+		} else {
+			engineCfg.NumObjects = cfg.streamObjects
+		}
+		if cfg.shardsSet {
+			engineCfg.NumShards = cfg.shards
+		}
+		if cfg.decaySet {
+			engineCfg.Decay = cfg.decay
+		}
+		if cfg.historySet {
+			engineCfg.HistoryWindows = cfg.history
+		}
+		if cfg.targetSet {
+			engineCfg.Lambda1 = cfg.lambda1
+			engineCfg.Delta = cfg.targetDelta
+		}
+		if lambda2 > 0 {
+			engineCfg.Lambda2 = lambda2
+		}
+		if cfg.budgetSet {
+			engineCfg.EpsilonBudget = cfg.budget
+		}
+		if cfg.perUser {
+			engineCfg.PerUserReport = true
+		}
+		if cfg.persistSet {
+			// Persist as many recent results as the engine retains, so
+			// ?window= reads answer the same span across a restart.
+			history := engineCfg.HistoryWindows
+			if history == 0 {
+				history = DefaultStreamHistoryWindows
+			}
+			cfg.store.ResultHistory = history
+			store, err := streamstore.OpenWith(cfg.stateDir, cfg.store)
+			if err != nil {
+				return nil, err
+			}
+			n.store = store
+			// Default the claim WAL on for accounted durable nodes; an
+			// explicit WithStreamConfig.ClaimWAL passed validation above
+			// and is preserved either way.
+			if !cfg.claimWALOff && engineCfg.Lambda1 > 0 {
+				engineCfg.ClaimWAL = true
+			}
+		}
+		srv, err := crowd.NewStreamServer(crowd.StreamServerConfig{
+			Name:           cfg.name,
+			Engine:         engineCfg,
+			Persistence:    n.store,
+			WindowInterval: cfg.windowInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.stream = srv
+	}
+
+	if cfg.batchSet {
+		method := cfg.method
+		if method == nil {
+			m, err := NewCRH()
+			if err != nil {
+				return nil, err
+			}
+			method = m
+		}
+		srv, err := crowd.NewServer(crowd.ServerConfig{
+			Name:          cfg.name,
+			NumObjects:    cfg.batchObjects,
+			Lambda2:       lambda2,
+			ExpectedUsers: cfg.expected,
+			Method:        method,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.batch = srv
+	}
+
+	mux := http.NewServeMux()
+	if n.batch != nil {
+		n.batch.Register(mux)
+	}
+	if n.stream != nil {
+		n.stream.Register(mux)
+	}
+	n.handler = withEnvelopeNotFound(mux)
+	ok = true
+	return n, nil
+}
+
+// withEnvelopeNotFound keeps the front door's contract total: paths no
+// route is mounted at get the JSON error envelope (code "not_found"),
+// not net/http's plain-text 404.
+func withEnvelopeNotFound(mux *http.ServeMux) http.Handler {
+	notFound := crowd.NotFoundHandler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h, pattern := mux.Handler(r)
+		if pattern == "" {
+			notFound.ServeHTTP(w, r)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// Name returns the label the node's campaigns carry.
+func (n *Node) Name() string { return n.name }
+
+// Handler returns the node's HTTP handler: every configured API — batch
+// campaign, streaming campaign, stats — on one mux, every non-2xx
+// response the versioned JSON error envelope.
+func (n *Node) Handler() http.Handler { return n.handler }
+
+// Batch returns the hosted batch campaign server, or nil when
+// WithBatchCampaign was not configured.
+func (n *Node) Batch() *CampaignServer { return n.batch }
+
+// Stream returns the hosted streaming campaign server, or nil when no
+// stream engine was configured.
+func (n *Node) Stream() *StreamCampaignServer { return n.stream }
+
+// Store returns the node-owned durable state store, or nil without
+// WithPersistence. The node closes it in Close; callers may read Stats
+// from it but must not Close it themselves.
+func (n *Node) Store() *StreamStore { return n.store }
+
+// Close releases everything the node owns, in dependency order: the
+// streaming server first (stopping the window ticker and shard workers,
+// and writing a final snapshot on a durable node), then the state store.
+func (n *Node) Close() error {
+	var errs []error
+	if n.stream != nil {
+		if err := n.stream.Close(); err != nil && !errors.Is(err, stream.ErrEngineClosed) {
+			errs = append(errs, err)
+		}
+		n.stream = nil
+	}
+	if n.store != nil {
+		if err := n.store.Close(); err != nil && !errors.Is(err, streamstore.ErrClosed) {
+			errs = append(errs, err)
+		}
+		n.store = nil
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,527 @@
+package pptd_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pptd"
+)
+
+// TestNodeOptionValidation drives the option matrix: conflicting and
+// half-configured sets must fail with a typed error wrapping
+// ErrNodeConfig that names the offending option — never a silent
+// default, never a panic.
+func TestNodeOptionValidation(t *testing.T) {
+	crh, err := pptd.NewCRH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts []pptd.Option
+		want string // substring of the error
+	}{
+		{"no servers", nil, "at least one of"},
+		{"expected users without batch",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithExpectedUsers(3)},
+			"WithExpectedUsers requires WithBatchCampaign"},
+		{"method without batch",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithMethod(crh)},
+			"WithMethod requires WithBatchCampaign"},
+		{"shards without stream",
+			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithShards(4)},
+			"WithShards requires a stream engine"},
+		{"decay without stream",
+			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithDecay(0.5)},
+			"WithDecay requires a stream engine"},
+		{"window interval without stream",
+			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithWindowInterval(time.Second)},
+			"WithWindowInterval requires a stream engine"},
+		{"window history without stream",
+			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithWindowHistory(4)},
+			"WithWindowHistory requires a stream engine"},
+		{"persistence without stream",
+			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithPersistence(t.TempDir())},
+			"WithPersistence requires a stream engine"},
+		{"lambda2 conflicts with target",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithLambda2(2),
+				pptd.WithDataQuality(1), pptd.WithPrivacyTarget(0.5, 0.3)},
+			"WithLambda2 conflicts with WithPrivacyTarget"},
+		{"target without data quality",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithPrivacyTarget(0.5, 0.3)},
+			"WithPrivacyTarget requires WithDataQuality"},
+		{"data quality without target",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithDataQuality(1)},
+			"WithDataQuality requires WithPrivacyTarget"},
+		{"budget without accounting",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithEpsilonBudget(10)},
+			"WithEpsilonBudget requires privacy accounting"},
+		{"per-user report without accounting",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithPerUserReport()},
+			"WithPerUserReport requires privacy accounting"},
+		{"batch without a perturbation rate",
+			[]pptd.Option{pptd.WithBatchCampaign(5)},
+			"requires a perturbation rate"},
+		{"stream engine conflicts with stream config",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithStreamConfig(pptd.StreamConfig{NumObjects: 5})},
+			"WithStreamConfig conflicts with WithStreamEngine"},
+		{"target conflicts with stream config accounting",
+			[]pptd.Option{
+				pptd.WithStreamConfig(pptd.StreamConfig{NumObjects: 5, Lambda1: 1, Lambda2: 2, Delta: 0.3}),
+				pptd.WithDataQuality(1), pptd.WithPrivacyTarget(0.5, 0.3)},
+			"WithPrivacyTarget conflicts with WithStreamConfig"},
+		{"lambda2 conflicts with stream config lambda2",
+			[]pptd.Option{
+				pptd.WithStreamConfig(pptd.StreamConfig{NumObjects: 5, Lambda2: 2}),
+				pptd.WithLambda2(3)},
+			"WithLambda2 conflicts with WithStreamConfig.Lambda2"},
+		{"budget conflicts with stream config budget",
+			[]pptd.Option{
+				pptd.WithStreamConfig(pptd.StreamConfig{
+					NumObjects: 5, Lambda1: 1, Lambda2: 2, Delta: 0.3, EpsilonBudget: 3}),
+				pptd.WithEpsilonBudget(5)},
+			"WithEpsilonBudget conflicts with WithStreamConfig.EpsilonBudget"},
+		{"per-user report conflicts with stream config",
+			[]pptd.Option{
+				pptd.WithStreamConfig(pptd.StreamConfig{
+					NumObjects: 5, Lambda1: 1, Lambda2: 2, Delta: 0.3, PerUserReport: true}),
+				pptd.WithPerUserReport()},
+			"WithPerUserReport conflicts with WithStreamConfig.PerUserReport"},
+		{"explicit claim WAL without persistence",
+			[]pptd.Option{pptd.WithStreamConfig(pptd.StreamConfig{
+				NumObjects: 5, Lambda1: 1, Lambda2: 2, Delta: 0.3, ClaimWAL: true})},
+			"ClaimWAL requires WithPersistence"},
+		{"explicit claim WAL without accounting",
+			[]pptd.Option{pptd.WithStreamConfig(pptd.StreamConfig{
+				NumObjects: 5, Lambda2: 2, ClaimWAL: true})},
+			"ClaimWAL requires accounting"},
+		{"explicit claim WAL against WithoutClaimWAL",
+			[]pptd.Option{
+				pptd.WithStreamConfig(pptd.StreamConfig{
+					NumObjects: 5, Lambda1: 1, Lambda2: 2, Delta: 0.3, ClaimWAL: true}),
+				pptd.WithPersistence(t.TempDir(), pptd.WithoutClaimWAL())},
+			"WithoutClaimWAL conflicts with WithStreamConfig.ClaimWAL"},
+		{"double batch", []pptd.Option{pptd.WithBatchCampaign(5), pptd.WithBatchCampaign(5)},
+			"configured twice"},
+		{"double stream", []pptd.Option{pptd.WithStreamEngine(5), pptd.WithStreamEngine(5)},
+			"configured twice"},
+		{"bad batch objects", []pptd.Option{pptd.WithBatchCampaign(0)}, "numObjects = 0"},
+		{"bad stream objects", []pptd.Option{pptd.WithStreamEngine(-1)}, "numObjects = -1"},
+		{"bad decay", []pptd.Option{pptd.WithStreamEngine(5), pptd.WithDecay(1.5)}, "WithDecay"},
+		{"bad shards", []pptd.Option{pptd.WithStreamEngine(5), pptd.WithShards(0)}, "WithShards"},
+		{"bad history", []pptd.Option{pptd.WithStreamEngine(5), pptd.WithWindowHistory(0)}, "WithWindowHistory"},
+		{"bad lambda2", []pptd.Option{pptd.WithStreamEngine(5), pptd.WithLambda2(math.NaN())}, "WithLambda2"},
+		{"bad target eps", []pptd.Option{pptd.WithStreamEngine(5), pptd.WithPrivacyTarget(-1, 0.3)}, "eps = -1"},
+		{"bad target delta", []pptd.Option{pptd.WithStreamEngine(5), pptd.WithPrivacyTarget(0.5, 1)}, "delta = 1"},
+		{"empty persistence dir", []pptd.Option{pptd.WithStreamEngine(5), pptd.WithPersistence("")}, "empty state directory"},
+		{"bad group commit",
+			[]pptd.Option{pptd.WithStreamEngine(5),
+				pptd.WithPersistence(t.TempDir(), pptd.WithGroupCommit(-time.Second, 0))},
+			"WithGroupCommit"},
+		{"bad snapshot cadence",
+			[]pptd.Option{pptd.WithStreamEngine(5),
+				pptd.WithPersistence(t.TempDir(), pptd.WithSnapshotEvery(0))},
+			"WithSnapshotEvery"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := pptd.NewNode(tc.opts...)
+			if err == nil {
+				_ = n.Close()
+				t.Fatalf("NewNode succeeded, want error containing %q", tc.want)
+			}
+			if !errors.Is(err, pptd.ErrNodeConfig) {
+				t.Errorf("error %v does not wrap ErrNodeConfig", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestNodeBuildsEveryOldConfiguration checks that the options path can
+// express what the config structs could: batch with method + trigger,
+// stream with shards/decay/accounting/budget, and the full escape hatch.
+func TestNodeBuildsEveryOldConfiguration(t *testing.T) {
+	gtm, err := pptd.NewGTM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts []pptd.Option
+	}{
+		{"batch only", []pptd.Option{
+			pptd.WithName("b"), pptd.WithBatchCampaign(7), pptd.WithLambda2(2),
+			pptd.WithMethod(gtm), pptd.WithExpectedUsers(3)}},
+		{"stream only", []pptd.Option{
+			pptd.WithStreamEngine(7), pptd.WithShards(2), pptd.WithDecay(0.8),
+			pptd.WithLambda2(2), pptd.WithWindowHistory(4)}},
+		{"stream with target accounting", []pptd.Option{
+			pptd.WithStreamEngine(7), pptd.WithDataQuality(1.5),
+			pptd.WithPrivacyTarget(0.5, 0.3), pptd.WithEpsilonBudget(2),
+			pptd.WithPerUserReport()}},
+		{"escape hatch with explicit rates", []pptd.Option{
+			pptd.WithStreamConfig(pptd.StreamConfig{
+				NumObjects: 7, Lambda1: 1.5, Lambda2: 2, Delta: 0.3,
+				DisableCarryover: true, QueueDepth: 16})}},
+		{"batch and stream together", []pptd.Option{
+			pptd.WithBatchCampaign(7), pptd.WithStreamEngine(7), pptd.WithLambda2(2)}},
+		{"batch-only with derived lambda2", []pptd.Option{
+			pptd.WithBatchCampaign(7), pptd.WithDataQuality(1),
+			pptd.WithPrivacyTarget(0.5, 0.3)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := pptd.NewNode(tc.opts...)
+			if err != nil {
+				t.Fatalf("NewNode: %v", err)
+			}
+			if err := n.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		})
+	}
+}
+
+// TestNodeDerivesLambda2FromPrivacyTarget checks the WithPrivacyTarget
+// path publishes the lambda2 the accountant derives and charges windows
+// at (close to) the target epsilon.
+func TestNodeDerivesLambda2FromPrivacyTarget(t *testing.T) {
+	const lambda1, eps, delta = 1.5, 0.5, 0.3
+	acct, err := pptd.NewAccountant(lambda1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := acct.MechanismForEpsilon(eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := pptd.NewNode(
+		pptd.WithStreamEngine(5),
+		pptd.WithDataQuality(lambda1),
+		pptd.WithPrivacyTarget(eps, delta),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = n.Close() }()
+
+	info := n.Stream().Campaign()
+	if got, want := info.Lambda2, mech.Lambda2(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("published lambda2 = %v, accountant derives %v", got, want)
+	}
+	if math.Abs(info.EpsilonPerWindow-eps) > 1e-9 {
+		t.Errorf("epsilon per window = %v, want target %v", info.EpsilonPerWindow, eps)
+	}
+	if info.Delta != delta {
+		t.Errorf("delta = %v, want %v", info.Delta, delta)
+	}
+}
+
+// TestNodeFrontDoor runs the batch and streaming flows end to end
+// against one node handler: one mux, one client, one error contract.
+func TestNodeFrontDoor(t *testing.T) {
+	n, err := pptd.NewNode(
+		pptd.WithName("front-door"),
+		pptd.WithBatchCampaign(2),
+		pptd.WithStreamEngine(2),
+		pptd.WithLambda2(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = n.Close() }()
+	ts := httptest.NewServer(n.Handler())
+	defer ts.Close()
+	client, err := pptd.NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Batch flow.
+	if _, err := client.Submit(ctx, pptd.CampaignSubmission{
+		ClientID: "u1",
+		Claims:   []pptd.CampaignClaim{{Object: 0, Value: 1}, {Object: 1, Value: 2}},
+	}); err != nil {
+		t.Fatalf("batch submit: %v", err)
+	}
+	if _, err := client.Result(ctx); !errors.Is(err, pptd.ErrNotReady) {
+		t.Fatalf("pre-aggregate result err = %v, want ErrNotReady", err)
+	}
+	if _, err := client.Aggregate(ctx); err != nil {
+		t.Fatalf("aggregate: %v", err)
+	}
+	res, err := client.Result(ctx)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if len(res.Truths) != 2 {
+		t.Fatalf("truths = %v", res.Truths)
+	}
+
+	// Streaming flow on the same address.
+	if _, err := client.StreamSubmit(ctx, pptd.CampaignSubmission{
+		ClientID: "u1",
+		Claims:   []pptd.CampaignClaim{{Object: 0, Value: 5}},
+	}); err != nil {
+		t.Fatalf("stream submit: %v", err)
+	}
+	win, err := client.StreamCloseWindow(ctx)
+	if err != nil {
+		t.Fatalf("close window: %v", err)
+	}
+	if win.Window != 1 {
+		t.Fatalf("window = %d, want 1", win.Window)
+	}
+	truths, err := client.StreamTruths(ctx)
+	if err != nil {
+		t.Fatalf("stream truths: %v", err)
+	}
+	if truths.Window != 1 {
+		t.Fatalf("latest window = %d", truths.Window)
+	}
+
+	// Unknown paths speak the envelope too.
+	resp, err := http.Get(ts.URL + "/v1/no-such-thing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var eb pptd.APIErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("decode not-found body: %v", err)
+	}
+	if resp.StatusCode != http.StatusNotFound || eb.Code != "not_found" || eb.V != 1 {
+		t.Fatalf("unknown path: status %d envelope %+v", resp.StatusCode, eb)
+	}
+}
+
+// TestNodeWindowHistory drives ?window=N against a bounded ring: recent
+// windows answer, evicted and future windows fail with ErrUnknownWindow.
+func TestNodeWindowHistory(t *testing.T) {
+	n, err := pptd.NewNode(
+		pptd.WithStreamEngine(1),
+		pptd.WithWindowHistory(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = n.Close() }()
+	ts := httptest.NewServer(n.Handler())
+	defer ts.Close()
+	client, err := pptd.NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for w := 1; w <= 5; w++ {
+		if _, err := client.StreamSubmit(ctx, pptd.CampaignSubmission{
+			ClientID: "u",
+			Claims:   []pptd.CampaignClaim{{Object: 0, Value: float64(10 * w)}},
+		}); err != nil {
+			t.Fatalf("window %d submit: %v", w, err)
+		}
+		if _, err := client.StreamCloseWindow(ctx); err != nil {
+			t.Fatalf("window %d close: %v", w, err)
+		}
+	}
+
+	for w := 3; w <= 5; w++ {
+		info, err := client.StreamTruthsAt(ctx, w)
+		if err != nil {
+			t.Fatalf("truths at %d: %v", w, err)
+		}
+		if info.Window != w {
+			t.Errorf("truths at %d returned window %d", w, info.Window)
+		}
+	}
+	for _, w := range []int{1, 2, 99} {
+		_, err := client.StreamTruthsAt(ctx, w)
+		if !errors.Is(err, pptd.ErrUnknownWindow) {
+			t.Errorf("truths at %d err = %v, want ErrUnknownWindow", w, err)
+		}
+	}
+	// window=0 means latest.
+	info, err := client.StreamTruthsAt(ctx, 0)
+	if err != nil || info.Window != 5 {
+		t.Fatalf("latest via window=0: %v %+v", err, info)
+	}
+}
+
+// TestNodeHistorySurvivesRecovery is the acceptance drill: a durable
+// node serves ?window=N for the last K windows, and still does after a
+// kill-and-recover into the same state directory — including the error
+// envelope staying intact on the recovered node.
+func TestNodeHistorySurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *pptd.Node {
+		t.Helper()
+		n, err := pptd.NewNode(
+			pptd.WithStreamEngine(1),
+			pptd.WithWindowHistory(4),
+			pptd.WithPersistence(dir),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	n := open()
+	ts := httptest.NewServer(n.Handler())
+	client, err := pptd.NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	truthOf := map[int]float64{}
+	for w := 1; w <= 6; w++ {
+		if _, err := client.StreamSubmit(ctx, pptd.CampaignSubmission{
+			ClientID: "u",
+			Claims:   []pptd.CampaignClaim{{Object: 0, Value: float64(w)}},
+		}); err != nil {
+			t.Fatalf("window %d submit: %v", w, err)
+		}
+		info, err := client.StreamCloseWindow(ctx)
+		if err != nil {
+			t.Fatalf("window %d close: %v", w, err)
+		}
+		truthOf[w] = info.Truths[0]
+	}
+	ts.Close()
+	if err := n.Close(); err != nil {
+		t.Fatalf("close node: %v", err)
+	}
+
+	// Reopen into the same directory: the retained history must answer
+	// the same windows with the same truths, before any new traffic.
+	n2 := open()
+	defer func() { _ = n2.Close() }()
+	ts2 := httptest.NewServer(n2.Handler())
+	defer ts2.Close()
+	client2, err := pptd.NewClient(ts2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 3; w <= 6; w++ {
+		info, err := client2.StreamTruthsAt(ctx, w)
+		if err != nil {
+			t.Fatalf("recovered truths at %d: %v", w, err)
+		}
+		if info.Window != w || math.Abs(info.Truths[0]-truthOf[w]) > 1e-12 {
+			t.Errorf("recovered window %d = %+v, want truth %v", w, info, truthOf[w])
+		}
+	}
+	// Evicted window: still the typed error, still the envelope.
+	_, err = client2.StreamTruthsAt(ctx, 1)
+	if !errors.Is(err, pptd.ErrUnknownWindow) {
+		t.Fatalf("recovered truths at 1 err = %v, want ErrUnknownWindow", err)
+	}
+	var httpErr *pptd.CampaignHTTPError
+	if !errors.As(err, &httpErr) || httpErr.Code != "unknown_window" || httpErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("recovered envelope = %+v", httpErr)
+	}
+	// The stream resumes where it left off.
+	info, err := client2.StreamTruths(ctx)
+	if err != nil || info.Window != 6 {
+		t.Fatalf("recovered latest: %v %+v", err, info)
+	}
+}
+
+// TestNodeStreamStats checks GET /v1/stream/stats: a durable node
+// reports journal counters and group-commit histograms, a memory-only
+// node reports Durable false with no store block.
+func TestNodeStreamStats(t *testing.T) {
+	dir := t.TempDir()
+	n, err := pptd.NewNode(
+		pptd.WithStreamConfig(pptd.StreamConfig{
+			NumObjects: 2, Lambda1: 1.5, Lambda2: 2, Delta: 0.3,
+		}),
+		pptd.WithPersistence(dir),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = n.Close() }()
+	ts := httptest.NewServer(n.Handler())
+	defer ts.Close()
+	client, err := pptd.NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := client.StreamSubmit(ctx, pptd.CampaignSubmission{
+			ClientID: fmt.Sprintf("u%d", i),
+			Claims:   []pptd.CampaignClaim{{Object: 0, Value: 1}},
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if _, err := client.StreamCloseWindow(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := client.StreamStats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !stats.Durable || stats.Store == nil {
+		t.Fatalf("stats = %+v, want durable with store block", stats)
+	}
+	st := stats.Store
+	if st.JournalAppends != 3 {
+		t.Errorf("journal appends = %d, want 3", st.JournalAppends)
+	}
+	if st.JournalSyncs < 1 || st.JournalSyncs > 3 {
+		t.Errorf("journal syncs = %d", st.JournalSyncs)
+	}
+	if st.BatchSizes.Count != st.JournalSyncs {
+		t.Errorf("batch-size observations = %d, syncs = %d", st.BatchSizes.Count, st.JournalSyncs)
+	}
+	if int64(st.BatchSizes.Sum) != st.JournalAppends {
+		t.Errorf("batch-size sum = %v, appends = %d", st.BatchSizes.Sum, st.JournalAppends)
+	}
+	if st.FlushLatencySeconds.Count != st.JournalSyncs || st.FlushLatencySeconds.Max <= 0 {
+		t.Errorf("flush latency histogram = %+v", st.FlushLatencySeconds)
+	}
+	if st.ResultsSaved != 1 || st.Snapshots != 1 {
+		t.Errorf("results = %d snapshots = %d, want 1/1", st.ResultsSaved, st.Snapshots)
+	}
+	if stats.Window != 1 || stats.HistoryOldest != 1 {
+		t.Errorf("stats window bounds = %+v", stats)
+	}
+
+	// Memory-only node: stats still served, no store block.
+	n2, err := pptd.NewNode(pptd.WithStreamEngine(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = n2.Close() }()
+	ts2 := httptest.NewServer(n2.Handler())
+	defer ts2.Close()
+	client2, err := pptd.NewClient(ts2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := client2.StreamStats(ctx)
+	if err != nil {
+		t.Fatalf("memory-only stats: %v", err)
+	}
+	if stats2.Durable || stats2.Store != nil {
+		t.Fatalf("memory-only stats = %+v", stats2)
+	}
+}

@@ -19,7 +19,7 @@
 //     down-weighted, so the aggregate barely moves even under large
 //     noise ((alpha, beta)-utility, Theorem 4.3).
 //
-// Quick start:
+// Quick start (library pipeline):
 //
 //	rng := pptd.NewRNG(42)
 //	acct, _ := pptd.NewAccountant(1)                    // data quality lambda1
@@ -28,6 +28,37 @@
 //	pipe, _ := pptd.NewPipeline(mech, method)
 //	outcome, _ := pipe.Run(dataset, rng)
 //	fmt.Println(outcome.UtilityMAE)                     // utility loss
+//
+// # Serving quick start: the Node front door
+//
+// Deployments build one Node from functional options — it can host the
+// batch campaign, the streaming engine, and durable persistence, all on
+// a single HTTP mux whose every non-2xx response is a versioned JSON
+// error envelope ({v, code, message, retry_after_windows?}):
+//
+//	node, _ := pptd.NewNode(
+//		pptd.WithName("air-quality"),
+//		pptd.WithStreamEngine(30),
+//		pptd.WithDataQuality(1.5),            // lambda1 the accountant assumes
+//		pptd.WithPrivacyTarget(0.5, 0.3),     // (eps, delta) per window; derives lambda2
+//		pptd.WithEpsilonBudget(5),            // cumulative per-user cap
+//		pptd.WithWindowInterval(time.Minute), // ticker-driven window closes
+//		pptd.WithPersistence("/var/lib/pptd"),
+//	)
+//	defer node.Close()
+//	go http.ListenAndServe(":8080", node.Handler())
+//
+//	client, _ := pptd.NewClient("http://localhost:8080")
+//	info, err := client.StreamTruthsAt(ctx, 7) // a recent window by number
+//	if errors.Is(err, pptd.ErrUnknownWindow) { ... } // typed, decoded from the envelope
+//
+// Conflicting or half-configured options fail NewNode with a typed
+// error wrapping ErrNodeConfig (for example WithLambda2 together with
+// WithPrivacyTarget, or WithEpsilonBudget without accounting) — nothing
+// is silently defaulted. docs/API.md carries the endpoint table, the
+// error-code table, the options reference, and the migration guide from
+// the older config-struct constructors, which remain as deprecated
+// wrappers.
 //
 // # Streaming quick start
 //
@@ -75,17 +106,14 @@
 // cadence (StreamStoreOptions.SnapshotEvery / SnapshotBytes, with
 // retained generations), and the last published window result:
 //
-//	store, _ := pptd.OpenStreamStore("/var/lib/pptd")
-//	defer store.Close()
-//	srv, _ := pptd.NewStreamCampaignServer(pptd.StreamCampaignServerConfig{
-//		Engine: pptd.StreamConfig{
+//	node, _ := pptd.NewNode(
+//		pptd.WithStreamConfig(pptd.StreamConfig{ // explicit rates; or WithPrivacyTarget
 //			NumObjects: 30, Lambda1: 1, Lambda2: 2, Delta: 0.3,
-//			ClaimWAL: true, // statistics as durable as the budget
-//		},
-//		Persistence:    store,
-//		WindowInterval: time.Minute, // optional ticker-driven window closes
-//	})
-//	defer srv.Close()
+//		}),
+//		pptd.WithWindowInterval(time.Minute), // optional ticker-driven window closes
+//		pptd.WithPersistence("/var/lib/pptd"), // node owns the store; claim WAL on
+//	)
+//	defer node.Close()
 //
 // On startup the server restores the latest snapshot, replays the
 // journal on top (re-running any window closes the journal implies),
@@ -93,9 +121,10 @@
 // kill-and-recover deployment produces the same next-window truths and
 // weights as an uninterrupted one (within 1e-9 with the claim WAL), a
 // budget-exhausted user stays rejected after the restart, and GET
-// /v1/stream/truths never regresses to 404 across a restart. Raw
+// /v1/stream/truths never regresses to 404 across a restart — including
+// ?window=N reads over the persisted recent-result history. Raw
 // engines get the same hooks via StreamEngine.ExportState / Restore /
-// ReplayJournal / RestoreLastResult, StreamConfig.Ledger, and
+// ReplayJournal / RestoreHistory, StreamConfig.Ledger, and
 // StreamStore.Recover. The full crash-recovery contract — what
 // survives which failure, the fsync/ack ordering, and the group-commit
 // and snapshot-cadence trade-offs — is specified in docs/DURABILITY.md,

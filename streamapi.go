@@ -27,41 +27,72 @@ type StreamWindowResult = stream.WindowResult
 type StreamPrivacyReport = stream.PrivacyReport
 
 // NewStreamEngine starts a streaming engine; Close it to stop the shard
-// workers.
+// workers. (Embedding applications that drive windows themselves use the
+// engine directly; HTTP deployments build a Node instead.)
 func NewStreamEngine(cfg StreamConfig) (*StreamEngine, error) { return stream.New(cfg) }
 
-// Streaming sentinel errors, matchable with errors.Is.
+// DefaultStreamHistoryWindows is the published-result ring capacity a
+// stream engine (and a node's persisted result history) defaults to:
+// the last 8 closed windows stay answerable by GET
+// /v1/stream/truths?window=N.
+const DefaultStreamHistoryWindows = stream.DefaultHistoryWindows
+
+// Streaming sentinel errors, matchable with errors.Is. Client decodes
+// wire envelopes into the same sentinels.
 var (
-	// ErrStreamBudgetExhausted reports a submission from a user whose
-	// cumulative privacy budget would be exceeded.
+	// ErrBudgetExhausted reports a submission from a user whose
+	// cumulative privacy budget would be exceeded (envelope code
+	// "budget_exhausted", HTTP 429).
+	ErrBudgetExhausted = stream.ErrBudgetExhausted
+	// ErrDuplicateWindow reports a second submission from the same user
+	// into one open window while privacy accounting is enabled: the
+	// per-window epsilon pays for exactly one perturbed release (envelope
+	// code "duplicate_window", HTTP 409, retry_after_windows = 1).
+	ErrDuplicateWindow = stream.ErrDuplicateWindow
+	// ErrEmptyWindow reports a window close before any claim arrived
+	// (envelope code "empty_window", HTTP 409).
+	ErrEmptyWindow = stream.ErrEmptyWindow
+	// ErrSameWindow reports a CampaignUser.ParticipateStream call before
+	// the server's window advanced past the user's last submission; the
+	// helper refuses before perturbing so no second noisy release of the
+	// window leaves the device.
+	ErrSameWindow = crowd.ErrSameWindow
+	// ErrLedger reports a submission rejected because its privacy ledger
+	// record could not be made durable; the in-memory charge was rolled
+	// back.
+	ErrLedger = stream.ErrLedger
+	// ErrBadState reports an engine state that cannot be restored.
+	ErrBadState = stream.ErrBadState
+	// ErrCorruptSnapshot reports a persisted snapshot that fails its
+	// integrity check (on-disk damage, not a crash artifact).
+	ErrCorruptSnapshot = streamstore.ErrCorruptSnapshot
+	// ErrCorruptResult reports a persisted window result that fails its
+	// integrity check; deleting result.json clears it at the cost of
+	// serving no estimate until the next window close.
+	ErrCorruptResult = streamstore.ErrCorruptResult
+)
+
+// Deprecated aliases of the sentinels above, kept so pre-Node code
+// compiles unchanged. Each matches errors.Is identically to its
+// replacement (they are the same value).
+var (
+	// Deprecated: use ErrBudgetExhausted.
 	ErrStreamBudgetExhausted = stream.ErrBudgetExhausted
-	// ErrStreamDuplicateWindow reports a second submission from the same
-	// user into one open window while privacy accounting is enabled: the
-	// per-window epsilon pays for exactly one perturbed release.
+	// Deprecated: use ErrDuplicateWindow.
 	ErrStreamDuplicateWindow = stream.ErrDuplicateWindow
-	// ErrStreamEmptyWindow reports a window close before any claim
-	// arrived.
+	// Deprecated: use ErrEmptyWindow.
 	ErrStreamEmptyWindow = stream.ErrEmptyWindow
-	// ErrStreamSameWindow reports a CampaignUser.ParticipateStream call
-	// before the server's window advanced past the user's last
-	// submission; the helper refuses before perturbing so no second
-	// noisy release of the window leaves the device.
+	// Deprecated: use ErrSameWindow.
 	ErrStreamSameWindow = crowd.ErrSameWindow
-	// ErrStreamNotReady reports a truths (or batch result) fetch before
-	// anything was published; the servers answer it with 404.
+	// Deprecated: use ErrNotReady.
 	ErrStreamNotReady = crowd.ErrNotReady
-	// ErrStreamLedger reports a submission rejected because its privacy
-	// ledger record could not be made durable; the in-memory charge was
-	// rolled back.
+	// Deprecated: use ErrLedger.
 	ErrStreamLedger = stream.ErrLedger
-	// ErrStreamBadState reports an engine state that cannot be restored.
+	// Deprecated: use ErrBadState.
 	ErrStreamBadState = stream.ErrBadState
-	// ErrStreamCorruptSnapshot reports a persisted snapshot that fails
-	// its integrity check (on-disk damage, not a crash artifact).
+	// Deprecated: use ErrCorruptSnapshot.
 	ErrStreamCorruptSnapshot = streamstore.ErrCorruptSnapshot
-	// ErrStreamCorruptResult reports a persisted window result that
-	// fails its integrity check; deleting result.json clears it at the
-	// cost of serving no estimate until the next window close.
+	// Deprecated: use ErrCorruptResult.
 	ErrStreamCorruptResult = streamstore.ErrCorruptResult
 )
 
@@ -96,13 +127,31 @@ type StreamStore = streamstore.Store
 // retained generations.
 type StreamStoreOptions = streamstore.Options
 
+// StreamStoreStats is a point-in-time snapshot of a store's
+// observability counters: journal appends/syncs/bytes, snapshot and
+// result counts, and the group-commit batch-size and flush-latency
+// histograms (GET /v1/stream/stats serves it on a durable node).
+type StreamStoreStats = streamstore.StoreStats
+
+// StreamHistogram is the fixed-bucket counting histogram inside
+// StreamStoreStats.
+type StreamHistogram = streamstore.Histogram
+
 // OpenStreamStore creates or reopens a streaming state directory with
 // default options, repairing any torn journal tail left by a crash.
 // Close it after the server using it has been closed.
+//
+// Deprecated: build a node instead — NewNode(WithStreamEngine(n),
+// WithPersistence(dir)) opens and owns the store for you; keep
+// OpenStreamStore for embedding a store without a node.
 func OpenStreamStore(dir string) (*StreamStore, error) { return streamstore.Open(dir) }
 
 // OpenStreamStoreWith is OpenStreamStore with explicit
 // StreamStoreOptions.
+//
+// Deprecated: build a node instead — NewNode(WithStreamEngine(n),
+// WithPersistence(dir, WithGroupCommit(...), WithSnapshotEvery(...)))
+// carries the same knobs as validated options.
 func OpenStreamStoreWith(dir string, opts StreamStoreOptions) (*StreamStore, error) {
 	return streamstore.OpenWith(dir, opts)
 }
@@ -117,9 +166,18 @@ type StreamCampaignServerConfig = crowd.StreamServerConfig
 
 // NewStreamCampaignServer returns a streaming campaign server; Close it
 // to stop the engine's shard workers.
+//
+// Deprecated: build a node instead — NewNode(WithStreamEngine(n), ...)
+// hosts the same server behind the unified front door with validated
+// options, and Node.Stream() exposes it for embedding.
 func NewStreamCampaignServer(cfg StreamCampaignServerConfig) (*StreamCampaignServer, error) {
 	return crowd.NewStreamServer(cfg)
 }
+
+// StreamStatsInfo is the GET /v1/stream/stats response: engine totals,
+// result-history bounds, and the store's StreamStoreStats on a durable
+// node.
+type StreamStatsInfo = crowd.StreamStatsInfo
 
 // StreamCampaignInfo describes a streaming campaign.
 type StreamCampaignInfo = crowd.StreamCampaignInfo
