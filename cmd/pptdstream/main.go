@@ -11,7 +11,7 @@
 //	pptdstream -objects 20 -users 50 -windows 5 -shards 4 \
 //	    -lambda1 1.5 -lambda2 2 -delta 0.3 -budget 0 -decay 1 -drift 0.2 \
 //	    -state-dir /var/lib/pptd -window-interval 0 \
-//	    -claim-wal -snapshot-every 1 -commit-interval 0
+//	    -claim-wal -snapshot-every 1 -segment-bytes 0 -commit-interval 0
 //
 // With -budget > 0 users are cut off once their cumulative epsilon would
 // exceed the cap; the driver reports how many submissions were refused.
@@ -71,6 +71,7 @@ func run(args []string, out io.Writer) error {
 		interval    = fs.Duration("window-interval", 0, "auto window-close ticker for the in-process server (0 = driver-closed windows only)")
 		perUser     = fs.Bool("per-user-report", false, "opt the full per-user epsilon map into privacy reports (default: aggregates only)")
 		claimWAL    = fs.Bool("claim-wal", true, "journal each submission's claims with its charge (with -state-dir), so statistics survive a crash as well as budgets do")
+		segBytes    = fs.Int64("segment-bytes", 0, "size cap per journal segment file; compaction deletes covered segments whole (0 = default 4 MiB)")
 		snapEvery   = fs.Int("snapshot-every", 1, "write an engine snapshot every Nth window close (with -state-dir)")
 		snapBytes   = fs.Int64("snapshot-bytes", 0, "force a snapshot once the journal exceeds this many bytes (0 = no size trigger)")
 		snapRetain  = fs.Int("retain-snapshots", 0, "previous snapshot generations to keep as manual-recovery artifacts")
@@ -86,9 +87,9 @@ func run(args []string, out io.Writer) error {
 	if *addr != "" && (*stateDir != "" || *interval != 0) {
 		return errors.New("-state-dir and -window-interval configure the in-process server; they cannot apply to an external -addr")
 	}
-	if *snapEvery < 0 || *snapBytes < 0 || *snapRetain < 0 {
-		return fmt.Errorf("negative snapshot flags (-snapshot-every %d, -snapshot-bytes %d, -retain-snapshots %d)",
-			*snapEvery, *snapBytes, *snapRetain)
+	if *snapEvery < 0 || *snapBytes < 0 || *snapRetain < 0 || *segBytes < 0 {
+		return fmt.Errorf("negative persistence flags (-snapshot-every %d, -snapshot-bytes %d, -retain-snapshots %d, -segment-bytes %d)",
+			*snapEvery, *snapBytes, *snapRetain, *segBytes)
 	}
 
 	baseURL := *addr
@@ -122,6 +123,9 @@ func run(args []string, out io.Writer) error {
 			}
 			if *snapBytes > 0 {
 				popts = append(popts, pptd.WithSnapshotBytes(*snapBytes))
+			}
+			if *segBytes > 0 {
+				popts = append(popts, pptd.WithSegmentBytes(*segBytes))
 			}
 			if *snapRetain > 0 {
 				popts = append(popts, pptd.WithRetainSnapshots(*snapRetain))
@@ -298,8 +302,9 @@ func run(args []string, out io.Writer) error {
 		if st.JournalSyncs > 0 {
 			ratio /= float64(st.JournalSyncs)
 		}
-		fmt.Fprintf(out, "durable ingest: %d journal appends over %d fsyncs (%.1f appends/sync), %d bytes live, %d snapshots, %d results\n",
-			st.JournalAppends, st.JournalSyncs, ratio, st.JournalBytes, st.Snapshots, st.ResultsSaved)
+		fmt.Fprintf(out, "durable ingest: %d journal appends over %d fsyncs (%.1f appends/sync), %d bytes live in %d segments (%d sealed, %d compacted away), %d snapshots, %d results\n",
+			st.JournalAppends, st.JournalSyncs, ratio, st.JournalBytes, st.Segments,
+			st.SegmentsSealed, st.SegmentsDeleted, st.Snapshots, st.ResultsSaved)
 		fmt.Fprintf(out, "group-commit batch sizes: %s\n", st.BatchSizes)
 		fmt.Fprintf(out, "flush latency: mean %.2fms, p99<=%.2fms, max %.2fms\n",
 			st.FlushLatencySeconds.Mean()*1e3, st.FlushLatencySeconds.Quantile(0.99)*1e3,

@@ -285,7 +285,7 @@ func (s *StreamServer) Stats() StreamStatsInfo {
 		info.HistoryOldest = hist[0].Window
 	}
 	if s.store != nil {
-		st := s.store.Stats()
+		st := s.store.Stats(false)
 		info.Store = &st
 	}
 	return info

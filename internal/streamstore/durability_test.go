@@ -11,6 +11,7 @@ import (
 
 	"pptd/internal/randx"
 	"pptd/internal/stream"
+	"pptd/internal/streamstore/storefs"
 )
 
 func mustEngine(t *testing.T, cfg stream.Config) *stream.Engine {
@@ -101,13 +102,13 @@ func TestRetainedSnapshotGenerations(t *testing.T) {
 	}
 	defer func() { _ = s.Close() }()
 	for w := 1; w <= 4; w++ {
-		if err := s.WriteSnapshot(&stream.EngineState{Window: w}, s.JournalOffset()); err != nil {
+		if err := s.WriteSnapshot(&stream.EngineState{Window: w}, s.JournalPos()); err != nil {
 			t.Fatal(err)
 		}
 	}
 	wantWindow := func(path string, want int) {
 		t.Helper()
-		body, err := readEnvelope(path, ErrCorruptSnapshot)
+		body, _, err := readEnvelope(storefs.OS{}, path, ErrCorruptSnapshot)
 		if err != nil || body == nil {
 			t.Fatalf("%s: %v", path, err)
 		}

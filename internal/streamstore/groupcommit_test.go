@@ -112,7 +112,7 @@ func TestGroupCommitSharesSyncs(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	data, err := os.ReadFile(filepath.Join(dir, segmentFileName(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,6 +143,7 @@ func TestOpenWithRejectsBadOptions(t *testing.T) {
 	for _, opts := range []Options{
 		{FlushInterval: -time.Second},
 		{MaxBatch: -1},
+		{SegmentBytes: -1},
 		{SnapshotEvery: -2},
 		{SnapshotBytes: -1},
 		{RetainSnapshots: -1},

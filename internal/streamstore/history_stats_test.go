@@ -127,7 +127,7 @@ func TestStatsCounters(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st := s.Stats()
+	st := s.Stats(false)
 	if st.JournalAppends != 4 {
 		t.Errorf("appends = %d, want 4", st.JournalAppends)
 	}
@@ -147,16 +147,65 @@ func TestStatsCounters(t *testing.T) {
 	if err := s.SaveResult(mkResult(1, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if got := s.Stats().ResultsSaved; got != 1 {
+	if got := s.Stats(false).ResultsSaved; got != 1 {
 		t.Errorf("results saved = %d, want 1", got)
 	}
 
 	// Stats snapshots are independent copies: mutating one must not
 	// alias the store's live counters.
-	before := s.Stats()
+	before := s.Stats(false)
 	before.BatchSizes.Counts[0] = 999
-	if s.Stats().BatchSizes.Counts[0] == 999 {
+	if s.Stats(false).BatchSizes.Counts[0] == 999 {
 		t.Error("Stats shares bucket slice with the store")
+	}
+}
+
+// TestStatsResetWindow: Stats(true) returns the window-so-far and
+// zeroes the cumulative counters and histograms, so a long-lived node
+// polling with reset sees per-window rates; gauges (JournalBytes,
+// Segments) keep describing the present, and counting resumes from
+// zero afterwards.
+func TestStatsResetWindow(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, Options{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+
+	for i := 0; i < 3; i++ {
+		if err := s.AppendCharge(stream.ChargeRecord{User: "u", Window: i, Epsilon: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	window1 := s.Stats(true)
+	if window1.JournalAppends != 3 || window1.JournalSyncs != 3 || window1.BatchSizes.Count != 3 {
+		t.Fatalf("first window = %+v, want 3 appends/syncs/batches", window1)
+	}
+	after := s.Stats(false)
+	if after.JournalAppends != 0 || after.JournalSyncs != 0 ||
+		after.BatchSizes.Count != 0 || after.FlushLatencySeconds.Count != 0 {
+		t.Errorf("counters survived reset: %+v", after)
+	}
+	if after.JournalBytes != window1.JournalBytes || after.JournalBytes <= 0 {
+		t.Errorf("gauge JournalBytes = %d, want %d (unreset)", after.JournalBytes, window1.JournalBytes)
+	}
+	if after.Segments != window1.Segments || after.Segments < 1 {
+		t.Errorf("gauge Segments = %d, want %d (unreset)", after.Segments, window1.Segments)
+	}
+
+	// Re-accumulation starts from zero, not from the pre-reset totals.
+	for i := 3; i < 5; i++ {
+		if err := s.AppendCharge(stream.ChargeRecord{User: "u", Window: i, Epsilon: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	window2 := s.Stats(true)
+	if window2.JournalAppends != 2 || window2.JournalSyncs != 2 || window2.BatchSizes.Count != 2 {
+		t.Errorf("second window = %+v, want 2 appends/syncs/batches", window2)
+	}
+	if window2.FlushLatencySeconds.Max <= 0 || window2.FlushLatencySeconds.Count != 2 {
+		t.Errorf("second-window latency histogram = %+v", window2.FlushLatencySeconds)
 	}
 }
 

@@ -5,9 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
-	"io"
-	"os"
-	"path/filepath"
 	"runtime"
 	"time"
 
@@ -21,8 +18,20 @@ import (
 // where crc32hex is the IEEE CRC-32 of the payload in fixed-width lower
 // hex. The checksum plus the trailing newline make torn tails
 // unambiguous: a crashed append leaves either a complete valid line or a
-// detectable partial one, never a silently-wrong record.
+// detectable partial one, never a silently-wrong record. The format is
+// identical across the segmented layout and the legacy single-file
+// journal, which is what makes migration a pure rename.
 const journalCRCLen = 8
+
+// encodeChargeLine renders one charge record in the journal line
+// format. Shared by AppendCharge and the fuzz seed corpus.
+func encodeChargeLine(rec stream.ChargeRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("streamstore: encode charge: %w", err)
+	}
+	return []byte(fmt.Sprintf("%0*x %s\n", journalCRCLen, crc32.ChecksumIEEE(payload), payload)), nil
+}
 
 // commitBatch is one group-commit unit: the concatenated journal lines
 // of every append that joined it, flushed with a single write+fsync by
@@ -120,57 +129,59 @@ func (s *Store) commit(line []byte) error {
 	return b.err
 }
 
-// flushLocked appends one group-commit batch of n records at the durable
-// tail with a single write and a single fsync, recording the batch size
-// and flush latency in the stats histograms. On any failure it truncates
-// the file back to the last known good size so a partial batch cannot
-// poison later appends — every submission in the batch then fails and
-// rolls its in-memory charge back. Callers must hold s.mu.
+// flushLocked appends one group-commit batch of n records at the active
+// segment's durable tail with a single write and a single fsync,
+// recording the batch size and flush latency in the stats histograms.
+// On any failure it truncates the segment back to the last known good
+// size so a partial batch cannot poison later appends — every
+// submission in the batch then fails and rolls its in-memory charge
+// back. After a successful flush, an active segment that has outgrown
+// Options.SegmentBytes is sealed and a fresh segment opened (see
+// rollSegmentLocked). Callers must hold s.mu.
 func (s *Store) flushLocked(buf []byte, n int) error {
 	start := time.Now()
-	if _, err := s.journal.WriteAt(buf, s.journalSize); err != nil {
+	if _, err := s.active.WriteAt(buf, s.activeSize); err != nil {
 		s.rewindJournalLocked()
 		return fmt.Errorf("streamstore: append charge batch: %w", err)
 	}
-	if err := s.journal.Sync(); err != nil {
+	if err := s.active.Sync(); err != nil {
 		s.rewindJournalLocked()
 		return fmt.Errorf("streamstore: sync journal: %w", err)
 	}
 	s.journalSyncs++
 	s.journalAppends += int64(n)
-	s.journalSize += int64(len(buf))
+	s.activeSize += int64(len(buf))
 	s.batchSizes.observe(float64(n))
 	s.flushLatency.observe(time.Since(start).Seconds())
+	if s.activeSize >= s.segmentBytesLocked() {
+		// Best-effort by design: the batch is durable, so a failed roll
+		// must not fail acknowledged appends; see rollSegmentLocked.
+		_ = s.rollSegmentLocked()
+	}
 	return nil
 }
 
-// rewindJournalLocked best-effort truncates the journal back to the last
-// durable size after a failed append.
+// rewindJournalLocked best-effort truncates the active segment back to
+// the last durable size after a failed append.
 func (s *Store) rewindJournalLocked() {
-	_ = s.journal.Truncate(s.journalSize)
+	_ = s.active.Truncate(s.activeSize)
 }
 
-// readJournalLocked reads and parses the whole journal from the open
-// handle. It returns every record of the longest valid prefix and that
-// prefix's byte length; a torn or corrupt tail simply ends the prefix.
-func (s *Store) readJournalLocked() ([]stream.ChargeRecord, int64, error) {
-	fi, err := s.journal.Stat()
-	if err != nil {
-		return nil, 0, fmt.Errorf("streamstore: stat journal: %w", err)
-	}
-	data := make([]byte, fi.Size())
-	if _, err := io.ReadFull(io.NewSectionReader(s.journal, 0, fi.Size()), data); err != nil {
-		return nil, 0, fmt.Errorf("streamstore: read journal: %w", err)
-	}
-	recs, valid := parseJournal(data)
-	return recs, valid, nil
-}
-
-// parseJournal decodes the longest valid prefix of journal bytes,
+// parseJournal decodes the longest valid prefix of one segment's bytes,
 // returning its records and byte length. Parsing stops at the first
 // incomplete line (no trailing newline — a torn write), malformed
 // checksum prefix, checksum mismatch, or undecodable payload.
 func parseJournal(data []byte) ([]stream.ChargeRecord, int64) {
+	return parseJournalAfter(data, 0)
+}
+
+// parseJournalAfter is parseJournal restricted to the records past the
+// byte offset skip: the whole prefix is still validated (valid counts
+// it), but records whose line ends at or before skip — the part of a
+// boundary segment a snapshot already covers — are not returned. skip
+// always falls on a line boundary in practice (it is a durable size the
+// store captured itself); a skip inside a line simply keeps that line.
+func parseJournalAfter(data []byte, skip int64) ([]stream.ChargeRecord, int64) {
 	var recs []stream.ChargeRecord
 	var valid int64
 	for off := 0; off < len(data); {
@@ -183,9 +194,11 @@ func parseJournal(data []byte) ([]stream.ChargeRecord, int64) {
 		if !ok {
 			break
 		}
-		recs = append(recs, rec)
 		off += nl + 1
 		valid = int64(off)
+		if valid > skip {
+			recs = append(recs, rec)
+		}
 	}
 	return recs, valid
 }
@@ -207,100 +220,4 @@ func parseJournalLine(line []byte) (stream.ChargeRecord, bool) {
 		return rec, false
 	}
 	return rec, true
-}
-
-// repairJournalLocked scans the journal for its longest valid prefix and
-// truncates anything after it (a torn tail from a crashed append), so
-// subsequent appends land on a record boundary. Callers must hold s.mu.
-func (s *Store) repairJournalLocked() error {
-	_, valid, err := s.readJournalLocked()
-	if err != nil {
-		return err
-	}
-	fi, err := s.journal.Stat()
-	if err != nil {
-		return fmt.Errorf("streamstore: stat journal: %w", err)
-	}
-	if fi.Size() > valid {
-		if err := s.journal.Truncate(valid); err != nil {
-			return fmt.Errorf("streamstore: repair journal tail: %w", err)
-		}
-		if err := s.journal.Sync(); err != nil {
-			return fmt.Errorf("streamstore: sync repaired journal: %w", err)
-		}
-	}
-	s.journalSize = valid
-	return nil
-}
-
-// compactJournalLocked drops the journal prefix [0, coveredUpTo) — the
-// records subsumed by a snapshot that was exported after they were
-// appended — while preserving every record at or past the offset, which
-// may postdate the exported state and is still the only durable trace of
-// its charge. A non-empty tail is rewritten into a fresh file that
-// atomically replaces the journal, so a crash at any point leaves either
-// the full old journal (recovery replay is idempotent) or the compacted
-// one — never a torn middle. Callers must hold s.mu.
-func (s *Store) compactJournalLocked(coveredUpTo int64) error {
-	if coveredUpTo < 0 {
-		coveredUpTo = 0
-	}
-	if coveredUpTo > s.journalSize {
-		coveredUpTo = s.journalSize
-	}
-	tailLen := s.journalSize - coveredUpTo
-	if tailLen == 0 {
-		// Every record is covered by the snapshot; an in-place truncate
-		// cannot lose anything.
-		if err := s.journal.Truncate(0); err != nil {
-			return fmt.Errorf("streamstore: reset journal: %w", err)
-		}
-		if err := s.journal.Sync(); err != nil {
-			return fmt.Errorf("streamstore: sync reset journal: %w", err)
-		}
-		s.journalSize = 0
-		return nil
-	}
-
-	tail := make([]byte, tailLen)
-	if _, err := io.ReadFull(io.NewSectionReader(s.journal, coveredUpTo, tailLen), tail); err != nil {
-		return fmt.Errorf("streamstore: read journal tail: %w", err)
-	}
-	tmp := filepath.Join(s.dir, journalName+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
-	if err != nil {
-		return fmt.Errorf("streamstore: create compacted journal: %w", err)
-	}
-	if _, err := f.Write(tail); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("streamstore: write compacted journal: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("streamstore: sync compacted journal: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, journalName)); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("streamstore: publish compacted journal: %w", err)
-	}
-	if err := syncDir(s.dir); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("streamstore: sync state dir: %w", err)
-	}
-	old := s.journal
-	s.journal = f // same inode as the renamed journal
-	s.journalSize = tailLen
-	_ = old.Close()
-	return nil
-}
-
-// syncDir flushes a directory's entries so a just-renamed or just-created
-// file name is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer func() { _ = d.Close() }()
-	return d.Sync()
 }

@@ -1,0 +1,300 @@
+package streamstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pptd/internal/stream"
+)
+
+// pr4FixtureConfig is the engine configuration the committed PR 4-era
+// fixture (testdata/pr4-state) was produced with.
+func pr4FixtureConfig() stream.Config {
+	return stream.Config{
+		NumObjects: 4,
+		NumShards:  1,
+		Decay:      0.9,
+		Lambda1:    1.5,
+		Lambda2:    2,
+		Delta:      0.3,
+	}
+}
+
+// copyFixture clones a committed state-dir fixture into a temp dir,
+// since Open mutates the directory (migration, lock file).
+func copyFixture(t *testing.T, fixture string) string {
+	t.Helper()
+	dir := t.TempDir()
+	entries, err := os.ReadDir(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(fixture, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// pr4Expected is the recovery outcome the pre-segmentation code
+// produced from the fixture, captured at fixture-generation time.
+type pr4Expected struct {
+	State          *stream.EngineState `json:"state"`
+	HistoryWindows []int               `json:"historyWindows"`
+	LatestWindow   int                 `json:"latestWindow"`
+}
+
+func loadPR4Expected(t *testing.T) pr4Expected {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "pr4-expected.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp pr4Expected
+	if err := json.Unmarshal(data, &exp); err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+// requireStateEquivalent compares two engine states within tol on the
+// float fields and exactly elsewhere.
+func requireStateEquivalent(t *testing.T, got, want *stream.EngineState, tol float64) {
+	t.Helper()
+	if got.Window != want.Window || got.WindowClaims != want.WindowClaims || got.TotalClaims != want.TotalClaims {
+		t.Fatalf("counters = window %d claims %d/%d, want %d %d/%d",
+			got.Window, got.WindowClaims, got.TotalClaims, want.Window, want.WindowClaims, want.TotalClaims)
+	}
+	if len(got.Users) != len(want.Users) {
+		t.Fatalf("users = %d, want %d", len(got.Users), len(want.Users))
+	}
+	for i, w := range want.Users {
+		g := got.Users[i]
+		if g.ID != w.ID || g.LastWindow != w.LastWindow || g.Windows != w.Windows {
+			t.Errorf("user[%d] = %+v, want %+v", i, g, w)
+		}
+		if math.Abs(g.Carry-w.Carry) > tol || math.Abs(g.CumulativeEpsilon-w.CumulativeEpsilon) > tol {
+			t.Errorf("user[%d] floats = (%v, %v), want (%v, %v)", i, g.Carry, g.CumulativeEpsilon, w.Carry, w.CumulativeEpsilon)
+		}
+	}
+	if len(got.Stats) != len(want.Stats) {
+		t.Fatalf("stats = %d entries, want %d", len(got.Stats), len(want.Stats))
+	}
+	for i, w := range want.Stats {
+		g := got.Stats[i]
+		if g.Object != w.Object || g.User != w.User {
+			t.Errorf("stat[%d] = (%d, %s), want (%d, %s)", i, g.Object, g.User, w.Object, w.User)
+		}
+		if math.Abs(g.Sum-w.Sum) > tol || math.Abs(g.Mass-w.Mass) > tol {
+			t.Errorf("stat[%d] floats = (%v, %v), want (%v, %v)", i, g.Sum, g.Mass, w.Sum, w.Mass)
+		}
+	}
+}
+
+// TestMigrateLegacyJournal opens a committed PR 4-era state directory —
+// single-file ledger.journal, pre-JournalPos snapshot, result history —
+// and verifies the segmented store (a) migrates the journal to segment 1
+// byte-for-byte, (b) recovers the exact engine state the old code
+// recovered, and (c) leaves a directory a second Open sees as pure
+// segments with nothing left to migrate.
+func TestMigrateLegacyJournal(t *testing.T) {
+	fixture := filepath.Join("testdata", "pr4-state")
+	dir := copyFixture(t, fixture)
+	legacyBytes, err := os.ReadFile(filepath.Join(dir, legacyJournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustOpen(t, dir)
+	if _, err := os.Stat(filepath.Join(dir, legacyJournalName)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("legacy journal still present after migration: %v", err)
+	}
+	segBytes, err := os.ReadFile(filepath.Join(dir, segmentFileName(1)))
+	if err != nil {
+		t.Fatalf("migrated segment missing: %v", err)
+	}
+	if string(segBytes) != string(legacyBytes) {
+		t.Fatalf("migration changed journal bytes: %d -> %d", len(legacyBytes), len(segBytes))
+	}
+
+	e := mustEngine(t, pr4FixtureConfig())
+	defer func() { _ = e.Close() }()
+	found, err := s.Recover(e)
+	if err != nil || !found {
+		t.Fatalf("Recover = %v, %v; want found", found, err)
+	}
+	st, err := e.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := loadPR4Expected(t)
+	requireStateEquivalent(t, st, exp.State, 1e-9)
+	var gotHist []int
+	for _, res := range e.History() {
+		gotHist = append(gotHist, res.Window)
+	}
+	if len(gotHist) != len(exp.HistoryWindows) {
+		t.Fatalf("history windows = %v, want %v", gotHist, exp.HistoryWindows)
+	}
+	for i, w := range exp.HistoryWindows {
+		if gotHist[i] != w {
+			t.Fatalf("history windows = %v, want %v", gotHist, exp.HistoryWindows)
+		}
+	}
+	if snap := e.Snapshot(); snap == nil || snap.Window != exp.LatestWindow {
+		t.Fatalf("latest served window = %+v, want %d", snap, exp.LatestWindow)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second Open: pure segments, identical recovery, and writes land in
+	// the migrated world (the legacy name never comes back).
+	re := mustOpen(t, dir)
+	defer func() { _ = re.Close() }()
+	e2 := mustEngine(t, pr4FixtureConfig())
+	defer func() { _ = e2.Close() }()
+	if found, err := re.Recover(e2); err != nil || !found {
+		t.Fatalf("second Recover = %v, %v", found, err)
+	}
+	st2, err := e2.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStateEquivalent(t, st2, exp.State, 1e-9)
+	if err := re.AppendCharge(stream.ChargeRecord{User: "post-migration", Window: exp.State.Window, Epsilon: 1}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if ent.Name() == legacyJournalName {
+			t.Fatal("legacy journal reappeared after migration")
+		}
+	}
+}
+
+// TestSnapshotVersionGuardsDowngrade: snapshots carrying a covered
+// JournalPos are written as envelope version 2, so a rolled-back
+// pre-segmentation binary — which accepts only version 1 and knows
+// nothing of journal-*.wal — fails loudly ("unsupported version")
+// instead of restoring the snapshot while silently dropping every
+// charge journaled after it. Results stay version 1: old binaries can
+// still read them, and this binary reads both.
+func TestSnapshotVersionGuardsDowngrade(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	defer func() { _ = s.Close() }()
+	if err := s.WriteSnapshot(&stream.EngineState{Window: 1}, s.JournalPos()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveResult(mkResult(1, 2.5)); err != nil {
+		t.Fatal(err)
+	}
+	versionOf := func(name string) int {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env envelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatal(err)
+		}
+		return env.Version
+	}
+	if v := versionOf(snapshotName); v != segmentedSnapshotVersion {
+		t.Errorf("snapshot envelope version = %d, want %d (downgrade guard)", v, segmentedSnapshotVersion)
+	}
+	if v := versionOf(resultName); v != envelopeVersion {
+		t.Errorf("result envelope version = %d, want %d (old binaries keep reading results)", v, envelopeVersion)
+	}
+}
+
+// TestStraySegmentLookalikesIgnored: files that merely start like a
+// segment name (an operator's journal-000000001.wal.bak backup) must
+// not register as segments — a duplicate sequence number would replay
+// records twice and let compaction delete the live file.
+func TestStraySegmentLookalikesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := s.AppendCharge(stream.ChargeRecord{User: fmt.Sprintf("u%d", i), Window: 0, Epsilon: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := os.ReadFile(filepath.Join(dir, segmentFileName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stray := range []string{
+		segmentFileName(1) + ".bak", // backup copy of the live segment
+		"journal-1.wal",             // unpadded: not a name we ever write
+		"journal-000000002.wal.tmp",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, stray), seg, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	re := mustOpen(t, dir)
+	defer func() { _ = re.Close() }()
+	if pos := re.JournalPos(); pos.Seq != 1 {
+		t.Fatalf("stray look-alike changed the active segment: pos %+v", pos)
+	}
+	st, err := re.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Users) != 3 {
+		t.Fatalf("recovered %d users, want 3 (stray files replayed?)", len(st.Users))
+	}
+	for _, u := range st.Users {
+		if u.CumulativeEpsilon != 1 {
+			t.Errorf("user %s epsilon = %v, want 1 (double replay)", u.ID, u.CumulativeEpsilon)
+		}
+	}
+	// A compaction must not touch the stray files either.
+	if err := re.WriteSnapshot(&stream.EngineState{Window: 1}, re.JournalPos()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segmentFileName(1)+".bak")); err != nil {
+		t.Errorf("compaction removed the operator's backup: %v", err)
+	}
+}
+
+// TestMigrateRefusesAmbiguousLayout: a directory holding BOTH a legacy
+// journal and segments has no well-defined record order; Open must fail
+// loudly instead of guessing (silently misordering replay could
+// mischarge users).
+func TestMigrateRefusesAmbiguousLayout(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.AppendCharge(stream.ChargeRecord{User: "a", Window: 0, Epsilon: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, legacyJournalName), []byte("stale\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open succeeded on a directory with both ledger.journal and segments")
+	}
+}

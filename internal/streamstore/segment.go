@@ -1,0 +1,349 @@
+package streamstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pptd/internal/stream"
+	"pptd/internal/streamstore/storefs"
+)
+
+// The journal is a sequence of rolling segment files, journal-<seq>.wal,
+// with seq ascending from 1 (zero-padded so lexical order is sequence
+// order). Appends go only to the active segment — the highest sequence
+// number — and once a flush pushes it past Options.SegmentBytes it is
+// sealed: already fsync'd, never written again, and a fresh segment is
+// created (its name made durable with a directory sync) for subsequent
+// appends. Sealed segments are immutable, which is what makes compaction
+// O(segments): a snapshot that covers a sealed segment entirely lets it
+// be deleted outright, no bytes rewritten. The one partially-covered
+// boundary segment is left intact and its covered prefix skipped on
+// recovery using the snapshot's JournalPos marker.
+//
+// Legacy layout: before segmentation the journal was one rewrite-on-
+// compact file, ledger.journal. Open migrates it by renaming it to the
+// first segment — the record format is unchanged — so a pre-segmentation
+// state directory recovers cleanly and a second Open sees only segments.
+
+// segmentInfo is the store's bookkeeping for one sealed segment.
+type segmentInfo struct {
+	seq  int64
+	size int64
+}
+
+// end is the journal position just past the segment's last byte; a
+// snapshot covers the whole segment iff its covered position is not
+// before it.
+func (g segmentInfo) end() JournalPos {
+	return JournalPos{Seq: g.seq, Off: g.size}
+}
+
+// JournalPos identifies a point in the segmented journal: every byte of
+// segments with sequence numbers below Seq, plus the first Off bytes of
+// segment Seq, lie before it. The zero value is the start of the
+// journal. Snapshots embed the position their export covers, so
+// compaction can delete covered segments and recovery can skip the
+// covered prefix of the boundary segment.
+type JournalPos struct {
+	Seq int64 `json:"seq"`
+	Off int64 `json:"off"`
+}
+
+// Before reports whether p orders strictly before q.
+func (p JournalPos) Before(q JournalPos) bool {
+	return p.Seq < q.Seq || (p.Seq == q.Seq && p.Off < q.Off)
+}
+
+func segmentFileName(seq int64) string {
+	return fmt.Sprintf("journal-%09d.wal", seq)
+}
+
+func (s *Store) segmentPath(seq int64) string {
+	return filepath.Join(s.dir, segmentFileName(seq))
+}
+
+// parseSegmentName parses journal-<seq>.wal back to its sequence
+// number, reporting false for other files. Only exact round-trips
+// count: Sscanf tolerates trailing bytes, and accepting e.g. an
+// operator's journal-000000003.wal.bak as segment 3 would register a
+// duplicate sequence — double replay on recovery, and compaction
+// deleting the live file.
+func parseSegmentName(name string) (int64, bool) {
+	var seq int64
+	if n, err := fmt.Sscanf(name, "journal-%d.wal", &seq); n != 1 || err != nil {
+		return 0, false
+	}
+	if seq <= 0 || name != segmentFileName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
+// segmentBytesLocked returns the effective segment size cap.
+func (s *Store) segmentBytesLocked() int64 {
+	if s.opts.SegmentBytes > 0 {
+		return s.opts.SegmentBytes
+	}
+	return defaultSegmentBytes
+}
+
+// journalBytesLocked returns the journal's total live size across every
+// segment. Callers must hold s.mu.
+func (s *Store) journalBytesLocked() int64 {
+	total := s.activeSize
+	for _, seg := range s.sealed {
+		total += seg.size
+	}
+	return total
+}
+
+// openJournalLocked brings the segmented journal up at Open time: it
+// migrates a legacy single-file journal into segment 1, scans the
+// directory for segments, opens the highest sequence as the active
+// segment (creating segment 1 on a fresh directory), and repairs any
+// torn tail a crash mid-append left in it. Sealed segments are never
+// touched — a roll only happens after a successful fsync, so a torn
+// tail can only live in the last segment.
+func (s *Store) openJournalLocked() error {
+	if err := s.migrateLegacyJournalLocked(); err != nil {
+		return err
+	}
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("streamstore: scan state dir: %w", err)
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		seq, ok := parseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		fi, err := s.fs.Stat(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("streamstore: stat segment %s: %w", e.Name(), err)
+		}
+		segs = append(segs, segmentInfo{seq: seq, size: fi.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+
+	activeSeq := int64(1)
+	created := len(segs) == 0
+	if !created {
+		activeSeq = segs[len(segs)-1].seq
+		segs = segs[:len(segs)-1]
+	}
+	f, err := s.fs.OpenFile(s.segmentPath(activeSeq), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("streamstore: open journal segment: %w", err)
+	}
+	if created {
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("streamstore: sync state dir: %w", err)
+		}
+	}
+	s.sealed = segs
+	s.active = f
+	s.activeSeq = activeSeq
+	if err := s.repairActiveLocked(); err != nil {
+		_ = f.Close()
+		s.active = nil
+		return err
+	}
+	return nil
+}
+
+// migrateLegacyJournalLocked renames a pre-segmentation ledger.journal
+// into the first free segment slot. The rename is atomic and the record
+// format unchanged, so a crash before, during, or after migration
+// leaves a directory that the next Open handles identically.
+func (s *Store) migrateLegacyJournalLocked() error {
+	legacy := filepath.Join(s.dir, legacyJournalName)
+	if _, err := s.fs.Stat(legacy); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("streamstore: stat legacy journal: %w", err)
+	}
+	// Our own migration is a single atomic rename, so segments can never
+	// coexist with ledger.journal from any crash of ours; seeing both
+	// means outside interference, and there is no way to know whether
+	// the legacy records predate or postdate the segments'. Refuse
+	// loudly — misordered replay could mischarge users.
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("streamstore: scan state dir before migration: %w", err)
+	}
+	for _, e := range entries {
+		if _, ok := parseSegmentName(e.Name()); ok {
+			return fmt.Errorf("streamstore: legacy journal %s coexists with segment %s: refusing to guess record order",
+				legacyJournalName, e.Name())
+		}
+	}
+	if err := s.fs.Rename(legacy, s.segmentPath(1)); err != nil {
+		return fmt.Errorf("streamstore: migrate legacy journal: %w", err)
+	}
+	// A pre-segmentation binary that crashed mid-compaction can leave
+	// ledger.journal.tmp behind; nothing will ever touch it again, and a
+	// stale file full of journal-looking records invites operator
+	// confusion. Best-effort: it holds no acknowledged state.
+	_ = s.fs.Remove(legacy + ".tmp")
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("streamstore: sync state dir: %w", err)
+	}
+	return nil
+}
+
+// repairActiveLocked scans the active segment for its longest valid
+// prefix and truncates anything after it (a torn tail from a crashed
+// append), so subsequent appends land on a record boundary. Callers
+// must hold s.mu.
+func (s *Store) repairActiveLocked() error {
+	data, err := s.readSegmentLocked(s.active)
+	if err != nil {
+		return err
+	}
+	_, valid := parseJournal(data)
+	if int64(len(data)) > valid {
+		if err := s.active.Truncate(valid); err != nil {
+			return fmt.Errorf("streamstore: repair journal tail: %w", err)
+		}
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("streamstore: sync repaired journal: %w", err)
+		}
+	}
+	s.activeSize = valid
+	return nil
+}
+
+// readSegmentLocked reads one whole segment through its open handle.
+func (s *Store) readSegmentLocked(f storefs.File) ([]byte, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("streamstore: stat journal segment: %w", err)
+	}
+	data := make([]byte, fi.Size())
+	n, err := f.ReadAt(data, 0)
+	if int64(n) != fi.Size() && err != nil {
+		return nil, fmt.Errorf("streamstore: read journal segment: %w", err)
+	}
+	return data[:n], nil
+}
+
+// rollSegmentLocked seals the active segment (it is already fsync'd —
+// rolls only happen after a successful flush) and opens the next
+// sequence number, syncing the directory so the new name is durable.
+// Failures leave the current segment active past its size cap and are
+// returned for the caller to decide: the append path ignores them (the
+// batch is already durable, and failing an acknowledged-able append
+// over a housekeeping error would roll back charges that are safely on
+// disk; the next flush simply retries), while compaction propagates
+// them so a state directory that can no longer create files surfaces
+// as a snapshot error instead of unbounded silent journal growth.
+// Callers must hold s.mu.
+func (s *Store) rollSegmentLocked() error {
+	next := s.activeSeq + 1
+	f, err := s.fs.OpenFile(s.segmentPath(next), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("streamstore: create journal segment %d: %w", next, err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		_ = f.Close()
+		_ = s.fs.Remove(s.segmentPath(next))
+		return fmt.Errorf("streamstore: sync state dir: %w", err)
+	}
+	old := s.active
+	s.sealed = append(s.sealed, segmentInfo{seq: s.activeSeq, size: s.activeSize})
+	s.active = f
+	s.activeSeq = next
+	s.activeSize = 0
+	s.segmentsSealed++
+	_ = old.Close()
+	return nil
+}
+
+// compactJournalLocked applies a snapshot's coverage to the segmented
+// journal: every sealed segment at or before covered is deleted whole —
+// O(segments), no surviving byte rewritten — and the partially-covered
+// boundary segment (if any) is left intact, its covered prefix skipped
+// on recovery via the JournalPos marker the snapshot carries. When the
+// coverage reaches the active segment's durable tail, the active
+// segment is rolled and deleted too, so a quiet store snapshotting
+// every close keeps exactly one small live segment. If any step is
+// interrupted, leftover covered segments are harmless: recovery replay
+// is idempotent and the marker skips them; the next compaction deletes
+// them. Callers must hold s.mu.
+func (s *Store) compactJournalLocked(covered JournalPos) error {
+	// The whole journal covered: seal the active segment and let the
+	// sealed-segment pass below delete it with the rest. A roll failure
+	// here must not stay silent — it means the journal can no longer be
+	// reclaimed — so it surfaces as the snapshot's error (the snapshot
+	// itself is already durable; recovery is unaffected).
+	if covered.Seq == s.activeSeq && covered.Off >= s.activeSize && s.activeSize > 0 {
+		if err := s.rollSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	kept := s.sealed[:0]
+	var firstErr error
+	for _, seg := range s.sealed {
+		if !covered.Before(seg.end()) {
+			if err := s.fs.Remove(s.segmentPath(seg.seq)); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("streamstore: delete covered segment %d: %w", seg.seq, err)
+				}
+				kept = append(kept, seg)
+				continue
+			}
+			s.segmentsDeleted++
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	s.sealed = kept
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("streamstore: sync state dir: %w", err)
+	}
+	return nil
+}
+
+// readJournalLocked reads every journal record past covered, in segment
+// order: sealed segments first (skipping those the snapshot covers
+// entirely and the covered prefix of the boundary segment), then the
+// active segment's durable prefix. Each segment contributes the longest
+// valid prefix of its bytes — the per-segment CRC torn-tail rule — so
+// damage in one segment never hides records in another. Callers must
+// hold s.mu.
+func (s *Store) readJournalLocked(covered JournalPos) ([]stream.ChargeRecord, error) {
+	var recs []stream.ChargeRecord
+	for _, seg := range s.sealed {
+		if !covered.Before(seg.end()) {
+			continue
+		}
+		data, err := s.fs.ReadFile(s.segmentPath(seg.seq))
+		if err != nil {
+			return nil, fmt.Errorf("streamstore: read journal segment %d: %w", seg.seq, err)
+		}
+		var skip int64
+		if seg.seq == covered.Seq {
+			skip = covered.Off
+		}
+		segRecs, _ := parseJournalAfter(data, skip)
+		recs = append(recs, segRecs...)
+	}
+	data, err := s.readSegmentLocked(s.active)
+	if err != nil {
+		return nil, err
+	}
+	var skip int64
+	if s.activeSeq == covered.Seq {
+		skip = covered.Off
+	}
+	segRecs, _ := parseJournalAfter(data, skip)
+	return append(recs, segRecs...), nil
+}

@@ -126,8 +126,18 @@ type StoreStats struct {
 	// group-commit amortization factor.
 	JournalAppends int64 `json:"journalAppends"`
 	JournalSyncs   int64 `json:"journalSyncs"`
-	// JournalBytes is the journal's current durable size.
+	// JournalBytes is the journal's current live size across every
+	// segment (a gauge: Stats(true) does not reset it).
 	JournalBytes int64 `json:"journalBytes"`
+	// Segments is the current number of live journal segment files,
+	// including the active one (a gauge). SegmentsSealed and
+	// SegmentsDeleted count segment rolls and compaction deletions
+	// (one compaction pass runs per snapshot, so Snapshots counts
+	// those). Sealed minus deleted trending up means snapshots are not
+	// keeping pace with ingest.
+	Segments        int   `json:"segments"`
+	SegmentsSealed  int64 `json:"segmentsSealed"`
+	SegmentsDeleted int64 `json:"segmentsDeleted"`
 	// Snapshots counts engine snapshots written; ResultsSaved counts
 	// persisted window results.
 	Snapshots    int64 `json:"snapshots"`
@@ -141,13 +151,24 @@ type StoreStats struct {
 
 // Stats returns a copy of the store's counters and histograms. Safe for
 // concurrent use with appends and snapshots.
-func (s *Store) Stats() StoreStats {
+//
+// With reset true, the cumulative counters and both histograms are
+// zeroed after the copy is taken, so a long-lived node can poll in
+// windows and see rates instead of an all-time blur (an fsync latency
+// regression in hour 40 is invisible inside a 40-hour histogram).
+// Gauges — JournalBytes, Segments — describe the present and are never
+// reset. Concurrent flushes serialize with the reset, so no observation
+// is lost or double-counted across the boundary.
+func (s *Store) Stats(reset bool) StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := StoreStats{
 		JournalAppends:      s.journalAppends,
 		JournalSyncs:        s.journalSyncs,
-		JournalBytes:        s.journalSize,
+		JournalBytes:        s.journalBytesLocked(),
+		Segments:            len(s.sealed) + 1,
+		SegmentsSealed:      s.segmentsSealed,
+		SegmentsDeleted:     s.segmentsDeleted,
 		Snapshots:           s.snapshots,
 		ResultsSaved:        s.resultsSaved,
 		BatchSizes:          s.batchSizes,
@@ -155,5 +176,12 @@ func (s *Store) Stats() StoreStats {
 	}
 	st.BatchSizes.Counts = append([]int64(nil), s.batchSizes.Counts...)
 	st.FlushLatencySeconds.Counts = append([]int64(nil), s.flushLatency.Counts...)
+	if reset {
+		s.journalAppends, s.journalSyncs = 0, 0
+		s.segmentsSealed, s.segmentsDeleted = 0, 0
+		s.snapshots, s.resultsSaved = 0, 0
+		s.batchSizes = newHistogram(batchSizeBounds)
+		s.flushLatency = newHistogram(flushLatencyBounds)
+	}
 	return st
 }

@@ -2,16 +2,19 @@
 // state so that privacy guarantees and estimator statistics survive
 // process restarts. It keeps three artifacts in one state directory:
 //
-//   - an append-only journal (ledger.journal): one checksummed record
-//     per accepted submission, holding the (user, window) epsilon charge
-//     and — with stream.Config.ClaimWAL — the submission's claims,
-//     fsync'd before the engine acknowledges the submission. Concurrent
-//     appends group-commit: the first appender in becomes the batch
-//     leader and flushes everyone that joined with a single write+fsync
-//     (see Options), so durable ingest scales with concurrency instead
-//     of serializing on the disk. The journal is the ground truth
-//     between snapshots — a crash never loses an acknowledged charge,
-//     nor (with the claim WAL) the statistics it paid for.
+//   - an append-only journal of rolling segment files (journal-<seq>.wal):
+//     one checksummed record per accepted submission, holding the
+//     (user, window) epsilon charge and — with stream.Config.ClaimWAL —
+//     the submission's claims, fsync'd before the engine acknowledges
+//     the submission. Concurrent appends group-commit: the first
+//     appender in becomes the batch leader and flushes everyone that
+//     joined with a single write+fsync (see Options), so durable ingest
+//     scales with concurrency instead of serializing on the disk.
+//     Appends go to the active (highest-sequence) segment only; a
+//     segment that outgrows Options.SegmentBytes is sealed — immutable
+//     from then on — and a fresh one opened. The journal is the ground
+//     truth between snapshots: a crash never loses an acknowledged
+//     charge, nor (with the claim WAL) the statistics it paid for.
 //
 //   - a periodic engine snapshot (snapshot.json): the full
 //     stream.EngineState (window counter, per-user carry weights and
@@ -19,11 +22,12 @@
 //     write-temp / fsync / atomic-rename / fsync-dir sequence and an
 //     embedded CRC-32, per the Options cadence (every Nth window close
 //     and/or once the journal outgrows a size bound; see
-//     MaybeSnapshotEngine). A successful snapshot subsumes the journal
-//     records that predate its export, which are compacted away; records
-//     appended concurrently with the export are preserved (see
-//     SnapshotEngine). Previous generations can be retained as
-//     operator artifacts (Options.RetainSnapshots).
+//     MaybeSnapshotEngine). The snapshot embeds the JournalPos its
+//     export covers; compaction then deletes the sealed segments that
+//     position subsumes — O(segments), no surviving byte rewritten —
+//     and recovery skips the covered prefix of the one boundary
+//     segment. Previous generations can be retained as operator
+//     artifacts (Options.RetainSnapshots).
 //
 //   - the last published window result (result.json): the estimate the
 //     last window close produced, written atomically like the snapshot,
@@ -31,15 +35,27 @@
 //     instead of nothing until the next close.
 //
 // Recovery (Recover) restores the latest snapshot into a fresh engine,
-// replays every journaled record on top (budgets always, claims when
-// present — re-running any window closes the journal implies), and seeds
-// the last published result. Replay is idempotent — records the snapshot
-// already covers are skipped — so state recovers correctly from any
-// crash point: journal older than, overlapping, or strictly newer than
-// the snapshot, including a journal with no snapshot at all. A torn or
-// corrupt journal tail (a crash mid-append) is detected by the per-record
-// checksum and truncated away; a corrupt snapshot is an error, since the
-// atomic rename means it can only arise from disk damage, not a crash.
+// replays every journaled record past the snapshot's covered position
+// (budgets always, claims when present — re-running any window closes
+// the journal implies), and seeds the last published result. Replay is
+// idempotent — records the snapshot already covers are skipped — so
+// state recovers correctly from any crash point: journal older than,
+// overlapping, or strictly newer than the snapshot, including a journal
+// with no snapshot at all. A torn or corrupt journal tail (a crash
+// mid-append) is detected by the per-record checksum and truncated
+// away; a corrupt snapshot is an error, since the atomic rename means
+// it can only arise from disk damage, not a crash.
+//
+// Pre-segmentation state directories (a single ledger.journal) are
+// migrated on Open: the file becomes segment 1 by atomic rename — the
+// record format is unchanged — and every later Open sees only segments.
+//
+// All file I/O goes through a storefs.FS (Options.FS; the real
+// filesystem by default), so crash points inside group commit, segment
+// sealing, snapshot renames, and compaction are enumerable in tests via
+// storefs.Faulty instead of reachable only by kill -9 timing. The
+// advisory LOCK file alone stays on the real filesystem — flock is
+// inter-process exclusion, which a simulated filesystem cannot provide.
 package streamstore
 
 import (
@@ -55,20 +71,37 @@ import (
 	"time"
 
 	"pptd/internal/stream"
+	"pptd/internal/streamstore/storefs"
 )
 
 const (
-	snapshotName    = "snapshot.json"
-	snapshotTmpName = "snapshot.json.tmp"
-	resultName      = "result.json"
-	resultTmpName   = "result.json.tmp"
-	journalName     = "ledger.journal"
-	lockName        = "LOCK"
-	snapshotVersion = 1
+	snapshotName      = "snapshot.json"
+	snapshotTmpName   = "snapshot.json.tmp"
+	resultName        = "result.json"
+	resultTmpName     = "result.json.tmp"
+	legacyJournalName = "ledger.journal"
+	lockName          = "LOCK"
+
+	// envelopeVersion marks results and pre-segmentation snapshots;
+	// segmentedSnapshotVersion marks snapshots that carry a covered
+	// JournalPos. The bump is the downgrade guard: a pre-segmentation
+	// binary pointed at a segmented state dir rejects the version-2
+	// snapshot loudly ("unsupported version") instead of accepting the
+	// state while silently ignoring the journal-*.wal segments — which
+	// would erase every charge journaled after the snapshot. This
+	// binary reads both versions.
+	envelopeVersion          = 1
+	segmentedSnapshotVersion = 2
 
 	// defaultMaxBatch bounds a group-commit batch when Options.MaxBatch
 	// is zero: large enough that the disk, not the bound, paces ingest.
 	defaultMaxBatch = 256
+
+	// defaultSegmentBytes caps the active journal segment when
+	// Options.SegmentBytes is zero: small enough that compaction deletes
+	// segments promptly, large enough that a segment outlives many
+	// group-commit batches.
+	defaultSegmentBytes = 4 << 20
 )
 
 var (
@@ -91,7 +124,8 @@ var (
 
 // Options tunes a store's durability/throughput trade-offs. The zero
 // value is the sensible default: group commit with no added latency,
-// a snapshot at every window close, no retained generations.
+// 4 MiB journal segments, a snapshot at every window close, no retained
+// generations.
 type Options struct {
 	// FlushInterval is the longest a group-commit leader lingers to let
 	// more concurrent appends join its batch before syncing. Zero adds
@@ -107,6 +141,13 @@ type Options struct {
 	// own fsync (kept for benchmarking the trade-off and for strict
 	// one-record-per-sync deployments).
 	MaxBatch int
+	// SegmentBytes caps the active journal segment: the first flush
+	// that pushes it past the cap seals it and rolls to a fresh
+	// segment, so one segment may exceed the cap by at most a batch.
+	// Smaller segments mean finer-grained compaction (covered segments
+	// are deleted whole, never rewritten) at the cost of more files.
+	// Zero means 4 MiB.
+	SegmentBytes int64
 	// SnapshotEvery makes MaybeSnapshotEngine write a snapshot on every
 	// Nth call (the server calls it once per window close) instead of
 	// every one. Zero or one snapshots at every close. The journal —
@@ -133,6 +174,11 @@ type Options struct {
 	// the engine ring retains is wasted disk, fewer means late readers
 	// lose windows on restart.
 	ResultHistory int
+	// FS routes every file operation (journal segments, snapshots,
+	// results — everything but the flock'd LOCK file) through the given
+	// filesystem. Nil means the real one (storefs.OS). Tests inject
+	// storefs.Faulty here to enumerate crash points deterministically.
+	FS storefs.FS
 }
 
 func (o Options) validate() error {
@@ -141,6 +187,8 @@ func (o Options) validate() error {
 		return fmt.Errorf("streamstore: FlushInterval = %v", o.FlushInterval)
 	case o.MaxBatch < 0:
 		return fmt.Errorf("streamstore: MaxBatch = %d", o.MaxBatch)
+	case o.SegmentBytes < 0:
+		return fmt.Errorf("streamstore: SegmentBytes = %d", o.SegmentBytes)
 	case o.SnapshotEvery < 0:
 		return fmt.Errorf("streamstore: SnapshotEvery = %d", o.SnapshotEvery)
 	case o.SnapshotBytes < 0:
@@ -160,20 +208,29 @@ func (o Options) validate() error {
 type Store struct {
 	dir  string
 	opts Options
+	fs   storefs.FS
 
 	// commitMu guards the open group-commit batch; it is never held
 	// across I/O, so joining a batch stays cheap under contention.
 	commitMu sync.Mutex
 	pending  *commitBatch
 
-	mu                  sync.Mutex
-	lock                *os.File
-	journal             *os.File
-	journalSize         int64
+	mu   sync.Mutex
+	lock *os.File
+
+	// Segmented journal state: sealed (immutable, ascending seq) plus
+	// the active segment appends go to.
+	sealed     []segmentInfo
+	active     storefs.File
+	activeSeq  int64
+	activeSize int64
+
 	journalSyncs        int64
 	journalAppends      int64
 	snapshots           int64
 	resultsSaved        int64
+	segmentsSealed      int64
+	segmentsDeleted     int64
 	batchSizes          Histogram
 	flushLatency        Histogram
 	closesSinceSnapshot int
@@ -197,12 +254,14 @@ func Open(dir string) (*Store, error) {
 }
 
 // OpenWith creates (or reopens) the state directory and prepares the
-// ledger journal for appending, truncating any torn tail left by a crash
-// mid-append. The directory is guarded by an advisory lock (LOCK file,
-// flock on unix, released automatically if the process dies): two
-// processes sharing one state directory would silently overwrite each
-// other's journal records, so a second concurrent Open fails with
-// ErrLocked instead. Callers own the returned store and must Close it.
+// segmented ledger journal for appending: a legacy single-file journal
+// is migrated to segment 1, the highest-sequence segment becomes the
+// active one, and any torn tail left by a crash mid-append is truncated
+// away. The directory is guarded by an advisory lock (LOCK file, flock
+// on unix, released automatically if the process dies): two processes
+// sharing one state directory would silently overwrite each other's
+// journal records, so a second concurrent Open fails with ErrLocked
+// instead. Callers own the returned store and must Close it.
 func OpenWith(dir string, opts Options) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("streamstore: empty state directory")
@@ -210,7 +269,11 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = storefs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("streamstore: create state dir: %w", err)
 	}
 	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
@@ -221,19 +284,15 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		_ = lock.Close()
 		return nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		_ = unlockFile(lock)
-		_ = lock.Close()
-		return nil, fmt.Errorf("streamstore: open journal: %w", err)
-	}
 	s := &Store{
-		dir: dir, opts: opts, lock: lock, journal: f,
+		dir: dir, opts: opts, fs: fsys, lock: lock,
 		batchSizes:   newHistogram(batchSizeBounds),
 		flushLatency: newHistogram(flushLatencyBounds),
 	}
-	if err := s.repairJournalLocked(); err != nil {
-		_ = f.Close()
+	if err := s.openJournalLocked(); err != nil {
+		if s.active != nil {
+			_ = s.active.Close()
+		}
 		_ = unlockFile(lock)
 		_ = lock.Close()
 		return nil, err
@@ -251,47 +310,50 @@ func (s *Store) Dir() string { return s.dir }
 // so the fsync cost amortizes across however many submissions are in
 // flight. Implements stream.Ledger.
 func (s *Store) AppendCharge(rec stream.ChargeRecord) error {
-	payload, err := json.Marshal(rec)
+	line, err := encodeChargeLine(rec)
 	if err != nil {
-		return fmt.Errorf("streamstore: encode charge: %w", err)
+		return err
 	}
-	line := fmt.Sprintf("%0*x %s\n", journalCRCLen, crc32.ChecksumIEEE(payload), payload)
-	return s.commit([]byte(line))
+	return s.commit(line)
 }
 
 // envelope wraps a serialized payload (engine state or window result)
 // with an integrity check: CRC32 is the IEEE checksum of the raw State
-// bytes.
+// bytes. Snapshot envelopes additionally carry the JournalPos their
+// state covers (absent in pre-segmentation snapshots, which cover
+// nothing the journal does not re-prove — replay is idempotent).
 type envelope struct {
 	Version int             `json:"version"`
 	CRC32   string          `json:"crc32"`
+	Covered *JournalPos     `json:"covered,omitempty"`
 	State   json.RawMessage `json:"state"`
 }
 
-// JournalOffset returns the journal's current durable size. Captured
-// BEFORE an engine state export, it bounds the records that export is
-// guaranteed to cover (a charge journaled before the capture was debited
-// in-memory before the export quiesced the engine), which is what makes
-// WriteSnapshot's journal compaction safe under concurrent ingestion.
-func (s *Store) JournalOffset() int64 {
+// JournalPos returns the journal's current durable end position.
+// Captured BEFORE an engine state export, it bounds the records that
+// export is guaranteed to cover (a charge journaled before the capture
+// was debited in-memory before the export quiesced the engine), which
+// is what makes WriteSnapshot's segment compaction safe under
+// concurrent ingestion.
+func (s *Store) JournalPos() JournalPos {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.journalSize
+	return JournalPos{Seq: s.activeSeq, Off: s.activeSize}
 }
 
 // SnapshotEngine persists the engine's current state through this store
-// in the race-free order: journal offset first, then the quiesced state
-// export, then WriteSnapshot. Charges appended concurrently with the
-// export land at or past the captured offset and survive the journal
-// compaction, so an acknowledged submission is never erased by a
-// snapshot that predates it.
+// in the race-free order: journal position first, then the quiesced
+// state export, then WriteSnapshot. Charges appended concurrently with
+// the export land at or past the captured position and survive the
+// segment compaction, so an acknowledged submission is never erased by
+// a snapshot that predates it.
 func (s *Store) SnapshotEngine(e *stream.Engine) error {
-	coveredUpTo := s.JournalOffset()
+	covered := s.JournalPos()
 	st, err := e.ExportState()
 	if err != nil {
 		return err
 	}
-	return s.WriteSnapshot(st, coveredUpTo)
+	return s.WriteSnapshot(st, covered)
 }
 
 // MaybeSnapshotEngine applies the store's snapshot cadence: it counts
@@ -315,7 +377,7 @@ func (s *Store) MaybeSnapshotEngine(e *stream.Engine) (bool, error) {
 		every = 1
 	}
 	due := s.closesSinceSnapshot >= every ||
-		(s.opts.SnapshotBytes > 0 && s.journalSize >= s.opts.SnapshotBytes)
+		(s.opts.SnapshotBytes > 0 && s.journalBytesLocked() >= s.opts.SnapshotBytes)
 	s.mu.Unlock()
 	if !due {
 		return false, nil
@@ -324,19 +386,20 @@ func (s *Store) MaybeSnapshotEngine(e *stream.Engine) (bool, error) {
 }
 
 // WriteSnapshot atomically replaces the on-disk snapshot with the given
-// engine state: the envelope is written to a temporary file, fsync'd,
-// renamed over the snapshot name, and the directory is fsync'd, so a
-// crash at any point leaves either the old snapshot or the new one —
-// never a partial file. When Options.RetainSnapshots is set, the
-// previous snapshot is first filed as generation .1 (older generations
-// shift up) without ever touching the live file. After the snapshot is
-// durable the journal is compacted: records before coveredUpTo — a
-// journal offset captured before st was exported (see JournalOffset;
-// SnapshotEngine does the whole dance) — are covered by the snapshot
-// and dropped, while records past it, which may postdate the export,
-// are preserved. If compaction is interrupted, replaying stale records
-// is harmless because recovery replay is idempotent.
-func (s *Store) WriteSnapshot(st *stream.EngineState, coveredUpTo int64) error {
+// engine state: the envelope — carrying covered, the journal position
+// captured before st was exported (see JournalPos; SnapshotEngine does
+// the whole dance) — is written to a temporary file, fsync'd, renamed
+// over the snapshot name, and the directory is fsync'd, so a crash at
+// any point leaves either the old snapshot or the new one — never a
+// partial file. When Options.RetainSnapshots is set, the previous
+// snapshot is first filed as generation .1 (older generations shift up)
+// without ever touching the live file. After the snapshot is durable
+// the journal is compacted: sealed segments at or before covered are
+// deleted whole, records past it — which may postdate the export — are
+// preserved untouched. If compaction is interrupted, replaying stale
+// records is harmless because recovery replay is idempotent and skips
+// everything before the snapshot's covered position.
+func (s *Store) WriteSnapshot(st *stream.EngineState, covered JournalPos) error {
 	if st == nil {
 		return errors.New("streamstore: nil engine state")
 	}
@@ -352,12 +415,12 @@ func (s *Store) WriteSnapshot(st *stream.EngineState, coveredUpTo int64) error {
 	if s.opts.RetainSnapshots > 0 {
 		s.rotateSnapshotsLocked()
 	}
-	if err := s.writeEnvelopeLocked("snapshot", snapshotName, snapshotTmpName, body); err != nil {
+	if err := s.writeEnvelopeLocked("snapshot", snapshotName, snapshotTmpName, body, &covered); err != nil {
 		return err
 	}
 	s.snapshots++
 	s.closesSinceSnapshot = 0
-	return s.compactJournalLocked(coveredUpTo)
+	return s.compactJournalLocked(covered)
 }
 
 // SaveResult atomically persists one window close's published result
@@ -391,12 +454,12 @@ func (s *Store) SaveResult(res *stream.WindowResult) error {
 	}
 	if s.opts.ResultHistory > 1 {
 		name := resultHistoryName(res.Window)
-		if err := s.writeEnvelopeLocked("result history", name, name+".tmp", body); err != nil {
+		if err := s.writeEnvelopeLocked("result history", name, name+".tmp", body, nil); err != nil {
 			return err
 		}
 		s.pruneResultHistoryLocked(res.Window)
 	}
-	if err := s.writeEnvelopeLocked("result", resultName, resultTmpName, body); err != nil {
+	if err := s.writeEnvelopeLocked("result", resultName, resultTmpName, body, nil); err != nil {
 		return err
 	}
 	s.resultsSaved++
@@ -418,7 +481,7 @@ func (s *Store) LoadResult() (*stream.WindowResult, error) {
 // loadResultFileLocked reads, verifies, and decodes one persisted result
 // file, restoring NaN for uncovered truths. Callers must hold s.mu.
 func (s *Store) loadResultFileLocked(path string) (*stream.WindowResult, error) {
-	body, err := readEnvelope(path, ErrCorruptResult)
+	body, _, err := readEnvelope(s.fs, path, ErrCorruptResult)
 	if body == nil || err != nil {
 		return nil, err
 	}
@@ -454,13 +517,13 @@ func resultHistoryWindow(name string) (int, bool) {
 // latest - ResultHistory. Pruning is best-effort: a leftover file costs
 // disk, never correctness. Callers must hold s.mu.
 func (s *Store) pruneResultHistoryLocked(latest int) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
 		if w, ok := resultHistoryWindow(e.Name()); ok && w <= latest-s.opts.ResultHistory {
-			_ = os.Remove(filepath.Join(s.dir, e.Name()))
+			_ = s.fs.Remove(filepath.Join(s.dir, e.Name()))
 		}
 	}
 }
@@ -480,7 +543,7 @@ func (s *Store) LoadResultHistory() ([]*stream.WindowResult, error) {
 		return nil, ErrClosed
 	}
 	byWindow := make(map[int]*stream.WindowResult)
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("streamstore: read state dir: %w", err)
 	}
@@ -510,19 +573,25 @@ func (s *Store) LoadResultHistory() ([]*stream.WindowResult, error) {
 }
 
 // writeEnvelopeLocked writes payload under a checksummed envelope with
-// the atomic temp/fsync/rename/dir-fsync sequence. Callers must hold
-// s.mu.
-func (s *Store) writeEnvelopeLocked(what, name, tmpName string, payload []byte) error {
+// the atomic temp/fsync/rename/dir-fsync sequence. covered, when
+// non-nil, records the journal position a snapshot subsumes. Callers
+// must hold s.mu.
+func (s *Store) writeEnvelopeLocked(what, name, tmpName string, payload []byte, covered *JournalPos) error {
+	version := envelopeVersion
+	if covered != nil {
+		version = segmentedSnapshotVersion
+	}
 	env, err := json.Marshal(envelope{
-		Version: snapshotVersion,
+		Version: version,
 		CRC32:   fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)),
+		Covered: covered,
 		State:   payload,
 	})
 	if err != nil {
 		return fmt.Errorf("streamstore: encode %s envelope: %w", what, err)
 	}
 	tmp := filepath.Join(s.dir, tmpName)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("streamstore: create %s temp: %w", what, err)
 	}
@@ -537,10 +606,10 @@ func (s *Store) writeEnvelopeLocked(what, name, tmpName string, payload []byte) 
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("streamstore: close %s temp: %w", what, err)
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
 		return fmt.Errorf("streamstore: publish %s: %w", what, err)
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := s.fs.SyncDir(s.dir); err != nil {
 		return fmt.Errorf("streamstore: sync state dir: %w", err)
 	}
 	return nil
@@ -555,47 +624,47 @@ func (s *Store) writeEnvelopeLocked(what, name, tmpName string, payload []byte) 
 // operator artifacts, never read by recovery. Callers must hold s.mu.
 func (s *Store) rotateSnapshotsLocked() {
 	cur := filepath.Join(s.dir, snapshotName)
-	if _, err := os.Stat(cur); err != nil {
+	if _, err := s.fs.Stat(cur); err != nil {
 		return // nothing to retain yet
 	}
 	gen := func(k int) string { return fmt.Sprintf("%s.%d", cur, k) }
 	for k := s.opts.RetainSnapshots - 1; k >= 1; k-- {
-		_ = os.Rename(gen(k), gen(k+1))
+		_ = s.fs.Rename(gen(k), gen(k+1))
 	}
-	_ = os.Remove(gen(1))
-	if err := os.Link(cur, gen(1)); err != nil {
+	_ = s.fs.Remove(gen(1))
+	if err := s.fs.Link(cur, gen(1)); err != nil {
 		// Hard links can be unsupported (some network filesystems); fall
 		// back to a plain copy of the current bytes.
-		if data, rerr := os.ReadFile(cur); rerr == nil {
-			_ = os.WriteFile(gen(1), data, 0o644)
+		if data, rerr := s.fs.ReadFile(cur); rerr == nil {
+			_ = s.fs.WriteFile(gen(1), data, 0o644)
 		}
 	}
 }
 
 // Recover restores everything the store persists into a freshly
 // constructed engine: the latest snapshot (if any) via Engine.Restore,
-// then the journal replayed on top via Engine.ReplayJournal — budgets
-// always; claims too when the records carry them (stream.Config.ClaimWAL),
-// re-running any window closes the journal implies — then window closes
-// that only the published result proves (Engine.ReplayClosesTo; a
-// cadence-skipped snapshot leaves the last close with no journal trace),
-// and finally the retained published window results via
-// Engine.RestoreHistory, so the previous estimate — and, with
-// Options.ResultHistory, recent windows by number — is servable
-// immediately. It reports whether any persisted state was found; false
-// means a fresh deployment.
+// then the journal records past the snapshot's covered position
+// replayed on top via Engine.ReplayJournal — budgets always; claims too
+// when the records carry them (stream.Config.ClaimWAL), re-running any
+// window closes the journal implies — then window closes that only the
+// published result proves (Engine.ReplayClosesTo; a cadence-skipped
+// snapshot leaves the last close with no journal trace), and finally
+// the retained published window results via Engine.RestoreHistory, so
+// the previous estimate — and, with Options.ResultHistory, recent
+// windows by number — is servable immediately. It reports whether any
+// persisted state was found; false means a fresh deployment.
 func (s *Store) Recover(e *stream.Engine) (bool, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return false, ErrClosed
 	}
-	st, err := s.loadSnapshotLocked()
+	st, covered, err := s.loadSnapshotLocked()
 	if err != nil {
 		s.mu.Unlock()
 		return false, err
 	}
-	recs, _, err := s.readJournalLocked()
+	recs, err := s.readJournalLocked(covered)
 	if err != nil {
 		s.mu.Unlock()
 		return false, err
@@ -634,8 +703,9 @@ func (s *Store) Recover(e *stream.Engine) (bool, error) {
 }
 
 // LoadState recovers the engine state: the latest snapshot (if any) with
-// all journaled charges replayed on top. It returns (nil, nil) when the
-// directory holds no state at all — a fresh deployment.
+// all journaled charges past its covered position replayed on top. It
+// returns (nil, nil) when the directory holds no state at all — a fresh
+// deployment.
 //
 // LoadState is the budgets-only, state-level view: claims carried by
 // claim-WAL records are not folded (stream.EngineState.ReplayCharges
@@ -647,11 +717,11 @@ func (s *Store) LoadState() (*stream.EngineState, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
-	st, err := s.loadSnapshotLocked()
+	st, covered, err := s.loadSnapshotLocked()
 	if err != nil {
 		return nil, err
 	}
-	recs, _, err := s.readJournalLocked()
+	recs, err := s.readJournalLocked(covered)
 	if err != nil {
 		return nil, err
 	}
@@ -665,42 +735,51 @@ func (s *Store) LoadState() (*stream.EngineState, error) {
 	return st, nil
 }
 
-// loadSnapshotLocked reads and verifies the snapshot file, returning nil
-// when none exists. Callers must hold s.mu.
-func (s *Store) loadSnapshotLocked() (*stream.EngineState, error) {
-	body, err := readEnvelope(filepath.Join(s.dir, snapshotName), ErrCorruptSnapshot)
+// loadSnapshotLocked reads and verifies the snapshot file, returning
+// the engine state plus the journal position the snapshot covers (zero
+// for pre-segmentation snapshots: replay then sees every record, which
+// idempotence makes correct). A nil state means no snapshot exists.
+// Callers must hold s.mu.
+func (s *Store) loadSnapshotLocked() (*stream.EngineState, JournalPos, error) {
+	body, covered, err := readEnvelope(s.fs, filepath.Join(s.dir, snapshotName), ErrCorruptSnapshot)
 	if body == nil || err != nil {
-		return nil, err
+		return nil, JournalPos{}, err
 	}
 	st := new(stream.EngineState)
 	if err := json.Unmarshal(body, st); err != nil {
-		return nil, fmt.Errorf("%w: decode state: %v", ErrCorruptSnapshot, err)
+		return nil, JournalPos{}, fmt.Errorf("%w: decode state: %v", ErrCorruptSnapshot, err)
 	}
-	return st, nil
+	return st, covered, nil
 }
 
 // readEnvelope reads and integrity-checks one enveloped file, returning
-// (nil, nil) when the file does not exist and wrapping verification
-// failures in corruptErr.
-func readEnvelope(path string, corruptErr error) ([]byte, error) {
-	data, err := os.ReadFile(path)
+// (nil, zero, nil) when the file does not exist and wrapping
+// verification failures in corruptErr. The returned JournalPos is the
+// envelope's covered marker (zero when absent — results and legacy
+// snapshots).
+func readEnvelope(fsys storefs.FS, path string, corruptErr error) ([]byte, JournalPos, error) {
+	data, err := fsys.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, JournalPos{}, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("streamstore: read %s: %w", filepath.Base(path), err)
+		return nil, JournalPos{}, fmt.Errorf("streamstore: read %s: %w", filepath.Base(path), err)
 	}
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		return nil, fmt.Errorf("%w: %v", corruptErr, err)
+		return nil, JournalPos{}, fmt.Errorf("%w: %v", corruptErr, err)
 	}
-	if env.Version != snapshotVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", corruptErr, env.Version)
+	if env.Version < envelopeVersion || env.Version > segmentedSnapshotVersion {
+		return nil, JournalPos{}, fmt.Errorf("%w: unsupported version %d", corruptErr, env.Version)
 	}
 	if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(env.State)); got != env.CRC32 {
-		return nil, fmt.Errorf("%w: checksum %s, want %s", corruptErr, got, env.CRC32)
+		return nil, JournalPos{}, fmt.Errorf("%w: checksum %s, want %s", corruptErr, got, env.CRC32)
 	}
-	return env.State, nil
+	covered := JournalPos{}
+	if env.Covered != nil {
+		covered = *env.Covered
+	}
+	return env.State, covered, nil
 }
 
 // Close releases the journal handle and the directory lock. Appends and
@@ -712,7 +791,7 @@ func (s *Store) Close() error {
 		return ErrClosed
 	}
 	s.closed = true
-	err := s.journal.Close()
+	err := s.active.Close()
 	if uerr := unlockFile(s.lock); err == nil {
 		err = uerr
 	}

@@ -96,7 +96,7 @@ func TestTornJournalTail(t *testing.T) {
 		}
 
 		// The crash: raw bytes land after the last durable record.
-		f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_APPEND|os.O_WRONLY, 0o644)
+		f, err := os.OpenFile(filepath.Join(dir, segmentFileName(1)), os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,15 +161,16 @@ func TestSnapshotRoundTripResetsJournal(t *testing.T) {
 			{Object: 2, User: "alice", Sum: -1, Mass: 0.5},
 		},
 	}
-	if err := s.WriteSnapshot(state, s.JournalOffset()); err != nil {
+	if err := s.WriteSnapshot(state, s.JournalPos()); err != nil {
 		t.Fatal(err)
 	}
-	fi, err := os.Stat(filepath.Join(dir, journalName))
-	if err != nil {
-		t.Fatal(err)
+	// Full coverage rolls the active segment and deletes the covered one:
+	// the journal is back to a single empty segment.
+	if st := s.Stats(false); st.JournalBytes != 0 || st.Segments != 1 {
+		t.Errorf("journal not reset after snapshot: %d bytes in %d segments", st.JournalBytes, st.Segments)
 	}
-	if fi.Size() != 0 {
-		t.Errorf("journal not reset after snapshot: %d bytes", fi.Size())
+	if _, err := os.Stat(filepath.Join(dir, segmentFileName(1))); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("covered segment 1 not deleted: %v", err)
 	}
 
 	got, err := s.LoadState()
@@ -200,7 +201,7 @@ func TestJournalNewerThanSnapshot(t *testing.T) {
 			{ID: "alice", Carry: 1, CumulativeEpsilon: 1, LastWindow: 0, Windows: 1},
 		},
 	}
-	if err := s.WriteSnapshot(state, s.JournalOffset()); err != nil {
+	if err := s.WriteSnapshot(state, s.JournalPos()); err != nil {
 		t.Fatal(err)
 	}
 	// Post-snapshot traffic: alice joins the open window 1, bob appears
@@ -230,7 +231,7 @@ func TestJournalNewerThanSnapshot(t *testing.T) {
 func TestCorruptSnapshotFailsLoudly(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir)
-	if err := s.WriteSnapshot(&stream.EngineState{Window: 3}, 0); err != nil {
+	if err := s.WriteSnapshot(&stream.EngineState{Window: 3}, JournalPos{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -262,7 +263,7 @@ func TestClosedStoreRefusesEverything(t *testing.T) {
 	if err := s.AppendCharge(stream.ChargeRecord{User: "a", Window: 0, Epsilon: 1}); !errors.Is(err, ErrClosed) {
 		t.Errorf("AppendCharge after Close = %v", err)
 	}
-	if err := s.WriteSnapshot(&stream.EngineState{}, 0); !errors.Is(err, ErrClosed) {
+	if err := s.WriteSnapshot(&stream.EngineState{}, JournalPos{}); !errors.Is(err, ErrClosed) {
 		t.Errorf("WriteSnapshot after Close = %v", err)
 	}
 	if _, err := s.LoadState(); !errors.Is(err, ErrClosed) {
@@ -285,7 +286,7 @@ func TestSnapshotPreservesConcurrentTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The snapshot's export happens "now": it covers alice only.
-	coveredUpTo := s.JournalOffset()
+	coveredUpTo := s.JournalPos()
 	state := &stream.EngineState{
 		Window: 1,
 		Users: []stream.UserSnapshot{

@@ -356,6 +356,21 @@ func WithSnapshotBytes(n int64) PersistenceOption {
 	}
 }
 
+// WithSegmentBytes caps each journal segment file at n bytes (default
+// 4 MiB): appends roll to a fresh segment past the cap, and snapshots
+// compact by deleting fully-covered sealed segments — O(segments),
+// never a rewrite. Smaller segments reclaim disk sooner at the cost of
+// more files.
+func WithSegmentBytes(n int64) PersistenceOption {
+	return func(c *nodeConfig) error {
+		if n <= 0 {
+			return optErr("WithSegmentBytes: n = %d", n)
+		}
+		c.store.SegmentBytes = n
+		return nil
+	}
+}
+
 // WithRetainSnapshots keeps the previous n snapshot generations as
 // manual-recovery artifacts (recovery never reads them).
 func WithRetainSnapshots(n int) PersistenceOption {

@@ -97,14 +97,17 @@
 // A streaming privacy guarantee is only as durable as its ledger: if a
 // restart erased cumulative epsilon, every returning client would
 // re-spend its budget from zero. OpenStreamStore gives the engine a
-// state directory with an append-only, fsync'd journal (one record per
-// accepted submission — its (user, window) epsilon charge and, with
-// StreamConfig.ClaimWAL, its claims — durable before the submission is
-// acknowledged; concurrent submissions coalesce into group-commit
-// batches that share one fsync, so the durable path scales with load),
-// atomic checksummed engine snapshots written per a configurable
-// cadence (StreamStoreOptions.SnapshotEvery / SnapshotBytes, with
-// retained generations), and the last published window result:
+// state directory with an append-only, fsync'd journal of rolling
+// segment files (one record per accepted submission — its (user,
+// window) epsilon charge and, with StreamConfig.ClaimWAL, its claims —
+// durable before the submission is acknowledged; concurrent
+// submissions coalesce into group-commit batches that share one fsync,
+// so the durable path scales with load, and segments past
+// StreamStoreOptions.SegmentBytes are sealed so snapshots compact by
+// deleting covered segments instead of rewriting the journal), atomic
+// checksummed engine snapshots written per a configurable cadence
+// (StreamStoreOptions.SnapshotEvery / SnapshotBytes, with retained
+// generations), and the last published window result:
 //
 //	node, _ := pptd.NewNode(
 //		pptd.WithStreamConfig(pptd.StreamConfig{ // explicit rates; or WithPrivacyTarget

@@ -111,21 +111,32 @@ type StreamChargeRecord = stream.ChargeRecord
 type StreamLedger = stream.Ledger
 
 // StreamStore is the durable state directory for a streaming engine: an
-// fsync'd append-only journal (privacy charges, and claims when the
-// claim WAL is on) with group-committed concurrent appends, plus
-// atomically-replaced, checksummed engine snapshots and the last
-// published window result. It implements StreamLedger and plugs into
+// fsync'd append-only journal of rolling segment files (privacy
+// charges, and claims when the claim WAL is on) with group-committed
+// concurrent appends, plus atomically-replaced, checksummed engine
+// snapshots and the last published window result. Snapshots compact the
+// journal by deleting fully-covered sealed segments — O(segments), no
+// rewrite. It implements StreamLedger and plugs into
 // StreamCampaignServerConfig.Persistence; StreamStore.Recover rebuilds
-// a fresh engine from everything persisted.
+// a fresh engine from everything persisted. Pre-segmentation state
+// directories (a single ledger.journal) migrate automatically on open.
 type StreamStore = streamstore.Store
 
 // StreamStoreOptions tunes a stream store's durability/throughput
-// trade-offs: group-commit batching (FlushInterval, MaxBatch), snapshot
-// cadence (SnapshotEvery, SnapshotBytes), and retained snapshot
-// generations (RetainSnapshots). The zero value is the default: group
-// commit with no added latency, a snapshot at every window close, no
-// retained generations.
+// trade-offs: group-commit batching (FlushInterval, MaxBatch), journal
+// segment size (SegmentBytes), snapshot cadence (SnapshotEvery,
+// SnapshotBytes), and retained snapshot generations (RetainSnapshots).
+// The zero value is the default: group commit with no added latency,
+// 4 MiB segments, a snapshot at every window close, no retained
+// generations.
 type StreamStoreOptions = streamstore.Options
+
+// StreamJournalPos identifies a point in a stream store's segmented
+// journal (segment sequence number, byte offset within it). Snapshots
+// record the position their export covers; compaction deletes the
+// sealed segments before it and recovery skips the covered prefix of
+// the boundary segment.
+type StreamJournalPos = streamstore.JournalPos
 
 // StreamStoreStats is a point-in-time snapshot of a store's
 // observability counters: journal appends/syncs/bytes, snapshot and
