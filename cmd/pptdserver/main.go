@@ -10,6 +10,11 @@
 //
 //	pptdserver -addr :8080 -objects 30 -lambda2 2 -users 50 -method crh
 //	pptdserver -addr :8080 -objects 30 -lambda2 2 -stream -window-interval 30s
+//
+// Every node serves its Prometheus metrics at GET /metrics. -log text
+// (or json) adds one structured request log line per request on stderr,
+// and -debug mounts net/http/pprof under /debug/pprof/. See
+// docs/OBSERVABILITY.md for the metric catalog and logging fields.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +50,8 @@ func run(args []string) error {
 		method   = fs.String("method", "crh", "truth discovery method: crh, gtm, catd, mean, median")
 		stream   = fs.Bool("stream", false, "also host the streaming campaign (same objects) on the same mux")
 		interval = fs.Duration("window-interval", 0, "with -stream: close stream windows on this ticker (0 = manual POST /v1/stream/window)")
+		logReqs  = fs.String("log", "", "per-request structured logging: 'text' or 'json' slog lines on stderr (empty = off; metrics at /metrics either way)")
+		debug    = fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ (exposes operational internals; keep off public listeners)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +75,18 @@ func run(args []string) error {
 	}
 	if *users > 0 {
 		opts = append(opts, pptd.WithExpectedUsers(*users))
+	}
+	switch *logReqs {
+	case "":
+	case "text":
+		opts = append(opts, pptd.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))))
+	case "json":
+		opts = append(opts, pptd.WithLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil))))
+	default:
+		return fmt.Errorf("-log = %q: want 'text', 'json', or empty", *logReqs)
+	}
+	if *debug {
+		opts = append(opts, pptd.WithDebugHandlers())
 	}
 	if *stream {
 		opts = append(opts, pptd.WithStreamEngine(*objects))

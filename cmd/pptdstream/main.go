@@ -30,6 +30,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -77,6 +78,9 @@ func run(args []string, out io.Writer) error {
 		snapRetain  = fs.Int("retain-snapshots", 0, "previous snapshot generations to keep as manual-recovery artifacts")
 		commitWait  = fs.Duration("commit-interval", 0, "how long a group-commit leader lingers for more appends before fsyncing (0 = no added latency)")
 		commitBatch = fs.Int("commit-batch", 0, "max journal records per group-commit fsync (0 = default 256, 1 = fsync per append)")
+		requestID   = fs.String("request-id", "", "pin this X-Request-ID on every request (empty = a fresh random ID per request); the server echoes it, correlating this run in the node's logs")
+		benchOut    = fs.String("bench-out", "", "write a BENCH_*.json performance artifact (throughput, submit/close latency p50/p99/p999) to this path")
+		metricsOut  = fs.String("metrics-out", "", "after the run, scrape the server's GET /metrics and write the exposition to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -154,7 +158,11 @@ func run(args []string, out io.Writer) error {
 		baseURL = "http://" + ln.Addr().String()
 	}
 
-	client, err := pptd.NewClient(baseURL)
+	var clientOpts []pptd.ClientOption
+	if *requestID != "" {
+		clientOpts = append(clientOpts, pptd.WithRequestID(*requestID))
+	}
+	client, err := pptd.NewClient(baseURL, clientOpts...)
 	if err != nil {
 		return err
 	}
@@ -199,7 +207,30 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "%-7s %9s %8s %10s %9s %5s %8s %9s %9s\n",
 		"window", "claims", "refused", "claims/s", "est-ms", "iters", "mae", "max-eps", "exhaust")
+	perf := newPerfTracker()
 	var totalRefused int64
+	// writeArtifacts runs on every successful exit path — a starved fleet
+	// is still a run worth recording.
+	writeArtifacts := func() error {
+		if *benchOut != "" {
+			cfg := BenchConfig{
+				Users: *users, Objects: info.NumObjects, Windows: *windows,
+				Shards: info.Shards, Durable: *stateDir != "",
+				EpsilonBudget: info.EpsilonBudget,
+			}
+			if err := perf.writeBenchReport(*benchOut, cfg, totalRefused); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "bench artifact written to %s\n", *benchOut)
+		}
+		if *metricsOut != "" {
+			if err := scrapeToFile(baseURL, *metricsOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "metrics exposition written to %s\n", *metricsOut)
+		}
+		return nil
+	}
 	for w := 1; w <= *windows; w++ {
 		// The world moves, the devices re-measure.
 		for n := range groundTruth {
@@ -221,6 +252,7 @@ func run(args []string, out io.Writer) error {
 			wg.Add(1)
 			go func(d *device) {
 				defer wg.Done()
+				submitStart := time.Now()
 				if _, err := d.user.ParticipateStream(ctx, client); err != nil {
 					// The client decodes the envelope's budget_exhausted
 					// code into the typed sentinel.
@@ -229,7 +261,9 @@ func run(args []string, out io.Writer) error {
 						return
 					}
 					fatal.Store(err)
+					return
 				}
+				perf.observeSubmit(time.Since(submitStart))
 			}(d)
 		}
 		wg.Wait()
@@ -252,6 +286,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		estDur := time.Since(estStart)
+		perf.observeWindow(res.WindowClaims, ingestDur, estDur)
 
 		var mae float64
 		var covered int
@@ -281,7 +316,7 @@ func run(args []string, out io.Writer) error {
 		// closed; with a starved fleet that is the budget working.
 		if totalRefused > 0 && errors.Is(err, pptd.ErrNotReady) {
 			fmt.Fprintf(out, "stream done: no window ever closed — all %d submissions refused by budget\n", totalRefused)
-			return nil
+			return writeArtifacts()
 		}
 		return err
 	}
@@ -313,7 +348,140 @@ func run(args []string, out io.Writer) error {
 			stats.HistoryOldest, stats.Window, "/v1/stream/truths")
 	}
 	fmt.Fprintln(out, "the server only ever saw perturbed claims; no original reading left a device.")
-	return nil
+	return writeArtifacts()
+}
+
+// driverLatencyBounds buckets the driver-observed round-trip latencies
+// (submit and window close): 100µs to 10s.
+var driverLatencyBounds = []float64{
+	100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// perfTracker accumulates the driver-side performance view of a run —
+// per-submission and per-window-close round-trip latencies plus ingest
+// throughput — the numbers -bench-out records as one BENCH_*.json
+// trajectory point.
+type perfTracker struct {
+	mu            sync.Mutex
+	submit        pptd.MetricsHistogram
+	windowClose   pptd.MetricsHistogram
+	claims        int64
+	ingestSeconds float64
+}
+
+func newPerfTracker() *perfTracker {
+	return &perfTracker{
+		submit:      pptd.NewMetricsHistogram(driverLatencyBounds),
+		windowClose: pptd.NewMetricsHistogram(driverLatencyBounds),
+	}
+}
+
+func (p *perfTracker) observeSubmit(d time.Duration) {
+	p.mu.Lock()
+	p.submit.Observe(d.Seconds())
+	p.mu.Unlock()
+}
+
+func (p *perfTracker) observeWindow(claims int64, ingest, estimate time.Duration) {
+	p.mu.Lock()
+	p.claims += claims
+	p.ingestSeconds += ingest.Seconds()
+	p.windowClose.Observe(estimate.Seconds())
+	p.mu.Unlock()
+}
+
+// BenchLatency summarizes one latency histogram inside the artifact.
+// Quantiles are upper-bounded within their histogram bucket.
+type BenchLatency struct {
+	Count       int64   `json:"count"`
+	MeanSeconds float64 `json:"meanSeconds"`
+	P50Seconds  float64 `json:"p50Seconds"`
+	P99Seconds  float64 `json:"p99Seconds"`
+	P999Seconds float64 `json:"p999Seconds"`
+	MaxSeconds  float64 `json:"maxSeconds"`
+}
+
+// BenchConfig records the run shape alongside its numbers, so trajectory
+// points are only compared like for like.
+type BenchConfig struct {
+	Users         int     `json:"users"`
+	Objects       int     `json:"objects"`
+	Windows       int     `json:"windows"`
+	Shards        int     `json:"shards"`
+	Durable       bool    `json:"durable"`
+	EpsilonBudget float64 `json:"epsilonBudget"`
+}
+
+// BenchReport is the BENCH_*.json artifact -bench-out writes: one
+// recorded point of the performance trajectory.
+type BenchReport struct {
+	Name                 string       `json:"name"`
+	Timestamp            string       `json:"timestamp"`
+	Config               BenchConfig  `json:"config"`
+	Submissions          int64        `json:"submissions"`
+	RefusedSubmissions   int64        `json:"refusedSubmissions"`
+	Claims               int64        `json:"claims"`
+	IngestSeconds        float64      `json:"ingestSeconds"`
+	ClaimsPerSecond      float64      `json:"claimsPerSecond"`
+	SubmissionsPerSecond float64      `json:"submissionsPerSecond"`
+	SubmitLatency        BenchLatency `json:"submitLatency"`
+	WindowCloseLatency   BenchLatency `json:"windowCloseLatency"`
+}
+
+func summarizeLatency(h *pptd.MetricsHistogram) BenchLatency {
+	return BenchLatency{
+		Count:       h.Count,
+		MeanSeconds: h.Mean(),
+		P50Seconds:  h.Quantile(0.5),
+		P99Seconds:  h.Quantile(0.99),
+		P999Seconds: h.Quantile(0.999),
+		MaxSeconds:  h.Max,
+	}
+}
+
+func (p *perfTracker) writeBenchReport(path string, cfg BenchConfig, refused int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rep := BenchReport{
+		Name:               "stream_ingest",
+		Timestamp:          time.Now().UTC().Format(time.RFC3339),
+		Config:             cfg,
+		Submissions:        p.submit.Count,
+		RefusedSubmissions: refused,
+		Claims:             p.claims,
+		IngestSeconds:      p.ingestSeconds,
+		SubmitLatency:      summarizeLatency(&p.submit),
+		WindowCloseLatency: summarizeLatency(&p.windowClose),
+	}
+	if p.ingestSeconds > 0 {
+		rep.ClaimsPerSecond = float64(p.claims) / p.ingestSeconds
+		rep.SubmissionsPerSecond = float64(p.submit.Count) / p.ingestSeconds
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// scrapeToFile dumps the server's Prometheus exposition to a file — the
+// raw material for CI series assertions and offline inspection.
+func scrapeToFile(baseURL, path string) error {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, body, 0o644)
 }
 
 // takeReadings simulates one round of sensing: the ground truth observed

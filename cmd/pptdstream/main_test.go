@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -78,6 +81,80 @@ func TestRunEnforcesBudget(t *testing.T) {
 	out := buf.String()
 	if strings.Contains(out, " 0 submissions refused by budget") {
 		t.Errorf("expected refusals under a one-window budget:\n%s", out)
+	}
+}
+
+// TestRunWritesBenchAndMetricsArtifacts exercises the observability
+// flags: -bench-out must produce a parseable BENCH_*.json with coherent
+// counts and latency quantiles, and -metrics-out must dump the server's
+// Prometheus exposition with the key ingest series.
+func TestRunWritesBenchAndMetricsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "BENCH_stream_ingest.json")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-users", "8", "-objects", "4", "-windows", "2",
+		"-shards", "2", "-seed", "7", "-request-id", "ci-run",
+		"-bench-out", benchPath, "-metrics-out", metricsPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bench artifact does not parse: %v\n%s", err, raw)
+	}
+	if rep.Name != "stream_ingest" {
+		t.Errorf("Name = %q, want stream_ingest", rep.Name)
+	}
+	if rep.Submissions != 16 { // 8 users x 2 windows
+		t.Errorf("Submissions = %d, want 16", rep.Submissions)
+	}
+	if rep.Claims != 64 { // 4 objects per submission
+		t.Errorf("Claims = %d, want 64", rep.Claims)
+	}
+	if rep.ClaimsPerSecond <= 0 || rep.IngestSeconds <= 0 {
+		t.Errorf("throughput not recorded: claims/s = %v over %vs",
+			rep.ClaimsPerSecond, rep.IngestSeconds)
+	}
+	if rep.SubmitLatency.Count != rep.Submissions {
+		t.Errorf("SubmitLatency.Count = %d, want %d", rep.SubmitLatency.Count, rep.Submissions)
+	}
+	if rep.WindowCloseLatency.Count != 2 {
+		t.Errorf("WindowCloseLatency.Count = %d, want 2", rep.WindowCloseLatency.Count)
+	}
+	for _, l := range []BenchLatency{rep.SubmitLatency, rep.WindowCloseLatency} {
+		if !(l.P50Seconds <= l.P99Seconds && l.P99Seconds <= l.P999Seconds) {
+			t.Errorf("quantiles out of order: p50=%v p99=%v p999=%v",
+				l.P50Seconds, l.P99Seconds, l.P999Seconds)
+		}
+		if l.MaxSeconds <= 0 {
+			t.Errorf("MaxSeconds = %v, want > 0", l.MaxSeconds)
+		}
+	}
+	if rep.Config.Users != 8 || rep.Config.Windows != 2 || rep.Config.Shards != 2 {
+		t.Errorf("Config = %+v, want users=8 windows=2 shards=2", rep.Config)
+	}
+
+	scrape, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"pptd_stream_claims_ingested_total 64",
+		"pptd_stream_windows_closed_total 2",
+		"pptd_http_requests_total",
+		"pptd_http_request_duration_seconds_bucket",
+	} {
+		if !strings.Contains(string(scrape), series) {
+			t.Errorf("metrics dump missing %q", series)
+		}
 	}
 }
 

@@ -29,6 +29,15 @@ func WithHTTPClient(hc *http.Client) ClientOption {
 	return crowd.WithHTTPClient(hc)
 }
 
+// WithRequestID pins the X-Request-ID header sent on every request the
+// client issues, correlating one logical operation (a CLI invocation, a
+// driver run) across the node's request logs. By default each request
+// carries a fresh random ID; either way the server echoes the ID on the
+// response, and failures surface it via CampaignHTTPError.RequestID.
+func WithRequestID(id string) ClientOption {
+	return crowd.WithRequestID(id)
+}
+
 // Typed API errors, decoded from the wire envelope's code by Client.
 // Match with errors.Is.
 var (

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pptd/internal/core"
+	"pptd/internal/obs"
 	"pptd/internal/randx"
 )
 
@@ -29,6 +30,9 @@ var ErrSameWindow = errors.New("crowd: already submitted in the open window")
 type Client struct {
 	baseURL string
 	httpc   *http.Client
+	// requestID, when non-empty, is sent as the X-Request-ID of every
+	// request; otherwise each request gets a fresh random ID.
+	requestID string
 }
 
 // ClientOption configures NewClient.
@@ -46,6 +50,16 @@ func WithHTTPClient(hc *http.Client) ClientOption {
 	return clientOptionFunc(func(c *Client) { c.httpc = hc })
 }
 
+// WithRequestID pins the X-Request-ID header sent on every request this
+// client issues — useful for correlating one logical operation (a CLI
+// invocation, a batch driver run) across the server's request logs. By
+// default each request carries a fresh random ID. The ID must satisfy
+// obs.ValidRequestID (printable ASCII, at most 128 bytes) or NewClient
+// fails.
+func WithRequestID(id string) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.requestID = id })
+}
+
 // NewClient returns a client for the campaign server at baseURL
 // (e.g. "http://localhost:8080").
 func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
@@ -61,6 +75,9 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	}
 	if c.httpc == nil {
 		return nil, fmt.Errorf("%w: nil http client", ErrBadClient)
+	}
+	if c.requestID != "" && !obs.ValidRequestID(c.requestID) {
+		return nil, fmt.Errorf("%w: invalid request ID %q", ErrBadClient, c.requestID)
 	}
 	return c, nil
 }
@@ -191,6 +208,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	id := c.requestID
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	req.Header.Set(HeaderRequestID, id)
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return fmt.Errorf("crowd: %s %s: %w", method, path, err)
@@ -211,6 +233,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			Code:              eb.Code,
 			Message:           msg,
 			RetryAfterWindows: eb.RetryAfterWindows,
+			RequestID:         resp.Header.Get(HeaderRequestID),
 		}
 		// The envelope code is the stable contract: unwrap it into the
 		// matching typed sentinel so callers can errors.Is against

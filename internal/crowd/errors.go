@@ -126,6 +126,10 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 }
 
 func writeEnvelope(w http.ResponseWriter, status int, code, msg string, retry int) {
+	// Mirror the envelope's code into a response header: header-only
+	// clients (and the node's metrics middleware, which counts envelope
+	// emissions per code) can read it without parsing the body.
+	w.Header().Set(HeaderErrorCode, code)
 	writeJSON(w, status, ErrorBody{
 		V:                 ErrorEnvelopeVersion,
 		Code:              code,
@@ -135,11 +139,26 @@ func writeEnvelope(w http.ResponseWriter, status int, code, msg string, retry in
 	})
 }
 
+// GetOnly restricts h to the GET method, answering anything else with
+// the JSON error envelope (code "method_not_allowed"), and echoes the
+// request-correlation header like every registered route. It keeps
+// non-JSON endpoints mounted next to the API — the node's /metrics
+// exposition, debug handlers — on the same error contract.
+func GetOnly(h http.Handler) http.Handler {
+	return http.HandlerFunc(echoRequestID(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+}
+
 // NotFoundHandler serves the JSON error envelope for paths no route is
 // mounted at, so even a miss against the unified front door speaks the
 // same wire contract as every real endpoint.
 func NotFoundHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return http.HandlerFunc(echoRequestID(func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, "no route for "+r.URL.Path)
-	})
+	}))
 }

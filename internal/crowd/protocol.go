@@ -41,7 +41,9 @@
 //   - GET  /v1/stream/stats serves observability counters: engine
 //     totals, the answerable history bounds, and — on a durable server —
 //     the store's journal counters and group-commit batch-size /
-//     flush-latency histograms.
+//     flush-latency histograms. With ?reset=1 the windowed counters and
+//     histograms restart from this read; gauges (journal bytes, live
+//     segments) always describe the present and survive the reset.
 //
 // Windows close on explicit POST /v1/stream/window, or automatically on
 // a ticker when StreamServerConfig.WindowInterval is set; both paths
@@ -71,6 +73,18 @@
 // (MaxCumulative, CumulativeDelta). User.ParticipateStream honors the
 // one-submission-per-window contract on-device, skipping (ErrSameWindow)
 // before a second noisy release of the same window is even generated.
+//
+// # Request correlation
+//
+// Every response — success or error envelope — carries an X-Request-ID
+// header: the client's, when the request supplied a valid one, or a
+// freshly generated ID otherwise (see HeaderRequestID). The Client
+// stamps one on every request it issues and surfaces the server's echo
+// on failures via HTTPError.RequestID, so a failing call can be joined
+// against the node's structured request logs. Non-2xx responses
+// additionally carry the envelope code in the X-Error-Code header,
+// which the node's metrics middleware turns into per-code error
+// counters without any handler plumbing.
 //
 // # Privacy reports on the wire
 //
@@ -111,6 +125,7 @@ package crowd
 import (
 	"fmt"
 
+	"pptd/internal/obs"
 	"pptd/internal/stream"
 	"pptd/internal/streamstore"
 )
@@ -141,7 +156,32 @@ const (
 	// PathStreamStats serves ingest/persistence observability counters
 	// (GET): engine totals plus, on a durable server, the store's journal
 	// counters and group-commit batch-size / flush-latency histograms.
+	// With ?reset=1 the windowed counters and histograms restart from
+	// this read (gauges — JournalBytes, Segments — always describe the
+	// present and survive the reset, as does the flush-latency Max
+	// high-water mark).
 	PathStreamStats = "/v1/stream/stats"
+
+	// PathMetrics is where a pptd Node exposes the Prometheus text
+	// rendition of every registered metric (GET). The crowd servers do
+	// not mount it themselves — the Node does, over the same registry the
+	// engine and store publish into — but the path constant lives here
+	// with the rest of the wire contract. It sits outside the /v1 prefix:
+	// scrapers expect the conventional path, and the exposition format is
+	// versioned by its content type, not by the URL.
+	PathMetrics = "/metrics"
+)
+
+// Request-correlation headers, shared with internal/obs. Clients may
+// send an X-Request-ID; the server echoes it (generating one when the
+// request carried none or an invalid one) on every response, including
+// error envelopes, so a failing request can be joined against the
+// node's structured logs. X-Error-Code carries the envelope's stable
+// error code on every non-2xx response, readable without parsing the
+// body.
+const (
+	HeaderRequestID = obs.HeaderRequestID
+	HeaderErrorCode = obs.HeaderErrorCode
 )
 
 // CampaignInfo is the public description of a sensing campaign.
@@ -328,6 +368,11 @@ type HTTPError struct {
 	Message string
 	// RetryAfterWindows is the envelope's retry hint (0 = none).
 	RetryAfterWindows int
+	// RequestID is the correlation ID the server echoed on the failed
+	// response (X-Request-ID) — quote it when reporting the failure, it
+	// joins against the node's structured request logs. Empty from a
+	// server predating the echo contract.
+	RequestID string
 }
 
 // Error implements error.

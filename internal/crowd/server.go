@@ -85,11 +85,12 @@ func (s *Server) Handler() http.Handler {
 
 // Register mounts the campaign routes on a shared mux, so one front door
 // (a pptd Node) can serve the batch and streaming APIs together.
+// Every route echoes the request-correlation header (see HeaderRequestID).
 func (s *Server) Register(mux *http.ServeMux) {
-	mux.HandleFunc(PathCampaign, s.handleCampaign)
-	mux.HandleFunc(PathSubmissions, s.handleSubmissions)
-	mux.HandleFunc(PathResult, s.handleResult)
-	mux.HandleFunc(PathAggregate, s.handleAggregate)
+	mux.HandleFunc(PathCampaign, echoRequestID(s.handleCampaign))
+	mux.HandleFunc(PathSubmissions, echoRequestID(s.handleSubmissions))
+	mux.HandleFunc(PathResult, echoRequestID(s.handleResult))
+	mux.HandleFunc(PathAggregate, echoRequestID(s.handleAggregate))
 }
 
 // Campaign returns a snapshot of the campaign state.

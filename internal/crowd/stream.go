@@ -170,12 +170,13 @@ func (s *StreamServer) Handler() http.Handler {
 
 // Register mounts the streaming routes on a shared mux, so one front
 // door (a pptd Node) can serve the batch and streaming APIs together.
+// Every route echoes the request-correlation header (see HeaderRequestID).
 func (s *StreamServer) Register(mux *http.ServeMux) {
-	mux.HandleFunc(PathStreamCampaign, s.handleCampaign)
-	mux.HandleFunc(PathStreamClaims, s.handleClaims)
-	mux.HandleFunc(PathStreamTruths, s.handleTruths)
-	mux.HandleFunc(PathStreamWindow, s.handleWindow)
-	mux.HandleFunc(PathStreamStats, s.handleStats)
+	mux.HandleFunc(PathStreamCampaign, echoRequestID(s.handleCampaign))
+	mux.HandleFunc(PathStreamClaims, echoRequestID(s.handleClaims))
+	mux.HandleFunc(PathStreamTruths, echoRequestID(s.handleTruths))
+	mux.HandleFunc(PathStreamWindow, echoRequestID(s.handleWindow))
+	mux.HandleFunc(PathStreamStats, echoRequestID(s.handleStats))
 }
 
 // Campaign returns the streaming campaign metadata.
@@ -273,7 +274,15 @@ func (s *StreamServer) TruthsAt(window int) (StreamWindowInfo, error) {
 // headline numbers, the result-history bounds behind ?window= reads,
 // and — on a durable server — the store's journal and group-commit
 // histograms.
-func (s *StreamServer) Stats() StreamStatsInfo {
+func (s *StreamServer) Stats() StreamStatsInfo { return s.stats(false) }
+
+// stats backs Stats and GET /v1/stream/stats. With reset true the
+// store's windowed counters and histograms restart from this read
+// (matching streamstore.Store.Stats semantics: gauges and the
+// flush-latency Max high-water mark survive, and the /metrics series
+// backed by the same fields stay monotone — only this JSON view is
+// windowed).
+func (s *StreamServer) stats(reset bool) StreamStatsInfo {
 	info := StreamStatsInfo{
 		Name:           s.name,
 		Window:         s.engine.Window(),
@@ -285,7 +294,7 @@ func (s *StreamServer) Stats() StreamStatsInfo {
 		info.HistoryOldest = hist[0].Window
 	}
 	if s.store != nil {
-		st := s.store.Stats(false)
+		st := s.store.Stats(reset)
 		info.Store = &st
 	}
 	return info
@@ -385,5 +394,15 @@ func (s *StreamServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.Stats())
+	reset := false
+	if raw := r.URL.Query().Get("reset"); raw != "" {
+		v, err := strconv.ParseBool(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("bad reset parameter %q: want a boolean", raw))
+			return
+		}
+		reset = v
+	}
+	writeJSON(w, http.StatusOK, s.stats(reset))
 }

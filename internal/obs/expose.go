@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format, version 0.0.4.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every family in Prometheus text format: families
+// sorted by name, one # HELP and # TYPE line each, samples sorted by
+// label values, histogram buckets cumulative with the +Inf bucket and
+// _sum/_count series. Callback instruments are sampled once.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.samples {
+			if s.isHist {
+				writeHistSample(bw, f, s)
+				continue
+			}
+			bw.WriteString(f.name)
+			writeLabels(bw, f.labelNames, s.labelValues, "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistSample(bw *bufio.Writer, f *familySnapshot, s sampleSnapshot) {
+	var cum int64
+	for i, c := range s.hist.Counts {
+		cum += c
+		if i < len(s.hist.UpperBounds) {
+			bw.WriteString(f.name)
+			bw.WriteString("_bucket")
+			writeLabels(bw, f.labelNames, s.labelValues, formatBound(s.hist.UpperBounds[i]))
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(cum, 10))
+			bw.WriteByte('\n')
+		}
+	}
+	// The le="+Inf" bucket equals _count by construction.
+	bw.WriteString(f.name)
+	bw.WriteString("_bucket")
+	writeLabels(bw, f.labelNames, s.labelValues, "+Inf")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(s.hist.Count, 10))
+	bw.WriteByte('\n')
+
+	bw.WriteString(f.name)
+	bw.WriteString("_sum")
+	writeLabels(bw, f.labelNames, s.labelValues, "")
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(s.hist.Sum))
+	bw.WriteByte('\n')
+
+	bw.WriteString(f.name)
+	bw.WriteString("_count")
+	writeLabels(bw, f.labelNames, s.labelValues, "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(s.hist.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels renders {k="v",...}; a non-empty le appends the
+// histogram bucket bound as the final le="..." label.
+func writeLabels(bw *bufio.Writer, names, values []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(n)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(values[i]))
+		bw.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the text exposition (the
+// GET /metrics endpoint). Method checking is left to the caller's
+// router conventions.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WriteText(w)
+	})
+}

@@ -1,0 +1,460 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a metric family's Prometheus type.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing count. Safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n < 0 is a programmer error and is ignored).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. Safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistogramMetric is a Histogram guarded by a mutex so concurrent
+// observers are safe; the registry exposes its snapshot at scrape time.
+type HistogramMetric struct {
+	mu sync.Mutex
+	h  Histogram
+}
+
+// Observe records one observation.
+func (m *HistogramMetric) Observe(v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.h.Observe(v)
+	m.mu.Unlock()
+}
+
+// Snapshot returns a deep copy of the current histogram.
+func (m *HistogramMetric) Snapshot() Histogram {
+	if m == nil {
+		return Histogram{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.h.Clone()
+}
+
+// child is one labeled series inside a family: exactly one of the
+// instrument fields is set.
+type child struct {
+	labelValues []string
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *HistogramMetric
+	fn      func() float64   // callback counter or gauge, sampled at scrape
+	histFn  func() Histogram // callback histogram, sampled at scrape
+}
+
+// family is one metric name: a help string, a kind, a fixed label
+// schema, and the labeled children.
+type family struct {
+	name       string
+	help       string
+	kind       Kind
+	labelNames []string
+	bounds     []float64 // histogram kind only
+
+	mu       sync.Mutex
+	children map[string]*child
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. All methods are safe for concurrent use. Registration methods
+// are idempotent for an identical (name, kind, label schema) and panic
+// on a conflicting re-registration — metric names are a programmer
+// contract, not runtime input.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// family returns (creating if needed) the named family, enforcing that
+// the kind and label schema match any prior registration.
+func (r *Registry) family(name, help string, kind Kind, labelNames []string, bounds []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labelNames {
+		if !validName(l) || l == "le" {
+			panic(fmt.Sprintf("obs: invalid label name %q for metric %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.families == nil {
+		r.families = make(map[string]*family)
+	}
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:       name,
+			help:       help,
+			kind:       kind,
+			labelNames: append([]string(nil), labelNames...),
+			bounds:     append([]float64(nil), bounds...),
+			children:   make(map[string]*child),
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind || len(f.labelNames) != len(labelNames) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with conflicting kind or labels", name))
+	}
+	for i := range labelNames {
+		if f.labelNames[i] != labelNames[i] {
+			panic(fmt.Sprintf("obs: metric %q re-registered with conflicting label %q vs %q",
+				name, f.labelNames[i], labelNames[i]))
+		}
+	}
+	return f
+}
+
+const labelSep = "\x1f"
+
+// child returns (creating if needed) the series for the given label
+// values, running init on it while the family lock is held so
+// concurrent first uses race safely.
+func (f *family) child(labelValues []string, init func(*child)) *child {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := ""
+	if len(labelValues) > 0 {
+		key = labelValues[0]
+		for _, v := range labelValues[1:] {
+			key += labelSep + v
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labelValues: append([]string(nil), labelValues...)}
+		f.children[key] = c
+	}
+	if init != nil {
+		init(c)
+	}
+	return c
+}
+
+// pairsToNamesValues splits alternating "name", "value" pairs.
+func pairsToNamesValues(metric string, pairs []string) (names, values []string) {
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %q label pairs must alternate name, value", metric))
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		names = append(names, pairs[i])
+		values = append(values, pairs[i+1])
+	}
+	return names, values
+}
+
+// Counter returns the counter named name, creating it on first use.
+// Optional labelPairs alternate label name, label value and pin this
+// series' labels (use a CounterVec for per-request label values).
+func (r *Registry) Counter(name, help string, labelPairs ...string) *Counter {
+	names, values := pairsToNamesValues(name, labelPairs)
+	c := r.family(name, help, KindCounter, names, nil).child(values, func(c *child) {
+		if c.counter == nil && c.fn == nil {
+			c.counter = &Counter{}
+		}
+	})
+	if c.counter == nil {
+		panic(fmt.Sprintf("obs: metric %q already registered as a callback", name))
+	}
+	return c.counter
+}
+
+// Gauge returns the gauge named name, creating it on first use.
+func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
+	names, values := pairsToNamesValues(name, labelPairs)
+	c := r.family(name, help, KindGauge, names, nil).child(values, func(c *child) {
+		if c.gauge == nil && c.fn == nil {
+			c.gauge = &Gauge{}
+		}
+	})
+	if c.gauge == nil {
+		panic(fmt.Sprintf("obs: metric %q already registered as a callback", name))
+	}
+	return c.gauge
+}
+
+// Histogram returns the histogram named name over the given bucket
+// bounds, creating it on first use.
+func (r *Registry) Histogram(name, help string, bounds []float64, labelPairs ...string) *HistogramMetric {
+	names, values := pairsToNamesValues(name, labelPairs)
+	c := r.family(name, help, KindHistogram, names, bounds).child(values, func(c *child) {
+		if c.hist == nil && c.histFn == nil {
+			c.hist = &HistogramMetric{h: NewHistogram(bounds)}
+		}
+	})
+	if c.hist == nil {
+		panic(fmt.Sprintf("obs: metric %q already registered as a callback", name))
+	}
+	return c.hist
+}
+
+// CounterFunc registers a callback counter: fn is sampled at scrape
+// time and must return a monotonically non-decreasing value. Use it to
+// expose a count the owner already maintains under its own lock, so the
+// exposition and the owner's stats endpoint read one source of truth.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labelPairs ...string) {
+	names, values := pairsToNamesValues(name, labelPairs)
+	r.family(name, help, KindCounter, names, nil).child(values, func(c *child) {
+		if c.counter != nil || c.fn != nil {
+			panic(fmt.Sprintf("obs: metric %q already registered", name))
+		}
+		c.fn = fn
+	})
+}
+
+// GaugeFunc registers a callback gauge sampled at scrape time (queue
+// depths, live byte sizes, tracked-entity counts).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelPairs ...string) {
+	names, values := pairsToNamesValues(name, labelPairs)
+	r.family(name, help, KindGauge, names, nil).child(values, func(c *child) {
+		if c.gauge != nil || c.fn != nil {
+			panic(fmt.Sprintf("obs: metric %q already registered", name))
+		}
+		c.fn = fn
+	})
+}
+
+// HistogramFunc registers a callback histogram: fn is sampled at scrape
+// time and must return a snapshot (deep copy) of a cumulative
+// histogram.
+func (r *Registry) HistogramFunc(name, help string, fn func() Histogram, labelPairs ...string) {
+	names, values := pairsToNamesValues(name, labelPairs)
+	r.family(name, help, KindHistogram, names, nil).child(values, func(c *child) {
+		if c.hist != nil || c.histFn != nil {
+			panic(fmt.Sprintf("obs: metric %q already registered", name))
+		}
+		c.histFn = fn
+	})
+}
+
+// CounterVec is a counter family with runtime label values.
+type CounterVec struct {
+	f *family
+}
+
+// CounterVec returns the counter family named name with the given label
+// schema; With yields the per-label-value counters.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, KindCounter, labelNames, nil)}
+}
+
+// With returns the counter for the given label values (created on
+// first use).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	c := v.f.child(labelValues, func(c *child) {
+		if c.counter == nil {
+			c.counter = &Counter{}
+		}
+	})
+	return c.counter
+}
+
+// HistogramVec is a histogram family with runtime label values.
+type HistogramVec struct {
+	f *family
+}
+
+// HistogramVec returns the histogram family named name over the given
+// bucket bounds with the given label schema.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, KindHistogram, labelNames, bounds)}
+}
+
+// With returns the histogram for the given label values (created on
+// first use).
+func (v *HistogramVec) With(labelValues ...string) *HistogramMetric {
+	if v == nil {
+		return nil
+	}
+	c := v.f.child(labelValues, func(c *child) {
+		if c.hist == nil {
+			c.hist = &HistogramMetric{h: NewHistogram(v.f.bounds)}
+		}
+	})
+	return c.hist
+}
+
+// snapshotFamilies copies the families and children, sorted by name and
+// label values, sampling callbacks — the stable input to the text
+// writer.
+func (r *Registry) snapshotFamilies() []*familySnapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]*familySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := &familySnapshot{name: f.name, help: f.help, kind: f.kind, labelNames: f.labelNames}
+		f.mu.Lock()
+		children := make([]*child, 0, len(f.children))
+		for _, c := range f.children {
+			children = append(children, c)
+		}
+		f.mu.Unlock()
+		sort.Slice(children, func(i, j int) bool {
+			a, b := children[i].labelValues, children[j].labelValues
+			for k := range a {
+				if a[k] != b[k] {
+					return a[k] < b[k]
+				}
+			}
+			return false
+		})
+		for _, c := range children {
+			s := sampleSnapshot{labelValues: c.labelValues}
+			switch {
+			case c.counter != nil:
+				s.value = float64(c.counter.Value())
+			case c.gauge != nil:
+				s.value = float64(c.gauge.Value())
+			case c.hist != nil:
+				s.hist = c.hist.Snapshot()
+				s.isHist = true
+			case c.histFn != nil:
+				s.hist = c.histFn()
+				s.isHist = true
+			case c.fn != nil:
+				s.value = c.fn()
+			}
+			fs.samples = append(fs.samples, s)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+type familySnapshot struct {
+	name       string
+	help       string
+	kind       Kind
+	labelNames []string
+	samples    []sampleSnapshot
+}
+
+type sampleSnapshot struct {
+	labelValues []string
+	value       float64
+	hist        Histogram
+	isHist      bool
+}

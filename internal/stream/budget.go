@@ -63,27 +63,29 @@ func (r *registry) getOrCreate(id string) *userState {
 // rejected with ErrDuplicateWindow instead of being folded into the
 // statistics for free. With a positive budget the debit is also refused
 // (and the submission rejected) when it would exhaust the user's cap.
-// On success it returns the user's previous lastWindow so a failed
-// durable-ledger append can roll the debit back with uncharge.
-func (r *registry) charge(st *userState, window int, eps, budget float64) (int, error) {
+// On success it returns the user's previous lastWindow — so a failed
+// durable-ledger append can roll the debit back with uncharge — and
+// the new cumulative epsilon, for the engine's spending-distribution
+// histogram.
+func (r *registry) charge(st *userState, window int, eps, budget float64) (int, float64, error) {
 	if eps == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if st.lastWindow == window {
-		return 0, fmt.Errorf("%w: user %q already submitted in window %d",
+		return 0, 0, fmt.Errorf("%w: user %q already submitted in window %d",
 			ErrDuplicateWindow, st.id, window+1)
 	}
 	if exhausted(st.cumEps, eps, budget) {
-		return 0, fmt.Errorf("%w: user %q spent %.6g of %.6g, next window costs %.6g",
+		return 0, 0, fmt.Errorf("%w: user %q spent %.6g of %.6g, next window costs %.6g",
 			ErrBudgetExhausted, st.id, st.cumEps, budget, eps)
 	}
 	prev := st.lastWindow
 	st.cumEps += eps
 	st.lastWindow = window
 	st.windows++
-	return prev, nil
+	return prev, st.cumEps, nil
 }
 
 // replayCharge folds one already-durable journal record into the user's

@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"errors"
+	"strconv"
+	"time"
+
+	"pptd/internal/obs"
+)
+
+// Bucket bounds for the engine's two histograms: window-close duration
+// in seconds (estimation is CPU-bound, 100µs to 10s covers toy and
+// production object counts) and per-user cumulative epsilon (doubling
+// from a fraction of one window's charge up past any sane budget).
+var (
+	closeDurationBounds = []float64{
+		100e-6, 250e-6, 500e-6,
+		1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+		1, 2.5, 5, 10,
+	}
+	cumulativeEpsilonBounds = []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128}
+)
+
+// engineMetrics holds the engine's registry instruments. A nil
+// *engineMetrics (no Config.Metrics) is valid and makes every method a
+// no-op, so the hot path carries no conditionals beyond one nil check.
+type engineMetrics struct {
+	claimsIngested *obs.Counter
+	rejected       *obs.CounterVec
+	windowsClosed  *obs.Counter
+	closeDuration  *obs.HistogramMetric
+	cumEps         *obs.HistogramMetric
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &engineMetrics{
+		claimsIngested: reg.Counter("pptd_stream_claims_ingested_total",
+			"Claims accepted into the stream (after validation, budget, and ledger)."),
+		rejected: reg.CounterVec("pptd_stream_submissions_rejected_total",
+			"Submissions rejected before folding into the statistics, by reason.",
+			"reason"),
+		windowsClosed: reg.Counter("pptd_stream_windows_closed_total",
+			"Windows closed (estimates published)."),
+		closeDuration: reg.Histogram("pptd_stream_window_close_duration_seconds",
+			"Wall time per window close: shard drain, estimation, decay, and publish.",
+			closeDurationBounds),
+		cumEps: reg.Histogram("pptd_stream_user_cumulative_epsilon",
+			"Per-user cumulative epsilon observed at each accepted charge; the "+
+				"distribution of budget spending across the stream's submissions.",
+			cumulativeEpsilonBounds),
+	}
+}
+
+// registerEngineGauges exposes the live queue and population gauges;
+// called once from New, after the shards exist.
+func registerEngineGauges(reg *obs.Registry, e *Engine) {
+	if reg == nil {
+		return
+	}
+	for i := range e.shards {
+		s := e.shards[i]
+		reg.GaugeFunc("pptd_stream_shard_queue_depth",
+			"Claim batches buffered in each shard's ingestion channel (backpressure).",
+			func() float64 { return float64(len(s.in)) },
+			"shard", strconv.Itoa(i))
+	}
+	reg.GaugeFunc("pptd_stream_tracked_users",
+		"Distinct client IDs ever charged (privacy accounting never evicts).",
+		func() float64 { return float64(e.users.count()) })
+}
+
+func (m *engineMetrics) ingested(n int) {
+	if m != nil {
+		m.claimsIngested.Add(int64(n))
+	}
+}
+
+// reject counts one refused submission under its taxonomy reason,
+// derived from the sentinel the caller is about to return.
+func (m *engineMetrics) reject(err error) {
+	if m == nil {
+		return
+	}
+	reason := "bad_claim"
+	switch {
+	case errors.Is(err, ErrBudgetExhausted):
+		reason = "budget_exhausted"
+	case errors.Is(err, ErrDuplicateWindow):
+		reason = "duplicate_window"
+	case errors.Is(err, ErrLedger):
+		reason = "ledger"
+	case errors.Is(err, ErrEngineClosed):
+		reason = "engine_closed"
+	}
+	m.rejected.With(reason).Inc()
+}
+
+func (m *engineMetrics) windowClosed(elapsed time.Duration) {
+	if m != nil {
+		m.windowsClosed.Inc()
+		m.closeDuration.Observe(elapsed.Seconds())
+	}
+}
+
+func (m *engineMetrics) observeCumEps(cum float64) {
+	if m != nil && cum > 0 {
+		m.cumEps.Observe(cum)
+	}
+}

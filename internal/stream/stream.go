@@ -29,8 +29,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pptd/internal/core"
+	"pptd/internal/obs"
 	"pptd/internal/truth"
 )
 
@@ -141,6 +143,12 @@ type Config struct {
 	// the journal implies, so a kill-and-recover engine matches an
 	// uninterrupted one. Requires Ledger.
 	ClaimWAL bool
+	// Metrics, when non-nil, receives the engine's pptd_stream_* series:
+	// claims ingested, submissions rejected by reason, window-close
+	// count and duration, per-shard queue depth, tracked users, and the
+	// cumulative-epsilon distribution. The registry must not already
+	// carry another engine's collectors.
+	Metrics *obs.Registry
 }
 
 func (c *Config) validate() error {
@@ -260,9 +268,10 @@ type Engine struct {
 	cfg       Config
 	epsWindow float64 // epsilon charged per active window; 0 = accounting off
 
-	users  *registry
-	shards []*shard
-	wg     sync.WaitGroup
+	users   *registry
+	shards  []*shard
+	wg      sync.WaitGroup
+	metrics *engineMetrics // nil-safe; nil when Config.Metrics is nil
 
 	// mu is the window lock: ingestion holds it shared, CloseWindow and
 	// Close hold it exclusively.
@@ -313,6 +322,8 @@ func New(cfg Config) (*Engine, error) {
 			s.run()
 		}(e.shards[i])
 	}
+	e.metrics = newEngineMetrics(cfg.Metrics)
+	registerEngineGauges(cfg.Metrics, e)
 	return e, nil
 }
 
@@ -356,6 +367,16 @@ func (e *Engine) EpsilonBudget() float64 { return e.cfg.EpsilonBudget }
 // Safe for concurrent use; a batch racing a CloseWindow lands in one
 // window or the next, never split.
 func (e *Engine) Ingest(user string, claims []Claim) (int, int, error) {
+	n, window, err := e.ingest(user, claims)
+	if err != nil {
+		e.metrics.reject(err)
+	}
+	return n, window, err
+}
+
+// ingest is Ingest without the rejection accounting (every error path
+// funnels through one metrics classification in the wrapper).
+func (e *Engine) ingest(user string, claims []Claim) (int, int, error) {
 	if user == "" {
 		return 0, 0, fmt.Errorf("%w: empty user id", ErrBadClaim)
 	}
@@ -387,7 +408,7 @@ func (e *Engine) Ingest(user string, claims []Claim) (int, int, error) {
 		return 0, 0, ErrEngineClosed
 	}
 	st := e.users.getOrCreate(user)
-	prevWindow, err := e.users.charge(st, e.window, e.epsWindow, e.cfg.EpsilonBudget)
+	prevWindow, cumEps, err := e.users.charge(st, e.window, e.epsWindow, e.cfg.EpsilonBudget)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -424,6 +445,8 @@ func (e *Engine) Ingest(user string, claims []Claim) (int, int, error) {
 	}
 	e.windowClaims.Add(int64(len(claims)))
 	e.totalClaims.Add(int64(len(claims)))
+	e.metrics.ingested(len(claims))
+	e.metrics.observeCumEps(cumEps)
 	return len(claims), e.window + 1, nil
 }
 
@@ -432,6 +455,7 @@ func (e *Engine) Ingest(user string, claims []Claim) (int, int, error) {
 // decay, and advances the window counter. The returned result is also
 // retained for Snapshot.
 func (e *Engine) CloseWindow() (*WindowResult, error) {
+	start := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -456,6 +480,7 @@ func (e *Engine) CloseWindow() (*WindowResult, error) {
 	}
 
 	e.pushResult(res)
+	e.metrics.windowClosed(time.Since(start))
 	return res, nil
 }
 

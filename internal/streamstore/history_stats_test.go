@@ -5,8 +5,11 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 
+	"pptd/internal/obs"
 	"pptd/internal/stream"
 )
 
@@ -161,10 +164,11 @@ func TestStatsCounters(t *testing.T) {
 }
 
 // TestStatsResetWindow: Stats(true) returns the window-so-far and
-// zeroes the cumulative counters and histograms, so a long-lived node
-// polling with reset sees per-window rates; gauges (JournalBytes,
-// Segments) keep describing the present, and counting resumes from
-// zero afterwards.
+// advances the window boundary, so a long-lived node polling with
+// reset sees per-window rates; gauges (JournalBytes, Segments) keep
+// describing the present, and counting resumes from zero afterwards.
+// The store's underlying counters stay monotone for /metrics — the
+// reset only moves the baseline the windowed view subtracts.
 func TestStatsResetWindow(t *testing.T) {
 	dir := t.TempDir()
 	s, err := OpenWith(dir, Options{MaxBatch: 1})
@@ -209,10 +213,13 @@ func TestStatsResetWindow(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileAndString exercises the promoted obs.Histogram
+// through the streamstore alias, pinning that the wire type kept its
+// behavior across the move.
 func TestHistogramQuantileAndString(t *testing.T) {
-	h := newHistogram([]float64{1, 2, 4})
+	h := obs.NewHistogram([]float64{1, 2, 4})
 	for _, v := range []float64{1, 1, 2, 3, 8} {
-		h.observe(v)
+		h.Observe(v)
 	}
 	if h.Count != 5 || h.Sum != 15 || h.Max != 8 {
 		t.Fatalf("histogram aggregates = %+v", h)
@@ -228,5 +235,126 @@ func TestHistogramQuantileAndString(t *testing.T) {
 	}
 	if s := h.String(); s == "" || s == "empty" {
 		t.Errorf("String = %q", s)
+	}
+}
+
+// TestStatsResetConcurrentAppends hammers Stats(true) against
+// concurrent durable appends (run it with -race): every append must
+// land in exactly one window — the windowed counts summed across every
+// reset plus the final residue equal the true total, nothing lost or
+// double-counted across reset boundaries.
+func TestStatsResetConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+
+	const (
+		writers    = 4
+		perWriter  = 200
+		totalWrite = writers * perWriter
+	)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	var windowSum int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			windowSum += s.Stats(true).JournalAppends
+		}
+	}()
+	var writerWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := s.AppendCharge(stream.ChargeRecord{
+					User: "u", Window: w*perWriter + i, Epsilon: 0.01,
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	writerWg.Wait()
+	close(done)
+	wg.Wait()
+	windowSum += s.Stats(false).JournalAppends
+	if windowSum != totalWrite {
+		t.Fatalf("windowed appends sum to %d, want %d (lost or double-counted across resets)",
+			windowSum, totalWrite)
+	}
+	// Gauges survived every reset.
+	if st := s.Stats(false); st.JournalBytes <= 0 || st.Segments < 1 {
+		t.Fatalf("gauges after resets = %+v", st)
+	}
+}
+
+// TestStoreMetricsStayMonotoneAcrossResets pins the one-source-of-truth
+// contract: the registered /metrics collectors read the same counters
+// Stats does, match its cumulative view exactly, and keep growing
+// through Stats(true) resets instead of snapping back.
+func TestStoreMetricsStayMonotoneAcrossResets(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s, err := OpenWith(dir, Options{MaxBatch: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+
+	scrape := func(name string) float64 {
+		t.Helper()
+		var b strings.Builder
+		if err := reg.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		p, err := obs.ParseText(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("parse exposition: %v", err)
+		}
+		v, err := p.Value(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := s.AppendCharge(stream.ChargeRecord{User: "u", Window: i, Epsilon: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := scrape("pptd_store_journal_appends_total"); got != 3 {
+		t.Fatalf("appends series = %v, want 3", got)
+	}
+	if got, want := scrape("pptd_store_journal_bytes"), float64(s.Stats(false).JournalBytes); got != want {
+		t.Fatalf("journal bytes series = %v, stats say %v", got, want)
+	}
+	_ = s.Stats(true) // windowed JSON view resets...
+	for i := 3; i < 5; i++ {
+		if err := s.AppendCharge(stream.ChargeRecord{User: "u", Window: i, Epsilon: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...but the exposition stays cumulative: 5, not the window's 2.
+	if got := scrape("pptd_store_journal_appends_total"); got != 5 {
+		t.Fatalf("appends series after reset = %v, want 5 (monotone)", got)
+	}
+	if got := s.Stats(false).JournalAppends; got != 2 {
+		t.Fatalf("windowed appends = %v, want 2", got)
+	}
+	if got := scrape("pptd_store_flush_duration_seconds_count"); got != 5 {
+		t.Fatalf("flush histogram count = %v, want 5", got)
 	}
 }

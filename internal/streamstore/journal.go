@@ -151,8 +151,8 @@ func (s *Store) flushLocked(buf []byte, n int) error {
 	s.journalSyncs++
 	s.journalAppends += int64(n)
 	s.activeSize += int64(len(buf))
-	s.batchSizes.observe(float64(n))
-	s.flushLatency.observe(time.Since(start).Seconds())
+	s.batchSizes.Observe(float64(n))
+	s.flushLatency.Observe(time.Since(start).Seconds())
 	if s.activeSize >= s.segmentBytesLocked() {
 		// Best-effort by design: the batch is durable, so a failed roll
 		// must not fail acknowledged appends; see rollSegmentLocked.

@@ -1,105 +1,14 @@
 package streamstore
 
 import (
-	"fmt"
-	"strings"
+	"pptd/internal/obs"
 )
 
-// Histogram is a fixed-bucket counting histogram, the wire-friendly
-// shape behind the store's group-commit observability. Bucket i counts
-// observations v with v <= UpperBounds[i] (and above the previous
-// bound); the final entry of Counts is the overflow bucket, so
-// len(Counts) == len(UpperBounds)+1.
-type Histogram struct {
-	// UpperBounds are the inclusive bucket upper bounds, ascending.
-	UpperBounds []float64 `json:"upperBounds"`
-	// Counts holds one count per bucket plus the trailing overflow
-	// bucket.
-	Counts []int64 `json:"counts"`
-	// Count and Sum aggregate every observation (Sum in the histogram's
-	// unit), so mean = Sum/Count without walking buckets; Max is the
-	// largest observation seen.
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Max   float64 `json:"max"`
-}
-
-func newHistogram(bounds []float64) Histogram {
-	return Histogram{
-		UpperBounds: bounds,
-		Counts:      make([]int64, len(bounds)+1),
-	}
-}
-
-func (h *Histogram) observe(v float64) {
-	i := 0
-	for i < len(h.UpperBounds) && v > h.UpperBounds[i] {
-		i++
-	}
-	h.Counts[i]++
-	h.Count++
-	h.Sum += v
-	if v > h.Max {
-		h.Max = v
-	}
-}
-
-// Mean returns the average observation (0 before any).
-func (h Histogram) Mean() float64 {
-	if h.Count == 0 {
-		return 0
-	}
-	return h.Sum / float64(h.Count)
-}
-
-// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
-// observations: the smallest bucket bound at which the cumulative count
-// reaches q, or Max for observations past the last bound. It is a
-// bucket-resolution estimate, good enough for dashboards and tuning.
-func (h Histogram) Quantile(q float64) float64 {
-	if h.Count == 0 || q <= 0 {
-		return 0
-	}
-	target := int64(q * float64(h.Count))
-	if float64(target) < q*float64(h.Count) || target == 0 {
-		target++
-	}
-	var cum int64
-	for i, c := range h.Counts {
-		cum += c
-		if cum >= target {
-			if i < len(h.UpperBounds) {
-				return h.UpperBounds[i]
-			}
-			return h.Max
-		}
-	}
-	return h.Max
-}
-
-// String renders the non-empty buckets compactly, e.g.
-// "<=1:3 <=4:10 >256:1 (count 14)".
-func (h Histogram) String() string {
-	var b strings.Builder
-	for i, c := range h.Counts {
-		if c == 0 {
-			continue
-		}
-		if b.Len() > 0 {
-			b.WriteByte(' ')
-		}
-		if i < len(h.UpperBounds) {
-			fmt.Fprintf(&b, "<=%g:%d", h.UpperBounds[i], c)
-		} else {
-			fmt.Fprintf(&b, ">%g:%d", h.UpperBounds[len(h.UpperBounds)-1], c)
-		}
-	}
-	if b.Len() == 0 {
-		b.WriteString("empty")
-	}
-	fmt.Fprintf(&b, " (count %d)", h.Count)
-	return b.String()
-}
+// Histogram is the fixed-bucket counting histogram inside StoreStats —
+// the shared obs.Histogram, so the store's JSON stats and the node's
+// /metrics exposition render the same type. (It was born here and was
+// promoted to internal/obs when the node grew a metrics registry.)
+type Histogram = obs.Histogram
 
 // Bucket bounds for the two group-commit histograms: batch sizes in
 // records (powers of two up to the default batch cap) and flush
@@ -149,39 +58,128 @@ type StoreStats struct {
 	FlushLatencySeconds Histogram `json:"flushLatencySeconds"`
 }
 
+// statsBase records the cumulative counter values at the last
+// Stats(reset): the store's fields only ever grow (they also back the
+// monotone /metrics series), and the windowed view Stats returns is
+// cumulative-minus-base. Gauges have no base — they describe the
+// present.
+type statsBase struct {
+	journalAppends  int64
+	journalSyncs    int64
+	segmentsSealed  int64
+	segmentsDeleted int64
+	snapshots       int64
+	resultsSaved    int64
+	batchSizes      Histogram
+	flushLatency    Histogram
+}
+
 // Stats returns a copy of the store's counters and histograms. Safe for
 // concurrent use with appends and snapshots.
 //
-// With reset true, the cumulative counters and both histograms are
-// zeroed after the copy is taken, so a long-lived node can poll in
-// windows and see rates instead of an all-time blur (an fsync latency
-// regression in hour 40 is invisible inside a 40-hour histogram).
-// Gauges — JournalBytes, Segments — describe the present and are never
-// reset. Concurrent flushes serialize with the reset, so no observation
-// is lost or double-counted across the boundary.
+// With reset true, the window boundary advances after the copy is
+// taken: the cumulative counters and both histograms restart from zero
+// in the next snapshot, so a long-lived node can poll in windows and
+// see rates instead of an all-time blur (an fsync latency regression in
+// hour 40 is invisible inside a 40-hour histogram). Gauges —
+// JournalBytes, Segments — describe the present and are never reset.
+// Histogram Max is the one all-time exception: it is a high-water mark
+// that survives resets, because a window's true maximum cannot be
+// recovered from two cumulative snapshots.
+//
+// Resetting is a read-side view change only: the store's underlying
+// counters stay monotone, which is what keeps the node's /metrics
+// series (same source, sampled at scrape) Prometheus-legal regardless
+// of how often a stats poller resets. Concurrent flushes serialize with
+// the reset under the store lock, so no observation is lost or
+// double-counted across the boundary — every append lands in exactly
+// one window.
 func (s *Store) Stats(reset bool) StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := StoreStats{
-		JournalAppends:      s.journalAppends,
-		JournalSyncs:        s.journalSyncs,
+		JournalAppends:      s.journalAppends - s.base.journalAppends,
+		JournalSyncs:        s.journalSyncs - s.base.journalSyncs,
 		JournalBytes:        s.journalBytesLocked(),
 		Segments:            len(s.sealed) + 1,
-		SegmentsSealed:      s.segmentsSealed,
-		SegmentsDeleted:     s.segmentsDeleted,
-		Snapshots:           s.snapshots,
-		ResultsSaved:        s.resultsSaved,
-		BatchSizes:          s.batchSizes,
-		FlushLatencySeconds: s.flushLatency,
+		SegmentsSealed:      s.segmentsSealed - s.base.segmentsSealed,
+		SegmentsDeleted:     s.segmentsDeleted - s.base.segmentsDeleted,
+		Snapshots:           s.snapshots - s.base.snapshots,
+		ResultsSaved:        s.resultsSaved - s.base.resultsSaved,
+		BatchSizes:          s.batchSizes.Sub(s.base.batchSizes),
+		FlushLatencySeconds: s.flushLatency.Sub(s.base.flushLatency),
 	}
-	st.BatchSizes.Counts = append([]int64(nil), s.batchSizes.Counts...)
-	st.FlushLatencySeconds.Counts = append([]int64(nil), s.flushLatency.Counts...)
 	if reset {
-		s.journalAppends, s.journalSyncs = 0, 0
-		s.segmentsSealed, s.segmentsDeleted = 0, 0
-		s.snapshots, s.resultsSaved = 0, 0
-		s.batchSizes = newHistogram(batchSizeBounds)
-		s.flushLatency = newHistogram(flushLatencyBounds)
+		s.base = statsBase{
+			journalAppends:  s.journalAppends,
+			journalSyncs:    s.journalSyncs,
+			segmentsSealed:  s.segmentsSealed,
+			segmentsDeleted: s.segmentsDeleted,
+			snapshots:       s.snapshots,
+			resultsSaved:    s.resultsSaved,
+			batchSizes:      s.batchSizes.Clone(),
+			flushLatency:    s.flushLatency.Clone(),
+		}
 	}
 	return st
+}
+
+// registerMetrics exposes the store's cumulative counters on the given
+// registry as callback instruments: the exposition samples the very
+// fields Stats reads, so /v1/stream/stats and /metrics cannot drift.
+// The registry must not already carry another store's collectors.
+func (s *Store) registerMetrics(reg *obs.Registry) {
+	counter := func(name, help string, f func() int64) {
+		reg.CounterFunc(name, help, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(f())
+		})
+	}
+	counter("pptd_store_journal_appends_total",
+		"Ledger records appended to the journal (accepted AppendCharge and claim-WAL writes).",
+		func() int64 { return s.journalAppends })
+	counter("pptd_store_journal_syncs_total",
+		"Journal fsyncs issued; appends/syncs is the group-commit amortization factor.",
+		func() int64 { return s.journalSyncs })
+	counter("pptd_store_segments_sealed_total",
+		"Journal segments sealed (rolled) since open.",
+		func() int64 { return s.segmentsSealed })
+	counter("pptd_store_segments_deleted_total",
+		"Sealed journal segments deleted by snapshot compaction.",
+		func() int64 { return s.segmentsDeleted })
+	counter("pptd_store_snapshots_total",
+		"Engine snapshots written.",
+		func() int64 { return s.snapshots })
+	counter("pptd_store_results_saved_total",
+		"Window results persisted.",
+		func() int64 { return s.resultsSaved })
+	reg.GaugeFunc("pptd_store_journal_bytes",
+		"Live journal size in bytes across every segment.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.journalBytesLocked())
+		})
+	reg.GaugeFunc("pptd_store_segments",
+		"Live journal segment files, including the active one.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.sealed) + 1)
+		})
+	reg.HistogramFunc("pptd_store_commit_batch_records",
+		"Records per group-commit flush.",
+		func() Histogram {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.batchSizes.Clone()
+		})
+	reg.HistogramFunc("pptd_store_flush_duration_seconds",
+		"Write+fsync wall time per group-commit flush, in seconds.",
+		func() Histogram {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.flushLatency.Clone()
+		})
 }

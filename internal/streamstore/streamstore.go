@@ -70,6 +70,7 @@ import (
 	"sync"
 	"time"
 
+	"pptd/internal/obs"
 	"pptd/internal/stream"
 	"pptd/internal/streamstore/storefs"
 )
@@ -179,6 +180,11 @@ type Options struct {
 	// filesystem. Nil means the real one (storefs.OS). Tests inject
 	// storefs.Faulty here to enumerate crash points deterministically.
 	FS storefs.FS
+	// Metrics, when non-nil, receives the store's pptd_store_* series
+	// as scrape-time callbacks over the same counters Stats reads (one
+	// source of truth for /v1/stream/stats and /metrics). The registry
+	// must not already carry another store's collectors.
+	Metrics *obs.Registry
 }
 
 func (o Options) validate() error {
@@ -225,6 +231,9 @@ type Store struct {
 	activeSeq  int64
 	activeSize int64
 
+	// Observability counters. All cumulative and monotone — they back
+	// the registered /metrics callbacks — with base marking the last
+	// Stats(reset) boundary for the windowed JSON view.
 	journalSyncs        int64
 	journalAppends      int64
 	snapshots           int64
@@ -233,6 +242,7 @@ type Store struct {
 	segmentsDeleted     int64
 	batchSizes          Histogram
 	flushLatency        Histogram
+	base                statsBase
 	closesSinceSnapshot int
 	closed              bool
 }
@@ -286,8 +296,8 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 	}
 	s := &Store{
 		dir: dir, opts: opts, fs: fsys, lock: lock,
-		batchSizes:   newHistogram(batchSizeBounds),
-		flushLatency: newHistogram(flushLatencyBounds),
+		batchSizes:   obs.NewHistogram(batchSizeBounds),
+		flushLatency: obs.NewHistogram(flushLatencyBounds),
 	}
 	if err := s.openJournalLocked(); err != nil {
 		if s.active != nil {
@@ -296,6 +306,9 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		_ = unlockFile(lock)
 		_ = lock.Close()
 		return nil, err
+	}
+	if opts.Metrics != nil {
+		s.registerMetrics(opts.Metrics)
 	}
 	return s, nil
 }

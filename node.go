@@ -3,11 +3,14 @@ package pptd
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"pptd/internal/crowd"
+	"pptd/internal/obs"
 	"pptd/internal/stream"
 	"pptd/internal/streamstore"
 )
@@ -67,6 +70,9 @@ type nodeConfig struct {
 	persistSet  bool
 	store       StreamStoreOptions
 	claimWALOff bool
+
+	logger *slog.Logger
+	debug  bool
 }
 
 func optErr(format string, args ...any) error {
@@ -299,6 +305,34 @@ func WithPerUserReport() Option {
 	}
 }
 
+// WithLogger emits one structured log line per HTTP request through the
+// given slog logger: request_id, method, route pattern, path, status,
+// duration, bytes, and the error-envelope code on failures (5xx at
+// error level, everything else at info). The request_id is the
+// X-Request-ID the response echoed, so a client-reported failure joins
+// against the log stream directly. Without this option the node logs
+// nothing; request metrics are collected either way.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *nodeConfig) error {
+		if l == nil {
+			return optErr("WithLogger: nil logger")
+		}
+		c.logger = l
+		return nil
+	}
+}
+
+// WithDebugHandlers mounts net/http/pprof's profiling endpoints under
+// /debug/pprof/ on the node's mux. Opt-in: the profiles expose
+// operational internals (goroutine stacks, heap contents) that do not
+// belong on an unguarded public listener.
+func WithDebugHandlers() Option {
+	return func(c *nodeConfig) error {
+		c.debug = true
+		return nil
+	}
+}
+
 // PersistenceOption tunes WithPersistence.
 type PersistenceOption func(*nodeConfig) error
 
@@ -507,10 +541,11 @@ func (c *nodeConfig) validate() error {
 // NewNode and functional options; Close releases everything the node
 // owns (stream workers, window ticker, state store).
 type Node struct {
-	name   string
-	batch  *CampaignServer
-	stream *StreamCampaignServer
-	store  *StreamStore
+	name    string
+	batch   *CampaignServer
+	stream  *StreamCampaignServer
+	store   *StreamStore
+	metrics *obs.Registry
 
 	handler http.Handler
 }
@@ -554,7 +589,11 @@ func NewNode(opts ...Option) (*Node, error) {
 		lambda2 = cfg.streamBase.Lambda2
 	}
 
-	n := &Node{name: cfg.name}
+	// Every node carries a metrics registry: the engine, the store, and
+	// the HTTP middleware all publish into it, and GET /metrics serves
+	// the text exposition. Registration is cheap enough that there is no
+	// opt-out — the scrape endpoint simply goes unscraped.
+	n := &Node{name: cfg.name, metrics: obs.NewRegistry()}
 	ok := false
 	defer func() {
 		if !ok {
@@ -591,6 +630,9 @@ func NewNode(opts ...Option) (*Node, error) {
 		if cfg.perUser {
 			engineCfg.PerUserReport = true
 		}
+		if engineCfg.Metrics == nil {
+			engineCfg.Metrics = n.metrics
+		}
 		if cfg.persistSet {
 			// Persist as many recent results as the engine retains, so
 			// ?window= reads answer the same span across a restart.
@@ -599,6 +641,7 @@ func NewNode(opts ...Option) (*Node, error) {
 				history = DefaultStreamHistoryWindows
 			}
 			cfg.store.ResultHistory = history
+			cfg.store.Metrics = n.metrics
 			store, err := streamstore.OpenWith(cfg.stateDir, cfg.store)
 			if err != nil {
 				return nil, err
@@ -652,7 +695,28 @@ func NewNode(opts ...Option) (*Node, error) {
 	if n.stream != nil {
 		n.stream.Register(mux)
 	}
-	n.handler = withEnvelopeNotFound(mux)
+	mux.Handle(crowd.PathMetrics, crowd.GetOnly(n.metrics.Handler()))
+	if cfg.debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	// The telemetry middleware wraps the whole front door — every route,
+	// the not-found envelope, /metrics itself — labeling each request
+	// with its mux pattern so metric cardinality stays bounded no matter
+	// what paths are probed.
+	n.handler = obs.Middleware(obs.MiddlewareConfig{
+		Registry: n.metrics,
+		Logger:   cfg.logger,
+		Route: func(r *http.Request) string {
+			if _, pattern := mux.Handler(r); pattern != "" {
+				return pattern
+			}
+			return "unmatched"
+		},
+	})(withEnvelopeNotFound(mux))
 	ok = true
 	return n, nil
 }
@@ -676,8 +740,11 @@ func withEnvelopeNotFound(mux *http.ServeMux) http.Handler {
 func (n *Node) Name() string { return n.name }
 
 // Handler returns the node's HTTP handler: every configured API — batch
-// campaign, streaming campaign, stats — on one mux, every non-2xx
-// response the versioned JSON error envelope.
+// campaign, streaming campaign, stats — on one mux, plus the Prometheus
+// exposition at GET /metrics (and, with WithDebugHandlers, pprof under
+// /debug/pprof/). Every non-2xx JSON response carries the versioned
+// error envelope, every response echoes an X-Request-ID, and every
+// request is counted and timed in the node's metrics registry.
 func (n *Node) Handler() http.Handler { return n.handler }
 
 // Batch returns the hosted batch campaign server, or nil when
@@ -687,6 +754,11 @@ func (n *Node) Batch() *CampaignServer { return n.batch }
 // Stream returns the hosted streaming campaign server, or nil when no
 // stream engine was configured.
 func (n *Node) Stream() *StreamCampaignServer { return n.stream }
+
+// Metrics returns the node's metrics registry — the one behind
+// GET /metrics. Embedding applications may register their own
+// instruments on it; they appear in the same exposition.
+func (n *Node) Metrics() *MetricsRegistry { return n.metrics }
 
 // Store returns the node-owned durable state store, or nil without
 // WithPersistence. The node closes it in Close; callers may read Stats
