@@ -47,7 +47,7 @@ func run(args []string) error {
 		objects  = fs.Int("objects", 30, "number of micro-tasks (objects)")
 		lambda2  = fs.Float64("lambda2", 2, "noise-variance rate released to users")
 		users    = fs.Int("users", 0, "auto-aggregate after this many users (0 = manual)")
-		method   = fs.String("method", "crh", "truth discovery method: crh, gtm, catd, mean, median")
+		method   = fs.String("method", "crh", "truth discovery method: crh, gtm, catd, mean, median (with -stream the same method runs the streaming estimator, so mean/median are batch-only)")
 		stream   = fs.Bool("stream", false, "also host the streaming campaign (same objects) on the same mux")
 		interval = fs.Duration("window-interval", 0, "with -stream: close stream windows on this ticker (0 = manual POST /v1/stream/window)")
 		logReqs  = fs.String("log", "", "per-request structured logging: 'text' or 'json' slog lines on stderr (empty = off; metrics at /metrics either way)")

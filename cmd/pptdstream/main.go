@@ -60,6 +60,7 @@ func run(args []string, out io.Writer) error {
 		users       = fs.Int("users", 50, "number of simulated devices")
 		windows     = fs.Int("windows", 5, "number of windows to stream")
 		shards      = fs.Int("shards", 0, "engine shards (0 = auto)")
+		method      = fs.String("method", "crh", "streaming truth-discovery estimator: crh, gtm, or catd")
 		lambda1     = fs.Float64("lambda1", 1.5, "simulated sensor quality (error-variance rate)")
 		lambda2     = fs.Float64("lambda2", 2, "perturbation rate released to users")
 		delta       = fs.Float64("delta", 0.3, "LDP delta each window is accounted at")
@@ -96,6 +97,11 @@ func run(args []string, out io.Writer) error {
 			*snapEvery, *snapBytes, *snapRetain, *segBytes)
 	}
 
+	estimator, err := methodByName(*method)
+	if err != nil {
+		return err
+	}
+
 	baseURL := *addr
 	if baseURL == "" {
 		// One front door: the in-process server is a pptd node built from
@@ -104,6 +110,7 @@ func run(args []string, out io.Writer) error {
 		// dedicated option.
 		nodeOpts := []pptd.Option{
 			pptd.WithName("pptdstream"),
+			pptd.WithMethod(estimator),
 			pptd.WithStreamConfig(pptd.StreamConfig{
 				NumObjects:    *objects,
 				NumShards:     *shards,
@@ -173,8 +180,8 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "streaming campaign %q at %s: %d objects, %d shards, lambda2=%v\n",
-		info.Name, baseURL, info.NumObjects, info.Shards, info.Lambda2)
+	fmt.Fprintf(out, "streaming campaign %q at %s: %d objects, %d shards, estimator=%s, lambda2=%v\n",
+		info.Name, baseURL, info.NumObjects, info.Shards, estimatorLabel(info.Estimator), info.Lambda2)
 	if info.EpsilonPerWindow > 0 {
 		fmt.Fprintf(out, "privacy: epsilon=%.4f per window at delta=%v, budget=%v\n",
 			info.EpsilonPerWindow, info.Delta, budgetLabel(info.EpsilonBudget))
@@ -492,6 +499,30 @@ func takeReadings(groundTruth []float64, sigma float64, rng *pptd.RNG) []pptd.Ca
 		readings[n] = pptd.CampaignClaim{Object: n, Value: tv + sigma*rng.Norm()}
 	}
 	return readings
+}
+
+// methodByName maps the -method flag onto a streaming estimator. Only
+// the incremental methods are valid here: the mean/median baselines are
+// batch-only (see cmd/pptdserver).
+func methodByName(name string) (pptd.Method, error) {
+	switch name {
+	case "crh":
+		return pptd.NewCRH()
+	case "gtm":
+		return pptd.NewGTM()
+	case "catd":
+		return pptd.NewCATD()
+	}
+	return nil, fmt.Errorf("unknown -method %q (streaming estimators: crh, gtm, catd)", name)
+}
+
+// estimatorLabel names the campaign's estimator; a pre-estimator server
+// omits the field, which means CRH.
+func estimatorLabel(name string) string {
+	if name == "" {
+		return "crh"
+	}
+	return name
 }
 
 func budgetLabel(b float64) string {

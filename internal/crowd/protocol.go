@@ -24,8 +24,10 @@
 //     enabled, 429 once the client's cumulative privacy budget is
 //     exhausted);
 //   - POST /v1/stream/window closes the open window, re-estimates truths
-//     and weights incrementally from the decayed sufficient statistics,
-//     and returns the estimate (409 before any claim ever arrived);
+//     and weights incrementally from the decayed sufficient statistics —
+//     using the engine's configured estimator (CRH, GTM, or CATD; the
+//     campaign, stats, and every window result name it) — and returns
+//     the estimate (409 before any claim ever arrived);
 //   - GET  /v1/stream/truths serves the latest closed window's estimate
 //     as a live snapshot (404 until the first window ever closes — "not
 //     ready" is a missing resource; 409 is reserved for real conflicts
@@ -251,6 +253,9 @@ type StreamCampaignInfo struct {
 	// Lambda2 is the server-released perturbation rate users sample
 	// their noise variances with (0 if the campaign does not publish one).
 	Lambda2 float64 `json:"lambda2"`
+	// Estimator names the truth-discovery estimator the stream runs
+	// ("crh", "gtm", or "catd" — see stream.EstimatorNames).
+	Estimator string `json:"estimator"`
 	// Shards is the engine's ingestion shard count.
 	Shards int `json:"shards"`
 	// Window is the number of closed windows so far.
@@ -289,6 +294,9 @@ type StreamWindowInfo struct {
 	// client ID. As in the batch campaign, weights reveal only aggregate
 	// reliability on perturbed data.
 	Weights map[string]float64 `json:"weights"`
+	// Estimator names the estimator that produced this window's estimate
+	// ("" on results persisted before estimators were recorded = CRH).
+	Estimator string `json:"estimator,omitempty"`
 	// Iterations and Converged describe the window's estimation loop.
 	Iterations int  `json:"iterations"`
 	Converged  bool `json:"converged"`
@@ -311,6 +319,8 @@ type StreamWindowInfo struct {
 type StreamStatsInfo struct {
 	// Name labels the campaign.
 	Name string `json:"name"`
+	// Estimator names the engine's configured truth-discovery estimator.
+	Estimator string `json:"estimator"`
 	// Window is the number of closed windows; TotalClaims counts every
 	// claim accepted over the stream.
 	Window      int   `json:"window"`

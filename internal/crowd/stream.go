@@ -185,6 +185,7 @@ func (s *StreamServer) Campaign() StreamCampaignInfo {
 		Name:             s.name,
 		NumObjects:       s.engine.NumObjects(),
 		Lambda2:          s.engine.Lambda2(),
+		Estimator:        s.engine.Estimator(),
 		Shards:           s.engine.NumShards(),
 		Window:           s.engine.Window(),
 		TotalClaims:      s.engine.TotalClaims(),
@@ -285,6 +286,7 @@ func (s *StreamServer) Stats() StreamStatsInfo { return s.stats(false) }
 func (s *StreamServer) stats(reset bool) StreamStatsInfo {
 	info := StreamStatsInfo{
 		Name:           s.name,
+		Estimator:      s.engine.Estimator(),
 		Window:         s.engine.Window(),
 		TotalClaims:    s.engine.TotalClaims(),
 		HistoryWindows: s.engine.HistoryWindows(),
@@ -315,6 +317,7 @@ func windowInfo(res *stream.WindowResult) StreamWindowInfo {
 		Truths:       truths,
 		Covered:      res.Covered,
 		Weights:      res.Weights,
+		Estimator:    res.Estimator,
 		Iterations:   res.Iterations,
 		Converged:    res.Converged,
 		ActiveUsers:  res.ActiveUsers,

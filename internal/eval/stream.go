@@ -34,6 +34,9 @@ type StreamingConfig struct {
 	Trials int
 	// Seed derives all randomness.
 	Seed uint64
+	// Estimator selects the streaming estimator and its batch comparator
+	// ("crh", "gtm", or "catd"; empty = CRH).
+	Estimator string
 }
 
 func (c StreamingConfig) validate() error {
@@ -51,6 +54,8 @@ func (c StreamingConfig) validate() error {
 		return fmt.Errorf("%w: trials=%d", ErrBadConfig, c.Trials)
 	case c.Drift < 0:
 		return fmt.Errorf("%w: drift=%v", ErrBadConfig, c.Drift)
+	case c.Estimator != "" && !stream.KnownEstimator(c.Estimator):
+		return fmt.Errorf("%w: estimator=%q (have %v)", ErrBadConfig, c.Estimator, stream.EstimatorNames)
 	}
 	return nil
 }
@@ -67,13 +72,14 @@ type StreamingResult struct {
 }
 
 // Streaming runs the streaming scenario: truths drift, devices submit
-// perturbed readings every window, and the three estimators track the
-// moving target from the same perturbed claims.
+// perturbed readings every window, and three runs of the configured
+// estimator — decayed stream, undecayed stream, per-window batch —
+// track the moving target from the same perturbed claims.
 func Streaming(cfg StreamingConfig) (*StreamingResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	crh, err := truth.NewCRH()
+	batch, err := batchEstimator(cfg.Estimator)
 	if err != nil {
 		return nil, err
 	}
@@ -92,6 +98,7 @@ func Streaming(cfg StreamingConfig) (*StreamingResult, error) {
 		rng := rootRNG.Split()
 		engineCfg := stream.Config{
 			NumObjects: cfg.NumObjects,
+			Estimator:  cfg.Estimator,
 			Decay:      cfg.Decay,
 			Lambda1:    cfg.Lambda1,
 			Lambda2:    cfg.Lambda2,
@@ -152,7 +159,7 @@ func Streaming(cfg StreamingConfig) (*StreamingResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			resBatch, err := crh.Run(ds)
+			resBatch, err := batch.Run(ds)
 			if err != nil {
 				return nil, err
 			}
@@ -200,6 +207,21 @@ func Streaming(cfg StreamingConfig) (*StreamingResult, error) {
 			Series: []Series{toSeries("cumulative epsilon", maxEps)},
 		},
 	}, nil
+}
+
+// batchEstimator returns the batch counterpart of a streaming estimator
+// name ("" = CRH), the comparator each window's stream estimate is
+// scored against.
+func batchEstimator(name string) (truth.Method, error) {
+	switch name {
+	case "", stream.EstimatorCRH:
+		return truth.NewCRH()
+	case stream.EstimatorGTM:
+		return truth.NewGTM()
+	case stream.EstimatorCATD:
+		return truth.NewCATD()
+	}
+	return nil, fmt.Errorf("%w: estimator=%q", ErrBadConfig, name)
 }
 
 // maeAgainst is the mean absolute error of the estimate vs reference,

@@ -23,6 +23,7 @@ func TestStreamingValidation(t *testing.T) {
 		func(c *StreamingConfig) { c.Delta = 1 },
 		func(c *StreamingConfig) { c.Trials = 0 },
 		func(c *StreamingConfig) { c.Drift = -1 },
+		func(c *StreamingConfig) { c.Estimator = "kalman" },
 	}
 	for i, mutate := range mutations {
 		cfg := base
@@ -79,5 +80,39 @@ func TestStreamingShapes(t *testing.T) {
 		if diff := p.Y - want; diff > 1e-6*want || diff < -1e-6*want {
 			t.Errorf("window %d: cumulative epsilon %v, want %v (linear composition)", w+1, p.Y, want)
 		}
+	}
+}
+
+// TestStreamingEstimators runs the scenario once per streaming
+// estimator: each must produce full figures with finite MAE (the
+// comparator batch run uses the matching method).
+func TestStreamingEstimators(t *testing.T) {
+	for _, est := range []string{"crh", "gtm", "catd"} {
+		est := est
+		t.Run(est, func(t *testing.T) {
+			res, err := Streaming(StreamingConfig{
+				NumUsers:   20,
+				NumObjects: 6,
+				NumWindows: 2,
+				Drift:      0.3,
+				Decay:      0.5,
+				Lambda1:    1,
+				Lambda2:    2,
+				Delta:      0.3,
+				Trials:     1,
+				Seed:       4,
+				Estimator:  est,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range res.MAE.Series {
+				for _, p := range s.Points {
+					if p.Y != p.Y || p.Y < 0 {
+						t.Fatalf("series %q has bad MAE %v", s.Label, p.Y)
+					}
+				}
+			}
+		})
 	}
 }

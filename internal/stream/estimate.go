@@ -1,13 +1,15 @@
 package stream
 
 import (
+	"encoding/json"
 	"math"
 	"sync"
+	"time"
 
 	"pptd/internal/truth"
 )
 
-// Floors shared with the batch estimator (truth.CRH); keeping them
+// Floors shared with the batch estimators (internal/truth); keeping them
 // identical is what makes the closed-window equivalence property hold.
 const (
 	distFloor   = 1e-12
@@ -15,12 +17,12 @@ const (
 	weightFloor = 1e-12
 )
 
-// estimateLocked runs the per-window estimation: the CRH update
-// equations (truths as weighted means, weights as negative log distance
-// ratios), evaluated over the live sufficient statistics with the
-// per-object work parallelized across shards. Weights warm-start from
-// the previous window unless carryover is disabled. Callers must hold
-// e.mu exclusively with the shards paused.
+// estimateLocked runs the per-window estimation through the configured
+// Estimator: it freezes a view of every shard's live statistics, seeds
+// the outputs (NaN truths, covered mask, carry weights), delegates the
+// iteration loop, and folds the estimator's per-index weights back into
+// the ID-keyed result plus the carry registry. Callers must hold e.mu
+// exclusively with the shards paused.
 func (e *Engine) estimateLocked() (*WindowResult, error) {
 	numUsers := e.users.count()
 	if numUsers == 0 {
@@ -46,72 +48,78 @@ func (e *Engine) estimateLocked() (*WindowResult, error) {
 		return nil, ErrEmptyWindow
 	}
 
-	weights := e.users.carryWeights(e.cfg.DisableCarryover)
-
-	// Per-shard scratch for the distance reduction: each shard accumulates
-	// its objects' contribution to every user's distance, then the shards
-	// are reduced in index order so the result is deterministic.
-	partial := make([][]float64, len(e.shards))
-	counts := make([][]int, len(e.shards))
-	for i := range partial {
-		partial[i] = make([]float64, numUsers)
-		counts[i] = make([]int, numUsers)
+	w := &windowData{
+		views:      views,
+		numUsers:   numUsers,
+		truths:     truths,
+		covered:    covered,
+		weights:    e.users.carryWeights(e.cfg.DisableCarryover),
+		claimCount: make([]int, numUsers),
 	}
-	dists := make([]float64, numUsers)
-	claimCount := make([]int, numUsers)
-	prev := make([]float64, e.cfg.NumObjects)
+	start := time.Now()
+	iters, converged := e.est.estimate(e, w)
+	e.metrics.estimated(iters, time.Since(start))
 
-	e.weightedTruths(views, weights, truths)
-	res := &WindowResult{Truths: truths, Covered: covered}
-	for iter := 1; iter <= e.cfg.MaxIterations; iter++ {
-		res.Iterations = iter
-		e.updateWeights(views, truths, weights, dists, claimCount, partial, counts)
-		copy(prev, truths)
-		e.weightedTruths(views, weights, truths)
-		if maxAbsDiffCovered(prev, truths, covered) < e.cfg.Tolerance {
-			res.Converged = true
-			break
-		}
+	res := &WindowResult{
+		Estimator:  e.cfg.Estimator,
+		Truths:     truths,
+		Covered:    covered,
+		Iterations: iters,
+		Converged:  converged,
 	}
-
 	res.Weights = make(map[string]float64)
 	ids := e.users.ids()
-	for u, n := range claimCount {
+	for u, n := range w.claimCount {
 		if n == 0 {
 			continue
 		}
-		res.Weights[ids[u]] = weights[u]
+		res.Weights[ids[u]] = w.weights[u]
 		res.ActiveUsers++
 	}
-	e.users.updateCarry(weights, claimCount)
+	e.users.updateCarry(w.weights, w.claimCount)
 	return res, nil
 }
 
-// weightedTruths evaluates Eq. (1) per covered object: the weighted mean
-// of the effective claims, with non-positive user weights clamped to the
-// weight floor exactly as the batch estimator does. Shards work their
-// own (disjoint) objects in parallel.
-func (e *Engine) weightedTruths(views []*shardView, weights, truths []float64) {
-	var wg sync.WaitGroup
-	for _, v := range views {
-		wg.Add(1)
-		go func(v *shardView) {
-			defer wg.Done()
-			for i, obj := range v.objects {
-				var num, den float64
-				for _, c := range v.claims[i] {
-					w := weights[c.user]
-					if w < weightFloor {
-						w = weightFloor
-					}
-					num += w * c.value
-					den += w
-				}
-				truths[obj] = num / den
-			}
-		}(v)
+// crhEstimator is the CRH update equations (truth.CRH) run incrementally:
+// truths as weighted means (Eq. 1), weights as negative log distance
+// ratios over the per-user mean distance (Eq. 3), warm-started from the
+// carry weights. It keeps no private state — the carry weights in the
+// user registry (persisted per user in UserSnapshot.Carry) are its whole
+// cross-window memory.
+type crhEstimator struct{}
+
+func (crhEstimator) Name() string { return EstimatorCRH }
+
+func (c crhEstimator) estimate(e *Engine, w *windowData) (int, bool) {
+	// Per-shard scratch for the distance reduction: each shard accumulates
+	// its objects' contribution to every user's distance, then the shards
+	// are reduced in index order so the result is deterministic.
+	partial := userScratch(w.views, w.numUsers)
+	counts := make([][]int, len(w.views))
+	for i := range counts {
+		counts[i] = make([]int, w.numUsers)
 	}
-	wg.Wait()
+	dists := make([]float64, w.numUsers)
+	prev := make([]float64, e.cfg.NumObjects)
+
+	foldWeightedTruths(w.views, w.weights, w.truths)
+	iterations := 0
+	for iter := 1; iter <= e.cfg.MaxIterations; iter++ {
+		iterations = iter
+		c.updateWeights(e, w, dists, partial, counts)
+		copy(prev, w.truths)
+		foldWeightedTruths(w.views, w.weights, w.truths)
+		if maxAbsDiffCovered(prev, w.truths, w.covered) < e.cfg.Tolerance {
+			return iterations, true
+		}
+	}
+	return iterations, false
+}
+
+func (crhEstimator) exportState([]string) (json.RawMessage, error) { return nil, nil }
+
+func (crhEstimator) restoreState(data json.RawMessage, _ map[string]int) error {
+	return restoreNoState(EstimatorCRH, data)
 }
 
 // updateWeights evaluates Eq. (3): per-user mean distance between the
@@ -119,9 +127,9 @@ func (e *Engine) weightedTruths(views []*shardView, weights, truths []float64) {
 // clamped non-negative. Shards accumulate their objects' distance
 // contributions in parallel; the reduction and the weight update run on
 // the coordinator in user order, mirroring the batch loop.
-func (e *Engine) updateWeights(views []*shardView, truths, weights, dists []float64, claimCount []int, partial [][]float64, counts [][]int) {
+func (crhEstimator) updateWeights(e *Engine, w *windowData, dists []float64, partial [][]float64, counts [][]int) {
 	var wg sync.WaitGroup
-	for si, v := range views {
+	for si, v := range w.views {
 		wg.Add(1)
 		go func(v *shardView, dSum []float64, dCnt []int) {
 			defer wg.Done()
@@ -130,7 +138,7 @@ func (e *Engine) updateWeights(views []*shardView, truths, weights, dists []floa
 				dCnt[u] = 0
 			}
 			for i, obj := range v.objects {
-				t := truths[obj]
+				t := w.truths[obj]
 				std := v.stds[i]
 				if std < stdFloor {
 					std = stdFloor
@@ -160,7 +168,7 @@ func (e *Engine) updateWeights(views []*shardView, truths, weights, dists []floa
 			d += partial[si][u]
 			n += counts[si][u]
 		}
-		claimCount[u] = n
+		w.claimCount[u] = n
 		if n == 0 {
 			dists[u] = math.NaN()
 			continue
@@ -175,31 +183,17 @@ func (e *Engine) updateWeights(views []*shardView, truths, weights, dists []floa
 	if total <= 0 {
 		total = distFloor
 	}
-	for u := range weights {
+	for u := range w.weights {
 		if math.IsNaN(dists[u]) {
-			weights[u] = 0
+			w.weights[u] = 0
 			continue
 		}
-		w := -math.Log(dists[u] / total)
-		if w < 0 {
-			w = 0
+		wt := -math.Log(dists[u] / total)
+		if wt < 0 {
+			wt = 0
 		}
-		weights[u] = w
+		w.weights[u] = wt
 	}
-}
-
-// maxAbsDiffCovered is maxAbsDiff restricted to covered objects.
-func maxAbsDiffCovered(a, b []float64, covered []bool) float64 {
-	var maxd float64
-	for i := range a {
-		if !covered[i] {
-			continue
-		}
-		if d := math.Abs(a[i] - b[i]); d > maxd {
-			maxd = d
-		}
-	}
-	return maxd
 }
 
 // eachShardParallelIndexed is eachShardParallel with the shard index.

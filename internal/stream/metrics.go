@@ -19,24 +19,36 @@ var (
 		1, 2.5, 5, 10,
 	}
 	cumulativeEpsilonBounds = []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128}
+	// estimateIterationBounds buckets per-window iteration counts up to
+	// the default cap (truth.DefaultMaxIterations = 100).
+	estimateIterationBounds = []float64{1, 2, 3, 5, 8, 13, 21, 34, 55, 100}
 )
 
 // engineMetrics holds the engine's registry instruments. A nil
 // *engineMetrics (no Config.Metrics) is valid and makes every method a
 // no-op, so the hot path carries no conditionals beyond one nil check.
 type engineMetrics struct {
-	claimsIngested *obs.Counter
-	rejected       *obs.CounterVec
-	windowsClosed  *obs.Counter
-	closeDuration  *obs.HistogramMetric
-	cumEps         *obs.HistogramMetric
+	claimsIngested   *obs.Counter
+	rejected         *obs.CounterVec
+	windowsClosed    *obs.Counter
+	closeDuration    *obs.HistogramMetric
+	cumEps           *obs.HistogramMetric
+	estimateIters    *obs.HistogramMetric
+	estimateDuration *obs.HistogramMetric
 }
 
-func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+func newEngineMetrics(reg *obs.Registry, estimator string) *engineMetrics {
 	if reg == nil {
 		return nil
 	}
 	return &engineMetrics{
+		estimateIters: reg.Histogram("pptd_stream_estimate_iterations",
+			"Iterations per estimation run, labeled by the configured estimator.",
+			estimateIterationBounds, "estimator", estimator),
+		estimateDuration: reg.Histogram("pptd_stream_estimate_duration_seconds",
+			"Wall time per estimation run (the iteration loop only, excluding "+
+				"shard drain, decay, and publish), labeled by the configured estimator.",
+			closeDurationBounds, "estimator", estimator),
 		claimsIngested: reg.Counter("pptd_stream_claims_ingested_total",
 			"Claims accepted into the stream (after validation, budget, and ledger)."),
 		rejected: reg.CounterVec("pptd_stream_submissions_rejected_total",
@@ -96,6 +108,15 @@ func (m *engineMetrics) reject(err error) {
 		reason = "engine_closed"
 	}
 	m.rejected.With(reason).Inc()
+}
+
+// estimated records one estimation run (including the re-runs of journal
+// replay, which estimate exactly as live closes did).
+func (m *engineMetrics) estimated(iterations int, elapsed time.Duration) {
+	if m != nil {
+		m.estimateIters.Observe(float64(iterations))
+		m.estimateDuration.Observe(elapsed.Seconds())
+	}
 }
 
 func (m *engineMetrics) windowClosed(elapsed time.Duration) {

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -11,6 +12,14 @@ import (
 // internally inconsistent, references unknown users or out-of-range
 // objects, or the target engine already holds state.
 var ErrBadState = errors.New("stream: invalid engine state")
+
+// ErrEstimatorMismatch reports a Restore of an EngineState written by a
+// different estimator than the engine is configured to run. Estimator
+// state is not interchangeable (carry weights are CRH log-ratios, GTM
+// variances are precisions, ...), so restoring across estimators would
+// silently misfold the statistics; the engine refuses instead. Recover
+// with the estimator that wrote the snapshot, or discard it.
+var ErrEstimatorMismatch = errors.New("stream: snapshot estimator mismatch")
 
 // ErrLedger reports a failed durable append to the configured privacy
 // ledger. The submission that triggered it was NOT accepted and the
@@ -88,6 +97,15 @@ type EngineState struct {
 	Users []UserSnapshot `json:"users"`
 	// Stats holds the live sufficient statistics.
 	Stats []StatSnapshot `json:"stats"`
+	// Estimator names the estimator that produced this state ("crh",
+	// "gtm", "catd"); empty on states exported before estimators were
+	// pluggable, which were always CRH. Restore refuses a state whose
+	// estimator differs from the engine's (ErrEstimatorMismatch).
+	Estimator string `json:"estimator,omitempty"`
+	// EstimatorState is the estimator's private cross-window state (e.g.
+	// GTM's per-user variances), opaque to the engine; nil when the
+	// estimator keeps none.
+	EstimatorState json.RawMessage `json:"estimatorState,omitempty"`
 }
 
 // ReplayCharges folds journaled charge records into the state's per-user
@@ -155,8 +173,14 @@ func (e *Engine) ExportState() (*EngineState, error) {
 		WindowClaims: e.windowClaims.Load(),
 		TotalClaims:  e.totalClaims.Load(),
 		Users:        e.users.export(),
+		Estimator:    e.cfg.Estimator,
 	}
 	ids := e.users.ids()
+	estState, err := e.est.exportState(ids)
+	if err != nil {
+		return nil, err
+	}
+	st.EstimatorState = estState
 	for _, s := range e.shards {
 		for obj, users := range s.stats {
 			for user, stat := range users {
@@ -198,6 +222,18 @@ func (e *Engine) Restore(st *EngineState) error {
 	if err := validateState(st, e.cfg.NumObjects); err != nil {
 		return err
 	}
+	// A state is only meaningful to the estimator that wrote it: carry
+	// weights and estimator state encode algorithm-specific quantities.
+	// Legacy states (exported before estimators were pluggable) were
+	// always CRH.
+	written := st.Estimator
+	if written == "" {
+		written = EstimatorCRH
+	}
+	if written != e.cfg.Estimator {
+		return fmt.Errorf("%w: state written by %q, engine configured for %q — restore with the matching estimator or discard the snapshot",
+			ErrEstimatorMismatch, written, e.cfg.Estimator)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -206,16 +242,21 @@ func (e *Engine) Restore(st *EngineState) error {
 	if e.window != 0 || e.totalClaims.Load() != 0 || e.users.count() != 0 {
 		return fmt.Errorf("%w: engine already holds state", ErrBadState)
 	}
+	byID := make(map[string]int, len(st.Users))
+	for i, u := range st.Users {
+		byID[u.ID] = i
+	}
+	// Estimator state is validated (and applied) before the registry and
+	// statistics mutate, so a corrupt payload rejects cleanly.
+	if err := e.est.restoreState(st.EstimatorState, byID); err != nil {
+		return err
+	}
 	if err := e.users.restore(st.Users); err != nil {
 		return err
 	}
 
 	release := e.pauseShards()
 	defer close(release)
-	byID := make(map[string]int, len(st.Users))
-	for i, u := range st.Users {
-		byID[u.ID] = i
-	}
 	for _, sn := range st.Stats {
 		idx := byID[sn.User] // validated above
 		s := e.shards[sn.Object%len(e.shards)]

@@ -14,11 +14,18 @@
 // per object, and both epsilon and delta compose linearly across the
 // windows a user is charged for.
 //
-// The estimator runs the same CRH update equations as the batch method
-// (truth.CRH): on a closed window with decay disabled and at most one
-// claim per (object, user) pair, its truths and weights agree with
-// truth.CRH.Run over the same claims to floating-point reordering error
-// (well within 1e-9; property-tested).
+// The per-window estimation is pluggable behind the Estimator interface:
+// Config.Estimator selects an incremental implementation of one of the
+// batch methods in internal/truth — CRH (the default), GTM, or CATD —
+// and each one holds the same equivalence property: on a closed window
+// with decay disabled and at most one claim per (object, user) pair, its
+// truths and weights agree with the batch method's Run over the same
+// claims to floating-point reordering error (well within 1e-9;
+// property-tested). Estimators may carry private cross-window state
+// (GTM's per-user variances); it is exported and restored with the
+// engine's snapshots, and a snapshot names the estimator that wrote it
+// so recovery under a different one fails loudly (ErrEstimatorMismatch)
+// instead of misfolding.
 package stream
 
 import (
@@ -81,6 +88,13 @@ type Config struct {
 	// QueueDepth is the per-shard ingestion channel buffer (backpressure
 	// bound). Zero means 64 batches.
 	QueueDepth int
+	// Estimator selects the per-window estimation algorithm: EstimatorCRH
+	// (the default when empty), EstimatorGTM, or EstimatorCATD. Each is
+	// the incremental counterpart of the same-named batch method in
+	// internal/truth. The choice is recorded in every exported snapshot;
+	// restoring a snapshot written by a different estimator fails with
+	// ErrEstimatorMismatch.
+	Estimator string
 	// Decay is the per-window retention factor in (0, 1] applied to every
 	// sufficient statistic when a window closes; 1 (the default via zero
 	// value 0 meaning 1) keeps all history, smaller values forget old
@@ -185,6 +199,12 @@ func (c *Config) validate() error {
 	if c.Decay == 0 {
 		c.Decay = 1
 	}
+	if c.Estimator == "" {
+		c.Estimator = EstimatorCRH
+	}
+	if !KnownEstimator(c.Estimator) {
+		return fmt.Errorf("%w: unknown estimator %q (have %v)", ErrBadConfig, c.Estimator, EstimatorNames)
+	}
 	switch c.Distance {
 	case 0:
 		c.Distance = truth.NormalizedSquaredDistance
@@ -238,6 +258,10 @@ func (c *Config) validate() error {
 type WindowResult struct {
 	// Window is the 1-based index of the closed window.
 	Window int
+	// Estimator names the estimator that produced this result ("crh",
+	// "gtm", "catd"); empty on results persisted before estimators were
+	// pluggable (which were always CRH).
+	Estimator string `json:",omitempty"`
 	// Truths holds the estimated truth per object; objects with no live
 	// statistics are NaN (see Covered).
 	Truths []float64
@@ -267,6 +291,7 @@ type WindowResult struct {
 type Engine struct {
 	cfg       Config
 	epsWindow float64 // epsilon charged per active window; 0 = accounting off
+	est       Estimator
 
 	users   *registry
 	shards  []*shard
@@ -296,6 +321,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:   cfg,
+		est:   newEstimator(&cfg),
 		users: newRegistry(),
 	}
 	if cfg.Lambda1 > 0 {
@@ -322,7 +348,7 @@ func New(cfg Config) (*Engine, error) {
 			s.run()
 		}(e.shards[i])
 	}
-	e.metrics = newEngineMetrics(cfg.Metrics)
+	e.metrics = newEngineMetrics(cfg.Metrics, cfg.Estimator)
 	registerEngineGauges(cfg.Metrics, e)
 	return e, nil
 }
@@ -333,6 +359,10 @@ func (e *Engine) EpsilonPerWindow() float64 { return e.epsWindow }
 
 // NumShards returns the shard count the engine runs with.
 func (e *Engine) NumShards() int { return e.cfg.NumShards }
+
+// Estimator returns the name of the per-window estimator the engine runs
+// ("crh", "gtm", "catd").
+func (e *Engine) Estimator() string { return e.cfg.Estimator }
 
 // NumObjects returns the number of objects in the stream.
 func (e *Engine) NumObjects() int { return e.cfg.NumObjects }

@@ -9,7 +9,7 @@ import (
 // of Li et al. (VLDB'15): user weights are the upper bound of the
 // chi-squared confidence interval on the user's error precision,
 //
-//	w_s = chi2Quantile(confidence, k_s) / sum_n (x_sn - x*_n)^2
+//	w_s = Chi2Quantile(confidence, k_s) / sum_n (x_sn - x*_n)^2
 //
 // where k_s is the number of claims by user s. Compared with CRH this
 // boosts users with many observations (their precision estimate is more
@@ -97,7 +97,7 @@ func (c *CATD) Run(ds *Dataset) (*Result, error) {
 	}
 	for s, claims := range ds.byUser {
 		if len(claims) > 0 {
-			quantile[s] = chi2Quantile(c.confidence, float64(len(claims)))
+			quantile[s] = Chi2Quantile(c.confidence, float64(len(claims)))
 		}
 	}
 
@@ -136,10 +136,12 @@ func (c *CATD) Run(ds *Dataset) (*Result, error) {
 	return res, nil
 }
 
-// chi2Quantile approximates the chi-squared quantile with k degrees of
+// Chi2Quantile approximates the chi-squared quantile with k degrees of
 // freedom via the Wilson–Hilferty cube transformation, which is accurate
-// to a few percent for k >= 1 — ample for weight ratios.
-func chi2Quantile(p, k float64) float64 {
+// to a few percent for k >= 1 — ample for weight ratios. It is exported
+// so the streaming CATD estimator (internal/stream) computes bit-identical
+// weights to this batch method.
+func Chi2Quantile(p, k float64) float64 {
 	z := stdNormalQuantile(p)
 	a := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
 	return k * a * a * a

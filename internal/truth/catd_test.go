@@ -117,9 +117,9 @@ func TestChi2Quantile(t *testing.T) {
 		{0.5, 10, 9.342},
 	}
 	for _, tt := range tests {
-		got := chi2Quantile(tt.p, tt.k)
+		got := Chi2Quantile(tt.p, tt.k)
 		if math.Abs(got-tt.want)/tt.want > 0.05 {
-			t.Errorf("chi2Quantile(%v, %v) = %v, want ~%v", tt.p, tt.k, got, tt.want)
+			t.Errorf("Chi2Quantile(%v, %v) = %v, want ~%v", tt.p, tt.k, got, tt.want)
 		}
 	}
 }

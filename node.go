@@ -65,6 +65,15 @@ type nodeConfig struct {
 	historySet     bool
 	windowInterval time.Duration
 	intervalSet    bool
+	distance       Distance
+	distanceSet    bool
+	tolerance      float64
+	toleranceSet   bool
+	maxIter        int
+	maxIterSet     bool
+	queueDepth     int
+	queueSet       bool
+	noCarryover    bool
 
 	stateDir    string
 	persistSet  bool
@@ -118,8 +127,16 @@ func WithExpectedUsers(n int) Option {
 	}
 }
 
-// WithMethod selects the batch campaign's truth-discovery method
-// (default CRH). Requires WithBatchCampaign.
+// WithMethod selects the truth-discovery method (default CRH). It
+// applies to every campaign the node hosts: the batch campaign runs the
+// method as given, and the streaming engine runs its incremental
+// counterpart (so the streaming estimators are CRH, GTM, and CATD —
+// configuring a stream engine with a batch-only method like the mean or
+// median baseline fails validation). On a durable node the method is
+// also cross-checked against the recovered snapshot: restoring state
+// written by a different estimator fails with ErrStreamEstimatorMismatch
+// instead of silently reinterpreting it. Requires WithBatchCampaign or a
+// stream engine.
 func WithMethod(m Method) Option {
 	return func(c *nodeConfig) error {
 		if m == nil {
@@ -154,10 +171,10 @@ func WithStreamEngine(numObjects int) Option {
 
 // WithStreamConfig hosts the streaming engine from a full StreamConfig —
 // the advanced escape hatch for knobs without a dedicated option
-// (distance, tolerance, carryover, queue depth, explicit
-// lambda1/lambda2/delta accounting). Fine-grained stream options that
-// would contradict it (WithStreamEngine, and WithPrivacyTarget when the
-// config enables its own accounting) are rejected at validation.
+// (explicit lambda1/lambda2/delta accounting, claim WAL, metrics
+// registry). Fine-grained stream options that would contradict it
+// (WithStreamEngine, and WithPrivacyTarget when the config enables its
+// own accounting) are rejected at validation.
 func WithStreamConfig(cfg StreamConfig) Option {
 	return func(c *nodeConfig) error {
 		if c.streamSet {
@@ -225,6 +242,80 @@ func WithWindowHistory(k int) Option {
 		}
 		c.history = k
 		c.historySet = true
+		return nil
+	}
+}
+
+// WithStreamDistance selects the claim-to-truth distance of the
+// streaming CRH weight update (default NormalizedSquaredDistance,
+// matching batch CRH). It parameterizes the CRH estimator only, so it
+// conflicts with WithMethod selecting GTM or CATD. Requires a stream
+// engine.
+func WithStreamDistance(d Distance) Option {
+	return func(c *nodeConfig) error {
+		switch d {
+		case SquaredDistance, AbsoluteDistance, NormalizedSquaredDistance:
+		default:
+			return optErr("WithStreamDistance: unknown distance %v", d)
+		}
+		c.distance = d
+		c.distanceSet = true
+		return nil
+	}
+}
+
+// WithStreamTolerance sets the convergence tolerance of the streaming
+// estimation loop: a window's iteration stops once no truth moved by
+// more than tol (default truth.DefaultTolerance). Requires a stream
+// engine.
+func WithStreamTolerance(tol float64) Option {
+	return func(c *nodeConfig) error {
+		if tol <= 0 || math.IsNaN(tol) || math.IsInf(tol, 0) {
+			return optErr("WithStreamTolerance: tol = %v", tol)
+		}
+		c.tolerance = tol
+		c.toleranceSet = true
+		return nil
+	}
+}
+
+// WithStreamMaxIterations caps the streaming estimation loop's
+// iterations per window close (default truth.DefaultMaxIterations).
+// Requires a stream engine.
+func WithStreamMaxIterations(n int) Option {
+	return func(c *nodeConfig) error {
+		if n <= 0 {
+			return optErr("WithStreamMaxIterations: n = %d", n)
+		}
+		c.maxIter = n
+		c.maxIterSet = true
+		return nil
+	}
+}
+
+// WithQueueDepth sets the per-shard ingestion channel buffer (default
+// 64): deeper queues absorb burstier submission traffic before Ingest
+// blocks, at the cost of memory. Requires a stream engine.
+func WithQueueDepth(n int) Option {
+	return func(c *nodeConfig) error {
+		if n <= 0 {
+			return optErr("WithQueueDepth: n = %d", n)
+		}
+		c.queueDepth = n
+		c.queueSet = true
+		return nil
+	}
+}
+
+// WithoutWeightCarryover makes every streaming window's estimation
+// restart from uniform weights instead of warm-starting from the
+// previous window's estimates (and, under GTM, resets the learned
+// per-user variances each window). The published estimates are
+// identical either way once converged; carryover only saves iterations.
+// Requires a stream engine.
+func WithoutWeightCarryover() Option {
+	return func(c *nodeConfig) error {
+		c.noCarryover = true
 		return nil
 	}
 }
@@ -458,17 +549,26 @@ func (c *nodeConfig) validate() error {
 	if c.expectedSet && !c.batchSet {
 		return optErr("WithExpectedUsers requires WithBatchCampaign")
 	}
-	if c.method != nil && !c.batchSet {
-		return optErr("WithMethod requires WithBatchCampaign")
+	if c.method != nil && streaming && !stream.KnownEstimator(c.method.Name()) {
+		return optErr("WithMethod: %q is batch-only; streaming estimators are %v",
+			c.method.Name(), stream.EstimatorNames)
+	}
+	if c.distanceSet && c.method != nil && c.method.Name() != stream.EstimatorCRH {
+		return optErr("WithStreamDistance parameterizes the CRH estimator, but WithMethod selected %q", c.method.Name())
 	}
 	for opt, set := range map[string]bool{
-		"WithShards":         c.shardsSet,
-		"WithDecay":          c.decaySet,
-		"WithWindowInterval": c.intervalSet,
-		"WithWindowHistory":  c.historySet,
-		"WithPersistence":    c.persistSet,
-		"WithEpsilonBudget":  c.budgetSet,
-		"WithPerUserReport":  c.perUser,
+		"WithShards":              c.shardsSet,
+		"WithDecay":               c.decaySet,
+		"WithWindowInterval":      c.intervalSet,
+		"WithWindowHistory":       c.historySet,
+		"WithPersistence":         c.persistSet,
+		"WithEpsilonBudget":       c.budgetSet,
+		"WithPerUserReport":       c.perUser,
+		"WithStreamDistance":      c.distanceSet,
+		"WithStreamTolerance":     c.toleranceSet,
+		"WithStreamMaxIterations": c.maxIterSet,
+		"WithQueueDepth":          c.queueSet,
+		"WithoutWeightCarryover":  c.noCarryover,
 	} {
 		if set && !streaming {
 			return optErr("%s requires a stream engine (WithStreamEngine or WithStreamConfig)", opt)
@@ -498,6 +598,29 @@ func (c *nodeConfig) validate() error {
 		}
 		if c.decaySet && c.streamBase.Decay != 0 {
 			return optErr("WithDecay conflicts with WithStreamConfig.Decay")
+		}
+		if c.method != nil && c.streamBase.Estimator != "" {
+			return optErr("WithMethod conflicts with WithStreamConfig.Estimator")
+		}
+		if c.distanceSet {
+			if c.streamBase.Distance != 0 {
+				return optErr("WithStreamDistance conflicts with WithStreamConfig.Distance")
+			}
+			if est := c.streamBase.Estimator; est != "" && est != stream.EstimatorCRH {
+				return optErr("WithStreamDistance parameterizes the CRH estimator, but WithStreamConfig.Estimator is %q", est)
+			}
+		}
+		if c.toleranceSet && c.streamBase.Tolerance != 0 {
+			return optErr("WithStreamTolerance conflicts with WithStreamConfig.Tolerance")
+		}
+		if c.maxIterSet && c.streamBase.MaxIterations != 0 {
+			return optErr("WithStreamMaxIterations conflicts with WithStreamConfig.MaxIterations")
+		}
+		if c.queueSet && c.streamBase.QueueDepth != 0 {
+			return optErr("WithQueueDepth conflicts with WithStreamConfig.QueueDepth")
+		}
+		if c.noCarryover && c.streamBase.DisableCarryover {
+			return optErr("WithoutWeightCarryover conflicts with WithStreamConfig.DisableCarryover")
 		}
 		if c.budgetSet && c.streamBase.EpsilonBudget != 0 {
 			return optErr("WithEpsilonBudget conflicts with WithStreamConfig.EpsilonBudget")
@@ -616,6 +739,24 @@ func NewNode(opts ...Option) (*Node, error) {
 		}
 		if cfg.historySet {
 			engineCfg.HistoryWindows = cfg.history
+		}
+		if cfg.method != nil {
+			engineCfg.Estimator = cfg.method.Name()
+		}
+		if cfg.distanceSet {
+			engineCfg.Distance = cfg.distance
+		}
+		if cfg.toleranceSet {
+			engineCfg.Tolerance = cfg.tolerance
+		}
+		if cfg.maxIterSet {
+			engineCfg.MaxIterations = cfg.maxIter
+		}
+		if cfg.queueSet {
+			engineCfg.QueueDepth = cfg.queueDepth
+		}
+		if cfg.noCarryover {
+			engineCfg.DisableCarryover = true
 		}
 		if cfg.targetSet {
 			engineCfg.Lambda1 = cfg.lambda1

@@ -24,6 +24,10 @@ func TestNodeOptionValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	gtm, err := pptd.NewGTM()
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name string
 		opts []pptd.Option
@@ -33,9 +37,60 @@ func TestNodeOptionValidation(t *testing.T) {
 		{"expected users without batch",
 			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithExpectedUsers(3)},
 			"WithExpectedUsers requires WithBatchCampaign"},
-		{"method without batch",
-			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithMethod(crh)},
-			"WithMethod requires WithBatchCampaign"},
+		{"method without any campaign",
+			[]pptd.Option{pptd.WithMethod(crh)},
+			"configure at least one of WithBatchCampaign and WithStreamEngine"},
+		{"batch-only method with stream",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithMethod(pptd.MeanBaseline())},
+			"batch-only"},
+		{"method conflicts with config estimator",
+			[]pptd.Option{pptd.WithStreamConfig(pptd.StreamConfig{NumObjects: 5, Estimator: "gtm"}), pptd.WithMethod(crh)},
+			"WithMethod conflicts with WithStreamConfig.Estimator"},
+		{"stream distance under gtm",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithMethod(gtm), pptd.WithStreamDistance(pptd.SquaredDistance)},
+			"WithStreamDistance parameterizes the CRH estimator"},
+		{"stream distance without stream",
+			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithStreamDistance(pptd.SquaredDistance)},
+			"WithStreamDistance requires a stream engine"},
+		{"stream tolerance without stream",
+			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithStreamTolerance(1e-7)},
+			"WithStreamTolerance requires a stream engine"},
+		{"stream max iterations without stream",
+			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithStreamMaxIterations(50)},
+			"WithStreamMaxIterations requires a stream engine"},
+		{"queue depth without stream",
+			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithQueueDepth(16)},
+			"WithQueueDepth requires a stream engine"},
+		{"carryover off without stream",
+			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithoutWeightCarryover()},
+			"WithoutWeightCarryover requires a stream engine"},
+		{"bad stream distance",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithStreamDistance(0)},
+			"WithStreamDistance: unknown distance"},
+		{"bad stream tolerance",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithStreamTolerance(-1)},
+			"WithStreamTolerance: tol = -1"},
+		{"bad stream max iterations",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithStreamMaxIterations(0)},
+			"WithStreamMaxIterations: n = 0"},
+		{"bad queue depth",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithQueueDepth(-2)},
+			"WithQueueDepth: n = -2"},
+		{"tolerance conflicts with config",
+			[]pptd.Option{pptd.WithStreamConfig(pptd.StreamConfig{NumObjects: 5, Tolerance: 1e-6}), pptd.WithStreamTolerance(1e-7)},
+			"WithStreamTolerance conflicts with WithStreamConfig.Tolerance"},
+		{"max iterations conflicts with config",
+			[]pptd.Option{pptd.WithStreamConfig(pptd.StreamConfig{NumObjects: 5, MaxIterations: 20}), pptd.WithStreamMaxIterations(50)},
+			"WithStreamMaxIterations conflicts with WithStreamConfig.MaxIterations"},
+		{"queue depth conflicts with config",
+			[]pptd.Option{pptd.WithStreamConfig(pptd.StreamConfig{NumObjects: 5, QueueDepth: 8}), pptd.WithQueueDepth(16)},
+			"WithQueueDepth conflicts with WithStreamConfig.QueueDepth"},
+		{"distance conflicts with config",
+			[]pptd.Option{pptd.WithStreamConfig(pptd.StreamConfig{NumObjects: 5, Distance: pptd.AbsoluteDistance}), pptd.WithStreamDistance(pptd.SquaredDistance)},
+			"WithStreamDistance conflicts with WithStreamConfig.Distance"},
+		{"carryover conflicts with config",
+			[]pptd.Option{pptd.WithStreamConfig(pptd.StreamConfig{NumObjects: 5, DisableCarryover: true}), pptd.WithoutWeightCarryover()},
+			"WithoutWeightCarryover conflicts with WithStreamConfig.DisableCarryover"},
 		{"shards without stream",
 			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithShards(4)},
 			"WithShards requires a stream engine"},
@@ -630,5 +685,85 @@ func TestNodeStreamStats(t *testing.T) {
 	}
 	if stats2.Durable || stats2.Store != nil {
 		t.Fatalf("memory-only stats = %+v", stats2)
+	}
+}
+
+// TestNodeStreamEstimator checks WithMethod reaches the streaming side:
+// the engine runs the selected estimator, the wire metadata (campaign,
+// stats, window results) names it, and a durable node refuses to recover
+// a state directory written under a different estimator with the typed
+// ErrStreamEstimatorMismatch instead of silently reinterpreting it.
+func TestNodeStreamEstimator(t *testing.T) {
+	gtm, err := pptd.NewGTM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	n, err := pptd.NewNode(
+		pptd.WithStreamEngine(2),
+		pptd.WithMethod(gtm),
+		pptd.WithPersistence(dir),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(n.Handler())
+	client, err := pptd.NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	campaign, err := client.StreamCampaign(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if campaign.Estimator != "gtm" {
+		t.Errorf("campaign estimator = %q, want %q", campaign.Estimator, "gtm")
+	}
+	for _, id := range []string{"a", "b"} {
+		if _, err := client.StreamSubmit(ctx, pptd.CampaignSubmission{
+			ClientID: id,
+			Claims:   []pptd.CampaignClaim{{Object: 0, Value: 1}, {Object: 1, Value: 2}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := client.StreamCloseWindow(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Estimator != "gtm" {
+		t.Errorf("window estimator = %q, want %q", info.Estimator, "gtm")
+	}
+	stats, err := client.StreamStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Estimator != "gtm" {
+		t.Errorf("stats estimator = %q, want %q", stats.Estimator, "gtm")
+	}
+	ts.Close()
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same directory, default estimator (CRH): recovery must refuse the
+	// GTM-written snapshot with the typed sentinel.
+	_, err = pptd.NewNode(pptd.WithStreamEngine(2), pptd.WithPersistence(dir))
+	if !errors.Is(err, pptd.ErrStreamEstimatorMismatch) {
+		t.Fatalf("recover under crh = %v, want ErrStreamEstimatorMismatch", err)
+	}
+	// The matching estimator recovers fine.
+	n2, err := pptd.NewNode(
+		pptd.WithStreamEngine(2),
+		pptd.WithMethod(gtm),
+		pptd.WithPersistence(dir),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -65,8 +65,10 @@
 // Beyond the one-shot campaign, the streaming engine serves continuous
 // submission traffic: perturbed claims ingest concurrently into sharded
 // workers, fold into exponentially-decayed sufficient statistics, and
-// every window close re-estimates truths and weights incrementally
-// (warm-started from the previous window) while a privacy accountant
+// every window close re-estimates truths and weights incrementally with
+// a pluggable estimator — incremental CRH (the default), GTM, or CATD,
+// selected by WithMethod or StreamConfig.Estimator and warm-started
+// from the previous window — while a privacy accountant
 // tracks each user's cumulative (epsilon, delta) spending — one
 // submission per user per window, so the per-window charge covers
 // exactly one perturbed release and both epsilon and delta compose
@@ -83,9 +85,12 @@
 //	res, _ := eng.CloseWindow()       // incremental truths + weights
 //	fmt.Println(res.Truths[0], res.Privacy.MaxCumulative)
 //
-// On a closed window with decay disabled the incremental estimate
-// matches batch CRH to floating-point error. The same engine backs the
-// HTTP streaming campaign (NewStreamCampaignServer, POST
+// On a closed window with decay disabled each incremental estimator
+// matches its batch counterpart (CRH, GTM, or CATD) within 1e-9, and an
+// engine recovered from a snapshot continues within the same bound —
+// snapshots record which estimator wrote them, and restoring under a
+// different one fails with ErrStreamEstimatorMismatch. The same engine
+// backs the HTTP streaming campaign (NewStreamCampaignServer, POST
 // /v1/stream/claims, GET /v1/stream/truths); cmd/pptdstream drives a
 // simulated fleet against it and reports throughput, accuracy, and the
 // cumulative budget per window. Privacy reports carry aggregates only by

@@ -10,8 +10,24 @@ import (
 // ingest concurrently into hash-partitioned worker shards, fold into
 // exponentially-decayed sufficient statistics per (object, user), and
 // each window close re-estimates truths and weights incrementally with
-// carryover of user weights and cumulative (epsilon, delta) accounting.
+// the configured estimator (CRH, GTM, or CATD — see
+// StreamConfig.Estimator), warm-started from the previous window and
+// with cumulative (epsilon, delta) accounting.
 type StreamEngine = stream.Engine
+
+// Streaming estimator names, accepted in StreamConfig.Estimator and
+// recorded in snapshots and wire metadata. Each is the incremental
+// counterpart of the batch Method of the same name, matching it within
+// 1e-9 on a closed undecayed window.
+const (
+	// StreamEstimatorCRH runs incremental CRH (the default).
+	StreamEstimatorCRH = stream.EstimatorCRH
+	// StreamEstimatorGTM runs incremental GTM, carrying learned per-user
+	// variances across windows (persisted in snapshots).
+	StreamEstimatorGTM = stream.EstimatorGTM
+	// StreamEstimatorCATD runs incremental CATD.
+	StreamEstimatorCATD = stream.EstimatorCATD
+)
 
 // StreamConfig parameterizes NewStreamEngine.
 type StreamConfig = stream.Config
@@ -63,6 +79,13 @@ var (
 	ErrLedger = stream.ErrLedger
 	// ErrBadState reports an engine state that cannot be restored.
 	ErrBadState = stream.ErrBadState
+	// ErrStreamEstimatorMismatch reports a restore of engine state
+	// written by a different estimator than the engine is configured
+	// for: per-estimator internal state (like GTM's learned variances)
+	// is not interchangeable, so recovery refuses instead of silently
+	// reinterpreting the snapshot. Restore with the matching estimator
+	// (or discard the state directory) to proceed.
+	ErrStreamEstimatorMismatch = stream.ErrEstimatorMismatch
 	// ErrCorruptSnapshot reports a persisted snapshot that fails its
 	// integrity check (on-disk damage, not a crash artifact).
 	ErrCorruptSnapshot = streamstore.ErrCorruptSnapshot
