@@ -9,11 +9,14 @@
 package pptd_test
 
 import (
+	"encoding/json"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"pptd"
 )
@@ -306,6 +309,120 @@ func BenchmarkStreamCloseWindow(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkChurnIngest measures ingest under unbounded ID churn with a
+// bounded resident set: every submission arrives from a brand-new user,
+// windows close periodically, and the residency cap forces idle users
+// out to the spill store at each close. The benchmark asserts the
+// memory-bound contract — after every window close the engine's
+// resident-users gauge is at or under the cap, no matter how many
+// distinct IDs have streamed past. Set BENCH_CHURN_OUT=<path> to emit a
+// BENCH_churn.json artifact alongside pptdstream's
+// BENCH_stream_ingest.json.
+func BenchmarkChurnIngest(b *testing.B) {
+	const (
+		claimsPerBatch = 10
+		residentCap    = 64
+		windowEvery    = 256
+	)
+	store, err := pptd.OpenStreamStoreWith(b.TempDir(), pptd.StreamStoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		if err := store.Close(); err != nil {
+			b.Error(err)
+		}
+	}()
+	eng, err := pptd.NewStreamEngine(pptd.StreamConfig{
+		NumObjects: claimsPerBatch,
+		NumShards:  4,
+		Lambda1:    1.5,
+		Lambda2:    2,
+		Delta:      0.3,
+		// One decay pass erases a departed user's sufficient statistics,
+		// so every user is evictable at the close after its last claim —
+		// the steady state of a true churn workload.
+		Decay:            1e-12,
+		Ledger:           store,
+		UserStore:        store,
+		MaxResidentUsers: residentCap,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		if err := eng.Close(); err != nil {
+			b.Error(err)
+		}
+	}()
+
+	rng := pptd.NewRNG(1)
+	claims := make([]pptd.StreamClaim, claimsPerBatch)
+	var windows, maxResident int
+	open := 0
+	closeNow := func() {
+		if _, err := eng.CloseWindow(); err != nil {
+			b.Fatal(err)
+		}
+		windows++
+		open = 0
+		if got := eng.ResidentUsers(); got > residentCap {
+			b.Fatalf("resident users after close = %d, cap = %d: churn is unbounding memory", got, residentCap)
+		} else if got > maxResident {
+			maxResident = got
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := range claims {
+			claims[n] = pptd.StreamClaim{Object: n, Value: rng.Norm()}
+		}
+		id := "churn-" + strconv.Itoa(i)
+		if _, _, err := eng.Ingest(id, claims); err != nil {
+			b.Fatal(err)
+		}
+		open++
+		if open == windowEvery {
+			closeNow()
+		}
+	}
+	if open > 0 {
+		closeNow()
+	}
+	b.StopTimer()
+
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)*claimsPerBatch/elapsed, "claims/s")
+	}
+	b.ReportMetric(float64(maxResident), "max-resident")
+	if path := os.Getenv("BENCH_CHURN_OUT"); path != "" {
+		rep := map[string]any{
+			"name":      "churn_ingest",
+			"timestamp": time.Now().UTC().Format(time.RFC3339),
+			"config": map[string]any{
+				"claimsPerBatch":   claimsPerBatch,
+				"maxResidentUsers": residentCap,
+				"windowEvery":      windowEvery,
+				"shards":           4,
+			},
+			"distinctUsers":      b.N,
+			"windows":            windows,
+			"maxResidentUsers":   maxResident,
+			"residentUsersFinal": eng.ResidentUsers(),
+			"elapsedSeconds":     elapsed,
+			"claimsPerSecond":    float64(b.N) * claimsPerBatch / elapsed,
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

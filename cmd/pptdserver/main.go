@@ -10,6 +10,16 @@
 //
 //	pptdserver -addr :8080 -objects 30 -lambda2 2 -users 50 -method crh
 //	pptdserver -addr :8080 -objects 30 -lambda2 2 -stream -window-interval 30s
+//	pptdserver -addr :8080 -objects 30 -lambda2 2 -stream \
+//	    -state-dir /var/lib/pptd -max-resident-users 10000 -decay 0.9
+//
+// With -state-dir the node is durable: batch submissions are WAL'd
+// before their receipt and the aggregated result is persisted before it
+// is published, so a restarted server keeps its duplicate guard and
+// result; with -stream the engine additionally journals privacy charges
+// and snapshots its statistics. -max-resident-users bounds the streaming
+// engine's memory under ID churn by spilling idle users to the store
+// (idle means no live sufficient statistics, so pair it with -decay < 1).
 //
 // Every node serves its Prometheus metrics at GET /metrics. -log text
 // (or json) adds one structured request log line per request on stderr,
@@ -50,6 +60,9 @@ func run(args []string) error {
 		method   = fs.String("method", "crh", "truth discovery method: crh, gtm, catd, mean, median (with -stream the same method runs the streaming estimator, so mean/median are batch-only)")
 		stream   = fs.Bool("stream", false, "also host the streaming campaign (same objects) on the same mux")
 		interval = fs.Duration("window-interval", 0, "with -stream: close stream windows on this ticker (0 = manual POST /v1/stream/window)")
+		decay    = fs.Float64("decay", 1, "with -stream: per-window retention factor in (0,1]; eviction under -max-resident-users needs decay < 1, since users with live sufficient statistics are pinned resident")
+		stateDir = fs.String("state-dir", "", "durable state directory: the batch campaign WALs submissions and persists its result; with -stream the engine journals privacy charges and snapshots (empty = in-memory only)")
+		maxRes   = fs.Int("max-resident-users", 0, "with -stream and -state-dir: cap on users kept resident in memory; idle users spill to the store at window close and re-admit on their next claim (0 = unbounded)")
 		logReqs  = fs.String("log", "", "per-request structured logging: 'text' or 'json' slog lines on stderr (empty = off; metrics at /metrics either way)")
 		debug    = fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ (exposes operational internals; keep off public listeners)")
 	)
@@ -58,6 +71,9 @@ func run(args []string) error {
 	}
 	if *interval != 0 && !*stream {
 		return errors.New("-window-interval needs -stream")
+	}
+	if *decay != 1 && !*stream {
+		return errors.New("-decay needs -stream")
 	}
 	if *users < 0 {
 		return fmt.Errorf("-users = %d: want 0 (manual aggregation) or a positive trigger", *users)
@@ -88,11 +104,23 @@ func run(args []string) error {
 	if *debug {
 		opts = append(opts, pptd.WithDebugHandlers())
 	}
+	if *maxRes > 0 && (!*stream || *stateDir == "") {
+		return errors.New("-max-resident-users needs -stream and -state-dir: evicted users spill their budget and estimator state to the store")
+	}
 	if *stream {
 		opts = append(opts, pptd.WithStreamEngine(*objects))
 		if *interval > 0 {
 			opts = append(opts, pptd.WithWindowInterval(*interval))
 		}
+		if *decay != 1 {
+			opts = append(opts, pptd.WithDecay(*decay))
+		}
+		if *maxRes > 0 {
+			opts = append(opts, pptd.WithMaxResidentUsers(*maxRes))
+		}
+	}
+	if *stateDir != "" {
+		opts = append(opts, pptd.WithPersistence(*stateDir))
 	}
 	node, err := pptd.NewNode(opts...)
 	if err != nil {

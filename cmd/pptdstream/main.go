@@ -24,8 +24,13 @@
 // the same directory resumes cumulative budgets, statistics, and the
 // last estimate instead of resetting them. -window-interval additionally
 // closes windows on a ticker, the way a deployment without an external
-// window driver would run. See README.md next to this file for the full
-// flag reference and a kill-and-recover transcript.
+// window driver would run. -max-resident-users / -resident-bytes cap the
+// engine's resident per-user state (requires -state-dir: idle users are
+// spilled to the store at window close and re-admitted on their next
+// claim), and -churn rotates in a fresh fleet of device IDs every window
+// — together they demonstrate bounded memory under unbounded ID churn.
+// See README.md next to this file for the full flag reference and a
+// kill-and-recover transcript.
 package main
 
 import (
@@ -79,6 +84,9 @@ func run(args []string, out io.Writer) error {
 		snapRetain  = fs.Int("retain-snapshots", 0, "previous snapshot generations to keep as manual-recovery artifacts")
 		commitWait  = fs.Duration("commit-interval", 0, "how long a group-commit leader lingers for more appends before fsyncing (0 = no added latency)")
 		commitBatch = fs.Int("commit-batch", 0, "max journal records per group-commit fsync (0 = default 256, 1 = fsync per append)")
+		maxResident = fs.Int("max-resident-users", 0, "cap on users kept resident in memory; idle users (no live sufficient statistics — needs -decay < 1 to ever happen) spill to -state-dir at window close and re-admit on their next claim (0 = unbounded)")
+		resBytes    = fs.Int64("resident-bytes", 0, "approximate byte budget for resident per-user state, an alternative cap to -max-resident-users (0 = unbounded)")
+		churn       = fs.Bool("churn", false, "rotate in a fresh fleet of device IDs every window, so the distinct-user population grows without bound — the workload residency caps exist for")
 		requestID   = fs.String("request-id", "", "pin this X-Request-ID on every request (empty = a fresh random ID per request); the server echoes it, correlating this run in the node's logs")
 		benchOut    = fs.String("bench-out", "", "write a BENCH_*.json performance artifact (throughput, submit/close latency p50/p99/p999) to this path")
 		metricsOut  = fs.String("metrics-out", "", "after the run, scrape the server's GET /metrics and write the exposition to this path")
@@ -95,6 +103,9 @@ func run(args []string, out io.Writer) error {
 	if *snapEvery < 0 || *snapBytes < 0 || *snapRetain < 0 || *segBytes < 0 {
 		return fmt.Errorf("negative persistence flags (-snapshot-every %d, -snapshot-bytes %d, -retain-snapshots %d, -segment-bytes %d)",
 			*snapEvery, *snapBytes, *snapRetain, *segBytes)
+	}
+	if (*maxResident > 0 || *resBytes > 0) && *stateDir == "" {
+		return errors.New("-max-resident-users and -resident-bytes need -state-dir: evicted users spill their budget and estimator state to the store")
 	}
 
 	estimator, err := methodByName(*method)
@@ -120,6 +131,10 @@ func run(args []string, out io.Writer) error {
 				Delta:         *delta,
 				EpsilonBudget: *budget,
 				PerUserReport: *perUser,
+				// The node wires its store in as the UserStore, so the
+				// caps work without further plumbing here.
+				MaxResidentUsers: *maxResident,
+				ResidentBytes:    *resBytes,
 			}),
 		}
 		if *interval > 0 {
@@ -223,7 +238,8 @@ func run(args []string, out io.Writer) error {
 			cfg := BenchConfig{
 				Users: *users, Objects: info.NumObjects, Windows: *windows,
 				Shards: info.Shards, Durable: *stateDir != "",
-				EpsilonBudget: info.EpsilonBudget,
+				EpsilonBudget:    info.EpsilonBudget,
+				MaxResidentUsers: *maxResident, Churn: *churn,
 			}
 			if err := perf.writeBenchReport(*benchOut, cfg, totalRefused); err != nil {
 				return err
@@ -243,8 +259,18 @@ func run(args []string, out io.Writer) error {
 		for n := range groundTruth {
 			groundTruth[n] += *drift * rng.Norm()
 		}
-		for _, d := range fleet {
-			if err := d.user.SetReadings(takeReadings(groundTruth, d.sigma, d.rng)); err != nil {
+		for i, d := range fleet {
+			readings := takeReadings(groundTruth, d.sigma, d.rng)
+			if *churn && w > 1 {
+				// Churn mode: this window's fleet is a brand-new set of
+				// device IDs. Every window adds -users distinct users, so
+				// only a residency cap keeps the server's memory bounded.
+				u, err := pptd.NewCampaignUser(fmt.Sprintf("device-w%02d-%03d", w, i), readings, d.rng)
+				if err != nil {
+					return err
+				}
+				d.user = u
+			} else if err := d.user.SetReadings(readings); err != nil {
 				return err
 			}
 		}
@@ -351,6 +377,14 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "flush latency: mean %.2fms, p99<=%.2fms, max %.2fms\n",
 			st.FlushLatencySeconds.Mean()*1e3, st.FlushLatencySeconds.Quantile(0.99)*1e3,
 			st.FlushLatencySeconds.Max*1e3)
+		if stats.MaxResidentUsers > 0 || st.UserSpills > 0 {
+			cap := "unbounded"
+			if stats.MaxResidentUsers > 0 {
+				cap = fmt.Sprintf("%d", stats.MaxResidentUsers)
+			}
+			fmt.Fprintf(out, "residency: %d users resident (cap %s), %d evictions spilled, %d re-admissions, %d users in spill file\n",
+				stats.ResidentUsers, cap, st.UserSpills, st.UserLoads, st.SpilledUsers)
+		}
 		fmt.Fprintf(out, "history: windows %d..%d answerable via GET %s?window=N\n",
 			stats.HistoryOldest, stats.Window, "/v1/stream/truths")
 	}
@@ -413,12 +447,14 @@ type BenchLatency struct {
 // BenchConfig records the run shape alongside its numbers, so trajectory
 // points are only compared like for like.
 type BenchConfig struct {
-	Users         int     `json:"users"`
-	Objects       int     `json:"objects"`
-	Windows       int     `json:"windows"`
-	Shards        int     `json:"shards"`
-	Durable       bool    `json:"durable"`
-	EpsilonBudget float64 `json:"epsilonBudget"`
+	Users            int     `json:"users"`
+	Objects          int     `json:"objects"`
+	Windows          int     `json:"windows"`
+	Shards           int     `json:"shards"`
+	Durable          bool    `json:"durable"`
+	EpsilonBudget    float64 `json:"epsilonBudget"`
+	MaxResidentUsers int     `json:"maxResidentUsers,omitempty"`
+	Churn            bool    `json:"churn,omitempty"`
 }
 
 // BenchReport is the BENCH_*.json artifact -bench-out writes: one

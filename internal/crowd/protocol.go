@@ -122,6 +122,21 @@
 // immediately — 404 only before the first window ever closed. See
 // docs/DURABILITY.md at the repository root for the full crash-recovery
 // contract.
+//
+// A durable stream server also wires the store in as the engine's user
+// spill store (stream.Config.UserStore), so a residency-capped engine
+// (stream.Config.MaxResidentUsers / ResidentBytes) evicts idle users to
+// disk at window close and re-admits them transparently on their next
+// claim — a budget-exhausted user stays rejected (429) across eviction,
+// re-admission, and restart alike. GET /v1/stream/stats reports the
+// live resident count and cap.
+//
+// The one-shot batch campaign persists through the same store when
+// ServerConfig.Persistence is set: every accepted submission is fsync'd
+// to a WAL before its receipt (the duplicate-client guard survives a
+// crash) and the aggregated result is persisted before it is first
+// published, so a restarted server still refuses re-submission and
+// serves the same result.
 package crowd
 
 import (
@@ -330,6 +345,13 @@ type StreamStatsInfo struct {
 	// currently answerable (0 when none is retained).
 	HistoryWindows int `json:"historyWindows"`
 	HistoryOldest  int `json:"historyOldest"`
+	// ResidentUsers is the number of users the engine currently holds in
+	// memory; MaxResidentUsers is the configured residency cap (0 =
+	// unbounded). Both are gauges read live from the engine, so ?reset=1
+	// never zeroes them — evicted users are not forgotten, just spilled
+	// to the store.
+	ResidentUsers    int `json:"residentUsers"`
+	MaxResidentUsers int `json:"maxResidentUsers"`
 	// Durable reports whether the server persists through a stream store;
 	// Store carries the store's counters when it does.
 	Durable bool                    `json:"durable"`

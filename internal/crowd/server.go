@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"sync"
 
+	"pptd/internal/stream"
+	"pptd/internal/streamstore"
 	"pptd/internal/truth"
 )
 
@@ -37,6 +39,14 @@ type ServerConfig struct {
 	ExpectedUsers int
 	// Method is the truth-discovery algorithm run at aggregation time.
 	Method truth.Method
+	// Persistence, when set, makes the campaign durable: every accepted
+	// submission is fsync'd to the store's batch WAL before its receipt
+	// is returned, the aggregated result is persisted before it is first
+	// published, and NewServer recovers both — so a restarted server
+	// still enforces one-submission-per-client and serves the same
+	// result. The caller opens the store and keeps ownership (a node
+	// shares one store between the batch and streaming campaigns).
+	Persistence *streamstore.Store
 }
 
 func (c ServerConfig) validate() error {
@@ -65,15 +75,63 @@ type Server struct {
 	result *ResultInfo        // nil until aggregated
 }
 
-// NewServer returns a campaign server for the given config.
+// NewServer returns a campaign server for the given config. With
+// Persistence set it first recovers the durable campaign state: every
+// WAL'd submission is re-admitted (in acknowledgement order, so the
+// duplicate guard and any expected-users trigger see what the pre-crash
+// server saw) and a persisted aggregated result closes the campaign
+// again. Recovery never re-aggregates — a crash between the last
+// submission and the aggregation leaves the campaign open, exactly as
+// acknowledged.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		claims: make(map[string][]Claim),
-	}, nil
+	}
+	if cfg.Persistence != nil {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// recover replays the batch WAL and reloads the persisted result into a
+// fresh server. Called once from NewServer, before any request.
+func (s *Server) recover() error {
+	subs, err := s.cfg.Persistence.LoadBatchSubmissions()
+	if err != nil {
+		return fmt.Errorf("crowd: recover batch submissions: %w", err)
+	}
+	for _, sub := range subs {
+		if sub.ClientID == "" {
+			continue
+		}
+		if _, dup := s.claims[sub.ClientID]; dup {
+			continue // a crash between WAL append and ack can duplicate
+		}
+		claims := make([]Claim, len(sub.Claims))
+		for i, c := range sub.Claims {
+			claims[i] = Claim{Object: c.Object, Value: c.Value}
+		}
+		s.claims[sub.ClientID] = claims
+		s.order = append(s.order, sub.ClientID)
+	}
+	body, err := s.cfg.Persistence.LoadBatchResult()
+	if err != nil {
+		return fmt.Errorf("crowd: recover batch result: %w", err)
+	}
+	if body != nil {
+		res := new(ResultInfo)
+		if err := json.Unmarshal(body, res); err != nil {
+			return fmt.Errorf("crowd: decode recovered batch result: %w", err)
+		}
+		s.result = res
+	}
+	return nil
 }
 
 // Handler returns the HTTP handler serving the campaign API.
@@ -138,6 +196,21 @@ func (s *Server) Submit(sub Submission) (SubmissionReceipt, error) {
 	}
 	if _, dup := s.claims[sub.ClientID]; dup {
 		return SubmissionReceipt{}, fmt.Errorf("%w: %q", ErrDuplicateClient, sub.ClientID)
+	}
+	if s.cfg.Persistence != nil {
+		// Durable before acknowledged: the WAL append fsyncs under s.mu,
+		// so WAL order is acknowledgement order and a crash at any point
+		// loses only submissions that were never acked.
+		rec := streamstore.BatchSubmission{
+			ClientID: sub.ClientID,
+			Claims:   make([]stream.Claim, len(sub.Claims)),
+		}
+		for i, c := range sub.Claims {
+			rec.Claims[i] = stream.Claim{Object: c.Object, Value: c.Value}
+		}
+		if err := s.cfg.Persistence.AppendBatchSubmission(rec); err != nil {
+			return SubmissionReceipt{}, fmt.Errorf("crowd: persist submission: %w", err)
+		}
 	}
 	stored := make([]Claim, len(sub.Claims))
 	copy(stored, sub.Claims)
@@ -205,13 +278,27 @@ func (s *Server) aggregateLocked() error {
 	for idx, id := range s.order {
 		weights[id] = res.Weights[idx]
 	}
-	s.result = &ResultInfo{
+	result := &ResultInfo{
 		Truths:     res.Truths,
 		Weights:    weights,
 		Method:     s.cfg.Method.Name(),
 		Iterations: res.Iterations,
 		Converged:  res.Converged,
 	}
+	if s.cfg.Persistence != nil {
+		// Persist before publish: a result any client ever saw must
+		// survive a crash. On failure the campaign stays unaggregated —
+		// the submissions are all in the WAL, so POST /v1/aggregate
+		// simply retries.
+		body, err := json.Marshal(result)
+		if err != nil {
+			return fmt.Errorf("crowd: encode batch result: %w", err)
+		}
+		if err := s.cfg.Persistence.SaveBatchResult(body); err != nil {
+			return fmt.Errorf("crowd: persist batch result: %w", err)
+		}
+	}
+	s.result = result
 	return nil
 }
 

@@ -78,6 +78,13 @@ func NewStreamServer(cfg StreamServerConfig) (*StreamServer, error) {
 	if cfg.Persistence != nil && cfg.Engine.Ledger == nil && cfg.Engine.Lambda1 > 0 {
 		cfg.Engine.Ledger = cfg.Persistence
 	}
+	if cfg.Persistence != nil && cfg.Engine.UserStore == nil {
+		// The store doubles as the engine's user spill store, so
+		// residency caps (MaxResidentUsers / ResidentBytes) work out of
+		// the box on a durable server — and journal replay can re-admit
+		// users whose only remaining trace is a spill record.
+		cfg.Engine.UserStore = cfg.Persistence
+	}
 	eng, err := stream.New(cfg.Engine)
 	if err != nil {
 		return nil, fmt.Errorf("crowd: stream server: %w", err)
@@ -290,7 +297,11 @@ func (s *StreamServer) stats(reset bool) StreamStatsInfo {
 		Window:         s.engine.Window(),
 		TotalClaims:    s.engine.TotalClaims(),
 		HistoryWindows: s.engine.HistoryWindows(),
-		Durable:        s.store != nil,
+		// Residency is read live from the engine on every stats call:
+		// these are gauges, so ?reset=1 must not (and cannot) zero them.
+		ResidentUsers:    s.engine.ResidentUsers(),
+		MaxResidentUsers: s.engine.MaxResidentUsers(),
+		Durable:          s.store != nil,
 	}
 	if hist := s.engine.History(); len(hist) > 0 {
 		info.HistoryOldest = hist[0].Window

@@ -15,45 +15,122 @@ type userState struct {
 	cumEps     float64
 	lastWindow int // last window index this user was charged for
 	windows    int // number of windows participated in
+	lastSeen   int // open-window index of the user's last activity (LRU order)
+	fromSpill  bool
+}
+
+// residentOverheadBytes approximates the fixed in-memory footprint of one
+// resident user beyond their ID bytes: the userState struct, its registry
+// map entry and slot pointer, and the estimator's per-user slot. It only
+// has to be the same rough order as reality for Config.ResidentBytes to
+// bound memory usefully.
+const residentOverheadBytes = 192
+
+func residentFootprint(id string) int64 {
+	return residentOverheadBytes + 2*int64(len(id))
 }
 
 // registry maps client IDs to user state. It has its own lock so that
 // concurrent Ingest calls (which hold the window lock shared) can still
 // register users and charge budgets safely.
 //
-// Entries are never evicted: a user's cumulative epsilon must outlive
-// their sufficient statistics, otherwise a returning (or hostile,
-// ID-minting) client could reset their privacy budget by going idle.
-// Memory therefore grows with the number of distinct client IDs ever
-// seen; deployments exposed to untrusted ID churn should bound it
-// upstream (auth/quota). The durable ledger (Config.Ledger plus
-// internal/streamstore snapshots) makes budgets survive restarts, but
-// evicting idle in-memory entries against it remains a roadmap item.
+// Residency is bounded, not the accounting: a user's cumulative epsilon
+// must outlive their sufficient statistics, otherwise a returning (or
+// hostile, ID-minting) client could reset their privacy budget by going
+// idle. Without Config.UserStore entries are therefore never evicted and
+// memory grows with the number of distinct client IDs ever seen. With a
+// UserStore (and a residency cap) the engine spills idle users' state to
+// the durable store at window close and re-admits them on their next
+// claim, so residency stays bounded while the spilled record — and the
+// ledger underneath it — keeps the budget authoritative. Evicted slots
+// are reused through a free list; a slot index is only recycled once no
+// sufficient statistic references it (eviction requires fully decayed
+// statistics), so the shards never need rewriting.
 type registry struct {
 	mu     sync.Mutex
 	byID   map[string]*userState
-	states []*userState
+	states []*userState // slot-indexed; nil entries are free-list holes
+	free   []int        // recycled slot indices
+
+	live      int   // resident users (non-nil slots)
+	liveBytes int64 // estimated resident footprint (residentFootprint sum)
+
+	// Evicted-population aggregates, so PrivacyReport keeps describing
+	// every user this engine has accounted for (not just the resident
+	// ones). evicted counts currently spilled users; the high-water marks
+	// stay valid because an evicted user's spending is frozen until they
+	// are readmitted back into the resident scan.
+	evicted          int
+	evictedExhausted int
+	evictedMaxCum    float64
+	evictedMaxWin    int
 }
 
 func newRegistry() *registry {
 	return &registry{byID: make(map[string]*userState)}
 }
 
-func (r *registry) getOrCreate(id string) *userState {
+// get returns the resident state for id, stamping its LRU clock with the
+// open window, or reports false when the user is not resident.
+func (r *registry) get(id string, window int) (*userState, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.byID[id]
+	if ok && window > st.lastSeen {
+		st.lastSeen = window
+	}
+	return st, ok
+}
+
+// getOrCreate returns the resident state for id, admitting a fresh one
+// (free-list slot first, then a new slot) when the user is not resident.
+// window stamps the LRU clock.
+func (r *registry) getOrCreate(id string, window int) *userState {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if st, ok := r.byID[id]; ok {
+		if window > st.lastSeen {
+			st.lastSeen = window
+		}
 		return st
 	}
 	st := &userState{
-		idx:        len(r.states),
 		id:         id,
 		carry:      1, // the uniform batch initialization
 		lastWindow: -1,
+		lastSeen:   window,
+	}
+	if n := len(r.free); n > 0 {
+		st.idx = r.free[n-1]
+		r.free = r.free[:n-1]
+		r.states[st.idx] = st
+	} else {
+		st.idx = len(r.states)
+		r.states = append(r.states, st)
 	}
 	r.byID[id] = st
-	r.states = append(r.states, st)
+	r.live++
+	r.liveBytes += residentFootprint(id)
 	return st
+}
+
+// readmitSpill loads a spilled user's persistent bookkeeping into their
+// freshly admitted state and moves them from the evicted population back
+// into the resident one.
+func (r *registry) readmitSpill(st *userState, sp *UserSpill, eps, budget float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st.carry = sp.Carry
+	st.cumEps = sp.CumulativeEpsilon
+	st.lastWindow = sp.LastWindow
+	st.windows = sp.Windows
+	st.fromSpill = true
+	if r.evicted > 0 {
+		r.evicted--
+	}
+	if r.evictedExhausted > 0 && exhausted(st.cumEps, eps, budget) {
+		r.evictedExhausted--
+	}
 }
 
 // charge debits eps for participating in the given window. The
@@ -121,6 +198,102 @@ func (r *registry) uncharge(st *userState, eps float64, prevLastWindow int) {
 	st.windows--
 }
 
+// dropIfIdle removes a freshly admitted user whose submission was then
+// rejected, provided nothing charged them into the open window in the
+// meantime (a racing successful ingest must keep its state). The caller
+// guarantees the on-disk record (spill or nothing at all) still matches
+// the state being dropped, so no re-spill is needed — which is what
+// stops an exhausted client from pinning residency by hammering. It
+// reports whether the user returned to the evicted population.
+func (r *registry) dropIfIdle(st *userState, window int, eps, budget float64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st.lastWindow == window {
+		return false // a concurrent ingest charged them; they stay
+	}
+	if r.states[st.idx] != st || r.byID[st.id] != st {
+		return false // already dropped or superseded
+	}
+	r.removeLocked(st)
+	if st.fromSpill {
+		r.evicted++
+		if exhausted(st.cumEps, eps, budget) {
+			r.evictedExhausted++
+		}
+		if st.cumEps > r.evictedMaxCum {
+			r.evictedMaxCum = st.cumEps
+		}
+		if st.windows > r.evictedMaxWin {
+			r.evictedMaxWin = st.windows
+		}
+	}
+	return st.fromSpill
+}
+
+// evict removes already-spilled users from the resident set, folding
+// their spending into the evicted-population aggregates. Callers must
+// have made the matching spill records durable first.
+func (r *registry) evict(victims []*userState, eps, budget float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, st := range victims {
+		if r.states[st.idx] != st {
+			continue
+		}
+		r.removeLocked(st)
+		r.evicted++
+		if exhausted(st.cumEps, eps, budget) {
+			r.evictedExhausted++
+		}
+		if st.cumEps > r.evictedMaxCum {
+			r.evictedMaxCum = st.cumEps
+		}
+		if st.windows > r.evictedMaxWin {
+			r.evictedMaxWin = st.windows
+		}
+	}
+}
+
+// removeLocked frees one resident slot. Callers hold r.mu.
+func (r *registry) removeLocked(st *userState) {
+	delete(r.byID, st.id)
+	r.states[st.idx] = nil
+	r.free = append(r.free, st.idx)
+	r.live--
+	r.liveBytes -= residentFootprint(st.id)
+}
+
+// evictable returns the resident users eligible for eviction — the ones
+// no live sufficient statistic references (pinned holds the slot indices
+// that do) — in LRU order: least-recently-seen first, ties by slot index
+// so the order is deterministic.
+func (r *registry) evictable(pinned map[int]struct{}) []*userState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*userState, 0, r.live)
+	for _, st := range r.states {
+		if st == nil {
+			continue
+		}
+		if _, ok := pinned[st.idx]; ok {
+			continue
+		}
+		out = append(out, st)
+	}
+	// Insertion sort keeps this allocation-free; eviction scans run at
+	// window close, not on the ingest hot path.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if a.lastSeen < b.lastSeen || (a.lastSeen == b.lastSeen && a.idx < b.idx) {
+				break
+			}
+			out[j-1], out[j] = b, a
+		}
+	}
+	return out
+}
+
 // exhausted reports whether spending eps for one more window would push
 // the cumulative total past the budget. A small relative slack keeps an
 // exact multiple of eps affordable despite accumulated rounding; the
@@ -130,21 +303,46 @@ func exhausted(cumEps, eps, budget float64) bool {
 	return budget > 0 && cumEps+eps-budget > 1e-9*eps
 }
 
+// count returns the number of resident users.
 func (r *registry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.live
+}
+
+// tracked returns the number of users the engine currently accounts for:
+// resident plus evicted-to-store.
+func (r *registry) tracked() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.live + r.evicted
+}
+
+// bytes returns the estimated resident footprint.
+func (r *registry) bytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.liveBytes
+}
+
+// slots returns the slot-space size (resident users plus free holes) —
+// the length every per-user slice indexed by userState.idx must have.
+func (r *registry) slots() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.states)
 }
 
-// carryWeights returns the warm-start weight vector indexed by user:
-// each user's previous estimate, or uniform 1 when carryover is
-// disabled (or the user is new).
+// carryWeights returns the warm-start weight vector indexed by user
+// slot: each user's previous estimate, or uniform 1 when carryover is
+// disabled (or the user is new). Free slots get 1; nothing references
+// them (eviction requires fully decayed statistics).
 func (r *registry) carryWeights(disableCarryover bool) []float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ws := make([]float64, len(r.states))
 	for i, st := range r.states {
-		if disableCarryover {
+		if disableCarryover || st == nil {
 			ws[i] = 1
 			continue
 		}
@@ -160,36 +358,43 @@ func (r *registry) updateCarry(weights []float64, claimCount []int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for i, st := range r.states {
-		if claimCount[i] > 0 {
+		if st != nil && claimCount[i] > 0 {
 			st.carry = weights[i]
 		}
 	}
 }
 
+// ids returns the client ID per slot; free slots are "".
 func (r *registry) ids() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]string, len(r.states))
 	for i, st := range r.states {
-		out[i] = st.id
+		if st != nil {
+			out[i] = st.id
+		}
 	}
 	return out
 }
 
-// export copies every user's persistent bookkeeping in registration
-// order (the dense index order stats are stored under).
+// export copies every resident user's persistent bookkeeping in slot
+// order (free slots are skipped; spilled users live in the store, not
+// the snapshot).
 func (r *registry) export() []UserSnapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]UserSnapshot, len(r.states))
-	for i, st := range r.states {
-		out[i] = UserSnapshot{
+	out := make([]UserSnapshot, 0, r.live)
+	for _, st := range r.states {
+		if st == nil {
+			continue
+		}
+		out = append(out, UserSnapshot{
 			ID:                st.id,
 			Carry:             st.carry,
 			CumulativeEpsilon: st.cumEps,
 			LastWindow:        st.lastWindow,
 			Windows:           st.windows,
-		}
+		})
 	}
 	return out
 }
@@ -210,9 +415,12 @@ func (r *registry) restore(users []UserSnapshot) error {
 			cumEps:     u.CumulativeEpsilon,
 			lastWindow: u.LastWindow,
 			windows:    u.Windows,
+			lastSeen:   u.LastWindow,
 		}
 		r.byID[u.ID] = st
 		r.states = append(r.states, st)
+		r.live++
+		r.liveBytes += residentFootprint(u.ID)
 	}
 	return nil
 }
@@ -232,9 +440,13 @@ type PrivacyReport struct {
 	// PerUser maps client IDs to cumulative epsilon spent so far. It is
 	// nil (and absent on the wire) unless Config.PerUserReport opted in:
 	// the roster of every client ID ever seen is participation metadata
-	// that summary aggregates deliberately do not expose.
+	// that summary aggregates deliberately do not expose. On an engine
+	// with a residency cap it covers resident users only — the spilled
+	// remainder lives in the durable store.
 	PerUser map[string]float64 `json:"perUser,omitempty"`
-	// TrackedUsers counts the distinct client IDs ever charged.
+	// TrackedUsers counts the distinct client IDs the engine accounts
+	// for: resident plus evicted-to-store. (After a recovery it counts
+	// the users the recovered state references.)
 	TrackedUsers int `json:"trackedUsers"`
 	// MaxCumulative is the largest per-user cumulative epsilon.
 	MaxCumulative float64 `json:"maxCumulative"`
@@ -248,7 +460,8 @@ type PrivacyReport struct {
 	// is (their cumulative epsilon / EpsilonPerWindow) * Delta.
 	CumulativeDelta float64 `json:"cumulativeDelta"`
 	// ExhaustedUsers counts users who can no longer afford a window
-	// under the enforced budget.
+	// under the enforced budget (an evicted user's spending is frozen,
+	// so their exhaustion status carries over from eviction time).
 	ExhaustedUsers int `json:"exhaustedUsers"`
 }
 
@@ -259,12 +472,18 @@ func (r *registry) report(eps, delta, budget float64, perUser bool) *PrivacyRepo
 		EpsilonPerWindow: eps,
 		Delta:            delta,
 		Budget:           budget,
-		TrackedUsers:     len(r.states),
+		TrackedUsers:     r.live + r.evicted,
+		MaxCumulative:    r.evictedMaxCum,
+		MaxWindows:       r.evictedMaxWin,
+		ExhaustedUsers:   r.evictedExhausted,
 	}
 	if perUser {
-		rep.PerUser = make(map[string]float64, len(r.states))
+		rep.PerUser = make(map[string]float64, r.live)
 	}
 	for _, st := range r.states {
+		if st == nil {
+			continue
+		}
 		if perUser {
 			rep.PerUser[st.id] = st.cumEps
 		}

@@ -50,9 +50,12 @@ func (c *catdEstimator) estimate(e *Engine, w *windowData) (int, bool) {
 			}
 			w.weights[u] = quantile[u] / s
 		}
-		// Weights are scale-free ratios; normalize to mean 1 so the floor
-		// in foldWeightedTruths stays negligible and reports are comparable.
-		truth.NormalizeWeights(w.weights)
+		// Weights are scale-free ratios; normalize to mean 1 over the
+		// active users so the floor in foldWeightedTruths stays negligible
+		// and reports are comparable. Active-only: silent and evicted
+		// slots carry 0 and must not skew the scale, or a residency-capped
+		// engine would drift from an unbounded one.
+		normalizeActiveWeights(w.weights, w.claimCount)
 		copy(prev, w.truths)
 		foldWeightedTruths(w.views, w.weights, w.truths)
 		if maxAbsDiffCovered(prev, w.truths, w.covered) < e.cfg.Tolerance {
@@ -65,5 +68,13 @@ func (c *catdEstimator) estimate(e *Engine, w *windowData) (int, bool) {
 func (*catdEstimator) exportState([]string) (json.RawMessage, error) { return nil, nil }
 
 func (*catdEstimator) restoreState(data json.RawMessage, _ map[string]int) error {
+	return restoreNoState(EstimatorCATD, data)
+}
+
+// CATD restarts from uniform weights every window, so there is no
+// per-user state to spill.
+func (*catdEstimator) exportUser(int) (json.RawMessage, error) { return nil, nil }
+
+func (*catdEstimator) seedUser(_ int, data json.RawMessage) error {
 	return restoreNoState(EstimatorCATD, data)
 }

@@ -24,7 +24,10 @@ const (
 // the ID-keyed result plus the carry registry. Callers must hold e.mu
 // exclusively with the shards paused.
 func (e *Engine) estimateLocked() (*WindowResult, error) {
-	numUsers := e.users.count()
+	// Per-user slices are indexed by slot, so they span the whole slot
+	// space including free holes (nothing references a hole: eviction
+	// requires fully decayed statistics, so holes never appear in views).
+	numUsers := e.users.slots()
 	if numUsers == 0 {
 		return nil, ErrEmptyWindow
 	}
@@ -119,6 +122,14 @@ func (c crhEstimator) estimate(e *Engine, w *windowData) (int, bool) {
 func (crhEstimator) exportState([]string) (json.RawMessage, error) { return nil, nil }
 
 func (crhEstimator) restoreState(data json.RawMessage, _ map[string]int) error {
+	return restoreNoState(EstimatorCRH, data)
+}
+
+// CRH keeps no per-user state beyond the registry's carry weight, which
+// rides the spill record itself.
+func (crhEstimator) exportUser(int) (json.RawMessage, error) { return nil, nil }
+
+func (crhEstimator) seedUser(_ int, data json.RawMessage) error {
 	return restoreNoState(EstimatorCRH, data)
 }
 

@@ -64,6 +64,16 @@ type Estimator interface {
 	// byID maps the restored registry's user IDs to their indices. A nil
 	// or empty payload resets to the initial state.
 	restoreState(data json.RawMessage, byID map[string]int) error
+	// exportUser serializes one user slot's private state for a spill
+	// record (UserSpill.EstimatorState). Nil means none worth spilling —
+	// re-admission with a nil payload must reproduce the slot exactly.
+	exportUser(idx int) (json.RawMessage, error)
+	// seedUser prepares the slot of a freshly admitted user: a nil (or
+	// empty) payload resets it to the initial per-user state — slots are
+	// recycled across evictions, so stale values must not leak into the
+	// new occupant — and a payload from exportUser restores the spilled
+	// state.
+	seedUser(idx int, data json.RawMessage) error
 }
 
 // windowData is the frozen view of one window handed to an estimator:
@@ -182,6 +192,32 @@ func userScratch(views []*shardView, numUsers int) [][]float64 {
 		partial[i] = make([]float64, numUsers)
 	}
 	return partial
+}
+
+// normalizeActiveWeights scales the active users' weights to mean 1
+// across the active population (claimCount > 0), leaving silent users'
+// weights untouched. It is truth.NormalizeWeights restricted to active
+// users: normalizing over every slot would make the scale depend on how
+// many silent (or evicted-and-recycled) slots the registry happens to
+// hold, and a residency-capped engine would drift from an unbounded one.
+func normalizeActiveWeights(ws []float64, claimCount []int) {
+	var sum float64
+	n := 0
+	for u, k := range claimCount {
+		if k > 0 {
+			sum += ws[u]
+			n++
+		}
+	}
+	if n == 0 || sum <= 0 {
+		return
+	}
+	scale := float64(n) / sum
+	for u, k := range claimCount {
+		if k > 0 {
+			ws[u] *= scale
+		}
+	}
 }
 
 // restoreNoState is the restoreState of stateless estimators: anything

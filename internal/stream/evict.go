@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// admit resolves a user ID to resident state, creating it when the user
+// is unknown. With a UserStore configured the slow path first consults
+// the spill store, so a previously evicted user is re-admitted with
+// their spilled carry weight, cumulative budget, and estimator state —
+// an exhausted user comes back exhausted. The returned fresh flag
+// reports a slow-path admission (the caller may drop it again via
+// dropIfIdle if the submission is then rejected).
+//
+// Callers hold e.mu (shared or exclusive); the slow path additionally
+// serializes on admitMu so concurrent admissions cannot race on the
+// estimator's per-user slots.
+func (e *Engine) admit(id string) (*userState, bool, error) {
+	if st, ok := e.users.get(id, e.window); ok {
+		return st, false, nil
+	}
+	if e.cfg.UserStore == nil {
+		return e.users.getOrCreate(id, e.window), false, nil
+	}
+	e.admitMu.Lock()
+	defer e.admitMu.Unlock()
+	if st, ok := e.users.get(id, e.window); ok {
+		return st, false, nil // raced with another admission; theirs won
+	}
+	sp, found, err := e.cfg.UserStore.LoadUser(id)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: load user %q: %v", ErrUserStore, id, err)
+	}
+	if found {
+		if err := validateSpill(sp); err != nil {
+			return nil, false, err
+		}
+		// Spilled estimator state is only meaningful to the estimator
+		// that wrote it, exactly like snapshots (records written before
+		// the field existed were CRH).
+		written := sp.Estimator
+		if written == "" {
+			written = EstimatorCRH
+		}
+		if written != e.cfg.Estimator {
+			return nil, false, fmt.Errorf("%w: spilled state of user %q written by %q, engine configured for %q",
+				ErrEstimatorMismatch, id, written, e.cfg.Estimator)
+		}
+	}
+	st := e.users.getOrCreate(id, e.window)
+	var raw json.RawMessage
+	if found {
+		e.users.readmitSpill(st, sp, e.epsWindow, e.cfg.EpsilonBudget)
+		raw = sp.EstimatorState
+	}
+	// The slot may be recycled from an evicted user; seeding resets it to
+	// the initial per-user state or restores the spilled one.
+	if err := e.est.seedUser(st.idx, raw); err != nil {
+		e.users.dropIfIdle(st, e.window, e.epsWindow, e.cfg.EpsilonBudget)
+		return nil, false, err
+	}
+	if found {
+		e.metrics.readmitted(1)
+	}
+	return st, true, nil
+}
+
+// evictIdleLocked enforces the residency caps at a window boundary: if
+// the resident set exceeds MaxResidentUsers or ResidentBytes, the
+// least-recently-seen users whose sufficient statistics have fully
+// decayed away are spilled to the UserStore and evicted. Users that
+// still hold live statistics are pinned resident — their decayed
+// sums/masses keep contributing to estimates, so evicting them would
+// change results; a fully decayed user contributes nothing, which is
+// what makes an evict/readmit run match an unbounded one exactly.
+//
+// The spill must be durable before the in-memory state is dropped: a
+// snapshot taken after this close may exclude the user and allow the
+// journal holding their charges to be compacted away, leaving the spill
+// record as the only copy of their budget. A spill failure therefore
+// skips the eviction (the users stay resident, the next close retries)
+// and never fails the close.
+//
+// Callers must hold e.mu exclusively with the shards paused.
+func (e *Engine) evictIdleLocked() {
+	if e.cfg.UserStore == nil || (e.cfg.MaxResidentUsers == 0 && e.cfg.ResidentBytes == 0) {
+		return
+	}
+	liveCount := e.users.count()
+	liveBytes := e.users.bytes()
+	over := func() bool {
+		return (e.cfg.MaxResidentUsers > 0 && liveCount > e.cfg.MaxResidentUsers) ||
+			(e.cfg.ResidentBytes > 0 && liveBytes > e.cfg.ResidentBytes)
+	}
+	if !over() {
+		return
+	}
+	pinned := make(map[int]struct{})
+	for _, s := range e.shards {
+		for _, users := range s.stats {
+			for u := range users {
+				pinned[u] = struct{}{}
+			}
+		}
+	}
+	var victims []*userState
+	for _, st := range e.users.evictable(pinned) {
+		if !over() {
+			break
+		}
+		victims = append(victims, st)
+		liveCount--
+		liveBytes -= residentFootprint(st.id)
+	}
+	if len(victims) == 0 {
+		return
+	}
+	spills := make([]UserSpill, len(victims))
+	for i, st := range victims {
+		raw, err := e.est.exportUser(st.idx)
+		if err != nil {
+			e.metrics.spillFailed()
+			return
+		}
+		spills[i] = UserSpill{
+			ID:                st.id,
+			Carry:             st.carry,
+			CumulativeEpsilon: st.cumEps,
+			LastWindow:        st.lastWindow,
+			Windows:           st.windows,
+			Estimator:         e.cfg.Estimator,
+			EstimatorState:    raw,
+		}
+	}
+	if err := e.cfg.UserStore.SpillUsers(spills); err != nil {
+		e.metrics.spillFailed()
+		return
+	}
+	e.users.evict(victims, e.epsWindow, e.cfg.EpsilonBudget)
+	e.metrics.evicted(len(victims))
+}

@@ -145,6 +145,9 @@ func (g *gtmEstimator) exportState(ids []string) (json.RawMessage, error) {
 	}
 	st := gtmState{Variances: make(map[string]float64, len(g.variances))}
 	for u, v := range g.variances {
+		if u < len(ids) && ids[u] == "" {
+			continue // free slot of an evicted user; their variance rides the spill record
+		}
 		st.Variances[ids[u]] = v
 	}
 	data, err := json.Marshal(st)
@@ -152,6 +155,41 @@ func (g *gtmEstimator) exportState(ids []string) (json.RawMessage, error) {
 		return nil, fmt.Errorf("stream: export gtm state: %w", err)
 	}
 	return data, nil
+}
+
+// gtmUserState is one spilled user's private state: their variance.
+type gtmUserState struct {
+	Variance float64 `json:"variance"`
+}
+
+func (g *gtmEstimator) exportUser(idx int) (json.RawMessage, error) {
+	if idx >= len(g.variances) || g.variances[idx] == g.initVariance {
+		return nil, nil // never estimated (or still at the prior): nothing to spill
+	}
+	data, err := json.Marshal(gtmUserState{Variance: g.variances[idx]})
+	if err != nil {
+		return nil, fmt.Errorf("stream: export gtm user state: %w", err)
+	}
+	return data, nil
+}
+
+func (g *gtmEstimator) seedUser(idx int, data json.RawMessage) error {
+	for len(g.variances) <= idx {
+		g.variances = append(g.variances, g.initVariance)
+	}
+	g.variances[idx] = g.initVariance
+	if len(data) == 0 || string(data) == "null" {
+		return nil
+	}
+	var st gtmUserState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: decode gtm user state: %v", ErrBadState, err)
+	}
+	if !finite(st.Variance) || st.Variance <= 0 {
+		return fmt.Errorf("%w: spilled gtm variance = %v", ErrBadState, st.Variance)
+	}
+	g.variances[idx] = st.Variance
+	return nil
 }
 
 func (g *gtmEstimator) restoreState(data json.RawMessage, byID map[string]int) error {

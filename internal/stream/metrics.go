@@ -35,6 +35,9 @@ type engineMetrics struct {
 	cumEps           *obs.HistogramMetric
 	estimateIters    *obs.HistogramMetric
 	estimateDuration *obs.HistogramMetric
+	usersEvicted     *obs.Counter
+	usersReadmitted  *obs.Counter
+	spillFailures    *obs.Counter
 }
 
 func newEngineMetrics(reg *obs.Registry, estimator string) *engineMetrics {
@@ -63,6 +66,14 @@ func newEngineMetrics(reg *obs.Registry, estimator string) *engineMetrics {
 			"Per-user cumulative epsilon observed at each accepted charge; the "+
 				"distribution of budget spending across the stream's submissions.",
 			cumulativeEpsilonBounds),
+		usersEvicted: reg.Counter("pptd_stream_users_evicted_total",
+			"Users evicted from the resident set at window close, their state "+
+				"spilled durably to the user store (residency caps)."),
+		usersReadmitted: reg.Counter("pptd_stream_users_readmitted_total",
+			"Previously evicted users re-admitted from the user store on a new claim."),
+		spillFailures: reg.Counter("pptd_stream_user_spill_failures_total",
+			"Eviction rounds abandoned because the spill could not be made "+
+				"durable; the users stayed resident and the next close retries."),
 	}
 }
 
@@ -80,8 +91,18 @@ func registerEngineGauges(reg *obs.Registry, e *Engine) {
 			"shard", strconv.Itoa(i))
 	}
 	reg.GaugeFunc("pptd_stream_tracked_users",
-		"Distinct client IDs ever charged (privacy accounting never evicts).",
+		"Distinct client IDs the engine accounts for: resident plus "+
+			"evicted-to-store (privacy accounting never forgets a charge).",
+		func() float64 { return float64(e.users.tracked()) })
+	reg.GaugeFunc("pptd_stream_resident_users",
+		"Users held resident in memory; bounded by the configured residency "+
+			"caps (MaxResidentUsers / ResidentBytes), equal to tracked users "+
+			"when unbounded.",
 		func() float64 { return float64(e.users.count()) })
+	reg.GaugeFunc("pptd_stream_resident_bytes",
+		"Estimated in-memory footprint of the resident user set (registry "+
+			"bookkeeping plus estimator slots).",
+		func() float64 { return float64(e.users.bytes()) })
 }
 
 func (m *engineMetrics) ingested(n int) {
@@ -106,6 +127,8 @@ func (m *engineMetrics) reject(err error) {
 		reason = "ledger"
 	case errors.Is(err, ErrEngineClosed):
 		reason = "engine_closed"
+	case errors.Is(err, ErrUserStore):
+		reason = "user_store"
 	}
 	m.rejected.With(reason).Inc()
 }
@@ -129,5 +152,23 @@ func (m *engineMetrics) windowClosed(elapsed time.Duration) {
 func (m *engineMetrics) observeCumEps(cum float64) {
 	if m != nil && cum > 0 {
 		m.cumEps.Observe(cum)
+	}
+}
+
+func (m *engineMetrics) evicted(n int) {
+	if m != nil {
+		m.usersEvicted.Add(int64(n))
+	}
+}
+
+func (m *engineMetrics) readmitted(n int) {
+	if m != nil {
+		m.usersReadmitted.Add(int64(n))
+	}
+}
+
+func (m *engineMetrics) spillFailed() {
+	if m != nil {
+		m.spillFailures.Inc()
 	}
 }

@@ -52,6 +52,64 @@ type Ledger interface {
 	AppendCharge(rec ChargeRecord) error
 }
 
+// UserSpill is one evicted user's durable state: everything the engine
+// needs to re-admit them as if they had never left — the carry weight
+// warm-starting their next window, the cumulative privacy spending that
+// keeps an exhausted user exhausted, and the estimator's private
+// per-user state (e.g. a GTM variance). Spill records are written by
+// eviction (Config.MaxResidentUsers / ResidentBytes) before the
+// in-memory state is dropped and read back by admission; the newest
+// record per user wins.
+type UserSpill struct {
+	ID string `json:"id"`
+	// Carry is the weight carried into the next window's estimation.
+	Carry float64 `json:"carry"`
+	// CumulativeEpsilon is the total epsilon charged so far.
+	CumulativeEpsilon float64 `json:"cumulativeEpsilon"`
+	// LastWindow is the 0-based index of the last window the user was
+	// charged for (-1 if never charged).
+	LastWindow int `json:"lastWindow"`
+	// Windows is the number of windows the user was charged for.
+	Windows int `json:"windows"`
+	// Estimator names the estimator that wrote EstimatorState ("" on
+	// records predating the field = CRH); admission under a different
+	// estimator fails with ErrEstimatorMismatch.
+	Estimator string `json:"estimator,omitempty"`
+	// EstimatorState is the estimator's private per-user state, opaque
+	// to the engine; nil when the estimator keeps none.
+	EstimatorState json.RawMessage `json:"estimatorState,omitempty"`
+}
+
+// validateSpill rejects a spill record the engine must not re-admit.
+func validateSpill(sp *UserSpill) error {
+	switch {
+	case sp == nil:
+		return fmt.Errorf("%w: nil spill record", ErrBadState)
+	case sp.ID == "":
+		return fmt.Errorf("%w: spill record with empty id", ErrBadState)
+	case !finite(sp.Carry) || sp.Carry < 0:
+		return fmt.Errorf("%w: spilled user %q carry = %v", ErrBadState, sp.ID, sp.Carry)
+	case !finite(sp.CumulativeEpsilon) || sp.CumulativeEpsilon < 0:
+		return fmt.Errorf("%w: spilled user %q cumulative epsilon = %v", ErrBadState, sp.ID, sp.CumulativeEpsilon)
+	case sp.LastWindow < -1 || sp.Windows < 0:
+		return fmt.Errorf("%w: spilled user %q lastWindow=%d windows=%d", ErrBadState, sp.ID, sp.LastWindow, sp.Windows)
+	}
+	return nil
+}
+
+// UserStore is the durable spill store behind Config.UserStore.
+// SpillUsers must not return until every record is durable — eviction
+// drops the in-memory state right after, and a later snapshot may let
+// the journal holding the user's charges be compacted away, leaving the
+// spill record the only copy of their budget. LoadUser returns the
+// newest record for a user (false when never spilled). Implementations
+// must be safe for concurrent use; internal/streamstore provides the
+// standard file-backed one next to the charge journal.
+type UserStore interface {
+	SpillUsers(users []UserSpill) error
+	LoadUser(id string) (*UserSpill, bool, error)
+}
+
 // UserSnapshot is one user's persisted bookkeeping: the carried weight
 // warm-starting the next window and the cumulative privacy spending.
 type UserSnapshot struct {
@@ -326,7 +384,14 @@ func (e *Engine) ReplayJournal(recs []ChargeRecord) (int, error) {
 					ErrBadState, i, c.Object)
 			}
 		}
-		st := e.users.getOrCreate(rec.User)
+		// Admission during replay consults the spill store like live
+		// ingestion does: a user evicted before the crash whose charges
+		// were compacted away behind a snapshot exists only as a spill
+		// record, and recreating them bare would reset their budget.
+		st, _, err := e.admit(rec.User)
+		if err != nil {
+			return applied, err
+		}
 		if !e.users.replayCharge(st, rec.Window, rec.Epsilon) {
 			continue // already accounted by the snapshot or an earlier record
 		}
@@ -398,6 +463,10 @@ func (e *Engine) replayCloseLocked() {
 	}
 	e.window++
 	e.windowClaims.Store(0)
+	// Replayed closes evict exactly as live closes do, so recovery of a
+	// long journal stays within the residency caps too; mid-replay
+	// re-spills rewrite records identical to the pre-crash ones.
+	e.evictIdleLocked()
 }
 
 // validateState checks an EngineState before restoring into an engine

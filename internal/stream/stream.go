@@ -61,6 +61,10 @@ var (
 	ErrEngineClosed = errors.New("stream: engine closed")
 	// ErrEmptyWindow reports a window close before any claim ever arrived.
 	ErrEmptyWindow = errors.New("stream: no claims ingested yet")
+	// ErrUserStore reports a failed spill-store operation while admitting
+	// a user: their spilled state could not be read back, so the engine
+	// rejects the submission rather than risk resetting their budget.
+	ErrUserStore = errors.New("stream: user spill store failed")
 )
 
 // DefaultHistoryWindows is the result-ring capacity used when
@@ -149,6 +153,28 @@ type Config struct {
 	// a crash. An append failure rolls the in-memory charge back and the
 	// submission fails with ErrLedger. Requires accounting (Lambda1 > 0).
 	Ledger Ledger
+	// MaxResidentUsers bounds the number of users held resident in
+	// memory: when a window close leaves more, the least-recently-seen
+	// users whose sufficient statistics have fully decayed away are
+	// spilled to the UserStore and evicted, to be re-admitted
+	// transparently on their next claim. Zero means unbounded. Requires
+	// UserStore (the spilled budget state must be durable, or eviction
+	// would reset privacy budgets).
+	MaxResidentUsers int
+	// ResidentBytes bounds the estimated in-memory footprint of the
+	// resident user set (registry bookkeeping plus estimator slots; an
+	// estimate, not an exact byte count) the same way MaxResidentUsers
+	// bounds the population. Zero means unbounded. Requires UserStore.
+	// Both caps may be set; eviction stops once both are satisfied.
+	ResidentBytes int64
+	// UserStore, when set, is the durable spill store for evicted users'
+	// state (carry weight, cumulative budget, estimator state). Eviction
+	// only completes after SpillUsers returns — the record must be
+	// durable before the in-memory state is dropped — and an unknown
+	// user's admission consults LoadUser before creating fresh state, so
+	// an exhausted user stays exhausted across evict/readmit.
+	// internal/streamstore implements it next to the charge journal.
+	UserStore UserStore
 	// ClaimWAL additionally journals each accepted submission's claims
 	// inside its ledger record, making the sufficient statistics as
 	// durable as the budget: the user's epsilon never pays for a release
@@ -183,6 +209,15 @@ func (c *Config) validate() error {
 		return fmt.Errorf("%w: EpsilonBudget = %v", ErrBadConfig, c.EpsilonBudget)
 	case c.HistoryWindows < 0:
 		return fmt.Errorf("%w: HistoryWindows = %d", ErrBadConfig, c.HistoryWindows)
+	case c.MaxResidentUsers < 0:
+		return fmt.Errorf("%w: MaxResidentUsers = %d", ErrBadConfig, c.MaxResidentUsers)
+	case c.ResidentBytes < 0:
+		return fmt.Errorf("%w: ResidentBytes = %d", ErrBadConfig, c.ResidentBytes)
+	}
+	if (c.MaxResidentUsers > 0 || c.ResidentBytes > 0) && c.UserStore == nil {
+		// Evicting without a durable spill store would hand evicted users
+		// their privacy budget back on their next claim.
+		return fmt.Errorf("%w: residency cap without a UserStore", ErrBadConfig)
 	}
 	if c.HistoryWindows == 0 {
 		c.HistoryWindows = DefaultHistoryWindows
@@ -298,6 +333,12 @@ type Engine struct {
 	wg      sync.WaitGroup
 	metrics *engineMetrics // nil-safe; nil when Config.Metrics is nil
 
+	// admitMu serializes the slow path of user admission (spill-store
+	// lookup plus estimator slot seeding) — Ingest holds the window lock
+	// shared, so concurrent admissions of unknown users need their own
+	// exclusion.
+	admitMu sync.Mutex
+
 	// mu is the window lock: ingestion holds it shared, CloseWindow and
 	// Close hold it exclusively.
 	mu     sync.RWMutex
@@ -379,6 +420,18 @@ func (e *Engine) Delta() float64 { return e.cfg.Delta }
 // tracking only).
 func (e *Engine) EpsilonBudget() float64 { return e.cfg.EpsilonBudget }
 
+// ResidentUsers returns the number of users currently held resident in
+// memory (the pptd_stream_resident_users gauge). Without a residency cap
+// it equals the number of distinct users ever seen.
+func (e *Engine) ResidentUsers() int { return e.users.count() }
+
+// MaxResidentUsers returns the configured residency cap (0 = unbounded).
+func (e *Engine) MaxResidentUsers() int { return e.cfg.MaxResidentUsers }
+
+// TrackedUsers returns the number of users the engine accounts for:
+// resident plus evicted-to-store.
+func (e *Engine) TrackedUsers() int { return e.users.tracked() }
+
 // Ingest folds one user's batch of perturbed claims into the current
 // window and returns the accepted claim count plus the 1-based index of
 // the open window the batch joined. The whole batch is accepted or
@@ -437,9 +490,20 @@ func (e *Engine) ingest(user string, claims []Claim) (int, int, error) {
 	if e.closed {
 		return 0, 0, ErrEngineClosed
 	}
-	st := e.users.getOrCreate(user)
+	st, fresh, err := e.admit(user)
+	if err != nil {
+		return 0, 0, err
+	}
 	prevWindow, cumEps, err := e.users.charge(st, e.window, e.epsWindow, e.cfg.EpsilonBudget)
 	if err != nil {
+		// A freshly admitted user whose submission is then rejected is
+		// dropped again without a re-spill: the on-disk record (or, for a
+		// brand-new user, their absence) still describes them exactly, so
+		// a rejected client — exhausted or otherwise — cannot pin
+		// residency by hammering.
+		if fresh {
+			e.users.dropIfIdle(st, e.window, e.epsWindow, e.cfg.EpsilonBudget)
+		}
 		return 0, 0, err
 	}
 	if e.epsWindow > 0 && e.cfg.Ledger != nil {
@@ -456,6 +520,9 @@ func (e *Engine) ingest(user string, claims []Claim) (int, int, error) {
 		}
 		if err := e.cfg.Ledger.AppendCharge(rec); err != nil {
 			e.users.uncharge(st, e.epsWindow, prevWindow)
+			if fresh {
+				e.users.dropIfIdle(st, e.window, e.epsWindow, e.cfg.EpsilonBudget)
+			}
 			return 0, 0, fmt.Errorf("%w: user %q window %d: %v", ErrLedger, user, e.window+1, err)
 		}
 	}
@@ -508,6 +575,12 @@ func (e *Engine) CloseWindow() (*WindowResult, error) {
 	if e.epsWindow > 0 {
 		res.Privacy = e.users.report(e.epsWindow, e.cfg.Delta, e.cfg.EpsilonBudget, e.cfg.PerUserReport)
 	}
+	// Eviction runs after the report so the closing window describes the
+	// same population an unbounded engine would, and before the result is
+	// published so a persistence layer snapshotting right after this
+	// close (crowd.StreamServer does) can never write a snapshot that
+	// excludes a user whose spill is not durable yet.
+	e.evictIdleLocked()
 
 	e.pushResult(res)
 	e.metrics.windowClosed(time.Since(start))

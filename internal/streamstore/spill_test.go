@@ -1,0 +1,490 @@
+package streamstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pptd/internal/stream"
+	"pptd/internal/streamstore/storefs"
+)
+
+func spillOf(id string, eps float64, windows int) stream.UserSpill {
+	return stream.UserSpill{
+		ID:                id,
+		Carry:             1.25,
+		CumulativeEpsilon: eps,
+		LastWindow:        windows - 1,
+		Windows:           windows,
+		Estimator:         stream.EstimatorCRH,
+	}
+}
+
+// TestSpillRoundTrip: spilled users load back exactly, newest record
+// wins, the index survives a reopen (including a torn tail), and loads
+// of never-spilled users report absence without error.
+func TestSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+
+	if err := s.SpillUsers([]stream.UserSpill{
+		spillOf("alice", 1.5, 3),
+		spillOf("bob", 0.5, 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SpillUsers([]stream.UserSpill{spillOf("alice", 2.0, 4)}); err != nil {
+		t.Fatal(err) // newest-wins overwrite
+	}
+	if _, found, err := s.LoadUser("nobody"); err != nil || found {
+		t.Fatalf("LoadUser(nobody) = %v, %v; want absent", found, err)
+	}
+	sp, found, err := s.LoadUser("alice")
+	if err != nil || !found {
+		t.Fatalf("LoadUser(alice): %v, %v", found, err)
+	}
+	if sp.CumulativeEpsilon != 2.0 || sp.Windows != 4 {
+		t.Fatalf("alice = %+v, want the newest record", sp)
+	}
+	if got := s.SpilledUsers(); got != 2 {
+		t.Fatalf("SpilledUsers = %d, want 2", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail mid-line: reopen must keep the durable prefix.
+	path := filepath.Join(dir, spillName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, []byte("0bad crc {torn")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, dir)
+	defer func() { _ = re.Close() }()
+	sp, found, err = re.LoadUser("alice")
+	if err != nil || !found {
+		t.Fatalf("reopened LoadUser(alice): %v, %v", found, err)
+	}
+	if sp.CumulativeEpsilon != 2.0 {
+		t.Fatalf("reopened alice epsilon = %v, want 2.0", sp.CumulativeEpsilon)
+	}
+	if _, found, err := re.LoadUser("bob"); err != nil || !found {
+		t.Fatalf("reopened LoadUser(bob): %v, %v", found, err)
+	}
+	if got := re.SpilledUsers(); got != 2 {
+		t.Fatalf("reopened SpilledUsers = %d, want 2", got)
+	}
+}
+
+// TestSpillRejectsBadRecords: an empty ID is refused before anything
+// touches the file — it would be indexed live but silently dropped on
+// reopen, a split-brain the encoder must prevent.
+func TestSpillRejectsBadRecords(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	defer func() { _ = s.Close() }()
+	if err := s.SpillUsers([]stream.UserSpill{{ID: ""}}); err == nil {
+		t.Fatal("empty-ID spill accepted")
+	}
+	if got := s.SpilledUsers(); got != 0 {
+		t.Fatalf("SpilledUsers = %d after rejected spill", got)
+	}
+}
+
+// TestSpillCompaction: re-spilling the same users past the size
+// threshold compacts the file down to one newest record per user, the
+// records survive, and a reopen agrees.
+func TestSpillCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+
+	// Pad records so overwrites cross spillCompactMinBytes quickly.
+	pad := json.RawMessage(`{"pad":"` + string(bytes.Repeat([]byte("x"), 400)) + `"}`)
+	const users = 8
+	var rounds int
+	for rounds = 0; ; rounds++ {
+		batch := make([]stream.UserSpill, users)
+		for u := range batch {
+			batch[u] = spillOf(fmt.Sprintf("user-%02d", u), float64(rounds), rounds)
+			batch[u].EstimatorState = pad
+		}
+		if err := s.SpillUsers(batch); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats(false)
+		if st.UserSpills > int64((users*spillCompactMinBytes)/400) {
+			t.Fatal("compaction never triggered")
+		}
+		if fi, err := os.Stat(filepath.Join(dir, spillName)); err == nil &&
+			rounds > 2 && fi.Size() <= int64(users*550) {
+			break // the file has been compacted down to ~one record per user
+		}
+	}
+	for u := 0; u < users; u++ {
+		id := fmt.Sprintf("user-%02d", u)
+		sp, found, err := s.LoadUser(id)
+		if err != nil || !found {
+			t.Fatalf("LoadUser(%s) after compaction: %v, %v", id, found, err)
+		}
+		if sp.CumulativeEpsilon != float64(rounds) {
+			t.Fatalf("%s epsilon = %v, want %d (newest round)", id, sp.CumulativeEpsilon, rounds)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := mustOpen(t, dir)
+	defer func() { _ = re.Close() }()
+	if got := re.SpilledUsers(); got != users {
+		t.Fatalf("reopened SpilledUsers = %d, want %d", got, users)
+	}
+}
+
+// runSpillCycle is the user-spill crash workload: rounds of spills (with
+// overwrites, so compaction triggers mid-cycle) plus loads. It returns
+// the per-user cumulative epsilon acknowledged durable — counted only
+// after SpillUsers returned nil, exactly when the engine would have
+// dropped the in-memory state.
+func runSpillCycle(fsys storefs.FS, dir string) (acked map[string]float64, err error) {
+	acked = make(map[string]float64)
+	opts := Options{FS: fsys}
+	store, err := OpenWith(dir, opts)
+	if err != nil {
+		return acked, err
+	}
+	defer func() { _ = store.Close() }()
+
+	pad := json.RawMessage(`{"pad":"` + string(bytes.Repeat([]byte("p"), 2200)) + `"}`)
+	const users = 4
+	for round := 1; round <= 4; round++ {
+		batch := make([]stream.UserSpill, users)
+		for u := range batch {
+			batch[u] = spillOf(fmt.Sprintf("user-%d", u), float64(round), round)
+			batch[u].EstimatorState = pad
+		}
+		if err := store.SpillUsers(batch); err != nil {
+			return acked, err
+		}
+		for _, sp := range batch {
+			acked[sp.ID] = sp.CumulativeEpsilon
+		}
+		if _, _, err := store.LoadUser("user-0"); err != nil {
+			return acked, err
+		}
+	}
+	return acked, nil
+}
+
+// TestSpillCrashPointSweep crashes at every filesystem operation of the
+// spill workload (appends, fsyncs, and the compaction's whole
+// write/rename dance, plus torn variants of every write) and asserts the
+// recovery contract: the reopened store loads, for every user whose
+// spill was acknowledged, a valid record carrying at least the
+// acknowledged epsilon — an exhausted user can never come back cheaper —
+// and never returns a corrupt record.
+func TestSpillCrashPointSweep(t *testing.T) {
+	pilot := storefs.NewFaulty(storefs.OS{})
+	if _, err := runSpillCycle(pilot, t.TempDir()); err != nil {
+		t.Fatalf("pilot: %v", err)
+	}
+	pilotOps := pilot.Ops()
+	if len(pilotOps) < 15 {
+		t.Fatalf("pilot enumerated only %d ops", len(pilotOps))
+	}
+	sawCompactionRename := false
+	for _, op := range pilotOps {
+		if op.Kind == storefs.OpRename {
+			sawCompactionRename = true
+		}
+	}
+	if !sawCompactionRename {
+		t.Fatal("workload never triggered a spill compaction — the sweep is not covering it")
+	}
+
+	type crashCase struct{ op, tear int }
+	var cases []crashCase
+	for _, op := range pilotOps {
+		cases = append(cases, crashCase{op: op.N})
+		if op.Kind == storefs.OpWrite && op.Len > 1 {
+			cases = append(cases, crashCase{op: op.N, tear: op.Len / 2})
+		}
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		label := fmt.Sprintf("op%03d", tc.op)
+		if tc.tear > 0 {
+			label += fmt.Sprintf("-torn%d", tc.tear)
+		}
+		t.Run(label, func(t *testing.T) {
+			dir := t.TempDir()
+			fy := storefs.NewFaulty(storefs.OS{})
+			fy.CrashAt(tc.op, tc.tear)
+			acked, _ := runSpillCycle(fy, dir)
+
+			re, err := OpenWith(dir, Options{})
+			if err != nil {
+				dumpOpLog(t, fy, "spill-"+label)
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer func() { _ = re.Close() }()
+			for id, wantEps := range acked {
+				sp, found, err := re.LoadUser(id)
+				if err != nil {
+					dumpOpLog(t, fy, "spill-"+label)
+					t.Fatalf("LoadUser(%s) after crash: %v", id, err)
+				}
+				if !found {
+					dumpOpLog(t, fy, "spill-"+label)
+					t.Fatalf("acknowledged spill for %s lost", id)
+				}
+				if sp.CumulativeEpsilon < wantEps-1e-12 {
+					dumpOpLog(t, fy, "spill-"+label)
+					t.Errorf("%s recovered epsilon %v < acknowledged %v: budget state lost",
+						id, sp.CumulativeEpsilon, wantEps)
+				}
+			}
+		})
+	}
+}
+
+// batchSub builds one batch submission with a recognizable claim.
+func batchSub(i int) BatchSubmission {
+	return BatchSubmission{
+		ClientID: fmt.Sprintf("client-%02d", i),
+		Claims: []stream.Claim{
+			{Object: i % 3, Value: float64(i) + 0.25},
+			{Object: (i + 1) % 3, Value: -0.5 * float64(i)},
+		},
+	}
+}
+
+// TestBatchWALRoundTrip: appends come back in acknowledgement order
+// across a reopen, the WAL is created lazily (a stream-only directory
+// never grows one), the result round-trips atomically, and a torn tail
+// costs only the unacknowledged record.
+func TestBatchWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+
+	if subs, err := s.LoadBatchSubmissions(); err != nil || subs != nil {
+		t.Fatalf("fresh store LoadBatchSubmissions = %v, %v; want empty", subs, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, batchWALName)); !os.IsNotExist(err) {
+		t.Fatal("batch.wal exists before any append — lazy creation broken")
+	}
+	if err := s.AppendBatchSubmission(BatchSubmission{}); err == nil {
+		t.Fatal("empty client ID accepted")
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.AppendBatchSubmission(batchSub(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res, err := s.LoadBatchResult(); err != nil || res != nil {
+		t.Fatalf("LoadBatchResult before save = %v, %v; want absent", res, err)
+	}
+	payload := []byte(`{"truths":[1,2,3]}`)
+	if err := s.SaveBatchResult(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the WAL tail; the five acknowledged records must survive.
+	path := filepath.Join(dir, batchWALName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, []byte("ffffffff {half a rec")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, dir)
+	defer func() { _ = re.Close() }()
+	subs, err := re.LoadBatchSubmissions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 5 {
+		t.Fatalf("recovered %d submissions, want 5", len(subs))
+	}
+	for i, sub := range subs {
+		want := batchSub(i)
+		if sub.ClientID != want.ClientID || len(sub.Claims) != len(want.Claims) {
+			t.Fatalf("submission %d = %+v, want %+v (order must be ack order)", i, sub, want)
+		}
+		for c := range sub.Claims {
+			if sub.Claims[c] != want.Claims[c] {
+				t.Fatalf("submission %d claim %d = %+v, want %+v", i, c, sub.Claims[c], want.Claims[c])
+			}
+		}
+	}
+	res, err := re.LoadBatchResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res, payload) {
+		t.Fatalf("recovered result = %q, want %q", res, payload)
+	}
+}
+
+// runBatchCycle is the batch-persistence crash workload: six appends
+// with the result saved (and once overwritten) along the way. It returns
+// how many appends were acknowledged and every result payload whose save
+// was acknowledged.
+func runBatchCycle(fsys storefs.FS, dir string) (ackedSubs int, ackedResults [][]byte, err error) {
+	store, err := OpenWith(dir, Options{FS: fsys})
+	if err != nil {
+		return 0, nil, err
+	}
+	defer func() { _ = store.Close() }()
+	for i := 0; i < 6; i++ {
+		if err := store.AppendBatchSubmission(batchSub(i)); err != nil {
+			return ackedSubs, ackedResults, err
+		}
+		ackedSubs++
+		if i == 2 || i == 4 {
+			payload := []byte(fmt.Sprintf(`{"aggregatedAt":%d}`, i))
+			if err := store.SaveBatchResult(payload); err != nil {
+				return ackedSubs, ackedResults, err
+			}
+			ackedResults = append(ackedResults, payload)
+		}
+	}
+	return ackedSubs, ackedResults, nil
+}
+
+// TestBatchCrashPointSweep crashes at every filesystem operation of the
+// batch workload (WAL creation, appends, result save with its
+// temp/rename dance, torn write variants) and asserts: every
+// acknowledged submission survives recovery in order, an unacknowledged
+// one is either absent or the complete in-flight record (never garbage),
+// and the recovered result is exactly an acknowledged payload or absent
+// — never torn.
+func TestBatchCrashPointSweep(t *testing.T) {
+	pilot := storefs.NewFaulty(storefs.OS{})
+	if _, _, err := runBatchCycle(pilot, t.TempDir()); err != nil {
+		t.Fatalf("pilot: %v", err)
+	}
+	pilotOps := pilot.Ops()
+	if len(pilotOps) < 15 {
+		t.Fatalf("pilot enumerated only %d ops", len(pilotOps))
+	}
+
+	type crashCase struct{ op, tear int }
+	var cases []crashCase
+	for _, op := range pilotOps {
+		cases = append(cases, crashCase{op: op.N})
+		if op.Kind == storefs.OpWrite && op.Len > 1 {
+			cases = append(cases, crashCase{op: op.N, tear: op.Len / 2})
+		}
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		label := fmt.Sprintf("op%03d", tc.op)
+		if tc.tear > 0 {
+			label += fmt.Sprintf("-torn%d", tc.tear)
+		}
+		t.Run(label, func(t *testing.T) {
+			dir := t.TempDir()
+			fy := storefs.NewFaulty(storefs.OS{})
+			fy.CrashAt(tc.op, tc.tear)
+			ackedSubs, ackedResults, _ := runBatchCycle(fy, dir)
+
+			re, err := OpenWith(dir, Options{})
+			if err != nil {
+				dumpOpLog(t, fy, "batch-"+label)
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer func() { _ = re.Close() }()
+
+			subs, err := re.LoadBatchSubmissions()
+			if err != nil {
+				dumpOpLog(t, fy, "batch-"+label)
+				t.Fatalf("LoadBatchSubmissions: %v", err)
+			}
+			if len(subs) < ackedSubs || len(subs) > ackedSubs+1 {
+				dumpOpLog(t, fy, "batch-"+label)
+				t.Fatalf("recovered %d submissions, acknowledged %d (at most one in-flight may appear)",
+					len(subs), ackedSubs)
+			}
+			for i, sub := range subs {
+				want := batchSub(i)
+				if sub.ClientID != want.ClientID {
+					dumpOpLog(t, fy, "batch-"+label)
+					t.Fatalf("submission %d = %q, want %q: ack order broken", i, sub.ClientID, want.ClientID)
+				}
+				for c := range sub.Claims {
+					if math.IsNaN(sub.Claims[c].Value) {
+						t.Fatalf("submission %d claim %d is NaN", i, c)
+					}
+				}
+			}
+
+			res, err := re.LoadBatchResult()
+			if err != nil {
+				dumpOpLog(t, fy, "batch-"+label)
+				t.Fatalf("LoadBatchResult: %v", err)
+			}
+			if res != nil {
+				ok := false
+				for _, want := range ackedResults {
+					if bytes.Equal(res, want) {
+						ok = true
+					}
+				}
+				// The crash may have landed after the last save's write but
+				// before its acknowledgement: the in-flight payload is also
+				// legal, as long as it is a complete JSON document.
+				if !ok && json.Valid(res) {
+					ok = true
+				}
+				if !ok {
+					dumpOpLog(t, fy, "batch-"+label)
+					t.Fatalf("recovered result %q is torn", res)
+				}
+			} else if len(ackedResults) > 0 {
+				dumpOpLog(t, fy, "batch-"+label)
+				t.Fatalf("acknowledged result lost (had %d saves)", len(ackedResults))
+			}
+		})
+	}
+}
+
+// TestSpillAfterCloseFails: both spill and batch surfaces refuse cleanly
+// once the store is closed.
+func TestSpillAfterCloseFails(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SpillUsers([]stream.UserSpill{spillOf("x", 1, 1)}); err != ErrClosed {
+		t.Errorf("SpillUsers after close = %v, want ErrClosed", err)
+	}
+	if _, _, err := s.LoadUser("x"); err != ErrClosed {
+		t.Errorf("LoadUser after close = %v, want ErrClosed", err)
+	}
+	if err := s.AppendBatchSubmission(batchSub(0)); err != ErrClosed {
+		t.Errorf("AppendBatchSubmission after close = %v, want ErrClosed", err)
+	}
+	if _, err := s.LoadBatchSubmissions(); err != ErrClosed {
+		t.Errorf("LoadBatchSubmissions after close = %v, want ErrClosed", err)
+	}
+	if err := s.SaveBatchResult([]byte("{}")); err != ErrClosed {
+		t.Errorf("SaveBatchResult after close = %v, want ErrClosed", err)
+	}
+	if _, err := s.LoadBatchResult(); err != ErrClosed {
+		t.Errorf("LoadBatchResult after close = %v, want ErrClosed", err)
+	}
+}

@@ -51,6 +51,16 @@ type StoreStats struct {
 	// persisted window results.
 	Snapshots    int64 `json:"snapshots"`
 	ResultsSaved int64 `json:"resultsSaved"`
+	// UserSpills counts users spilled to the user-spill file by
+	// residency-cap eviction; UserLoads counts spill records read back
+	// on re-admission. SpilledUsers is the number of distinct users
+	// currently living in the spill store (a gauge, never reset).
+	UserSpills   int64 `json:"userSpills"`
+	UserLoads    int64 `json:"userLoads"`
+	SpilledUsers int   `json:"spilledUsers"`
+	// BatchAppends counts accepted batch-campaign submissions made
+	// durable in the batch WAL.
+	BatchAppends int64 `json:"batchAppends"`
 	// BatchSizes is the histogram of records per group-commit flush.
 	BatchSizes Histogram `json:"batchSizes"`
 	// FlushLatencySeconds is the histogram of write+fsync wall time per
@@ -70,6 +80,9 @@ type statsBase struct {
 	segmentsDeleted int64
 	snapshots       int64
 	resultsSaved    int64
+	userSpills      int64
+	userLoads       int64
+	batchAppends    int64
 	batchSizes      Histogram
 	flushLatency    Histogram
 }
@@ -97,6 +110,13 @@ type statsBase struct {
 func (s *Store) Stats(reset bool) StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Lock order s.mu -> spillMu -> batchMu, matching Close.
+	s.spillMu.Lock()
+	userSpills, userLoads, spilled := s.userSpills, s.userLoads, len(s.spillIndex)
+	s.spillMu.Unlock()
+	s.batchMu.Lock()
+	batchAppends := s.batchAppends
+	s.batchMu.Unlock()
 	st := StoreStats{
 		JournalAppends:      s.journalAppends - s.base.journalAppends,
 		JournalSyncs:        s.journalSyncs - s.base.journalSyncs,
@@ -106,6 +126,10 @@ func (s *Store) Stats(reset bool) StoreStats {
 		SegmentsDeleted:     s.segmentsDeleted - s.base.segmentsDeleted,
 		Snapshots:           s.snapshots - s.base.snapshots,
 		ResultsSaved:        s.resultsSaved - s.base.resultsSaved,
+		UserSpills:          userSpills - s.base.userSpills,
+		UserLoads:           userLoads - s.base.userLoads,
+		SpilledUsers:        spilled,
+		BatchAppends:        batchAppends - s.base.batchAppends,
 		BatchSizes:          s.batchSizes.Sub(s.base.batchSizes),
 		FlushLatencySeconds: s.flushLatency.Sub(s.base.flushLatency),
 	}
@@ -117,6 +141,9 @@ func (s *Store) Stats(reset bool) StoreStats {
 			segmentsDeleted: s.segmentsDeleted,
 			snapshots:       s.snapshots,
 			resultsSaved:    s.resultsSaved,
+			userSpills:      userSpills,
+			userLoads:       userLoads,
+			batchAppends:    batchAppends,
 			batchSizes:      s.batchSizes.Clone(),
 			flushLatency:    s.flushLatency.Clone(),
 		}
@@ -154,6 +181,33 @@ func (s *Store) registerMetrics(reg *obs.Registry) {
 	counter("pptd_store_results_saved_total",
 		"Window results persisted.",
 		func() int64 { return s.resultsSaved })
+	spillCounter := func(name, help string, f func() int64) {
+		reg.CounterFunc(name, help, func() float64 {
+			s.spillMu.Lock()
+			defer s.spillMu.Unlock()
+			return float64(f())
+		})
+	}
+	spillCounter("pptd_store_user_spills_total",
+		"Users spilled to the user-spill file by residency-cap eviction.",
+		func() int64 { return s.userSpills })
+	spillCounter("pptd_store_user_loads_total",
+		"Spill records read back on user re-admission.",
+		func() int64 { return s.userLoads })
+	reg.GaugeFunc("pptd_store_spilled_users",
+		"Distinct users currently living in the user-spill file.",
+		func() float64 {
+			s.spillMu.Lock()
+			defer s.spillMu.Unlock()
+			return float64(len(s.spillIndex))
+		})
+	reg.CounterFunc("pptd_store_batch_appends_total",
+		"Batch-campaign submissions made durable in the batch WAL.",
+		func() float64 {
+			s.batchMu.Lock()
+			defer s.batchMu.Unlock()
+			return float64(s.batchAppends)
+		})
 	reg.GaugeFunc("pptd_store_journal_bytes",
 		"Live journal size in bytes across every segment.",
 		func() float64 {

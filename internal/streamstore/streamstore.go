@@ -34,6 +34,19 @@
 //     so a restarted server can serve the previous truths immediately
 //     instead of nothing until the next close.
 //
+//   - the user-spill file (users.spill): one checksummed record per
+//     evicted user (carry weight, cumulative epsilon, estimator state),
+//     written newest-wins by the engine's residency-cap eviction and
+//     read back on re-admission; an in-memory offset index makes loads
+//     one positioned read, and the file compacts by atomic rewrite
+//     once dead records outweigh live ones. See spill.go.
+//
+//   - the batch-campaign leg (batch.wal + batch-result.json): every
+//     accepted batch submission fsync'd before its acknowledgement,
+//     plus the aggregated result written atomically, so the one-shot
+//     campaign's duplicate guard and published result survive a
+//     restart too. See batch.go.
+//
 // Recovery (Recover) restores the latest snapshot into a fresh engine,
 // replays every journaled record past the snapshot's covered position
 // (budgets always, claims when present — re-running any window closes
@@ -231,6 +244,27 @@ type Store struct {
 	activeSeq  int64
 	activeSize int64
 
+	// User-spill state (users.spill; see spill.go). spillMu is its own
+	// lock so spills and loads never contend with group commit; lock
+	// order is s.mu before spillMu. spill == nil means closed.
+	spillMu          sync.Mutex
+	spill            storefs.File
+	spillSize        int64
+	spillLive        int64
+	spillIndex       map[string]spillRef
+	userSpills       int64
+	userLoads        int64
+	spillCompactions int64
+
+	// Batch-campaign WAL state (batch.wal; see batch.go). The file is
+	// created lazily on the first append, so batch == nil does not mean
+	// closed — batchClosed does. Lock order is s.mu before batchMu.
+	batchMu      sync.Mutex
+	batch        storefs.File
+	batchSize    int64
+	batchClosed  bool
+	batchAppends int64
+
 	// Observability counters. All cumulative and monotone — they back
 	// the registered /metrics callbacks — with base marking the last
 	// Stats(reset) boundary for the windowed JSON view.
@@ -299,13 +333,24 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		batchSizes:   obs.NewHistogram(batchSizeBounds),
 		flushLatency: obs.NewHistogram(flushLatencyBounds),
 	}
-	if err := s.openJournalLocked(); err != nil {
-		if s.active != nil {
-			_ = s.active.Close()
+	fail := func(err error) (*Store, error) {
+		for _, f := range []storefs.File{s.active, s.spill, s.batch} {
+			if f != nil {
+				_ = f.Close()
+			}
 		}
 		_ = unlockFile(lock)
 		_ = lock.Close()
 		return nil, err
+	}
+	if err := s.openJournalLocked(); err != nil {
+		return fail(err)
+	}
+	if err := s.openSpillLocked(); err != nil {
+		return fail(err)
+	}
+	if err := s.openBatchLocked(); err != nil {
+		return fail(err)
 	}
 	if opts.Metrics != nil {
 		s.registerMetrics(opts.Metrics)
@@ -805,6 +850,23 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	err := s.active.Close()
+	s.spillMu.Lock()
+	if s.spill != nil {
+		if serr := s.spill.Close(); err == nil {
+			err = serr
+		}
+		s.spill = nil
+	}
+	s.spillMu.Unlock()
+	s.batchMu.Lock()
+	s.batchClosed = true
+	if s.batch != nil {
+		if berr := s.batch.Close(); err == nil {
+			err = berr
+		}
+		s.batch = nil
+	}
+	s.batchMu.Unlock()
 	if uerr := unlockFile(s.lock); err == nil {
 		err = uerr
 	}

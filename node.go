@@ -75,6 +75,11 @@ type nodeConfig struct {
 	queueSet       bool
 	noCarryover    bool
 
+	maxResident      int
+	maxResidentSet   bool
+	residentBytes    int64
+	residentBytesSet bool
+
 	stateDir    string
 	persistSet  bool
 	store       StreamStoreOptions
@@ -307,6 +312,47 @@ func WithQueueDepth(n int) Option {
 	}
 }
 
+// WithMaxResidentUsers caps how many distinct users the streaming
+// engine holds in memory: at each window close, idle users past the cap
+// are evicted LRU-first, their budget and estimator state spilled
+// durably to the persistence store, and re-admitted transparently on
+// their next claim. Published estimates are unchanged — only fully
+// decayed (statistics-free) users are eligible — and privacy accounting
+// never forgets a charge: an exhausted user stays rejected across
+// eviction, re-admission, and restart. Requires a stream engine and
+// WithPersistence (the spill store).
+func WithMaxResidentUsers(n int) Option {
+	return func(c *nodeConfig) error {
+		if n <= 0 {
+			return optErr("WithMaxResidentUsers: n = %d", n)
+		}
+		if c.maxResidentSet {
+			return optErr("WithMaxResidentUsers configured twice")
+		}
+		c.maxResident = n
+		c.maxResidentSet = true
+		return nil
+	}
+}
+
+// WithResidentBytes caps the streaming engine's estimated in-memory
+// user footprint in bytes instead of (or in addition to) a head count;
+// eviction behaves exactly as under WithMaxResidentUsers. Requires a
+// stream engine and WithPersistence (the spill store).
+func WithResidentBytes(n int64) Option {
+	return func(c *nodeConfig) error {
+		if n <= 0 {
+			return optErr("WithResidentBytes: n = %d", n)
+		}
+		if c.residentBytesSet {
+			return optErr("WithResidentBytes configured twice")
+		}
+		c.residentBytes = n
+		c.residentBytesSet = true
+		return nil
+	}
+}
+
 // WithoutWeightCarryover makes every streaming window's estimation
 // restart from uniform weights instead of warm-starting from the
 // previous window's estimates (and, under GTM, resets the learned
@@ -427,14 +473,17 @@ func WithDebugHandlers() Option {
 // PersistenceOption tunes WithPersistence.
 type PersistenceOption func(*nodeConfig) error
 
-// WithPersistence makes the streaming side durable in the given state
-// directory: every privacy charge (and, by default, the submission's
-// claims — see WithoutClaimWAL) is journaled with an fsync before the
-// submission is acknowledged, each window close persists its published
-// result (the retained history, so ?window= reads survive restarts),
-// and the engine is snapshotted per the configured cadence. The node
-// owns the store: NewNode opens it and Node.Close closes it. Requires a
-// stream engine.
+// WithPersistence makes the node's campaigns durable in the given state
+// directory. On the streaming side, every privacy charge (and, by
+// default, the submission's claims — see WithoutClaimWAL) is journaled
+// with an fsync before the submission is acknowledged, each window
+// close persists its published result (the retained history, so
+// ?window= reads survive restarts), the engine is snapshotted per the
+// configured cadence, and residency-cap evictions (WithMaxResidentUsers
+// / WithResidentBytes) spill user state to the same store. On the batch
+// side, every accepted submission is WAL'd before its receipt and the
+// aggregated result persists before it is first published. The node
+// owns the store: NewNode opens it and Node.Close closes it.
 func WithPersistence(dir string, opts ...PersistenceOption) Option {
 	return func(c *nodeConfig) error {
 		if dir == "" {
@@ -561,7 +610,6 @@ func (c *nodeConfig) validate() error {
 		"WithDecay":               c.decaySet,
 		"WithWindowInterval":      c.intervalSet,
 		"WithWindowHistory":       c.historySet,
-		"WithPersistence":         c.persistSet,
 		"WithEpsilonBudget":       c.budgetSet,
 		"WithPerUserReport":       c.perUser,
 		"WithStreamDistance":      c.distanceSet,
@@ -569,10 +617,18 @@ func (c *nodeConfig) validate() error {
 		"WithStreamMaxIterations": c.maxIterSet,
 		"WithQueueDepth":          c.queueSet,
 		"WithoutWeightCarryover":  c.noCarryover,
+		"WithMaxResidentUsers":    c.maxResidentSet,
+		"WithResidentBytes":       c.residentBytesSet,
 	} {
 		if set && !streaming {
 			return optErr("%s requires a stream engine (WithStreamEngine or WithStreamConfig)", opt)
 		}
+	}
+	// WithPersistence serves either campaign (the batch WAL needs no
+	// stream engine), but never neither — validated above.
+	if (c.maxResidentSet || c.residentBytesSet) && !c.persistSet &&
+		(c.streamBase == nil || c.streamBase.UserStore == nil) {
+		return optErr("residency caps (WithMaxResidentUsers / WithResidentBytes) require WithPersistence: evicted users spill to the store")
 	}
 	if c.lambda2Set && c.targetSet {
 		return optErr("WithLambda2 conflicts with WithPrivacyTarget: the target derives lambda2")
@@ -627,6 +683,12 @@ func (c *nodeConfig) validate() error {
 		}
 		if c.perUser && c.streamBase.PerUserReport {
 			return optErr("WithPerUserReport conflicts with WithStreamConfig.PerUserReport")
+		}
+		if c.maxResidentSet && c.streamBase.MaxResidentUsers != 0 {
+			return optErr("WithMaxResidentUsers conflicts with WithStreamConfig.MaxResidentUsers")
+		}
+		if c.residentBytesSet && c.streamBase.ResidentBytes != 0 {
+			return optErr("WithResidentBytes conflicts with WithStreamConfig.ResidentBytes")
 		}
 		// An explicit ClaimWAL in the escape hatch must stay loud, never
 		// silently defaulted away: it conflicts with WithoutClaimWAL, it
@@ -771,6 +833,12 @@ func NewNode(opts ...Option) (*Node, error) {
 		if cfg.perUser {
 			engineCfg.PerUserReport = true
 		}
+		if cfg.maxResidentSet {
+			engineCfg.MaxResidentUsers = cfg.maxResident
+		}
+		if cfg.residentBytesSet {
+			engineCfg.ResidentBytes = cfg.residentBytes
+		}
 		if engineCfg.Metrics == nil {
 			engineCfg.Metrics = n.metrics
 		}
@@ -807,6 +875,19 @@ func NewNode(opts ...Option) (*Node, error) {
 		n.stream = srv
 	}
 
+	// A batch-only durable node still gets the store: the streaming
+	// branch above opens it when both campaigns (or just streaming) are
+	// configured, so this only fires when WithPersistence rides alone
+	// with WithBatchCampaign.
+	if cfg.persistSet && n.store == nil {
+		cfg.store.Metrics = n.metrics
+		store, err := streamstore.OpenWith(cfg.stateDir, cfg.store)
+		if err != nil {
+			return nil, err
+		}
+		n.store = store
+	}
+
 	if cfg.batchSet {
 		method := cfg.method
 		if method == nil {
@@ -822,6 +903,7 @@ func NewNode(opts ...Option) (*Node, error) {
 			Lambda2:       lambda2,
 			ExpectedUsers: cfg.expected,
 			Method:        method,
+			Persistence:   n.store,
 		})
 		if err != nil {
 			return nil, err

@@ -103,9 +103,18 @@ func TestNodeOptionValidation(t *testing.T) {
 		{"window history without stream",
 			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithWindowHistory(4)},
 			"WithWindowHistory requires a stream engine"},
-		{"persistence without stream",
-			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithPersistence(t.TempDir())},
-			"WithPersistence requires a stream engine"},
+		{"persistence without any campaign",
+			[]pptd.Option{pptd.WithLambda2(2), pptd.WithPersistence(t.TempDir())},
+			"configure at least one of"},
+		{"resident cap without stream",
+			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithMaxResidentUsers(8)},
+			"WithMaxResidentUsers requires a stream engine"},
+		{"resident bytes without stream",
+			[]pptd.Option{pptd.WithBatchCampaign(5), pptd.WithLambda2(2), pptd.WithResidentBytes(1 << 20)},
+			"WithResidentBytes requires a stream engine"},
+		{"resident cap without persistence",
+			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithLambda2(2), pptd.WithMaxResidentUsers(8)},
+			"require WithPersistence"},
 		{"lambda2 conflicts with target",
 			[]pptd.Option{pptd.WithStreamEngine(5), pptd.WithLambda2(2),
 				pptd.WithDataQuality(1), pptd.WithPrivacyTarget(0.5, 0.3)},
