@@ -1,0 +1,120 @@
+// Command benchgate compares a freshly-measured BENCH_*.json artifact
+// (cmd/pptdstream or cmd/pptdcluster -bench-out) against a committed
+// baseline and fails — non-zero exit — when ingest performance
+// regressed past the allowed envelope:
+//
+//   - claims/s dropped by more than -max-throughput-drop (default 20%),
+//   - or submit p99 latency inflated by more than
+//     -max-p99-inflation x baseline (default 2x).
+//
+// Usage (the CI gate):
+//
+//	pptdstream -bench-out /tmp/BENCH_current.json ...
+//	benchgate -baseline docs/bench/BENCH_stream_ingest.json \
+//	    -current /tmp/BENCH_current.json
+//
+// The gate is deliberately loose: CI boxes are noisy, so it catches
+// order-of-magnitude mistakes (an accidental fsync per claim, a lock
+// across the ingest hot path), not single-digit-percent drift. Tighten
+// the thresholds per invocation when comparing on quiet hardware.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// benchPoint is the slice of the BENCH_*.json schema the gate reads;
+// unknown fields are ignored so pptdstream and pptdcluster artifacts
+// both pass through.
+type benchPoint struct {
+	Name            string  `json:"name"`
+	ClaimsPerSecond float64 `json:"claimsPerSecond"`
+	SubmitLatency   struct {
+		P99Seconds float64 `json:"p99Seconds"`
+	} `json:"submitLatency"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "", "committed baseline BENCH_*.json")
+		currentPath  = fs.String("current", "", "freshly measured BENCH_*.json")
+		maxDrop      = fs.Float64("max-throughput-drop", 0.20, "largest tolerated fractional drop in claimsPerSecond")
+		maxInflation = fs.Float64("max-p99-inflation", 2.0, "largest tolerated submit p99 multiple of baseline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baselinePath == "" || *currentPath == "" {
+		return errors.New("need both -baseline and -current")
+	}
+	if *maxDrop < 0 || *maxDrop >= 1 {
+		return fmt.Errorf("-max-throughput-drop %v out of [0,1)", *maxDrop)
+	}
+	if *maxInflation < 1 {
+		return fmt.Errorf("-max-p99-inflation %v below 1", *maxInflation)
+	}
+
+	baseline, err := readPoint(*baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := readPoint(*currentPath)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "benchgate %s: claims/s %.0f -> %.0f, submit p99 %.4fs -> %.4fs\n",
+		current.Name, baseline.ClaimsPerSecond, current.ClaimsPerSecond,
+		baseline.SubmitLatency.P99Seconds, current.SubmitLatency.P99Seconds)
+
+	var failures []string
+	floor := baseline.ClaimsPerSecond * (1 - *maxDrop)
+	if current.ClaimsPerSecond < floor {
+		failures = append(failures, fmt.Sprintf(
+			"throughput regression: %.0f claims/s is below the %.0f floor (baseline %.0f, max drop %.0f%%)",
+			current.ClaimsPerSecond, floor, baseline.ClaimsPerSecond, *maxDrop*100))
+	}
+	ceiling := baseline.SubmitLatency.P99Seconds * *maxInflation
+	if current.SubmitLatency.P99Seconds > ceiling {
+		failures = append(failures, fmt.Sprintf(
+			"latency regression: submit p99 %.4fs exceeds the %.4fs ceiling (baseline %.4fs, max inflation %.1fx)",
+			current.SubmitLatency.P99Seconds, ceiling, baseline.SubmitLatency.P99Seconds, *maxInflation))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(out, "FAIL:", f)
+		}
+		return fmt.Errorf("%d regression(s) past the gate", len(failures))
+	}
+	fmt.Fprintln(out, "PASS: within the regression envelope")
+	return nil
+}
+
+func readPoint(path string) (benchPoint, error) {
+	var p benchPoint
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return p, err
+	}
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return p, fmt.Errorf("%s: %w", path, err)
+	}
+	if p.ClaimsPerSecond <= 0 || p.SubmitLatency.P99Seconds <= 0 {
+		return p, fmt.Errorf("%s: not a bench artifact (claimsPerSecond=%v, submitLatency.p99Seconds=%v)",
+			path, p.ClaimsPerSecond, p.SubmitLatency.P99Seconds)
+	}
+	return p, nil
+}

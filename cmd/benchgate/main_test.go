@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writePoint(t *testing.T, name string, claimsPerSec, p99 float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	body := fmt.Sprintf(`{
+  "name": "stream_ingest",
+  "claimsPerSecond": %v,
+  "submitLatency": {"count": 10, "p99Seconds": %v},
+  "extraneousField": true
+}`, claimsPerSec, p99)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGate(t *testing.T) {
+	baseline := writePoint(t, "baseline.json", 26052.36, 0.025)
+	cases := []struct {
+		name     string
+		claims   float64
+		p99      float64
+		extra    []string
+		wantErr  string
+		wantLine string
+	}{
+		{
+			name: "within envelope", claims: 22000, p99: 0.040,
+			wantLine: "PASS: within the regression envelope",
+		},
+		{
+			name: "faster is fine", claims: 90000, p99: 0.001,
+			wantLine: "PASS",
+		},
+		{
+			name: "throughput regression", claims: 20000, p99: 0.025,
+			wantErr: "1 regression(s)", wantLine: "throughput regression",
+		},
+		{
+			name: "latency regression", claims: 26052.36, p99: 0.051,
+			wantErr: "1 regression(s)", wantLine: "latency regression",
+		},
+		{
+			name: "both regress", claims: 100, p99: 1,
+			wantErr: "2 regression(s)", wantLine: "FAIL",
+		},
+		{
+			name: "tightened thresholds", claims: 25000, p99: 0.025,
+			extra:   []string{"-max-throughput-drop", "0.01"},
+			wantErr: "1 regression(s)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			current := writePoint(t, "current.json", tc.claims, tc.p99)
+			args := append([]string{"-baseline", baseline, "-current", current}, tc.extra...)
+			var buf strings.Builder
+			err := run(args, &buf)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("run: %v\n%s", err, buf.String())
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run = %v, want %q\n%s", err, tc.wantErr, buf.String())
+			}
+			if tc.wantLine != "" && !strings.Contains(buf.String(), tc.wantLine) {
+				t.Fatalf("output missing %q:\n%s", tc.wantLine, buf.String())
+			}
+		})
+	}
+}
+
+func TestGateRejectsBadInputs(t *testing.T) {
+	good := writePoint(t, "good.json", 1000, 0.01)
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"name":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing flags", nil, "need both -baseline and -current"},
+		{"absent file", []string{"-baseline", good, "-current", filepath.Join(t.TempDir(), "nope.json")}, "no such file"},
+		{"not an artifact", []string{"-baseline", empty, "-current", good}, "not a bench artifact"},
+		{"drop out of range", []string{"-baseline", good, "-current", good, "-max-throughput-drop", "1.5"}, "out of [0,1)"},
+		{"inflation below 1", []string{"-baseline", good, "-current", good, "-max-p99-inflation", "0.5"}, "below 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf strings.Builder
+			err := run(tc.args, &buf)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want mention of %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestGateAgainstCommittedBaseline keeps the committed seed point
+// parseable by the gate itself — if the artifact schema drifts, this
+// fails before CI does.
+func TestGateAgainstCommittedBaseline(t *testing.T) {
+	baseline := filepath.Join("..", "..", "docs", "bench", "BENCH_stream_ingest.json")
+	var buf strings.Builder
+	if err := run([]string{"-baseline", baseline, "-current", baseline}, &buf); err != nil {
+		t.Fatalf("gate vs itself: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Fatalf("baseline does not pass against itself:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,494 @@
+// Command pptdcluster boots a sharded streaming cluster in-process — N
+// durable worker nodes plus an ingest coordinator, all on loopback —
+// and drives a simulated device fleet against the coordinator's front
+// door. Users are partitioned across workers by consistent hashing on
+// their device ID, window closes run the coordinator's merge-estimate
+// protocol (so the published truths match a single node's), and with
+// -state-dir each worker journals durably and ships its sealed segments
+// to a replica directory a fresh node can recover from.
+//
+// Usage:
+//
+//	pptdcluster -workers 3 -objects 12 -users 30 -windows 4 \
+//	    -lambda1 1.5 -lambda2 2 -delta 0.3 -budget 0 \
+//	    -state-dir /tmp/pptdcluster -bench-out BENCH_cluster.json
+//
+// The per-window report shows cluster-wide ingest throughput, close
+// (merge + estimate + commit) latency, and estimate accuracy against
+// the simulated ground truth; the final summary breaks claims down per
+// shard. -bench-out records the run as a BENCH_cluster.json artifact in
+// the same schema as cmd/pptdstream's, so the bench gate can compare
+// single-node and cluster trajectories alike.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pptd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pptdcluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pptdcluster", flag.ContinueOnError)
+	var (
+		workersN   = fs.Int("workers", 3, "number of shard worker nodes")
+		objects    = fs.Int("objects", 12, "number of micro-tasks (objects)")
+		users      = fs.Int("users", 30, "number of simulated devices")
+		windows    = fs.Int("windows", 4, "number of windows to stream")
+		method     = fs.String("method", "crh", "streaming truth-discovery estimator: crh, gtm, or catd")
+		lambda1    = fs.Float64("lambda1", 1.5, "simulated sensor quality (error-variance rate)")
+		lambda2    = fs.Float64("lambda2", 2, "perturbation rate released to users")
+		delta      = fs.Float64("delta", 0.3, "LDP delta each window is accounted at")
+		budget     = fs.Float64("budget", 0, "cumulative epsilon cap per user (0 = track only)")
+		decay      = fs.Float64("decay", 1, "per-window retention factor in (0,1]")
+		drift      = fs.Float64("drift", 0.2, "per-window random-walk step of the ground truth")
+		seed       = fs.Uint64("seed", 1, "deterministic seed for the simulated fleet")
+		stateDir   = fs.String("state-dir", "", "base directory for durable workers: worker-N state plus the replica-N archives each worker ships to (empty = in-memory workers, no shipping)")
+		interval   = fs.Duration("window-interval", 0, "coordinator auto window-close ticker (0 = driver-closed windows only)")
+		benchOut   = fs.String("bench-out", "", "write a BENCH_cluster.json performance artifact to this path")
+		metricsOut = fs.String("metrics-out", "", "after the run, scrape the coordinator's GET /metrics and write the exposition to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *windows <= 0 || *users <= 0 {
+		return errors.New("need positive -windows and -users")
+	}
+	if *workersN <= 0 {
+		return errors.New("need a positive -workers count")
+	}
+
+	estimator, err := methodByName(*method)
+	if err != nil {
+		return err
+	}
+	engCfg := pptd.StreamConfig{
+		NumObjects:    *objects,
+		Decay:         *decay,
+		Lambda1:       *lambda1,
+		Lambda2:       *lambda2,
+		Delta:         *delta,
+		EpsilonBudget: *budget,
+	}
+
+	// Boot the shard workers, each its own node on loopback.
+	workerNodes := make([]*pptd.Node, 0, *workersN)
+	workerURLs := make([]string, 0, *workersN)
+	defer func() {
+		for _, w := range workerNodes {
+			_ = w.Close()
+		}
+	}()
+	for i := 0; i < *workersN; i++ {
+		opts := []pptd.Option{
+			pptd.WithName(fmt.Sprintf("shard-%d", i)),
+			pptd.WithMethod(estimator),
+			pptd.WithStreamConfig(engCfg),
+			pptd.WithClusterWorker(),
+		}
+		if *stateDir != "" {
+			opts = append(opts,
+				pptd.WithPersistence(filepath.Join(*stateDir, fmt.Sprintf("worker-%d", i))),
+				pptd.WithSegmentShipping(filepath.Join(*stateDir, fmt.Sprintf("replica-%d", i))),
+				pptd.WithShippingInterval(500*time.Millisecond),
+			)
+		}
+		node, err := pptd.NewNode(opts...)
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", i, err)
+		}
+		workerNodes = append(workerNodes, node)
+		url, err := serveNode(node)
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", i, err)
+		}
+		workerURLs = append(workerURLs, url)
+	}
+
+	coordOpts := []pptd.Option{
+		pptd.WithName("pptdcluster"),
+		pptd.WithMethod(estimator),
+		pptd.WithStreamConfig(engCfg),
+		pptd.WithClusterCoordinator(workerURLs...),
+	}
+	if *interval > 0 {
+		coordOpts = append(coordOpts, pptd.WithWindowInterval(*interval))
+	}
+	coordNode, err := pptd.NewNode(coordOpts...)
+	if err != nil {
+		return fmt.Errorf("coordinator: %w", err)
+	}
+	defer func() { _ = coordNode.Close() }()
+	baseURL, err := serveNode(coordNode)
+	if err != nil {
+		return err
+	}
+
+	client, err := pptd.NewClient(baseURL)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	info, err := client.StreamCampaign(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "cluster campaign %q at %s: %d objects across %d workers, estimator=%s, lambda2=%v\n",
+		info.Name, baseURL, info.NumObjects, info.Shards, estimatorLabel(info.Estimator), info.Lambda2)
+	if info.EpsilonPerWindow > 0 {
+		fmt.Fprintf(out, "privacy: epsilon=%.4f per window at delta=%v, budget=%v\n",
+			info.EpsilonPerWindow, info.Delta, budgetLabel(info.EpsilonBudget))
+	}
+
+	// Simulated fleet, identical to cmd/pptdstream's: per-device quality
+	// sigma_s^2 ~ Exp(lambda1), fresh readings of a drifting ground truth
+	// every window, perturbed on-device before submission.
+	rng := pptd.NewRNG(*seed)
+	groundTruth := make([]float64, info.NumObjects)
+	for n := range groundTruth {
+		groundTruth[n] = 10 * rng.Float64()
+	}
+	type device struct {
+		user  *pptd.CampaignUser
+		rng   *pptd.RNG
+		sigma float64
+	}
+	fleet := make([]*device, *users)
+	for i := range fleet {
+		userRng := rng.Split()
+		d := &device{rng: userRng, sigma: math.Sqrt(userRng.Exp() / *lambda1)}
+		u, err := pptd.NewCampaignUser(fmt.Sprintf("device-%03d", i), takeReadings(groundTruth, d.sigma, userRng), userRng)
+		if err != nil {
+			return err
+		}
+		d.user = u
+		fleet[i] = d
+	}
+
+	fmt.Fprintf(out, "%-7s %9s %8s %10s %9s %8s %9s\n",
+		"window", "claims", "refused", "claims/s", "close-ms", "mae", "max-eps")
+	perf := newPerfTracker()
+	var totalRefused int64
+	for w := 1; w <= *windows; w++ {
+		for n := range groundTruth {
+			groundTruth[n] += *drift * rng.Norm()
+		}
+		for _, d := range fleet {
+			if err := d.user.SetReadings(takeReadings(groundTruth, d.sigma, d.rng)); err != nil {
+				return err
+			}
+		}
+
+		var (
+			wg      sync.WaitGroup
+			refused atomic.Int64
+			fatal   atomic.Value
+		)
+		start := time.Now()
+		for _, d := range fleet {
+			wg.Add(1)
+			go func(d *device) {
+				defer wg.Done()
+				submitStart := time.Now()
+				if _, err := d.user.ParticipateStream(ctx, client); err != nil {
+					if errors.Is(err, pptd.ErrBudgetExhausted) {
+						refused.Add(1)
+						return
+					}
+					fatal.Store(err)
+					return
+				}
+				perf.observeSubmit(time.Since(submitStart))
+			}(d)
+		}
+		wg.Wait()
+		ingestDur := time.Since(start)
+		if err, ok := fatal.Load().(error); ok {
+			return err
+		}
+		totalRefused += refused.Load()
+
+		closeStart := time.Now()
+		res, err := client.StreamCloseWindow(ctx)
+		if err != nil {
+			if refused.Load() > 0 && errors.Is(err, pptd.ErrEmptyWindow) {
+				fmt.Fprintf(out, "%-7s %9d %8d %10s %9s %8s %9s\n",
+					"-", 0, refused.Load(), "-", "-", "-", "-")
+				continue
+			}
+			return err
+		}
+		closeDur := time.Since(closeStart)
+		perf.observeWindow(res.WindowClaims, ingestDur, closeDur)
+
+		var mae float64
+		var covered int
+		for n, tv := range groundTruth {
+			if n < len(res.Covered) && res.Covered[n] {
+				mae += math.Abs(res.Truths[n] - tv)
+				covered++
+			}
+		}
+		if covered > 0 {
+			mae /= float64(covered)
+		}
+		maxEps := "-"
+		if res.Privacy != nil {
+			maxEps = fmt.Sprintf("%.4f", res.Privacy.MaxCumulative)
+		}
+		fmt.Fprintf(out, "%-7d %9d %8d %10.0f %9.2f %8.4f %9s\n",
+			res.Window, res.WindowClaims, refused.Load(),
+			float64(res.WindowClaims)/ingestDur.Seconds(),
+			float64(closeDur.Microseconds())/1000, mae, maxEps)
+	}
+
+	final, err := client.StreamTruths(ctx)
+	if err != nil {
+		if totalRefused > 0 && errors.Is(err, pptd.ErrNotReady) {
+			fmt.Fprintf(out, "cluster done: no window ever closed — all %d submissions refused by budget\n", totalRefused)
+			return writeArtifacts(perf, *benchOut, *metricsOut, baseURL, benchConfig(*users, info, *windows, *workersN, *stateDir != ""), totalRefused, out)
+		}
+		return err
+	}
+	fmt.Fprintf(out, "cluster done: %d windows, %d claims total, %d submissions refused by budget\n",
+		final.Window, final.TotalClaims, totalRefused)
+	// The shard breakdown: every claim landed on exactly one worker, and
+	// the sum is the cluster total the coordinator served.
+	var shardSum int64
+	for i, w := range workerNodes {
+		eng := w.Stream().Engine()
+		claims := eng.TotalClaims()
+		shardSum += claims
+		fmt.Fprintf(out, "shard %d: %d claims, %d closed windows%s\n",
+			i, claims, eng.Window(), shippingLabel(w))
+	}
+	if shardSum != final.TotalClaims {
+		return fmt.Errorf("shard claims sum to %d, coordinator served %d", shardSum, final.TotalClaims)
+	}
+	fmt.Fprintln(out, "every user's claims and privacy ledger lived on exactly one worker; the coordinator merged only sufficient statistics.")
+	return writeArtifacts(perf, *benchOut, *metricsOut, baseURL, benchConfig(*users, info, *windows, *workersN, *stateDir != ""), totalRefused, out)
+}
+
+// serveNode mounts a node's handler on a fresh loopback listener; the
+// server dies with the process (the run is one-shot).
+func serveNode(node *pptd.Node) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: node.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), nil
+}
+
+func shippingLabel(w *pptd.Node) string {
+	if w.Shipper() == nil {
+		return ""
+	}
+	return " (shipping to replica)"
+}
+
+func benchConfig(users int, info pptd.StreamCampaignInfo, windows, workers int, durable bool) BenchConfig {
+	return BenchConfig{
+		Users: users, Objects: info.NumObjects, Windows: windows,
+		Workers: workers, Durable: durable, EpsilonBudget: info.EpsilonBudget,
+	}
+}
+
+func writeArtifacts(perf *perfTracker, benchOut, metricsOut, baseURL string, cfg BenchConfig, refused int64, out io.Writer) error {
+	if benchOut != "" {
+		if err := perf.writeBenchReport(benchOut, cfg, refused); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "bench artifact written to %s\n", benchOut)
+	}
+	if metricsOut != "" {
+		if err := scrapeToFile(baseURL, metricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics exposition written to %s\n", metricsOut)
+	}
+	return nil
+}
+
+// driverLatencyBounds buckets the driver-observed round-trip latencies:
+// 100µs to 10s, matching cmd/pptdstream so artifacts compare.
+var driverLatencyBounds = []float64{
+	100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+type perfTracker struct {
+	mu            sync.Mutex
+	submit        pptd.MetricsHistogram
+	windowClose   pptd.MetricsHistogram
+	claims        int64
+	ingestSeconds float64
+}
+
+func newPerfTracker() *perfTracker {
+	return &perfTracker{
+		submit:      pptd.NewMetricsHistogram(driverLatencyBounds),
+		windowClose: pptd.NewMetricsHistogram(driverLatencyBounds),
+	}
+}
+
+func (p *perfTracker) observeSubmit(d time.Duration) {
+	p.mu.Lock()
+	p.submit.Observe(d.Seconds())
+	p.mu.Unlock()
+}
+
+func (p *perfTracker) observeWindow(claims int64, ingest, close time.Duration) {
+	p.mu.Lock()
+	p.claims += claims
+	p.ingestSeconds += ingest.Seconds()
+	p.windowClose.Observe(close.Seconds())
+	p.mu.Unlock()
+}
+
+// BenchLatency mirrors cmd/pptdstream's artifact schema, so the bench
+// gate reads both.
+type BenchLatency struct {
+	Count       int64   `json:"count"`
+	MeanSeconds float64 `json:"meanSeconds"`
+	P50Seconds  float64 `json:"p50Seconds"`
+	P99Seconds  float64 `json:"p99Seconds"`
+	P999Seconds float64 `json:"p999Seconds"`
+	MaxSeconds  float64 `json:"maxSeconds"`
+}
+
+// BenchConfig records the run shape alongside its numbers.
+type BenchConfig struct {
+	Users         int     `json:"users"`
+	Objects       int     `json:"objects"`
+	Windows       int     `json:"windows"`
+	Workers       int     `json:"workers"`
+	Durable       bool    `json:"durable"`
+	EpsilonBudget float64 `json:"epsilonBudget"`
+}
+
+// BenchReport is the BENCH_cluster.json artifact -bench-out writes.
+type BenchReport struct {
+	Name                 string       `json:"name"`
+	Timestamp            string       `json:"timestamp"`
+	Config               BenchConfig  `json:"config"`
+	Submissions          int64        `json:"submissions"`
+	RefusedSubmissions   int64        `json:"refusedSubmissions"`
+	Claims               int64        `json:"claims"`
+	IngestSeconds        float64      `json:"ingestSeconds"`
+	ClaimsPerSecond      float64      `json:"claimsPerSecond"`
+	SubmissionsPerSecond float64      `json:"submissionsPerSecond"`
+	SubmitLatency        BenchLatency `json:"submitLatency"`
+	WindowCloseLatency   BenchLatency `json:"windowCloseLatency"`
+}
+
+func summarizeLatency(h *pptd.MetricsHistogram) BenchLatency {
+	return BenchLatency{
+		Count:       h.Count,
+		MeanSeconds: h.Mean(),
+		P50Seconds:  h.Quantile(0.5),
+		P99Seconds:  h.Quantile(0.99),
+		P999Seconds: h.Quantile(0.999),
+		MaxSeconds:  h.Max,
+	}
+}
+
+func (p *perfTracker) writeBenchReport(path string, cfg BenchConfig, refused int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rep := BenchReport{
+		Name:               "cluster_ingest",
+		Timestamp:          time.Now().UTC().Format(time.RFC3339),
+		Config:             cfg,
+		Submissions:        p.submit.Count,
+		RefusedSubmissions: refused,
+		Claims:             p.claims,
+		IngestSeconds:      p.ingestSeconds,
+		SubmitLatency:      summarizeLatency(&p.submit),
+		WindowCloseLatency: summarizeLatency(&p.windowClose),
+	}
+	if p.ingestSeconds > 0 {
+		rep.ClaimsPerSecond = float64(p.claims) / p.ingestSeconds
+		rep.SubmissionsPerSecond = float64(p.submit.Count) / p.ingestSeconds
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func scrapeToFile(baseURL, path string) error {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, body, 0o644)
+}
+
+// takeReadings simulates one round of sensing: the ground truth observed
+// through the device's Gaussian error.
+func takeReadings(groundTruth []float64, sigma float64, rng *pptd.RNG) []pptd.CampaignClaim {
+	readings := make([]pptd.CampaignClaim, len(groundTruth))
+	for n, tv := range groundTruth {
+		readings[n] = pptd.CampaignClaim{Object: n, Value: tv + sigma*rng.Norm()}
+	}
+	return readings
+}
+
+func methodByName(name string) (pptd.Method, error) {
+	switch name {
+	case "crh":
+		return pptd.NewCRH()
+	case "gtm":
+		return pptd.NewGTM()
+	case "catd":
+		return pptd.NewCATD()
+	}
+	return nil, fmt.Errorf("unknown -method %q (streaming estimators: crh, gtm, catd)", name)
+}
+
+func estimatorLabel(name string) string {
+	if name == "" {
+		return "crh"
+	}
+	return name
+}
+
+func budgetLabel(b float64) string {
+	if b <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%.4f", b)
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pptd"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero workers", []string{"-workers", "0"}, "positive -workers"},
+		{"zero windows", []string{"-windows", "0"}, "positive -windows"},
+		{"unknown method", []string{"-method", "em"}, `unknown -method "em"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf strings.Builder
+			err := run(tc.args, &buf)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want mention of %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunClusterEndToEnd boots a 3-worker durable cluster, streams a
+// small fleet through the coordinator, and checks the report, the
+// bench artifact, and the metrics scrape.
+func TestRunClusterEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "BENCH_cluster.json")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	var buf strings.Builder
+	err := run([]string{
+		"-workers", "3", "-users", "12", "-objects", "6", "-windows", "3",
+		"-state-dir", filepath.Join(dir, "state"),
+		"-bench-out", benchPath, "-metrics-out", metricsPath,
+		"-seed", "7",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"6 objects across 3 workers",
+		"cluster done: 3 windows, 216 claims total, 0 submissions refused",
+		"shard 0:",
+		"shard 1:",
+		"shard 2:",
+		"(shipping to replica)",
+		"exactly one worker",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatalf("bench artifact: %v", err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bench artifact parse: %v", err)
+	}
+	if rep.Name != "cluster_ingest" {
+		t.Fatalf("bench name = %q, want cluster_ingest", rep.Name)
+	}
+	if rep.Claims != 216 || rep.Submissions != 36 {
+		t.Fatalf("bench counted %d claims / %d submissions, want 216/36", rep.Claims, rep.Submissions)
+	}
+	if rep.Config.Workers != 3 || !rep.Config.Durable {
+		t.Fatalf("bench config = %+v, want 3 durable workers", rep.Config)
+	}
+	if rep.ClaimsPerSecond <= 0 || rep.SubmitLatency.P99Seconds <= 0 {
+		t.Fatalf("bench rates not populated: %+v", rep)
+	}
+
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics scrape: %v", err)
+	}
+	for _, series := range []string{"pptd_cluster_routed_claims_total", "pptd_cluster_window_closes_total"} {
+		if !strings.Contains(string(metrics), series) {
+			t.Fatalf("metrics exposition missing %s:\n%s", series, metrics)
+		}
+	}
+}
+
+// TestRunBudgetRefusals: a budget that covers exactly one window makes
+// every later submission refuse cluster-wide — each worker's ledger
+// holds the line for its own users — and the report says so.
+func TestRunBudgetRefusals(t *testing.T) {
+	// Per-window epsilon at the CLI's default parameters; a 1.5x budget
+	// affords exactly one window.
+	acct, err := pptd.NewAccountant(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := pptd.NewMechanism(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := acct.Epsilon(mech, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	err = run([]string{
+		"-workers", "2", "-users", "6", "-objects", "4", "-windows", "3",
+		"-budget", fmt.Sprintf("%f", 1.5*eps), "-seed", "5",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "12 submissions refused by budget") {
+		t.Fatalf("expected 12 refusals (6 users x 2 later windows):\n%s", out)
+	}
+	// Later windows still close (carried stats decay forward), just with
+	// no fresh claims: the cluster total stays at window 1's.
+	if !strings.Contains(out, "cluster done: 3 windows, 24 claims total") {
+		t.Fatalf("expected 3 windows with only window 1's claims:\n%s", out)
+	}
+}

@@ -1,0 +1,689 @@
+// Package cluster scales one streaming truth-discovery campaign across
+// multiple nodes without changing what it publishes: a Coordinator
+// shards users over N workers by consistent hashing (each user's
+// privacy ledger lives entirely on its owning worker), drives
+// synchronized window closes, and merges the workers' raw sufficient
+// statistics so the cluster publishes exactly the estimate a single
+// node would have produced over the same claims.
+//
+// The close protocol has three steps, each idempotent so a partially
+// failed close converges under retry instead of publishing a partially
+// merged result:
+//
+//  1. Close-export. The coordinator asks every worker to close window W
+//     (POST /v1/cluster/close). Workers quiesce ingest and export their
+//     raw pre-close statistics WITHOUT estimating; the first round
+//     probes with force=false, and if every worker reports an empty
+//     window the close fails with ErrEmptyWindow exactly like a single
+//     node — nothing advances anywhere. Otherwise a second round forces
+//     the empty minority closed (their users still decay, as they would
+//     on one node). A worker retried after a partial close answers from
+//     its per-window export cache, returning identical state.
+//  2. Merge-estimate. The per-worker exports cover disjoint user sets,
+//     so stream.MergeStates unions them losslessly; the coordinator
+//     loads the union into an ephemeral engine and runs the one true
+//     estimation over it. Identical statistics in, identical estimate
+//     out — this is why the cluster-vs-single-node equivalence holds to
+//     within floating-point noise rather than approximately.
+//  3. Commit. The merged post-estimate carry weights and estimator
+//     state are written back to each user's owning worker
+//     (POST /v1/cluster/commit), where the deferred idle-user eviction
+//     finally runs. Only after every worker committed does the
+//     coordinator advance its window and publish the result; any
+//     failure withholds the result and leaves the whole round
+//     retryable.
+//
+// Ingest never crosses shards: POST /v1/stream/claims is forwarded to
+// the user's owning worker, whose local (epsilon, delta) ledger decides
+// duplicate-window and budget-exhaustion exactly as a single node
+// would. A worker that cannot be reached fails the claim with the typed
+// worker_unavailable envelope naming the worker; nothing was ingested,
+// so the client can simply retry.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pptd/internal/crowd"
+	"pptd/internal/obs"
+	"pptd/internal/stream"
+)
+
+// ErrBadConfig reports an invalid coordinator configuration.
+var ErrBadConfig = errors.New("cluster: invalid config")
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Name labels the campaign (served on /v1/stream/campaign).
+	Name string
+	// Engine is the stream configuration shared by every worker; the
+	// coordinator uses it to build the ephemeral merge engine, so
+	// estimator, decay, carry, and privacy parameters must match the
+	// workers'. Persistence fields (Ledger, UserStore, residency caps,
+	// ClaimWAL, Metrics) are ignored — durability lives on the workers.
+	Engine stream.Config
+	// Workers lists the worker base URLs (e.g. "http://10.0.0.2:8080").
+	// The set defines the hash ring: the same set, in any order, routes
+	// every user identically.
+	Workers []string
+	// VNodes is the virtual-node count per worker on the hash ring
+	// (default DefaultVNodes).
+	VNodes int
+	// WindowInterval, when positive, drives cluster-wide window closes
+	// on a ticker, like StreamServerConfig.WindowInterval on one node.
+	WindowInterval time.Duration
+	// CloseRetries is how many times each per-worker close/commit RPC is
+	// retried within one CloseWindow call before the round is abandoned
+	// (default 2). The protocol is idempotent, so an abandoned round is
+	// simply re-run by the next tick.
+	CloseRetries int
+	// HTTPClient overrides the HTTP client used for worker RPCs.
+	HTTPClient *http.Client
+	// Metrics, when set, registers the coordinator's routing and close
+	// counters.
+	Metrics *obs.Registry
+}
+
+// Coordinator fronts a sharded cluster: it serves the standard
+// streaming wire API (campaign, claims, truths, window, stats) while
+// routing ingest to workers and running the merge-estimate close
+// protocol. Safe for concurrent use.
+type Coordinator struct {
+	name      string
+	engCfg    stream.Config
+	estimator string
+	epsWindow float64
+	ring      *Ring
+	clients   map[string]*crowd.Client
+	retries   int
+
+	// windowMu serializes cluster window closes (manual and ticker).
+	windowMu sync.Mutex
+	window   atomic.Int64 // closed windows, mutated only under windowMu
+
+	totalClaims atomic.Int64
+
+	histMu  sync.RWMutex
+	history []crowd.StreamWindowInfo
+	histCap int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	tickMu  sync.Mutex
+	tickErr error
+
+	routedClaims *obs.CounterVec
+	routeErrors  *obs.CounterVec
+	windowCloses *obs.Counter
+	closeRetries *obs.Counter
+}
+
+// NewCoordinator validates the configuration, contacts every worker
+// (all must be reachable and agree on the window count — a cluster must
+// not boot torn), and returns a serving coordinator. Close it to stop
+// the window ticker.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("%w: no workers", ErrBadConfig)
+	}
+	if cfg.WindowInterval < 0 {
+		return nil, fmt.Errorf("%w: WindowInterval = %v", ErrBadConfig, cfg.WindowInterval)
+	}
+	if cfg.CloseRetries < 0 {
+		return nil, fmt.Errorf("%w: CloseRetries = %d", ErrBadConfig, cfg.CloseRetries)
+	}
+	retries := cfg.CloseRetries
+	if retries == 0 {
+		retries = 2
+	}
+	// Validate the engine configuration the same way a worker would, by
+	// building (and immediately closing) a merge engine from it.
+	probe, err := stream.New(mergeConfig(cfg.Engine))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: engine config: %w", err)
+	}
+	estimator := probe.Estimator()
+	if estimator == "" {
+		estimator = stream.EstimatorCRH
+	}
+	epsWindow := probe.EpsilonPerWindow()
+	_ = probe.Close()
+
+	ring, err := NewRing(cfg.Workers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	httpc := cfg.HTTPClient
+	clients := make(map[string]*crowd.Client, len(ring.Workers()))
+	for _, w := range ring.Workers() {
+		var opts []crowd.ClientOption
+		if httpc != nil {
+			opts = append(opts, crowd.WithHTTPClient(httpc))
+		}
+		cl, err := crowd.NewClient(w, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %s: %w", w, err)
+		}
+		clients[w] = cl
+	}
+	histCap := cfg.Engine.HistoryWindows
+	if histCap <= 0 {
+		histCap = 8
+	}
+	c := &Coordinator{
+		name:      cfg.Name,
+		engCfg:    cfg.Engine,
+		estimator: estimator,
+		epsWindow: epsWindow,
+		ring:      ring,
+		clients:   clients,
+		retries:   retries,
+		histCap:   histCap,
+	}
+	if cfg.Metrics != nil {
+		c.routedClaims = cfg.Metrics.CounterVec("pptd_cluster_routed_claims_total",
+			"Claim submissions routed to each worker.", "worker")
+		c.routeErrors = cfg.Metrics.CounterVec("pptd_cluster_route_errors_total",
+			"Claim submissions that failed because the owning worker was unreachable.", "worker")
+		c.windowCloses = cfg.Metrics.Counter("pptd_cluster_window_closes_total",
+			"Cluster-wide window closes completed (merged and committed).")
+		c.closeRetries = cfg.Metrics.Counter("pptd_cluster_close_retries_total",
+			"Per-worker close/commit RPC retries during cluster window closes.")
+	}
+	if err := c.bootSync(); err != nil {
+		return nil, err
+	}
+	if cfg.WindowInterval > 0 {
+		c.stop = make(chan struct{})
+		c.wg.Add(1)
+		go c.autoCloseLoop(cfg.WindowInterval)
+	}
+	return c, nil
+}
+
+// bootSync contacts every worker and adopts the cluster's window count.
+// All workers must be reachable and agree — recovering a torn cluster
+// (workers at different window counts) is a deliberate non-goal of this
+// iteration; the close protocol never creates one because a partial
+// close parks the lagging workers behind the export cache, not behind a
+// divergent window.
+func (c *Coordinator) bootSync() error {
+	ctx := context.Background()
+	type boot struct {
+		worker string
+		info   crowd.StreamCampaignInfo
+		err    error
+	}
+	workers := c.ring.Workers()
+	boots := make([]boot, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w string) {
+			defer wg.Done()
+			info, err := c.clients[w].StreamCampaign(ctx)
+			boots[i] = boot{worker: w, info: info, err: err}
+		}(i, w)
+	}
+	wg.Wait()
+	window := -1
+	var total int64
+	for _, b := range boots {
+		if b.err != nil {
+			return fmt.Errorf("%w: %s at boot: %v", crowd.ErrWorkerUnavailable, b.worker, b.err)
+		}
+		if b.info.NumObjects != c.engCfg.NumObjects {
+			return fmt.Errorf("%w: worker %s serves %d objects, coordinator configured for %d",
+				ErrBadConfig, b.worker, b.info.NumObjects, c.engCfg.NumObjects)
+		}
+		est := b.info.Estimator
+		if est == "" {
+			est = stream.EstimatorCRH
+		}
+		if est != c.estimator {
+			return fmt.Errorf("%w: worker %s runs estimator %q, coordinator configured for %q",
+				ErrBadConfig, b.worker, est, c.estimator)
+		}
+		if window == -1 {
+			window = b.info.Window
+		} else if b.info.Window != window {
+			return fmt.Errorf("%w: workers disagree on window count (%s at %d, %s at %d) — torn cluster",
+				ErrBadConfig, boots[0].worker, window, b.worker, b.info.Window)
+		}
+		total += b.info.TotalClaims
+	}
+	c.window.Store(int64(window))
+	c.totalClaims.Store(total)
+	return nil
+}
+
+// mergeConfig strips the per-node concerns from the shared engine
+// configuration: the merge engine is ephemeral and in-memory, exists
+// only for the duration of one estimation, and must never journal,
+// spill, or report metrics of its own.
+func mergeConfig(cfg stream.Config) stream.Config {
+	cfg.Ledger = nil
+	cfg.UserStore = nil
+	cfg.Metrics = nil
+	cfg.ClaimWAL = false
+	cfg.MaxResidentUsers = 0
+	cfg.ResidentBytes = 0
+	return cfg
+}
+
+// autoCloseLoop closes windows on the configured interval until Close.
+func (c *Coordinator) autoCloseLoop(interval time.Duration) {
+	defer c.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			// An empty window means no traffic this tick. Anything else —
+			// above all an unreachable worker, which withholds the round's
+			// result — is retained for TickError; the next tick re-runs
+			// the idempotent round.
+			_, err := c.CloseWindow()
+			if errors.Is(err, stream.ErrEmptyWindow) {
+				continue
+			}
+			c.tickMu.Lock()
+			c.tickErr = err // nil on success: a good tick clears the fault
+			c.tickMu.Unlock()
+		}
+	}
+}
+
+// TickError returns the most recent unexpected error from a
+// ticker-driven cluster close (nil when the last effective tick
+// succeeded) — how a deployment notices a worker holding up closes.
+func (c *Coordinator) TickError() error {
+	c.tickMu.Lock()
+	defer c.tickMu.Unlock()
+	return c.tickErr
+}
+
+// Close stops the window ticker. Workers are not touched — they are
+// independent processes with their own lifecycles.
+func (c *Coordinator) Close() error {
+	if c.stop != nil {
+		c.stopOnce.Do(func() { close(c.stop) })
+		c.wg.Wait()
+	}
+	return c.TickError()
+}
+
+// Ring exposes the coordinator's hash ring (for tests and diagnostics).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Window returns the number of cluster-wide closed windows.
+func (c *Coordinator) Window() int { return int(c.window.Load()) }
+
+// Campaign returns the cluster campaign metadata. Shards reports the
+// worker count — the unit of horizontal scale here, as engine shards
+// are on one node.
+func (c *Coordinator) Campaign() crowd.StreamCampaignInfo {
+	return crowd.StreamCampaignInfo{
+		Name:             c.name,
+		NumObjects:       c.engCfg.NumObjects,
+		Lambda2:          c.engCfg.Lambda2,
+		Estimator:        c.estimator,
+		Shards:           len(c.ring.Workers()),
+		Window:           c.Window(),
+		TotalClaims:      c.totalClaims.Load(),
+		EpsilonPerWindow: c.epsWindow,
+		Delta:            c.engCfg.Delta,
+		EpsilonBudget:    c.engCfg.EpsilonBudget,
+	}
+}
+
+// Submit routes one claim batch to the worker owning the submitting
+// user. The worker's answer — receipt or typed rejection (duplicate
+// window, exhausted budget) — passes through unchanged except that the
+// receipt's TotalClaims becomes the cluster-wide count. A transport
+// failure maps to crowd.ErrWorkerUnavailable naming the worker; the
+// claim was not ingested anywhere.
+func (c *Coordinator) Submit(ctx context.Context, sub crowd.Submission) (crowd.StreamReceipt, error) {
+	if sub.ClientID == "" {
+		return crowd.StreamReceipt{}, fmt.Errorf("%w: empty clientId", crowd.ErrBadSubmission)
+	}
+	owner := c.ring.Owner(sub.ClientID)
+	receipt, err := c.clients[owner].StreamSubmit(ctx, sub)
+	if err != nil {
+		var httpErr *crowd.HTTPError
+		if !errors.As(err, &httpErr) {
+			// No HTTP response at all: the worker is down or unreachable.
+			if c.routeErrors != nil {
+				c.routeErrors.With(owner).Inc()
+			}
+			return crowd.StreamReceipt{}, fmt.Errorf("%w: worker %s: %v", crowd.ErrWorkerUnavailable, owner, err)
+		}
+		return crowd.StreamReceipt{}, err
+	}
+	if c.routedClaims != nil {
+		c.routedClaims.With(owner).Inc()
+	}
+	receipt.TotalClaims = c.totalClaims.Add(int64(receipt.Accepted))
+	return receipt, nil
+}
+
+// CloseWindow runs one cluster-wide coordinated close (see the package
+// comment for the protocol) and returns the merged window estimate. An
+// all-empty cluster fails with stream.ErrEmptyWindow and advances
+// nothing; an unreachable worker withholds the result and leaves the
+// round retryable.
+func (c *Coordinator) CloseWindow() (crowd.StreamWindowInfo, error) {
+	c.windowMu.Lock()
+	defer c.windowMu.Unlock()
+	window := int(c.window.Load()) + 1
+	workers := c.ring.Workers()
+	ctx := context.Background()
+
+	// Round 1: probe-close every worker. Workers holding live statistics
+	// close and export; empty workers report Empty without closing.
+	replies := make([]crowd.ClusterCloseReply, len(workers))
+	err := c.fanOut(workers, func(i int, w string) error {
+		reply, err := c.closeWorker(ctx, w, window, false)
+		replies[i] = reply
+		return err
+	})
+	if err != nil {
+		return crowd.StreamWindowInfo{}, err
+	}
+	allEmpty := true
+	for _, r := range replies {
+		if !r.Empty {
+			allEmpty = false
+			break
+		}
+	}
+	if allEmpty {
+		return crowd.StreamWindowInfo{}, fmt.Errorf("%w: window %d empty on all %d workers",
+			stream.ErrEmptyWindow, window, len(workers))
+	}
+	// Round 2: force-close the empty minority so every worker advances
+	// together (their users still decay, exactly as on a single node).
+	if err := c.fanOut(workers, func(i int, w string) error {
+		if !replies[i].Empty {
+			return nil
+		}
+		reply, err := c.closeWorker(ctx, w, window, true)
+		replies[i] = reply
+		return err
+	}); err != nil {
+		return crowd.StreamWindowInfo{}, err
+	}
+
+	// Merge the disjoint per-worker exports and run the one true
+	// estimation over the union.
+	states := make([]*stream.EngineState, len(replies))
+	for i, r := range replies {
+		states[i] = r.State
+	}
+	merged, err := stream.MergeStates(states)
+	if err != nil {
+		return crowd.StreamWindowInfo{}, fmt.Errorf("cluster: merge window %d: %w", window, err)
+	}
+	eng, err := stream.New(mergeConfig(c.engCfg))
+	if err != nil {
+		return crowd.StreamWindowInfo{}, fmt.Errorf("cluster: merge engine: %w", err)
+	}
+	defer func() {
+		_ = eng.Close()
+	}()
+	if err := eng.Restore(merged); err != nil {
+		return crowd.StreamWindowInfo{}, fmt.Errorf("cluster: restore merged state: %w", err)
+	}
+	res, err := eng.CloseWindow()
+	if err != nil {
+		return crowd.StreamWindowInfo{}, fmt.Errorf("cluster: estimate window %d: %w", window, err)
+	}
+	carries, err := eng.ExportCarry()
+	if err != nil {
+		return crowd.StreamWindowInfo{}, fmt.Errorf("cluster: export carries: %w", err)
+	}
+
+	// Commit the merged carries back to each user's owning worker. Every
+	// worker gets a commit — even with no carries to receive — because
+	// commit also runs the eviction the cluster close deferred.
+	byWorker := make(map[string][]stream.UserCarry, len(workers))
+	for _, carry := range carries {
+		owner := c.ring.Owner(carry.ID)
+		byWorker[owner] = append(byWorker[owner], carry)
+	}
+	if err := c.fanOut(workers, func(i int, w string) error {
+		return c.commitWorker(ctx, w, window, byWorker[w])
+	}); err != nil {
+		// The result is withheld, not partially published: the window
+		// does not advance, and the next close re-runs the idempotent
+		// round (workers answer from their export caches, the merge
+		// reproduces the same result, commits re-apply the same values).
+		return crowd.StreamWindowInfo{}, err
+	}
+
+	c.window.Store(int64(window))
+	if c.windowCloses != nil {
+		c.windowCloses.Inc()
+	}
+	info := crowd.WindowInfo(res)
+	c.histMu.Lock()
+	c.history = append(c.history, info)
+	if len(c.history) > c.histCap {
+		c.history = c.history[len(c.history)-c.histCap:]
+	}
+	c.histMu.Unlock()
+	return info, nil
+}
+
+// closeWorker invokes one worker's close RPC with retries.
+func (c *Coordinator) closeWorker(ctx context.Context, worker string, window int, force bool) (crowd.ClusterCloseReply, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 && c.closeRetries != nil {
+			c.closeRetries.Inc()
+		}
+		reply, err := c.clients[worker].ClusterClose(ctx, crowd.ClusterCloseRequest{Window: window, Force: force})
+		if err == nil {
+			if !reply.Empty && reply.State == nil {
+				return crowd.ClusterCloseReply{}, fmt.Errorf("cluster: worker %s returned neither state nor empty for window %d",
+					worker, window)
+			}
+			return reply, nil
+		}
+		var httpErr *crowd.HTTPError
+		if errors.As(err, &httpErr) {
+			// The worker answered: retrying the same request will not
+			// change its mind. Surface its typed error as-is.
+			return crowd.ClusterCloseReply{}, err
+		}
+		lastErr = err
+	}
+	return crowd.ClusterCloseReply{}, fmt.Errorf("%w: %s closing window %d: %v",
+		crowd.ErrWorkerUnavailable, worker, window, lastErr)
+}
+
+// commitWorker invokes one worker's commit RPC with retries.
+func (c *Coordinator) commitWorker(ctx context.Context, worker string, window int, carries []stream.UserCarry) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 && c.closeRetries != nil {
+			c.closeRetries.Inc()
+		}
+		_, err := c.clients[worker].ClusterCommit(ctx, crowd.ClusterCommitRequest{Window: window, Carries: carries})
+		if err == nil {
+			return nil
+		}
+		var httpErr *crowd.HTTPError
+		if errors.As(err, &httpErr) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("%w: %s committing window %d: %v",
+		crowd.ErrWorkerUnavailable, worker, window, lastErr)
+}
+
+// fanOut runs f once per worker concurrently and joins the failures.
+func (c *Coordinator) fanOut(workers []string, f func(i int, worker string) error) error {
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w string) {
+			defer wg.Done()
+			errs[i] = f(i, w)
+		}(i, w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Truths returns the latest merged window estimate, or crowd.ErrNotReady
+// before the first cluster-wide close.
+func (c *Coordinator) Truths() (crowd.StreamWindowInfo, error) {
+	c.histMu.RLock()
+	defer c.histMu.RUnlock()
+	if len(c.history) == 0 {
+		return crowd.StreamWindowInfo{}, crowd.ErrNotReady
+	}
+	return c.history[len(c.history)-1], nil
+}
+
+// TruthsAt returns one retained merged window (1-based; 0 = latest),
+// mirroring the single-node history contract.
+func (c *Coordinator) TruthsAt(window int) (crowd.StreamWindowInfo, error) {
+	if window == 0 {
+		return c.Truths()
+	}
+	c.histMu.RLock()
+	defer c.histMu.RUnlock()
+	if len(c.history) == 0 {
+		return crowd.StreamWindowInfo{}, crowd.ErrNotReady
+	}
+	for _, info := range c.history {
+		if info.Window == window {
+			return info, nil
+		}
+	}
+	return crowd.StreamWindowInfo{}, fmt.Errorf("%w: window %d (retaining up to %d recent windows)",
+		crowd.ErrUnknownWindow, window, c.histCap)
+}
+
+// Stats returns the coordinator's headline counters.
+func (c *Coordinator) Stats() crowd.StreamStatsInfo {
+	info := crowd.StreamStatsInfo{
+		Name:           c.name,
+		Estimator:      c.estimator,
+		Window:         c.Window(),
+		TotalClaims:    c.totalClaims.Load(),
+		HistoryWindows: c.histCap,
+	}
+	c.histMu.RLock()
+	if len(c.history) > 0 {
+		info.HistoryOldest = c.history[0].Window
+	}
+	c.histMu.RUnlock()
+	return info
+}
+
+// Handler returns an http.Handler serving the cluster front door.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	c.Register(mux)
+	return mux
+}
+
+// Register mounts the coordinator's routes — the standard streaming
+// wire paths, speaking the exact contract a single node does — on a
+// shared mux.
+func (c *Coordinator) Register(mux *http.ServeMux) {
+	mux.HandleFunc(crowd.PathStreamCampaign, crowd.EchoRequestID(c.handleCampaign))
+	mux.HandleFunc(crowd.PathStreamClaims, crowd.EchoRequestID(c.handleClaims))
+	mux.HandleFunc(crowd.PathStreamTruths, crowd.EchoRequestID(c.handleTruths))
+	mux.HandleFunc(crowd.PathStreamWindow, crowd.EchoRequestID(c.handleWindow))
+	mux.HandleFunc(crowd.PathStreamStats, crowd.EchoRequestID(c.handleStats))
+}
+
+func (c *Coordinator) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		crowd.WriteError(w, http.StatusMethodNotAllowed, crowd.CodeMethodNotAllowed, "GET only")
+		return
+	}
+	crowd.WriteJSON(w, http.StatusOK, c.Campaign())
+}
+
+func (c *Coordinator) handleClaims(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		crowd.WriteError(w, http.StatusMethodNotAllowed, crowd.CodeMethodNotAllowed, "POST only")
+		return
+	}
+	var sub crowd.Submission
+	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		crowd.WriteError(w, http.StatusBadRequest, crowd.CodeBadRequest, fmt.Sprintf("decode submission: %v", err))
+		return
+	}
+	receipt, err := c.Submit(r.Context(), sub)
+	if err != nil {
+		// A worker's own envelope (duplicate window, exhausted budget,
+		// bad claim) passes through with its original status and code.
+		crowd.WriteWireError(w, err)
+		return
+	}
+	crowd.WriteJSON(w, http.StatusOK, receipt)
+}
+
+func (c *Coordinator) handleTruths(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		crowd.WriteError(w, http.StatusMethodNotAllowed, crowd.CodeMethodNotAllowed, "GET only")
+		return
+	}
+	window := 0
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			crowd.WriteError(w, http.StatusBadRequest, crowd.CodeBadRequest,
+				fmt.Sprintf("bad window parameter %q: want a non-negative integer", raw))
+			return
+		}
+		window = n
+	}
+	info, err := c.TruthsAt(window)
+	if err != nil {
+		crowd.WriteWireError(w, err)
+		return
+	}
+	crowd.WriteJSON(w, http.StatusOK, info)
+}
+
+func (c *Coordinator) handleWindow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		crowd.WriteError(w, http.StatusMethodNotAllowed, crowd.CodeMethodNotAllowed, "POST only")
+		return
+	}
+	info, err := c.CloseWindow()
+	if err != nil {
+		crowd.WriteWireError(w, err)
+		return
+	}
+	crowd.WriteJSON(w, http.StatusOK, info)
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		crowd.WriteError(w, http.StatusMethodNotAllowed, crowd.CodeMethodNotAllowed, "GET only")
+		return
+	}
+	crowd.WriteJSON(w, http.StatusOK, c.Stats())
+}

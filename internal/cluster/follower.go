@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"pptd/internal/crowd"
+	"pptd/internal/streamstore"
+)
+
+// HTTP segment shipping: a Follower exposes a replica directory over
+// two routes — a manifest of what it holds and a PUT endpoint for
+// individual files — and an HTTPSink is the shipper-side client for
+// them. Together they turn any reachable node into a warm standby:
+// point the worker's shipper at the follower's URL, and recovering the
+// standby is opening a streamstore on its directory.
+const (
+	// PathFollowerManifest serves the follower's current files and sizes
+	// (GET), the remote form of Sink.Have.
+	PathFollowerManifest = "/v1/follower/manifest"
+	// PathFollowerFiles accepts one shipped file per request
+	// (PUT /v1/follower/files/<name>), the remote form of Sink.Put. Only
+	// names streamstore.ValidShippableName accepts are written.
+	PathFollowerFiles = "/v1/follower/files/"
+)
+
+// Follower receives shipped files into a local directory. Mount its
+// Handler on any mux; restore by opening a streamstore on Dir.
+type Follower struct {
+	sink *DirSink
+}
+
+// NewFollower returns a follower writing into dir (created if needed).
+func NewFollower(dir string) (*Follower, error) {
+	sink, err := NewDirSink(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Follower{sink: sink}, nil
+}
+
+// Dir returns the replica directory.
+func (f *Follower) Dir() string { return f.sink.Dir() }
+
+// Register mounts the follower routes on mux.
+func (f *Follower) Register(mux *http.ServeMux) {
+	mux.HandleFunc(PathFollowerManifest, crowd.EchoRequestID(f.handleManifest))
+	mux.HandleFunc(PathFollowerFiles, crowd.EchoRequestID(f.handleFile))
+}
+
+// Handler returns an http.Handler serving just the follower routes.
+func (f *Follower) Handler() http.Handler {
+	mux := http.NewServeMux()
+	f.Register(mux)
+	return mux
+}
+
+func (f *Follower) handleManifest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		crowd.WriteError(w, http.StatusMethodNotAllowed, crowd.CodeMethodNotAllowed, "GET only")
+		return
+	}
+	have, err := f.sink.Have()
+	if err != nil {
+		crowd.WriteWireError(w, err)
+		return
+	}
+	crowd.WriteJSON(w, http.StatusOK, have)
+}
+
+func (f *Follower) handleFile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPut {
+		crowd.WriteError(w, http.StatusMethodNotAllowed, crowd.CodeMethodNotAllowed, "PUT only")
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, PathFollowerFiles)
+	if !streamstore.ValidShippableName(name) {
+		crowd.WriteError(w, http.StatusBadRequest, crowd.CodeBadRequest,
+			fmt.Sprintf("%q is not a shippable file name", name))
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		crowd.WriteError(w, http.StatusBadRequest, crowd.CodeBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	if err := f.sink.Put(name, data); err != nil {
+		crowd.WriteWireError(w, err)
+		return
+	}
+	crowd.WriteJSON(w, http.StatusOK, map[string]any{"name": name, "size": len(data)})
+}
+
+// HTTPSink ships to a remote Follower.
+type HTTPSink struct {
+	baseURL string
+	httpc   *http.Client
+}
+
+// NewHTTPSink returns a sink shipping to the follower at baseURL.
+// httpc may be nil (a default client is used).
+func NewHTTPSink(baseURL string, httpc *http.Client) (*HTTPSink, error) {
+	if baseURL == "" {
+		return nil, fmt.Errorf("cluster: empty follower URL")
+	}
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &HTTPSink{baseURL: baseURL, httpc: httpc}, nil
+}
+
+// Have implements Sink via the follower's manifest.
+func (h *HTTPSink) Have() (map[string]int64, error) {
+	resp, err := h.httpc.Get(h.baseURL + PathFollowerManifest)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: follower manifest: status %d", resp.StatusCode)
+	}
+	var have map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&have); err != nil {
+		return nil, fmt.Errorf("cluster: decode follower manifest: %w", err)
+	}
+	return have, nil
+}
+
+// Put implements Sink via the follower's file endpoint.
+func (h *HTTPSink) Put(name string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, h.baseURL+PathFollowerFiles+name, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	resp, err := h.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: follower rejected %s: status %d: %s", name, resp.StatusCode, body)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pptd/internal/crowd"
+	"pptd/internal/obs"
+	"pptd/internal/stream"
+	"pptd/internal/streamstore"
+)
+
+// WorkerConfig parameterizes one cluster worker node.
+type WorkerConfig struct {
+	// Name labels the worker's campaign shard.
+	Name string
+	// Engine is the shard's stream configuration. It must match the
+	// coordinator's (same objects, estimator, decay, privacy
+	// parameters); the coordinator verifies the load-bearing fields at
+	// boot.
+	Engine stream.Config
+	// Persistence, when set, makes the worker durable exactly like a
+	// standalone StreamServer — and is required for segment shipping.
+	Persistence *streamstore.Store
+	// ShipTo, when set, starts a background shipper replicating the
+	// worker's durable state to the sink (see Shipper).
+	ShipTo Sink
+	// ShipInterval is the shipping cadence (default 5s when ShipTo is
+	// set).
+	ShipInterval time.Duration
+	// Metrics, when set, registers the shipper's counters.
+	Metrics *obs.Registry
+}
+
+// Worker is one shard node of a cluster: an ordinary streaming server
+// for the users the ring assigns here — ingest, ledger, durability all
+// local — plus the coordinator-facing cluster RPCs and an optional
+// segment shipper. Its window closes are driven by the coordinator, so
+// WorkerConfig deliberately has no WindowInterval.
+type Worker struct {
+	srv     *crowd.StreamServer
+	shipper *Shipper
+}
+
+// NewWorker starts a worker node.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.ShipTo != nil && cfg.Persistence == nil {
+		return nil, fmt.Errorf("%w: segment shipping requires persistence", ErrBadConfig)
+	}
+	srv, err := crowd.NewStreamServer(crowd.StreamServerConfig{
+		Name:        cfg.Name,
+		Engine:      cfg.Engine,
+		Persistence: cfg.Persistence,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{srv: srv}
+	if cfg.ShipTo != nil {
+		interval := cfg.ShipInterval
+		if interval <= 0 {
+			interval = 5 * time.Second
+		}
+		shipper, err := NewShipper(cfg.Persistence, cfg.ShipTo, interval, cfg.Metrics)
+		if err != nil {
+			_ = srv.Close()
+			return nil, err
+		}
+		w.shipper = shipper
+		shipper.Start()
+	}
+	return w, nil
+}
+
+// Server exposes the underlying streaming server (for tests driving the
+// worker directly).
+func (w *Worker) Server() *crowd.StreamServer { return w.srv }
+
+// Shipper exposes the worker's segment shipper (nil without ShipTo).
+func (w *Worker) Shipper() *Shipper { return w.shipper }
+
+// Register mounts the worker's routes: the full streaming API (the
+// coordinator proxies claims here, and an operator can inspect the
+// shard directly) plus the cluster close/commit RPCs.
+func (w *Worker) Register(mux *http.ServeMux) {
+	w.srv.Register(mux)
+	w.srv.RegisterCluster(mux)
+}
+
+// Handler returns an http.Handler serving the worker's routes.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	w.Register(mux)
+	return mux
+}
+
+// Close stops the shipper (running one final pass, so a graceful
+// shutdown leaves the standby current) and then the streaming server
+// (which snapshots durable state).
+func (w *Worker) Close() error {
+	var errs []error
+	if w.shipper != nil {
+		// The final shipping pass runs before the server's closing
+		// snapshot; ship once more after it so the sink holds the final
+		// state too.
+		if err := w.shipper.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := w.srv.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	if w.shipper != nil {
+		if err := w.shipper.SyncOnce(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

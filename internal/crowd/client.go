@@ -213,6 +213,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		id = obs.NewRequestID()
 	}
 	req.Header.Set(HeaderRequestID, id)
+	// Advertise the envelope versions this client can decode, so a
+	// future server can emit a newer envelope only to clients that
+	// understand it (the server echoes its pick in
+	// HeaderEnvelopeVersion).
+	req.Header.Set(HeaderAcceptEnvelope, strconv.Itoa(ErrorEnvelopeVersion))
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return fmt.Errorf("crowd: %s %s: %w", method, path, err)

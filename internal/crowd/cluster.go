@@ -1,0 +1,235 @@
+package crowd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"pptd/internal/stream"
+)
+
+// Worker-side cluster RPCs. A multi-node deployment (internal/cluster)
+// shards users across N workers by consistent hashing; each worker runs
+// an ordinary durable StreamServer for ingest, but window closes are
+// driven by the coordinator through the two RPCs here:
+//
+//  1. POST /v1/cluster/close  — quiesce the open window and export its
+//     raw, pre-close sufficient statistics WITHOUT estimating (decay
+//     and the window advance still happen locally). The coordinator
+//     merges the disjoint per-worker exports and runs the one true
+//     estimation over the union, so an N-worker cluster publishes
+//     exactly the estimate a single node would have.
+//  2. POST /v1/cluster/commit — write the merged per-user carry
+//     weights and estimator state back onto the worker that owns each
+//     user, then run the deferred idle-user eviction so spill records
+//     carry the merged post-estimate state.
+//
+// Both RPCs are idempotent so the coordinator can retry a partially
+// failed cluster close: close caches its export per window (a retry
+// returns the identical state instead of closing a second window), and
+// commit re-applies the same values. Each RPC snapshots the engine when
+// the worker is durable — a worker must never replay its journal across
+// a cluster close boundary, because local replay would re-estimate with
+// only this shard's users and diverge from the merged truth.
+
+// ClusterCloseRequest asks a worker to close one window and export its
+// sufficient statistics.
+type ClusterCloseRequest struct {
+	// Window is the 1-based index of the window being closed; the worker
+	// refuses when its engine is not exactly there (a torn cluster or a
+	// stale coordinator).
+	Window int `json:"window"`
+	// Force closes the window even when the worker holds no live
+	// statistics. The coordinator's first round probes with Force false
+	// so an all-empty cluster can refuse the close like a single node
+	// would (ErrEmptyWindow, nothing advanced); the second round forces
+	// the empty minority once any worker reported data.
+	Force bool `json:"force"`
+}
+
+// ClusterCloseReply is the worker's answer to ClusterCloseRequest.
+type ClusterCloseReply struct {
+	// Empty reports a non-forced close against a worker with no live
+	// statistics: the window was NOT closed and State is nil.
+	Empty bool `json:"empty,omitempty"`
+	// State is the worker's exported pre-close engine state (its Window
+	// field is the closed-window count before this close, i.e.
+	// request.Window-1).
+	State *stream.EngineState `json:"state,omitempty"`
+}
+
+// ClusterCommitRequest writes the merged post-estimate carry weights
+// back onto the worker owning each user.
+type ClusterCommitRequest struct {
+	// Window is the 1-based window the carries resulted from; the worker
+	// must already have closed it (engine at Window closed windows).
+	Window int `json:"window"`
+	// Carries holds the merged carry weight and estimator state for each
+	// user this worker owns.
+	Carries []stream.UserCarry `json:"carries"`
+}
+
+// ClusterCommitReply acknowledges a ClusterCommitRequest.
+type ClusterCommitReply struct {
+	// Window echoes the committed window.
+	Window int `json:"window"`
+}
+
+// ClusterClose serves one coordinator-driven window close: it verifies
+// the worker is at the expected window, quiesces ingest, and exports
+// the open window's raw sufficient statistics without estimating. The
+// call is idempotent per window — a retried close returns the cached
+// export of the first. A non-forced close of a worker with no live
+// statistics replies Empty without closing anything.
+func (s *StreamServer) ClusterClose(req ClusterCloseRequest) (ClusterCloseReply, error) {
+	s.windowMu.Lock()
+	defer s.windowMu.Unlock()
+	// The cache check comes before everything else: after a partial
+	// cluster close this worker's engine already advanced, and only the
+	// cached export lets the coordinator's retry converge.
+	if s.clusterExport != nil && s.clusterExportWindow == req.Window {
+		return ClusterCloseReply{State: s.clusterExport}, nil
+	}
+	if got := s.engine.Window() + 1; got != req.Window {
+		return ClusterCloseReply{}, fmt.Errorf("%w: cluster close of window %d but worker's open window is %d",
+			ErrBadSubmission, req.Window, got)
+	}
+	if !req.Force && !s.engine.HasLiveStats() {
+		return ClusterCloseReply{Empty: true}, nil
+	}
+	st, err := s.engine.CloseWindowExport()
+	if err != nil {
+		return ClusterCloseReply{}, err
+	}
+	// Cache before snapshotting: even if the snapshot fails, a retried
+	// close must return this exact export rather than erroring on the
+	// already-advanced window. The commit that follows snapshots again,
+	// repairing durability.
+	s.clusterExport, s.clusterExportWindow = st, req.Window
+	if s.store != nil {
+		if err := s.store.SnapshotEngine(s.engine); err != nil {
+			return ClusterCloseReply{}, fmt.Errorf("crowd: snapshot after cluster close: %w", err)
+		}
+	}
+	return ClusterCloseReply{State: st}, nil
+}
+
+// ClusterCommit applies the coordinator's merged carry weights and
+// estimator state for the users this worker owns, then runs the
+// idle-user eviction the cluster close deferred. Idempotent: retrying
+// re-applies the same values.
+func (s *StreamServer) ClusterCommit(req ClusterCommitRequest) (ClusterCommitReply, error) {
+	s.windowMu.Lock()
+	defer s.windowMu.Unlock()
+	if got := s.engine.Window(); got != req.Window {
+		return ClusterCommitReply{}, fmt.Errorf("%w: cluster commit of window %d but worker has closed %d windows",
+			ErrBadSubmission, req.Window, got)
+	}
+	if err := s.engine.CommitCarry(req.Carries); err != nil {
+		return ClusterCommitReply{}, err
+	}
+	if s.store != nil {
+		if err := s.store.SnapshotEngine(s.engine); err != nil {
+			return ClusterCommitReply{}, fmt.Errorf("crowd: snapshot after cluster commit: %w", err)
+		}
+	}
+	return ClusterCommitReply{Window: req.Window}, nil
+}
+
+// RegisterCluster mounts the worker-side cluster RPC routes next to the
+// streaming API. Only cluster workers mount these; a standalone node
+// never does, so its window closes stay purely local.
+func (s *StreamServer) RegisterCluster(mux *http.ServeMux) {
+	mux.HandleFunc(PathClusterClose, echoRequestID(s.handleClusterClose))
+	mux.HandleFunc(PathClusterCommit, echoRequestID(s.handleClusterCommit))
+}
+
+func (s *StreamServer) handleClusterClose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
+		return
+	}
+	var req ClusterCloseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("decode cluster close: %v", err))
+		return
+	}
+	reply, err := s.ClusterClose(req)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *StreamServer) handleClusterCommit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
+		return
+	}
+	var req ClusterCommitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("decode cluster commit: %v", err))
+		return
+	}
+	reply, err := s.ClusterCommit(req)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// ClusterClose invokes the worker-side close RPC (coordinator use).
+func (c *Client) ClusterClose(ctx context.Context, req ClusterCloseRequest) (ClusterCloseReply, error) {
+	var reply ClusterCloseReply
+	err := c.do(ctx, http.MethodPost, PathClusterClose, req, &reply)
+	return reply, err
+}
+
+// ClusterCommit invokes the worker-side commit RPC (coordinator use).
+func (c *Client) ClusterCommit(ctx context.Context, req ClusterCommitRequest) (ClusterCommitReply, error) {
+	var reply ClusterCommitReply
+	err := c.do(ctx, http.MethodPost, PathClusterCommit, req, &reply)
+	return reply, err
+}
+
+// WindowInfo converts one engine window result to its wire form —
+// exported for the cluster coordinator, which estimates on a merged
+// engine and serves the result through the same JSON shape as a
+// standalone stream server.
+func WindowInfo(res *stream.WindowResult) StreamWindowInfo { return windowInfo(res) }
+
+// WriteJSON writes one JSON response — exported for the cluster
+// coordinator's HTTP front end, which speaks the exact wire contract of
+// a standalone node.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// WriteWireError answers one failed request with the versioned error
+// envelope. An *HTTPError in err's chain — a worker's own envelope,
+// decoded by the coordinator's Client while proxying — is re-emitted
+// with the worker's status, code, and retry hint, so a budget-exhausted
+// user sees the same 429 through the coordinator as against the worker
+// directly. Anything else goes through the regular error taxonomy.
+func WriteWireError(w http.ResponseWriter, err error) {
+	var httpErr *HTTPError
+	if errors.As(err, &httpErr) && httpErr.Code != "" {
+		writeEnvelope(w, httpErr.StatusCode, httpErr.Code, httpErr.Message, httpErr.RetryAfterWindows)
+		return
+	}
+	writeAPIError(w, err)
+}
+
+// WriteError emits the envelope for handler-level failures that carry
+// no taxonomy error — exported alongside WriteWireError for the cluster
+// coordinator's method and decode checks.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	writeError(w, status, code, msg)
+}
+
+// EchoRequestID wraps one route handler with the request-correlation
+// and envelope-negotiation contract every crowd route carries —
+// exported so the cluster coordinator's routes behave identically.
+func EchoRequestID(h http.HandlerFunc) http.HandlerFunc { return echoRequestID(h) }

@@ -14,6 +14,12 @@ import (
 // perfectly live; this particular window is just not retained.
 var ErrUnknownWindow = errors.New("crowd: window not in retained history")
 
+// ErrWorkerUnavailable reports that a cluster coordinator could not
+// reach the worker owning the request's user shard. The claim was not
+// ingested anywhere; retrying once the worker is back succeeds with no
+// duplicate-submission risk.
+var ErrWorkerUnavailable = errors.New("crowd: shard worker unavailable")
+
 // Machine-readable error codes carried by every non-2xx response across
 // the batch and streaming endpoints (ErrorBody.Code). Codes are the
 // stable contract: HTTP status codes are derived from them and clients
@@ -59,6 +65,10 @@ const (
 	// CodeBudgetExhausted: the user's cumulative privacy budget cannot
 	// afford another window. HTTP 429.
 	CodeBudgetExhausted = "budget_exhausted"
+	// CodeWorkerUnavailable: a cluster coordinator could not reach the
+	// worker owning this user's shard; the message names the worker. The
+	// claim was not ingested — retry when the worker recovers. HTTP 503.
+	CodeWorkerUnavailable = "worker_unavailable"
 	// CodeInternal: an unexpected server-side failure (for a durable
 	// deployment, typically a persistence error). HTTP 500.
 	CodeInternal = "internal"
@@ -90,6 +100,8 @@ func errorStatus(err error) (status int, code string, retryAfterWindows int) {
 		return http.StatusGone, CodeEngineClosed, 0
 	case errors.Is(err, stream.ErrBudgetExhausted):
 		return http.StatusTooManyRequests, CodeBudgetExhausted, 0
+	case errors.Is(err, ErrWorkerUnavailable):
+		return http.StatusServiceUnavailable, CodeWorkerUnavailable, 0
 	default:
 		return http.StatusInternalServerError, CodeInternal, 0
 	}
@@ -100,16 +112,17 @@ func errorStatus(err error) (status int, code string, retryAfterWindows int) {
 // errors.Is against package sentinels instead of inspecting codes or
 // status numbers.
 var sentinelByCode = map[string]error{
-	CodeBadRequest:      ErrBadSubmission,
-	CodeNotReady:        ErrNotReady,
-	CodeUnknownWindow:   ErrUnknownWindow,
-	CodeDuplicateClient: ErrDuplicateClient,
-	CodeDuplicateWindow: stream.ErrDuplicateWindow,
-	CodeEmptyWindow:     stream.ErrEmptyWindow,
-	CodeEmptyCampaign:   ErrNotReady,
-	CodeCampaignClosed:  ErrCampaignClosed,
-	CodeEngineClosed:    stream.ErrEngineClosed,
-	CodeBudgetExhausted: stream.ErrBudgetExhausted,
+	CodeBadRequest:        ErrBadSubmission,
+	CodeNotReady:          ErrNotReady,
+	CodeUnknownWindow:     ErrUnknownWindow,
+	CodeDuplicateClient:   ErrDuplicateClient,
+	CodeDuplicateWindow:   stream.ErrDuplicateWindow,
+	CodeEmptyWindow:       stream.ErrEmptyWindow,
+	CodeEmptyCampaign:     ErrNotReady,
+	CodeCampaignClosed:    ErrCampaignClosed,
+	CodeEngineClosed:      stream.ErrEngineClosed,
+	CodeBudgetExhausted:   stream.ErrBudgetExhausted,
+	CodeWorkerUnavailable: ErrWorkerUnavailable,
 }
 
 // writeAPIError answers one failed request with the versioned envelope,

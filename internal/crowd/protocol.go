@@ -179,6 +179,16 @@ const (
 	// high-water mark).
 	PathStreamStats = "/v1/stream/stats"
 
+	// PathClusterClose is the worker-side cluster RPC that quiesces the
+	// open window and exports its raw sufficient statistics to the
+	// coordinator without estimating (POST; see
+	// StreamServer.RegisterCluster). Mounted only on cluster workers.
+	PathClusterClose = "/v1/cluster/close"
+	// PathClusterCommit is the worker-side cluster RPC that commits the
+	// coordinator's merged per-user carry weights and estimator state
+	// back onto the worker after a cluster-wide window close (POST).
+	PathClusterCommit = "/v1/cluster/commit"
+
 	// PathMetrics is where a pptd Node exposes the Prometheus text
 	// rendition of every registered metric (GET). The crowd servers do
 	// not mount it themselves — the Node does, over the same registry the
@@ -199,6 +209,20 @@ const (
 const (
 	HeaderRequestID = obs.HeaderRequestID
 	HeaderErrorCode = obs.HeaderErrorCode
+)
+
+// Envelope version negotiation headers. A client advertises the error
+// envelope versions it can decode in HeaderAcceptEnvelope (a
+// comma-separated list of integers, e.g. "1" or "1,2"); every response
+// carries HeaderEnvelopeVersion with the version the server selected —
+// the highest advertised version the server supports, or the server's
+// current version (ErrorEnvelopeVersion) when the request carried no
+// intelligible advertisement. Version 1 is the floor: a future "v": 2
+// envelope will only be emitted to clients that advertised 2, so old
+// clients keep decoding v1 envelopes unchanged.
+const (
+	HeaderAcceptEnvelope  = "X-PPTD-Accept-Envelope"
+	HeaderEnvelopeVersion = "X-PPTD-Envelope-Version"
 )
 
 // CampaignInfo is the public description of a sensing campaign.

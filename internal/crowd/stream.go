@@ -60,6 +60,13 @@ type StreamServer struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
+	// clusterExport caches the last ClusterClose export (keyed by the
+	// 1-based window it closed) under windowMu, making the close RPC
+	// idempotent: a coordinator retrying after a partial cluster close
+	// gets the identical state back instead of closing a second window.
+	clusterExport       *stream.EngineState
+	clusterExportWindow int
+
 	tickMu  sync.Mutex
 	tickErr error
 }

@@ -1,0 +1,275 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Cluster support: the engine-side primitives behind internal/cluster's
+// sharded-ingest coordinator. A cluster partitions users across worker
+// engines (each user's claims, budget, and estimator state live entirely
+// on one worker), so per-(object, user) sufficient statistics are
+// bitwise identical to a single engine's — what differs is only where
+// they sit. Window closes are driven by a coordinator:
+//
+//  1. every worker runs CloseWindowExport — quiesce, export the raw
+//     pre-close statistics, then decay and advance WITHOUT estimating
+//     (estimation over a shard of the users would diverge from the
+//     single-engine estimate);
+//  2. the coordinator merges the disjoint exports (MergeStates), loads
+//     the merged state into a fresh engine, and runs the one true
+//     CloseWindow there — identical inputs, identical estimate;
+//  3. the resulting carry weights and per-user estimator state are read
+//     back with ExportCarry and committed to each owning worker with
+//     CommitCarry, so the next window warm-starts exactly as a single
+//     engine would.
+//
+// This is what makes the cluster-vs-single-node equivalence property
+// (truths within 1e-9 per estimator) hold by construction.
+
+// UserCarry is one user's cross-window estimation state as committed
+// back to their owning worker after a coordinated window close: the
+// carry weight warm-starting the next window and the estimator's
+// private per-user state (e.g. a GTM variance; nil when the estimator
+// keeps none).
+type UserCarry struct {
+	ID    string  `json:"id"`
+	Carry float64 `json:"carry"`
+	// EstimatorState is the estimator's private per-user state, in the
+	// same encoding UserSpill carries (exportUser/seedUser).
+	EstimatorState json.RawMessage `json:"estimatorState,omitempty"`
+}
+
+// HasLiveStats reports whether any (object, user) sufficient statistic
+// is currently live. A coordinator probes this before a cluster-wide
+// close: when no worker holds live statistics the cluster window is
+// empty, and closing it would diverge from a single engine (whose
+// CloseWindow fails with ErrEmptyWindow without advancing the window).
+func (e *Engine) HasLiveStats() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	release := e.pauseShards()
+	defer close(release)
+	for _, s := range e.shards {
+		if len(s.stats) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WindowClaims returns the number of claims ingested into the open
+// window so far.
+func (e *Engine) WindowClaims() int64 { return e.windowClaims.Load() }
+
+// CloseWindowExport is the worker half of a coordinated window close: it
+// quiesces ingestion, exports the pre-close engine state (exactly what
+// ExportState would return — raw sufficient statistics, users, window
+// counter), then applies the per-window decay and advances the window
+// counter WITHOUT estimating. No estimate runs because a worker only
+// holds a shard of the user population: estimating over it would update
+// carry weights and estimator state differently than the single-engine
+// estimate over everyone. The coordinator merges the exports, runs the
+// one true estimation, and commits the resulting carries back via
+// CommitCarry.
+//
+// Unlike CloseWindow it never fails with ErrEmptyWindow: a worker with
+// no live statistics still decays and advances, because the cluster-wide
+// window (which some other worker's claims made non-empty) is closing.
+// Callers gate the overall empty case with HasLiveStats first.
+func (e *Engine) CloseWindowExport() (*EngineState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
+	release := e.pauseShards()
+	defer close(release)
+
+	st, err := e.exportStateLocked()
+	if err != nil {
+		return nil, err
+	}
+	st.WindowClaims = e.windowClaims.Load()
+	if e.cfg.Decay < 1 {
+		e.eachShardParallel(func(s *shard) { s.decay(e.cfg.Decay) })
+	}
+	e.window++
+	e.windowClaims.Store(0)
+	// Eviction is deferred to CommitCarry: the users in this export must
+	// stay resident until the merged carry weights come back, or the
+	// commit would have nothing to apply them to.
+	return st, nil
+}
+
+// ExportCarry reads every resident user's carry weight and private
+// estimator state — the coordinator calls it on the merge engine right
+// after CloseWindow, to collect the post-estimate warm-start state it
+// commits back to the owning workers.
+func (e *Engine) ExportCarry() ([]UserCarry, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
+	ids := e.users.ids()
+	carries := e.users.carryWeights(false)
+	out := make([]UserCarry, 0, len(ids))
+	for idx, id := range ids {
+		if id == "" {
+			continue // free slot of an evicted user
+		}
+		raw, err := e.est.exportUser(idx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, UserCarry{ID: id, Carry: carries[idx], EstimatorState: raw})
+	}
+	return out, nil
+}
+
+// CommitCarry applies coordinator-merged carry weights and per-user
+// estimator state to this worker's resident users, completing a
+// coordinated window close. Users unknown to this worker are skipped
+// (the coordinator partitions carries by owning worker, so in a healthy
+// protocol round every carry finds its user). After the carries are
+// applied the residency caps are enforced, exactly where CloseWindow
+// would have evicted — so spill records written here carry the merged,
+// not the stale, state.
+func (e *Engine) CommitCarry(carries []UserCarry) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	for _, c := range carries {
+		if c.ID == "" || !finite(c.Carry) || c.Carry < 0 {
+			return fmt.Errorf("%w: carry for user %q = %v", ErrBadState, c.ID, c.Carry)
+		}
+		idx, ok := e.users.setCarry(c.ID, c.Carry)
+		if !ok {
+			continue
+		}
+		if err := e.est.seedUser(idx, c.EstimatorState); err != nil {
+			return err
+		}
+	}
+	release := e.pauseShards()
+	defer close(release)
+	e.evictIdleLocked()
+	return nil
+}
+
+// setCarry stores a committed carry weight for one resident user,
+// reporting the user's slot index (false when the user is not resident).
+func (r *registry) setCarry(id string, carry float64) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.byID[id]
+	if !ok {
+		return 0, false
+	}
+	st.carry = carry
+	return st.idx, true
+}
+
+// MergeStates combines per-worker engine exports (CloseWindowExport)
+// into the single state a merge engine estimates over. The parts must
+// come from the same coordinated close: same estimator, same window
+// counter, same object space, and disjoint user populations (each user
+// lives on exactly one worker). Users and statistics concatenate in
+// part order; statistics are re-sorted into the canonical (object, user)
+// order, and claim counters sum. Estimator-private state merges per
+// estimator — GTM's per-user variance maps union (disjoint by the user
+// partition); CRH and CATD keep none.
+func MergeStates(parts []*EngineState) (*EngineState, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("%w: no states to merge", ErrBadState)
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("%w: nil state at part %d", ErrBadState, i)
+		}
+	}
+	est := parts[0].Estimator
+	if est == "" {
+		est = EstimatorCRH
+	}
+	merged := &EngineState{
+		NumObjects: parts[0].NumObjects,
+		Window:     parts[0].Window,
+		Estimator:  est,
+	}
+	seen := make(map[string]struct{})
+	for i, p := range parts {
+		pEst := p.Estimator
+		if pEst == "" {
+			pEst = EstimatorCRH
+		}
+		if pEst != est {
+			return nil, fmt.Errorf("%w: part %d written by %q, part 0 by %q", ErrEstimatorMismatch, i, pEst, est)
+		}
+		if p.Window != merged.Window {
+			return nil, fmt.Errorf("%w: part %d at window %d, part 0 at window %d (torn close)",
+				ErrBadState, i, p.Window, merged.Window)
+		}
+		if p.NumObjects != merged.NumObjects {
+			return nil, fmt.Errorf("%w: part %d covers %d objects, part 0 covers %d",
+				ErrBadState, i, p.NumObjects, merged.NumObjects)
+		}
+		for _, u := range p.Users {
+			if _, dup := seen[u.ID]; dup {
+				return nil, fmt.Errorf("%w: user %q present on more than one worker", ErrBadState, u.ID)
+			}
+			seen[u.ID] = struct{}{}
+		}
+		merged.Users = append(merged.Users, p.Users...)
+		merged.Stats = append(merged.Stats, p.Stats...)
+		merged.WindowClaims += p.WindowClaims
+		merged.TotalClaims += p.TotalClaims
+	}
+	sort.Slice(merged.Stats, func(i, j int) bool {
+		if merged.Stats[i].Object != merged.Stats[j].Object {
+			return merged.Stats[i].Object < merged.Stats[j].Object
+		}
+		return merged.Stats[i].User < merged.Stats[j].User
+	})
+	if est == EstimatorGTM {
+		raw, err := mergeGTMStates(parts)
+		if err != nil {
+			return nil, err
+		}
+		merged.EstimatorState = raw
+	}
+	return merged, nil
+}
+
+// mergeGTMStates unions the per-worker GTM variance maps; the user
+// partition makes them disjoint, so union is exact.
+func mergeGTMStates(parts []*EngineState) (json.RawMessage, error) {
+	vars := make(map[string]float64)
+	for i, p := range parts {
+		if len(p.EstimatorState) == 0 || string(p.EstimatorState) == "null" {
+			continue
+		}
+		var st gtmState
+		if err := json.Unmarshal(p.EstimatorState, &st); err != nil {
+			return nil, fmt.Errorf("%w: decode gtm state of part %d: %v", ErrBadState, i, err)
+		}
+		for id, v := range st.Variances {
+			vars[id] = v
+		}
+	}
+	if len(vars) == 0 {
+		return nil, nil
+	}
+	raw, err := json.Marshal(gtmState{Variances: vars})
+	if err != nil {
+		return nil, fmt.Errorf("stream: merge gtm state: %w", err)
+	}
+	return raw, nil
+}

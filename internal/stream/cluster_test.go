@@ -1,0 +1,216 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// mergeTestState builds one worker's export with the given users (one
+// stat per user on object 0).
+func mergeTestState(est string, window int, numObjects int, users ...string) *EngineState {
+	st := &EngineState{NumObjects: numObjects, Window: window, Estimator: est}
+	for _, id := range users {
+		st.Users = append(st.Users, UserSnapshot{ID: id, LastWindow: -1})
+		st.Stats = append(st.Stats, StatSnapshot{Object: 0, User: id, Sum: 1, Mass: 1})
+	}
+	return st
+}
+
+func TestMergeStatesRejectsTornInputs(t *testing.T) {
+	cases := []struct {
+		name    string
+		parts   []*EngineState
+		wantErr error
+	}{
+		{
+			name:    "no parts",
+			parts:   nil,
+			wantErr: ErrBadState,
+		},
+		{
+			name:    "nil part",
+			parts:   []*EngineState{mergeTestState(EstimatorCRH, 2, 3, "a"), nil},
+			wantErr: ErrBadState,
+		},
+		{
+			name: "estimator mismatch",
+			parts: []*EngineState{
+				mergeTestState(EstimatorCRH, 2, 3, "a"),
+				mergeTestState(EstimatorGTM, 2, 3, "b"),
+			},
+			wantErr: ErrEstimatorMismatch,
+		},
+		{
+			name: "window mismatch (torn close)",
+			parts: []*EngineState{
+				mergeTestState(EstimatorCRH, 2, 3, "a"),
+				mergeTestState(EstimatorCRH, 3, 3, "b"),
+			},
+			wantErr: ErrBadState,
+		},
+		{
+			name: "object-space mismatch",
+			parts: []*EngineState{
+				mergeTestState(EstimatorCRH, 2, 3, "a"),
+				mergeTestState(EstimatorCRH, 2, 4, "b"),
+			},
+			wantErr: ErrBadState,
+		},
+		{
+			name: "user on two workers",
+			parts: []*EngineState{
+				mergeTestState(EstimatorCRH, 2, 3, "a", "b"),
+				mergeTestState(EstimatorCRH, 2, 3, "b"),
+			},
+			wantErr: ErrBadState,
+		},
+		{
+			name: "corrupt gtm estimator state",
+			parts: []*EngineState{
+				func() *EngineState {
+					st := mergeTestState(EstimatorGTM, 2, 3, "a")
+					st.EstimatorState = []byte(`{"variances": "not-a-map"}`)
+					return st
+				}(),
+			},
+			wantErr: ErrBadState,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := MergeStates(tc.parts); !errors.Is(err, tc.wantErr) {
+				t.Fatalf("MergeStates: err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestMergeStatesCanonicalOrderAndCounters(t *testing.T) {
+	// An empty estimator string means CRH (the config default) and must
+	// merge with an explicit CRH part.
+	a := mergeTestState("", 1, 2, "u2")
+	a.Stats = []StatSnapshot{{Object: 1, User: "u2", Sum: 4, Mass: 1}, {Object: 0, User: "u2", Sum: 3, Mass: 1}}
+	a.WindowClaims, a.TotalClaims = 2, 7
+	b := mergeTestState(EstimatorCRH, 1, 2, "u1")
+	b.Stats = []StatSnapshot{{Object: 0, User: "u1", Sum: 1, Mass: 1}}
+	b.WindowClaims, b.TotalClaims = 1, 5
+
+	merged, err := MergeStates([]*EngineState{a, b})
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if merged.WindowClaims != 3 || merged.TotalClaims != 12 {
+		t.Fatalf("claim counters = %d/%d, want 3/12", merged.WindowClaims, merged.TotalClaims)
+	}
+	if len(merged.Users) != 2 || len(merged.Stats) != 3 {
+		t.Fatalf("merged %d users / %d stats, want 2/3", len(merged.Users), len(merged.Stats))
+	}
+	for i := 1; i < len(merged.Stats); i++ {
+		prev, cur := merged.Stats[i-1], merged.Stats[i]
+		if prev.Object > cur.Object || (prev.Object == cur.Object && prev.User >= cur.User) {
+			t.Fatalf("stats not in canonical (object, user) order: %+v before %+v", prev, cur)
+		}
+	}
+}
+
+// TestReplayJournalParallelEquivalence: the shard-parallel replay path
+// (replayWindowsParallel, the default) recovers bit-identical state to
+// the sequential baseline over a multi-window journal with interleaved
+// closes.
+func TestReplayJournalParallelEquivalence(t *testing.T) {
+	recs := replayBenchJournal(40, 6, 8)
+	run := func(parallel bool) *EngineState {
+		orig := replayWindowsParallel
+		replayWindowsParallel = parallel
+		defer func() { replayWindowsParallel = orig }()
+		// Several shards even on a small box, so the partitioned path is
+		// exercised for real.
+		e, err := New(Config{NumObjects: 8, NumShards: 4, Lambda1: 0.5, Lambda2: 1.0, Delta: 1e-5, Decay: 0.9, ClaimWAL: true, Ledger: nopLedger{}})
+		if err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+		defer func() { _ = e.Close() }()
+		if _, err := e.ReplayJournal(recs); err != nil {
+			t.Fatalf("replay (parallel=%v): %v", parallel, err)
+		}
+		st, err := e.ExportState()
+		if err != nil {
+			t.Fatalf("export: %v", err)
+		}
+		return st
+	}
+	seq, par := run(false), run(true)
+	if seq.Window != par.Window || len(seq.Stats) != len(par.Stats) || len(seq.Users) != len(par.Users) {
+		t.Fatalf("shape mismatch: seq %d windows/%d stats/%d users, par %d/%d/%d",
+			seq.Window, len(seq.Stats), len(seq.Users), par.Window, len(par.Stats), len(par.Users))
+	}
+	for i := range seq.Stats {
+		s, p := seq.Stats[i], par.Stats[i]
+		if s != p {
+			t.Fatalf("stat %d differs: sequential %+v, parallel %+v", i, s, p)
+		}
+	}
+	for i := range seq.Users {
+		if seq.Users[i] != par.Users[i] {
+			t.Fatalf("user %d differs: sequential %+v, parallel %+v", i, seq.Users[i], par.Users[i])
+		}
+	}
+}
+
+// replayBenchJournal synthesizes a journal of users×windows charge
+// records with claims, in append order.
+func replayBenchJournal(users, windows, numObjects int) []ChargeRecord {
+	var recs []ChargeRecord
+	for w := 0; w < windows; w++ {
+		for u := 0; u < users; u++ {
+			var claims []Claim
+			for o := 0; o < numObjects; o++ {
+				if (u+o)%3 == 0 {
+					continue
+				}
+				claims = append(claims, Claim{Object: o, Value: math.Sin(float64(u*17 + o*5 + w*11))})
+			}
+			recs = append(recs, ChargeRecord{
+				User:    fmt.Sprintf("user-%04d", u),
+				Window:  w,
+				Epsilon: 0.25,
+				Claims:  claims,
+			})
+		}
+	}
+	return recs
+}
+
+// BenchmarkReplayJournal measures crash-recovery replay of a long
+// journal, sequential baseline vs the shard-parallel default — the
+// before/after of the parallel-replay change.
+func BenchmarkReplayJournal(b *testing.B) {
+	recs := replayBenchJournal(400, 10, 64)
+	for _, mode := range []struct {
+		name     string
+		parallel bool
+	}{{"sequential", false}, {"parallel", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			orig := replayWindowsParallel
+			replayWindowsParallel = mode.parallel
+			defer func() { replayWindowsParallel = orig }()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e, err := New(Config{NumObjects: 64, NumShards: 4, Lambda1: 0.5, Lambda2: 1.0, Delta: 1e-5, Decay: 0.9, ClaimWAL: true, Ledger: nopLedger{}})
+				if err != nil {
+					b.Fatalf("engine: %v", err)
+				}
+				b.StartTimer()
+				if _, err := e.ReplayJournal(recs); err != nil {
+					b.Fatalf("replay: %v", err)
+				}
+				b.StopTimer()
+				_ = e.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}

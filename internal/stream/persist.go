@@ -224,7 +224,13 @@ func (e *Engine) ExportState() (*EngineState, error) {
 	}
 	release := e.pauseShards()
 	defer close(release)
+	return e.exportStateLocked()
+}
 
+// exportStateLocked builds the state export. Callers must hold e.mu
+// exclusively with the shards paused (ExportState and the cluster-close
+// path CloseWindowExport both funnel through here).
+func (e *Engine) exportStateLocked() (*EngineState, error) {
 	st := &EngineState{
 		NumObjects:   e.cfg.NumObjects,
 		Window:       e.window,
@@ -358,6 +364,16 @@ func (e *Engine) Restore(st *EngineState) error {
 // being replayed are already durable. It returns the number of records
 // applied. A record whose claims no longer fit the engine (out-of-range
 // object, non-finite value) fails with ErrBadState.
+//
+// Within one replayed window the claim folds run shard-parallel: the
+// records' claims are partitioned by owning shard (preserving journal
+// order inside each shard) and applied concurrently, one goroutine per
+// shard, before the window's close re-runs. Each (object, user)
+// statistic lives on exactly one shard and per-shard order is the
+// journal order, so the folded statistics are bitwise identical to the
+// sequential replay — only the wall-clock of recovering a long journal
+// (a coarse SnapshotEvery) changes. Window closes stay sequential
+// barriers: decay must see the whole window folded.
 func (e *Engine) ReplayJournal(recs []ChargeRecord) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -366,6 +382,25 @@ func (e *Engine) ReplayJournal(recs []ChargeRecord) (int, error) {
 	}
 	release := e.pauseShards()
 	defer close(release)
+
+	// Per-shard batches accumulated for the window being replayed,
+	// flushed shard-parallel at every window boundary.
+	type replayBatch struct {
+		user   int
+		claims []Claim
+	}
+	pending := make([][]replayBatch, len(e.shards))
+	flush := func() {
+		if !replayWindowsParallel {
+			return
+		}
+		e.eachShardParallelIndexed(func(i int, s *shard) {
+			for _, b := range pending[i] {
+				s.apply(b.user, b.claims)
+			}
+			pending[i] = pending[i][:0]
+		})
+	}
 
 	applied := 0
 	perShard := make([][]Claim, len(e.shards))
@@ -376,10 +411,12 @@ func (e *Engine) ReplayJournal(recs []ChargeRecord) (int, error) {
 		}
 		for _, c := range rec.Claims {
 			if c.Object < 0 || c.Object >= e.cfg.NumObjects {
+				flush()
 				return applied, fmt.Errorf("%w: journal record %d: object %d of %d",
 					ErrBadState, i, c.Object, e.cfg.NumObjects)
 			}
 			if math.IsNaN(c.Value) || math.IsInf(c.Value, 0) {
+				flush()
 				return applied, fmt.Errorf("%w: journal record %d: non-finite value for object %d",
 					ErrBadState, i, c.Object)
 			}
@@ -390,12 +427,14 @@ func (e *Engine) ReplayJournal(recs []ChargeRecord) (int, error) {
 		// record, and recreating them bare would reset their budget.
 		st, _, err := e.admit(rec.User)
 		if err != nil {
+			flush()
 			return applied, err
 		}
 		if !e.users.replayCharge(st, rec.Window, rec.Epsilon) {
 			continue // already accounted by the snapshot or an earlier record
 		}
 		for rec.Window > e.window {
+			flush() // the close's estimation and decay need the full window
 			e.replayCloseLocked()
 		}
 		if len(rec.Claims) > 0 {
@@ -409,7 +448,12 @@ func (e *Engine) ReplayJournal(recs []ChargeRecord) (int, error) {
 				perShard[idx] = append(perShard[idx], c)
 			}
 			for i, part := range perShard {
-				if len(part) > 0 {
+				if len(part) == 0 {
+					continue
+				}
+				if replayWindowsParallel {
+					pending[i] = append(pending[i], replayBatch{user: st.idx, claims: append([]Claim(nil), part...)})
+				} else {
 					e.shards[i].apply(st.idx, part)
 				}
 			}
@@ -418,8 +462,15 @@ func (e *Engine) ReplayJournal(recs []ChargeRecord) (int, error) {
 		}
 		applied++
 	}
+	flush()
 	return applied, nil
 }
+
+// replayWindowsParallel gates the shard-parallel window replay inside
+// ReplayJournal. On by default; the sequential path is kept only as the
+// baseline of BenchmarkReplayJournal (before/after recovery time) and as
+// a bisection aid, not as a supported mode.
+var replayWindowsParallel = true
 
 // ReplayClosesTo re-runs window closes until the engine has target
 // closed windows, exactly as replay does between journal records. It is

@@ -7,8 +7,10 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
+	"pptd/internal/cluster"
 	"pptd/internal/crowd"
 	"pptd/internal/obs"
 	"pptd/internal/stream"
@@ -84,6 +86,14 @@ type nodeConfig struct {
 	persistSet  bool
 	store       StreamStoreOptions
 	claimWALOff bool
+
+	clusterWorker   bool
+	clusterWorkers  []string
+	clusterSet      bool
+	shipDest        string
+	shipSet         bool
+	shipInterval    time.Duration
+	shipIntervalSet bool
 
 	logger *slog.Logger
 	debug  bool
@@ -442,6 +452,81 @@ func WithPerUserReport() Option {
 	}
 }
 
+// WithClusterWorker exposes the node's streaming engine as a cluster
+// shard worker: the coordinator-facing close/commit RPCs are mounted
+// next to the streaming API, so a ClusterCoordinator can route this
+// node's share of users here and drive its window closes. Because the
+// coordinator owns the close schedule, it conflicts with
+// WithWindowInterval. Requires a stream engine.
+func WithClusterWorker() Option {
+	return func(c *nodeConfig) error {
+		c.clusterWorker = true
+		return nil
+	}
+}
+
+// WithClusterCoordinator makes the node the ingest coordinator of a
+// sharded cluster over the given worker base URLs: instead of hosting a
+// local engine, the node routes each user's claims to the worker owning
+// them on the hash ring and runs the merge-estimate close protocol, so
+// GET /v1/stream/truths serves cluster-wide estimates identical to a
+// single node's. The stream options (WithStreamEngine or
+// WithStreamConfig, WithMethod, WithDecay, privacy options, ...)
+// describe the engine configuration shared with the workers, which is
+// cross-checked against each worker at startup; WithWindowInterval
+// drives cluster-wide closes. The coordinator holds no durable state —
+// durability lives on the workers — so it conflicts with
+// WithPersistence, residency caps, segment shipping, WithClusterWorker,
+// and WithBatchCampaign.
+func WithClusterCoordinator(workers ...string) Option {
+	return func(c *nodeConfig) error {
+		if len(workers) == 0 {
+			return optErr("WithClusterCoordinator: no workers")
+		}
+		if c.clusterSet {
+			return optErr("WithClusterCoordinator configured twice")
+		}
+		c.clusterWorkers = append([]string(nil), workers...)
+		c.clusterSet = true
+		return nil
+	}
+}
+
+// WithSegmentShipping replicates the node's durable state to dest in
+// the background: sealed journal segments ship once, the active
+// segment's durable prefix, snapshots, results, and the spill file
+// follow on every pass. dest is a local archive directory, or — with an
+// http:// or https:// scheme — the base URL of a ClusterFollower; a
+// fresh node pointed at the replica recovers to the shipped state
+// (warm standby, point-in-time restore, read replica). Requires
+// WithPersistence.
+func WithSegmentShipping(dest string) Option {
+	return func(c *nodeConfig) error {
+		if dest == "" {
+			return optErr("WithSegmentShipping: empty destination")
+		}
+		if c.shipSet {
+			return optErr("WithSegmentShipping configured twice")
+		}
+		c.shipDest = dest
+		c.shipSet = true
+		return nil
+	}
+}
+
+// WithShippingInterval sets the segment-shipping cadence (default 5s).
+// Requires WithSegmentShipping.
+func WithShippingInterval(d time.Duration) Option {
+	return func(c *nodeConfig) error {
+		if d <= 0 {
+			return optErr("WithShippingInterval: d = %v", d)
+		}
+		c.shipInterval = d
+		c.shipIntervalSet = true
+		return nil
+	}
+}
+
 // WithLogger emits one structured log line per HTTP request through the
 // given slog logger: request_id, method, route pattern, path, status,
 // duration, bytes, and the error-envelope code on failures (5xx at
@@ -630,6 +715,35 @@ func (c *nodeConfig) validate() error {
 		(c.streamBase == nil || c.streamBase.UserStore == nil) {
 		return optErr("residency caps (WithMaxResidentUsers / WithResidentBytes) require WithPersistence: evicted users spill to the store")
 	}
+	if c.clusterWorker && !streaming {
+		return optErr("WithClusterWorker requires a stream engine (WithStreamEngine or WithStreamConfig)")
+	}
+	if c.clusterWorker && c.intervalSet {
+		return optErr("WithClusterWorker conflicts with WithWindowInterval: the coordinator drives window closes")
+	}
+	if c.clusterSet {
+		if !streaming {
+			return optErr("WithClusterCoordinator requires a stream engine config (WithStreamEngine or WithStreamConfig)")
+		}
+		for opt, set := range map[string]bool{
+			"WithClusterWorker":    c.clusterWorker,
+			"WithPersistence":      c.persistSet,
+			"WithSegmentShipping":  c.shipSet,
+			"WithBatchCampaign":    c.batchSet,
+			"WithMaxResidentUsers": c.maxResidentSet,
+			"WithResidentBytes":    c.residentBytesSet,
+		} {
+			if set {
+				return optErr("WithClusterCoordinator conflicts with %s: the coordinator holds no engine or durable state of its own", opt)
+			}
+		}
+	}
+	if c.shipSet && !c.persistSet {
+		return optErr("WithSegmentShipping requires WithPersistence: shipping replicates the state directory")
+	}
+	if c.shipIntervalSet && !c.shipSet {
+		return optErr("WithShippingInterval requires WithSegmentShipping")
+	}
 	if c.lambda2Set && c.targetSet {
 		return optErr("WithLambda2 conflicts with WithPrivacyTarget: the target derives lambda2")
 	}
@@ -730,6 +844,8 @@ type Node struct {
 	batch   *CampaignServer
 	stream  *StreamCampaignServer
 	store   *StreamStore
+	coord   *cluster.Coordinator
+	shipper *cluster.Shipper
 	metrics *obs.Registry
 
 	handler http.Handler
@@ -842,7 +958,22 @@ func NewNode(opts ...Option) (*Node, error) {
 		if engineCfg.Metrics == nil {
 			engineCfg.Metrics = n.metrics
 		}
-		if cfg.persistSet {
+		if cfg.clusterSet {
+			// Coordinator mode: the stream options describe the cluster's
+			// shared engine configuration; no local engine runs here.
+			coord, err := cluster.NewCoordinator(cluster.Config{
+				Name:           cfg.name,
+				Engine:         engineCfg,
+				Workers:        cfg.clusterWorkers,
+				WindowInterval: cfg.windowInterval,
+				Metrics:        n.metrics,
+			})
+			if err != nil {
+				return nil, err
+			}
+			n.coord = coord
+		}
+		if !cfg.clusterSet && cfg.persistSet {
 			// Persist as many recent results as the engine retains, so
 			// ?window= reads answer the same span across a restart.
 			history := engineCfg.HistoryWindows
@@ -863,16 +994,18 @@ func NewNode(opts ...Option) (*Node, error) {
 				engineCfg.ClaimWAL = true
 			}
 		}
-		srv, err := crowd.NewStreamServer(crowd.StreamServerConfig{
-			Name:           cfg.name,
-			Engine:         engineCfg,
-			Persistence:    n.store,
-			WindowInterval: cfg.windowInterval,
-		})
-		if err != nil {
-			return nil, err
+		if !cfg.clusterSet {
+			srv, err := crowd.NewStreamServer(crowd.StreamServerConfig{
+				Name:           cfg.name,
+				Engine:         engineCfg,
+				Persistence:    n.store,
+				WindowInterval: cfg.windowInterval,
+			})
+			if err != nil {
+				return nil, err
+			}
+			n.stream = srv
 		}
-		n.stream = srv
 	}
 
 	// A batch-only durable node still gets the store: the streaming
@@ -886,6 +1019,29 @@ func NewNode(opts ...Option) (*Node, error) {
 			return nil, err
 		}
 		n.store = store
+	}
+
+	if cfg.shipSet {
+		var sink cluster.Sink
+		var err error
+		if strings.HasPrefix(cfg.shipDest, "http://") || strings.HasPrefix(cfg.shipDest, "https://") {
+			sink, err = cluster.NewHTTPSink(cfg.shipDest, nil)
+		} else {
+			sink, err = cluster.NewDirSink(cfg.shipDest)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: WithSegmentShipping(%q): %w", ErrNodeConfig, cfg.shipDest, err)
+		}
+		interval := cfg.shipInterval
+		if interval <= 0 {
+			interval = 5 * time.Second
+		}
+		shipper, err := cluster.NewShipper(n.store, sink, interval, n.metrics)
+		if err != nil {
+			return nil, err
+		}
+		n.shipper = shipper
+		shipper.Start()
 	}
 
 	if cfg.batchSet {
@@ -917,6 +1073,12 @@ func NewNode(opts ...Option) (*Node, error) {
 	}
 	if n.stream != nil {
 		n.stream.Register(mux)
+		if cfg.clusterWorker {
+			n.stream.RegisterCluster(mux)
+		}
+	}
+	if n.coord != nil {
+		n.coord.Register(mux)
 	}
 	mux.Handle(crowd.PathMetrics, crowd.GetOnly(n.metrics.Handler()))
 	if cfg.debug {
@@ -988,16 +1150,45 @@ func (n *Node) Metrics() *MetricsRegistry { return n.metrics }
 // from it but must not Close it themselves.
 func (n *Node) Store() *StreamStore { return n.store }
 
+// Coordinator returns the hosted cluster coordinator, or nil without
+// WithClusterCoordinator.
+func (n *Node) Coordinator() *ClusterCoordinator { return n.coord }
+
+// Shipper returns the node's segment shipper, or nil without
+// WithSegmentShipping.
+func (n *Node) Shipper() *SegmentShipper { return n.shipper }
+
 // Close releases everything the node owns, in dependency order: the
 // streaming server first (stopping the window ticker and shard workers,
 // and writing a final snapshot on a durable node), then the state store.
 func (n *Node) Close() error {
 	var errs []error
+	if n.coord != nil {
+		if err := n.coord.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		n.coord = nil
+	}
+	if n.shipper != nil {
+		// Stop the shipping loop with a final pass now, before the
+		// streaming server writes its closing snapshot...
+		if err := n.shipper.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
 	if n.stream != nil {
 		if err := n.stream.Close(); err != nil && !errors.Is(err, stream.ErrEngineClosed) {
 			errs = append(errs, err)
 		}
 		n.stream = nil
+	}
+	if n.shipper != nil {
+		// ...and ship once more after it, so the replica holds the final
+		// snapshot too.
+		if err := n.shipper.SyncOnce(); err != nil {
+			errs = append(errs, err)
+		}
+		n.shipper = nil
 	}
 	if n.store != nil {
 		if err := n.store.Close(); err != nil && !errors.Is(err, streamstore.ErrClosed) {
