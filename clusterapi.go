@@ -70,9 +70,21 @@ func NewClusterWorker(cfg ClusterWorkerConfig) (*ClusterWorker, error) {
 	return cluster.NewWorker(cfg)
 }
 
-// NewClusterFollower serves the follower catch-up endpoints over dir.
+// ClusterFollowerOptions tunes a follower's ingress limits: the
+// per-file body cap (413 beyond it) and an optional shared bearer
+// token both follower routes then require (401 without it).
+type ClusterFollowerOptions = cluster.FollowerOptions
+
+// NewClusterFollower serves the follower catch-up endpoints over dir
+// with default limits: a 512 MiB per-file cap, no authentication.
 func NewClusterFollower(dir string) (*ClusterFollower, error) {
 	return cluster.NewFollower(dir)
+}
+
+// NewClusterFollowerWith serves the follower catch-up endpoints over
+// dir with explicit ingress limits.
+func NewClusterFollowerWith(dir string, opts ClusterFollowerOptions) (*ClusterFollower, error) {
+	return cluster.NewFollowerWith(dir, opts)
 }
 
 // NewSegmentDirSink ships into a local archive directory.
@@ -80,7 +92,8 @@ func NewSegmentDirSink(dir string) (*cluster.DirSink, error) {
 	return cluster.NewDirSink(dir)
 }
 
-// NewSegmentHTTPSink ships to a ClusterFollower at baseURL.
+// NewSegmentHTTPSink ships to a ClusterFollower at baseURL. Chain
+// WithAuthToken on the result when the follower requires one.
 func NewSegmentHTTPSink(baseURL string) (*cluster.HTTPSink, error) {
 	return cluster.NewHTTPSink(baseURL, nil)
 }

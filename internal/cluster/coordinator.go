@@ -33,6 +33,15 @@
 //     failure withholds the result and leaves the whole round
 //     retryable.
 //
+// The idempotence is durable on persistent workers: each worker writes
+// its per-window export to disk before the post-close snapshot and
+// marks it committed only after the merged carries are snapshotted, so
+// the round converges under retry even across worker crashes at any
+// point. A coordinator that boots against workers whose records say
+// "closed but never committed" (GET /v1/cluster/status) re-drives the
+// merge/commit from the cached exports before serving — the carries of
+// that window are applied exactly once-or-again, never skipped.
+//
 // Ingest never crosses shards: POST /v1/stream/claims is forwarded to
 // the user's owning worker, whose local (epsilon, delta) ledger decides
 // duplicate-window and budget-exhaustion exactly as a single node
@@ -212,16 +221,28 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 }
 
 // bootSync contacts every worker and adopts the cluster's window count.
-// All workers must be reachable and agree — recovering a torn cluster
-// (workers at different window counts) is a deliberate non-goal of this
-// iteration; the close protocol never creates one because a partial
-// close parks the lagging workers behind the export cache, not behind a
-// divergent window.
+// All workers must be reachable and agree on their effective position —
+// recovering a truly torn cluster (workers whose positions diverge) is
+// a deliberate non-goal of this iteration; the close protocol never
+// creates one because a partial close parks the lagging workers behind
+// the durable export cache, not behind a divergent window.
+//
+// A worker's effective position is the greater of its engine's window
+// count and its cached close export's window: a worker killed between
+// its durable export and the post-close snapshot recovers one window
+// behind the export it can still serve, and the retried close repairs
+// the advance. When any worker reports a pending export that was never
+// committed, the previous coordinator died mid-round — the merged
+// result was never applied — so bootSync re-drives the merge/commit
+// from the workers' caches before the coordinator serves anything;
+// skipping this would leave every later window estimating from stale
+// carries while still passing the agreement check.
 func (c *Coordinator) bootSync() error {
 	ctx := context.Background()
 	type boot struct {
 		worker string
 		info   crowd.StreamCampaignInfo
+		status crowd.ClusterStatusReply
 		err    error
 	}
 	workers := c.ring.Workers()
@@ -232,11 +253,16 @@ func (c *Coordinator) bootSync() error {
 		go func(i int, w string) {
 			defer wg.Done()
 			info, err := c.clients[w].StreamCampaign(ctx)
-			boots[i] = boot{worker: w, info: info, err: err}
+			var status crowd.ClusterStatusReply
+			if err == nil {
+				status, err = c.clients[w].ClusterStatus(ctx)
+			}
+			boots[i] = boot{worker: w, info: info, status: status, err: err}
 		}(i, w)
 	}
 	wg.Wait()
 	window := -1
+	uncommitted := false
 	var total int64
 	for _, b := range boots {
 		if b.err != nil {
@@ -254,16 +280,54 @@ func (c *Coordinator) bootSync() error {
 			return fmt.Errorf("%w: worker %s runs estimator %q, coordinator configured for %q",
 				ErrBadConfig, b.worker, est, c.estimator)
 		}
+		eff := b.status.Window
+		if b.status.PendingWindow > eff {
+			eff = b.status.PendingWindow
+		}
 		if window == -1 {
-			window = b.info.Window
-		} else if b.info.Window != window {
+			window = eff
+		} else if eff != window {
 			return fmt.Errorf("%w: workers disagree on window count (%s at %d, %s at %d) — torn cluster",
-				ErrBadConfig, boots[0].worker, window, b.worker, b.info.Window)
+				ErrBadConfig, boots[0].worker, window, b.worker, eff)
+		}
+		if b.status.PendingWindow > b.status.CommittedWindow {
+			uncommitted = true
 		}
 		total += b.info.TotalClaims
 	}
 	c.window.Store(int64(window))
 	c.totalClaims.Store(total)
+	if uncommitted && window > 0 {
+		if err := c.redriveClose(ctx, window); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// redriveClose finishes a close round a previous coordinator left
+// mid-flight: every worker already closed the window (durably caching
+// its export), but the merged carries were never committed everywhere
+// and the result was never published. It re-collects the cached exports
+// with a retried close — repairing any worker whose engine recovered
+// un-advanced — and re-runs the merge/estimate/commit; workers that did
+// commit the first time re-apply identical values (the commit is
+// idempotent).
+func (c *Coordinator) redriveClose(ctx context.Context, window int) error {
+	c.windowMu.Lock()
+	defer c.windowMu.Unlock()
+	workers := c.ring.Workers()
+	replies := make([]crowd.ClusterCloseReply, len(workers))
+	if err := c.fanOut(workers, func(i int, w string) error {
+		reply, err := c.closeWorker(ctx, w, window, true)
+		replies[i] = reply
+		return err
+	}); err != nil {
+		return fmt.Errorf("cluster: re-drive close of window %d: %w", window, err)
+	}
+	if _, err := c.mergeAndCommitLocked(ctx, window, replies); err != nil {
+		return fmt.Errorf("cluster: re-drive close of window %d: %w", window, err)
+	}
 	return nil
 }
 
@@ -291,13 +355,15 @@ func (c *Coordinator) autoCloseLoop(interval time.Duration) {
 		case <-c.stop:
 			return
 		case <-ticker.C:
-			// An empty window means no traffic this tick. Anything else —
-			// above all an unreachable worker, which withholds the round's
-			// result — is retained for TickError; the next tick re-runs
-			// the idempotent round.
+			// An empty window means no traffic this tick — and the probe
+			// round reached every worker to establish that, so it clears
+			// any retained fault just like a successful close does.
+			// Anything else — above all an unreachable worker, which
+			// withholds the round's result — is retained for TickError;
+			// the next tick re-runs the idempotent round.
 			_, err := c.CloseWindow()
 			if errors.Is(err, stream.ErrEmptyWindow) {
-				continue
+				err = nil
 			}
 			c.tickMu.Lock()
 			c.tickErr = err // nil on success: a good tick clears the fault
@@ -426,8 +492,16 @@ func (c *Coordinator) CloseWindow() (crowd.StreamWindowInfo, error) {
 		return crowd.StreamWindowInfo{}, err
 	}
 
-	// Merge the disjoint per-worker exports and run the one true
-	// estimation over the union.
+	return c.mergeAndCommitLocked(ctx, window, replies)
+}
+
+// mergeAndCommitLocked is the second half of a coordinated close —
+// merge the disjoint per-worker exports, run the one true estimation,
+// commit the merged carries back, then (and only then) advance and
+// publish. Shared by CloseWindow and the boot-time re-drive. Callers
+// must hold windowMu.
+func (c *Coordinator) mergeAndCommitLocked(ctx context.Context, window int, replies []crowd.ClusterCloseReply) (crowd.StreamWindowInfo, error) {
+	workers := c.ring.Workers()
 	states := make([]*stream.EngineState, len(replies))
 	for i, r := range replies {
 		states[i] = r.State

@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -28,19 +30,71 @@ const (
 	PathFollowerFiles = "/v1/follower/files/"
 )
 
+// defaultMaxShippedFileBytes caps one shipped file's body when
+// FollowerOptions.MaxFileBytes is zero: far above any default-tuned
+// state file (4 MiB journal segments; snapshots grow with the user
+// population), small enough that an unauthenticated client cannot make
+// the follower buffer unbounded memory per request.
+const defaultMaxShippedFileBytes = 512 << 20
+
+// FollowerOptions tunes a follower's ingress limits.
+type FollowerOptions struct {
+	// MaxFileBytes caps the size of one shipped file; a larger PUT is
+	// refused with 413 before it is buffered. Zero means 512 MiB. Size
+	// the cap to the source store's biggest artifact (usually the
+	// snapshot).
+	MaxFileBytes int64
+	// AuthToken, when non-empty, requires every follower request to
+	// carry "Authorization: Bearer <token>"; requests without it are
+	// refused with 401. Empty leaves the routes open — acceptable only
+	// on a trusted network, since anyone who can reach the port could
+	// otherwise overwrite replica files. Pair with
+	// HTTPSink.WithAuthToken on the shipping side.
+	AuthToken string
+}
+
 // Follower receives shipped files into a local directory. Mount its
 // Handler on any mux; restore by opening a streamstore on Dir.
 type Follower struct {
-	sink *DirSink
+	sink     *DirSink
+	maxBytes int64
+	token    string
 }
 
-// NewFollower returns a follower writing into dir (created if needed).
+// NewFollower returns a follower writing into dir (created if needed)
+// with default options: 512 MiB per-file cap, no authentication.
 func NewFollower(dir string) (*Follower, error) {
+	return NewFollowerWith(dir, FollowerOptions{})
+}
+
+// NewFollowerWith returns a follower writing into dir with the given
+// ingress limits.
+func NewFollowerWith(dir string, opts FollowerOptions) (*Follower, error) {
+	if opts.MaxFileBytes < 0 {
+		return nil, fmt.Errorf("%w: MaxFileBytes = %d", ErrBadConfig, opts.MaxFileBytes)
+	}
+	maxBytes := opts.MaxFileBytes
+	if maxBytes == 0 {
+		maxBytes = defaultMaxShippedFileBytes
+	}
 	sink, err := NewDirSink(dir)
 	if err != nil {
 		return nil, err
 	}
-	return &Follower{sink: sink}, nil
+	return &Follower{sink: sink, maxBytes: maxBytes, token: opts.AuthToken}, nil
+}
+
+// authorized enforces the optional shared bearer token on one follower
+// request, answering 401 itself when the check fails.
+func (f *Follower) authorized(w http.ResponseWriter, r *http.Request) bool {
+	if f.token == "" {
+		return true
+	}
+	if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+f.token)) == 1 {
+		return true
+	}
+	crowd.WriteError(w, http.StatusUnauthorized, crowd.CodeUnauthorized, "missing or wrong follower auth token")
+	return false
 }
 
 // Dir returns the replica directory.
@@ -64,6 +118,9 @@ func (f *Follower) handleManifest(w http.ResponseWriter, r *http.Request) {
 		crowd.WriteError(w, http.StatusMethodNotAllowed, crowd.CodeMethodNotAllowed, "GET only")
 		return
 	}
+	if !f.authorized(w, r) {
+		return
+	}
 	have, err := f.sink.Have()
 	if err != nil {
 		crowd.WriteWireError(w, err)
@@ -77,14 +134,23 @@ func (f *Follower) handleFile(w http.ResponseWriter, r *http.Request) {
 		crowd.WriteError(w, http.StatusMethodNotAllowed, crowd.CodeMethodNotAllowed, "PUT only")
 		return
 	}
+	if !f.authorized(w, r) {
+		return
+	}
 	name := strings.TrimPrefix(r.URL.Path, PathFollowerFiles)
 	if !streamstore.ValidShippableName(name) {
 		crowd.WriteError(w, http.StatusBadRequest, crowd.CodeBadRequest,
 			fmt.Sprintf("%q is not a shippable file name", name))
 		return
 	}
-	data, err := io.ReadAll(r.Body)
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, f.maxBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			crowd.WriteError(w, http.StatusRequestEntityTooLarge, crowd.CodePayloadTooLarge,
+				fmt.Sprintf("%s exceeds the follower's %d-byte file cap", name, tooBig.Limit))
+			return
+		}
 		crowd.WriteError(w, http.StatusBadRequest, crowd.CodeBadRequest, fmt.Sprintf("read body: %v", err))
 		return
 	}
@@ -99,6 +165,7 @@ func (f *Follower) handleFile(w http.ResponseWriter, r *http.Request) {
 type HTTPSink struct {
 	baseURL string
 	httpc   *http.Client
+	token   string
 }
 
 // NewHTTPSink returns a sink shipping to the follower at baseURL.
@@ -113,9 +180,29 @@ func NewHTTPSink(baseURL string, httpc *http.Client) (*HTTPSink, error) {
 	return &HTTPSink{baseURL: baseURL, httpc: httpc}, nil
 }
 
+// WithAuthToken returns the sink sending "Authorization: Bearer token"
+// on every request — the client half of FollowerOptions.AuthToken. An
+// empty token sends no header.
+func (h *HTTPSink) WithAuthToken(token string) *HTTPSink {
+	h.token = token
+	return h
+}
+
+// authorize attaches the shared bearer token, when configured.
+func (h *HTTPSink) authorize(req *http.Request) {
+	if h.token != "" {
+		req.Header.Set("Authorization", "Bearer "+h.token)
+	}
+}
+
 // Have implements Sink via the follower's manifest.
 func (h *HTTPSink) Have() (map[string]int64, error) {
-	resp, err := h.httpc.Get(h.baseURL + PathFollowerManifest)
+	req, err := http.NewRequest(http.MethodGet, h.baseURL+PathFollowerManifest, nil)
+	if err != nil {
+		return nil, err
+	}
+	h.authorize(req)
+	resp, err := h.httpc.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -138,6 +225,7 @@ func (h *HTTPSink) Put(name string, data []byte) error {
 	if err != nil {
 		return err
 	}
+	h.authorize(req)
 	resp, err := h.httpc.Do(req)
 	if err != nil {
 		return err

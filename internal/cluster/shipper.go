@@ -151,10 +151,12 @@ func NewShipper(store *streamstore.Store, sink Sink, interval time.Duration, met
 // SyncOnce runs one shipping pass: list the sink, list the store's
 // shippable files, and Put — in listing order — every file the sink is
 // missing or that changed. Sealed segments already present at their
-// final size are skipped; mutable files (active segment, spill,
-// results, snapshot) re-ship whenever their durable size moved, and the
-// snapshot also re-ships on same-size rewrites because its listing
-// position (last) makes it the pass's commit point.
+// final size are skipped for good; mutable files (active segment,
+// spill, results) re-ship whenever their durable size moved; the
+// snapshot and the cluster-close record re-ship on every pass even at
+// an unchanged size, because both are atomically rewritten (same size,
+// different state, is possible) and the snapshot's listing position
+// (last) makes it the pass's commit point.
 func (s *Shipper) SyncOnce() error {
 	err := s.syncOnce()
 	s.mu.Lock()
@@ -176,7 +178,16 @@ func (s *Shipper) syncOnce() error {
 		return fmt.Errorf("cluster: list shippable state: %w", err)
 	}
 	for _, f := range files {
-		if size, ok := have[f.Name]; ok && size == f.Size && f.Immutable {
+		// Skip whatever the sink already holds at the listed size: final
+		// for sealed segments (immutable), and "durable size unchanged"
+		// for the other files — the active segment and the spill only
+		// ever grow (or shrink on compaction), so an equal size means an
+		// identical durable prefix. The snapshot and the cluster-close
+		// record are the exceptions: both are atomically rewritten and
+		// can change state without changing size, and the snapshot is the
+		// pass's commit point — they always re-ship.
+		if size, ok := have[f.Name]; ok && size == f.Size &&
+			f.Name != streamstore.SnapshotFileName && f.Name != streamstore.ClusterCloseFileName {
 			continue
 		}
 		data, err := s.store.ReadShippable(f.Name, f.Size)

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"pptd/internal/stream"
+	"pptd/internal/streamstore"
 )
 
 // Worker-side cluster RPCs. A multi-node deployment (internal/cluster)
@@ -33,6 +34,18 @@ import (
 // the worker is durable — a worker must never replay its journal across
 // a cluster close boundary, because local replay would re-estimate with
 // only this shard's users and diverge from the merged truth.
+//
+// On a durable worker the export cache is persisted too
+// (streamstore.ClusterCloseState, written BEFORE the post-close
+// snapshot and restored on boot), so the idempotence holds across a
+// crash at any point of the round: a worker killed between its close
+// and the coordinator's commit comes back still able to serve the
+// retried close for the window its engine already advanced past. The
+// commit flips the record's Committed flag only after the merged
+// carries are snapshotted; a coordinator booting against workers whose
+// records say "closed but not committed" re-drives the merge/commit
+// from these cached exports before serving (see
+// cluster.Coordinator and ClusterStatus).
 
 // ClusterCloseRequest asks a worker to close one window and export its
 // sufficient statistics.
@@ -77,6 +90,24 @@ type ClusterCommitReply struct {
 	Window int `json:"window"`
 }
 
+// ClusterStatusReply reports the worker's position in the cluster close
+// protocol — what a booting coordinator needs to tell a fully committed
+// cluster from one whose last close round was interrupted mid-commit.
+type ClusterStatusReply struct {
+	// Window is the worker's closed-window count.
+	Window int `json:"window"`
+	// PendingWindow is the window of the worker's cached close export
+	// (0 when the worker never served a coordinated close). The cache —
+	// durable on a persistent worker — survives until the next close
+	// overwrites it, so a re-driven merge can always re-read it.
+	PendingWindow int `json:"pendingWindow,omitempty"`
+	// CommittedWindow is the last window whose merged carries this
+	// worker applied and made durable. CommittedWindow < PendingWindow
+	// means the close round for PendingWindow never finished: the
+	// coordinator must re-drive its merge/commit before serving.
+	CommittedWindow int `json:"committedWindow,omitempty"`
+}
+
 // ClusterClose serves one coordinator-driven window close: it verifies
 // the worker is at the expected window, quiesces ingest, and exports
 // the open window's raw sufficient statistics without estimating. The
@@ -90,6 +121,20 @@ func (s *StreamServer) ClusterClose(req ClusterCloseRequest) (ClusterCloseReply,
 	// cluster close this worker's engine already advanced, and only the
 	// cached export lets the coordinator's retry converge.
 	if s.clusterExport != nil && s.clusterExportWindow == req.Window {
+		// A crash (or a failed durable step) between the export and the
+		// post-close snapshot can leave the recovered engine un-advanced,
+		// or the export not yet on disk. Repair both before answering, so
+		// the commit that follows finds a consistent worker — and serve
+		// the ORIGINAL export, which the coordinator may already have
+		// merged, not a re-export.
+		if s.engine.Window()+1 == req.Window {
+			if _, err := s.engine.CloseWindowExport(); err != nil {
+				return ClusterCloseReply{}, err
+			}
+		}
+		if err := s.persistClusterCloseLocked(); err != nil {
+			return ClusterCloseReply{}, err
+		}
 		return ClusterCloseReply{State: s.clusterExport}, nil
 	}
 	if got := s.engine.Window() + 1; got != req.Window {
@@ -103,23 +148,51 @@ func (s *StreamServer) ClusterClose(req ClusterCloseRequest) (ClusterCloseReply,
 	if err != nil {
 		return ClusterCloseReply{}, err
 	}
-	// Cache before snapshotting: even if the snapshot fails, a retried
-	// close must return this exact export rather than erroring on the
-	// already-advanced window. The commit that follows snapshots again,
-	// repairing durability.
+	// Cache before any durable step: even if persistence fails, a
+	// retried close must return this exact export rather than erroring
+	// on the already-advanced window — the retry re-runs the durable
+	// steps through the cache path above.
 	s.clusterExport, s.clusterExportWindow = st, req.Window
-	if s.store != nil {
-		if err := s.store.SnapshotEngine(s.engine); err != nil {
-			return ClusterCloseReply{}, fmt.Errorf("crowd: snapshot after cluster close: %w", err)
-		}
+	s.clusterExportDurable = false
+	return ClusterCloseReply{State: st}, s.persistClusterCloseLocked()
+}
+
+// persistClusterCloseLocked makes the cached export durable — the
+// export record first, so a crash right after it can still serve the
+// retried close, then the advanced engine snapshot (a worker must never
+// replay its journal across a close boundary). Idempotent and cheap to
+// retry: the export writes once per window, the snapshot re-writes on
+// retries only to cover a possibly re-advanced engine. Callers must
+// hold windowMu.
+func (s *StreamServer) persistClusterCloseLocked() error {
+	if s.store == nil {
+		return nil
 	}
-	return ClusterCloseReply{State: st}, nil
+	if !s.clusterExportDurable {
+		if err := s.store.SaveClusterClose(&streamstore.ClusterCloseState{
+			Window:    s.clusterExportWindow,
+			Committed: s.clusterCommitted >= s.clusterExportWindow,
+			State:     s.clusterExport,
+		}); err != nil {
+			return fmt.Errorf("crowd: persist cluster close export: %w", err)
+		}
+		s.clusterExportDurable = true
+	}
+	if err := s.store.SnapshotEngine(s.engine); err != nil {
+		return fmt.Errorf("crowd: snapshot after cluster close: %w", err)
+	}
+	return nil
 }
 
 // ClusterCommit applies the coordinator's merged carry weights and
 // estimator state for the users this worker owns, then runs the
 // idle-user eviction the cluster close deferred. Idempotent: retrying
-// re-applies the same values.
+// re-applies the same values. On a durable worker the merged state is
+// snapshotted BEFORE the close record is marked committed — a crash in
+// between makes a booting coordinator re-drive the commit, which
+// re-applies the same carries; the reverse order would let a
+// committed-looking worker recover pre-commit carries and silently
+// diverge.
 func (s *StreamServer) ClusterCommit(req ClusterCommitRequest) (ClusterCommitReply, error) {
 	s.windowMu.Lock()
 	defer s.windowMu.Unlock()
@@ -134,8 +207,35 @@ func (s *StreamServer) ClusterCommit(req ClusterCommitRequest) (ClusterCommitRep
 		if err := s.store.SnapshotEngine(s.engine); err != nil {
 			return ClusterCommitReply{}, fmt.Errorf("crowd: snapshot after cluster commit: %w", err)
 		}
+		if s.clusterExport != nil && s.clusterExportWindow == req.Window {
+			if err := s.store.SaveClusterClose(&streamstore.ClusterCloseState{
+				Window:    req.Window,
+				Committed: true,
+				State:     s.clusterExport,
+			}); err != nil {
+				return ClusterCommitReply{}, fmt.Errorf("crowd: mark cluster close committed: %w", err)
+			}
+			s.clusterExportDurable = true
+		}
+	}
+	if req.Window > s.clusterCommitted {
+		s.clusterCommitted = req.Window
 	}
 	return ClusterCommitReply{Window: req.Window}, nil
+}
+
+// ClusterStatus reports the worker's close-protocol position: closed
+// windows, the window of its (durably) cached export, and the last
+// committed window. A booting coordinator compares the latter two to
+// detect an interrupted close round it must re-drive.
+func (s *StreamServer) ClusterStatus() ClusterStatusReply {
+	s.windowMu.Lock()
+	defer s.windowMu.Unlock()
+	reply := ClusterStatusReply{Window: s.engine.Window(), CommittedWindow: s.clusterCommitted}
+	if s.clusterExport != nil {
+		reply.PendingWindow = s.clusterExportWindow
+	}
+	return reply
 }
 
 // RegisterCluster mounts the worker-side cluster RPC routes next to the
@@ -144,6 +244,7 @@ func (s *StreamServer) ClusterCommit(req ClusterCommitRequest) (ClusterCommitRep
 func (s *StreamServer) RegisterCluster(mux *http.ServeMux) {
 	mux.HandleFunc(PathClusterClose, echoRequestID(s.handleClusterClose))
 	mux.HandleFunc(PathClusterCommit, echoRequestID(s.handleClusterCommit))
+	mux.HandleFunc(PathClusterStatus, echoRequestID(s.handleClusterStatus))
 }
 
 func (s *StreamServer) handleClusterClose(w http.ResponseWriter, r *http.Request) {
@@ -182,6 +283,14 @@ func (s *StreamServer) handleClusterCommit(w http.ResponseWriter, r *http.Reques
 	writeJSON(w, http.StatusOK, reply)
 }
 
+func (s *StreamServer) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ClusterStatus())
+}
+
 // ClusterClose invokes the worker-side close RPC (coordinator use).
 func (c *Client) ClusterClose(ctx context.Context, req ClusterCloseRequest) (ClusterCloseReply, error) {
 	var reply ClusterCloseReply
@@ -193,6 +302,14 @@ func (c *Client) ClusterClose(ctx context.Context, req ClusterCloseRequest) (Clu
 func (c *Client) ClusterCommit(ctx context.Context, req ClusterCommitRequest) (ClusterCommitReply, error) {
 	var reply ClusterCommitReply
 	err := c.do(ctx, http.MethodPost, PathClusterCommit, req, &reply)
+	return reply, err
+}
+
+// ClusterStatus reads the worker's close-protocol position (coordinator
+// use, at boot).
+func (c *Client) ClusterStatus(ctx context.Context) (ClusterStatusReply, error) {
+	var reply ClusterStatusReply
+	err := c.do(ctx, http.MethodGet, PathClusterStatus, nil, &reply)
 	return reply, err
 }
 

@@ -188,6 +188,12 @@ const (
 	// coordinator's merged per-user carry weights and estimator state
 	// back onto the worker after a cluster-wide window close (POST).
 	PathClusterCommit = "/v1/cluster/commit"
+	// PathClusterStatus serves the worker's cluster close-protocol
+	// position (GET): closed-window count, the window of its cached
+	// export, and the last committed window. A booting coordinator reads
+	// it to detect a close round that was interrupted mid-commit and must
+	// be re-driven before serving.
+	PathClusterStatus = "/v1/cluster/status"
 
 	// PathMetrics is where a pptd Node exposes the Prometheus text
 	// rendition of every registered metric (GET). The crowd servers do

@@ -64,8 +64,15 @@ type StreamServer struct {
 	// 1-based window it closed) under windowMu, making the close RPC
 	// idempotent: a coordinator retrying after a partial cluster close
 	// gets the identical state back instead of closing a second window.
-	clusterExport       *stream.EngineState
-	clusterExportWindow int
+	// On a durable server the cache is persisted (and restored on boot)
+	// so the idempotence survives a worker crash mid-round;
+	// clusterExportDurable tracks whether the current cache entry made
+	// it to disk, and clusterCommitted is the last window whose merged
+	// carries were applied (see ClusterCommit / ClusterStatus).
+	clusterExport        *stream.EngineState
+	clusterExportWindow  int
+	clusterExportDurable bool
+	clusterCommitted     int
 
 	tickMu  sync.Mutex
 	tickErr error
@@ -103,6 +110,23 @@ func NewStreamServer(cfg StreamServerConfig) (*StreamServer, error) {
 		}
 	}
 	s := &StreamServer{name: cfg.Name, engine: eng, store: cfg.Persistence}
+	if cfg.Persistence != nil {
+		// Restore the cluster close-export cache, so a worker killed
+		// mid-round (closed, not yet committed) can still serve the
+		// coordinator's retried close for the window its recovered
+		// engine may already have advanced past.
+		cs, err := cfg.Persistence.LoadClusterClose()
+		if err != nil {
+			_ = eng.Close()
+			return nil, fmt.Errorf("crowd: stream server: recover cluster close state: %w", err)
+		}
+		if cs != nil {
+			s.clusterExport, s.clusterExportWindow, s.clusterExportDurable = cs.State, cs.Window, true
+			if cs.Committed {
+				s.clusterCommitted = cs.Window
+			}
+		}
+	}
 	if cfg.WindowInterval > 0 {
 		s.stop = make(chan struct{})
 		s.wg.Add(1)

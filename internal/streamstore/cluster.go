@@ -1,0 +1,96 @@
+package streamstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"pptd/internal/stream"
+)
+
+// Cluster-close durability: a worker participating in a coordinated
+// cluster window close (internal/cluster) must be able to answer a
+// retried close RPC for a window its engine already advanced past —
+// across a crash, not just within one process lifetime. The worker
+// therefore persists its per-window export alongside the engine
+// snapshot (cluster-close.json, atomically replaced like the snapshot),
+// and flips the record's Committed flag once the coordinator's merged
+// carries were applied and snapshotted. On recovery the file restores
+// the export cache, and its Committed flag is how a rebooting
+// coordinator distinguishes "window W closed and committed everywhere"
+// from "window W closed but the merge/commit never finished" — the
+// latter must be re-driven before serving, or every later window would
+// estimate from stale carries.
+
+const (
+	clusterCloseName    = "cluster-close.json"
+	clusterCloseTmpName = "cluster-close.json.tmp"
+)
+
+// ClusterCloseFileName is the cluster-close record's base name inside a
+// state directory — exported for shippers, which (like the snapshot)
+// must re-ship it even when the sink holds a same-size copy: the record
+// is atomically rewritten each round, and a stale copy on a restored
+// replica could wedge a retried close.
+const ClusterCloseFileName = clusterCloseName
+
+// ErrCorruptClusterClose reports a persisted cluster-close record that
+// fails its integrity check. It is written atomically, so this means
+// on-disk damage; recovery must not silently continue from it, because
+// losing the export cache can wedge a retried cluster close.
+var ErrCorruptClusterClose = errors.New("streamstore: corrupt cluster close record")
+
+// ClusterCloseState is one worker's durable record of its most recent
+// coordinated cluster window close.
+type ClusterCloseState struct {
+	// Window is the 1-based window the export belongs to.
+	Window int `json:"window"`
+	// Committed reports whether the coordinator's merged carries for
+	// Window were applied (and snapshotted) on this worker. False means
+	// the close round is still in flight: a coordinator booting against
+	// this worker must finish the merge/commit before serving.
+	Committed bool `json:"committed"`
+	// State is the pre-close export served to close retries.
+	State *stream.EngineState `json:"state"`
+}
+
+// SaveClusterClose atomically persists the worker's cluster-close
+// record (same temp/fsync/rename/dir-fsync dance as the snapshot). Each
+// close overwrites the previous record — only the latest window's
+// export is ever needed, because the coordinator never reaches back
+// past it.
+func (s *Store) SaveClusterClose(cs *ClusterCloseState) error {
+	if cs == nil || cs.State == nil {
+		return errors.New("streamstore: nil cluster close state")
+	}
+	body, err := json.Marshal(cs)
+	if err != nil {
+		return fmt.Errorf("streamstore: encode cluster close: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.writeEnvelopeLocked("cluster close", clusterCloseName, clusterCloseTmpName, body, nil)
+}
+
+// LoadClusterClose returns the persisted cluster-close record, or nil
+// when this worker never served a coordinated close.
+func (s *Store) LoadClusterClose() (*ClusterCloseState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	body, _, err := readEnvelope(s.fs, filepath.Join(s.dir, clusterCloseName), ErrCorruptClusterClose)
+	if body == nil || err != nil {
+		return nil, err
+	}
+	cs := new(ClusterCloseState)
+	if err := json.Unmarshal(body, cs); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrCorruptClusterClose, err)
+	}
+	return cs, nil
+}

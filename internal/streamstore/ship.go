@@ -25,6 +25,13 @@ import (
 // missing. (The reverse — segments newer than the shipped snapshot —
 // just means the follower replays a little more.)
 
+// SnapshotFileName is the engine snapshot's base name inside a state
+// directory — exported for shippers, which must treat it as the sync
+// pass's commit point: it ships last and re-ships even when the sink
+// already holds a same-size copy, because an atomic rewrite can leave
+// the size unchanged while the state moved.
+const SnapshotFileName = snapshotName
+
 // ShippableFile describes one file of the durable state directory a
 // shipper replicates.
 type ShippableFile struct {
@@ -69,8 +76,9 @@ func (s *Store) Shippable() ([]ShippableFile, error) {
 		out = append(out, ShippableFile{Name: spillName, Size: spillSize})
 	}
 
-	// Retained history results, then the latest, then the snapshot: all
-	// atomically replaced, shipped whole at their current size.
+	// Retained history results, the latest result, the cluster-close
+	// record, then the snapshot: all atomically replaced, shipped whole
+	// at their current size.
 	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("streamstore: list state dir: %w", err)
@@ -82,7 +90,7 @@ func (s *Store) Shippable() ([]ShippableFile, error) {
 		}
 	}
 	sort.Strings(history)
-	for _, name := range append(history, resultName, snapshotName) {
+	for _, name := range append(history, resultName, clusterCloseName, snapshotName) {
 		fi, err := s.fs.Stat(filepath.Join(s.dir, name))
 		if err != nil || fi.Size() == 0 {
 			continue // never written yet (or pruned between list and stat)
@@ -104,7 +112,7 @@ func shippableName(name string) bool {
 	if name == "" || strings.ContainsAny(name, "/\\") || name != filepath.Base(name) {
 		return false
 	}
-	if name == snapshotName || name == resultName || name == spillName {
+	if name == snapshotName || name == resultName || name == spillName || name == clusterCloseName {
 		return true
 	}
 	if _, ok := resultHistoryWindow(name); ok {
