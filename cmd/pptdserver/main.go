@@ -63,6 +63,7 @@ func run(args []string) error {
 		decay    = fs.Float64("decay", 1, "with -stream: per-window retention factor in (0,1]; eviction under -max-resident-users needs decay < 1, since users with live sufficient statistics are pinned resident")
 		stateDir = fs.String("state-dir", "", "durable state directory: the batch campaign WALs submissions and persists its result; with -stream the engine journals privacy charges and snapshots (empty = in-memory only)")
 		maxRes   = fs.Int("max-resident-users", 0, "with -stream and -state-dir: cap on users kept resident in memory; idle users spill to the store at window close and re-admit on their next claim (0 = unbounded)")
+		maxBody  = fs.Int64("max-request-bytes", 0, "cap on any POST request body in bytes; oversized bodies get the 413 payload_too_large envelope (0 = the 16 MiB default)")
 		logReqs  = fs.String("log", "", "per-request structured logging: 'text' or 'json' slog lines on stderr (empty = off; metrics at /metrics either way)")
 		debug    = fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ (exposes operational internals; keep off public listeners)")
 	)
@@ -91,6 +92,12 @@ func run(args []string) error {
 	}
 	if *users > 0 {
 		opts = append(opts, pptd.WithExpectedUsers(*users))
+	}
+	if *maxBody < 0 {
+		return fmt.Errorf("-max-request-bytes = %d: want 0 (default) or a positive cap", *maxBody)
+	}
+	if *maxBody > 0 {
+		opts = append(opts, pptd.WithMaxRequestBytes(*maxBody))
 	}
 	switch *logReqs {
 	case "":

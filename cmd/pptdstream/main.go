@@ -29,8 +29,12 @@
 // spilled to the store at window close and re-admitted on their next
 // claim), and -churn rotates in a fresh fleet of device IDs every window
 // — together they demonstrate bounded memory under unbounded ID churn.
-// See README.md next to this file for the full flag reference and a
-// kill-and-recover transcript.
+// -wire binary submits claims as the compact CRC32-checked binary frame
+// (docs/WIRE.md) instead of JSON, and -arrival-rate R switches the
+// driver from closed-loop (every device at once) to an open-loop
+// Poisson arrival process offering R submissions/s regardless of how
+// fast the server keeps up. See README.md next to this file for the
+// full flag reference and a kill-and-recover transcript.
 package main
 
 import (
@@ -87,6 +91,9 @@ func run(args []string, out io.Writer) error {
 		maxResident = fs.Int("max-resident-users", 0, "cap on users kept resident in memory; idle users (no live sufficient statistics — needs -decay < 1 to ever happen) spill to -state-dir at window close and re-admit on their next claim (0 = unbounded)")
 		resBytes    = fs.Int64("resident-bytes", 0, "approximate byte budget for resident per-user state, an alternative cap to -max-resident-users (0 = unbounded)")
 		churn       = fs.Bool("churn", false, "rotate in a fresh fleet of device IDs every window, so the distinct-user population grows without bound — the workload residency caps exist for")
+		wire        = fs.String("wire", pptd.WireJSON, "claim submission wire format: json (default) or binary (length-prefixed CRC32-checked frames under Content-Type application/x-pptd-claims; see docs/WIRE.md)")
+		arrival     = fs.Float64("arrival-rate", 0, "open-loop mode: offered load in submissions/s, Poisson (exponential) inter-arrival spacing across the fleet; 0 = closed-loop (every device submits at once per window)")
+		maxBody     = fs.Int64("max-request-bytes", 0, "in-process server's POST body cap in bytes; oversized bodies get the 413 payload_too_large envelope (0 = the 16 MiB default)")
 		requestID   = fs.String("request-id", "", "pin this X-Request-ID on every request (empty = a fresh random ID per request); the server echoes it, correlating this run in the node's logs")
 		benchOut    = fs.String("bench-out", "", "write a BENCH_*.json performance artifact (throughput, submit/close latency p50/p99/p999) to this path")
 		metricsOut  = fs.String("metrics-out", "", "after the run, scrape the server's GET /metrics and write the exposition to this path")
@@ -106,6 +113,18 @@ func run(args []string, out io.Writer) error {
 	}
 	if (*maxResident > 0 || *resBytes > 0) && *stateDir == "" {
 		return errors.New("-max-resident-users and -resident-bytes need -state-dir: evicted users spill their budget and estimator state to the store")
+	}
+	if *wire != pptd.WireJSON && *wire != pptd.WireBinary {
+		return fmt.Errorf("-wire = %q: want %q or %q", *wire, pptd.WireJSON, pptd.WireBinary)
+	}
+	if *arrival < 0 {
+		return fmt.Errorf("-arrival-rate = %v: want 0 (closed-loop) or a positive submissions/s rate", *arrival)
+	}
+	if *maxBody < 0 {
+		return fmt.Errorf("-max-request-bytes = %d: want 0 (default) or a positive cap", *maxBody)
+	}
+	if *maxBody > 0 && *addr != "" {
+		return errors.New("-max-request-bytes configures the in-process server; it cannot apply to an external -addr")
 	}
 
 	estimator, err := methodByName(*method)
@@ -139,6 +158,9 @@ func run(args []string, out io.Writer) error {
 		}
 		if *interval > 0 {
 			nodeOpts = append(nodeOpts, pptd.WithWindowInterval(*interval))
+		}
+		if *maxBody > 0 {
+			nodeOpts = append(nodeOpts, pptd.WithMaxRequestBytes(*maxBody))
 		}
 		if *stateDir != "" {
 			popts := []pptd.PersistenceOption{
@@ -184,6 +206,7 @@ func run(args []string, out io.Writer) error {
 	if *requestID != "" {
 		clientOpts = append(clientOpts, pptd.WithRequestID(*requestID))
 	}
+	clientOpts = append(clientOpts, pptd.WithClaimWire(*wire))
 	client, err := pptd.NewClient(baseURL, clientOpts...)
 	if err != nil {
 		return err
@@ -240,6 +263,7 @@ func run(args []string, out io.Writer) error {
 				Shards: info.Shards, Durable: *stateDir != "",
 				EpsilonBudget:    info.EpsilonBudget,
 				MaxResidentUsers: *maxResident, Churn: *churn,
+				Wire: *wire, ArrivalRate: *arrival,
 			}
 			if err := perf.writeBenchReport(*benchOut, cfg, totalRefused); err != nil {
 				return err
@@ -282,6 +306,13 @@ func run(args []string, out io.Writer) error {
 		)
 		start := time.Now()
 		for _, d := range fleet {
+			if *arrival > 0 {
+				// Open-loop mode: arrivals are spaced by an exponential
+				// inter-arrival draw (a Poisson process at -arrival-rate),
+				// independent of how fast earlier submissions complete —
+				// the driver offers load, it does not wait for capacity.
+				time.Sleep(time.Duration(rng.Exp() / *arrival * float64(time.Second)))
+			}
 			wg.Add(1)
 			go func(d *device) {
 				defer wg.Done()
@@ -455,6 +486,8 @@ type BenchConfig struct {
 	EpsilonBudget    float64 `json:"epsilonBudget"`
 	MaxResidentUsers int     `json:"maxResidentUsers,omitempty"`
 	Churn            bool    `json:"churn,omitempty"`
+	Wire             string  `json:"wire,omitempty"`
+	ArrivalRate      float64 `json:"arrivalRate,omitempty"`
 }
 
 // BenchReport is the BENCH_*.json artifact -bench-out writes: one
@@ -462,6 +495,7 @@ type BenchConfig struct {
 type BenchReport struct {
 	Name                 string       `json:"name"`
 	Timestamp            string       `json:"timestamp"`
+	Wire                 string       `json:"wire"`
 	Config               BenchConfig  `json:"config"`
 	Submissions          int64        `json:"submissions"`
 	RefusedSubmissions   int64        `json:"refusedSubmissions"`
@@ -490,6 +524,7 @@ func (p *perfTracker) writeBenchReport(path string, cfg BenchConfig, refused int
 	rep := BenchReport{
 		Name:               "stream_ingest",
 		Timestamp:          time.Now().UTC().Format(time.RFC3339),
+		Wire:               wireLabel(cfg.Wire),
 		Config:             cfg,
 		Submissions:        p.submit.Count,
 		RefusedSubmissions: refused,
@@ -559,6 +594,15 @@ func estimatorLabel(name string) string {
 		return "crh"
 	}
 	return name
+}
+
+// wireLabel normalizes the -wire flag for the artifact: an empty value
+// (an old caller constructing BenchConfig directly) means JSON.
+func wireLabel(w string) string {
+	if w == "" {
+		return pptd.WireJSON
+	}
+	return w
 }
 
 func budgetLabel(b float64) string {

@@ -38,6 +38,38 @@ func WithRequestID(id string) ClientOption {
 	return crowd.WithRequestID(id)
 }
 
+// Claim submission wire formats for WithClaimWire.
+const (
+	// WireJSON submits stream claims as the default JSON body.
+	WireJSON = crowd.WireJSON
+	// WireBinary submits stream claims as length-prefixed CRC32-checked
+	// binary frames under Content-Type ContentTypeClaims — the zero-copy
+	// ingest hot path (see docs/WIRE.md).
+	WireBinary = crowd.WireBinary
+)
+
+// ContentTypeClaims is the Content-Type that negotiates the binary
+// claim frame on POST /v1/stream/claims; any other value means JSON.
+const ContentTypeClaims = crowd.ContentTypeClaims
+
+// DefaultMaxRequestBytes is the per-route POST body cap applied when no
+// WithMaxRequestBytes option (or CLI flag) overrides it.
+const DefaultMaxRequestBytes = crowd.DefaultMaxRequestBytes
+
+// WithClaimWire selects the wire format for stream claim submissions:
+// WireJSON (default) or WireBinary. Receipts, window results, and
+// error taxonomy are identical across formats; only the request
+// encoding changes.
+func WithClaimWire(wire string) ClientOption {
+	return crowd.WithClaimWire(wire)
+}
+
+// EnvelopeDecodeError reports a non-2xx response whose body did not
+// decode as the versioned error envelope — a proxy error page, a
+// pre-envelope server, or a truncated response. It carries the HTTP
+// status and the first bytes of the body for diagnosis.
+type EnvelopeDecodeError = crowd.EnvelopeDecodeError
+
 // Typed API errors, decoded from the wire envelope's code by Client.
 // Match with errors.Is.
 var (
@@ -57,6 +89,10 @@ var (
 	// ErrBadSubmission reports a malformed submission (envelope code
 	// "bad_request", HTTP 400).
 	ErrBadSubmission = crowd.ErrBadSubmission
+	// ErrPayloadTooLarge reports a POST body that exceeded the node's
+	// request-body cap (envelope code "payload_too_large", HTTP 413).
+	// Tune the cap with WithMaxRequestBytes.
+	ErrPayloadTooLarge = crowd.ErrPayloadTooLarge
 )
 
 // CampaignServer is the untrusted aggregation server of the crowd sensing

@@ -96,6 +96,11 @@ type Config struct {
 	CloseRetries int
 	// HTTPClient overrides the HTTP client used for worker RPCs.
 	HTTPClient *http.Client
+	// MaxRequestBytes caps the POST /v1/stream/claims request body on
+	// the coordinator's front door (matching the workers' own caps);
+	// oversized bodies get the 413 payload_too_large envelope. Zero
+	// means crowd.DefaultMaxRequestBytes.
+	MaxRequestBytes int64
 	// Metrics, when set, registers the coordinator's routing and close
 	// counters.
 	Metrics *obs.Registry
@@ -113,6 +118,7 @@ type Coordinator struct {
 	ring      *Ring
 	clients   map[string]*crowd.Client
 	retries   int
+	maxBytes  int64 // front-door request-body cap
 
 	// windowMu serializes cluster window closes (manual and ticker).
 	windowMu sync.Mutex
@@ -150,6 +156,13 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.CloseRetries < 0 {
 		return nil, fmt.Errorf("%w: CloseRetries = %d", ErrBadConfig, cfg.CloseRetries)
+	}
+	if cfg.MaxRequestBytes < 0 {
+		return nil, fmt.Errorf("%w: MaxRequestBytes = %d", ErrBadConfig, cfg.MaxRequestBytes)
+	}
+	maxBytes := cfg.MaxRequestBytes
+	if maxBytes == 0 {
+		maxBytes = crowd.DefaultMaxRequestBytes
 	}
 	retries := cfg.CloseRetries
 	if retries == 0 {
@@ -197,6 +210,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		ring:      ring,
 		clients:   clients,
 		retries:   retries,
+		maxBytes:  maxBytes,
 		histCap:   histCap,
 	}
 	if cfg.Metrics != nil {
@@ -703,9 +717,26 @@ func (c *Coordinator) handleClaims(w http.ResponseWriter, r *http.Request) {
 		crowd.WriteError(w, http.StatusMethodNotAllowed, crowd.CodeMethodNotAllowed, "POST only")
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, c.maxBytes)
 	var sub crowd.Submission
-	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
-		crowd.WriteError(w, http.StatusBadRequest, crowd.CodeBadRequest, fmt.Sprintf("decode submission: %v", err))
+	if crowd.IsClaimFrameRequest(r) {
+		// The coordinator accepts the binary frame like a single node
+		// does, then routes the decoded batch to the owning worker over
+		// its regular client (the hot zero-allocation path lives on the
+		// workers; the coordinator is a proxy either way).
+		f := crowd.GetClaimFrame()
+		defer crowd.PutClaimFrame(f)
+		if err := crowd.DecodeClaimFrame(r.Body, f); err != nil {
+			crowd.WriteDecodeError(w, "decode claim frame", err)
+			return
+		}
+		sub.ClientID = string(f.ClientID)
+		sub.Claims = make([]crowd.Claim, len(f.Claims))
+		for i, cl := range f.Claims {
+			sub.Claims[i] = crowd.Claim{Object: cl.Object, Value: cl.Value}
+		}
+	} else if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		crowd.WriteDecodeError(w, "decode submission", err)
 		return
 	}
 	receipt, err := c.Submit(r.Context(), sub)

@@ -26,6 +26,16 @@ var ErrBadClient = errors.New("crowd: invalid client argument")
 // and call again.
 var ErrSameWindow = errors.New("crowd: already submitted in the open window")
 
+// Claim wire formats accepted by WithClaimWire.
+const (
+	// WireJSON submits stream claims as the default JSON body.
+	WireJSON = "json"
+	// WireBinary submits stream claims as the compact CRC-checked binary
+	// frame (Content-Type application/x-pptd-claims; see docs/WIRE.md),
+	// which the server ingests through its pooled zero-allocation path.
+	WireBinary = "binary"
+)
+
 // Client talks to a campaign server. Safe for concurrent use.
 type Client struct {
 	baseURL string
@@ -33,6 +43,9 @@ type Client struct {
 	// requestID, when non-empty, is sent as the X-Request-ID of every
 	// request; otherwise each request gets a fresh random ID.
 	requestID string
+	// claimWire selects the StreamSubmit encoding: WireJSON (default) or
+	// WireBinary.
+	claimWire string
 }
 
 // ClientOption configures NewClient.
@@ -60,6 +73,16 @@ func WithRequestID(id string) ClientOption {
 	return clientOptionFunc(func(c *Client) { c.requestID = id })
 }
 
+// WithClaimWire selects the wire format StreamSubmit (and so the
+// device helper's ParticipateStream) uses for claim batches: WireJSON
+// (the default) or WireBinary, the length-prefixed CRC-checked frame
+// the server decodes through its pooled hot path. Receipts, errors,
+// and every other endpoint stay JSON either way. NewClient fails on
+// any other value.
+func WithClaimWire(wire string) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.claimWire = wire })
+}
+
 // NewClient returns a client for the campaign server at baseURL
 // (e.g. "http://localhost:8080").
 func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
@@ -78,6 +101,11 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	}
 	if c.requestID != "" && !obs.ValidRequestID(c.requestID) {
 		return nil, fmt.Errorf("%w: invalid request ID %q", ErrBadClient, c.requestID)
+	}
+	switch c.claimWire {
+	case "", WireJSON, WireBinary:
+	default:
+		return nil, fmt.Errorf("%w: claim wire %q (want %q or %q)", ErrBadClient, c.claimWire, WireJSON, WireBinary)
 	}
 	return c, nil
 }
@@ -119,9 +147,16 @@ func (c *Client) StreamCampaign(ctx context.Context) (StreamCampaignInfo, error)
 	return info, err
 }
 
-// StreamSubmit posts one perturbed claim batch into the open window.
+// StreamSubmit posts one perturbed claim batch into the open window,
+// encoded per the client's claim wire format (JSON by default; see
+// WithClaimWire).
 func (c *Client) StreamSubmit(ctx context.Context, sub Submission) (StreamReceipt, error) {
 	var receipt StreamReceipt
+	if c.claimWire == WireBinary {
+		frame := AppendClaimFrame(nil, sub.ClientID, sub.Claims)
+		err := c.doBody(ctx, http.MethodPost, PathStreamClaims, ContentTypeClaims, frame, &receipt)
+		return receipt, err
+	}
 	err := c.do(ctx, http.MethodPost, PathStreamClaims, sub, &receipt)
 	return receipt, err
 }
@@ -179,34 +214,87 @@ func (c *Client) StreamCloseWindow(ctx context.Context) (StreamWindowInfo, error
 
 // notReadyErr surfaces a pre-envelope server's bare 404 "nothing to
 // fetch yet" responses as ErrNotReady so pollers can match
-// errors.Is(err, ErrNotReady) instead of inspecting status codes.
-// Against an envelope-speaking server the code mapping in do already
-// attached the right sentinel and this is a no-op.
+// errors.Is(err, ErrNotReady) instead of inspecting status codes. Such
+// a server answers either with an empty body (an *HTTPError with no
+// code) or with a non-envelope body like Go's plain-text "404 page not
+// found" (an *EnvelopeDecodeError); both map here. Against an
+// envelope-speaking server the code mapping in doBody already attached
+// the right sentinel and this is a no-op.
 func notReadyErr(err error) error {
+	if errors.Is(err, ErrNotReady) {
+		return err
+	}
 	var httpErr *HTTPError
-	if errors.As(err, &httpErr) && httpErr.StatusCode == http.StatusNotFound &&
-		httpErr.Code == "" && !errors.Is(err, ErrNotReady) {
+	if errors.As(err, &httpErr) && httpErr.StatusCode == http.StatusNotFound && httpErr.Code == "" {
+		return fmt.Errorf("%w: %w", ErrNotReady, err)
+	}
+	var envErr *EnvelopeDecodeError
+	if errors.As(err, &envErr) && envErr.StatusCode == http.StatusNotFound {
 		return fmt.Errorf("%w: %w", ErrNotReady, err)
 	}
 	return err
 }
 
+// maxErrorBodyBytes bounds how much of a failed response's body the
+// client reads while decoding the error envelope — and how much of an
+// undecodable body an EnvelopeDecodeError carries as evidence.
+const (
+	maxErrorBodyBytes    = 64 << 10
+	errorBodyPrefixBytes = 256
+)
+
+// EnvelopeDecodeError reports a non-2xx response whose non-empty body
+// did not decode as the JSON error envelope — a proxy's HTML error
+// page, a truncated response, a non-pptd server. It carries the HTTP
+// status and the first bytes of the body so the caller can see what
+// actually answered, instead of an empty envelope masquerading as a
+// well-formed server error.
+type EnvelopeDecodeError struct {
+	// StatusCode is the response's HTTP status.
+	StatusCode int
+	// RequestID echoes the response's correlation header, when present.
+	RequestID string
+	// BodyPrefix holds the first bytes (at most errorBodyPrefixBytes) of
+	// the undecodable body.
+	BodyPrefix []byte
+	// Err is the JSON decode failure.
+	Err error
+}
+
+func (e *EnvelopeDecodeError) Error() string {
+	return fmt.Sprintf("crowd: HTTP %d with undecodable error envelope (%v); body starts %q",
+		e.StatusCode, e.Err, e.BodyPrefix)
+}
+
+func (e *EnvelopeDecodeError) Unwrap() error { return e.Err }
+
 // do issues one JSON request/response exchange.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var reader io.Reader
+	var raw []byte
+	contentType := ""
 	if body != nil {
 		buf, err := json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("crowd: encode request: %w", err)
 		}
-		reader = bytes.NewReader(buf)
+		raw, contentType = buf, "application/json"
+	}
+	return c.doBody(ctx, method, path, contentType, raw, out)
+}
+
+// doBody issues one request with a pre-encoded body (JSON from do, or a
+// binary claim frame) and decodes the JSON response.
+func (c *Client) doBody(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, reader)
 	if err != nil {
 		return fmt.Errorf("crowd: build request: %w", err)
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
 	}
 	id := c.requestID
 	if id == "" {
@@ -227,8 +315,25 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}()
 
 	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBodyBytes))
 		var eb ErrorBody
-		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		if len(bytes.TrimSpace(raw)) > 0 {
+			if derr := json.Unmarshal(raw, &eb); derr != nil {
+				// A non-empty body that is not the envelope: report what
+				// answered instead of propagating a fabricated empty
+				// envelope (the old behavior swallowed this failure).
+				prefix := bytes.TrimSpace(raw)
+				if len(prefix) > errorBodyPrefixBytes {
+					prefix = prefix[:errorBodyPrefixBytes]
+				}
+				return &EnvelopeDecodeError{
+					StatusCode: resp.StatusCode,
+					RequestID:  resp.Header.Get(HeaderRequestID),
+					BodyPrefix: append([]byte(nil), prefix...),
+					Err:        derr,
+				}
+			}
+		}
 		msg := eb.Message
 		if msg == "" {
 			msg = eb.Error // pre-envelope server: {"error": ...} only

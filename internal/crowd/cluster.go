@@ -252,9 +252,10 @@ func (s *StreamServer) handleClusterClose(w http.ResponseWriter, r *http.Request
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBytes)
 	var req ClusterCloseRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("decode cluster close: %v", err))
+		writeDecodeError(w, "decode cluster close", err)
 		return
 	}
 	reply, err := s.ClusterClose(req)
@@ -270,9 +271,10 @@ func (s *StreamServer) handleClusterCommit(w http.ResponseWriter, r *http.Reques
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBytes)
 	var req ClusterCommitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("decode cluster commit: %v", err))
+		writeDecodeError(w, "decode cluster commit", err)
 		return
 	}
 	reply, err := s.ClusterCommit(req)
@@ -344,6 +346,14 @@ func WriteWireError(w http.ResponseWriter, err error) {
 // coordinator's method and decode checks.
 func WriteError(w http.ResponseWriter, status int, code, msg string) {
 	writeError(w, status, code, msg)
+}
+
+// WriteDecodeError answers a failed request-body decode with the same
+// contract every crowd POST handler uses — 413 payload_too_large for a
+// body-cap hit, 400 otherwise. Exported for the cluster coordinator's
+// front door.
+func WriteDecodeError(w http.ResponseWriter, what string, err error) {
+	writeDecodeError(w, what, err)
 }
 
 // EchoRequestID wraps one route handler with the request-correlation

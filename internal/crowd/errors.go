@@ -2,6 +2,7 @@ package crowd
 
 import (
 	"errors"
+	"fmt"
 	"net/http"
 
 	"pptd/internal/stream"
@@ -19,6 +20,12 @@ var ErrUnknownWindow = errors.New("crowd: window not in retained history")
 // ingested anywhere; retrying once the worker is back succeeds with no
 // duplicate-submission risk.
 var ErrWorkerUnavailable = errors.New("crowd: shard worker unavailable")
+
+// ErrPayloadTooLarge reports a request body over the route's size cap
+// (see DefaultMaxRequestBytes and the servers' MaxRequestBytes
+// options). The request was refused before being buffered; nothing was
+// ingested. Splitting the submission into smaller batches succeeds.
+var ErrPayloadTooLarge = errors.New("crowd: request body too large")
 
 // Machine-readable error codes carried by every non-2xx response across
 // the batch and streaming endpoints (ErrorBody.Code). Codes are the
@@ -108,6 +115,8 @@ func errorStatus(err error) (status int, code string, retryAfterWindows int) {
 		return http.StatusGone, CodeEngineClosed, 0
 	case errors.Is(err, stream.ErrBudgetExhausted):
 		return http.StatusTooManyRequests, CodeBudgetExhausted, 0
+	case errors.Is(err, ErrPayloadTooLarge):
+		return http.StatusRequestEntityTooLarge, CodePayloadTooLarge, 0
 	case errors.Is(err, ErrWorkerUnavailable):
 		return http.StatusServiceUnavailable, CodeWorkerUnavailable, 0
 	default:
@@ -130,6 +139,7 @@ var sentinelByCode = map[string]error{
 	CodeCampaignClosed:    ErrCampaignClosed,
 	CodeEngineClosed:      stream.ErrEngineClosed,
 	CodeBudgetExhausted:   stream.ErrBudgetExhausted,
+	CodePayloadTooLarge:   ErrPayloadTooLarge,
 	CodeWorkerUnavailable: ErrWorkerUnavailable,
 }
 
@@ -144,6 +154,21 @@ func writeAPIError(w http.ResponseWriter, err error) {
 // taxonomy error (method mismatches, undecodable bodies).
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeEnvelope(w, status, code, msg, 0)
+}
+
+// writeDecodeError answers a failed request-body decode: a body-cap hit
+// (http.MaxBytesReader's error anywhere in the chain) is the 413
+// payload_too_large envelope, anything else a plain 400. Every POST
+// handler funnels its decode failures through here so the cap speaks
+// one wire contract across routes and wire formats.
+func writeDecodeError(w http.ResponseWriter, what string, err error) {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+			fmt.Sprintf("%s: request body exceeds the %d-byte route cap", what, maxErr.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("%s: %v", what, err))
 }
 
 func writeEnvelope(w http.ResponseWriter, status int, code, msg string, retry int) {

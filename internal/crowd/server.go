@@ -47,6 +47,11 @@ type ServerConfig struct {
 	// result. The caller opens the store and keeps ownership (a node
 	// shares one store between the batch and streaming campaigns).
 	Persistence *streamstore.Store
+	// MaxRequestBytes caps the POST /v1/submissions request body;
+	// oversized bodies get the 413 payload_too_large envelope before
+	// being buffered. Zero means DefaultMaxRequestBytes; negative is a
+	// config error.
+	MaxRequestBytes int64
 }
 
 func (c ServerConfig) validate() error {
@@ -59,6 +64,8 @@ func (c ServerConfig) validate() error {
 		return fmt.Errorf("%w: ExpectedUsers = %d", ErrBadConfig, c.ExpectedUsers)
 	case c.Method == nil:
 		return fmt.Errorf("%w: nil method", ErrBadConfig)
+	case c.MaxRequestBytes < 0:
+		return fmt.Errorf("%w: MaxRequestBytes = %d", ErrBadConfig, c.MaxRequestBytes)
 	}
 	return nil
 }
@@ -315,9 +322,10 @@ func (s *Server) handleSubmissions(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, effectiveMaxRequestBytes(s.cfg.MaxRequestBytes))
 	var sub Submission
 	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("decode submission: %v", err))
+		writeDecodeError(w, "decode submission", err)
 		return
 	}
 	receipt, err := s.Submit(sub)

@@ -39,6 +39,12 @@ type StreamServerConfig struct {
 	// skipped. Auto closes serialize with manual closes and with
 	// persistence snapshots.
 	WindowInterval time.Duration
+	// MaxRequestBytes caps the request body of every POST route this
+	// server mounts — stream claims and the cluster close/commit RPCs.
+	// Oversized bodies get the 413 payload_too_large envelope before
+	// being buffered. Zero means DefaultMaxRequestBytes; negative is a
+	// config error.
+	MaxRequestBytes int64
 }
 
 // StreamServer is the streaming counterpart of Server: instead of one
@@ -47,9 +53,10 @@ type StreamServerConfig struct {
 // per-window estimate as a live snapshot. Like Server it only ever sees
 // perturbed data. Safe for concurrent use.
 type StreamServer struct {
-	name   string
-	engine *stream.Engine
-	store  *streamstore.Store
+	name     string
+	engine   *stream.Engine
+	store    *streamstore.Store
+	maxBytes int64 // request-body cap on every POST route
 
 	// windowMu serializes window closes — manual, ticker-driven, and the
 	// persistence snapshot that follows each — so a snapshot always
@@ -89,6 +96,9 @@ func NewStreamServer(cfg StreamServerConfig) (*StreamServer, error) {
 	if cfg.WindowInterval < 0 {
 		return nil, fmt.Errorf("%w: WindowInterval = %v", ErrBadConfig, cfg.WindowInterval)
 	}
+	if cfg.MaxRequestBytes < 0 {
+		return nil, fmt.Errorf("%w: MaxRequestBytes = %d", ErrBadConfig, cfg.MaxRequestBytes)
+	}
 	if cfg.Persistence != nil && cfg.Engine.Ledger == nil && cfg.Engine.Lambda1 > 0 {
 		cfg.Engine.Ledger = cfg.Persistence
 	}
@@ -109,7 +119,12 @@ func NewStreamServer(cfg StreamServerConfig) (*StreamServer, error) {
 			return nil, fmt.Errorf("crowd: stream server: recover state: %w", err)
 		}
 	}
-	s := &StreamServer{name: cfg.Name, engine: eng, store: cfg.Persistence}
+	s := &StreamServer{
+		name:     cfg.Name,
+		engine:   eng,
+		store:    cfg.Persistence,
+		maxBytes: effectiveMaxRequestBytes(cfg.MaxRequestBytes),
+	}
 	if cfg.Persistence != nil {
 		// Restore the cluster close-export cache, so a worker killed
 		// mid-round (closed, not yet committed) can still serve the
@@ -382,9 +397,14 @@ func (s *StreamServer) handleClaims(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBytes)
+	if isClaimFrameContentType(r.Header.Get("Content-Type")) {
+		s.handleClaimsBinary(w, r)
+		return
+	}
 	var sub Submission
 	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("decode submission: %v", err))
+		writeDecodeError(w, "decode submission", err)
 		return
 	}
 	receipt, err := s.Submit(sub)
@@ -393,6 +413,31 @@ func (s *StreamServer) handleClaims(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, receipt)
+}
+
+// handleClaimsBinary is the pooled hot path behind the binary claim
+// frame (Content-Type application/x-pptd-claims): the frame decodes
+// into pooled buffers, the engine ingests straight from them (the
+// client ID only materializes as a string the first time a user is
+// seen), and the buffers go back to the pool — zero per-claim heap
+// allocations in steady state.
+func (s *StreamServer) handleClaimsBinary(w http.ResponseWriter, r *http.Request) {
+	f := GetClaimFrame()
+	defer PutClaimFrame(f)
+	if err := DecodeClaimFrame(r.Body, f); err != nil {
+		writeDecodeError(w, "decode claim frame", err)
+		return
+	}
+	accepted, window, err := s.engine.IngestBytes(f.ClientID, f.Claims)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StreamReceipt{
+		Accepted:    accepted,
+		Window:      window,
+		TotalClaims: s.engine.TotalClaims(),
+	})
 }
 
 func (s *StreamServer) handleTruths(w http.ResponseWriter, r *http.Request) {

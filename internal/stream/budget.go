@@ -82,6 +82,20 @@ func (r *registry) get(id string, window int) (*userState, bool) {
 	return st, ok
 }
 
+// getBytes is get for a byte-slice key: the map lookup converts without
+// allocating (the compiler's m[string(b)] special case), so the ingest
+// hot path never materializes a string for a user the registry already
+// interned.
+func (r *registry) getBytes(id []byte, window int) (*userState, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.byID[string(id)]
+	if ok && window > st.lastSeen {
+		st.lastSeen = window
+	}
+	return st, ok
+}
+
 // getOrCreate returns the resident state for id, admitting a fresh one
 // (free-list slot first, then a new slot) when the user is not resident.
 // window stamps the LRU clock.

@@ -66,6 +66,17 @@ func (e *Engine) admit(id string) (*userState, bool, error) {
 	return st, true, nil
 }
 
+// admitBytes is admit for a byte-slice ID (the binary wire's pooled
+// decode path): the resident fast path looks the user up without
+// allocating, and only an unknown user — whose ID the registry must
+// intern anyway — pays the string conversion on the slow path.
+func (e *Engine) admitBytes(id []byte) (*userState, bool, error) {
+	if st, ok := e.users.getBytes(id, e.window); ok {
+		return st, false, nil
+	}
+	return e.admit(string(id))
+}
+
 // evictIdleLocked enforces the residency caps at a window boundary: if
 // the resident set exceeds MaxResidentUsers or ResidentBytes, the
 // least-recently-seen users whose sufficient statistics have fully

@@ -1,0 +1,54 @@
+package stream
+
+import "sync"
+
+// Ingest hot-path pooling. Every call to ingest needs a per-shard
+// partition of the batch plus (with accounting on) a duplicate-object
+// set; allocating those per call is what used to dominate the ingest
+// profile once request decoding stopped allocating. The scratch pool
+// below makes the whole decode→shard→fold path allocation-free in
+// steady state:
+//
+//   - ingestScratch holds the per-call state that never leaves the
+//     call: the per-shard partition table and the dup-check set. It is
+//     returned to the engine's pool before ingest returns.
+//   - claimBuf holds one shard's slice of the partition. Its lifetime
+//     extends past the ingest call — the slice rides the shard channel —
+//     so the shard worker returns it to the package pool after folding
+//     it into the sufficient statistics.
+//
+// Claims are partitioned by value into the pooled slices, so the
+// caller's claim slice (e.g. a pooled wire-decode buffer) is free for
+// reuse the moment ingest returns.
+
+// claimBuf is one pooled per-shard claim slice, handed from ingest to a
+// shard worker and recycled once applied.
+type claimBuf struct {
+	claims []Claim
+}
+
+var claimBufPool = sync.Pool{
+	New: func() any { return &claimBuf{claims: make([]Claim, 0, 64)} },
+}
+
+// ingestScratch is the pooled per-call scratch of ingest. bufs is
+// indexed by shard; entries are nil except between partitioning and
+// hand-off. seen backs the duplicate-object check when privacy
+// accounting is on and is cleared before each use.
+type ingestScratch struct {
+	bufs []*claimBuf
+	seen map[int]struct{}
+}
+
+// newIngestScratchPool builds the engine's scratch pool for a given
+// shard count.
+func newIngestScratchPool(numShards int) *sync.Pool {
+	return &sync.Pool{
+		New: func() any {
+			return &ingestScratch{
+				bufs: make([]*claimBuf, numShards),
+				seen: make(map[int]struct{}),
+			}
+		},
+	}
+}

@@ -28,10 +28,13 @@ type pauseReq struct {
 }
 
 // shardMsg is one hand-off on a shard's ingestion channel: either a batch
-// of claims by one user (ctl nil) or a pause request.
+// of claims by one user (ctl nil) or a pause request. When buf is set,
+// claims is a pooled slice the worker returns to claimBufPool after
+// applying it.
 type shardMsg struct {
 	user   int
 	claims []Claim
+	buf    *claimBuf
 	ctl    *pauseReq
 }
 
@@ -59,6 +62,10 @@ func (s *shard) run() {
 			continue
 		}
 		s.apply(m.user, m.claims)
+		if m.buf != nil {
+			m.buf.claims = m.claims[:0]
+			claimBufPool.Put(m.buf)
+		}
 	}
 }
 

@@ -332,6 +332,7 @@ type Engine struct {
 	shards  []*shard
 	wg      sync.WaitGroup
 	metrics *engineMetrics // nil-safe; nil when Config.Metrics is nil
+	scratch *sync.Pool     // *ingestScratch, sized to the shard count
 
 	// admitMu serializes the slow path of user admission (spill-store
 	// lookup plus estimator slot seeding) — Ingest holds the window lock
@@ -380,6 +381,7 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.epsWindow = eps
 	}
+	e.scratch = newIngestScratchPool(cfg.NumShards)
 	e.shards = make([]*shard, cfg.NumShards)
 	for i := range e.shards {
 		e.shards[i] = newShard(cfg.QueueDepth)
@@ -450,25 +452,44 @@ func (e *Engine) TrackedUsers() int { return e.users.tracked() }
 // Safe for concurrent use; a batch racing a CloseWindow lands in one
 // window or the next, never split.
 func (e *Engine) Ingest(user string, claims []Claim) (int, int, error) {
-	n, window, err := e.ingest(user, claims)
+	n, window, err := e.ingest(user, nil, claims)
 	if err != nil {
 		e.metrics.reject(err)
 	}
 	return n, window, err
 }
 
-// ingest is Ingest without the rejection accounting (every error path
-// funnels through one metrics classification in the wrapper).
-func (e *Engine) ingest(user string, claims []Claim) (int, int, error) {
-	if user == "" {
+// IngestBytes is Ingest for callers holding the user ID as a byte slice
+// — above all the binary wire decoder, whose pooled buffers must not
+// force a string allocation per request. Semantics are identical to
+// Ingest; the ID is only materialized as a string the first time a user
+// is admitted, so the steady-state path performs no per-claim heap
+// allocations. The engine does not retain user or claims past the call.
+func (e *Engine) IngestBytes(user []byte, claims []Claim) (int, int, error) {
+	n, window, err := e.ingest("", user, claims)
+	if err != nil {
+		e.metrics.reject(err)
+	}
+	return n, window, err
+}
+
+// ingest backs Ingest and IngestBytes without the rejection accounting
+// (every error path funnels through one metrics classification in the
+// wrappers). Exactly one of user and key identifies the submitter; the
+// byte form avoids allocating for IDs the registry already interned.
+func (e *Engine) ingest(user string, key []byte, claims []Claim) (int, int, error) {
+	if user == "" && len(key) == 0 {
 		return 0, 0, fmt.Errorf("%w: empty user id", ErrBadClaim)
 	}
 	if len(claims) == 0 {
 		return 0, 0, fmt.Errorf("%w: empty batch", ErrBadClaim)
 	}
+	sc := e.scratch.Get().(*ingestScratch)
+	defer e.scratch.Put(sc)
 	var seen map[int]struct{}
 	if e.epsWindow > 0 {
-		seen = make(map[int]struct{}, len(claims))
+		seen = sc.seen
+		clear(seen)
 	}
 	for _, c := range claims {
 		if c.Object < 0 || c.Object >= e.cfg.NumObjects {
@@ -490,7 +511,16 @@ func (e *Engine) ingest(user string, claims []Claim) (int, int, error) {
 	if e.closed {
 		return 0, 0, ErrEngineClosed
 	}
-	st, fresh, err := e.admit(user)
+	var (
+		st    *userState
+		fresh bool
+		err   error
+	)
+	if key != nil {
+		st, fresh, err = e.admitBytes(key)
+	} else {
+		st, fresh, err = e.admit(user)
+	}
 	if err != nil {
 		return 0, 0, err
 	}
@@ -511,7 +541,10 @@ func (e *Engine) ingest(user string, claims []Claim) (int, int, error) {
 		// acknowledged: a crash after the ack but before the append would
 		// hand the user their epsilon back on recovery. A failed append
 		// therefore rejects the submission and reverts the charge.
-		rec := ChargeRecord{User: user, Window: e.window, Epsilon: e.epsWindow}
+		// st.id is the registry's interned copy of the submitter's ID —
+		// identical to user on the string path, and the only string form
+		// that exists on the byte-key path.
+		rec := ChargeRecord{User: st.id, Window: e.window, Epsilon: e.epsWindow}
 		if e.cfg.ClaimWAL {
 			// With the claim WAL the statistics ride the same durable
 			// record as the charge: one fsync covers both, and recovery
@@ -523,22 +556,30 @@ func (e *Engine) ingest(user string, claims []Claim) (int, int, error) {
 			if fresh {
 				e.users.dropIfIdle(st, e.window, e.epsWindow, e.cfg.EpsilonBudget)
 			}
-			return 0, 0, fmt.Errorf("%w: user %q window %d: %v", ErrLedger, user, e.window+1, err)
+			return 0, 0, fmt.Errorf("%w: user %q window %d: %v", ErrLedger, st.id, e.window+1, err)
 		}
 	}
 
-	// Partition the batch by owning shard and hand each piece off on the
-	// shard's channel (FIFO, so a later window close drains it first).
-	perShard := make([][]Claim, len(e.shards))
+	// Partition the batch by owning shard into pooled slices and hand
+	// each piece off on the shard's channel (FIFO, so a later window
+	// close drains it first). The shard worker recycles each slice after
+	// folding it, and the claims are copied by value, so the caller's
+	// slice is reusable the moment this returns.
 	for _, c := range claims {
 		idx := c.Object % len(e.shards)
-		perShard[idx] = append(perShard[idx], c)
+		cb := sc.bufs[idx]
+		if cb == nil {
+			cb = claimBufPool.Get().(*claimBuf)
+			sc.bufs[idx] = cb
+		}
+		cb.claims = append(cb.claims, c)
 	}
-	for i, part := range perShard {
-		if len(part) == 0 {
+	for i, cb := range sc.bufs {
+		if cb == nil {
 			continue
 		}
-		e.shards[i].in <- shardMsg{user: st.idx, claims: part}
+		sc.bufs[i] = nil
+		e.shards[i].in <- shardMsg{user: st.idx, claims: cb.claims, buf: cb}
 	}
 	e.windowClaims.Add(int64(len(claims)))
 	e.totalClaims.Add(int64(len(claims)))

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pptd/internal/stream"
+	"pptd/internal/streamstore/storefs"
 )
 
 // Journal line format: one charge record per line,
@@ -201,6 +202,60 @@ func parseJournalAfter(data []byte, skip int64) ([]stream.ChargeRecord, int64) {
 		}
 	}
 	return recs, valid
+}
+
+// journalScanChunk is the read granularity of the streaming recovery
+// scan: large enough to amortize syscalls, small enough that recovering
+// a multi-gigabyte segment never buffers more than one chunk plus one
+// record.
+const journalScanChunk = 256 << 10
+
+// scanJournalFile is parseJournalAfter over a file instead of a byte
+// slice: it scans the first size bytes of f in journalScanChunk reads,
+// carrying only the current incomplete line between reads, and stops at
+// the first invalid or torn line. Memory is O(chunk + longest record),
+// not O(segment) — the active segment of a long-lived store can dwarf
+// RAM and recovery must still come up. Records whose line ends past
+// skip are passed to emit (which may be nil when only the valid length
+// matters, e.g. torn-tail repair); the returned length counts every
+// valid line, skipped or not, exactly as parseJournalAfter does.
+func scanJournalFile(f storefs.File, size, skip int64, emit func(stream.ChargeRecord)) (int64, error) {
+	var (
+		carry   []byte
+		chunk   = make([]byte, journalScanChunk)
+		fileOff int64
+		valid   int64
+	)
+	for {
+		nl := bytes.IndexByte(carry, '\n')
+		for nl < 0 && fileOff < size {
+			n := len(chunk)
+			if rem := size - fileOff; rem < int64(n) {
+				n = int(rem)
+			}
+			m, err := f.ReadAt(chunk[:n], fileOff)
+			if m < n && err != nil {
+				return valid, fmt.Errorf("streamstore: read journal segment: %w", err)
+			}
+			fileOff += int64(m)
+			carry = append(carry, chunk[:m]...)
+			nl = bytes.IndexByte(carry, '\n')
+		}
+		if nl < 0 {
+			// No newline left anywhere in the file: a torn tail (or a clean
+			// end exactly on a boundary, in which case carry is empty).
+			return valid, nil
+		}
+		rec, ok := parseJournalLine(carry[:nl])
+		if !ok {
+			return valid, nil
+		}
+		carry = carry[nl+1:]
+		valid += int64(nl + 1)
+		if valid > skip && emit != nil {
+			emit(rec)
+		}
+	}
 }
 
 func parseJournalLine(line []byte) (stream.ChargeRecord, bool) {

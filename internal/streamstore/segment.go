@@ -198,15 +198,20 @@ func (s *Store) migrateLegacyJournalLocked() error {
 
 // repairActiveLocked scans the active segment for its longest valid
 // prefix and truncates anything after it (a torn tail from a crashed
-// append), so subsequent appends land on a record boundary. Callers
-// must hold s.mu.
+// append), so subsequent appends land on a record boundary. The scan
+// streams the segment in chunks — a store whose active segment grew
+// huge (say, a raised SegmentBytes or a roll that kept failing) must
+// not need segment-sized memory just to boot. Callers must hold s.mu.
 func (s *Store) repairActiveLocked() error {
-	data, err := s.readSegmentLocked(s.active)
+	fi, err := s.active.Stat()
+	if err != nil {
+		return fmt.Errorf("streamstore: stat journal segment: %w", err)
+	}
+	valid, err := scanJournalFile(s.active, fi.Size(), fi.Size(), nil)
 	if err != nil {
 		return err
 	}
-	_, valid := parseJournal(data)
-	if int64(len(data)) > valid {
+	if fi.Size() > valid {
 		if err := s.active.Truncate(valid); err != nil {
 			return fmt.Errorf("streamstore: repair journal tail: %w", err)
 		}
@@ -317,33 +322,52 @@ func (s *Store) compactJournalLocked(covered JournalPos) error {
 // entirely and the covered prefix of the boundary segment), then the
 // active segment's durable prefix. Each segment contributes the longest
 // valid prefix of its bytes — the per-segment CRC torn-tail rule — so
-// damage in one segment never hides records in another. Callers must
-// hold s.mu.
+// damage in one segment never hides records in another. Segments are
+// scanned in chunks, never buffered whole (see scanJournalFile).
+// Callers must hold s.mu.
 func (s *Store) readJournalLocked(covered JournalPos) ([]stream.ChargeRecord, error) {
 	var recs []stream.ChargeRecord
+	emit := func(rec stream.ChargeRecord) { recs = append(recs, rec) }
 	for _, seg := range s.sealed {
 		if !covered.Before(seg.end()) {
 			continue
-		}
-		data, err := s.fs.ReadFile(s.segmentPath(seg.seq))
-		if err != nil {
-			return nil, fmt.Errorf("streamstore: read journal segment %d: %w", seg.seq, err)
 		}
 		var skip int64
 		if seg.seq == covered.Seq {
 			skip = covered.Off
 		}
-		segRecs, _ := parseJournalAfter(data, skip)
-		recs = append(recs, segRecs...)
+		if err := s.scanSealedSegment(seg, skip, emit); err != nil {
+			return nil, err
+		}
 	}
-	data, err := s.readSegmentLocked(s.active)
+	fi, err := s.active.Stat()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("streamstore: stat journal segment: %w", err)
 	}
 	var skip int64
 	if s.activeSeq == covered.Seq {
 		skip = covered.Off
 	}
-	segRecs, _ := parseJournalAfter(data, skip)
-	return append(recs, segRecs...), nil
+	if _, err := scanJournalFile(s.active, fi.Size(), skip, emit); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// scanSealedSegment opens one sealed segment read-only and streams its
+// records past skip into emit.
+func (s *Store) scanSealedSegment(seg segmentInfo, skip int64, emit func(stream.ChargeRecord)) error {
+	f, err := s.fs.OpenFile(s.segmentPath(seg.seq), os.O_RDONLY, 0)
+	if err != nil {
+		return fmt.Errorf("streamstore: open journal segment %d: %w", seg.seq, err)
+	}
+	defer func() { _ = f.Close() }()
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("streamstore: stat journal segment %d: %w", seg.seq, err)
+	}
+	if _, err := scanJournalFile(f, fi.Size(), skip, emit); err != nil {
+		return fmt.Errorf("streamstore: read journal segment %d: %w", seg.seq, err)
+	}
+	return nil
 }

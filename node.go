@@ -77,6 +77,8 @@ type nodeConfig struct {
 	queueSet       bool
 	noCarryover    bool
 
+	maxRequestBytes int64
+
 	maxResident      int
 	maxResidentSet   bool
 	residentBytes    int64
@@ -318,6 +320,24 @@ func WithQueueDepth(n int) Option {
 		}
 		c.queueDepth = n
 		c.queueSet = true
+		return nil
+	}
+}
+
+// WithMaxRequestBytes caps the request body of every POST route the
+// node serves — stream claims, batch submissions, and (on cluster
+// workers and coordinators) the cluster close/commit RPCs. An oversized
+// body is refused with the 413 payload_too_large envelope before it is
+// buffered, so one client cannot exhaust the node's memory with a
+// single giant request. The default is 16 MiB (see the API docs);
+// raise it for deployments whose legitimate batches are larger, or
+// lower it to tighten the ingest surface.
+func WithMaxRequestBytes(n int64) Option {
+	return func(c *nodeConfig) error {
+		if n <= 0 {
+			return optErr("WithMaxRequestBytes: n = %d", n)
+		}
+		c.maxRequestBytes = n
 		return nil
 	}
 }
@@ -962,11 +982,12 @@ func NewNode(opts ...Option) (*Node, error) {
 			// Coordinator mode: the stream options describe the cluster's
 			// shared engine configuration; no local engine runs here.
 			coord, err := cluster.NewCoordinator(cluster.Config{
-				Name:           cfg.name,
-				Engine:         engineCfg,
-				Workers:        cfg.clusterWorkers,
-				WindowInterval: cfg.windowInterval,
-				Metrics:        n.metrics,
+				Name:            cfg.name,
+				Engine:          engineCfg,
+				Workers:         cfg.clusterWorkers,
+				WindowInterval:  cfg.windowInterval,
+				MaxRequestBytes: cfg.maxRequestBytes,
+				Metrics:         n.metrics,
 			})
 			if err != nil {
 				return nil, err
@@ -996,10 +1017,11 @@ func NewNode(opts ...Option) (*Node, error) {
 		}
 		if !cfg.clusterSet {
 			srv, err := crowd.NewStreamServer(crowd.StreamServerConfig{
-				Name:           cfg.name,
-				Engine:         engineCfg,
-				Persistence:    n.store,
-				WindowInterval: cfg.windowInterval,
+				Name:            cfg.name,
+				Engine:          engineCfg,
+				Persistence:     n.store,
+				WindowInterval:  cfg.windowInterval,
+				MaxRequestBytes: cfg.maxRequestBytes,
 			})
 			if err != nil {
 				return nil, err
@@ -1054,12 +1076,13 @@ func NewNode(opts ...Option) (*Node, error) {
 			method = m
 		}
 		srv, err := crowd.NewServer(crowd.ServerConfig{
-			Name:          cfg.name,
-			NumObjects:    cfg.batchObjects,
-			Lambda2:       lambda2,
-			ExpectedUsers: cfg.expected,
-			Method:        method,
-			Persistence:   n.store,
+			Name:            cfg.name,
+			NumObjects:      cfg.batchObjects,
+			Lambda2:         lambda2,
+			ExpectedUsers:   cfg.expected,
+			Method:          method,
+			Persistence:     n.store,
+			MaxRequestBytes: cfg.maxRequestBytes,
 		})
 		if err != nil {
 			return nil, err

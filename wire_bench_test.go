@@ -1,0 +1,74 @@
+package pptd_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"pptd"
+)
+
+// BenchmarkStreamSubmitWire measures end-to-end claim submission over a
+// real HTTP boundary at concurrency 16 for each wire format. The
+// acceptance bar for the binary frame is >=1.5x the JSON wire's
+// submissions/s on this benchmark:
+//
+//	go test -run - -bench BenchmarkStreamSubmitWire -benchtime 2s .
+//
+// The engine runs without privacy accounting so devices can resubmit
+// within one window (accounting would reject the repeats by design, and
+// the wire cost under test is identical either way).
+func BenchmarkStreamSubmitWire(b *testing.B) {
+	for _, wire := range []string{pptd.WireJSON, pptd.WireBinary} {
+		b.Run(wire, func(b *testing.B) {
+			n, err := pptd.NewNode(
+				pptd.WithName("wire-bench"),
+				pptd.WithStreamConfig(pptd.StreamConfig{NumObjects: 32, NumShards: 4}),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = n.Close() }()
+			ts := httptest.NewServer(n.Handler())
+			defer ts.Close()
+
+			ctx := context.Background()
+			var subs [16]pptd.CampaignSubmission
+			for i := range subs {
+				subs[i].ClientID = fmt.Sprintf("device-%02d", i)
+				for o := 0; o < 32; o++ {
+					subs[i].Claims = append(subs[i].Claims, pptd.CampaignClaim{
+						Object: o, Value: float64(o) + 0.25*float64(i),
+					})
+				}
+			}
+			var seq atomic.Int32
+			// RunParallel spawns parallelism*GOMAXPROCS goroutines; aim for
+			// 16 concurrent submitters total.
+			par := 16 / runtime.GOMAXPROCS(0)
+			if par < 1 {
+				par = 1
+			}
+			b.SetParallelism(par)
+
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// One client (and one keep-alive connection pool) per
+				// submitter goroutine, like a fleet of devices.
+				client, err := pptd.NewClient(ts.URL, pptd.WithClaimWire(wire))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sub := subs[int(seq.Add(1))%len(subs)]
+				for pb.Next() {
+					if _, err := client.StreamSubmit(ctx, sub); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
